@@ -1,0 +1,83 @@
+/// \file bench_a2_join_strategies.cc
+/// \brief A2 (ablation): per-node index scans vs set-at-a-time structural
+/// joins vs plain navigation, on structural-predicate queries over growing
+/// catalogs. The type-index + PBN machinery is what makes both indexed
+/// strategies possible — navigation is the no-PBN control.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "query/eval_bulk.h"
+#include "query/eval_indexed.h"
+#include "query/eval_nav.h"
+#include "workload/books.h"
+
+int main() {
+  using namespace vpbn;
+  using bench::Fmt;
+
+  std::printf(
+      "A2 — evaluation strategies on structural queries (books workload)\n"
+      "nav = tree walk, indexed = per-node containment scans, bulk ="
+      " stack-tree structural joins\n\n");
+
+  struct Config {
+    const char* query;
+    double publisher_prob;  // low values make predicate queries selective
+  };
+  const Config queries[] = {
+      {"//book[author/name]/title", 0.5},
+      {"//book[publisher][author]/author/name", 0.5},
+      {"//data[book[publisher/location]]//title/text()", 0.5},
+      {"//book[publisher]/title/text()", 0.02},  // selective predicate
+  };
+
+  for (const Config& cfg : queries) {
+    const char* q = cfg.query;
+    std::printf("query: %s  (publisher_prob=%.2f)\n", q,
+                cfg.publisher_prob);
+    bench::Table table(
+        {"books", "nav_ms", "indexed_ms", "bulk_ms", "bulk_vs_nav",
+         "results"});
+    for (int books : {200, 1600, 12800}) {
+      workload::BooksOptions opts;
+      opts.seed = 5;
+      opts.num_books = books;
+      opts.publisher_prob = cfg.publisher_prob;
+      xml::Document doc = workload::GenerateBooks(opts);
+      storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+      int reps = books <= 1600 ? 7 : 3;
+
+      size_t n_nav = 0, n_idx = 0, n_bulk = 0;
+      double nav_ms = bench::MedianMs(reps, [&] {
+        auto r = query::EvalNav(doc, q);
+        n_nav = r.ok() ? r->size() : 0;
+      });
+      double idx_ms = bench::MedianMs(reps, [&] {
+        auto r = query::EvalIndexed(stored, q);
+        n_idx = r.ok() ? r->size() : 0;
+      });
+      double bulk_ms = bench::MedianMs(reps, [&] {
+        auto r = query::EvalBulk(stored, q);
+        n_bulk = r.ok() ? r->size() : 0;
+      });
+      if (n_nav != n_idx || n_idx != n_bulk) {
+        std::fprintf(stderr, "MISMATCH on %s at %d books: %zu/%zu/%zu\n", q,
+                     books, n_nav, n_idx, n_bulk);
+        return 1;
+      }
+      table.AddRow({std::to_string(books), Fmt(nav_ms), Fmt(idx_ms),
+                    Fmt(bulk_ms), Fmt(nav_ms / bulk_ms, 1) + "x",
+                    std::to_string(n_bulk)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: on full-coverage queries bulk joins match or edge"
+      " out navigation\n(everything is touched either way) while per-node"
+      " index scans pay per-context\noverhead; on selective structural"
+      " predicates the joins win outright because a\nstep costs one merge"
+      " over short sorted lists, not a walk over the document.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+/// \file bench_e0_substrate.cc
+/// \brief E0 (infrastructure calibration, not a paper figure): throughput
+/// of the substrate every experiment stands on — XML parsing, PBN
+/// numbering, DataGuide construction, stored-document build, and the PBN
+/// codecs. Reported so EXPERIMENTS.md readers can normalize E1–E8 numbers
+/// to their own hardware.
+
+#include <benchmark/benchmark.h>
+
+#include "pbn/codec.h"
+#include "pbn/numbering.h"
+#include "storage/stored_document.h"
+#include "workload/books.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace vpbn;
+
+std::string BooksXml(int books) {
+  workload::BooksOptions opts;
+  opts.num_books = books;
+  return xml::SerializeDocument(workload::GenerateBooks(opts));
+}
+
+void BM_ParseXml(benchmark::State& state) {
+  std::string text = BooksXml(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto doc = xml::Parse(text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(text.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParseXml)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_NumberDocument(benchmark::State& state) {
+  workload::BooksOptions opts;
+  opts.num_books = static_cast<int>(state.range(0));
+  xml::Document doc = workload::GenerateBooks(opts);
+  for (auto _ : state) {
+    auto numbering = num::Numbering::Number(doc);
+    benchmark::DoNotOptimize(numbering);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(doc.num_nodes()) *
+                          state.iterations());
+}
+BENCHMARK(BM_NumberDocument)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildDataGuide(benchmark::State& state) {
+  workload::BooksOptions opts;
+  opts.num_books = static_cast<int>(state.range(0));
+  xml::Document doc = workload::GenerateBooks(opts);
+  for (auto _ : state) {
+    auto guide = dg::DataGuide::Build(doc);
+    benchmark::DoNotOptimize(guide);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(doc.num_nodes()) *
+                          state.iterations());
+}
+BENCHMARK(BM_BuildDataGuide)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildStoredDocument(benchmark::State& state) {
+  workload::BooksOptions opts;
+  opts.num_books = static_cast<int>(state.range(0));
+  xml::Document doc = workload::GenerateBooks(opts);
+  for (auto _ : state) {
+    auto stored = storage::StoredDocument::Build(doc);
+    benchmark::DoNotOptimize(stored);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(doc.num_nodes()) *
+                          state.iterations());
+}
+BENCHMARK(BM_BuildStoredDocument)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PbnCodecRoundTrip(benchmark::State& state) {
+  workload::BooksOptions opts;
+  opts.num_books = 1000;
+  xml::Document doc = workload::GenerateBooks(opts);
+  num::Numbering numbering = num::Numbering::Number(doc);
+  for (auto _ : state) {
+    std::string buf;
+    for (const num::Pbn& p : numbering.numbers()) {
+      num::EncodeCompact(p, &buf);
+    }
+    std::string_view in = buf;
+    size_t decoded = 0;
+    while (!in.empty()) {
+      auto p = num::DecodeCompact(&in);
+      if (!p.ok()) break;
+      ++decoded;
+    }
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(numbering.size()) * 2 * state.iterations());
+}
+BENCHMARK(BM_PbnCodecRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+/// \file bench_e1_levelarray_build.cc
+/// \brief E1 (Figure R1): Algorithm 1's cost is O(cN) — linear in the
+/// vDataGuide size N for fixed depth c, and linear in c for fixed N (§5.2).
+///
+/// Google-benchmark sweeps both dimensions over synthetic DataGuides and
+/// reports complexity fits.
+
+#include <benchmark/benchmark.h>
+
+#include "dataguide/dataguide.h"
+#include "vpbn/level_array_builder.h"
+#include "workload/random_trees.h"
+
+namespace {
+
+using namespace vpbn;
+
+/// Builds a synthetic DataGuide with ~n element types arranged as chains of
+/// depth c hanging off a root: the deepest level (longest PBN number) is
+/// exactly c.
+dg::DataGuide SyntheticGuide(int n, int c) {
+  dg::DataGuide g;
+  dg::TypeId root = g.AddType("root", dg::kNullType);
+  int made = 1;
+  int chain_id = 0;
+  while (made < n) {
+    dg::TypeId cur = root;
+    for (int depth = 2; depth <= c && made < n; ++depth) {
+      cur = g.AddType("c" + std::to_string(chain_id) + "_" +
+                          std::to_string(depth),
+                      cur);
+      ++made;
+    }
+    ++chain_id;
+  }
+  return g;
+}
+
+/// An identity-shaped vDataGuide over the synthetic guide (every type at
+/// its own level — the worst case for array length is still O(c)).
+Result<vdg::VDataGuide> IdentityVdg(const dg::DataGuide& g) {
+  return vdg::VDataGuide::Create("root { ** }", g);
+}
+
+void BM_BuildLevelArrays_VaryN(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  const int kDepth = 12;
+  dg::DataGuide guide = SyntheticGuide(n, kDepth);
+  auto vg = IdentityVdg(guide);
+  if (!vg.ok()) {
+    state.SkipWithError(vg.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto map = virt::BuildLevelArrays(*vg);
+    benchmark::DoNotOptimize(map);
+  }
+  state.SetComplexityN(n);
+  state.counters["vtypes"] = static_cast<double>(vg->num_vtypes());
+}
+BENCHMARK(BM_BuildLevelArrays_VaryN)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity(benchmark::oN);
+
+void BM_BuildLevelArrays_VaryDepth(benchmark::State& state) {
+  int c = static_cast<int>(state.range(0));
+  const int kTypes = 2048;
+  dg::DataGuide guide = SyntheticGuide(kTypes, c);
+  auto vg = IdentityVdg(guide);
+  if (!vg.ok()) {
+    state.SkipWithError(vg.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto map = virt::BuildLevelArrays(*vg);
+    benchmark::DoNotOptimize(map);
+  }
+  state.SetComplexityN(c);
+}
+BENCHMARK(BM_BuildLevelArrays_VaryDepth)
+    ->RangeMultiplier(2)
+    ->Range(4, 64)
+    ->Complexity(benchmark::oN);
+
+/// Random re-hierarchizations (all three cases mixed), as in property
+/// tests: cost stays proportional to vDataGuide size.
+void BM_BuildLevelArrays_RandomSpecs(benchmark::State& state) {
+  workload::RandomTreeOptions topts;
+  topts.seed = 99;
+  topts.num_nodes = 4000;
+  topts.num_labels = 10;
+  xml::Document doc = workload::GenerateRandomTree(topts);
+  dg::DataGuide guide = dg::DataGuide::Build(doc);
+  workload::RandomSpecOptions sopts;
+  sopts.seed = static_cast<uint64_t>(state.range(0));
+  sopts.num_types = static_cast<int>(state.range(0));
+  std::string spec = workload::GenerateRandomSpec(guide, sopts);
+  auto vg = vdg::VDataGuide::Create(spec, guide);
+  if (!vg.ok()) {
+    state.SkipWithError(vg.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto map = virt::BuildLevelArrays(*vg);
+    benchmark::DoNotOptimize(map);
+  }
+  state.counters["vtypes"] = static_cast<double>(vg->num_vtypes());
+}
+BENCHMARK(BM_BuildLevelArrays_RandomSpecs)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/// \file bench_e8_xquery_pipeline.cc
+/// \brief E8 (Table R3): the paper's §2 pipeline end to end at the XQuery
+/// level — Rhonda's nested query (Figure 4, which materializes Sam's view)
+/// versus the virtualDoc form (Figure 6) on growing book catalogs.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/books.h"
+#include "xquery/xq_engine.h"
+
+int main() {
+  using namespace vpbn;
+  using bench::Fmt;
+
+  std::printf(
+      "E8 / Table R3 — Rhonda's query: nested-FLWR baseline (Fig. 4) vs"
+      " virtualDoc (Fig. 6)\n\n");
+
+  const char* kNested = R"(
+      for $t in (for $t in doc("book.xml")//book/title
+                 let $a := $t/../author
+                 return <title>{$t/text()}{$a}</title>)//title
+      return <r>{$t/text()}<c>{count($t/author)}</c></r>)";
+  const char* kVirtual = R"(
+      for $t in virtualDoc("book.xml", "title { author { name } }")//title
+      return <r>{$t/text()}<c>{count($t/author)}</c></r>)";
+
+  bench::Table table({"books", "nested_ms", "virtualdoc_ms", "speedup",
+                      "nested_materialized_nodes"});
+
+  for (int books : {100, 400, 1600, 6400}) {
+    workload::BooksOptions opts;
+    opts.seed = 21;
+    opts.num_books = books;
+    xml::Document doc = workload::GenerateBooks(opts);
+
+    int reps = books <= 1600 ? 5 : 3;
+
+    // Fresh engine per run so constructed-document arenas don't accumulate
+    // across timed iterations.
+    std::string nested_out, virtual_out;
+    uint64_t materialized = 0;
+    double nested_ms = bench::MedianMs(reps, [&] {
+      xq::Engine engine;
+      if (!engine.RegisterDocument("book.xml", &doc).ok()) std::abort();
+      engine.ResetStats();
+      auto r = engine.RunToXml(kNested);
+      if (!r.ok()) std::abort();
+      nested_out = std::move(r).ValueUnsafe();
+      materialized = engine.stats().materialized_nodes;
+    });
+    double virtual_ms = bench::MedianMs(reps, [&] {
+      xq::Engine engine;
+      if (!engine.RegisterDocument("book.xml", &doc).ok()) std::abort();
+      auto r = engine.RunToXml(kVirtual);
+      if (!r.ok()) std::abort();
+      virtual_out = std::move(r).ValueUnsafe();
+    });
+    if (nested_out != virtual_out) {
+      std::fprintf(stderr, "OUTPUT MISMATCH at %d books\n", books);
+      return 1;
+    }
+    table.AddRow({std::to_string(books), Fmt(nested_ms), Fmt(virtual_ms),
+                  Fmt(nested_ms / virtual_ms, 1) + "x",
+                  std::to_string(materialized)});
+  }
+  table.Print();
+  std::printf(
+      "\nBoth strategies produce byte-identical output (checked every"
+      " run).\nExpected shape: virtualDoc avoids instantiating the inner"
+      " view, so its advantage\ngrows with the number of books.\n"
+      "Note: both timings include engine setup (indexing the document),"
+      " which is shared\nwork; the gap between the strategies is the view"
+      " materialization itself.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// \file bench_util.h
+/// \brief Shared helpers for the experiment binaries: wall-clock timing with
+/// repetitions and a fixed-width table printer, so every experiment prints
+/// the rows/series its table or figure in EXPERIMENTS.md reports.
+
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vpbn::bench {
+
+/// \brief Median wall-clock milliseconds of \p fn over \p reps runs.
+inline double MedianMs(int reps, const std::function<void()>& fn) {
+  std::vector<double> times;
+  times.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    times.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// \brief Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      widths[i] = headers_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t i = 0; i < widths.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]),
+                    i < row.size() ? row[i].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Format a double with \p digits decimals.
+inline std::string Fmt(double v, int digits = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace vpbn::bench

@@ -1,0 +1,81 @@
+/// \file quickstart.cpp
+/// \brief First contact with the library: parse a document, number it,
+/// inspect its DataGuide, open a virtual hierarchy, and query it.
+///
+///   $ ./quickstart
+
+#include <iostream>
+
+#include "query/eval_virtual.h"
+#include "storage/stored_document.h"
+#include "vpbn/virtual_document.h"
+#include "xml/parser.h"
+
+int main() {
+  using namespace vpbn;
+
+  // 1. Parse some XML. The library models documents as forests of element
+  //    and text nodes; attributes are element properties.
+  const char* kXml = R"(
+    <library>
+      <shelf topic="databases">
+        <book year="1970"><title>Relational Model</title>
+          <author>Codd</author></book>
+        <book year="1994"><title>TCP/IP Illustrated</title>
+          <author>Stevens</author></book>
+      </shelf>
+      <shelf topic="algorithms">
+        <book year="1968"><title>TAOCP</title><author>Knuth</author></book>
+      </shelf>
+    </library>)";
+  auto parsed = xml::Parse(kXml);
+  if (!parsed.ok()) {
+    std::cerr << "parse failed: " << parsed.status() << "\n";
+    return 1;
+  }
+  xml::Document doc = std::move(parsed).ValueUnsafe();
+
+  // 2. Build the stored form: the serialized string, prefix-based numbers
+  //    (PBN) for every node, the DataGuide (structural summary), the value
+  //    index and the type index.
+  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+
+  std::cout << "Types in the DataGuide:\n";
+  for (dg::TypeId t = 0; t < stored.dataguide().num_types(); ++t) {
+    std::cout << "  " << stored.dataguide().path(t) << "\n";
+  }
+
+  std::cout << "\nPBN numbers of the <book> elements:\n";
+  dg::TypeId book =
+      stored.dataguide().FindByPath("library.shelf.book").value();
+  for (const num::Pbn& pbn : stored.NodesOfType(book)) {
+    std::cout << "  " << pbn << "  value: " << *stored.Value(pbn) << "\n";
+  }
+
+  // 3. Sketch a *virtual hierarchy*: titles at the top, each containing the
+  //    authors of the same book. No data moves; the vDataGuide plus level
+  //    arrays (vPBN) reinterpret the numbers.
+  auto vdoc = virt::VirtualDocument::Open(stored, "title { author }");
+  if (!vdoc.ok()) {
+    std::cerr << "virtual open failed: " << vdoc.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "\nVirtual hierarchy 'title { author }':\n";
+  for (const virt::VirtualNode& root : vdoc->Roots()) {
+    std::cout << "  <title> " << vdoc->StringValue(root) << "\n";
+  }
+
+  // 4. Query the virtual hierarchy with XPath. author is now a *child* of
+  //    title even though physically it is a sibling.
+  auto result = query::EvalVirtual(*vdoc, "//title[author = \"Knuth\"]");
+  if (!result.ok()) {
+    std::cerr << "query failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nTitles by Knuth (via virtual //title[author = ...]):\n";
+  for (const virt::VirtualNode& n : *result) {
+    std::cout << "  " << vdoc->StringValue(n) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+/// \file random.h
+/// \brief Deterministic, seedable PRNG used by workload generators and
+/// property tests. Identical seeds produce identical documents on every
+/// platform (unlike std::mt19937 distribution wrappers).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpbn {
+
+/// \brief splitmix64-seeded xoshiro256** generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seed in place.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). \p bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability \p p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent \p s (s=0 is uniform).
+  /// Used by workloads to skew element fan-out and value popularity.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Random lowercase ASCII identifier of length in [min_len, max_len].
+  std::string Identifier(int min_len, int max_len);
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  size_t WeightedPick(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace vpbn

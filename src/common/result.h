@@ -1,0 +1,81 @@
+/// \file result.h
+/// \brief Result<T>: a value or a Status, in the style of arrow::Result.
+
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace vpbn {
+
+/// \brief Holds either a successfully computed T or the Status describing why
+/// the computation failed.
+///
+/// Typical use:
+/// \code
+///   Result<Document> doc = Parse(text);
+///   if (!doc.ok()) return doc.status();
+///   Use(doc.value());
+/// \endcode
+/// or, inside a function that itself returns Status/Result:
+/// \code
+///   VPBN_ASSIGN_OR_RETURN(Document doc, Parse(text));
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : repr_(std::in_place_index<0>, std::move(value)) {}
+
+  /// Implicit conversion from a non-OK Status (failure). Constructing a
+  /// Result from an OK status is a contract violation.
+  Result(Status status) : repr_(std::in_place_index<1>, std::move(status)) {
+    assert(!std::get<1>(repr_).ok() && "Result constructed from OK Status");
+  }
+
+  bool ok() const { return repr_.index() == 0; }
+
+  /// The failure Status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<1>(repr_);
+  }
+
+  /// \name Value accessors. Calling these on a failed Result is a contract
+  /// violation checked by assert.
+  /// @{
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(repr_));
+  }
+  /// @}
+
+  /// Move the value out without checking (used by VPBN_ASSIGN_OR_RETURN after
+  /// an explicit ok() test).
+  T&& ValueUnsafe() && { return std::get<0>(std::move(repr_)); }
+
+  /// Returns the held value, or \p alternative on failure.
+  T ValueOr(T alternative) const& {
+    return ok() ? std::get<0>(repr_) : std::move(alternative);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace vpbn

@@ -1,0 +1,134 @@
+/// \file status.h
+/// \brief Status: the library-wide error model.
+///
+/// No exceptions escape the vpbn library. Every fallible operation returns a
+/// Status (or a Result<T>, see result.h) in the style of Apache Arrow and
+/// RocksDB. A Status is cheap to copy in the OK case (a single pointer test).
+
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace vpbn {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Malformed input to a parser (XML, vDataGuide, XPath, XQuery).
+  kParseError = 1,
+  /// Arguments violate an API contract.
+  kInvalidArgument = 2,
+  /// A name/type/node lookup found nothing.
+  kNotFound = 3,
+  /// Internal invariant violated; indicates a library bug.
+  kInternal = 4,
+  /// Operation is valid but not supported by this build.
+  kNotImplemented = 5,
+  /// A resource limit (depth, size) was exceeded.
+  kResourceExhausted = 6,
+};
+
+/// \brief Render a StatusCode as a stable human-readable string.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status; never allocates.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  /// \name Factory helpers, one per StatusCode.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Message text; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with \p context prepended to the message.
+  Status WithContext(const std::string& context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  // Shared so Status copies are cheap; null means OK.
+  std::shared_ptr<const State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace vpbn
+
+/// Propagate a non-OK Status to the caller.
+#define VPBN_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::vpbn::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// Assign the value of a Result expression or propagate its error.
+#define VPBN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#define VPBN_CONCAT_(a, b) a##b
+#define VPBN_CONCAT(a, b) VPBN_CONCAT_(a, b)
+
+#define VPBN_ASSIGN_OR_RETURN(lhs, rexpr) \
+  VPBN_ASSIGN_OR_RETURN_IMPL(VPBN_CONCAT(_res_, __LINE__), lhs, rexpr)

@@ -1,0 +1,49 @@
+/// \file str_util.h
+/// \brief Small string helpers shared across parsers and serializers.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vpbn {
+
+/// \brief Split \p input on \p sep; empty input yields an empty vector.
+/// Adjacent separators produce empty fields (no coalescing).
+std::vector<std::string> SplitString(std::string_view input, char sep);
+
+/// \brief Join \p parts with \p sep between elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// \brief True iff \p s begins with \p prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief True iff \p s ends with \p suffix.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// \brief Strip ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// \brief Escape XML text content: & < > (quotes left alone).
+std::string EscapeXmlText(std::string_view s);
+
+/// \brief Escape XML attribute content: & < > " '.
+std::string EscapeXmlAttribute(std::string_view s);
+
+/// \brief Decode the five predefined XML entities and numeric references.
+/// Unknown entities are passed through verbatim.
+std::string UnescapeXml(std::string_view s);
+
+/// \brief True iff \p c may start an XML name (letters, '_' — simplified,
+/// ASCII-only subset).
+bool IsNameStartChar(char c);
+
+/// \brief True iff \p c may continue an XML name (adds digits, '-', '.').
+bool IsNameChar(char c);
+
+/// \brief True iff \p s is a valid (simplified) XML name.
+bool IsValidXmlName(std::string_view s);
+
+}  // namespace vpbn

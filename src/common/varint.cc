@@ -1,0 +1,76 @@
+#include "common/varint.h"
+
+namespace vpbn {
+
+void PutVarint32(std::string* out, uint32_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+void PutVarint64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+namespace {
+
+template <typename T>
+Result<T> GetVarintImpl(std::string_view* in, int max_bytes) {
+  T value = 0;
+  int shift = 0;
+  for (int i = 0; i < max_bytes; ++i) {
+    if (static_cast<size_t>(i) >= in->size()) {
+      return Status::InvalidArgument("varint: truncated input");
+    }
+    uint8_t byte = static_cast<uint8_t>((*in)[i]);
+    value |= static_cast<T>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical encodings whose top byte spills past the type.
+      if (shift > 0 && byte != 0 &&
+          shift + 7 > static_cast<int>(sizeof(T) * 8) &&
+          (byte >> (static_cast<int>(sizeof(T) * 8) - shift)) != 0) {
+        return Status::InvalidArgument("varint: value overflows type");
+      }
+      in->remove_prefix(i + 1);
+      return value;
+    }
+    shift += 7;
+  }
+  return Status::InvalidArgument("varint: encoding too long");
+}
+
+}  // namespace
+
+Result<uint32_t> GetVarint32(std::string_view* in) {
+  return GetVarintImpl<uint32_t>(in, 5);
+}
+
+Result<uint64_t> GetVarint64(std::string_view* in) {
+  return GetVarintImpl<uint64_t>(in, 10);
+}
+
+int VarintLength32(uint32_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+int VarintLength64(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace vpbn

@@ -1,0 +1,40 @@
+/// \file varint.h
+/// \brief LEB128-style variable-length integer codec.
+///
+/// Used by the PBN binary codec (pbn/codec.h) to pack prefix-based numbers
+/// into as few bytes as possible, following the paper's remark (§4.2) that
+/// "there are strategies for packing PBN numbers into as few bits as
+/// possible, making PBN numbers relatively concise".
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace vpbn {
+
+/// \brief Append the unsigned LEB128 encoding of \p value to \p out.
+void PutVarint32(std::string* out, uint32_t value);
+
+/// \brief Append the unsigned LEB128 encoding of \p value to \p out.
+void PutVarint64(std::string* out, uint64_t value);
+
+/// \brief Decode one varint32 from the front of \p in.
+///
+/// On success advances \p in past the consumed bytes and returns the value.
+/// Fails with InvalidArgument on truncation or overlong (>5-byte) encodings.
+Result<uint32_t> GetVarint32(std::string_view* in);
+
+/// \brief Decode one varint64 from the front of \p in (up to 10 bytes).
+Result<uint64_t> GetVarint64(std::string_view* in);
+
+/// \brief Number of bytes PutVarint32 would emit for \p value.
+int VarintLength32(uint32_t value);
+
+/// \brief Number of bytes PutVarint64 would emit for \p value.
+int VarintLength64(uint64_t value);
+
+}  // namespace vpbn

@@ -1,0 +1,142 @@
+#include "dataguide/dataguide.h"
+
+#include <cassert>
+
+#include "common/str_util.h"
+
+namespace vpbn::dg {
+
+TypeId DataGuide::AddType(std::string_view label, TypeId parent) {
+  // Dedupe against existing children of the parent.
+  const std::vector<TypeId>& siblings =
+      parent == kNullType ? roots_ : children_[parent];
+  for (TypeId s : siblings) {
+    if (labels_[s] == label) return s;
+  }
+  TypeId id = static_cast<TypeId>(labels_.size());
+  labels_.emplace_back(label);
+  if (parent == kNullType) {
+    paths_.emplace_back(label);
+    pbn_.push_back(num::Pbn{static_cast<uint32_t>(roots_.size() + 1)});
+    roots_.push_back(id);
+  } else {
+    paths_.push_back(paths_[parent] + "." + std::string(label));
+    pbn_.push_back(pbn_[parent].Child(
+        static_cast<uint32_t>(children_[parent].size() + 1)));
+    children_[parent].push_back(id);
+  }
+  parents_.push_back(parent);
+  children_.emplace_back();
+  return id;
+}
+
+DataGuide DataGuide::Build(const xml::Document& doc,
+                           std::vector<TypeId>* node_types) {
+  DataGuide guide;
+  if (node_types != nullptr) {
+    node_types->assign(doc.num_nodes(), kNullType);
+  }
+  struct Frame {
+    xml::NodeId node;
+    TypeId parent_type;
+  };
+  std::vector<Frame> stack;
+  const auto& roots = doc.roots();
+  for (size_t i = roots.size(); i > 0; --i) {
+    stack.push_back({roots[i - 1], kNullType});
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    std::string_view label =
+        doc.IsText(f.node) ? kTextLabel : std::string_view(doc.name(f.node));
+    TypeId t = guide.AddType(label, f.parent_type);
+    if (node_types != nullptr) (*node_types)[f.node] = t;
+    std::vector<xml::NodeId> kids = doc.Children(f.node);
+    for (size_t i = kids.size(); i > 0; --i) {
+      stack.push_back({kids[i - 1], t});
+    }
+  }
+  return guide;
+}
+
+Result<TypeId> DataGuide::FindByPath(std::string_view path) const {
+  for (TypeId t = 0; t < paths_.size(); ++t) {
+    if (paths_[t] == path) return t;
+  }
+  return Status::NotFound("no type with path '" + std::string(path) + "'");
+}
+
+std::vector<TypeId> DataGuide::FindBySuffix(std::string_view suffix) const {
+  std::vector<TypeId> out;
+  for (TypeId t = 0; t < paths_.size(); ++t) {
+    const std::string& p = paths_[t];
+    if (p.size() == suffix.size() && p == suffix) {
+      out.push_back(t);
+    } else if (p.size() > suffix.size() && EndsWith(p, suffix) &&
+               p[p.size() - suffix.size() - 1] == '.') {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+Result<TypeId> DataGuide::ChildByLabel(TypeId t, std::string_view label) const {
+  for (TypeId c : children_[t]) {
+    if (labels_[c] == label) return c;
+  }
+  return Status::NotFound("type '" + paths_[t] + "' has no child '" +
+                          std::string(label) + "'");
+}
+
+TypeId DataGuide::LcaType(TypeId a, TypeId b) const {
+  // Shared PBN prefix length = depth of the LCA (the paper's O(c) method).
+  size_t k = pbn_[a].CommonPrefixLength(pbn_[b]);
+  if (k == 0) return kNullType;  // different trees of the forest
+  TypeId t = a;
+  while (pbn_[t].length() > k) t = parents_[t];
+  return t;
+}
+
+std::vector<TypeId> DataGuide::DescendantTypes(TypeId t) const {
+  std::vector<TypeId> out;
+  std::vector<TypeId> stack(children_[t].rbegin(), children_[t].rend());
+  while (!stack.empty()) {
+    TypeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    for (auto it = children_[cur].rbegin(); it != children_[cur].rend();
+         ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+std::vector<TypeId> DataGuide::PreOrder() const {
+  std::vector<TypeId> out;
+  std::vector<TypeId> stack(roots_.rbegin(), roots_.rend());
+  while (!stack.empty()) {
+    TypeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    for (auto it = children_[cur].rbegin(); it != children_[cur].rend();
+         ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+size_t DataGuide::MemoryUsage() const {
+  size_t total = 0;
+  for (const auto& s : labels_) total += s.capacity();
+  for (const auto& s : paths_) total += s.capacity();
+  total += parents_.capacity() * sizeof(TypeId);
+  for (const auto& v : children_) total += v.capacity() * sizeof(TypeId);
+  for (const auto& p : pbn_) total += p.MemoryUsage();
+  total += roots_.capacity() * sizeof(TypeId);
+  return total;
+}
+
+}  // namespace vpbn::dg

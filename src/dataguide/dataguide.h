@@ -1,0 +1,130 @@
+/// \file dataguide.h
+/// \brief DataGuide: a structural summary of an XML document (§4.1).
+///
+/// A DataGuide S = (T, E) is a forest of *types*. The type of a node is the
+/// concatenation of element names on the path from its root, e.g.
+/// "data.book.title"; text-node types are labelled "#text" (the paper's ◦).
+/// Each distinct path occurring in the document is one type, so a DataGuide
+/// is usually far smaller than its document.
+///
+/// The paper's helper functions map as follows:
+///   roots(S)            -> DataGuide::roots()
+///   name(S, v)          -> DataGuide::label(t)
+///   typeOf(S, v)        -> DataGuide::Build's node_types output
+///   lcaTypeOf(S, v, w)  -> DataGuide::LcaType(t1, t2)
+///   length(S, v)        -> DataGuide::length(t)
+///
+/// Types are themselves PBN-numbered (§5: "We assume that PBN is used to
+/// number the types in a DataGuide and quickly determine relationships in
+/// the DataGuide"), giving O(depth) LCA and O(1) prefix tests.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "pbn/pbn.h"
+#include "xml/document.h"
+
+namespace vpbn::dg {
+
+/// \brief Dense identifier of a type within one DataGuide.
+using TypeId = uint32_t;
+
+/// \brief Sentinel for "no type".
+inline constexpr TypeId kNullType = UINT32_MAX;
+
+/// \brief Label used for text-node types (rendered ◦ in the paper).
+inline constexpr std::string_view kTextLabel = "#text";
+
+/// \brief Structural summary over element/text types.
+class DataGuide {
+ public:
+  DataGuide() = default;
+
+  /// Build the DataGuide of \p doc. If \p node_types is non-null it receives
+  /// the type of every node, indexed by NodeId (the typeOf function).
+  static DataGuide Build(const xml::Document& doc,
+                         std::vector<TypeId>* node_types = nullptr);
+
+  /// \name Type accessors
+  /// @{
+  size_t num_types() const { return labels_.size(); }
+
+  /// Label of the type's last path step ("title", or "#text").
+  const std::string& label(TypeId t) const { return labels_[t]; }
+
+  /// Full dotted path, e.g. "data.book.title".
+  const std::string& path(TypeId t) const { return paths_[t]; }
+
+  /// Number of names on the path (the paper's length(S, v)). Roots have
+  /// length 1.
+  uint32_t length(TypeId t) const {
+    return static_cast<uint32_t>(pbn_[t].length());
+  }
+
+  TypeId parent(TypeId t) const { return parents_[t]; }
+  const std::vector<TypeId>& children(TypeId t) const { return children_[t]; }
+  const std::vector<TypeId>& roots() const { return roots_; }
+
+  bool IsTextType(TypeId t) const { return labels_[t] == kTextLabel; }
+
+  /// PBN number of the type within the type forest.
+  const num::Pbn& pbn(TypeId t) const { return pbn_[t]; }
+  /// @}
+
+  /// \name Queries
+  /// @{
+
+  /// The type with exactly this dotted path, or NotFound.
+  Result<TypeId> FindByPath(std::string_view path) const;
+
+  /// All types whose dotted path *ends with* \p suffix (at a step boundary).
+  /// A bare label like "title" matches every title type; "x.y" matches only
+  /// y-types whose parent step is x. Used to resolve vDataGuide labels.
+  std::vector<TypeId> FindBySuffix(std::string_view suffix) const;
+
+  /// Child of \p t labelled \p label, or NotFound.
+  Result<TypeId> ChildByLabel(TypeId t, std::string_view label) const;
+
+  /// Lowest common ancestor type, or kNullType when the types are in
+  /// different trees of the forest (the paper's lcaTypeOf null case).
+  TypeId LcaType(TypeId a, TypeId b) const;
+
+  /// True iff \p a is a proper ancestor type of \p d.
+  bool IsAncestorType(TypeId a, TypeId d) const {
+    return pbn_[a].IsStrictPrefixOf(pbn_[d]);
+  }
+
+  /// True iff \p a is \p d or a proper ancestor of it.
+  bool IsAncestorOrSelfType(TypeId a, TypeId d) const {
+    return pbn_[a].IsPrefixOf(pbn_[d]);
+  }
+
+  /// All descendant types of \p t (excluding \p t), pre-order.
+  std::vector<TypeId> DescendantTypes(TypeId t) const;
+
+  /// All types, pre-order across the forest.
+  std::vector<TypeId> PreOrder() const;
+  /// @}
+
+  /// Adds a type explicitly (used by tests and by the vDataGuide expander
+  /// when constructing transformed DataGuides). Duplicate (parent, label)
+  /// pairs return the existing type.
+  TypeId AddType(std::string_view label, TypeId parent);
+
+  /// Approximate heap footprint (benchmark accounting).
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<std::string> paths_;
+  std::vector<TypeId> parents_;
+  std::vector<std::vector<TypeId>> children_;
+  std::vector<num::Pbn> pbn_;
+  std::vector<TypeId> roots_;
+};
+
+}  // namespace vpbn::dg

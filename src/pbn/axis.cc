@@ -1,0 +1,94 @@
+#include "pbn/axis.h"
+
+namespace vpbn::num {
+
+const char* AxisToString(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf:
+      return "self";
+    case Axis::kChild:
+      return "child";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kAttribute:
+      return "attribute";
+  }
+  return "unknown";
+}
+
+Result<Axis> AxisFromString(std::string_view name) {
+  if (name == "self") return Axis::kSelf;
+  if (name == "child") return Axis::kChild;
+  if (name == "parent") return Axis::kParent;
+  if (name == "ancestor") return Axis::kAncestor;
+  if (name == "descendant") return Axis::kDescendant;
+  if (name == "ancestor-or-self") return Axis::kAncestorOrSelf;
+  if (name == "descendant-or-self") return Axis::kDescendantOrSelf;
+  if (name == "following") return Axis::kFollowing;
+  if (name == "preceding") return Axis::kPreceding;
+  if (name == "following-sibling") return Axis::kFollowingSibling;
+  if (name == "preceding-sibling") return Axis::kPrecedingSibling;
+  if (name == "attribute") return Axis::kAttribute;
+  return Status::ParseError("unknown axis '" + std::string(name) + "'");
+}
+
+bool IsDownwardAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf:
+    case Axis::kChild:
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+    case Axis::kAttribute:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool CheckAxis(Axis axis, const Pbn& x, const Pbn& y) {
+  switch (axis) {
+    case Axis::kSelf:
+      return IsSelf(x, y);
+    case Axis::kChild:
+      return IsChild(x, y);
+    case Axis::kParent:
+      return IsParent(x, y);
+    case Axis::kAncestor:
+      return IsAncestor(x, y);
+    case Axis::kDescendant:
+      return IsDescendant(x, y);
+    case Axis::kAncestorOrSelf:
+      return IsAncestorOrSelf(x, y);
+    case Axis::kDescendantOrSelf:
+      return IsDescendantOrSelf(x, y);
+    case Axis::kFollowing:
+      return IsFollowing(x, y);
+    case Axis::kPreceding:
+      return IsPreceding(x, y);
+    case Axis::kFollowingSibling:
+      return IsFollowingSibling(x, y);
+    case Axis::kPrecedingSibling:
+      return IsPrecedingSibling(x, y);
+    case Axis::kAttribute:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace vpbn::num

@@ -1,0 +1,104 @@
+/// \file axis.h
+/// \brief XPath axes and their decision procedures on raw PBN numbers (§4.2).
+///
+/// Every predicate answers "is x <axis> of y?" purely from the two numbers,
+/// e.g. IsChild(x, y) is true iff the node numbered x is a child of the node
+/// numbered y. These are the *physical* relationships; the virtual
+/// counterparts live in vpbn/vaxis.h.
+
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "pbn/pbn.h"
+
+namespace vpbn::num {
+
+/// \brief The location axes supported by the query layers.
+enum class Axis : uint8_t {
+  kSelf = 0,
+  kChild,
+  kParent,
+  kAncestor,
+  kDescendant,
+  kAncestorOrSelf,
+  kDescendantOrSelf,
+  kFollowing,
+  kPreceding,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kAttribute,
+};
+
+/// \brief Stable lowercase name ("following-sibling" etc.).
+const char* AxisToString(Axis axis);
+
+/// \brief Parse an axis name; accepts the XPath spellings.
+Result<Axis> AxisFromString(std::string_view name);
+
+/// \brief True for child/descendant/descendant-or-self/self/attribute: axes
+/// whose result nodes lie within the subtree of the context node.
+bool IsDownwardAxis(Axis axis);
+
+/// x is the same node as y.
+inline bool IsSelf(const Pbn& x, const Pbn& y) { return x == y; }
+
+/// x is a child of y.
+inline bool IsChild(const Pbn& x, const Pbn& y) {
+  return x.length() == y.length() + 1 && y.IsPrefixOf(x);
+}
+
+/// x is the parent of y.
+inline bool IsParent(const Pbn& x, const Pbn& y) { return IsChild(y, x); }
+
+/// x is a proper ancestor of y.
+inline bool IsAncestor(const Pbn& x, const Pbn& y) {
+  return x.IsStrictPrefixOf(y);
+}
+
+/// x is a proper descendant of y.
+inline bool IsDescendant(const Pbn& x, const Pbn& y) {
+  return y.IsStrictPrefixOf(x);
+}
+
+inline bool IsAncestorOrSelf(const Pbn& x, const Pbn& y) {
+  return x.IsPrefixOf(y);
+}
+
+inline bool IsDescendantOrSelf(const Pbn& x, const Pbn& y) {
+  return y.IsPrefixOf(x);
+}
+
+/// x is after y in document order and not a descendant of y (XPath
+/// "following").
+inline bool IsFollowing(const Pbn& x, const Pbn& y) {
+  return x > y && !IsDescendant(x, y);
+}
+
+/// x is before y in document order and not an ancestor of y (XPath
+/// "preceding").
+inline bool IsPreceding(const Pbn& x, const Pbn& y) {
+  return x < y && !IsAncestor(x, y);
+}
+
+/// x and y share a parent (the empty prefix is the shared "parent" of
+/// roots, matching the forest model).
+inline bool IsSibling(const Pbn& x, const Pbn& y) {
+  return x.length() == y.length() && !x.empty() &&
+         x.CommonPrefixLength(y) >= x.length() - 1;
+}
+
+inline bool IsFollowingSibling(const Pbn& x, const Pbn& y) {
+  return IsSibling(x, y) && x.at1(x.length()) > y.at1(y.length());
+}
+
+inline bool IsPrecedingSibling(const Pbn& x, const Pbn& y) {
+  return IsSibling(x, y) && x.at1(x.length()) < y.at1(y.length());
+}
+
+/// \brief Dispatch on \p axis: is x <axis> of y? (kAttribute always false —
+/// attributes are not numbered nodes.)
+bool CheckAxis(Axis axis, const Pbn& x, const Pbn& y);
+
+}  // namespace vpbn::num

@@ -1,0 +1,81 @@
+#include "pbn/codec.h"
+
+#include "common/varint.h"
+
+namespace vpbn::num {
+
+void EncodeCompact(const Pbn& pbn, std::string* out) {
+  PutVarint32(out, static_cast<uint32_t>(pbn.length()));
+  for (uint32_t c : pbn.components()) PutVarint32(out, c);
+}
+
+Result<Pbn> DecodeCompact(std::string_view* in) {
+  VPBN_ASSIGN_OR_RETURN(uint32_t n, GetVarint32(in));
+  std::vector<uint32_t> components;
+  components.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    VPBN_ASSIGN_OR_RETURN(uint32_t c, GetVarint32(in));
+    if (c == 0) return Status::InvalidArgument("pbn codec: zero component");
+    components.push_back(c);
+  }
+  return Pbn(std::move(components));
+}
+
+size_t CompactEncodedSize(const Pbn& pbn) {
+  size_t total = VarintLength32(static_cast<uint32_t>(pbn.length()));
+  for (uint32_t c : pbn.components()) total += VarintLength32(c);
+  return total;
+}
+
+namespace {
+
+// Component bytes: [0x01 + nbytes-1][big-endian payload]. The length byte
+// starts at 0x01 so it is always greater than the 0x00 terminator; because a
+// value needing fewer bytes is numerically smaller than any value needing
+// more, (length byte, payload) compares like the component value.
+void EncodeOrderedComponent(uint32_t c, std::string* out) {
+  int nbytes = 1;
+  if (c > 0xFFFFFF) {
+    nbytes = 4;
+  } else if (c > 0xFFFF) {
+    nbytes = 3;
+  } else if (c > 0xFF) {
+    nbytes = 2;
+  }
+  out->push_back(static_cast<char>(nbytes));
+  for (int i = nbytes - 1; i >= 0; --i) {
+    out->push_back(static_cast<char>((c >> (8 * i)) & 0xFF));
+  }
+}
+
+}  // namespace
+
+void EncodeOrdered(const Pbn& pbn, std::string* out) {
+  for (uint32_t c : pbn.components()) EncodeOrderedComponent(c, out);
+  out->push_back('\0');
+}
+
+Result<Pbn> DecodeOrdered(std::string_view* in) {
+  std::vector<uint32_t> components;
+  for (;;) {
+    if (in->empty()) {
+      return Status::InvalidArgument("pbn codec: truncated ordered encoding");
+    }
+    uint8_t len = static_cast<uint8_t>((*in)[0]);
+    in->remove_prefix(1);
+    if (len == 0) break;
+    if (len > 4 || in->size() < len) {
+      return Status::InvalidArgument("pbn codec: corrupt ordered encoding");
+    }
+    uint32_t c = 0;
+    for (int i = 0; i < len; ++i) {
+      c = (c << 8) | static_cast<uint8_t>((*in)[i]);
+    }
+    in->remove_prefix(len);
+    if (c == 0) return Status::InvalidArgument("pbn codec: zero component");
+    components.push_back(c);
+  }
+  return Pbn(std::move(components));
+}
+
+}  // namespace vpbn::num

@@ -1,0 +1,43 @@
+/// \file codec.h
+/// \brief Binary codecs for PBN numbers.
+///
+/// The paper (§4.2) notes that PBN numbers can be "packed into as few bits
+/// as possible". Two encodings are provided:
+///
+///  * Compact: a varint component count followed by varint components.
+///    Smallest; decoding is required before comparison.
+///  * Ordered: each component is encoded in a prefix-free, byte-wise
+///    order-preserving form, so encoded strings compare in *document order*
+///    with plain memcmp — the property index structures need.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "pbn/pbn.h"
+
+namespace vpbn::num {
+
+/// \brief Append the compact encoding of \p pbn to \p out.
+void EncodeCompact(const Pbn& pbn, std::string* out);
+
+/// \brief Decode a compact-encoded Pbn from the front of \p in, advancing it.
+Result<Pbn> DecodeCompact(std::string_view* in);
+
+/// \brief Size in bytes of the compact encoding.
+size_t CompactEncodedSize(const Pbn& pbn);
+
+/// \brief Append the order-preserving encoding of \p pbn to \p out.
+///
+/// Each component c is emitted as one length byte (number of continuation
+/// bytes, which sorts shorter-before-longer for smaller values) followed by
+/// big-endian payload bytes; the sequence is terminated by a 0x00 byte that
+/// orders prefixes (ancestors) before extensions (descendants).
+void EncodeOrdered(const Pbn& pbn, std::string* out);
+
+/// \brief Decode an order-preserving encoded Pbn from the front of \p in.
+Result<Pbn> DecodeOrdered(std::string_view* in);
+
+}  // namespace vpbn::num

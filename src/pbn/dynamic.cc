@@ -1,0 +1,124 @@
+#include "pbn/dynamic.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vpbn::num {
+
+void DynamicNumbering::NumberAll(const xml::Document& doc) {
+  numbers_.clear();
+  struct Frame {
+    xml::NodeId node;
+    uint32_t ordinal;
+    Pbn prefix;
+  };
+  std::vector<Frame> stack;
+  const auto& roots = doc.roots();
+  for (size_t i = roots.size(); i > 0; --i) {
+    stack.push_back({roots[i - 1], static_cast<uint32_t>(i) * gap_, Pbn()});
+  }
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    Pbn number = f.prefix.Child(f.ordinal);
+    std::vector<xml::NodeId> kids = doc.Children(f.node);
+    for (size_t i = kids.size(); i > 0; --i) {
+      stack.push_back(
+          {kids[i - 1], static_cast<uint32_t>(i) * gap_, number});
+    }
+    numbers_.emplace(f.node, std::move(number));
+  }
+}
+
+void DynamicNumbering::OnAppend(const xml::Document& doc, xml::NodeId node) {
+  ++stats_.appends;
+  xml::NodeId parent = doc.parent(node);
+  Pbn prefix =
+      parent == xml::kNullNode ? Pbn() : numbers_.at(parent);
+  // Last logical ordinal among the node's numbered siblings.
+  uint32_t max_ordinal = 0;
+  if (parent == xml::kNullNode) {
+    for (xml::NodeId r : doc.roots()) {
+      if (r != node && Contains(r)) {
+        max_ordinal = std::max(max_ordinal, OrdinalOf(r));
+      }
+    }
+  } else {
+    for (xml::NodeId s : xml::ChildRange(doc, parent)) {
+      if (s != node && Contains(s)) {
+        max_ordinal = std::max(max_ordinal, OrdinalOf(s));
+      }
+    }
+  }
+  // Saturate rather than overflow on pathological gap settings.
+  uint32_t ordinal = max_ordinal > UINT32_MAX - gap_ ? UINT32_MAX
+                                                     : max_ordinal + gap_;
+  numbers_[node] = prefix.Child(ordinal);
+}
+
+void DynamicNumbering::OnInsertBefore(const xml::Document& doc,
+                                      xml::NodeId node, xml::NodeId next) {
+  ++stats_.inserts;
+  assert(doc.parent(node) == doc.parent(next) &&
+         "insert-before requires siblings");
+  xml::NodeId parent = doc.parent(node);
+  Pbn prefix = parent == xml::kNullNode ? Pbn() : numbers_.at(parent);
+  uint32_t next_ordinal = OrdinalOf(next);
+
+  // Find the logical predecessor's ordinal: the largest ordinal strictly
+  // below next's among the numbered siblings.
+  uint32_t prev_ordinal = 0;
+  auto visit = [&](xml::NodeId s) {
+    if (s == node || !Contains(s)) return;
+    uint32_t o = OrdinalOf(s);
+    if (o < next_ordinal) prev_ordinal = std::max(prev_ordinal, o);
+  };
+  if (parent == xml::kNullNode) {
+    for (xml::NodeId r : doc.roots()) visit(r);
+  } else {
+    for (xml::NodeId s : xml::ChildRange(doc, parent)) visit(s);
+  }
+
+  if (next_ordinal - prev_ordinal > 1) {
+    // A free ordinal exists: take the midpoint, renumber nothing.
+    uint32_t mid = prev_ordinal + (next_ordinal - prev_ordinal) / 2;
+    numbers_[node] = prefix.Child(mid);
+    return;
+  }
+
+  // Gap exhausted: locally renumber the siblings (and their subtrees) in
+  // logical order with `node` placed before `next`.
+  ++stats_.renumber_events;
+  std::vector<std::pair<uint32_t, xml::NodeId>> siblings;
+  auto collect = [&](xml::NodeId s) {
+    if (s != node && Contains(s)) siblings.emplace_back(OrdinalOf(s), s);
+  };
+  if (parent == xml::kNullNode) {
+    for (xml::NodeId r : doc.roots()) collect(r);
+  } else {
+    for (xml::NodeId s : xml::ChildRange(doc, parent)) collect(s);
+  }
+  std::sort(siblings.begin(), siblings.end());
+  uint32_t ordinal = gap_;
+  for (const auto& [old_ordinal, sibling] : siblings) {
+    if (sibling == next) {
+      numbers_[node] = prefix.Child(ordinal);
+      ordinal += gap_;
+    }
+    Renumber(doc, sibling, prefix, ordinal);
+    ordinal += gap_;
+  }
+}
+
+void DynamicNumbering::Renumber(const xml::Document& doc, xml::NodeId node,
+                                const Pbn& prefix, uint32_t ordinal) {
+  Pbn number = prefix.Child(ordinal);
+  ++stats_.renumbered_nodes;
+  for (xml::NodeId c : xml::ChildRange(doc, node)) {
+    if (!Contains(c)) continue;
+    Renumber(doc, c, number, OrdinalOf(c));
+  }
+  numbers_[node] = std::move(number);
+}
+
+}  // namespace vpbn::num

@@ -1,0 +1,89 @@
+/// \file dynamic.h
+/// \brief Update-friendly PBN maintenance (the paper's §3 context).
+///
+/// The paper contrasts vPBN with *update renumbering*: "Update renumbering
+/// physically changes the PBN number for every node in an edit" and cites
+/// gap-based / dynamic-level strategies [12,18,25,30]. This module supplies
+/// that infrastructure so the repository is a complete PBN system:
+///
+///   * DynamicNumbering assigns ordinals with configurable gaps
+///     (10, 20, 30, ...), so an insertion between siblings usually finds a
+///     free ordinal and renumbers nothing.
+///   * When a gap is exhausted, the subtree's siblings are locally
+///     renumbered (counted by stats(), so the amortized cost is visible —
+///     the ablation benchmark A1 measures it).
+///
+/// All axis predicates in pbn/axis.h work unchanged on gapped numbers:
+/// only relative order of ordinals matters, never density.
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "pbn/pbn.h"
+#include "xml/document.h"
+
+namespace vpbn::num {
+
+/// \brief Maintains PBN numbers for a growing document.
+class DynamicNumbering {
+ public:
+  /// \p gap is the ordinal stride for fresh siblings; 1 reproduces dense
+  /// numbering (every mid-insert renumbers), larger gaps trade number width
+  /// for fewer renumberings.
+  explicit DynamicNumbering(uint32_t gap = 8) : gap_(gap == 0 ? 1 : gap) {}
+
+  /// Numbers all current nodes of \p doc with gapped ordinals. Call once;
+  /// afterwards keep the numbering in sync via the notification methods.
+  void NumberAll(const xml::Document& doc);
+
+  /// Notify that \p node was appended as the last child of its parent
+  /// (or as a new root). Assigns it a number; never renumbers.
+  void OnAppend(const xml::Document& doc, xml::NodeId node);
+
+  /// Notify that \p node was logically inserted *before* sibling \p next
+  /// (documents are append-only arenas, so the caller owns the logical
+  /// sibling order; this class owns only the numbers). Renumbers the
+  /// following siblings' subtrees only when the gap is exhausted.
+  void OnInsertBefore(const xml::Document& doc, xml::NodeId node,
+                      xml::NodeId next);
+
+  /// The number of \p node.
+  const Pbn& OfNode(xml::NodeId node) const { return numbers_.at(node); }
+
+  bool Contains(xml::NodeId node) const {
+    return numbers_.find(node) != numbers_.end();
+  }
+
+  size_t size() const { return numbers_.size(); }
+
+  /// \brief Maintenance counters.
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t inserts = 0;
+    /// Nodes whose number changed due to gap exhaustion.
+    uint64_t renumbered_nodes = 0;
+    /// Local renumbering events.
+    uint64_t renumber_events = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Renumber node's subtree to extend prefix with the given ordinal.
+  void Renumber(const xml::Document& doc, xml::NodeId node,
+                const Pbn& prefix, uint32_t ordinal);
+
+  /// Logical previous sibling ordinal of `node`'s predecessor (0 if first).
+  uint32_t OrdinalOf(xml::NodeId node) const {
+    const Pbn& p = numbers_.at(node);
+    return p.at1(p.length());
+  }
+
+  uint32_t gap_;
+  std::unordered_map<xml::NodeId, Pbn> numbers_;
+  Stats stats_;
+};
+
+}  // namespace vpbn::num

@@ -1,0 +1,53 @@
+/// \file numbering.h
+/// \brief Assigning PBN numbers to every node of a Document.
+///
+/// A Numbering is the bidirectional map NodeId <-> Pbn for one document.
+/// Renumbering a document after a physical transformation — the expensive
+/// operation the paper's virtual approach avoids (§4.3) — is just building a
+/// fresh Numbering, so the baseline cost in the benchmarks is exactly this
+/// class's constructor.
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "pbn/pbn.h"
+#include "xml/document.h"
+
+namespace vpbn::num {
+
+/// \brief PBN numbers for all nodes of one document.
+class Numbering {
+ public:
+  /// Number every node of \p doc: roots are 1, 2, ...; each child extends
+  /// its parent's number with its 1-based sibling ordinal.
+  static Numbering Number(const xml::Document& doc);
+
+  /// The number of node \p id.
+  const Pbn& OfNode(xml::NodeId id) const { return numbers_[id]; }
+
+  /// The node with number \p pbn, or NotFound.
+  Result<xml::NodeId> NodeOf(const Pbn& pbn) const;
+
+  /// True iff \p pbn numbers some node of the document.
+  bool Contains(const Pbn& pbn) const {
+    return by_pbn_.find(pbn) != by_pbn_.end();
+  }
+
+  size_t size() const { return numbers_.size(); }
+
+  /// All numbers, indexed by NodeId.
+  const std::vector<Pbn>& numbers() const { return numbers_; }
+
+  /// Total heap bytes held by the numbers (E5 space accounting; excludes
+  /// the reverse index, which is an optional structure).
+  size_t NumbersMemoryUsage() const;
+
+ private:
+  std::vector<Pbn> numbers_;
+  std::unordered_map<Pbn, xml::NodeId, PbnHash> by_pbn_;
+};
+
+}  // namespace vpbn::num

@@ -1,0 +1,96 @@
+#include "pbn/pbn.h"
+
+#include <cassert>
+#include <charconv>
+#include <ostream>
+
+#include "common/str_util.h"
+
+namespace vpbn::num {
+
+Result<Pbn> Pbn::FromString(std::string_view text) {
+  if (text.empty()) return Pbn();
+  std::vector<uint32_t> components;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '.') {
+      std::string_view part = text.substr(start, i - start);
+      uint32_t value = 0;
+      auto [ptr, ec] =
+          std::from_chars(part.data(), part.data() + part.size(), value);
+      if (ec != std::errc() || ptr != part.data() + part.size()) {
+        return Status::ParseError("pbn: bad component '" + std::string(part) +
+                                  "' in '" + std::string(text) + "'");
+      }
+      if (value == 0) {
+        return Status::ParseError("pbn: components are 1-based, got 0 in '" +
+                                  std::string(text) + "'");
+      }
+      components.push_back(value);
+      start = i + 1;
+    }
+  }
+  return Pbn(std::move(components));
+}
+
+std::string Pbn::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+Pbn Pbn::Parent() const {
+  assert(!components_.empty());
+  return Pbn(std::vector<uint32_t>(components_.begin(),
+                                   components_.end() - 1));
+}
+
+Pbn Pbn::Child(uint32_t k) const {
+  std::vector<uint32_t> c = components_;
+  c.push_back(k);
+  return Pbn(std::move(c));
+}
+
+Pbn Pbn::Prefix(size_t n) const {
+  assert(n <= components_.size());
+  return Pbn(std::vector<uint32_t>(components_.begin(),
+                                   components_.begin() + n));
+}
+
+bool Pbn::IsPrefixOf(const Pbn& other) const {
+  if (components_.size() > other.components_.size()) return false;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return true;
+}
+
+bool Pbn::IsStrictPrefixOf(const Pbn& other) const {
+  return components_.size() < other.components_.size() && IsPrefixOf(other);
+}
+
+size_t Pbn::CommonPrefixLength(const Pbn& other) const {
+  size_t n = std::min(components_.size(), other.components_.size());
+  size_t i = 0;
+  while (i < n && components_[i] == other.components_[i]) ++i;
+  return i;
+}
+
+std::strong_ordering Pbn::operator<=>(const Pbn& other) const {
+  size_t n = std::min(components_.size(), other.components_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (components_[i] != other.components_[i]) {
+      return components_[i] <=> other.components_[i];
+    }
+  }
+  return components_.size() <=> other.components_.size();
+}
+
+std::ostream& operator<<(std::ostream& os, const Pbn& pbn) {
+  return os << pbn.ToString();
+}
+
+}  // namespace vpbn::num

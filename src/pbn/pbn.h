@@ -1,0 +1,98 @@
+/// \file pbn.h
+/// \brief Prefix-based numbers (Dewey order / containment encoding), §4.2.
+///
+/// A node is numbered p.k where p is its parent's number and k is its
+/// 1-based sibling ordinal. All location-based relationships between nodes
+/// can be decided by comparing numbers alone (see pbn/axis.h).
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vpbn::num {
+
+/// \brief A prefix-based number: a sequence of 1-based sibling ordinals from
+/// the root down to the node. Example: "1.2.2" is the second child of the
+/// second child of the first root.
+class Pbn {
+ public:
+  Pbn() = default;
+  explicit Pbn(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+  Pbn(std::initializer_list<uint32_t> components) : components_(components) {}
+
+  /// Parse the dotted decimal form, e.g. "1.2.2". Components must be >= 1.
+  static Result<Pbn> FromString(std::string_view text);
+
+  /// Dotted decimal form; the empty number renders as "" (used only as the
+  /// virtual root sentinel).
+  std::string ToString() const;
+
+  /// Number of components ("length of the number"). A node's tree level in
+  /// the original document equals its length.
+  size_t length() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+
+  /// 1-based component access, matching the paper's x_n[i] notation.
+  uint32_t at1(size_t i) const { return components_[i - 1]; }
+
+  /// 0-based component access.
+  uint32_t operator[](size_t i) const { return components_[i]; }
+
+  const std::vector<uint32_t>& components() const { return components_; }
+
+  /// The parent's number (this number without its last component).
+  /// Calling Parent() on an empty number is a contract violation.
+  Pbn Parent() const;
+
+  /// This number extended by child ordinal \p k.
+  Pbn Child(uint32_t k) const;
+
+  /// First \p n components.
+  Pbn Prefix(size_t n) const;
+
+  /// True iff *this is a (non-strict) prefix of \p other.
+  bool IsPrefixOf(const Pbn& other) const;
+
+  /// True iff *this is a strict (proper) prefix of \p other.
+  bool IsStrictPrefixOf(const Pbn& other) const;
+
+  /// Length of the longest common prefix with \p other.
+  size_t CommonPrefixLength(const Pbn& other) const;
+
+  /// Document-order comparison: component-wise; a strict prefix orders
+  /// before its extensions (ancestors precede descendants).
+  std::strong_ordering operator<=>(const Pbn& other) const;
+  bool operator==(const Pbn& other) const = default;
+
+  /// Heap bytes used (E5 space accounting).
+  size_t MemoryUsage() const {
+    return components_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+/// \brief Hash functor so Pbn can key unordered containers.
+struct PbnHash {
+  size_t operator()(const Pbn& p) const {
+    // FNV-1a over the components.
+    uint64_t h = 1469598103934665603ULL;
+    for (uint32_t c : p.components()) {
+      h = (h ^ c) * 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Pbn& pbn);
+
+}  // namespace vpbn::num

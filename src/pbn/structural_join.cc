@@ -1,0 +1,58 @@
+#include "pbn/structural_join.h"
+
+namespace vpbn::num {
+
+namespace {
+
+/// Stack-tree join skeleton shared by both variants. The stack holds the
+/// chain of ancestors enclosing the current position in document order;
+/// each descendant is matched against the whole stack (ancestor variant)
+/// or its top-most applicable entry (parent variant).
+template <bool kParentOnly>
+std::vector<JoinPair> StackTreeJoin(const std::vector<Pbn>& ancestors,
+                                    const std::vector<Pbn>& descendants) {
+  std::vector<JoinPair> out;
+  std::vector<size_t> stack;  // indexes into `ancestors`
+  size_t a = 0;
+  for (size_t d = 0; d < descendants.size(); ++d) {
+    const Pbn& dn = descendants[d];
+    // Pop ancestors that cannot enclose dn (dn is past their subtree).
+    while (!stack.empty() && !ancestors[stack.back()].IsStrictPrefixOf(dn)) {
+      stack.pop_back();
+    }
+    // Push ancestors up to dn in document order that enclose dn.
+    while (a < ancestors.size() && ancestors[a] < dn) {
+      if (ancestors[a].IsStrictPrefixOf(dn)) {
+        // Entering a deeper enclosing ancestor; anything it does not
+        // nest in was popped above.
+        stack.push_back(a);
+      }
+      ++a;
+    }
+    if constexpr (kParentOnly) {
+      if (!stack.empty()) {
+        size_t top = stack.back();
+        if (ancestors[top].length() + 1 == dn.length()) {
+          out.push_back(JoinPair{top, d});
+        }
+      }
+    } else {
+      for (size_t s : stack) out.push_back(JoinPair{s, d});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<JoinPair> AncestorDescendantJoin(
+    const std::vector<Pbn>& ancestors, const std::vector<Pbn>& descendants) {
+  return StackTreeJoin<false>(ancestors, descendants);
+}
+
+std::vector<JoinPair> ParentChildJoin(const std::vector<Pbn>& parents,
+                                      const std::vector<Pbn>& children) {
+  return StackTreeJoin<true>(parents, children);
+}
+
+}  // namespace vpbn::num

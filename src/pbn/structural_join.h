@@ -1,0 +1,41 @@
+/// \file structural_join.h
+/// \brief Set-at-a-time structural joins on sorted PBN lists.
+///
+/// The per-type PBN lists of the type index are sorted in document order,
+/// so the classic stack-based tree-merge join (Al-Khalifa et al., ICDE
+/// 2002) computes all ancestor/descendant or parent/child pairs between
+/// two lists in O(|A| + |D| + |output|) — the machinery underneath every
+/// PBN-era XML query processor, and the set-oriented alternative to the
+/// per-node containment scans used by the path evaluators.
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "pbn/pbn.h"
+
+namespace vpbn::num {
+
+/// \brief One join result: indexes into the input lists.
+struct JoinPair {
+  size_t ancestor_index;
+  size_t descendant_index;
+
+  bool operator==(const JoinPair&) const = default;
+};
+
+/// \brief All pairs (a, d) with ancestors[a] a proper ancestor of
+/// descendants[d]. Both inputs must be sorted in document order (as the
+/// type index provides). Output is ordered by descendant, then by
+/// ancestor depth (outermost first).
+std::vector<JoinPair> AncestorDescendantJoin(
+    const std::vector<Pbn>& ancestors, const std::vector<Pbn>& descendants);
+
+/// \brief All pairs (p, c) with parents[p] the parent of children[c].
+/// Same input contract and output order.
+std::vector<JoinPair> ParentChildJoin(const std::vector<Pbn>& parents,
+                                      const std::vector<Pbn>& children);
+
+}  // namespace vpbn::num

@@ -1,0 +1,235 @@
+#include "query/eval_bulk.h"
+
+#include <algorithm>
+#include <map>
+
+#include "pbn/structural_join.h"
+#include "query/eval_indexed.h"
+
+namespace vpbn::query {
+
+namespace {
+
+using num::Pbn;
+
+/// Surviving instances per type, lists kept in document order.
+using State = std::map<dg::TypeId, std::vector<Pbn>>;
+
+bool TypeMatches(const dg::DataGuide& g, dg::TypeId t, const NodeTest& test) {
+  return test.Matches(!g.IsTextType(t), g.label(t));
+}
+
+/// Fragment test: child/descendant chains, name-ish tests, existence
+/// predicates that are themselves such chains.
+bool InFragment(const Path& path, bool relative) {
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    const Step& step = path.steps[i];
+    switch (step.axis) {
+      case num::Axis::kChild:
+      case num::Axis::kDescendant:
+        break;
+      case num::Axis::kDescendantOrSelf:
+        // Only the '//'-style anonymous step (no predicates).
+        if (step.test.kind != NodeTest::Kind::kAnyNode ||
+            !step.predicates.empty()) {
+          return false;
+        }
+        break;
+      default:
+        return false;
+    }
+    for (const auto& pred : step.predicates) {
+      if (pred->kind != Expr::Kind::kPath) return false;
+      if (!InFragment(pred->path, /*relative=*/true)) return false;
+    }
+  }
+  (void)relative;
+  return !path.steps.empty();
+}
+
+/// Retains the context instances that have at least one descendant in
+/// `witnesses` (all witness types are descendants of the context type, so
+/// the ancestor side of the join identifies survivors).
+std::vector<Pbn> SemiJoinAncestors(const std::vector<Pbn>& context,
+                                   const std::vector<Pbn>& witnesses) {
+  std::vector<num::JoinPair> pairs =
+      num::AncestorDescendantJoin(context, witnesses);
+  std::vector<bool> keep(context.size(), false);
+  for (const num::JoinPair& p : pairs) keep[p.ancestor_index] = true;
+  std::vector<Pbn> out;
+  for (size_t i = 0; i < context.size(); ++i) {
+    if (keep[i]) out.push_back(context[i]);
+  }
+  return out;
+}
+
+/// Evaluates `path` starting from `state` (document node when
+/// `from_document` is set), returning the surviving per-type lists.
+State EvalChain(const storage::StoredDocument& stored, const Path& path,
+                size_t first_step, State state, bool from_document);
+
+/// Applies one step's existence predicates to every per-type list.
+State ApplyPredicates(const storage::StoredDocument& stored, const Step& step,
+                      State state) {
+  for (const auto& pred : step.predicates) {
+    State filtered;
+    for (auto& [t, list] : state) {
+      if (list.empty()) continue;
+      // Evaluate the relative chain anchored at this type.
+      State anchor;
+      anchor.emplace(t, list);
+      State terminal = EvalChain(stored, pred->path, 0, std::move(anchor),
+                                 /*from_document=*/false);
+      // Union of all terminal instances witnesses the predicate.
+      std::vector<Pbn> witnesses;
+      for (auto& [tt, tlist] : terminal) {
+        witnesses.insert(witnesses.end(), tlist.begin(), tlist.end());
+      }
+      std::sort(witnesses.begin(), witnesses.end());
+      std::vector<Pbn> kept = SemiJoinAncestors(list, witnesses);
+      if (!kept.empty()) filtered.emplace(t, std::move(kept));
+    }
+    state = std::move(filtered);
+  }
+  return state;
+}
+
+State EvalChain(const storage::StoredDocument& stored, const Path& path,
+                size_t first_step, State state, bool from_document) {
+  const dg::DataGuide& g = stored.dataguide();
+  bool doc_node = from_document;
+  for (size_t s = first_step; s < path.steps.size(); ++s) {
+    const Step& step = path.steps[s];
+    if (step.axis == num::Axis::kDescendantOrSelf &&
+        step.test.kind == NodeTest::Kind::kAnyNode) {
+      // The '//' anonymous step: extend every context type with all of its
+      // descendants (instances unrestricted below the context — the next
+      // step's join against the context list does the real filtering, so
+      // fold this step into the next by expanding the *type* frontier).
+      State next = state;
+      for (auto& [t, list] : state) {
+        for (dg::TypeId dt : g.DescendantTypes(t)) {
+          // Descendant instances within any context instance: join.
+          auto pairs = num::AncestorDescendantJoin(list, stored.NodesOfType(dt));
+          std::vector<Pbn> kept;
+          const auto& all = stored.NodesOfType(dt);
+          std::vector<bool> mark(all.size(), false);
+          for (const num::JoinPair& p : pairs) mark[p.descendant_index] = true;
+          for (size_t i = 0; i < all.size(); ++i) {
+            if (mark[i]) kept.push_back(all[i]);
+          }
+          if (kept.empty()) continue;
+          auto [it, inserted] = next.emplace(dt, kept);
+          if (!inserted) {
+            // Merge sorted unique.
+            std::vector<Pbn> merged;
+            std::merge(it->second.begin(), it->second.end(), kept.begin(),
+                       kept.end(), std::back_inserter(merged));
+            merged.erase(std::unique(merged.begin(), merged.end()),
+                         merged.end());
+            it->second = std::move(merged);
+          }
+        }
+      }
+      if (doc_node) {
+        // From the document node '//' reaches every type in full.
+        next.clear();
+        for (dg::TypeId t = 0; t < g.num_types(); ++t) {
+          next.emplace(t, stored.NodesOfType(t));
+        }
+        doc_node = false;
+      }
+      state = std::move(next);
+      continue;
+    }
+
+    State next;
+    auto add = [&](dg::TypeId nt, std::vector<Pbn> kept) {
+      if (kept.empty()) return;
+      auto [it, inserted] = next.emplace(nt, std::move(kept));
+      if (!inserted) {
+        std::vector<Pbn> merged;
+        std::merge(it->second.begin(), it->second.end(), kept.begin(),
+                   kept.end(), std::back_inserter(merged));
+        merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+        it->second = std::move(merged);
+      }
+    };
+
+    if (doc_node) {
+      // Step from the document node.
+      if (step.axis == num::Axis::kChild) {
+        for (dg::TypeId rt : g.roots()) {
+          if (TypeMatches(g, rt, step.test)) add(rt, stored.NodesOfType(rt));
+        }
+      } else {  // descendant
+        for (dg::TypeId t = 0; t < g.num_types(); ++t) {
+          if (TypeMatches(g, t, step.test)) add(t, stored.NodesOfType(t));
+        }
+      }
+      doc_node = false;
+    } else {
+      for (auto& [t, list] : state) {
+        std::vector<dg::TypeId> candidates;
+        if (step.axis == num::Axis::kChild) {
+          candidates = g.children(t);
+        } else {
+          candidates = g.DescendantTypes(t);
+        }
+        for (dg::TypeId nt : candidates) {
+          if (!TypeMatches(g, nt, step.test)) continue;
+          const std::vector<Pbn>& all = stored.NodesOfType(nt);
+          std::vector<num::JoinPair> pairs =
+              step.axis == num::Axis::kChild
+                  ? num::ParentChildJoin(list, all)
+                  : num::AncestorDescendantJoin(list, all);
+          std::vector<bool> mark(all.size(), false);
+          for (const num::JoinPair& p : pairs) mark[p.descendant_index] = true;
+          std::vector<Pbn> kept;
+          for (size_t i = 0; i < all.size(); ++i) {
+            if (mark[i]) kept.push_back(all[i]);
+          }
+          add(nt, std::move(kept));
+        }
+      }
+    }
+    state = std::move(next);
+    state = ApplyPredicates(stored, step, std::move(state));
+  }
+  return state;
+}
+
+}  // namespace
+
+Result<std::vector<Pbn>> EvalBulk(const storage::StoredDocument& stored,
+                                  const Path& path) {
+  if (!InFragment(path, /*relative=*/false)) {
+    return Status::NotImplemented(
+        "bulk evaluation supports child/descendant chains with existence "
+        "predicates only");
+  }
+  State state =
+      EvalChain(stored, path, 0, State(), /*from_document=*/true);
+  std::vector<Pbn> out;
+  for (auto& [t, list] : state) {
+    out.insert(out.end(), list.begin(), list.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<std::vector<Pbn>> EvalBulk(const storage::StoredDocument& stored,
+                                  std::string_view path_text) {
+  VPBN_ASSIGN_OR_RETURN(Path path, ParsePath(path_text));
+  return EvalBulk(stored, path);
+}
+
+Result<std::vector<Pbn>> EvalBulkOrIndexed(
+    const storage::StoredDocument& stored, const Path& path) {
+  auto bulk = EvalBulk(stored, path);
+  if (bulk.ok() || !bulk.status().IsNotImplemented()) return bulk;
+  return EvalIndexed(stored, path);
+}
+
+}  // namespace vpbn::query

@@ -1,0 +1,148 @@
+#include "query/eval_indexed.h"
+
+#include <algorithm>
+
+namespace vpbn::query {
+
+using num::Pbn;
+
+bool IndexedAdapter::TypeMatches(dg::TypeId t, const NodeTest& test) const {
+  const dg::DataGuide& g = stored_->dataguide();
+  return test.Matches(!g.IsTextType(t), g.label(t));
+}
+
+std::vector<dg::TypeId> IndexedAdapter::MatchingTypes(
+    const NodeTest& test) const {
+  const dg::DataGuide& g = stored_->dataguide();
+  std::vector<dg::TypeId> out;
+  for (dg::TypeId t = 0; t < g.num_types(); ++t) {
+    if (TypeMatches(t, test)) out.push_back(t);
+  }
+  return out;
+}
+
+dg::TypeId IndexedAdapter::TypeOf(const Pbn& n) const {
+  return stored_->TypeOfNode(stored_->numbering().NodeOf(n).value());
+}
+
+std::vector<Pbn> IndexedAdapter::DocumentRoots(const NodeTest& test) const {
+  std::vector<Pbn> out;
+  const dg::DataGuide& g = stored_->dataguide();
+  for (dg::TypeId rt : g.roots()) {
+    if (!TypeMatches(rt, test)) continue;
+    const auto& nodes = stored_->NodesOfType(rt);
+    out.insert(out.end(), nodes.begin(), nodes.end());
+  }
+  return out;
+}
+
+std::vector<Pbn> IndexedAdapter::AllNodes(const NodeTest& test) const {
+  std::vector<Pbn> out;
+  for (dg::TypeId t : MatchingTypes(test)) {
+    const auto& nodes = stored_->NodesOfType(t);
+    out.insert(out.end(), nodes.begin(), nodes.end());
+  }
+  return out;
+}
+
+std::vector<Pbn> IndexedAdapter::Axis(const Pbn& n, num::Axis axis,
+                                      const NodeTest& test) const {
+  using num::Axis;
+  const dg::DataGuide& g = stored_->dataguide();
+  dg::TypeId nt = TypeOf(n);
+  std::vector<Pbn> out;
+  switch (axis) {
+    case Axis::kSelf:
+      if (TypeMatches(nt, test)) out.push_back(n);
+      break;
+    case Axis::kChild:
+      // Candidate types are the DataGuide children; every instance inside
+      // the subtree is a child (its depth is ours + 1).
+      for (dg::TypeId ct : g.children(nt)) {
+        if (!TypeMatches(ct, test)) continue;
+        for (Pbn& p : stored_->NodesOfTypeWithin(ct, n)) {
+          out.push_back(std::move(p));
+        }
+      }
+      break;
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      if (axis == Axis::kDescendantOrSelf && TypeMatches(nt, test)) {
+        out.push_back(n);
+      }
+      for (dg::TypeId dt : g.DescendantTypes(nt)) {
+        if (!TypeMatches(dt, test)) continue;
+        for (Pbn& p : stored_->NodesOfTypeWithin(dt, n)) {
+          out.push_back(std::move(p));
+        }
+      }
+      break;
+    }
+    case Axis::kParent:
+      if (n.length() > 1) {
+        Pbn parent = n.Parent();
+        if (TypeMatches(g.parent(nt), test)) out.push_back(std::move(parent));
+      }
+      break;
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      if (axis == Axis::kAncestorOrSelf && TypeMatches(nt, test)) {
+        out.push_back(n);
+      }
+      dg::TypeId t = g.parent(nt);
+      for (size_t len = n.length() - 1; len >= 1; --len) {
+        if (TypeMatches(t, test)) out.push_back(n.Prefix(len));
+        t = g.parent(t);
+      }
+      break;
+    }
+    case Axis::kFollowing:
+    case Axis::kPreceding:
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling: {
+      // Number-comparison join over instances of matching types.
+      for (dg::TypeId t : MatchingTypes(test)) {
+        for (const Pbn& c : stored_->NodesOfType(t)) {
+          if (num::CheckAxis(axis, c, n)) out.push_back(c);
+        }
+      }
+      break;
+    }
+    case Axis::kAttribute:
+      break;
+  }
+  return out;
+}
+
+void IndexedAdapter::SortUnique(std::vector<Pbn>* nodes) const {
+  std::sort(nodes->begin(), nodes->end());
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+std::string IndexedAdapter::StringValue(const Pbn& n) const {
+  return stored_->doc().StringValue(stored_->numbering().NodeOf(n).value());
+}
+
+Result<std::string> IndexedAdapter::Attribute(const Pbn& n,
+                                              const std::string& name) const {
+  VPBN_ASSIGN_OR_RETURN(xml::NodeId id, stored_->numbering().NodeOf(n));
+  if (!stored_->doc().IsElement(id)) {
+    return Status::NotFound("text node has no attributes");
+  }
+  return stored_->doc().AttributeValue(id, name);
+}
+
+Result<std::vector<Pbn>> EvalIndexed(const storage::StoredDocument& stored,
+                                     std::string_view path_text) {
+  VPBN_ASSIGN_OR_RETURN(Path path, ParsePath(path_text));
+  return EvalIndexed(stored, path);
+}
+
+Result<std::vector<Pbn>> EvalIndexed(const storage::StoredDocument& stored,
+                                     const Path& path) {
+  IndexedAdapter adapter(stored);
+  PathEvaluator<IndexedAdapter> evaluator(adapter);
+  return evaluator.Eval(path);
+}
+
+}  // namespace vpbn::query

@@ -1,0 +1,58 @@
+/// \file eval_indexed.h
+/// \brief Index-based evaluation over a StoredDocument: the classic
+/// PBN-powered strategy (§4.2).
+///
+/// Name tests select candidate *types* from the DataGuide; the type index
+/// supplies instances in document order; downward axes become containment
+/// scans (binary search on the ordered per-type PBN lists); the remaining
+/// axes are decided by pure number comparison (pbn/axis.h). This is the
+/// query machinery whose virtual twin (eval_virtual.h) the paper builds.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/evaluator.h"
+#include "query/path_parser.h"
+#include "storage/stored_document.h"
+
+namespace vpbn::query {
+
+/// \brief Adapter over a StoredDocument for PathEvaluator. Node handles are
+/// PBN numbers.
+class IndexedAdapter {
+ public:
+  using Node = num::Pbn;
+
+  explicit IndexedAdapter(const storage::StoredDocument& stored)
+      : stored_(&stored) {}
+
+  std::vector<Node> DocumentRoots(const NodeTest& test) const;
+  std::vector<Node> AllNodes(const NodeTest& test) const;
+  std::vector<Node> Axis(const Node& n, num::Axis axis,
+                         const NodeTest& test) const;
+  void SortUnique(std::vector<Node>* nodes) const;
+  std::string StringValue(const Node& n) const;
+  Result<std::string> Attribute(const Node& n, const std::string& name) const;
+
+  const storage::StoredDocument& stored() const { return *stored_; }
+
+ private:
+  bool TypeMatches(dg::TypeId t, const NodeTest& test) const;
+  std::vector<dg::TypeId> MatchingTypes(const NodeTest& test) const;
+  dg::TypeId TypeOf(const Node& n) const;
+
+  const storage::StoredDocument* stored_;
+};
+
+/// \brief Parse and evaluate \p path_text over the stored document.
+Result<std::vector<num::Pbn>> EvalIndexed(
+    const storage::StoredDocument& stored, std::string_view path_text);
+
+/// \brief Evaluate a pre-parsed path.
+Result<std::vector<num::Pbn>> EvalIndexed(
+    const storage::StoredDocument& stored, const Path& path);
+
+}  // namespace vpbn::query

@@ -1,0 +1,132 @@
+#include "query/eval_nav.h"
+
+#include <algorithm>
+
+namespace vpbn::query {
+
+using xml::NodeId;
+
+NavAdapter::NavAdapter(const xml::Document& doc) : doc_(&doc) {
+  order_pos_.resize(doc.num_nodes());
+  std::vector<NodeId> order = doc.DocumentOrder();
+  for (size_t i = 0; i < order.size(); ++i) order_pos_[order[i]] = i;
+}
+
+bool NavAdapter::Matches(Node n, const NodeTest& test) const {
+  return test.Matches(doc_->IsElement(n), doc_->name(n));
+}
+
+std::vector<NodeId> NavAdapter::DocumentRoots(const NodeTest& test) const {
+  std::vector<NodeId> out;
+  for (NodeId r : doc_->roots()) {
+    if (Matches(r, test)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<NodeId> NavAdapter::AllNodes(const NodeTest& test) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < doc_->num_nodes(); ++n) {
+    if (Matches(n, test)) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> NavAdapter::Axis(const Node& n, num::Axis axis,
+                                     const NodeTest& test) const {
+  using num::Axis;
+  std::vector<NodeId> out;
+  auto take = [&](NodeId c) {
+    if (Matches(c, test)) out.push_back(c);
+  };
+  auto take_subtree = [&](NodeId top, bool include_top, auto&& self) -> void {
+    if (include_top) take(top);
+    for (NodeId c : xml::ChildRange(*doc_, top)) {
+      self(c, true, self);
+    }
+  };
+  switch (axis) {
+    case Axis::kSelf:
+      take(n);
+      break;
+    case Axis::kChild:
+      for (NodeId c : xml::ChildRange(*doc_, n)) take(c);
+      break;
+    case Axis::kParent:
+      if (doc_->parent(n) != xml::kNullNode) take(doc_->parent(n));
+      break;
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      if (axis == Axis::kAncestorOrSelf) take(n);
+      for (NodeId p = doc_->parent(n); p != xml::kNullNode;
+           p = doc_->parent(p)) {
+        take(p);
+      }
+      break;
+    }
+    case Axis::kDescendant:
+      take_subtree(n, false, take_subtree);
+      break;
+    case Axis::kDescendantOrSelf:
+      take_subtree(n, true, take_subtree);
+      break;
+    case Axis::kFollowingSibling:
+      for (NodeId s = doc_->next_sibling(n); s != xml::kNullNode;
+           s = doc_->next_sibling(s)) {
+        take(s);
+      }
+      break;
+    case Axis::kPrecedingSibling:
+      for (NodeId s = doc_->prev_sibling(n); s != xml::kNullNode;
+           s = doc_->prev_sibling(s)) {
+        take(s);
+      }
+      break;
+    case Axis::kFollowing: {
+      for (NodeId c = 0; c < doc_->num_nodes(); ++c) {
+        if (order_pos_[c] > order_pos_[n] && !doc_->IsAncestor(n, c)) take(c);
+      }
+      break;
+    }
+    case Axis::kPreceding: {
+      for (NodeId c = 0; c < doc_->num_nodes(); ++c) {
+        if (order_pos_[c] < order_pos_[n] && !doc_->IsAncestor(c, n)) take(c);
+      }
+      break;
+    }
+    case Axis::kAttribute:
+      break;
+  }
+  return out;
+}
+
+void NavAdapter::SortUnique(std::vector<NodeId>* nodes) const {
+  std::sort(nodes->begin(), nodes->end(),
+            [&](NodeId a, NodeId b) { return order_pos_[a] < order_pos_[b]; });
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+std::string NavAdapter::StringValue(const Node& n) const {
+  return doc_->StringValue(n);
+}
+
+Result<std::string> NavAdapter::Attribute(const Node& n,
+                                          const std::string& name) const {
+  if (!doc_->IsElement(n)) return Status::NotFound("text node has no attributes");
+  return doc_->AttributeValue(n, name);
+}
+
+Result<std::vector<NodeId>> EvalNav(const xml::Document& doc,
+                                    std::string_view path_text) {
+  VPBN_ASSIGN_OR_RETURN(Path path, ParsePath(path_text));
+  return EvalNav(doc, path);
+}
+
+Result<std::vector<NodeId>> EvalNav(const xml::Document& doc,
+                                    const Path& path) {
+  NavAdapter adapter(doc);
+  PathEvaluator<NavAdapter> evaluator(adapter);
+  return evaluator.Eval(path);
+}
+
+}  // namespace vpbn::query

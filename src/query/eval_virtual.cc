@@ -1,0 +1,208 @@
+#include "query/eval_virtual.h"
+
+#include <algorithm>
+
+namespace vpbn::query {
+
+using virt::VirtualNode;
+using virt::Vpbn;
+
+bool VirtualAdapter::VTypeMatches(vdg::VTypeId t, const NodeTest& test) const {
+  const vdg::VDataGuide& vg = vdoc_->vguide();
+  return test.Matches(!vg.IsTextVType(t), vg.label(t));
+}
+
+std::vector<vdg::VTypeId> VirtualAdapter::MatchingVTypes(
+    const NodeTest& test) const {
+  const vdg::VDataGuide& vg = vdoc_->vguide();
+  std::vector<vdg::VTypeId> out;
+  for (vdg::VTypeId t = 0; t < vg.num_vtypes(); ++t) {
+    if (VTypeMatches(t, test)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<VirtualNode> VirtualAdapter::DocumentRoots(
+    const NodeTest& test) const {
+  std::vector<VirtualNode> out;
+  for (vdg::VTypeId rt : vdoc_->vguide().roots()) {
+    if (!VTypeMatches(rt, test)) continue;
+    std::vector<VirtualNode> nodes = vdoc_->NodesOfVType(rt);
+    out.insert(out.end(), nodes.begin(), nodes.end());
+  }
+  return out;
+}
+
+std::vector<VirtualNode> VirtualAdapter::AllNodes(const NodeTest& test) const {
+  std::vector<VirtualNode> out;
+  for (vdg::VTypeId t : MatchingVTypes(test)) {
+    for (const VirtualNode& n : vdoc_->NodesOfVType(t)) {
+      // Orphans (instances with no virtual-parent chain) are not part of
+      // the virtual document.
+      if (vdoc_->IsReachable(n)) out.push_back(n);
+    }
+  }
+  return out;
+}
+
+bool VirtualAdapter::ChainSafe(vdg::VTypeId top, vdg::VTypeId bottom) const {
+  // The pure-number descendant join is exact when every intermediate
+  // virtual type strictly between `top` and `bottom` has an original type
+  // that is an ancestor-or-self of `bottom`'s original: the intermediate
+  // instance is then a prefix of the candidate's number, so it exists and
+  // is compatible with both endpoints. Otherwise a predicate hit could
+  // rely on an intermediate instance that does not exist, and the
+  // evaluator must expand actual chains instead.
+  const vdg::VDataGuide& vg = vdoc_->vguide();
+  const dg::DataGuide& orig = vg.original_guide();
+  for (vdg::VTypeId i = vg.parent(bottom); i != top; i = vg.parent(i)) {
+    if (i == vdg::kNullVType) return false;  // bottom not under top
+    if (!orig.IsAncestorOrSelfType(vg.original(i), vg.original(bottom))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<VirtualNode> VirtualAdapter::Axis(const VirtualNode& n,
+                                              num::Axis axis,
+                                              const NodeTest& test) const {
+  using num::Axis;
+  const vdg::VDataGuide& vg = vdoc_->vguide();
+  const virt::VpbnSpace& space = vdoc_->space();
+  std::vector<VirtualNode> out;
+  Vpbn vn = vdoc_->VpbnOf(n);
+  switch (axis) {
+    case Axis::kSelf:
+      if (VTypeMatches(n.vtype, test)) out.push_back(n);
+      break;
+    case Axis::kChild:
+      // The placement relation enumerates exactly the virtual children of
+      // each child virtual type (containment scans / prefix lookups).
+      for (vdg::VTypeId ct : vg.children(n.vtype)) {
+        if (!VTypeMatches(ct, test)) continue;
+        std::vector<VirtualNode> related = vdoc_->RelatedInstances(n.node, ct);
+        out.insert(out.end(), related.begin(), related.end());
+      }
+      break;
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      if (axis == Axis::kDescendantOrSelf && VTypeMatches(n.vtype, test)) {
+        out.push_back(n);
+      }
+      // vPBN structural join per descendant type (Theorem 1) when the
+      // intermediate chain provably exists; otherwise fall back to actual
+      // chain expansion for the unsafe types.
+      bool need_bfs = false;
+      std::vector<vdg::VTypeId> stack(vg.children(n.vtype).rbegin(),
+                                      vg.children(n.vtype).rend());
+      while (!stack.empty()) {
+        vdg::VTypeId dt = stack.back();
+        stack.pop_back();
+        for (auto it = vg.children(dt).rbegin(); it != vg.children(dt).rend();
+             ++it) {
+          stack.push_back(*it);
+        }
+        if (!VTypeMatches(dt, test)) continue;
+        if (!ChainSafe(n.vtype, dt)) {
+          need_bfs = true;
+          continue;
+        }
+        for (const VirtualNode& cand : vdoc_->NodesOfVType(dt)) {
+          if (space.VDescendant(vdoc_->VpbnOf(cand), vn)) {
+            out.push_back(cand);
+          }
+        }
+      }
+      if (need_bfs) {
+        // Exact expansion through actual virtual children.
+        std::vector<VirtualNode> frontier = vdoc_->Children(n);
+        while (!frontier.empty()) {
+          std::vector<VirtualNode> next;
+          for (const VirtualNode& c : frontier) {
+            if (VTypeMatches(c.vtype, test) &&
+                !ChainSafe(n.vtype, c.vtype)) {
+              out.push_back(c);  // safe types were already joined above
+            }
+            std::vector<VirtualNode> down = vdoc_->Children(c);
+            next.insert(next.end(), down.begin(), down.end());
+          }
+          vdoc_->SortVirtualOrder(&next);
+          frontier = std::move(next);
+        }
+      }
+      break;
+    }
+    case Axis::kParent: {
+      // AxisNodes filters out orphaned parent instances.
+      for (const VirtualNode& p : vdoc_->AxisNodes(n, Axis::kParent)) {
+        if (VTypeMatches(p.vtype, test)) out.push_back(p);
+      }
+      break;
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      // Exact: walk actual parent chains (an instance of an ancestor type
+      // is only an ancestor if a chain of placements connects it).
+      for (const VirtualNode& a : vdoc_->AxisNodes(n, axis)) {
+        if (VTypeMatches(a.vtype, test)) out.push_back(a);
+      }
+      break;
+    }
+    case Axis::kFollowing:
+    case Axis::kPreceding: {
+      for (vdg::VTypeId t : MatchingVTypes(test)) {
+        for (const VirtualNode& cand : vdoc_->NodesOfVType(t)) {
+          Vpbn c = vdoc_->VpbnOf(cand);
+          bool hit = axis == Axis::kFollowing ? space.VFollowing(c, vn)
+                                              : space.VPreceding(c, vn);
+          if (hit && vdoc_->IsReachable(cand)) out.push_back(cand);
+        }
+      }
+      break;
+    }
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling: {
+      // Exact: siblings are children of the node's actual parents.
+      for (const VirtualNode& s : vdoc_->AxisNodes(n, axis)) {
+        if (VTypeMatches(s.vtype, test)) out.push_back(s);
+      }
+      break;
+    }
+    case Axis::kAttribute:
+      break;
+  }
+  return out;
+}
+
+void VirtualAdapter::SortUnique(std::vector<VirtualNode>* nodes) const {
+  vdoc_->SortVirtualOrder(nodes);
+}
+
+std::string VirtualAdapter::StringValue(const VirtualNode& n) const {
+  return vdoc_->StringValue(n);
+}
+
+Result<std::string> VirtualAdapter::Attribute(const VirtualNode& n,
+                                              const std::string& name) const {
+  const xml::Document& doc = vdoc_->stored().doc();
+  if (!doc.IsElement(n.node)) {
+    return Status::NotFound("text node has no attributes");
+  }
+  return doc.AttributeValue(n.node, name);
+}
+
+Result<std::vector<VirtualNode>> EvalVirtual(
+    const virt::VirtualDocument& vdoc, std::string_view path_text) {
+  VPBN_ASSIGN_OR_RETURN(Path path, ParsePath(path_text));
+  return EvalVirtual(vdoc, path);
+}
+
+Result<std::vector<VirtualNode>> EvalVirtual(
+    const virt::VirtualDocument& vdoc, const Path& path) {
+  VirtualAdapter adapter(vdoc);
+  PathEvaluator<VirtualAdapter> evaluator(adapter);
+  return evaluator.Eval(path);
+}
+
+}  // namespace vpbn::query

@@ -1,0 +1,57 @@
+/// \file eval_virtual.h
+/// \brief Virtual evaluation: the paper's contribution applied to queries.
+///
+/// Path steps run directly against the vDataGuide's virtual type forest and
+/// the original document's type index; axis membership between instances is
+/// decided by vPBN number comparison (vpbn/vpbn.h). No data is transformed:
+/// "our approach is to virtually transform only the data needed by the
+/// query by applying the transformation at the level of the node numbers
+/// used in the query" (§4.3).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/evaluator.h"
+#include "query/path_parser.h"
+#include "vpbn/virtual_document.h"
+
+namespace vpbn::query {
+
+/// \brief Adapter over a VirtualDocument for PathEvaluator.
+class VirtualAdapter {
+ public:
+  using Node = virt::VirtualNode;
+
+  explicit VirtualAdapter(const virt::VirtualDocument& vdoc)
+      : vdoc_(&vdoc) {}
+
+  std::vector<Node> DocumentRoots(const NodeTest& test) const;
+  std::vector<Node> AllNodes(const NodeTest& test) const;
+  std::vector<Node> Axis(const Node& n, num::Axis axis,
+                         const NodeTest& test) const;
+  void SortUnique(std::vector<Node>* nodes) const;
+  std::string StringValue(const Node& n) const;
+  Result<std::string> Attribute(const Node& n, const std::string& name) const;
+
+  const virt::VirtualDocument& vdoc() const { return *vdoc_; }
+
+ private:
+  bool VTypeMatches(vdg::VTypeId t, const NodeTest& test) const;
+  bool ChainSafe(vdg::VTypeId top, vdg::VTypeId bottom) const;
+  std::vector<vdg::VTypeId> MatchingVTypes(const NodeTest& test) const;
+
+  const virt::VirtualDocument* vdoc_;
+};
+
+/// \brief Parse and evaluate \p path_text over the virtual document.
+Result<std::vector<virt::VirtualNode>> EvalVirtual(
+    const virt::VirtualDocument& vdoc, std::string_view path_text);
+
+/// \brief Evaluate a pre-parsed path.
+Result<std::vector<virt::VirtualNode>> EvalVirtual(
+    const virt::VirtualDocument& vdoc, const Path& path);
+
+}  // namespace vpbn::query

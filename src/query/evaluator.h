@@ -1,0 +1,381 @@
+/// \file evaluator.h
+/// \brief Generic path evaluator, parameterized by a node-source adapter.
+///
+/// The same evaluation logic runs over three substrates:
+///   * NavAdapter      — tree walking on a Document (query/eval_nav.h)
+///   * IndexedAdapter  — PBN type-index structural joins on a
+///                       StoredDocument (query/eval_indexed.h)
+///   * VirtualAdapter  — vPBN joins on a VirtualDocument
+///                       (query/eval_virtual.h)
+///
+/// An Adapter provides:
+///   using Node = ...;                     // copyable node handle
+///   std::vector<Node> DocumentRoots(const NodeTest&) const;
+///   std::vector<Node> AllNodes(const NodeTest&) const;
+///   std::vector<Node> Axis(const Node&, num::Axis, const NodeTest&) const;
+///   void SortUnique(std::vector<Node>*) const;   // document order + dedupe
+///   std::string StringValue(const Node&) const;
+///   Result<std::string> Attribute(const Node&, const std::string&) const;
+///
+/// Evaluation starts at the document node (the invisible parent of the
+/// roots), so '/data' selects root elements named data and '//book' selects
+/// books at any depth.
+
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/path_ast.h"
+
+namespace vpbn::query {
+
+/// \brief Attempts to interpret \p s as an XPath number.
+inline bool ToNumber(const std::string& s, double* out) {
+  const char* b = s.data();
+  const char* e = s.data() + s.size();
+  while (b < e && (*b == ' ' || *b == '\t' || *b == '\n')) ++b;
+  while (e > b && (e[-1] == ' ' || e[-1] == '\t' || e[-1] == '\n')) --e;
+  if (b == e) return false;
+  auto [ptr, ec] = std::from_chars(b, e, *out);
+  return ec == std::errc() && ptr == e;
+}
+
+/// \brief Compares two strings under an operator, numerically when both
+/// sides parse as numbers (the XPath 1.0 coercion convention for our
+/// subset), else lexicographically.
+inline bool CompareValues(const std::string& lhs, CompareOp op,
+                          const std::string& rhs) {
+  double ln, rn;
+  if (ToNumber(lhs, &ln) && ToNumber(rhs, &rn)) {
+    switch (op) {
+      case CompareOp::kEq:
+        return ln == rn;
+      case CompareOp::kNe:
+        return ln != rn;
+      case CompareOp::kLt:
+        return ln < rn;
+      case CompareOp::kLe:
+        return ln <= rn;
+      case CompareOp::kGt:
+        return ln > rn;
+      case CompareOp::kGe:
+        return ln >= rn;
+    }
+  }
+  int c = lhs.compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+template <typename Adapter>
+class PathEvaluator {
+ public:
+  using Node = typename Adapter::Node;
+
+  explicit PathEvaluator(const Adapter& adapter) : adapter_(&adapter) {}
+
+  /// Evaluates an absolute path from the document node.
+  Result<std::vector<Node>> Eval(const Path& path) {
+    return EvalSteps(path, 0, path.steps.size(), {},
+                     /*has_document_node=*/true);
+  }
+
+  /// Evaluates a (relative) path from an explicit context node.
+  Result<std::vector<Node>> EvalFrom(const Path& path, const Node& context) {
+    return EvalSteps(path, 0, path.steps.size(), {context},
+                     /*has_document_node=*/false);
+  }
+
+  /// Evaluates only the first \p n_steps of the path (used by callers that
+  /// handle a trailing attribute step themselves).
+  Result<std::vector<Node>> EvalPrefix(const Path& path, size_t n_steps) {
+    return EvalSteps(path, 0, n_steps, {}, /*has_document_node=*/true);
+  }
+  Result<std::vector<Node>> EvalPrefixFrom(const Path& path, size_t n_steps,
+                                           const Node& context) {
+    return EvalSteps(path, 0, n_steps, {context},
+                     /*has_document_node=*/false);
+  }
+
+ private:
+  /// The value of a predicate expression in one context node.
+  struct Value {
+    enum class Kind { kBool, kNumber, kString, kNodeSet, kMissing } kind;
+    bool b = false;
+    double num = 0;
+    std::string str;
+    std::vector<Node> nodes;
+
+    bool Truthy() const {
+      switch (kind) {
+        case Kind::kBool:
+          return b;
+        case Kind::kNumber:
+          return num != 0 && !std::isnan(num);
+        case Kind::kString:
+          return !str.empty();
+        case Kind::kNodeSet:
+          return !nodes.empty();
+        case Kind::kMissing:
+          return false;
+      }
+      return false;
+    }
+  };
+
+  Result<std::vector<Node>> EvalSteps(const Path& path, size_t idx,
+                                      size_t end, std::vector<Node> context,
+                                      bool has_document_node) {
+    if (idx == end) {
+      adapter_->SortUnique(&context);
+      return context;
+    }
+    const Step& step = path.steps[idx];
+    if (step.axis == num::Axis::kAttribute) {
+      return Status::InvalidArgument(
+          "attribute steps are only supported inside predicates");
+    }
+    std::vector<Node> next;
+    bool next_has_document_node = false;
+    if (has_document_node) {
+      // Steps from the invisible document node.
+      std::vector<Node> from_doc;
+      switch (step.axis) {
+        case num::Axis::kChild:
+          from_doc = adapter_->DocumentRoots(step.test);
+          break;
+        case num::Axis::kDescendant:
+          from_doc = adapter_->AllNodes(step.test);
+          break;
+        case num::Axis::kDescendantOrSelf:
+          from_doc = adapter_->AllNodes(step.test);
+          if (step.test.kind == NodeTest::Kind::kAnyNode) {
+            next_has_document_node = true;
+          }
+          break;
+        case num::Axis::kSelf:
+          if (step.test.kind == NodeTest::Kind::kAnyNode) {
+            next_has_document_node = true;
+          }
+          break;
+        default:
+          break;  // no ancestors/siblings of the document node
+      }
+      adapter_->SortUnique(&from_doc);
+      VPBN_ASSIGN_OR_RETURN(from_doc, ApplyPredicates(step, std::move(from_doc)));
+      Append(&next, std::move(from_doc));
+    }
+    for (const Node& n : context) {
+      // XPath applies predicates within each context node's axis result —
+      // positions are relative to that list, so filter before merging.
+      std::vector<Node> axis_result = adapter_->Axis(n, step.axis, step.test);
+      adapter_->SortUnique(&axis_result);
+      VPBN_ASSIGN_OR_RETURN(axis_result,
+                            ApplyPredicates(step, std::move(axis_result)));
+      Append(&next, std::move(axis_result));
+    }
+    adapter_->SortUnique(&next);
+    return EvalSteps(path, idx + 1, end, std::move(next),
+                     next_has_document_node);
+  }
+
+  static void Append(std::vector<Node>* out, std::vector<Node> in) {
+    out->insert(out->end(), std::make_move_iterator(in.begin()),
+                std::make_move_iterator(in.end()));
+  }
+
+  /// Applies a step's predicates to one context node's axis result. A bare
+  /// number predicate is positional ([2] keeps the second node of the
+  /// list), matching XPath; the paper's §5.1 notes such ordinals are not
+  /// stored in vPBN and must be "computed dynamically" — which this is.
+  Result<std::vector<Node>> ApplyPredicates(const Step& step,
+                                            std::vector<Node> nodes) {
+    for (const auto& pred : step.predicates) {
+      std::vector<Node> kept;
+      if (pred->kind == Expr::Kind::kNumber) {
+        auto position = static_cast<int64_t>(pred->num);
+        if (position >= 1 &&
+            static_cast<size_t>(position) <= nodes.size()) {
+          kept.push_back(nodes[position - 1]);
+        }
+      } else {
+        for (const Node& n : nodes) {
+          VPBN_ASSIGN_OR_RETURN(Value v, EvalExpr(*pred, n));
+          if (v.Truthy()) kept.push_back(n);
+        }
+      }
+      nodes = std::move(kept);
+    }
+    return nodes;
+  }
+
+  Result<Value> EvalExpr(const Expr& expr, const Node& context) {
+    Value v;
+    switch (expr.kind) {
+      case Expr::Kind::kPath: {
+        VPBN_ASSIGN_OR_RETURN(std::vector<Node> nodes,
+                              EvalFrom(expr.path, context));
+        v.kind = Value::Kind::kNodeSet;
+        v.nodes = std::move(nodes);
+        return v;
+      }
+      case Expr::Kind::kString:
+        v.kind = Value::Kind::kString;
+        v.str = expr.str;
+        return v;
+      case Expr::Kind::kNumber:
+        v.kind = Value::Kind::kNumber;
+        v.num = expr.num;
+        return v;
+      case Expr::Kind::kAttribute: {
+        auto attr = adapter_->Attribute(context, expr.str);
+        if (attr.ok()) {
+          v.kind = Value::Kind::kString;
+          v.str = std::move(attr).ValueUnsafe();
+        } else {
+          v.kind = Value::Kind::kMissing;
+        }
+        return v;
+      }
+      case Expr::Kind::kCount: {
+        VPBN_ASSIGN_OR_RETURN(std::vector<Node> nodes,
+                              EvalFrom(expr.path, context));
+        v.kind = Value::Kind::kNumber;
+        v.num = static_cast<double>(nodes.size());
+        return v;
+      }
+      case Expr::Kind::kContains:
+      case Expr::Kind::kStartsWith: {
+        VPBN_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.lhs, context));
+        VPBN_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.rhs, context));
+        std::string hay = ToStringValue(lhs);
+        std::string needle = ToStringValue(rhs);
+        v.kind = Value::Kind::kBool;
+        v.b = expr.kind == Expr::Kind::kContains
+                  ? hay.find(needle) != std::string::npos
+                  : hay.compare(0, needle.size(), needle) == 0;
+        return v;
+      }
+      case Expr::Kind::kCompare: {
+        VPBN_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.lhs, context));
+        VPBN_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.rhs, context));
+        v.kind = Value::Kind::kBool;
+        v.b = Compare(lhs, expr.op, rhs);
+        return v;
+      }
+      case Expr::Kind::kAnd: {
+        VPBN_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.lhs, context));
+        if (!lhs.Truthy()) {
+          v.kind = Value::Kind::kBool;
+          v.b = false;
+          return v;
+        }
+        VPBN_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.rhs, context));
+        v.kind = Value::Kind::kBool;
+        v.b = rhs.Truthy();
+        return v;
+      }
+      case Expr::Kind::kOr: {
+        VPBN_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.lhs, context));
+        if (lhs.Truthy()) {
+          v.kind = Value::Kind::kBool;
+          v.b = true;
+          return v;
+        }
+        VPBN_ASSIGN_OR_RETURN(Value rhs, EvalExpr(*expr.rhs, context));
+        v.kind = Value::Kind::kBool;
+        v.b = rhs.Truthy();
+        return v;
+      }
+      case Expr::Kind::kNot: {
+        VPBN_ASSIGN_OR_RETURN(Value lhs, EvalExpr(*expr.lhs, context));
+        v.kind = Value::Kind::kBool;
+        v.b = !lhs.Truthy();
+        return v;
+      }
+    }
+    return Status::Internal("unreachable expr kind");
+  }
+
+  /// XPath string() coercion: first node's string value for node sets.
+  std::string ToStringValue(const Value& v) {
+    switch (v.kind) {
+      case Value::Kind::kNodeSet:
+        return v.nodes.empty() ? std::string()
+                               : adapter_->StringValue(v.nodes.front());
+      case Value::Kind::kString:
+        return v.str;
+      case Value::Kind::kNumber:
+        if (v.num == static_cast<int64_t>(v.num)) {
+          return std::to_string(static_cast<int64_t>(v.num));
+        }
+        return std::to_string(v.num);
+      case Value::Kind::kBool:
+        return v.b ? "true" : "false";
+      case Value::Kind::kMissing:
+        return "";
+    }
+    return "";
+  }
+
+  /// XPath comparison: node sets compare existentially over string values.
+  bool Compare(const Value& lhs, CompareOp op, const Value& rhs) {
+    if (lhs.kind == Value::Kind::kMissing ||
+        rhs.kind == Value::Kind::kMissing) {
+      return false;
+    }
+    if (lhs.kind == Value::Kind::kNodeSet) {
+      for (const Node& n : lhs.nodes) {
+        Value lv;
+        lv.kind = Value::Kind::kString;
+        lv.str = adapter_->StringValue(n);
+        if (Compare(lv, op, rhs)) return true;
+      }
+      return false;
+    }
+    if (rhs.kind == Value::Kind::kNodeSet) {
+      for (const Node& n : rhs.nodes) {
+        Value rv;
+        rv.kind = Value::Kind::kString;
+        rv.str = adapter_->StringValue(n);
+        if (Compare(lhs, op, rv)) return true;
+      }
+      return false;
+    }
+    auto to_string = [](const Value& v) {
+      if (v.kind == Value::Kind::kNumber) {
+        // Render integers without a trailing ".0" for string comparisons.
+        if (v.num == static_cast<int64_t>(v.num)) {
+          return std::to_string(static_cast<int64_t>(v.num));
+        }
+        return std::to_string(v.num);
+      }
+      if (v.kind == Value::Kind::kBool) {
+        return std::string(v.b ? "true" : "false");
+      }
+      return v.str;
+    };
+    return CompareValues(to_string(lhs), op, to_string(rhs));
+  }
+
+  const Adapter* adapter_;
+};
+
+}  // namespace vpbn::query

@@ -1,0 +1,103 @@
+/// \file path_ast.h
+/// \brief AST for the XPath subset used by the query layers.
+///
+/// Grammar (standard XPath 1.0 abbreviations):
+///   path      := ('/' | '//') step (('/' | '//') step)*
+///   step      := axis '::' nodetest predicates
+///              | nodetest predicates          (child axis)
+///              | '@' name                     (attribute axis)
+///              | '..' | '.'
+///   nodetest  := name | '*' | 'text()' | 'node()'
+///   predicate := '[' expr ']'
+///   expr      := orexpr; or/and/not; comparisons =, !=, <, <=, >, >=
+///                between paths, literals, numbers, count(path), @attr
+///
+/// A bare number predicate is positional: [2] keeps the second node of the
+/// context node's axis result. vPBN stores no sibling ordinals (§5.1:
+/// data-centric applications treat data as unordered), so the evaluators
+/// compute positions dynamically from the ordered result list, exactly as
+/// the paper prescribes.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pbn/axis.h"
+
+namespace vpbn::query {
+
+/// \brief What a step selects, before predicates.
+struct NodeTest {
+  enum class Kind : uint8_t {
+    kName,        ///< element with a specific name
+    kAnyElement,  ///< *
+    kText,        ///< text()
+    kAnyNode,     ///< node()
+  };
+  Kind kind = Kind::kAnyElement;
+  std::string name;  // only for kName
+
+  bool Matches(bool is_element, const std::string& element_name) const {
+    switch (kind) {
+      case Kind::kName:
+        return is_element && element_name == name;
+      case Kind::kAnyElement:
+        return is_element;
+      case Kind::kText:
+        return !is_element;
+      case Kind::kAnyNode:
+        return true;
+    }
+    return false;
+  }
+};
+
+struct Expr;
+
+/// \brief One location step.
+struct Step {
+  num::Axis axis = num::Axis::kChild;
+  NodeTest test;
+  std::vector<std::unique_ptr<Expr>> predicates;
+};
+
+/// \brief A parsed path. Paths are absolute: evaluation starts at the
+/// (virtual) document node.
+struct Path {
+  std::vector<Step> steps;
+};
+
+/// \brief Comparison operators in predicates.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// \brief Predicate expression tree.
+struct Expr {
+  enum class Kind : uint8_t {
+    kPath,        ///< relative path; truthy iff non-empty
+    kString,      ///< string literal
+    kNumber,      ///< numeric literal
+    kAttribute,   ///< @name of the context node
+    kCount,       ///< count(relative path)
+    kContains,    ///< contains(lhs, rhs): substring test on string values
+    kStartsWith,  ///< starts-with(lhs, rhs)
+    kCompare,     ///< lhs op rhs
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  Kind kind = Kind::kPath;
+  Path path;                      // kPath, kCount
+  std::string str;                // kString, kAttribute
+  double num = 0;                 // kNumber
+  CompareOp op = CompareOp::kEq;  // kCompare
+  std::unique_ptr<Expr> lhs;      // kCompare, kAnd, kOr, kNot
+  std::unique_ptr<Expr> rhs;      // kCompare, kAnd, kOr
+};
+
+/// \brief Render a path back to XPath syntax (for diagnostics).
+std::string PathToString(const Path& path);
+
+}  // namespace vpbn::query

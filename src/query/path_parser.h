@@ -1,0 +1,19 @@
+/// \file path_parser.h
+/// \brief Parser for the XPath subset (see path_ast.h for the grammar).
+
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/path_ast.h"
+
+namespace vpbn::query {
+
+/// \brief Parse an absolute path such as
+///   //book/title
+///   /data/book[author/name = "C"]/title
+///   //book[@year = 1994][count(author) > 1]//name/text()
+Result<Path> ParsePath(std::string_view text);
+
+}  // namespace vpbn::query

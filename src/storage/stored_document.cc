@@ -1,0 +1,96 @@
+#include "storage/stored_document.h"
+
+#include <algorithm>
+
+#include "xml/serializer.h"
+
+namespace vpbn::storage {
+
+StoredDocument StoredDocument::Build(const xml::Document& doc) {
+  StoredDocument out;
+  out.doc_ = &doc;
+  out.numbering_ = num::Numbering::Number(doc);
+  out.guide_ = dg::DataGuide::Build(doc, &out.node_types_);
+
+  out.ranges_.assign(doc.num_nodes(), {0, 0});
+  for (xml::NodeId root : doc.roots()) {
+    xml::SerializeWithRanges(doc, root, &out.text_, &out.ranges_);
+  }
+
+  out.type_index_.assign(out.guide_.num_types(), {});
+  out.type_node_index_.assign(out.guide_.num_types(), {});
+  // DocumentOrder guarantees the per-type vectors come out sorted in
+  // document order, which the binary searches rely on.
+  for (xml::NodeId id : doc.DocumentOrder()) {
+    out.type_index_[out.node_types_[id]].push_back(out.numbering_.OfNode(id));
+    out.type_node_index_[out.node_types_[id]].push_back(id);
+  }
+  return out;
+}
+
+Result<std::string_view> StoredDocument::Value(const num::Pbn& pbn) const {
+  VPBN_ASSIGN_OR_RETURN(auto range, ValueRange(pbn));
+  return std::string_view(text_).substr(range.first,
+                                        range.second - range.first);
+}
+
+Result<std::pair<uint64_t, uint64_t>> StoredDocument::ValueRange(
+    const num::Pbn& pbn) const {
+  VPBN_ASSIGN_OR_RETURN(xml::NodeId id, numbering_.NodeOf(pbn));
+  return ranges_[id];
+}
+
+Result<NodeHeader> StoredDocument::Header(const num::Pbn& pbn) const {
+  VPBN_ASSIGN_OR_RETURN(xml::NodeId id, numbering_.NodeOf(pbn));
+  return NodeHeader{pbn, node_types_[id]};
+}
+
+const std::vector<num::Pbn>& StoredDocument::NodesOfType(dg::TypeId t) const {
+  static const std::vector<num::Pbn> kEmpty;
+  if (t >= type_index_.size()) return kEmpty;
+  return type_index_[t];
+}
+
+const std::vector<xml::NodeId>& StoredDocument::NodeIdsOfType(
+    dg::TypeId t) const {
+  static const std::vector<xml::NodeId> kEmpty;
+  if (t >= type_node_index_.size()) return kEmpty;
+  return type_node_index_[t];
+}
+
+std::pair<size_t, size_t> StoredDocument::TypeRangeWithin(
+    dg::TypeId t, const num::Pbn& scope) const {
+  const std::vector<num::Pbn>& all = NodesOfType(t);
+  // Descendants-or-self of `scope` form a contiguous run in document order:
+  // [scope, successor-of-subtree). lower_bound on scope starts the run; the
+  // run ends at the first number that scope does not prefix. Because all
+  // instances of one type share a depth, the end can also be found by
+  // binary search on the scope prefix.
+  auto first = std::lower_bound(all.begin(), all.end(), scope);
+  auto last = first;
+  while (last != all.end() && scope.IsPrefixOf(*last)) ++last;
+  return {static_cast<size_t>(first - all.begin()),
+          static_cast<size_t>(last - all.begin())};
+}
+
+std::vector<num::Pbn> StoredDocument::NodesOfTypeWithin(
+    dg::TypeId t, const num::Pbn& scope) const {
+  const std::vector<num::Pbn>& all = NodesOfType(t);
+  auto [first, last] = TypeRangeWithin(t, scope);
+  return std::vector<num::Pbn>(all.begin() + first, all.begin() + last);
+}
+
+size_t StoredDocument::MemoryUsage() const {
+  size_t total = text_.capacity() +
+                 ranges_.capacity() * sizeof(std::pair<uint64_t, uint64_t>);
+  total += numbering_.NumbersMemoryUsage();
+  total += guide_.MemoryUsage();
+  total += node_types_.capacity() * sizeof(dg::TypeId);
+  for (const auto& v : type_index_) {
+    total += v.capacity() * sizeof(num::Pbn);
+    for (const auto& p : v) total += p.MemoryUsage();
+  }
+  return total;
+}
+
+}  // namespace vpbn::storage

@@ -1,0 +1,108 @@
+/// \file stored_document.h
+/// \brief The paper's storage model (§6): the document as one long string
+/// plus a value index from PBN numbers to character ranges.
+///
+/// "Suppose that an XML DBMS stores the source XML data as a long string.
+///  Then the value of each kind of node is a specific substring. ... A
+///  critical component in the implementation of an XML DBMS that uses PBN is
+///  a value index to quickly find the value of a node given its PBN number."
+///
+/// A StoredDocument bundles:
+///   * the canonical serialized string of the document,
+///   * per-node headers (PBN number + Type ID, §6's header information),
+///   * the value index PBN -> [start, end) byte range,
+///   * a type index TypeId -> PBN numbers in document order (the usual
+///     "find all the <author> elements" index, §4.3).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "dataguide/dataguide.h"
+#include "pbn/numbering.h"
+#include "pbn/pbn.h"
+#include "xml/document.h"
+
+namespace vpbn::storage {
+
+/// \brief Per-node header, mirroring the paper's on-disk node header
+/// ("the header information has a PBN number and a Type ID").
+struct NodeHeader {
+  num::Pbn pbn;
+  dg::TypeId type = dg::kNullType;
+};
+
+/// \brief A document in stored-string form with its numbering and indexes.
+class StoredDocument {
+ public:
+  /// Builds the stored form of \p doc: serializes it, numbers it, builds its
+  /// DataGuide and both indexes. The Document remains owned by the caller
+  /// and must outlive the StoredDocument.
+  static StoredDocument Build(const xml::Document& doc);
+
+  const xml::Document& doc() const { return *doc_; }
+  const num::Numbering& numbering() const { return numbering_; }
+  const dg::DataGuide& dataguide() const { return guide_; }
+
+  /// Type of a node (typeOf against the DataGuide).
+  dg::TypeId TypeOfNode(xml::NodeId id) const { return node_types_[id]; }
+
+  /// The full stored string.
+  const std::string& stored_string() const { return text_; }
+
+  /// \name Value index (§6)
+  /// @{
+
+  /// XML value of the node with number \p pbn: the substring of the stored
+  /// string from its start tag to its end tag (or the escaped text for text
+  /// nodes). NotFound if no node has that number.
+  Result<std::string_view> Value(const num::Pbn& pbn) const;
+
+  /// Byte range [start, end) of the node's value in the stored string.
+  Result<std::pair<uint64_t, uint64_t>> ValueRange(const num::Pbn& pbn) const;
+  /// @}
+
+  /// Header for the node with number \p pbn.
+  Result<NodeHeader> Header(const num::Pbn& pbn) const;
+
+  /// \name Type index
+  /// @{
+
+  /// PBN numbers of all nodes of type \p t, in document order. Empty vector
+  /// for types with no instances (cannot happen for Build-derived guides).
+  const std::vector<num::Pbn>& NodesOfType(dg::TypeId t) const;
+
+  /// NodeIds of all nodes of type \p t, aligned index-for-index with
+  /// NodesOfType(t). Lets callers avoid the PBN -> NodeId hash lookup.
+  const std::vector<xml::NodeId>& NodeIdsOfType(dg::TypeId t) const;
+
+  /// Index range [first, last) into NodesOfType(t)/NodeIdsOfType(t) of the
+  /// instances that are descendants-or-self of \p scope, found by binary
+  /// search on the ordered index (a containment range scan).
+  std::pair<size_t, size_t> TypeRangeWithin(dg::TypeId t,
+                                            const num::Pbn& scope) const;
+
+  /// Nodes of type \p t restricted to descendants-or-self of \p scope.
+  std::vector<num::Pbn> NodesOfTypeWithin(dg::TypeId t,
+                                          const num::Pbn& scope) const;
+  /// @}
+
+  /// Bytes used by the stored string, headers and indexes (E5 accounting).
+  size_t MemoryUsage() const;
+
+ private:
+  const xml::Document* doc_ = nullptr;
+  std::string text_;
+  num::Numbering numbering_;
+  dg::DataGuide guide_;
+  std::vector<dg::TypeId> node_types_;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges_;  // by NodeId
+  std::vector<std::vector<num::Pbn>> type_index_;      // by TypeId
+  std::vector<std::vector<xml::NodeId>> type_node_index_;  // aligned
+};
+
+}  // namespace vpbn::storage

@@ -1,0 +1,107 @@
+#include "vdg/report.h"
+
+#include <unordered_map>
+
+namespace vpbn::vdg {
+
+const char* EdgeCaseToString(EdgeCase c) {
+  switch (c) {
+    case EdgeCase::kRoot:
+      return "root";
+    case EdgeCase::kDescendant:
+      return "case1-descendant";
+    case EdgeCase::kAncestor:
+      return "case2-ancestor";
+    case EdgeCase::kLca:
+      return "case3-lca";
+  }
+  return "unknown";
+}
+
+EdgeCase ClassifyEdge(const VDataGuide& guide, VTypeId t) {
+  if (guide.parent(t) == kNullVType) return EdgeCase::kRoot;
+  const dg::DataGuide& orig = guide.original_guide();
+  dg::TypeId child_orig = guide.original(t);
+  dg::TypeId parent_orig = guide.original(guide.parent(t));
+  if (orig.IsAncestorOrSelfType(parent_orig, child_orig)) {
+    return EdgeCase::kDescendant;
+  }
+  if (orig.IsAncestorOrSelfType(child_orig, parent_orig)) {
+    return EdgeCase::kAncestor;
+  }
+  return EdgeCase::kLca;
+}
+
+ViewReport AnalyzeView(const VDataGuide& guide) {
+  const dg::DataGuide& orig = guide.original_guide();
+  ViewReport report;
+
+  std::unordered_map<dg::TypeId, int> uses;
+  for (VTypeId t = 0; t < guide.num_vtypes(); ++t) {
+    ++uses[guide.original(t)];
+    EdgeCase c = ClassifyEdge(guide, t);
+    ++report.case_counts[static_cast<size_t>(c)];
+  }
+  for (dg::TypeId ot = 0; ot < orig.num_types(); ++ot) {
+    auto it = uses.find(ot);
+    if (it == uses.end()) {
+      report.dropped.push_back(ot);
+    } else if (it->second > 1) {
+      report.duplicated.push_back(ot);
+    }
+  }
+  report.coverage =
+      orig.num_types() == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(report.dropped.size()) /
+                      static_cast<double>(orig.num_types());
+
+  // A virtual type can be orphaned unless every edge up to its root
+  // guarantees the parent instance exists (parent original is an
+  // ancestor-or-self of the child original).
+  std::vector<bool> guaranteed(guide.num_vtypes(), false);
+  for (VTypeId t : guide.PreOrder()) {
+    if (guide.parent(t) == kNullVType) {
+      guaranteed[t] = true;
+    } else {
+      guaranteed[t] = guaranteed[guide.parent(t)] &&
+                      orig.IsAncestorOrSelfType(
+                          guide.original(guide.parent(t)),
+                          guide.original(t));
+    }
+    if (!guaranteed[t]) report.possibly_orphaned.push_back(t);
+  }
+  return report;
+}
+
+std::string ViewReport::ToString(const VDataGuide& guide) const {
+  const dg::DataGuide& orig = guide.original_guide();
+  std::string out;
+  out += "coverage: " + std::to_string(static_cast<int>(coverage * 100)) +
+         "% of original types\n";
+  out += "edges: ";
+  for (int c = 1; c <= 3; ++c) {
+    if (c > 1) out += ", ";
+    out += std::string(EdgeCaseToString(static_cast<EdgeCase>(c))) + "=" +
+           std::to_string(case_counts[c]);
+  }
+  out += "\n";
+  if (!dropped.empty()) {
+    out += "dropped:";
+    for (dg::TypeId t : dropped) out += " " + orig.path(t);
+    out += "\n";
+  }
+  if (!duplicated.empty()) {
+    out += "duplicated:";
+    for (dg::TypeId t : duplicated) out += " " + orig.path(t);
+    out += "\n";
+  }
+  if (!possibly_orphaned.empty()) {
+    out += "possibly orphaned:";
+    for (VTypeId t : possibly_orphaned) out += " " + guide.vpath(t);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace vpbn::vdg

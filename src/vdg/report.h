@@ -1,0 +1,57 @@
+/// \file report.h
+/// \brief Coverage/shape report for a vDataGuide.
+///
+/// The paper defers "reasoning about potential information loss" to the
+/// transformation-language literature (§4.1); this report gives users the
+/// practical half of that: which original types a view drops, which it
+/// duplicates, and how each retained edge is classified under the three
+/// level-array cases of §5.2. The per-case counts drive experiment E7 and
+/// make surprising views (an accidental `*` that dropped a subtree)
+/// visible before querying.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vdg/vdataguide.h"
+
+namespace vpbn::vdg {
+
+/// \brief Classification of a (virtual parent, virtual child) edge.
+enum class EdgeCase : uint8_t {
+  kRoot = 0,        ///< virtual roots have no incoming edge
+  kDescendant = 1,  ///< Case 1: original descendant becomes a child
+  kAncestor = 2,    ///< Case 2: original ancestor becomes a child
+  kLca = 3,         ///< Case 3: related through a least common ancestor
+};
+
+const char* EdgeCaseToString(EdgeCase c);
+
+/// \brief Classify the incoming edge of virtual type \p t.
+EdgeCase ClassifyEdge(const VDataGuide& guide, VTypeId t);
+
+/// \brief The full report.
+struct ViewReport {
+  /// Original types not displayed by any virtual type.
+  std::vector<dg::TypeId> dropped;
+  /// Original types displayed by more than one virtual type (their
+  /// instances can appear at several virtual locations).
+  std::vector<dg::TypeId> duplicated;
+  /// Virtual types whose instances may be orphaned (a parent instance is
+  /// not structurally guaranteed to exist: Case 2 upward or Case 3 edges
+  /// somewhere on the path to the root).
+  std::vector<VTypeId> possibly_orphaned;
+  /// Edge counts by case, indexed by EdgeCase.
+  size_t case_counts[4] = {0, 0, 0, 0};
+  /// Fraction of original types retained (0..1).
+  double coverage = 0;
+
+  /// Human-readable multi-line summary.
+  std::string ToString(const VDataGuide& guide) const;
+};
+
+/// \brief Analyze \p guide against its original DataGuide.
+ViewReport AnalyzeView(const VDataGuide& guide);
+
+}  // namespace vpbn::vdg

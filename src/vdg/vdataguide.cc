@@ -1,0 +1,255 @@
+#include "vdg/vdataguide.h"
+
+#include <map>
+#include <unordered_set>
+
+namespace vpbn::vdg {
+
+namespace {
+
+Status AmbiguousError(const dg::DataGuide& orig, const std::string& label,
+                      const std::vector<dg::TypeId>& candidates) {
+  std::string alts;
+  for (dg::TypeId t : candidates) {
+    if (!alts.empty()) alts += ", ";
+    alts += orig.path(t);
+  }
+  return Status::InvalidArgument("vdataguide: label '" + label +
+                                 "' is ambiguous; qualify it (candidates: " +
+                                 alts + ")");
+}
+
+/// Resolves a label, narrowing global ambiguity with the enclosing label's
+/// original type: among the suffix matches, prefer (1) descendants of the
+/// parent's original, then (2) its ancestors, then (3) types sharing a
+/// tree with it. A bare `name` under `person` thus resolves to the
+/// person's name even when other name types exist elsewhere.
+Result<dg::TypeId> ResolveLabel(const dg::DataGuide& orig,
+                                const std::string& label,
+                                dg::TypeId parent_orig) {
+  std::vector<dg::TypeId> candidates = orig.FindBySuffix(label);
+  if (candidates.empty()) {
+    return Status::NotFound("vdataguide: label '" + label +
+                            "' matches no type in the DataGuide");
+  }
+  if (candidates.size() == 1) return candidates[0];
+  if (parent_orig == dg::kNullType) {
+    return AmbiguousError(orig, label, candidates);
+  }
+  auto narrow = [&](auto&& keep) -> std::vector<dg::TypeId> {
+    std::vector<dg::TypeId> out;
+    for (dg::TypeId t : candidates) {
+      if (keep(t)) out.push_back(t);
+    }
+    return out;
+  };
+  for (auto& filtered :
+       {narrow([&](dg::TypeId t) { return orig.IsAncestorType(parent_orig, t); }),
+        narrow([&](dg::TypeId t) { return orig.IsAncestorType(t, parent_orig); }),
+        narrow([&](dg::TypeId t) {
+          return orig.LcaType(t, parent_orig) != dg::kNullType;
+        })}) {
+    if (filtered.size() == 1) return filtered[0];
+    if (filtered.size() > 1) return AmbiguousError(orig, label, filtered);
+  }
+  return AmbiguousError(orig, label, candidates);
+}
+
+/// Resolves every explicit label in the spec (context-sensitively) and
+/// collects the mentioned set for the `*`/`**` rules (§4.1).
+Status ResolveSpec(const SpecNode& node, const dg::DataGuide& orig,
+                   dg::TypeId parent_orig,
+                   std::map<const SpecNode*, dg::TypeId>* resolved,
+                   std::unordered_set<dg::TypeId>* mentioned) {
+  if (node.kind != SpecNode::Kind::kLabel) return Status::OK();
+  VPBN_ASSIGN_OR_RETURN(dg::TypeId t,
+                        ResolveLabel(orig, node.label, parent_orig));
+  (*resolved)[&node] = t;
+  mentioned->insert(t);
+  for (const SpecNode& c : node.children) {
+    VPBN_RETURN_NOT_OK(ResolveSpec(c, orig, t, resolved, mentioned));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+VTypeId VDataGuide::AddVType(dg::TypeId original, VTypeId parent) {
+  VTypeId id = static_cast<VTypeId>(originals_.size());
+  originals_.push_back(original);
+  parents_.push_back(parent);
+  children_.emplace_back();
+  const std::string& lbl = original_guide_->label(original);
+  if (parent == kNullVType) {
+    vpaths_.push_back(lbl);
+    pbn_.push_back(num::Pbn{static_cast<uint32_t>(roots_.size() + 1)});
+    roots_.push_back(id);
+  } else {
+    vpaths_.push_back(vpaths_[parent] + "." + lbl);
+    pbn_.push_back(pbn_[parent].Child(
+        static_cast<uint32_t>(children_[parent].size() + 1)));
+    children_[parent].push_back(id);
+  }
+  preorder_.push_back(0);  // filled in after expansion
+  return id;
+}
+
+Result<VDataGuide> VDataGuide::Create(std::string_view spec_text,
+                                      const dg::DataGuide& original,
+                                      const ExpandLimits& limits) {
+  VPBN_ASSIGN_OR_RETURN(Spec spec, ParseSpec(spec_text));
+  return Create(spec, original, limits);
+}
+
+Result<VDataGuide> VDataGuide::Create(const Spec& spec,
+                                      const dg::DataGuide& original,
+                                      const ExpandLimits& limits) {
+  VDataGuide out;
+  out.original_guide_ = &original;
+
+  std::map<const SpecNode*, dg::TypeId> resolved;
+  std::unordered_set<dg::TypeId> mentioned;
+  for (const SpecNode& root : spec.roots) {
+    VPBN_RETURN_NOT_OK(
+        ResolveSpec(root, original, dg::kNullType, &resolved, &mentioned));
+  }
+
+  // Adds the implicit text child of `vt` if its original type has one.
+  auto add_implicit_text = [&](VTypeId vt) {
+    dg::TypeId orig_t = out.originals_[vt];
+    auto text_child = original.ChildByLabel(orig_t, dg::kTextLabel);
+    if (text_child.ok()) out.AddVType(text_child.value(), vt);
+  };
+
+  // Copies the full original subtree below `orig_t` under `vt`, skipping
+  // mentioned types (the `**` rule).
+  auto expand_descendants = [&](VTypeId vt, dg::TypeId orig_t,
+                                auto&& self) -> Status {
+    for (dg::TypeId c : original.children(orig_t)) {
+      if (mentioned.count(c) > 0) continue;
+      if (out.originals_.size() >= limits.max_vtypes) {
+        return Status::ResourceExhausted(
+            "vdataguide: expansion exceeds max_vtypes");
+      }
+      VTypeId cv = out.AddVType(c, vt);
+      VPBN_RETURN_NOT_OK(self(cv, c, self));
+    }
+    return Status::OK();
+  };
+
+  // Expands one spec node under virtual parent `parent` (kNullVType for
+  // roots); `parent_orig` is the parent's original type.
+  auto expand = [&](const SpecNode& node, VTypeId parent,
+                    dg::TypeId parent_orig, auto&& self) -> Status {
+    if (out.originals_.size() >= limits.max_vtypes) {
+      return Status::ResourceExhausted(
+          "vdataguide: expansion exceeds max_vtypes");
+    }
+    switch (node.kind) {
+      case SpecNode::Kind::kLabel: {
+        // ResolveSpec already validated and resolved this node.
+        dg::TypeId orig_t = resolved.at(&node);
+        VTypeId vt = out.AddVType(orig_t, parent);
+        if (!original.IsTextType(orig_t)) add_implicit_text(vt);
+        for (const SpecNode& c : node.children) {
+          VPBN_RETURN_NOT_OK(self(c, vt, orig_t, self));
+        }
+        return Status::OK();
+      }
+      case SpecNode::Kind::kStar: {
+        for (dg::TypeId c : original.children(parent_orig)) {
+          if (mentioned.count(c) > 0) continue;
+          if (original.IsTextType(c)) continue;  // implicit text already added
+          VTypeId cv = out.AddVType(c, parent);
+          add_implicit_text(cv);
+        }
+        return Status::OK();
+      }
+      case SpecNode::Kind::kStarStar: {
+        // The implicit text child added for the parent label must not be
+        // duplicated: skip the text child type if already present.
+        for (dg::TypeId c : original.children(parent_orig)) {
+          if (mentioned.count(c) > 0) continue;
+          if (original.IsTextType(c)) {
+            bool present = false;
+            for (VTypeId existing : out.children_[parent]) {
+              if (out.originals_[existing] == c) present = true;
+            }
+            if (present) continue;
+          }
+          VTypeId cv = out.AddVType(c, parent);
+          VPBN_RETURN_NOT_OK(expand_descendants(cv, c, expand_descendants));
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("vdataguide: unreachable spec node kind");
+  };
+
+  for (const SpecNode& root : spec.roots) {
+    VPBN_RETURN_NOT_OK(expand(root, kNullVType, dg::kNullType, expand));
+  }
+
+  // Assign pre-order indexes for virtual-document-order tie-breaking.
+  std::vector<VTypeId> order = out.PreOrder();
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    out.preorder_[order[i]] = i;
+  }
+  return out;
+}
+
+const std::string& VDataGuide::label(VTypeId t) const {
+  return original_guide_->label(originals_[t]);
+}
+
+std::vector<VTypeId> VDataGuide::FindByLabel(std::string_view label) const {
+  std::vector<VTypeId> out;
+  for (VTypeId t = 0; t < originals_.size(); ++t) {
+    if (this->label(t) == label) out.push_back(t);
+  }
+  return out;
+}
+
+Result<VTypeId> VDataGuide::FindByVPath(std::string_view vpath) const {
+  for (VTypeId t = 0; t < vpaths_.size(); ++t) {
+    if (vpaths_[t] == vpath) return t;
+  }
+  return Status::NotFound("no virtual type at path '" + std::string(vpath) +
+                          "'");
+}
+
+std::vector<VTypeId> VDataGuide::PreOrder() const {
+  std::vector<VTypeId> out;
+  std::vector<VTypeId> stack(roots_.rbegin(), roots_.rend());
+  while (!stack.empty()) {
+    VTypeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    for (auto it = children_[cur].rbegin(); it != children_[cur].rend();
+         ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+bool VDataGuide::HasDuplicatedOriginals() const {
+  std::unordered_set<dg::TypeId> seen;
+  for (dg::TypeId t : originals_) {
+    if (!seen.insert(t).second) return true;
+  }
+  return false;
+}
+
+size_t VDataGuide::MemoryUsage() const {
+  size_t total = originals_.capacity() * sizeof(dg::TypeId) +
+                 parents_.capacity() * sizeof(VTypeId) +
+                 preorder_.capacity() * sizeof(uint32_t) +
+                 roots_.capacity() * sizeof(VTypeId);
+  for (const auto& v : children_) total += v.capacity() * sizeof(VTypeId);
+  for (const auto& s : vpaths_) total += s.capacity();
+  for (const auto& p : pbn_) total += p.MemoryUsage();
+  return total;
+}
+
+}  // namespace vpbn::vdg

@@ -1,0 +1,152 @@
+/// \file vdataguide.h
+/// \brief vDataGuide: the expanded description of a virtual hierarchy.
+///
+/// A VDataGuide is produced by resolving a specification (vdg/spec_ast.h)
+/// against the original DataGuide of a document. Each node — a *virtual
+/// type* (VTypeId) — remembers the original type it displays
+/// (originalTypeOf, §4.1), its virtual level, and its position in the
+/// virtual type forest. The virtual type forest is itself PBN-numbered so
+/// type-level axis checks are prefix tests, as §5 assumes.
+///
+/// Expansion rules (the paper's `*`/`**`, §4.1, plus two documented
+/// conventions the paper's examples imply but do not spell out):
+///   * An element label implicitly carries its text-node child type, if the
+///     original type has one: in Figure 7(b), `title { author { name } }`
+///     yields title and name with ◦ children even though ◦ is never written.
+///     The implicit text child is placed before explicit children, matching
+///     the output order of Figure 3.
+///   * `*` expands to the child types of the enclosing label's original type
+///     that are not mentioned elsewhere in the specification, one level deep
+///     (each expanded child again carries its implicit text child).
+///   * `**` expands to the full descendant subtree, skipping any descendant
+///     type that is explicitly mentioned elsewhere in the specification
+///     (so `data { ** }` is the identity transformation).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "dataguide/dataguide.h"
+#include "pbn/pbn.h"
+#include "vdg/spec_ast.h"
+
+namespace vpbn::vdg {
+
+/// \brief Dense identifier of a virtual type within one VDataGuide.
+using VTypeId = uint32_t;
+
+/// \brief Sentinel for "no virtual type".
+inline constexpr VTypeId kNullVType = UINT32_MAX;
+
+/// \brief Limits applied during expansion.
+struct ExpandLimits {
+  /// Maximum number of virtual types the expansion may produce.
+  size_t max_vtypes = 1u << 20;
+};
+
+/// \brief The expanded virtual hierarchy description.
+class VDataGuide {
+ public:
+  /// Parse \p spec_text and expand it against \p original. The DataGuide
+  /// must outlive the VDataGuide.
+  static Result<VDataGuide> Create(std::string_view spec_text,
+                                   const dg::DataGuide& original,
+                                   const ExpandLimits& limits = {});
+
+  /// Expand an already parsed \p spec.
+  static Result<VDataGuide> Create(const Spec& spec,
+                                   const dg::DataGuide& original,
+                                   const ExpandLimits& limits = {});
+
+  /// \name Virtual type accessors
+  /// @{
+  size_t num_vtypes() const { return originals_.size(); }
+
+  /// Display label (the original type's last step, "#text" for text types).
+  const std::string& label(VTypeId t) const;
+
+  /// Dotted path in the *virtual* hierarchy, e.g. "title.author.name".
+  const std::string& vpath(VTypeId t) const { return vpaths_[t]; }
+
+  /// The original type this virtual type displays (originalTypeOf).
+  dg::TypeId original(VTypeId t) const { return originals_[t]; }
+
+  VTypeId parent(VTypeId t) const { return parents_[t]; }
+  const std::vector<VTypeId>& children(VTypeId t) const {
+    return children_[t];
+  }
+  const std::vector<VTypeId>& roots() const { return roots_; }
+
+  /// Virtual level; roots are level 1 (the paper's convention).
+  uint32_t level(VTypeId t) const {
+    return static_cast<uint32_t>(pbn_[t].length());
+  }
+
+  bool IsTextVType(VTypeId t) const {
+    return original_guide_->IsTextType(originals_[t]);
+  }
+
+  /// PBN of the virtual type in the virtual type forest.
+  const num::Pbn& pbn(VTypeId t) const { return pbn_[t]; }
+
+  /// Index of \p t in the pre-order traversal of the virtual type forest;
+  /// this is the tie-break order used by virtual document order when number
+  /// comparison alone cannot decide (sibling types under one parent).
+  uint32_t preorder_index(VTypeId t) const { return preorder_[t]; }
+  /// @}
+
+  /// \name Type-forest relationships (used by the virtual axis predicates)
+  /// @{
+  bool IsAncestorVType(VTypeId a, VTypeId d) const {
+    return pbn_[a].IsStrictPrefixOf(pbn_[d]);
+  }
+  bool IsChildVType(VTypeId c, VTypeId p) const {
+    return parents_[c] == p;
+  }
+  bool SameParentVType(VTypeId a, VTypeId b) const {
+    return parents_[a] == parents_[b];
+  }
+  bool SameTreeVType(VTypeId a, VTypeId b) const {
+    return pbn_[a].at1(1) == pbn_[b].at1(1);
+  }
+  /// @}
+
+  /// \name Lookup (used by query name tests)
+  /// @{
+
+  /// All virtual types with display label \p label.
+  std::vector<VTypeId> FindByLabel(std::string_view label) const;
+
+  /// The virtual type at exactly this virtual path, or NotFound.
+  Result<VTypeId> FindByVPath(std::string_view vpath) const;
+  /// @}
+
+  const dg::DataGuide& original_guide() const { return *original_guide_; }
+
+  /// Pre-order traversal of the virtual type forest.
+  std::vector<VTypeId> PreOrder() const;
+
+  /// True if some original type is displayed by more than one virtual type
+  /// (a node can then appear at several places in the virtual hierarchy).
+  bool HasDuplicatedOriginals() const;
+
+  /// Approximate heap footprint (benchmark accounting).
+  size_t MemoryUsage() const;
+
+ private:
+  VTypeId AddVType(dg::TypeId original, VTypeId parent);
+
+  const dg::DataGuide* original_guide_ = nullptr;
+  std::vector<dg::TypeId> originals_;
+  std::vector<VTypeId> parents_;
+  std::vector<std::vector<VTypeId>> children_;
+  std::vector<std::string> vpaths_;
+  std::vector<num::Pbn> pbn_;
+  std::vector<uint32_t> preorder_;
+  std::vector<VTypeId> roots_;
+};
+
+}  // namespace vpbn::vdg

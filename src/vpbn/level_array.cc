@@ -1,0 +1,15 @@
+#include "vpbn/level_array.h"
+
+namespace vpbn::virt {
+
+std::string LevelArray::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(levels_[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace vpbn::virt

@@ -1,0 +1,65 @@
+/// \file level_array.h
+/// \brief Level arrays: the second half of a vPBN number (§5).
+///
+/// "The level array records the tree level of each component in a PBN
+///  number." A vPBN number couples a node's *original* PBN number with the
+///  level array of its virtual type. For most types the array has exactly
+///  one entry per PBN component; for a type whose original is an ancestor of
+///  its virtual parent's original (Case 2 of §5.2) the array is one entry
+///  longer than the number — the extra entry marks the node's own level with
+///  no corresponding component.
+///
+/// Level arrays are non-decreasing (a component can never locate a shallower
+/// virtual ancestor than the component before it), which the builder checks.
+
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vpbn::virt {
+
+/// \brief The tree level of each PBN component in the virtual hierarchy.
+class LevelArray {
+ public:
+  LevelArray() = default;
+  explicit LevelArray(std::vector<uint32_t> levels)
+      : levels_(std::move(levels)) {
+    assert(IsNonDecreasing());
+  }
+
+  size_t size() const { return levels_.size(); }
+  bool empty() const { return levels_.empty(); }
+
+  /// 1-based access, matching the paper's x_a[i] notation.
+  uint32_t at1(size_t i) const { return levels_[i - 1]; }
+
+  uint32_t operator[](size_t i) const { return levels_[i]; }
+
+  /// The paper's max(x_a): the node's own virtual level. Because arrays are
+  /// non-decreasing this is the last entry.
+  uint32_t max() const { return levels_.empty() ? 0 : levels_.back(); }
+
+  const std::vector<uint32_t>& levels() const { return levels_; }
+
+  bool operator==(const LevelArray&) const = default;
+
+  /// "[1,1,2,3]"
+  std::string ToString() const;
+
+  size_t MemoryUsage() const { return levels_.capacity() * sizeof(uint32_t); }
+
+ private:
+  bool IsNonDecreasing() const {
+    for (size_t i = 1; i < levels_.size(); ++i) {
+      if (levels_[i] < levels_[i - 1]) return false;
+    }
+    return true;
+  }
+
+  std::vector<uint32_t> levels_;
+};
+
+}  // namespace vpbn::virt

@@ -1,0 +1,48 @@
+#include "vpbn/level_array_builder.h"
+
+namespace vpbn::virt {
+
+Result<LevelArrayMap> BuildLevelArrays(const vdg::VDataGuide& guide) {
+  const dg::DataGuide& orig = guide.original_guide();
+  LevelArrayMap map;
+  map.arrays_.resize(guide.num_vtypes());
+
+  for (vdg::VTypeId t : guide.PreOrder()) {
+    uint32_t n = guide.level(t);
+    uint32_t s = orig.length(guide.original(t));
+    std::vector<uint32_t> levels;
+    if (guide.parent(t) == vdg::kNullVType) {
+      // Root type: every component of the original path is at level 1.
+      levels.assign(s, 1);
+    } else {
+      dg::TypeId parent_orig = guide.original(guide.parent(t));
+      dg::TypeId lca = orig.LcaType(guide.original(t), parent_orig);
+      uint32_t k = (lca == dg::kNullType) ? 0 : orig.length(lca);
+      const LevelArray& parent_la = map.arrays_[guide.parent(t)];
+      if (k > parent_la.size() || k > s) {
+        return Status::Internal(
+            "level array builder: LCA length exceeds available prefix for "
+            "virtual type '" +
+            guide.vpath(t) + "'");
+      }
+      if (k < s) {
+        // Cases 1 and 3: copy the shared prefix, then the new components
+        // (z1 ... zm . y below the LCA) are all at level n.
+        levels.reserve(s);
+        for (uint32_t i = 1; i <= k; ++i) levels.push_back(parent_la.at1(i));
+        for (uint32_t i = k + 1; i <= s; ++i) levels.push_back(n);
+      } else {
+        // Case 2: the original is an ancestor-or-self of the virtual
+        // parent's original (k == s). The number has no new components; the
+        // array gains one entry, n, with no corresponding component.
+        levels.reserve(s + 1);
+        for (uint32_t i = 1; i <= s; ++i) levels.push_back(parent_la.at1(i));
+        levels.push_back(n);
+      }
+    }
+    map.arrays_[t] = LevelArray(std::move(levels));
+  }
+  return map;
+}
+
+}  // namespace vpbn::virt

@@ -1,0 +1,57 @@
+/// \file level_array_builder.h
+/// \brief Algorithm 1 (§5.2): build the map from virtual type to level array.
+///
+/// "Fortunately it is not necessary to assign a level array to each node
+///  individually, rather the level array is the same for each type in a
+///  vDataGuide." The builder traverses the vDataGuide once; for each virtual
+///  type it extends its virtual parent's level array according to the three
+///  cases of §5.2:
+///
+///  Case 1 — original descendant becomes a child: the new components (from
+///  the least common ancestor down) are all at the child's level n.
+///  Case 2 — original ancestor becomes a child: the type's original path is
+///  the LCA itself, so no new components exist; the array is the parent's
+///  array truncated to the number's length plus one extra entry n.
+///  Case 3 — types related through a least common ancestor: identical to
+///  Case 1 with the LCA strictly above the type's original.
+///
+/// All three cases reduce to:
+///     k = length(lca(original(t), original(parent(t))))
+///     s = length(original(t))
+///     k < s:  la(t) = la(parent)[1..k] ++ [n] * (s - k)
+///     k = s:  la(t) = la(parent)[1..s] ++ [n]
+///
+/// Worst-case time and space are O(cN) for N virtual types and deepest
+/// original level c, as analyzed in the paper.
+
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "vdg/vdataguide.h"
+#include "vpbn/level_array.h"
+
+namespace vpbn::virt {
+
+/// \brief Level arrays for every virtual type, indexed by VTypeId.
+class LevelArrayMap {
+ public:
+  const LevelArray& of(vdg::VTypeId t) const { return arrays_[t]; }
+  size_t size() const { return arrays_.size(); }
+
+  size_t MemoryUsage() const {
+    size_t total = arrays_.capacity() * sizeof(LevelArray);
+    for (const auto& a : arrays_) total += a.MemoryUsage();
+    return total;
+  }
+
+ private:
+  friend Result<LevelArrayMap> BuildLevelArrays(const vdg::VDataGuide& guide);
+  std::vector<LevelArray> arrays_;
+};
+
+/// \brief Run Algorithm 1 over \p guide.
+Result<LevelArrayMap> BuildLevelArrays(const vdg::VDataGuide& guide);
+
+}  // namespace vpbn::virt

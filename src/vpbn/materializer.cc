@@ -1,0 +1,44 @@
+#include "vpbn/materializer.h"
+
+namespace vpbn::virt {
+
+namespace {
+
+Status CopySubtree(const VirtualDocument& vdoc, const VirtualNode& v,
+                   xml::NodeId parent, const MaterializeOptions& options,
+                   Materialized* out) {
+  if (out->doc.num_nodes() >= options.max_nodes) {
+    return Status::ResourceExhausted(
+        "materialize: output exceeds max_nodes=" +
+        std::to_string(options.max_nodes));
+  }
+  const xml::Document& src = vdoc.stored().doc();
+  xml::NodeId copy;
+  if (src.IsText(v.node)) {
+    copy = out->doc.AddText(src.text(v.node), parent);
+  } else {
+    copy = out->doc.AddElement(src.name(v.node), parent);
+    for (const xml::Attribute& a : src.attributes(v.node)) {
+      out->doc.AddAttribute(copy, a.name, a.value);
+    }
+  }
+  out->provenance.push_back(v);
+  for (const VirtualNode& c : vdoc.Children(v)) {
+    VPBN_RETURN_NOT_OK(CopySubtree(vdoc, c, copy, options, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Materialized> Materialize(const VirtualDocument& vdoc,
+                                 const MaterializeOptions& options) {
+  Materialized out;
+  for (const VirtualNode& root : vdoc.Roots()) {
+    VPBN_RETURN_NOT_OK(
+        CopySubtree(vdoc, root, xml::kNullNode, options, &out));
+  }
+  return out;
+}
+
+}  // namespace vpbn::virt

@@ -1,0 +1,46 @@
+/// \file materializer.h
+/// \brief Physically instantiate a virtual hierarchy.
+///
+/// This is the strategy the paper argues *against* for query evaluation
+/// (§4.3: transform, store, renumber, re-index) — implemented in full, for
+/// two reasons:
+///
+///   1. It is the baseline of the benchmarks: materialize + renumber +
+///      evaluate versus virtual evaluation with vPBN (experiments E3/E4).
+///   2. It is the oracle of the property tests: Theorem 1 says the virtual
+///      axis predicates must coincide with physical relationships in the
+///      materialized document.
+///
+/// Materialization copies nodes: a source node appearing at several places
+/// in the virtual hierarchy (duplication through shared least common
+/// ancestors) is copied once per placement. The provenance vector records,
+/// for every materialized node, which virtual node it instantiates.
+
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "vpbn/virtual_document.h"
+
+namespace vpbn::virt {
+
+/// \brief A materialized virtual document plus provenance.
+struct Materialized {
+  xml::Document doc;
+  /// For each materialized NodeId, the virtual node it copies.
+  std::vector<VirtualNode> provenance;
+};
+
+/// \brief Options bounding materialization.
+struct MaterializeOptions {
+  /// Fail with ResourceExhausted beyond this many output nodes (duplication
+  /// can make the output superlinear in the input).
+  size_t max_nodes = 10'000'000;
+};
+
+/// \brief Instantiate every node of \p vdoc into a fresh document.
+Result<Materialized> Materialize(const VirtualDocument& vdoc,
+                                 const MaterializeOptions& options = {});
+
+}  // namespace vpbn::virt

@@ -1,0 +1,281 @@
+#include "vpbn/virtual_document.h"
+
+#include <algorithm>
+
+namespace vpbn::virt {
+
+namespace {
+
+/// A virtual type is intact iff its children are exactly the original
+/// type's children (same originals, same order) and each child is intact.
+std::vector<bool> ComputeIntactTypes(const vdg::VDataGuide& vg) {
+  const dg::DataGuide& orig = vg.original_guide();
+  std::vector<bool> intact(vg.num_vtypes(), false);
+  std::vector<vdg::VTypeId> order = vg.PreOrder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    vdg::VTypeId t = *it;
+    const std::vector<vdg::VTypeId>& vkids = vg.children(t);
+    const std::vector<dg::TypeId>& okids = orig.children(vg.original(t));
+    bool ok = vkids.size() == okids.size();
+    for (size_t i = 0; ok && i < vkids.size(); ++i) {
+      ok = vg.original(vkids[i]) == okids[i] && intact[vkids[i]];
+    }
+    intact[t] = ok;
+  }
+  return intact;
+}
+
+}  // namespace
+
+Result<VirtualDocument> VirtualDocument::Open(
+    const storage::StoredDocument& stored, std::string_view spec_text) {
+  VirtualDocument out;
+  out.stored_ = &stored;
+  VPBN_ASSIGN_OR_RETURN(
+      vdg::VDataGuide guide,
+      vdg::VDataGuide::Create(spec_text, stored.dataguide()));
+  out.vguide_ = std::make_unique<vdg::VDataGuide>(std::move(guide));
+  VPBN_ASSIGN_OR_RETURN(out.space_, VpbnSpace::Create(*out.vguide_));
+  out.intact_ = ComputeIntactTypes(*out.vguide_);
+
+  // Guaranteed reachability: an edge guarantees its child instances'
+  // parent exists when the parent's original type is an ancestor-or-self
+  // of the child's (the parent instance is a prefix of the child's own
+  // number). Roots are trivially in the document.
+  const vdg::VDataGuide& vg = *out.vguide_;
+  const dg::DataGuide& orig = stored.dataguide();
+  out.guaranteed_.assign(vg.num_vtypes(), false);
+  for (vdg::VTypeId t : vg.PreOrder()) {
+    if (vg.parent(t) == vdg::kNullVType) {
+      out.guaranteed_[t] = true;
+    } else {
+      out.guaranteed_[t] =
+          out.guaranteed_[vg.parent(t)] &&
+          orig.IsAncestorOrSelfType(vg.original(vg.parent(t)),
+                                    vg.original(t));
+    }
+  }
+  return out;
+}
+
+bool VirtualDocument::IsReachable(const VirtualNode& v) const {
+  if (guaranteed_[v.vtype]) return true;
+  uint64_t key = (static_cast<uint64_t>(v.node) << 32) | v.vtype;
+  auto it = reachable_memo_.find(key);
+  if (it != reachable_memo_.end()) return it->second;
+  // Seed false first: the vDataGuide is a tree so recursion terminates,
+  // but seeding keeps pathological re-entry cheap.
+  reachable_memo_.emplace(key, false);
+  bool reachable = false;
+  for (const VirtualNode& p : Parents(v)) {
+    if (IsReachable(p)) {
+      reachable = true;
+      break;
+    }
+  }
+  reachable_memo_[key] = reachable;
+  return reachable;
+}
+
+std::vector<VirtualNode> VirtualDocument::NodesOfVType(
+    vdg::VTypeId t) const {
+  const std::vector<xml::NodeId>& ids =
+      stored_->NodeIdsOfType(vguide_->original(t));
+  std::vector<VirtualNode> out;
+  out.reserve(ids.size());
+  for (xml::NodeId id : ids) out.push_back(VirtualNode{id, t});
+  return out;
+}
+
+std::vector<VirtualNode> VirtualDocument::Roots() const {
+  std::vector<VirtualNode> out;
+  for (vdg::VTypeId rt : vguide_->roots()) {
+    std::vector<VirtualNode> nodes = NodesOfVType(rt);
+    out.insert(out.end(), nodes.begin(), nodes.end());
+  }
+  SortVirtualOrder(&out);
+  return out;
+}
+
+std::vector<VirtualNode> VirtualDocument::RelatedInstances(
+    xml::NodeId x, vdg::VTypeId ct) const {
+  const dg::DataGuide& orig = stored_->dataguide();
+  dg::TypeId tx = stored_->TypeOfNode(x);
+  dg::TypeId ty = vguide_->original(ct);
+  dg::TypeId z = orig.LcaType(tx, ty);
+  std::vector<VirtualNode> out;
+  if (z == dg::kNullType) return out;  // unrelated trees: no instances
+
+  const num::Pbn& xp = stored_->numbering().OfNode(x);
+  if (z == ty) {
+    // Case 2 (including ty == tx): the unique ancestor-or-self of x at the
+    // original depth of ty, read straight off x's own number.
+    num::Pbn anc = xp.Prefix(orig.length(ty));
+    auto node = stored_->numbering().NodeOf(anc);
+    if (node.ok()) out.push_back(VirtualNode{node.value(), ct});
+    return out;
+  }
+  // Cases 1 and 3: scan instances of ty inside the subtree of x's ancestor
+  // at the LCA's depth (which is x itself when z == tx).
+  num::Pbn scope = xp.Prefix(orig.length(z));
+  auto [first, last] = stored_->TypeRangeWithin(ty, scope);
+  const std::vector<xml::NodeId>& ids = stored_->NodeIdsOfType(ty);
+  out.reserve(last - first);
+  for (size_t i = first; i < last; ++i) {
+    out.push_back(VirtualNode{ids[i], ct});
+  }
+  return out;
+}
+
+std::vector<VirtualNode> VirtualDocument::Children(
+    const VirtualNode& v) const {
+  std::vector<VirtualNode> out;
+  for (vdg::VTypeId ct : vguide_->children(v.vtype)) {
+    std::vector<VirtualNode> related = RelatedInstances(v.node, ct);
+    out.insert(out.end(), related.begin(), related.end());
+  }
+  SortVirtualOrder(&out);
+  return out;
+}
+
+std::vector<VirtualNode> VirtualDocument::Parents(
+    const VirtualNode& v) const {
+  std::vector<VirtualNode> out;
+  vdg::VTypeId pt = vguide_->parent(v.vtype);
+  if (pt == vdg::kNullVType) return out;
+  // A candidate parent instance must have v among its children; reuse the
+  // relation in the other direction and keep candidates that relate back.
+  std::vector<VirtualNode> candidates = RelatedInstances(v.node, pt);
+  Vpbn vx = VpbnOf(v);
+  for (const VirtualNode& c : candidates) {
+    if (space_.VParent(VpbnOf(c), vx)) out.push_back(c);
+  }
+  SortVirtualOrder(&out);
+  return out;
+}
+
+std::vector<VirtualNode> VirtualDocument::AxisNodes(const VirtualNode& v,
+                                                    num::Axis axis) const {
+  using num::Axis;
+  std::vector<VirtualNode> out;
+  switch (axis) {
+    case Axis::kSelf:
+      out.push_back(v);
+      return out;
+    case Axis::kChild:
+      return Children(v);
+    case Axis::kParent: {
+      // The placement relation may name a parent instance that is itself
+      // orphaned (no chain to a root); such a parent has no copy in the
+      // virtual document, so it is not an XPath parent of any copy of v.
+      for (const VirtualNode& p : Parents(v)) {
+        if (IsReachable(p)) out.push_back(p);
+      }
+      return out;
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      if (axis == Axis::kAncestorOrSelf) out.push_back(v);
+      std::vector<VirtualNode> frontier;
+      for (const VirtualNode& p : Parents(v)) {
+        if (IsReachable(p)) frontier.push_back(p);
+      }
+      while (!frontier.empty()) {
+        std::vector<VirtualNode> next;
+        for (const VirtualNode& p : frontier) {
+          out.push_back(p);
+          for (const VirtualNode& gp : Parents(p)) {
+            if (IsReachable(gp)) next.push_back(gp);
+          }
+        }
+        SortVirtualOrder(&next);
+        frontier = std::move(next);
+      }
+      SortVirtualOrder(&out);
+      return out;
+    }
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf: {
+      if (axis == Axis::kDescendantOrSelf) out.push_back(v);
+      std::vector<VirtualNode> frontier = Children(v);
+      while (!frontier.empty()) {
+        std::vector<VirtualNode> next;
+        for (const VirtualNode& c : frontier) {
+          out.push_back(c);
+          std::vector<VirtualNode> down = Children(c);
+          next.insert(next.end(), down.begin(), down.end());
+        }
+        SortVirtualOrder(&next);
+        frontier = std::move(next);
+      }
+      SortVirtualOrder(&out);
+      return out;
+    }
+    case Axis::kFollowing:
+    case Axis::kPreceding: {
+      // Candidates: reachable instances of every type in the virtual
+      // forest (the order predicates span trees via forest order).
+      Vpbn vx = VpbnOf(v);
+      for (vdg::VTypeId t = 0; t < vguide_->num_vtypes(); ++t) {
+        for (const VirtualNode& cand : NodesOfVType(t)) {
+          Vpbn c = VpbnOf(cand);
+          bool hit = axis == Axis::kFollowing ? space_.VFollowing(c, vx)
+                                              : space_.VPreceding(c, vx);
+          if (hit && IsReachable(cand)) out.push_back(cand);
+        }
+      }
+      SortVirtualOrder(&out);
+      return out;
+    }
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling: {
+      // Exact siblings: children of the node's actual virtual parents
+      // (roots are siblings of the other roots), split by virtual order.
+      std::vector<VirtualNode> sibs;
+      if (vguide_->parent(v.vtype) == vdg::kNullVType) {
+        sibs = Roots();
+      } else {
+        for (const VirtualNode& p : Parents(v)) {
+          if (!IsReachable(p)) continue;  // no copies of p exist
+          std::vector<VirtualNode> kids = Children(p);
+          sibs.insert(sibs.end(), kids.begin(), kids.end());
+        }
+      }
+      Vpbn vx = VpbnOf(v);
+      for (const VirtualNode& cand : sibs) {
+        if (cand == v) continue;
+        auto cmp = space_.VCompare(VpbnOf(cand), vx);
+        bool hit = axis == Axis::kFollowingSibling
+                       ? cmp == std::weak_ordering::greater
+                       : cmp == std::weak_ordering::less;
+        if (hit) out.push_back(cand);
+      }
+      SortVirtualOrder(&out);
+      return out;
+    }
+    case Axis::kAttribute:
+      return out;
+  }
+  return out;
+}
+
+std::string VirtualDocument::StringValue(const VirtualNode& v) const {
+  if (IsText(v)) return text(v);
+  if (intact_[v.vtype]) return stored_->doc().StringValue(v.node);
+  std::string out;
+  for (const VirtualNode& c : Children(v)) {
+    out += StringValue(c);
+  }
+  return out;
+}
+
+void VirtualDocument::SortVirtualOrder(std::vector<VirtualNode>* nodes) const {
+  std::stable_sort(nodes->begin(), nodes->end(),
+                   [&](const VirtualNode& a, const VirtualNode& b) {
+                     return space_.VCompare(VpbnOf(a), VpbnOf(b)) ==
+                            std::weak_ordering::less;
+                   });
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+}  // namespace vpbn::virt

@@ -1,0 +1,152 @@
+/// \file virtual_document.h
+/// \brief A document viewed through a vDataGuide — the object the paper's
+/// virtualDoc() XQuery function denotes (§2).
+///
+/// No data moves: a *virtual node* is the pair (original node, virtual
+/// type), and navigation is computed from the original document's indexes:
+///
+///   * a virtual child whose original type is an original *descendant* type
+///     is found by a containment scan of the type index within the node's
+///     subtree (Case 1);
+///   * one whose original type is an original *ancestor* type is the unique
+///     ancestor at that depth, read off the node's own PBN prefix (Case 2);
+///   * one related through a least common ancestor type is found by a
+///     containment scan under the node's ancestor instance at the LCA's
+///     depth (Case 3) — "authors are related to the title through a (least
+///     common) ancestor".
+///
+/// Only data the query actually touches is ever enumerated, which is the
+/// paper's core efficiency argument (§4.3).
+
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/stored_document.h"
+#include "vdg/vdataguide.h"
+#include "vpbn/vpbn.h"
+
+namespace vpbn::virt {
+
+/// \brief A node of the virtual hierarchy.
+struct VirtualNode {
+  xml::NodeId node = xml::kNullNode;
+  vdg::VTypeId vtype = vdg::kNullVType;
+
+  bool operator==(const VirtualNode&) const = default;
+};
+
+/// \brief A stored document re-hierarchized by a vDataGuide.
+class VirtualDocument {
+ public:
+  /// An empty view; unusable until move-assigned from Open().
+  VirtualDocument() = default;
+
+  /// Expands \p spec_text against \p stored's DataGuide and builds the
+  /// vPBN space (level arrays). \p stored must outlive the result.
+  static Result<VirtualDocument> Open(const storage::StoredDocument& stored,
+                                      std::string_view spec_text);
+
+  const storage::StoredDocument& stored() const { return *stored_; }
+  const vdg::VDataGuide& vguide() const { return *vguide_; }
+  const VpbnSpace& space() const { return space_; }
+
+  /// The vPBN number of a virtual node: its original PBN plus (via the
+  /// space) its type's level array.
+  Vpbn VpbnOf(const VirtualNode& v) const {
+    return Vpbn(stored_->numbering().OfNode(v.node), v.vtype);
+  }
+
+  /// Display name of a virtual node (element name, or "" for text).
+  const std::string& name(const VirtualNode& v) const {
+    return stored_->doc().name(v.node);
+  }
+
+  /// Text content for virtual text nodes.
+  const std::string& text(const VirtualNode& v) const {
+    return stored_->doc().text(v.node);
+  }
+
+  bool IsText(const VirtualNode& v) const {
+    return stored_->doc().IsText(v.node);
+  }
+
+  /// \name Virtual navigation
+  /// @{
+
+  /// Roots of the virtual hierarchy, in virtual document order.
+  std::vector<VirtualNode> Roots() const;
+
+  /// All instances of one virtual type, in original document order.
+  std::vector<VirtualNode> NodesOfVType(vdg::VTypeId t) const;
+
+  /// Children of \p v in virtual document order.
+  std::vector<VirtualNode> Children(const VirtualNode& v) const;
+
+  /// Virtual parents of \p v (plural under duplication; empty for roots),
+  /// in virtual document order.
+  std::vector<VirtualNode> Parents(const VirtualNode& v) const;
+
+  /// Nodes on \p axis relative to context \p v, in virtual document order.
+  /// kAttribute yields nothing (attributes are element properties here).
+  std::vector<VirtualNode> AxisNodes(const VirtualNode& v,
+                                     num::Axis axis) const;
+  /// @}
+
+  /// String value of a virtual node: concatenated text of its virtual
+  /// subtree, in virtual document order. Intact subtrees (whose virtual
+  /// structure equals the original) are served by a physical subtree walk.
+  std::string StringValue(const VirtualNode& v) const;
+
+  /// True iff the virtual subtree of type \p t mirrors its original
+  /// subtree (same types, same order, nothing added or removed). Values of
+  /// such subtrees can be served physically (§6's optimization).
+  bool IsIntactVType(vdg::VTypeId t) const { return intact_[t]; }
+
+  /// \name Reachability
+  ///
+  /// A virtual node is *in* the virtual document only if a chain of virtual
+  /// parents connects it to a root instance. The numbers alone cannot
+  /// witness a missing intermediate instance (an orphaned author has a
+  /// valid vPBN but no place in the document), so the query layer filters
+  /// by reachability where it is not structurally guaranteed.
+  /// @{
+
+  /// True iff every instance of \p t is guaranteed reachable: each edge on
+  /// its vtype path to the root places the parent's original type as an
+  /// ancestor-or-self of the child's original type, so the parent instance
+  /// is a prefix of the child's number and always exists.
+  bool IsGuaranteedReachable(vdg::VTypeId t) const { return guaranteed_[t]; }
+
+  /// True iff \p v has a virtual-parent chain to a root (memoized).
+  bool IsReachable(const VirtualNode& v) const;
+  /// @}
+
+  /// Sorts \p nodes into virtual document order and removes duplicates.
+  void SortVirtualOrder(std::vector<VirtualNode>* nodes) const;
+
+  /// Instances of type \p ct related to node \p x through their least
+  /// common ancestor type, per the three LCA cases (the raw placement
+  /// relation behind Children/Parents). Results in original document order.
+  std::vector<VirtualNode> RelatedInstances(xml::NodeId x,
+                                            vdg::VTypeId ct) const;
+
+ private:
+
+  const storage::StoredDocument* stored_ = nullptr;
+  // unique_ptr keeps the guide's address stable across moves of the
+  // VirtualDocument; the VpbnSpace holds a pointer into it.
+  std::unique_ptr<vdg::VDataGuide> vguide_;
+  VpbnSpace space_;
+  std::vector<bool> intact_;      // by VTypeId
+  std::vector<bool> guaranteed_;  // by VTypeId
+  // Reachability memo keyed by (node, vtype); mutable lazy cache, not
+  // thread-safe (like most query-local scratch state).
+  mutable std::unordered_map<uint64_t, bool> reachable_memo_;
+};
+
+}  // namespace vpbn::virt

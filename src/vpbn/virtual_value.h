@@ -1,0 +1,59 @@
+/// \file virtual_value.h
+/// \brief Computing transformed values (§6).
+///
+/// The value of a node is the XML string of its subtree. After a virtual
+/// transformation a node's value must be assembled in the *virtual* shape:
+/// start tag, then the values of its virtual children in virtual document
+/// order, then the end tag. The key optimization from §6: when a virtual
+/// type's subtree is *intact* — structurally identical to its original
+/// subtree — the value of any instance is a single substring of the stored
+/// string, served through the value index without any assembly.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vpbn/virtual_document.h"
+
+namespace vpbn::virt {
+
+/// \brief Assembles virtual values, reusing stored byte ranges for intact
+/// subtrees.
+class VirtualValueComputer {
+ public:
+  /// \p vdoc must outlive the computer. \p use_value_index disables the
+  /// intact-subtree range-copy optimization when false (every node is
+  /// assembled piecewise) — the ablation the A1 benchmark measures.
+  explicit VirtualValueComputer(const VirtualDocument& vdoc,
+                                bool use_value_index = true);
+
+  /// The XML value of virtual node \p v (text nodes yield escaped text,
+  /// exactly as stored).
+  std::string Value(const VirtualNode& v);
+
+  /// True iff the virtual subtree of type \p t mirrors its original subtree
+  /// (same types, same order, nothing added or removed), so instance values
+  /// can be served from the value index.
+  bool IsIntact(vdg::VTypeId t) const { return intact_[t]; }
+
+  /// \brief Accounting for the E6 benchmark.
+  struct Stats {
+    /// Subtrees served as one byte-range copy from the stored string.
+    uint64_t range_copies = 0;
+    /// Nodes assembled piece by piece.
+    uint64_t constructed_nodes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  void AppendValue(const VirtualNode& v, std::string* out);
+
+  const VirtualDocument* vdoc_;
+  std::vector<bool> intact_;  // by VTypeId
+  Stats stats_;
+};
+
+}  // namespace vpbn::virt

@@ -1,0 +1,243 @@
+#include "vpbn/vpbn.h"
+
+#include <algorithm>
+
+namespace vpbn::virt {
+
+Result<VpbnSpace> VpbnSpace::Create(const vdg::VDataGuide& guide) {
+  VpbnSpace space;
+  space.guide_ = &guide;
+  VPBN_ASSIGN_OR_RETURN(space.arrays_, BuildLevelArrays(guide));
+
+  // Ancestor-vtype chains (root..self) and level-segment boundaries, used
+  // by the document-order comparator.
+  space.chains_.resize(guide.num_vtypes());
+  space.segment_starts_.resize(guide.num_vtypes());
+  for (vdg::VTypeId t = 0; t < guide.num_vtypes(); ++t) {
+    std::vector<vdg::VTypeId>& chain = space.chains_[t];
+    for (vdg::VTypeId a = t; a != vdg::kNullVType; a = guide.parent(a)) {
+      chain.push_back(a);
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    // Level arrays are non-decreasing, so each level's positions form a
+    // contiguous segment.
+    const LevelArray& la = space.arrays_.of(t);
+    uint32_t max_level = la.max();
+    std::vector<uint32_t>& starts = space.segment_starts_[t];
+    starts.assign(max_level + 1, static_cast<uint32_t>(la.size()) + 1);
+    uint32_t level = 0;
+    for (uint32_t i = 1; i <= la.size(); ++i) {
+      while (level < la.at1(i)) {
+        starts[level] = i;
+        ++level;
+      }
+    }
+    // starts[l-1] holds the first position of level l; trailing levels with
+    // empty segments keep the end marker.
+  }
+  return space;
+}
+
+bool VpbnSpace::NumbersCompatible(const Vpbn& x, const Vpbn& y) const {
+  const LevelArray& xa = arrays_.of(x.vtype);
+  const LevelArray& ya = arrays_.of(y.vtype);
+  const num::Pbn& xn = *x.pbn;
+  const num::Pbn& yn = *y.pbn;
+  size_t m = std::min(xa.size(), ya.size());
+  for (size_t i = 1; i <= m; ++i) {
+    if (xa.at1(i) != ya.at1(i)) continue;
+    // Aligned position at the same virtual level: the components must exist
+    // on both sides and agree (the paper's x_a[i] = y_a[i] => x_n[i] =
+    // y_n[i]). A missing component (the Case-2 extra entry) cannot witness
+    // agreement.
+    if (i > xn.length() || i > yn.length()) return false;
+    if (xn.at1(i) != yn.at1(i)) return false;
+  }
+  return true;
+}
+
+bool VpbnSpace::VSelf(const Vpbn& x, const Vpbn& y) const {
+  return x.vtype == y.vtype && *x.pbn == *y.pbn;
+}
+
+bool VpbnSpace::VAncestor(const Vpbn& x, const Vpbn& y) const {
+  // Type-level: ancestor(typeOf(V,x), typeOf(V,y)) in the vDataGuide.
+  if (!guide_->IsAncestorVType(x.vtype, y.vtype)) return false;
+  // Number-level: max(y_a) > max(x_a) and prefix compatibility.
+  if (VirtualLevel(y) <= VirtualLevel(x)) return false;
+  return NumbersCompatible(x, y);
+}
+
+bool VpbnSpace::VDescendant(const Vpbn& x, const Vpbn& y) const {
+  return VAncestor(y, x);
+}
+
+bool VpbnSpace::VParent(const Vpbn& x, const Vpbn& y) const {
+  return VAncestor(x, y) && VirtualLevel(x) + 1 == VirtualLevel(y) &&
+         guide_->IsChildVType(y.vtype, x.vtype);
+}
+
+bool VpbnSpace::VChild(const Vpbn& x, const Vpbn& y) const {
+  return VParent(y, x);
+}
+
+bool VpbnSpace::VAncestorOrSelf(const Vpbn& x, const Vpbn& y) const {
+  return VSelf(x, y) || VAncestor(x, y);
+}
+
+bool VpbnSpace::VDescendantOrSelf(const Vpbn& x, const Vpbn& y) const {
+  return VSelf(x, y) || VDescendant(x, y);
+}
+
+bool VpbnSpace::VPreceding(const Vpbn& x, const Vpbn& y) const {
+  // Document-order axes hold across any pair in the virtual forest (see the
+  // worked example in §5 where a text node precedes an <author> whose type
+  // is an ancestor type of the text's type). Defined through the canonical
+  // document-order comparator so predicates, result ordering, and the
+  // materializer always agree.
+  if (VSelf(x, y) || VAncestor(x, y) || VDescendant(x, y)) return false;
+  return VCompare(x, y) == std::weak_ordering::less;
+}
+
+bool VpbnSpace::VFollowing(const Vpbn& x, const Vpbn& y) const {
+  if (VSelf(x, y) || VAncestor(x, y) || VDescendant(x, y)) return false;
+  return VCompare(x, y) == std::weak_ordering::greater;
+}
+
+namespace {
+
+/// Context positions are those strictly below the node's own level; sibling
+/// nodes must agree on all of them (same virtual parent).
+bool SiblingContextsMatch(const LevelArray& xa, const LevelArray& ya,
+                          const num::Pbn& xn, const num::Pbn& yn) {
+  size_t m = std::min(xa.size(), ya.size());
+  uint32_t own_level = xa.max();  // == ya.max() (checked by caller)
+  for (size_t i = 1; i <= m; ++i) {
+    if (xa.at1(i) != ya.at1(i)) continue;
+    if (xa.at1(i) == own_level) continue;  // final-level ordinals may differ
+    if (i > xn.length() || i > yn.length()) return false;
+    if (xn.at1(i) != yn.at1(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool VpbnSpace::VPrecedingSibling(const Vpbn& x, const Vpbn& y) const {
+  // Type-level: virtual siblings share a virtual parent type.
+  if (!guide_->SameParentVType(x.vtype, y.vtype)) return false;
+  if (VirtualLevel(x) != VirtualLevel(y)) return false;
+  if (VSelf(x, y)) return false;
+  if (!SiblingContextsMatch(arrays_.of(x.vtype), arrays_.of(y.vtype), *x.pbn,
+                            *y.pbn)) {
+    return false;
+  }
+  return VPreceding(x, y);
+}
+
+bool VpbnSpace::VFollowingSibling(const Vpbn& x, const Vpbn& y) const {
+  if (!guide_->SameParentVType(x.vtype, y.vtype)) return false;
+  if (VirtualLevel(x) != VirtualLevel(y)) return false;
+  if (VSelf(x, y)) return false;
+  if (!SiblingContextsMatch(arrays_.of(x.vtype), arrays_.of(y.vtype), *x.pbn,
+                            *y.pbn)) {
+    return false;
+  }
+  return VFollowing(x, y);
+}
+
+bool VpbnSpace::VCheckAxis(num::Axis axis, const Vpbn& x,
+                           const Vpbn& y) const {
+  using num::Axis;
+  switch (axis) {
+    case Axis::kSelf:
+      return VSelf(x, y);
+    case Axis::kChild:
+      return VChild(x, y);
+    case Axis::kParent:
+      return VParent(x, y);
+    case Axis::kAncestor:
+      return VAncestor(x, y);
+    case Axis::kDescendant:
+      return VDescendant(x, y);
+    case Axis::kAncestorOrSelf:
+      return VAncestorOrSelf(x, y);
+    case Axis::kDescendantOrSelf:
+      return VDescendantOrSelf(x, y);
+    case Axis::kFollowing:
+      return VFollowing(x, y);
+    case Axis::kPreceding:
+      return VPreceding(x, y);
+    case Axis::kFollowingSibling:
+      return VFollowingSibling(x, y);
+    case Axis::kPrecedingSibling:
+      return VPrecedingSibling(x, y);
+    case Axis::kAttribute:
+      return false;
+  }
+  return false;
+}
+
+std::weak_ordering VpbnSpace::VCompare(const Vpbn& x, const Vpbn& y) const {
+  if (VSelf(x, y)) return std::weak_ordering::equivalent;
+  // Pre-order: ancestors come first.
+  if (VAncestor(x, y)) return std::weak_ordering::less;
+  if (VAncestor(y, x)) return std::weak_ordering::greater;
+  if (!guide_->SameTreeVType(x.vtype, y.vtype)) {
+    // Different virtual trees: forest order.
+    return guide_->pbn(x.vtype).at1(1) <=> guide_->pbn(y.vtype).at1(1);
+  }
+
+  // Lexicographic over virtual levels; see the declaration comment.
+  const LevelArray& xa = arrays_.of(x.vtype);
+  const LevelArray& ya = arrays_.of(y.vtype);
+  const std::vector<uint32_t>& xs = SegmentStarts(x.vtype);
+  const std::vector<uint32_t>& ys = SegmentStarts(y.vtype);
+  const std::vector<vdg::VTypeId>& xchain = chains_[x.vtype];
+  const std::vector<vdg::VTypeId>& ychain = chains_[y.vtype];
+  uint32_t lx = xa.max();
+  uint32_t ly = ya.max();
+  constexpr uint64_t kMissing = UINT64_MAX;  // Case-2 entry: no component
+
+  for (uint32_t l = 1; l <= std::min(lx, ly); ++l) {
+    uint32_t xb = xs[l - 1], xe = xs[l];
+    uint32_t yb = ys[l - 1], ye = ys[l];
+    uint32_t nx = xe - xb, ny = ye - yb;
+    for (uint32_t j = 0; j < std::min(nx, ny); ++j) {
+      uint64_t cx = xb + j <= x.pbn->length() ? x.pbn->at1(xb + j) : kMissing;
+      uint64_t cy = yb + j <= y.pbn->length() ? y.pbn->at1(yb + j) : kMissing;
+      if (cx != cy) {
+        return cx < cy ? std::weak_ordering::less
+                       : std::weak_ordering::greater;
+      }
+    }
+    if (nx != ny) {
+      // One segment is a proper prefix of the other: the more specific
+      // (longer) segment sorts first — this places a title's own text
+      // before the authors pulled in through the book LCA (Figure 3).
+      return nx > ny ? std::weak_ordering::less : std::weak_ordering::greater;
+    }
+    // Segments identical: fall to the level-l ancestor types.
+    uint32_t px = guide_->preorder_index(xchain[l - 1]);
+    uint32_t py = guide_->preorder_index(ychain[l - 1]);
+    if (px != py) return px <=> py;
+  }
+  if (lx != ly) {
+    // All shared levels tie: the shallower node comes first (pre-order).
+    return lx <=> ly;
+  }
+  // Same depth, same segments, same ancestor types all the way down: the
+  // same virtual type, so plain number order decides (and equal numbers
+  // were handled by VSelf).
+  auto c = *x.pbn <=> *y.pbn;
+  if (c == std::strong_ordering::less) return std::weak_ordering::less;
+  if (c == std::strong_ordering::greater) return std::weak_ordering::greater;
+  return std::weak_ordering::equivalent;
+}
+
+std::string VpbnSpace::ToString(const Vpbn& x) const {
+  return x.pbn->ToString() + " " + arrays_.of(x.vtype).ToString();
+}
+
+}  // namespace vpbn::virt

@@ -1,0 +1,120 @@
+/// \file vpbn.h
+/// \brief Virtual prefix-based numbers and the space they live in (§5).
+///
+/// A vPBN number is a PBN number coupled with a level array. Because the
+/// level array is shared by every node of a virtual type (§5.2), a Vpbn here
+/// is the pair (original PBN, virtual type); the level array is looked up
+/// per type in the VpbnSpace. This is the paper's space optimization: "the
+/// level arrays do not have to be stored with the numbers since the level
+/// array can be stored with each type".
+///
+/// VpbnSpace bundles a vDataGuide with its level-array map and implements
+/// every virtual axis predicate of §5 plus the virtual document-order
+/// comparator. All predicates follow the paper's two-part form: a
+/// number-level test on (PBN, level array) pairs and a type-level test in
+/// the virtual type forest.
+
+#pragma once
+
+#include <compare>
+
+#include "common/result.h"
+#include "pbn/axis.h"
+#include "pbn/pbn.h"
+#include "vdg/vdataguide.h"
+#include "vpbn/level_array.h"
+#include "vpbn/level_array_builder.h"
+
+namespace vpbn::virt {
+
+/// \brief A virtual node reference: the node's original PBN number plus its
+/// virtual type. The referenced Pbn must outlive the reference.
+struct Vpbn {
+  const num::Pbn* pbn = nullptr;
+  vdg::VTypeId vtype = vdg::kNullVType;
+
+  Vpbn() = default;
+  Vpbn(const num::Pbn& p, vdg::VTypeId t) : pbn(&p), vtype(t) {}
+};
+
+/// \brief The virtual numbering space of one vDataGuide.
+class VpbnSpace {
+ public:
+  /// An empty space; unusable until move-assigned from Create().
+  VpbnSpace() = default;
+
+  /// Builds the level arrays (Algorithm 1) for \p guide. The guide must
+  /// outlive the space.
+  static Result<VpbnSpace> Create(const vdg::VDataGuide& guide);
+
+  const vdg::VDataGuide& guide() const { return *guide_; }
+  const LevelArrayMap& level_arrays() const { return arrays_; }
+  const LevelArray& level_array(vdg::VTypeId t) const {
+    return arrays_.of(t);
+  }
+
+  /// The node's virtual level: max(x_a).
+  uint32_t VirtualLevel(const Vpbn& x) const {
+    return arrays_.of(x.vtype).max();
+  }
+
+  /// \name Virtual axis predicates (§5). Each answers "is x <axis> of y in
+  /// the virtual hierarchy?".
+  /// @{
+  bool VSelf(const Vpbn& x, const Vpbn& y) const;
+  bool VAncestor(const Vpbn& x, const Vpbn& y) const;
+  bool VParent(const Vpbn& x, const Vpbn& y) const;
+  bool VDescendant(const Vpbn& x, const Vpbn& y) const;
+  bool VChild(const Vpbn& x, const Vpbn& y) const;
+  bool VAncestorOrSelf(const Vpbn& x, const Vpbn& y) const;
+  bool VDescendantOrSelf(const Vpbn& x, const Vpbn& y) const;
+  bool VPreceding(const Vpbn& x, const Vpbn& y) const;
+  bool VFollowing(const Vpbn& x, const Vpbn& y) const;
+  bool VPrecedingSibling(const Vpbn& x, const Vpbn& y) const;
+  bool VFollowingSibling(const Vpbn& x, const Vpbn& y) const;
+  /// @}
+
+  /// Dispatch on \p axis (kAttribute is always false).
+  bool VCheckAxis(num::Axis axis, const Vpbn& x, const Vpbn& y) const;
+
+  /// Virtual document order: less = x comes before y. Nodes that compare
+  /// equivalent are the same virtual node.
+  ///
+  /// The order is lexicographic over virtual levels. At each level the two
+  /// nodes' *level segments* — the contiguous run of PBN components whose
+  /// level-array entry equals that level — are compared element-wise; a
+  /// Case-2 entry with no component sorts after any component, and when one
+  /// segment is a proper prefix of the other the longer segment sorts first
+  /// (this is what places a title's text before the authors in the paper's
+  /// Figure 3). Segments that tie fall through to the pre-order index of
+  /// the nodes' level-l ancestor types. Because every level comparison is a
+  /// pure lexicographic key, the order is a strict weak ordering — safe for
+  /// std::sort — which the naive "ordinal scan, then type order" reading of
+  /// §5's formulas is not (it admits cycles when `*`/`**` expansions put
+  /// differently-scoped types under one parent).
+  std::weak_ordering VCompare(const Vpbn& x, const Vpbn& y) const;
+
+  /// Render "1.2.2 [1,1,2]" for diagnostics.
+  std::string ToString(const Vpbn& x) const;
+
+ private:
+  /// The number-level prefix test shared by VAncestor/VDescendant: at every
+  /// aligned position where the level arrays agree, the PBN components must
+  /// exist and agree.
+  bool NumbersCompatible(const Vpbn& x, const Vpbn& y) const;
+
+  /// First array position (1-based) of each level's segment for \p t, plus
+  /// a final end marker: segment of level l is [starts[l-1], starts[l]).
+  const std::vector<uint32_t>& SegmentStarts(vdg::VTypeId t) const {
+    return segment_starts_[t];
+  }
+
+  const vdg::VDataGuide* guide_ = nullptr;
+  LevelArrayMap arrays_;
+  // Per vtype: ancestor vtype at each level (chain root..self).
+  std::vector<std::vector<vdg::VTypeId>> chains_;
+  // Per vtype: level-segment boundaries in its level array.
+  std::vector<std::vector<uint32_t>> segment_starts_;
+};
+
+}  // namespace vpbn::virt

@@ -1,0 +1,54 @@
+#include "vpbn/vpbn_codec.h"
+
+#include "common/varint.h"
+#include "pbn/codec.h"
+
+namespace vpbn::virt {
+
+void EncodeVpbn(const num::Pbn& pbn, const LevelArray& levels,
+                std::string* out) {
+  num::EncodeCompact(pbn, out);
+  // The array length is the number's length or one more (Case 2); one bit
+  // of information, sent as a byte for simplicity.
+  out->push_back(static_cast<char>(levels.size() - pbn.length()));
+  uint32_t prev = 0;
+  for (uint32_t level : levels.levels()) {
+    PutVarint32(out, level - prev);  // non-decreasing: deltas >= 0
+    prev = level;
+  }
+}
+
+size_t VpbnEncodedSize(const num::Pbn& pbn, const LevelArray& levels) {
+  size_t total = num::CompactEncodedSize(pbn) + 1;
+  uint32_t prev = 0;
+  for (uint32_t level : levels.levels()) {
+    total += static_cast<size_t>(VarintLength32(level - prev));
+    prev = level;
+  }
+  return total;
+}
+
+Result<DecodedVpbn> DecodeVpbn(std::string_view* in) {
+  VPBN_ASSIGN_OR_RETURN(num::Pbn pbn, num::DecodeCompact(in));
+  if (in->empty()) {
+    return Status::InvalidArgument("vpbn codec: truncated input");
+  }
+  uint8_t extra = static_cast<uint8_t>((*in)[0]);
+  in->remove_prefix(1);
+  if (extra > 1) {
+    return Status::InvalidArgument(
+        "vpbn codec: level array exceeds number length by more than one");
+  }
+  size_t n = pbn.length() + extra;
+  std::vector<uint32_t> levels;
+  levels.reserve(n);
+  uint32_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    VPBN_ASSIGN_OR_RETURN(uint32_t delta, GetVarint32(in));
+    prev += delta;
+    levels.push_back(prev);
+  }
+  return DecodedVpbn{std::move(pbn), LevelArray(std::move(levels))};
+}
+
+}  // namespace vpbn::virt

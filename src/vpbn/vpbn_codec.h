@@ -1,0 +1,37 @@
+/// \file vpbn_codec.h
+/// \brief Wire encoding for full vPBN numbers (number + level array).
+///
+/// The normal representation shares one level array per type (§5), but a
+/// system shipping numbers across a wire (or storing them per node, the
+/// naive layout E5 measures) needs a self-contained encoding. Level arrays
+/// are non-decreasing, so they are delta-encoded: most deltas are 0 or 1
+/// and fit a single varint byte.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "pbn/pbn.h"
+#include "vpbn/level_array.h"
+
+namespace vpbn::virt {
+
+/// \brief Append the encoding of (\p pbn, \p levels) to \p out.
+void EncodeVpbn(const num::Pbn& pbn, const LevelArray& levels,
+                std::string* out);
+
+/// \brief Size in bytes EncodeVpbn would emit.
+size_t VpbnEncodedSize(const num::Pbn& pbn, const LevelArray& levels);
+
+/// \brief Decoded pair.
+struct DecodedVpbn {
+  num::Pbn pbn;
+  LevelArray levels;
+};
+
+/// \brief Decode one vPBN from the front of \p in, advancing it.
+Result<DecodedVpbn> DecodeVpbn(std::string_view* in);
+
+}  // namespace vpbn::virt

@@ -1,0 +1,84 @@
+#include "workload/auctions.h"
+
+#include "common/random.h"
+#include "xml/builder.h"
+
+namespace vpbn::workload {
+
+namespace {
+
+const char* const kRegions[] = {"africa", "asia", "australia", "europe",
+                                "namerica", "samerica"};
+const char* const kNouns[] = {"clock",  "lamp",   "vase",  "chair",
+                              "mirror", "carpet", "piano", "radio"};
+const char* const kCities[] = {"Amsterdam", "Cairo", "Lima", "Oslo", "Pune"};
+
+}  // namespace
+
+xml::Document GenerateAuctions(const AuctionsOptions& options) {
+  Rng rng(options.seed);
+  xml::DocumentBuilder b;
+  b.Open("site");
+
+  b.Open("regions");
+  // Distribute items round-robin-ish over regions so every region exists.
+  int n_regions = 6;
+  std::vector<std::vector<int>> items_by_region(n_regions);
+  for (int i = 0; i < options.num_items; ++i) {
+    items_by_region[rng.Uniform(n_regions)].push_back(i);
+  }
+  for (int r = 0; r < n_regions; ++r) {
+    b.Open(kRegions[r]);
+    for (int i : items_by_region[r]) {
+      b.Open("item");
+      b.Attr("id", "item" + std::to_string(i));
+      b.Leaf("name", std::string(kNouns[rng.Uniform(8)]) + " #" +
+                         std::to_string(i));
+      b.Leaf("description",
+             "A fine " + std::string(kNouns[rng.Uniform(8)]) + ".");
+      b.Leaf("quantity", std::to_string(1 + rng.Uniform(5)));
+      b.Close();
+    }
+    b.Close();
+  }
+  b.Close();  // regions
+
+  b.Open("people");
+  for (int p = 0; p < options.num_people; ++p) {
+    b.Open("person");
+    b.Attr("id", "person" + std::to_string(p));
+    b.Leaf("name", "P" + std::to_string(p) + " " + rng.Identifier(4, 8));
+    b.Leaf("city", kCities[rng.Uniform(5)]);
+    b.Close();
+  }
+  b.Close();  // people
+
+  b.Open("open_auctions");
+  for (int a = 0; a < options.num_auctions; ++a) {
+    b.Open("auction");
+    b.Attr("id", "auction" + std::to_string(a));
+    b.Leaf("itemref",
+           "item" + std::to_string(rng.Uniform(
+                        std::max(options.num_items, 1))));
+    int n_bidders =
+        1 + static_cast<int>(rng.Zipf(
+                static_cast<uint64_t>(options.max_extra_bidders) + 1, 1.0));
+    int price = 10 + static_cast<int>(rng.Uniform(90));
+    for (int bd = 0; bd < n_bidders; ++bd) {
+      b.Open("bidder");
+      b.Leaf("personref",
+             "person" + std::to_string(rng.Uniform(
+                            std::max(options.num_people, 1))));
+      price += static_cast<int>(rng.Uniform(25));
+      b.Leaf("price", std::to_string(price));
+      b.Close();
+    }
+    b.Close();
+  }
+  b.Close();  // open_auctions
+
+  b.Close();  // site
+  return std::move(b).Finish();
+}
+
+}  // namespace vpbn::workload

@@ -1,0 +1,35 @@
+/// \file auctions.h
+/// \brief XMark-style auction-site generator.
+///
+/// The XMark benchmark (Schmidt et al., VLDB 2002) is the standard XML
+/// benchmark family the paper's community evaluates against; this generator
+/// reproduces its auction-site shape at configurable scale: regions with
+/// items, people, and open auctions with bidders referencing both. The
+/// multi-branch schema gives virtual transformations plenty of LCA (Case 3)
+/// structure: e.g. re-hierarchize auctions under the people who bid.
+
+#pragma once
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace vpbn::workload {
+
+/// \brief Scale parameters. XMark's scale factor 0.1 is roughly items=2000.
+struct AuctionsOptions {
+  uint64_t seed = 7;
+  int num_items = 200;
+  int num_people = 100;
+  int num_auctions = 150;
+  /// Bidders per auction: 1 + Zipf(max_extra_bidders, 1.0).
+  int max_extra_bidders = 4;
+};
+
+/// \brief Generate a <site> document:
+///   site/regions/<region>/item/{name, description, quantity}
+///   site/people/person/{name, city}
+///   site/open_auctions/auction/{itemref, bidder/{personref, price}...}
+xml::Document GenerateAuctions(const AuctionsOptions& options);
+
+}  // namespace vpbn::workload

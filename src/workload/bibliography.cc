@@ -1,0 +1,51 @@
+#include "workload/bibliography.h"
+
+#include <vector>
+
+#include "common/random.h"
+#include "xml/builder.h"
+
+namespace vpbn::workload {
+
+xml::Document GenerateBibliography(const BibliographyOptions& options) {
+  Rng rng(options.seed);
+  std::vector<std::string> pool;
+  pool.reserve(options.author_pool);
+  for (int i = 0; i < options.author_pool; ++i) {
+    pool.push_back("Author" + std::to_string(i));
+  }
+  const char* const kVenues[] = {"SIGMOD", "VLDB", "ICDE", "EDBT", "TODS"};
+
+  xml::DocumentBuilder b;
+  b.Open("bib");
+  for (int p = 0; p < options.num_publications; ++p) {
+    bool article = rng.Bernoulli(0.5);
+    b.Open(article ? "article" : "inproceedings");
+    b.Attr("key", "pub" + std::to_string(p));
+    b.Leaf("title", "On Topic " + std::to_string(p));
+    int n_authors =
+        1 + static_cast<int>(rng.Zipf(
+                static_cast<uint64_t>(options.max_extra_authors) + 1, 1.2));
+    // Distinct authors per publication.
+    std::vector<int> chosen;
+    while (static_cast<int>(chosen.size()) < n_authors &&
+           static_cast<int>(chosen.size()) < options.author_pool) {
+      int a = static_cast<int>(rng.Zipf(pool.size(), 0.8));
+      bool dup = false;
+      for (int c : chosen) dup = dup || c == a;
+      if (!dup) chosen.push_back(a);
+    }
+    for (int a : chosen) b.Leaf("author", pool[a]);
+    b.Leaf("year", std::to_string(1990 + rng.Uniform(35)));
+    if (article) {
+      b.Leaf("journal", kVenues[rng.Uniform(5)]);
+    } else {
+      b.Leaf("booktitle", kVenues[rng.Uniform(5)]);
+    }
+    b.Close();
+  }
+  b.Close();
+  return std::move(b).Finish();
+}
+
+}  // namespace vpbn::workload

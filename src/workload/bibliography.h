@@ -1,0 +1,29 @@
+/// \file bibliography.h
+/// \brief DBLP-style bibliography generator: publications with shared
+/// author pools. The classic inversion workload — re-hierarchize by author
+/// instead of by publication (Case 2 heavy).
+
+#pragma once
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace vpbn::workload {
+
+struct BibliographyOptions {
+  uint64_t seed = 13;
+  int num_publications = 200;
+  /// Size of the author pool names are drawn from (smaller pool = more
+  /// sharing, more fan-out in the inverted hierarchy).
+  int author_pool = 50;
+  /// Authors per publication: 1 + Zipf(max_extra_authors, 1.2).
+  int max_extra_authors = 4;
+};
+
+/// \brief Generate <bib> with <article>/<inproceedings> children, each with
+/// <title>, <author>+ (text names drawn from a shared pool), <year>, and
+/// <journal> or <booktitle>.
+xml::Document GenerateBibliography(const BibliographyOptions& options);
+
+}  // namespace vpbn::workload

@@ -1,0 +1,58 @@
+#include "workload/books.h"
+
+#include "common/random.h"
+#include "xml/builder.h"
+
+namespace vpbn::workload {
+
+namespace {
+
+const char* const kFirstNames[] = {"Ada",  "Edgar", "Grace", "Alan",
+                                   "Barb", "Curt",  "Donna", "Ed"};
+const char* const kLastNames[] = {"Codd",   "Dijkstra", "Hopper", "Turing",
+                                  "Liskov", "Knuth",    "Gray",   "Stone"};
+const char* const kCities[] = {"Boston", "Berlin", "Tokyo",    "Logan",
+                               "Sydney", "Mumbai", "Sao Paulo"};
+const char* const kTopics[] = {"Databases", "Compilers", "Networks",
+                               "Graphics",  "Logic",     "Algorithms"};
+
+}  // namespace
+
+xml::Document GenerateBooks(const BooksOptions& options) {
+  Rng rng(options.seed);
+  xml::DocumentBuilder b;
+  b.Open("data");
+  for (int i = 0; i < options.num_books; ++i) {
+    b.Open("book");
+    if (options.with_attributes) {
+      b.Attr("id", "b" + std::to_string(i));
+      b.Attr("year", std::to_string(1960 + rng.Uniform(65)));
+    }
+    if (rng.Bernoulli(options.title_prob)) {
+      std::string title = std::string(kTopics[rng.Uniform(6)]) + " Vol. " +
+                          std::to_string(i);
+      b.Leaf("title", title);
+    }
+    int n_authors =
+        1 + static_cast<int>(rng.Zipf(
+                static_cast<uint64_t>(options.max_extra_authors) + 1,
+                options.zipf_s));
+    for (int a = 0; a < n_authors; ++a) {
+      b.Open("author");
+      std::string name = std::string(kFirstNames[rng.Uniform(8)]) + " " +
+                         kLastNames[rng.Uniform(8)];
+      b.Leaf("name", name);
+      b.Close();
+    }
+    if (rng.Bernoulli(options.publisher_prob)) {
+      b.Open("publisher");
+      b.Leaf("location", kCities[rng.Uniform(7)]);
+      b.Close();
+    }
+    b.Close();
+  }
+  b.Close();
+  return std::move(b).Finish();
+}
+
+}  // namespace vpbn::workload

@@ -1,0 +1,34 @@
+/// \file books.h
+/// \brief Generator for the paper's running example schema (§2, Figure 2):
+/// a catalog of books with titles, authors and publishers. All benchmark
+/// experiments on Sam's/Rhonda's queries run over instances of this schema.
+
+#pragma once
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace vpbn::workload {
+
+/// \brief Shape parameters for the catalog.
+struct BooksOptions {
+  uint64_t seed = 1;
+  /// Number of <book> elements.
+  int num_books = 100;
+  /// Authors per book are 1 + Zipf(max_extra_authors, zipf_s).
+  int max_extra_authors = 3;
+  double zipf_s = 1.1;
+  /// Probability that a book carries a <publisher><location>.
+  double publisher_prob = 0.8;
+  /// Probability that a book has a <title> (orphaned authors exercise the
+  /// no-parent path of virtual navigation when < 1).
+  double title_prob = 1.0;
+  /// Add year/id attributes to books.
+  bool with_attributes = true;
+};
+
+/// \brief Generate <data> with `num_books` <book> children.
+xml::Document GenerateBooks(const BooksOptions& options);
+
+}  // namespace vpbn::workload

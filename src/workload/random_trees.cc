@@ -1,0 +1,99 @@
+#include "workload/random_trees.h"
+
+#include <vector>
+
+namespace vpbn::workload {
+
+xml::Document GenerateRandomTree(const RandomTreeOptions& options) {
+  Rng rng(options.seed);
+  xml::Document doc;
+  struct Open {
+    xml::NodeId id;
+    int depth;
+  };
+  std::vector<Open> elements;
+  xml::NodeId root = doc.AddElement("r0", xml::kNullNode);
+  elements.push_back({root, 1});
+  while (static_cast<int>(doc.num_nodes()) < options.num_nodes) {
+    // Copy: push_back below may reallocate the vector.
+    const Open parent = rng.Bernoulli(options.depth_bias)
+                            ? elements.back()
+                            : elements[rng.Uniform(elements.size())];
+    if (rng.Bernoulli(options.text_prob)) {
+      doc.AddText("t" + std::to_string(rng.Uniform(50)), parent.id);
+      continue;
+    }
+    std::string label = "e" + std::to_string(rng.Uniform(options.num_labels));
+    xml::NodeId child = doc.AddElement(label, parent.id);
+    if (parent.depth + 1 < options.max_depth) {
+      elements.push_back({child, parent.depth + 1});
+    }
+  }
+  return doc;
+}
+
+std::string GenerateRandomSpec(const dg::DataGuide& guide,
+                               const RandomSpecOptions& options) {
+  Rng rng(options.seed);
+  std::vector<dg::TypeId> element_types;
+  for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
+    if (!guide.IsTextType(t)) element_types.push_back(t);
+  }
+  if (element_types.empty()) return "";
+
+  int n = std::min<int>(options.num_types,
+                        static_cast<int>(element_types.size()));
+  // Choose n distinct types.
+  std::vector<dg::TypeId> chosen;
+  std::vector<bool> used(element_types.size(), false);
+  while (static_cast<int>(chosen.size()) < n) {
+    size_t i = rng.Uniform(element_types.size());
+    if (used[i]) continue;
+    used[i] = true;
+    chosen.push_back(element_types[i]);
+  }
+
+  // Arrange into a random tree: node i attaches under a previous node (or
+  // the previous node, with chain_prob) or becomes a new root.
+  struct SpecNode {
+    dg::TypeId type;
+    std::vector<int> children;
+  };
+  std::vector<SpecNode> nodes;
+  std::vector<int> roots;
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back({chosen[i], {}});
+    if (i == 0 || rng.Bernoulli(0.2)) {
+      roots.push_back(i);
+    } else if (rng.Bernoulli(options.chain_prob)) {
+      nodes[i - 1].children.push_back(i);
+    } else {
+      nodes[rng.Uniform(i)].children.push_back(i);
+    }
+  }
+
+  // Render with fully qualified labels (always unambiguous).
+  std::string out;
+  auto render = [&](int i, auto&& self) -> void {
+    out += guide.path(nodes[i].type);
+    bool star = rng.Bernoulli(options.star_prob);
+    bool star_star = rng.Bernoulli(options.star_prob / 2);
+    if (!nodes[i].children.empty() || star || star_star) {
+      out += " { ";
+      for (int c : nodes[i].children) {
+        self(c, self);
+        out += " ";
+      }
+      if (star) out += "* ";
+      if (star_star) out += "** ";
+      out += "}";
+    }
+  };
+  for (size_t r = 0; r < roots.size(); ++r) {
+    if (r > 0) out += " ";
+    render(roots[r], render);
+  }
+  return out;
+}
+
+}  // namespace vpbn::workload

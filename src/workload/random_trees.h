@@ -1,0 +1,55 @@
+/// \file random_trees.h
+/// \brief Seeded random documents and random vDataGuide specifications,
+/// used by property tests and the E1/E7 benchmarks.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "dataguide/dataguide.h"
+#include "xml/document.h"
+
+namespace vpbn::workload {
+
+/// \brief Shape of a random document.
+struct RandomTreeOptions {
+  uint64_t seed = 1;
+  int num_nodes = 100;
+  /// Distinct element labels; reuse across levels creates recursive types.
+  int num_labels = 6;
+  /// Probability a new node is a text leaf.
+  double text_prob = 0.2;
+  /// Bias toward deeper trees: a new node attaches to the most recently
+  /// added element with this probability, else to a uniform element.
+  double depth_bias = 0.3;
+  /// Hard cap on depth.
+  int max_depth = 24;
+};
+
+/// \brief Generate a random forest.
+xml::Document GenerateRandomTree(const RandomTreeOptions& options);
+
+/// \brief Shape of a random vDataGuide specification.
+struct RandomSpecOptions {
+  uint64_t seed = 1;
+  /// Number of original types to pull into the virtual hierarchy.
+  int num_types = 5;
+  /// Probability a chosen type nests under the previous one rather than a
+  /// random earlier one.
+  double chain_prob = 0.5;
+  /// Probability a non-root node additionally receives a `*` child, and
+  /// (independently, halved) a `**` child — exercising star expansion in
+  /// property tests.
+  double star_prob = 0.0;
+};
+
+/// \brief Build a random (always valid) vDataGuide spec over \p guide's
+/// types: picks element types, arranges them into a random tree, labels
+/// them with their fully qualified paths so resolution is unambiguous.
+/// Returns an empty string if the guide has no element types.
+std::string GenerateRandomSpec(const dg::DataGuide& guide,
+                               const RandomSpecOptions& options);
+
+}  // namespace vpbn::workload

@@ -1,0 +1,47 @@
+#include "workload/treebank.h"
+
+#include "common/random.h"
+#include "xml/builder.h"
+
+namespace vpbn::workload {
+
+namespace {
+
+const char* const kPhrases[] = {"NP", "VP", "PP", "ADJP"};
+const char* const kWords[] = {"the",  "cat",   "sat",  "on",  "a",
+                              "mat",  "quick", "brown", "fox", "jumps"};
+
+void GrowPhrase(xml::DocumentBuilder* b, Rng* rng, int depth, int max_depth,
+                double branch_mean) {
+  if (depth >= max_depth || rng->Bernoulli(0.35)) {
+    b->Leaf("word", kWords[rng->Uniform(10)]);
+    return;
+  }
+  b->Open(kPhrases[rng->Uniform(4)]);
+  int kids = 1;
+  while (rng->Bernoulli(branch_mean / (branch_mean + 1.0)) && kids < 4) {
+    ++kids;
+  }
+  for (int i = 0; i < kids; ++i) {
+    GrowPhrase(b, rng, depth + 1, max_depth, branch_mean);
+  }
+  b->Close();
+}
+
+}  // namespace
+
+xml::Document GenerateTreebank(const TreebankOptions& options) {
+  Rng rng(options.seed);
+  xml::DocumentBuilder b;
+  b.Open("treebank");
+  for (int s = 0; s < options.num_sentences; ++s) {
+    b.Open("S");
+    GrowPhrase(&b, &rng, 2, options.max_depth, options.branch_mean);
+    GrowPhrase(&b, &rng, 2, options.max_depth, options.branch_mean);
+    b.Close();
+  }
+  b.Close();
+  return std::move(b).Finish();
+}
+
+}  // namespace vpbn::workload

@@ -1,0 +1,33 @@
+/// \file treebank.h
+/// \brief Treebank-style generator: deeply recursive parse trees.
+///
+/// The Penn Treebank XML conversion is the standard deep-recursion stress
+/// case in the XML indexing literature: sentence structures nest the same
+/// element names dozens of levels deep, so a path-based DataGuide grows one
+/// type per recursion level (§4.1: "each level of recursion is a different
+/// (actual) type"). Deep PBN numbers and long level arrays stress exactly
+/// the O(c) factors of the paper's analysis.
+
+#pragma once
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace vpbn::workload {
+
+struct TreebankOptions {
+  uint64_t seed = 42;
+  /// Number of <S> sentence trees under the corpus root.
+  int num_sentences = 50;
+  /// Maximum recursion depth of a sentence's phrase structure.
+  int max_depth = 16;
+  /// Expected branching of non-terminal phrases.
+  double branch_mean = 1.8;
+};
+
+/// \brief Generate <treebank> with <S> sentences of nested NP/VP/PP/ADJP
+/// phrases ending in word leaves.
+xml::Document GenerateTreebank(const TreebankOptions& options);
+
+}  // namespace vpbn::workload

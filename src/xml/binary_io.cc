@@ -1,0 +1,134 @@
+#include "xml/binary_io.h"
+
+#include "common/varint.h"
+
+namespace vpbn::xml {
+
+namespace {
+
+constexpr std::string_view kMagic = "VPBN";
+constexpr uint32_t kVersion = 1;
+
+void PutString(std::string* out, std::string_view s) {
+  PutVarint64(out, s.size());
+  out->append(s);
+}
+
+Result<std::string_view> GetString(std::string_view* in) {
+  VPBN_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(in));
+  if (len > in->size()) {
+    return Status::InvalidArgument("binary document: truncated string");
+  }
+  std::string_view s = in->substr(0, len);
+  in->remove_prefix(len);
+  return s;
+}
+
+}  // namespace
+
+std::string WriteBinary(const Document& doc) {
+  std::string out;
+  out.append(kMagic);
+  PutVarint32(&out, kVersion);
+
+  const NameTable& names = doc.name_table();
+  PutVarint64(&out, names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    PutString(&out, names.name(static_cast<NameId>(i)));
+  }
+
+  PutVarint64(&out, doc.num_nodes());
+  for (NodeId id = 0; id < doc.num_nodes(); ++id) {
+    out.push_back(static_cast<char>(doc.kind(id)));
+    PutVarint32(&out, static_cast<uint32_t>(doc.name_id(id) + 1));
+    NodeId parent = doc.parent(id);
+    PutVarint32(&out, parent == kNullNode ? 0 : parent + 1);
+    if (doc.IsText(id)) {
+      PutString(&out, doc.text(id));
+    }
+    const auto& attrs = doc.attributes(id);
+    PutVarint64(&out, attrs.size());
+    for (const Attribute& a : attrs) {
+      PutString(&out, a.name);
+      PutString(&out, a.value);
+    }
+  }
+  PutVarint64(&out, doc.roots().size());
+  return out;
+}
+
+Result<Document> ReadBinary(std::string_view data) {
+  if (data.substr(0, kMagic.size()) != kMagic) {
+    return Status::InvalidArgument("binary document: bad magic");
+  }
+  data.remove_prefix(kMagic.size());
+  VPBN_ASSIGN_OR_RETURN(uint32_t version, GetVarint32(&data));
+  if (version != kVersion) {
+    return Status::InvalidArgument("binary document: unsupported version " +
+                                   std::to_string(version));
+  }
+
+  VPBN_ASSIGN_OR_RETURN(uint64_t name_count, GetVarint64(&data));
+  std::vector<std::string> names;
+  names.reserve(name_count);
+  for (uint64_t i = 0; i < name_count; ++i) {
+    VPBN_ASSIGN_OR_RETURN(std::string_view s, GetString(&data));
+    names.emplace_back(s);
+  }
+
+  VPBN_ASSIGN_OR_RETURN(uint64_t node_count, GetVarint64(&data));
+  Document doc;
+  for (uint64_t id = 0; id < node_count; ++id) {
+    if (data.empty()) {
+      return Status::InvalidArgument("binary document: truncated node");
+    }
+    auto kind = static_cast<NodeKind>(data[0]);
+    data.remove_prefix(1);
+    VPBN_ASSIGN_OR_RETURN(uint32_t name_plus1, GetVarint32(&data));
+    VPBN_ASSIGN_OR_RETURN(uint32_t parent_plus1, GetVarint32(&data));
+    NodeId parent = parent_plus1 == 0 ? kNullNode : parent_plus1 - 1;
+    if (parent != kNullNode && parent >= id) {
+      return Status::InvalidArgument(
+          "binary document: parent appears after child");
+    }
+    if (parent != kNullNode && !doc.IsElement(parent)) {
+      return Status::InvalidArgument(
+          "binary document: text node used as a parent");
+    }
+    NodeId created;
+    if (kind == NodeKind::kText) {
+      VPBN_ASSIGN_OR_RETURN(std::string_view text, GetString(&data));
+      created = doc.AddText(text, parent);
+    } else if (kind == NodeKind::kElement) {
+      if (name_plus1 == 0 || name_plus1 > names.size()) {
+        return Status::InvalidArgument("binary document: bad name id");
+      }
+      created = doc.AddElement(names[name_plus1 - 1], parent);
+    } else {
+      return Status::InvalidArgument("binary document: bad node kind");
+    }
+    VPBN_ASSIGN_OR_RETURN(uint64_t attr_count, GetVarint64(&data));
+    if (kind == NodeKind::kText && attr_count != 0) {
+      return Status::InvalidArgument(
+          "binary document: text node carries attributes");
+    }
+    for (uint64_t a = 0; a < attr_count; ++a) {
+      VPBN_ASSIGN_OR_RETURN(std::string_view aname, GetString(&data));
+      VPBN_ASSIGN_OR_RETURN(std::string_view avalue, GetString(&data));
+      doc.AddAttribute(created, aname, avalue);
+    }
+    if (created != id) {
+      return Status::Internal("binary document: id drift");
+    }
+  }
+  VPBN_ASSIGN_OR_RETURN(uint64_t root_count, GetVarint64(&data));
+  if (root_count != doc.roots().size()) {
+    return Status::InvalidArgument("binary document: root count mismatch");
+  }
+  if (!data.empty()) {
+    return Status::InvalidArgument("binary document: trailing bytes");
+  }
+  return doc;
+}
+
+}  // namespace vpbn::xml

@@ -1,0 +1,32 @@
+/// \file binary_io.h
+/// \brief Binary snapshot codec for Documents.
+///
+/// A compact, versioned, varint-based encoding of a Document's node arena —
+/// names interned once, structure as parent links (valid because arenas are
+/// built parents-first). Loading skips XML lexing/entity work entirely;
+/// numbering and indexes are rebuilt by StoredDocument::Build as usual.
+///
+/// Layout:
+///   magic "VPBN" | version varint | name count | names (len+bytes)...
+///   node count | per node: kind u8, name-id+1 varint, parent+1 varint,
+///     text (len+bytes, text nodes only), attr count + (name,value) pairs
+///   root count (consistency check)
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace vpbn::xml {
+
+/// \brief Serialize \p doc into the binary snapshot form.
+std::string WriteBinary(const Document& doc);
+
+/// \brief Reconstruct a Document from a snapshot. Fails with
+/// InvalidArgument on corrupt or version-incompatible input.
+Result<Document> ReadBinary(std::string_view data);
+
+}  // namespace vpbn::xml

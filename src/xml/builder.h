@@ -1,0 +1,84 @@
+/// \file builder.h
+/// \brief Fluent programmatic construction of Documents.
+///
+/// Used by tests and workload generators to build trees without going
+/// through text:
+/// \code
+///   DocumentBuilder b;
+///   b.Open("book").Attr("year", "1994")
+///      .Open("title").Text("TCP/IP Illustrated").Close()
+///    .Close();
+///   Document doc = std::move(b).Finish();
+/// \endcode
+
+#pragma once
+
+#include <cassert>
+#include <string_view>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace vpbn::xml {
+
+/// \brief Stack-based builder; Open pushes an element, Close pops it.
+class DocumentBuilder {
+ public:
+  DocumentBuilder() = default;
+
+  /// Open a child element under the current element (or a new root).
+  DocumentBuilder& Open(std::string_view name) {
+    NodeId parent = stack_.empty() ? kNullNode : stack_.back();
+    stack_.push_back(doc_.AddElement(name, parent));
+    return *this;
+  }
+
+  /// Add an attribute to the currently open element.
+  DocumentBuilder& Attr(std::string_view name, std::string_view value) {
+    assert(!stack_.empty() && "Attr() with no open element");
+    doc_.AddAttribute(stack_.back(), name, value);
+    return *this;
+  }
+
+  /// Add a text child to the currently open element.
+  DocumentBuilder& Text(std::string_view content) {
+    assert(!stack_.empty() && "Text() with no open element");
+    doc_.AddText(content, stack_.back());
+    return *this;
+  }
+
+  /// Add an element with a single text child: <name>text</name>.
+  DocumentBuilder& Leaf(std::string_view name, std::string_view text) {
+    Open(name);
+    Text(text);
+    return Close();
+  }
+
+  /// Close the currently open element.
+  DocumentBuilder& Close() {
+    assert(!stack_.empty() && "Close() with no open element");
+    stack_.pop_back();
+    return *this;
+  }
+
+  /// NodeId of the currently open element (for callers that need it).
+  NodeId Current() const {
+    assert(!stack_.empty());
+    return stack_.back();
+  }
+
+  /// Number of currently open elements.
+  size_t OpenDepth() const { return stack_.size(); }
+
+  /// Finalize; all elements must be closed.
+  Document Finish() && {
+    assert(stack_.empty() && "Finish() with unclosed elements");
+    return std::move(doc_);
+  }
+
+ private:
+  Document doc_;
+  std::vector<NodeId> stack_;
+};
+
+}  // namespace vpbn::xml

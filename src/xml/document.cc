@@ -1,0 +1,160 @@
+#include "xml/document.h"
+
+namespace vpbn::xml {
+
+Document Document::Clone() const {
+  Document copy;
+  copy.nodes_ = nodes_;
+  copy.roots_ = roots_;
+  copy.names_ = names_;
+  return copy;
+}
+
+NodeId Document::Append(NodeData data, NodeId parent) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  data.parent = parent;
+  if (parent == kNullNode) {
+    if (!roots_.empty()) {
+      NodeId prev = roots_.back();
+      nodes_[prev].next_sibling = id;
+      data.prev_sibling = prev;
+    }
+    roots_.push_back(id);
+  } else {
+    NodeData& p = At(parent);
+    assert(p.kind == NodeKind::kElement && "text nodes cannot have children");
+    if (p.last_child == kNullNode) {
+      p.first_child = id;
+    } else {
+      nodes_[p.last_child].next_sibling = id;
+      data.prev_sibling = p.last_child;
+    }
+    p.last_child = id;
+  }
+  nodes_.push_back(std::move(data));
+  return id;
+}
+
+NodeId Document::AddElement(std::string_view name, NodeId parent) {
+  NodeData data;
+  data.kind = NodeKind::kElement;
+  data.name = names_.Intern(name);
+  return Append(std::move(data), parent);
+}
+
+NodeId Document::AddText(std::string_view content, NodeId parent) {
+  NodeData data;
+  data.kind = NodeKind::kText;
+  data.text.assign(content);
+  return Append(std::move(data), parent);
+}
+
+void Document::AddAttribute(NodeId element, std::string_view name,
+                            std::string_view value) {
+  assert(IsElement(element));
+  At(element).attrs.push_back(
+      Attribute{std::string(name), std::string(value)});
+}
+
+const std::string& Document::name(NodeId id) const {
+  static const std::string kEmpty;
+  NameId nid = At(id).name;
+  return nid == kTextName ? kEmpty : names_.name(nid);
+}
+
+Result<std::string> Document::AttributeValue(NodeId element,
+                                             std::string_view name) const {
+  for (const Attribute& a : At(element).attrs) {
+    if (a.name == name) return a.value;
+  }
+  return Status::NotFound("attribute '" + std::string(name) + "' not present");
+}
+
+std::vector<NodeId> Document::Children(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId c = At(id).first_child; c != kNullNode;
+       c = At(c).next_sibling) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+size_t Document::ChildCount(NodeId id) const {
+  size_t n = 0;
+  for (NodeId c = At(id).first_child; c != kNullNode;
+       c = At(c).next_sibling) {
+    ++n;
+  }
+  return n;
+}
+
+uint32_t Document::SiblingOrdinal(NodeId id) const {
+  uint32_t ord = 1;
+  for (NodeId s = At(id).prev_sibling; s != kNullNode;
+       s = At(s).prev_sibling) {
+    ++ord;
+  }
+  return ord;
+}
+
+uint32_t Document::Depth(NodeId id) const {
+  uint32_t d = 1;
+  for (NodeId p = At(id).parent; p != kNullNode; p = At(p).parent) ++d;
+  return d;
+}
+
+size_t Document::SubtreeSize(NodeId id) const {
+  size_t n = 1;
+  for (NodeId c = At(id).first_child; c != kNullNode;
+       c = At(c).next_sibling) {
+    n += SubtreeSize(c);
+  }
+  return n;
+}
+
+bool Document::IsAncestor(NodeId ancestor, NodeId node) const {
+  for (NodeId p = At(node).parent; p != kNullNode; p = At(p).parent) {
+    if (p == ancestor) return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> Document::DocumentOrder() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  std::vector<NodeId> stack(roots_.rbegin(), roots_.rend());
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    // Push children in reverse so they pop in sibling order.
+    std::vector<NodeId> kids = Children(id);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+std::string Document::StringValue(NodeId id) const {
+  if (IsText(id)) return At(id).text;
+  std::string out;
+  for (NodeId c = At(id).first_child; c != kNullNode;
+       c = At(c).next_sibling) {
+    out += StringValue(c);
+  }
+  return out;
+}
+
+size_t Document::MemoryUsage() const {
+  size_t total = nodes_.capacity() * sizeof(NodeData) +
+                 roots_.capacity() * sizeof(NodeId);
+  for (const NodeData& n : nodes_) {
+    total += n.text.capacity();
+    total += n.attrs.capacity() * sizeof(Attribute);
+    for (const Attribute& a : n.attrs) {
+      total += a.name.capacity() + a.value.capacity();
+    }
+  }
+  return total;
+}
+
+}  // namespace vpbn::xml

@@ -1,0 +1,193 @@
+/// \file document.h
+/// \brief Arena-backed XML document (a forest of element/text trees).
+///
+/// A Document owns all of its nodes in a single arena addressed by NodeId.
+/// The model is a *forest* to match the paper's data model instances and
+/// DataGuides (§4.1), though documents produced by the parser have a single
+/// root element.
+///
+/// Navigation is via parent / first-child / next-sibling links; helpers
+/// provide child iteration, subtree size, depth and document-order
+/// comparison. Documents are append-only: nodes are never deleted, which is
+/// what makes NodeIds stable keys for the numbering and index layers.
+
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/name_table.h"
+#include "xml/node.h"
+
+namespace vpbn::xml {
+
+/// \brief Mutable (append-only) XML document arena.
+class Document {
+ public:
+  Document() = default;
+
+  // Movable but not copyable: copies of node arenas are almost always a
+  // performance bug; use Clone() to be explicit.
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  /// Deep copy, preserving NodeIds.
+  Document Clone() const;
+
+  /// \name Construction
+  /// @{
+
+  /// Appends a new element named \p name as the last child of \p parent
+  /// (kNullNode appends a new tree root).
+  NodeId AddElement(std::string_view name, NodeId parent);
+
+  /// Appends a new text node with \p content under \p parent. Text roots are
+  /// permitted in the forest model but unusual.
+  NodeId AddText(std::string_view content, NodeId parent);
+
+  /// Adds an attribute to element \p element.
+  void AddAttribute(NodeId element, std::string_view name,
+                    std::string_view value);
+  /// @}
+
+  /// \name Node accessors
+  /// @{
+  size_t num_nodes() const { return nodes_.size(); }
+
+  NodeKind kind(NodeId id) const { return At(id).kind; }
+  bool IsElement(NodeId id) const { return kind(id) == NodeKind::kElement; }
+  bool IsText(NodeId id) const { return kind(id) == NodeKind::kText; }
+
+  /// Interned name id (kTextName for text nodes).
+  NameId name_id(NodeId id) const { return At(id).name; }
+
+  /// Element name; empty string for text nodes.
+  const std::string& name(NodeId id) const;
+
+  /// Text content (text nodes only; empty for elements).
+  const std::string& text(NodeId id) const { return At(id).text; }
+
+  /// Attributes of an element (empty for text nodes).
+  const std::vector<Attribute>& attributes(NodeId id) const {
+    return At(id).attrs;
+  }
+
+  /// Value of attribute \p name on \p element, or NotFound.
+  Result<std::string> AttributeValue(NodeId element,
+                                     std::string_view name) const;
+
+  NodeId parent(NodeId id) const { return At(id).parent; }
+  NodeId first_child(NodeId id) const { return At(id).first_child; }
+  NodeId last_child(NodeId id) const { return At(id).last_child; }
+  NodeId next_sibling(NodeId id) const { return At(id).next_sibling; }
+  NodeId prev_sibling(NodeId id) const { return At(id).prev_sibling; }
+
+  /// Root nodes in insertion order.
+  const std::vector<NodeId>& roots() const { return roots_; }
+  /// @}
+
+  /// \name Derived structure
+  /// @{
+
+  /// Children of \p id in sibling order (materializes a vector).
+  std::vector<NodeId> Children(NodeId id) const;
+
+  /// Number of children of \p id.
+  size_t ChildCount(NodeId id) const;
+
+  /// 1-based ordinal of \p id among its siblings (roots count as siblings of
+  /// each other).
+  uint32_t SiblingOrdinal(NodeId id) const;
+
+  /// Depth: root nodes are at level 1 (the paper's convention).
+  uint32_t Depth(NodeId id) const;
+
+  /// Number of nodes in the subtree rooted at \p id (including \p id).
+  size_t SubtreeSize(NodeId id) const;
+
+  /// True iff \p ancestor is a proper ancestor of \p node.
+  bool IsAncestor(NodeId ancestor, NodeId node) const;
+
+  /// Pre-order (document-order) traversal of the whole forest.
+  std::vector<NodeId> DocumentOrder() const;
+
+  /// Concatenation of all text-node content in the subtree of \p id
+  /// (the XPath string-value of an element).
+  std::string StringValue(NodeId id) const;
+  /// @}
+
+  NameTable& name_table() { return names_; }
+  const NameTable& name_table() const { return names_; }
+
+  /// Approximate heap footprint in bytes (used by the space benchmark E5).
+  size_t MemoryUsage() const;
+
+ private:
+  struct NodeData {
+    NodeKind kind = NodeKind::kElement;
+    NameId name = kTextName;
+    NodeId parent = kNullNode;
+    NodeId first_child = kNullNode;
+    NodeId last_child = kNullNode;
+    NodeId next_sibling = kNullNode;
+    NodeId prev_sibling = kNullNode;
+    std::string text;
+    std::vector<Attribute> attrs;
+  };
+
+  const NodeData& At(NodeId id) const {
+    assert(id < nodes_.size());
+    return nodes_[id];
+  }
+  NodeData& At(NodeId id) {
+    assert(id < nodes_.size());
+    return nodes_[id];
+  }
+
+  NodeId Append(NodeData data, NodeId parent);
+
+  std::vector<NodeData> nodes_;
+  std::vector<NodeId> roots_;
+  NameTable names_;
+};
+
+/// \brief Iterates the children of a node without materializing a vector.
+///
+/// \code
+///   for (NodeId c : ChildRange(doc, parent)) { ... }
+/// \endcode
+class ChildRange {
+ public:
+  ChildRange(const Document& doc, NodeId parent)
+      : doc_(&doc), first_(parent == kNullNode ? kNullNode
+                                               : doc.first_child(parent)) {}
+
+  class Iterator {
+   public:
+    Iterator(const Document* doc, NodeId cur) : doc_(doc), cur_(cur) {}
+    NodeId operator*() const { return cur_; }
+    Iterator& operator++() {
+      cur_ = doc_->next_sibling(cur_);
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return cur_ != o.cur_; }
+
+   private:
+    const Document* doc_;
+    NodeId cur_;
+  };
+
+  Iterator begin() const { return Iterator(doc_, first_); }
+  Iterator end() const { return Iterator(doc_, kNullNode); }
+
+ private:
+  const Document* doc_;
+  NodeId first_;
+};
+
+}  // namespace vpbn::xml

@@ -1,0 +1,49 @@
+/// \file name_table.h
+/// \brief Interning table for element names.
+///
+/// Element names repeat heavily in XML data; interning keeps the per-node
+/// footprint at one int32 and makes name tests integer comparisons.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/node.h"
+
+namespace vpbn::xml {
+
+/// \brief Bidirectional map between element names and dense NameIds.
+class NameTable {
+ public:
+  /// Returns the id for \p name, interning it on first sight.
+  NameId Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    NameId id = static_cast<NameId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for \p name, or kTextName if it was never interned.
+  NameId Lookup(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kTextName : it->second;
+  }
+
+  /// Name for an id; id must come from this table (not kTextName).
+  const std::string& name(NameId id) const {
+    return names_[static_cast<size_t>(id)];
+  }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NameId> ids_;
+};
+
+}  // namespace vpbn::xml

@@ -1,0 +1,45 @@
+/// \file node.h
+/// \brief Node identifiers and kinds for the XML data model.
+///
+/// The data model follows the paper's simplification (§4.1): element and text
+/// nodes are first-class, numbered nodes; attributes are properties of
+/// elements ("for brevity we ignore other kinds of nodes"). Comments,
+/// processing instructions and the XML declaration are recognized by the
+/// parser but not materialized.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vpbn::xml {
+
+/// \brief Dense index of a node within its Document. Nodes created by the
+/// parser are allocated in document (pre-)order.
+using NodeId = uint32_t;
+
+/// \brief Sentinel for "no node" (absent parent/sibling/child).
+inline constexpr NodeId kNullNode = UINT32_MAX;
+
+/// \brief Interned element-name identifier (see Document::name_table()).
+using NameId = int32_t;
+
+/// \brief Name id used for text nodes, which are unnamed. The paper renders
+/// text-node types with the symbol '◦'.
+inline constexpr NameId kTextName = -1;
+
+/// \brief Kind of a data-model node.
+enum class NodeKind : uint8_t {
+  kElement = 0,
+  kText = 1,
+};
+
+/// \brief One attribute of an element node.
+struct Attribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const Attribute&) const = default;
+};
+
+}  // namespace vpbn::xml

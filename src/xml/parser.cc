@@ -1,0 +1,249 @@
+#include "xml/parser.h"
+
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace vpbn::xml {
+
+namespace {
+
+/// Recursive-descent parser holding cursor state and position tracking.
+class ParserImpl {
+ public:
+  ParserImpl(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<Document> Run() {
+    Document doc;
+    SkipProlog();
+    int roots = 0;
+    while (!AtEnd()) {
+      SkipMisc();
+      if (AtEnd()) break;
+      if (!LookingAt("<")) {
+        return Error("content outside of a root element");
+      }
+      VPBN_RETURN_NOT_OK(ParseElement(&doc, kNullNode, /*depth=*/1));
+      ++roots;
+    }
+    if (roots == 0) return Error("no root element");
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < input_.size() ? input_[pos_ + off] : '\0';
+  }
+
+  bool LookingAt(std::string_view s) const {
+    return input_.substr(pos_, s.size()) == s;
+  }
+
+  void Advance(size_t n = 1) {
+    for (size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+      if (input_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("xml:" + std::to_string(line_) + ":" +
+                              std::to_string(col_) + ": " + msg);
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  /// Skip the XML declaration, DOCTYPE, comments and PIs before the root.
+  void SkipProlog() {
+    for (;;) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        SkipUntil("?>");
+      } else if (LookingAt("<!--")) {
+        SkipUntil("-->");
+      } else if (LookingAt("<!DOCTYPE")) {
+        SkipUntil(">");
+      } else {
+        return;
+      }
+    }
+  }
+
+  /// Skip whitespace, comments and PIs between trees.
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (LookingAt("<!--")) {
+        SkipUntil("-->");
+      } else if (LookingAt("<?")) {
+        SkipUntil("?>");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    size_t found = input_.find(terminator, pos_);
+    size_t target = (found == std::string_view::npos)
+                        ? input_.size()
+                        : found + terminator.size();
+    Advance(target - pos_);
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    if (AtEnd() || !IsNameStartChar(Peek())) {
+      return Error("expected a name");
+    }
+    // Accept ':' inside names so namespace-prefixed documents parse; the
+    // prefix is kept as part of the name (no namespace processing).
+    while (!AtEnd() && (IsNameChar(Peek()) || Peek() == ':')) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Status ParseAttributes(Document* doc, NodeId element) {
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || LookingAt("/>")) return Status::OK();
+      VPBN_ASSIGN_OR_RETURN(std::string name, ParseName());
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') return Error("expected '=' in attribute");
+      Advance();
+      SkipWhitespace();
+      if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = Peek();
+      Advance();
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != quote) {
+        if (Peek() == '<') return Error("'<' in attribute value");
+        Advance();
+      }
+      if (AtEnd()) return Error("unterminated attribute value");
+      std::string value = UnescapeXml(input_.substr(start, pos_ - start));
+      Advance();  // closing quote
+      for (const Attribute& a : doc->attributes(element)) {
+        if (a.name == name) {
+          return Error("duplicate attribute '" + name + "'");
+        }
+      }
+      doc->AddAttribute(element, name, value);
+    }
+  }
+
+  Status ParseElement(Document* doc, NodeId parent, int depth) {
+    if (depth > options_.max_depth) {
+      return Status::ResourceExhausted(
+          "xml: element nesting exceeds max_depth=" +
+          std::to_string(options_.max_depth));
+    }
+    // Caller guarantees we are looking at '<'.
+    Advance();
+    VPBN_ASSIGN_OR_RETURN(std::string name, ParseName());
+    NodeId element = doc->AddElement(name, parent);
+    VPBN_RETURN_NOT_OK(ParseAttributes(doc, element));
+    if (LookingAt("/>")) {
+      Advance(2);
+      return Status::OK();
+    }
+    if (AtEnd() || Peek() != '>') return Error("expected '>'");
+    Advance();
+    return ParseContent(doc, element, name, depth);
+  }
+
+  Status ParseContent(Document* doc, NodeId element,
+                      const std::string& element_name, int depth) {
+    std::string pending_text;
+    auto flush_text = [&]() {
+      if (pending_text.empty()) return;
+      if (!options_.skip_whitespace_text ||
+          !TrimWhitespace(pending_text).empty()) {
+        doc->AddText(UnescapeXml(pending_text), element);
+      }
+      pending_text.clear();
+    };
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element <" + element_name + ">");
+      if (Peek() == '<') {
+        if (LookingAt("</")) {
+          flush_text();
+          Advance(2);
+          VPBN_ASSIGN_OR_RETURN(std::string close, ParseName());
+          SkipWhitespace();
+          if (AtEnd() || Peek() != '>') return Error("expected '>'");
+          Advance();
+          if (close != element_name) {
+            return Error("mismatched end tag </" + close + ">, expected </" +
+                         element_name + ">");
+          }
+          return Status::OK();
+        }
+        if (LookingAt("<!--")) {
+          SkipUntil("-->");
+          continue;
+        }
+        if (LookingAt("<![CDATA[")) {
+          Advance(9);
+          size_t end = input_.find("]]>", pos_);
+          if (end == std::string_view::npos) {
+            return Error("unterminated CDATA section");
+          }
+          // CDATA is literal text; append raw (no entity decoding) by
+          // escaping nothing — pending_text is unescaped at flush, so
+          // re-escape '&' to survive the round trip.
+          std::string_view raw = input_.substr(pos_, end - pos_);
+          for (char c : raw) {
+            if (c == '&') {
+              pending_text += "&amp;";
+            } else if (c == '<') {
+              pending_text += "&lt;";
+            } else {
+              pending_text.push_back(c);
+            }
+          }
+          Advance(end + 3 - pos_);
+          continue;
+        }
+        if (LookingAt("<?")) {
+          SkipUntil("?>");
+          continue;
+        }
+        flush_text();
+        VPBN_RETURN_NOT_OK(ParseElement(doc, element, depth + 1));
+        continue;
+      }
+      pending_text.push_back(Peek());
+      Advance();
+    }
+  }
+
+  std::string_view input_;
+  const ParseOptions& options_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<Document> Parse(std::string_view input, const ParseOptions& options) {
+  return ParserImpl(input, options).Run();
+}
+
+}  // namespace vpbn::xml

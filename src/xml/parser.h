@@ -1,0 +1,35 @@
+/// \file parser.h
+/// \brief Parser for a well-formed XML subset into a Document.
+///
+/// Supported: elements, attributes (single- or double-quoted), text with the
+/// five predefined entities and numeric character references, comments,
+/// CDATA sections, processing instructions, the XML declaration, and a
+/// DOCTYPE without an internal subset. Comments/PIs/DOCTYPE are skipped, not
+/// materialized, matching the paper's data model (§4.1).
+///
+/// Errors carry line/column positions.
+
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/document.h"
+
+namespace vpbn::xml {
+
+/// \brief Knobs for parsing.
+struct ParseOptions {
+  /// Drop text nodes that contain only ASCII whitespace (the data-centric
+  /// convention; pretty-printed documents parse to the same tree).
+  bool skip_whitespace_text = true;
+
+  /// Maximum element nesting depth, to bound recursion on adversarial input.
+  int max_depth = 512;
+};
+
+/// \brief Parse \p input into a new Document.
+Result<Document> Parse(std::string_view input,
+                       const ParseOptions& options = ParseOptions());
+
+}  // namespace vpbn::xml

@@ -1,0 +1,108 @@
+/// \file xq_ast.h
+/// \brief AST for the FLWR subset with the paper's virtualDoc() extension.
+///
+/// Supported (enough to express Sam's and Rhonda's queries of §2 verbatim
+/// modulo whitespace):
+///
+///   query    := flwr | expr
+///   flwr     := ('for' $v 'in' expr)+ ('let' $v ':=' expr)*
+///               ('where' cond)?
+///               ('order' 'by' expr ('ascending'|'descending')?)?
+///               'return' expr
+///   expr     := doc("name") path?
+///             | virtualDoc("name", "vdataguide") path?
+///             | $v path?
+///             | '(' query ')' path?          -- inner query, then navigate
+///             | count '(' expr ')'
+///             | string-literal | number
+///             | element constructor  <n a="v">{expr} text <m/>...</n>
+///   cond     := expr (=|!=|<|<=|>|>=) expr | cond and cond | cond or cond
+///               | not '(' cond ')' | '(' cond ')' | expr
+///
+/// Paths reuse the XPath subset of query/path_ast.h.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/path_ast.h"
+
+namespace vpbn::xq {
+
+struct XqExpr;
+
+/// \brief One `for $v in e` or `let $v := e` binding.
+struct Binding {
+  std::string var;  // without the '$'
+  std::unique_ptr<XqExpr> expr;
+};
+
+/// \brief A piece of element-constructor content.
+struct Content {
+  enum class Kind : uint8_t { kText, kExpr, kElement };
+  Kind kind = Kind::kText;
+  std::string text;               // kText
+  std::unique_ptr<XqExpr> expr;   // kExpr, kElement (points to a kElemCtor)
+};
+
+/// \brief Expression node.
+struct XqExpr {
+  enum class Kind : uint8_t {
+    kFlwr,
+    kDoc,         ///< doc("name") [path]
+    kVirtualDoc,  ///< virtualDoc("name", "spec") [path]
+    kVarPath,     ///< $v [path]
+    kInnerPath,   ///< ( query ) [path]
+    kCount,       ///< count(expr)
+    kAggregate,   ///< sum/min/max/avg (expr) over numeric string values
+    kDistinct,    ///< distinct-values(expr): unique atomized strings
+    kContains,    ///< contains(expr, expr): substring test
+    kStringFn,    ///< string(expr): atomize to one string
+    kString,
+    kNumber,
+    kElemCtor,
+    kCompare,
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  Kind kind = Kind::kString;
+
+  // kFlwr
+  std::vector<Binding> fors;
+  std::vector<Binding> lets;
+  std::unique_ptr<XqExpr> where;     // nullable
+  std::unique_ptr<XqExpr> order_by;  // nullable
+  bool order_descending = false;
+  std::unique_ptr<XqExpr> ret;
+
+  // kDoc / kVirtualDoc
+  std::string doc_name;
+  std::string vdg_spec;  // kVirtualDoc only
+
+  // kVarPath
+  std::string var;
+
+  // kDoc / kVirtualDoc / kVarPath / kInnerPath
+  bool has_path = false;
+  query::Path path;
+
+  // kInnerPath / kCount / kNot / kCompare / kAnd / kOr
+  std::unique_ptr<XqExpr> lhs;
+  std::unique_ptr<XqExpr> rhs;
+  query::CompareOp op = query::CompareOp::kEq;
+
+  // kString / kNumber; kAggregate reuses str for the function name
+  std::string str;
+  double num = 0;
+
+  // kElemCtor
+  std::string elem_name;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  std::vector<Content> content;
+};
+
+}  // namespace vpbn::xq

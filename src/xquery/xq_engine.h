@@ -1,0 +1,126 @@
+/// \file xq_engine.h
+/// \brief Interpreter for the FLWR subset, with doc() and the paper's
+/// virtualDoc() (§2, Figure 6).
+///
+/// doc("name") navigates a registered document through its PBN indexes;
+/// virtualDoc("name", "spec") navigates the same stored data through a
+/// virtual hierarchy with vPBN — no data is transformed. A parenthesized
+/// inner query followed by a path — Rhonda's nested query of Figure 4 —
+/// *materializes* the inner result into a fresh document, renumbers it and
+/// navigates physically: exactly the two-pass baseline the paper measures
+/// against.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "query/eval_indexed.h"
+#include "query/eval_nav.h"
+#include "query/eval_virtual.h"
+#include "storage/stored_document.h"
+#include "vpbn/virtual_document.h"
+#include "xquery/xq_ast.h"
+
+namespace vpbn::xq {
+
+/// \brief One value in a sequence: a node of some document, a virtual node,
+/// or an atomic.
+struct Item {
+  enum class Kind : uint8_t { kNode, kVirtualNode, kString, kNumber };
+  Kind kind = Kind::kString;
+  const xml::Document* doc = nullptr;            // kNode
+  xml::NodeId node = xml::kNullNode;             // kNode
+  const virt::VirtualDocument* vdoc = nullptr;   // kVirtualNode
+  virt::VirtualNode vnode;                       // kVirtualNode
+  std::string str;                               // kString
+  double num = 0;                                // kNumber
+};
+
+using Sequence = std::vector<Item>;
+
+/// \brief Execution statistics for the benchmark pipelines.
+struct RunStats {
+  /// Nodes copied while materializing inner-query results.
+  uint64_t materialized_nodes = 0;
+  /// Documents constructed (inner materializations + element constructors).
+  uint64_t constructed_documents = 0;
+};
+
+/// \brief The query processor. Register inputs, then Run queries.
+class Engine {
+ public:
+  Engine() = default;
+
+  /// Registers \p doc as doc("name"). Builds its stored form (serialized
+  /// string, numbering, DataGuide, indexes) once. The document must outlive
+  /// the engine.
+  Status RegisterDocument(const std::string& name, const xml::Document* doc);
+
+  /// Parses and evaluates \p query_text.
+  Result<Sequence> Run(std::string_view query_text);
+
+  /// Evaluates a pre-parsed query.
+  Result<Sequence> Run(const XqExpr& query);
+
+  /// Runs and serializes the result sequence: nodes as XML, atomics as
+  /// text, concatenated.
+  Result<std::string> RunToXml(std::string_view query_text);
+
+  /// Serializes one item.
+  std::string ItemToXml(const Item& item) const;
+
+  /// The stored form of a registered document (for direct index access).
+  Result<const storage::StoredDocument*> Stored(const std::string& name) const;
+
+  const RunStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = RunStats{}; }
+
+ private:
+  struct Source {
+    const xml::Document* doc = nullptr;
+    std::unique_ptr<storage::StoredDocument> stored;
+    // Cache of virtualDoc views by spec text.
+    std::map<std::string, std::unique_ptr<virt::VirtualDocument>> views;
+  };
+
+  using Env = std::map<std::string, Sequence>;
+
+  /// One tuple's contribution when `order by` is present.
+  struct OrderedChunk {
+    std::string key;
+    Sequence result;
+  };
+
+  Result<Sequence> EvalExpr(const XqExpr& expr, Env* env);
+  Result<Sequence> EvalFlwr(const XqExpr& flwr, Env* env);
+  Result<Sequence> EvalFors(const XqExpr& flwr, size_t idx, Env* env,
+                            std::vector<OrderedChunk>* ordered);
+  Result<bool> Truthy(const XqExpr& expr, Env* env);
+  Result<Sequence> ApplyPathToItem(const query::Path& path, const Item& item);
+  Result<Item> ConstructElement(const XqExpr& ctor, Env* env);
+  Status AppendItemCopy(xml::Document* out, xml::NodeId parent,
+                        const Item& item);
+  std::string ItemStringValue(const Item& item) const;
+  Result<virt::VirtualDocument*> View(const std::string& doc_name,
+                                      const std::string& spec);
+
+  /// NavAdapter for \p doc, rebuilt if the document grew since caching.
+  const query::NavAdapter& NavFor(const xml::Document& doc);
+
+  std::map<std::string, Source> sources_;
+  // Arena of constructed documents; Items point into them.
+  std::vector<std::unique_ptr<xml::Document>> constructed_;
+  // NavAdapter construction is O(document); cache per document so repeated
+  // relative-path evaluation (one per FLWR tuple) stays linear overall.
+  std::map<const xml::Document*,
+           std::pair<size_t, std::unique_ptr<query::NavAdapter>>>
+      nav_cache_;
+  RunStats stats_;
+};
+
+}  // namespace vpbn::xq

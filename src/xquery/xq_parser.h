@@ -1,0 +1,17 @@
+/// \file xq_parser.h
+/// \brief Parser for the FLWR subset (grammar in xq_ast.h).
+
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "xquery/xq_ast.h"
+
+namespace vpbn::xq {
+
+/// \brief Parse a query. Errors carry the offending offset.
+Result<std::unique_ptr<XqExpr>> ParseQuery(std::string_view text);
+
+}  // namespace vpbn::xq

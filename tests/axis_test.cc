@@ -1,0 +1,186 @@
+#include "pbn/axis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pbn/numbering.h"
+#include "xml/builder.h"
+
+namespace vpbn::num {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+TEST(AxisTest, PaperSection42Example) {
+  // "1.1.2 can be compared to 1.2. Since 1.1.2 is neither a prefix nor a
+  // suffix of 1.2, it is not a child, parent, ancestor, or descendant. The
+  // PBN number 1.1.2 precedes 1.2 in document order, but is not a preceding
+  // sibling since the parent of 1.1.2 (1.1) is different from that of 1.2."
+  Pbn x{1, 1, 2};
+  Pbn y{1, 2};
+  EXPECT_FALSE(IsChild(x, y));
+  EXPECT_FALSE(IsParent(x, y));
+  EXPECT_FALSE(IsAncestor(x, y));
+  EXPECT_FALSE(IsDescendant(x, y));
+  EXPECT_TRUE(IsPreceding(x, y));
+  EXPECT_FALSE(IsPrecedingSibling(x, y));
+}
+
+TEST(AxisTest, SelfOnlyOnEqualNumbers) {
+  EXPECT_TRUE(IsSelf(Pbn{1, 2}, Pbn{1, 2}));
+  EXPECT_FALSE(IsSelf(Pbn{1, 2}, Pbn{1, 2, 1}));
+}
+
+TEST(AxisTest, ChildParentDuality) {
+  Pbn parent{1, 2};
+  Pbn child{1, 2, 5};
+  EXPECT_TRUE(IsChild(child, parent));
+  EXPECT_TRUE(IsParent(parent, child));
+  EXPECT_FALSE(IsChild(parent, child));
+  EXPECT_FALSE(IsChild(Pbn{1, 2, 5, 1}, parent));  // grandchild, not child
+}
+
+TEST(AxisTest, AncestorDescendantDuality) {
+  Pbn top{1};
+  Pbn deep{1, 3, 2, 4};
+  EXPECT_TRUE(IsAncestor(top, deep));
+  EXPECT_TRUE(IsDescendant(deep, top));
+  EXPECT_FALSE(IsAncestor(deep, top));
+  EXPECT_FALSE(IsAncestor(top, top));  // proper
+  EXPECT_TRUE(IsAncestorOrSelf(top, top));
+  EXPECT_TRUE(IsDescendantOrSelf(deep, deep));
+}
+
+TEST(AxisTest, SiblingOrdering) {
+  Pbn a{1, 2, 1};
+  Pbn b{1, 2, 3};
+  EXPECT_TRUE(IsFollowingSibling(b, a));
+  EXPECT_TRUE(IsPrecedingSibling(a, b));
+  EXPECT_FALSE(IsFollowingSibling(a, b));
+  EXPECT_FALSE(IsFollowingSibling(a, a));
+  // Cousins are not siblings.
+  EXPECT_FALSE(IsFollowingSibling(Pbn{1, 3, 1}, Pbn{1, 2, 1}));
+}
+
+TEST(AxisTest, RootsAreSiblingsInForest) {
+  EXPECT_TRUE(IsFollowingSibling(Pbn{2}, Pbn{1}));
+  EXPECT_TRUE(IsPrecedingSibling(Pbn{1}, Pbn{3}));
+}
+
+TEST(AxisTest, FollowingExcludesDescendants) {
+  Pbn y{1, 2};
+  EXPECT_TRUE(IsFollowing(Pbn{1, 3}, y));
+  EXPECT_FALSE(IsFollowing(Pbn{1, 2, 1}, y));  // descendant
+  EXPECT_FALSE(IsFollowing(Pbn{1, 1}, y));     // precedes
+}
+
+TEST(AxisTest, PrecedingExcludesAncestors) {
+  Pbn y{1, 2, 1};
+  EXPECT_TRUE(IsPreceding(Pbn{1, 1, 9}, y));
+  EXPECT_FALSE(IsPreceding(Pbn{1, 2}, y));  // ancestor
+  EXPECT_FALSE(IsPreceding(Pbn{1, 2, 2}, y));
+}
+
+TEST(AxisTest, AxisNameRoundTrip) {
+  for (auto axis :
+       {Axis::kSelf, Axis::kChild, Axis::kParent, Axis::kAncestor,
+        Axis::kDescendant, Axis::kAncestorOrSelf, Axis::kDescendantOrSelf,
+        Axis::kFollowing, Axis::kPreceding, Axis::kFollowingSibling,
+        Axis::kPrecedingSibling, Axis::kAttribute}) {
+    auto parsed = AxisFromString(AxisToString(axis));
+    ASSERT_TRUE(parsed.ok()) << AxisToString(axis);
+    EXPECT_EQ(*parsed, axis);
+  }
+  EXPECT_FALSE(AxisFromString("sideways").ok());
+}
+
+TEST(AxisTest, DownwardAxes) {
+  EXPECT_TRUE(IsDownwardAxis(Axis::kChild));
+  EXPECT_TRUE(IsDownwardAxis(Axis::kDescendantOrSelf));
+  EXPECT_FALSE(IsDownwardAxis(Axis::kParent));
+  EXPECT_FALSE(IsDownwardAxis(Axis::kFollowing));
+}
+
+// --- Property test: every axis decision on numbers must agree with the
+// ground truth computed from tree structure, for every node pair of a
+// randomly generated forest.
+
+Document RandomForest(uint64_t seed, int n_nodes) {
+  vpbn::Rng rng(seed);
+  Document doc;
+  std::vector<NodeId> pool;
+  int n_roots = 1 + static_cast<int>(rng.Uniform(3));
+  for (int r = 0; r < n_roots; ++r) {
+    pool.push_back(doc.AddElement("n", xml::kNullNode));
+  }
+  while (static_cast<int>(doc.num_nodes()) < n_nodes) {
+    NodeId parent = pool[rng.Uniform(pool.size())];
+    pool.push_back(doc.AddElement("n", parent));
+  }
+  return doc;
+}
+
+bool GroundTruth(const Document& doc, Axis axis, NodeId x, NodeId y) {
+  auto order = doc.DocumentOrder();
+  auto pos = [&](NodeId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  switch (axis) {
+    case Axis::kSelf:
+      return x == y;
+    case Axis::kChild:
+      return doc.parent(x) == y;
+    case Axis::kParent:
+      return doc.parent(y) == x;
+    case Axis::kAncestor:
+      return doc.IsAncestor(x, y);
+    case Axis::kDescendant:
+      return doc.IsAncestor(y, x);
+    case Axis::kAncestorOrSelf:
+      return x == y || doc.IsAncestor(x, y);
+    case Axis::kDescendantOrSelf:
+      return x == y || doc.IsAncestor(y, x);
+    case Axis::kFollowing:
+      return pos(x) > pos(y) && !doc.IsAncestor(y, x);
+    case Axis::kPreceding:
+      return pos(x) < pos(y) && !doc.IsAncestor(x, y);
+    case Axis::kFollowingSibling:
+      return doc.parent(x) == doc.parent(y) && x != y && pos(x) > pos(y);
+    case Axis::kPrecedingSibling:
+      return doc.parent(x) == doc.parent(y) && x != y && pos(x) < pos(y);
+    case Axis::kAttribute:
+      return false;
+  }
+  return false;
+}
+
+class AxisPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AxisPropertyTest, NumbersAgreeWithTree) {
+  Document doc = RandomForest(GetParam(), 40);
+  Numbering numbering = Numbering::Number(doc);
+  const Axis kAxes[] = {
+      Axis::kSelf,          Axis::kChild,
+      Axis::kParent,        Axis::kAncestor,
+      Axis::kDescendant,    Axis::kAncestorOrSelf,
+      Axis::kDescendantOrSelf, Axis::kFollowing,
+      Axis::kPreceding,     Axis::kFollowingSibling,
+      Axis::kPrecedingSibling};
+  for (NodeId x = 0; x < doc.num_nodes(); ++x) {
+    for (NodeId y = 0; y < doc.num_nodes(); ++y) {
+      const Pbn& px = numbering.OfNode(x);
+      const Pbn& py = numbering.OfNode(y);
+      for (Axis axis : kAxes) {
+        EXPECT_EQ(CheckAxis(axis, px, py), GroundTruth(doc, axis, x, y))
+            << AxisToString(axis) << " x=" << px << " y=" << py;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AxisPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace vpbn::num

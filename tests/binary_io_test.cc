@@ -1,0 +1,125 @@
+#include "xml/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tests/test_util.h"
+#include "workload/books.h"
+#include "xml/serializer.h"
+
+namespace vpbn::xml {
+namespace {
+
+TEST(BinaryIoTest, RoundTripPaperFigure2) {
+  Document doc = testutil::PaperFigure2();
+  std::string blob = WriteBinary(doc);
+  auto loaded = ReadBinary(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(SerializeDocument(*loaded), SerializeDocument(doc));
+  EXPECT_EQ(loaded->num_nodes(), doc.num_nodes());
+}
+
+TEST(BinaryIoTest, RoundTripWithAttributesAndEntities) {
+  auto parsed = Parse(
+      "<a x=\"1 &amp; 2\" y='\"quoted\"'><b>text &lt;tag&gt;</b><c/></a>");
+  ASSERT_TRUE(parsed.ok());
+  std::string blob = WriteBinary(*parsed);
+  auto loaded = ReadBinary(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(SerializeDocument(*loaded), SerializeDocument(*parsed));
+  EXPECT_EQ(loaded->AttributeValue(loaded->roots()[0], "x").value(),
+            "1 & 2");
+}
+
+TEST(BinaryIoTest, RoundTripForest) {
+  Document doc;
+  doc.AddElement("a", kNullNode);
+  NodeId b = doc.AddElement("b", kNullNode);
+  doc.AddText("t", b);
+  std::string blob = WriteBinary(doc);
+  auto loaded = ReadBinary(blob);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->roots().size(), 2u);
+}
+
+TEST(BinaryIoTest, RoundTripEmptyDocument) {
+  Document doc;
+  auto loaded = ReadBinary(WriteBinary(doc));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 0u);
+}
+
+TEST(BinaryIoTest, RoundTripWorkloads) {
+  workload::BooksOptions opts;
+  opts.num_books = 120;
+  Document doc = workload::GenerateBooks(opts);
+  auto loaded = ReadBinary(WriteBinary(doc));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(SerializeDocument(*loaded), SerializeDocument(doc));
+  // NodeIds are preserved exactly (arena order).
+  for (NodeId id = 0; id < doc.num_nodes(); ++id) {
+    EXPECT_EQ(loaded->kind(id), doc.kind(id));
+    EXPECT_EQ(loaded->parent(id), doc.parent(id));
+    EXPECT_EQ(loaded->name(id), doc.name(id));
+  }
+}
+
+TEST(BinaryIoTest, SnapshotSmallerThanXmlForRepetitiveData) {
+  workload::BooksOptions opts;
+  opts.num_books = 200;
+  Document doc = workload::GenerateBooks(opts);
+  std::string xml_form = SerializeDocument(doc);
+  std::string blob = WriteBinary(doc);
+  // Interned names make the snapshot competitive; exact ratio varies.
+  EXPECT_LT(blob.size(), xml_form.size());
+}
+
+TEST(BinaryIoTest, RejectsBadMagicAndVersion) {
+  EXPECT_TRUE(ReadBinary("").status().IsInvalidArgument());
+  EXPECT_TRUE(ReadBinary("XXXX").status().IsInvalidArgument());
+  Document doc = testutil::PaperFigure2();
+  std::string blob = WriteBinary(doc);
+  std::string bad_version = blob;
+  bad_version[4] = 99;  // version byte
+  EXPECT_TRUE(ReadBinary(bad_version).status().IsInvalidArgument());
+}
+
+TEST(BinaryIoTest, RejectsTruncation) {
+  Document doc = testutil::PaperFigure2();
+  std::string blob = WriteBinary(doc);
+  for (size_t cut = 5; cut < blob.size(); cut += 7) {
+    auto r = ReadBinary(std::string_view(blob).substr(0, cut));
+    EXPECT_FALSE(r.ok()) << cut;
+  }
+}
+
+TEST(BinaryIoTest, RejectsTrailingGarbage) {
+  Document doc = testutil::PaperFigure2();
+  std::string blob = WriteBinary(doc) + "junk";
+  EXPECT_TRUE(ReadBinary(blob).status().IsInvalidArgument());
+}
+
+TEST(BinaryIoTest, FuzzRandomMutationsNeverCrash) {
+  Document doc = testutil::PaperFigure2();
+  std::string blob = WriteBinary(doc);
+  Rng rng(2024);
+  for (int i = 0; i < 500; ++i) {
+    std::string mutated = blob;
+    int flips = 1 + static_cast<int>(rng.Uniform(4));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(rng.Uniform(256));
+    }
+    auto r = ReadBinary(mutated);  // must not crash; may fail or succeed
+    if (r.ok()) {
+      // If it parses, the document must be internally consistent.
+      for (NodeId id = 0; id < r->num_nodes(); ++id) {
+        NodeId p = r->parent(id);
+        ASSERT_TRUE(p == kNullNode || p < id);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vpbn::xml

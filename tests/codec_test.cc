@@ -1,0 +1,133 @@
+#include "pbn/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace vpbn::num {
+namespace {
+
+Pbn RandomPbn(vpbn::Rng* rng, int max_len, uint32_t max_component) {
+  int len = static_cast<int>(rng->UniformRange(0, max_len));
+  std::vector<uint32_t> c;
+  for (int i = 0; i < len; ++i) {
+    c.push_back(static_cast<uint32_t>(rng->UniformRange(1, max_component)));
+  }
+  return Pbn(std::move(c));
+}
+
+TEST(CompactCodecTest, RoundTripExamples) {
+  for (const Pbn& p : {Pbn{}, Pbn{1}, Pbn{1, 2, 2}, Pbn{1000, 1, 70000}}) {
+    std::string buf;
+    EncodeCompact(p, &buf);
+    EXPECT_EQ(buf.size(), CompactEncodedSize(p));
+    std::string_view in = buf;
+    auto q = DecodeCompact(&in);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(*q, p);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CompactCodecTest, SequencesDecodeInOrder) {
+  std::string buf;
+  EncodeCompact(Pbn{1, 2}, &buf);
+  EncodeCompact(Pbn{3}, &buf);
+  std::string_view in = buf;
+  EXPECT_EQ(DecodeCompact(&in).value(), (Pbn{1, 2}));
+  EXPECT_EQ(DecodeCompact(&in).value(), (Pbn{3}));
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CompactCodecTest, SmallNumbersAreSmall) {
+  // A depth-5 number with small ordinals packs into 6 bytes.
+  EXPECT_EQ(CompactEncodedSize(Pbn{1, 2, 2, 1, 1}), 6u);
+}
+
+TEST(CompactCodecTest, TruncationFails) {
+  std::string buf;
+  EncodeCompact(Pbn{1, 2, 300}, &buf);
+  for (size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    EXPECT_FALSE(DecodeCompact(&in).ok()) << cut;
+  }
+}
+
+TEST(CompactCodecTest, ZeroComponentRejected) {
+  std::string buf;
+  buf.push_back(1);  // count = 1
+  buf.push_back(0);  // component = 0: invalid
+  std::string_view in = buf;
+  EXPECT_FALSE(DecodeCompact(&in).ok());
+}
+
+TEST(OrderedCodecTest, RoundTripExamples) {
+  for (const Pbn& p :
+       {Pbn{}, Pbn{1}, Pbn{255}, Pbn{256}, Pbn{1, 2, 2}, Pbn{65536, 7}}) {
+    std::string buf;
+    EncodeOrdered(p, &buf);
+    std::string_view in = buf;
+    auto q = DecodeOrdered(&in);
+    ASSERT_TRUE(q.ok()) << p;
+    EXPECT_EQ(*q, p);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(OrderedCodecTest, MemcmpOrderMatchesDocumentOrder) {
+  vpbn::Rng rng(99);
+  std::vector<Pbn> pbns;
+  for (int i = 0; i < 500; ++i) pbns.push_back(RandomPbn(&rng, 6, 400));
+  for (size_t i = 0; i + 1 < pbns.size(); i += 2) {
+    const Pbn& a = pbns[i];
+    const Pbn& b = pbns[i + 1];
+    std::string ea, eb;
+    EncodeOrdered(a, &ea);
+    EncodeOrdered(b, &eb);
+    auto doc_order = a <=> b;
+    int byte_order = ea.compare(eb);
+    if (doc_order == std::strong_ordering::less) {
+      EXPECT_LT(byte_order, 0) << a << " vs " << b;
+    } else if (doc_order == std::strong_ordering::greater) {
+      EXPECT_GT(byte_order, 0) << a << " vs " << b;
+    } else {
+      EXPECT_EQ(byte_order, 0);
+    }
+  }
+}
+
+TEST(OrderedCodecTest, AncestorSortsBeforeDescendantBytes) {
+  std::string anc, desc;
+  EncodeOrdered(Pbn{1, 2}, &anc);
+  EncodeOrdered(Pbn{1, 2, 1}, &desc);
+  EXPECT_LT(anc.compare(desc), 0);
+}
+
+TEST(OrderedCodecTest, CorruptInputFails) {
+  std::string_view empty;
+  EXPECT_FALSE(DecodeOrdered(&empty).ok());
+  std::string bad = "\x05";  // length byte 5 > 4
+  std::string_view in = bad;
+  EXPECT_FALSE(DecodeOrdered(&in).ok());
+  std::string trunc = "\x02\x01";  // promises 2 payload bytes, has 1
+  in = trunc;
+  EXPECT_FALSE(DecodeOrdered(&in).ok());
+}
+
+TEST(CodecPropertyTest, RandomRoundTripsBothCodecs) {
+  vpbn::Rng rng(1234);
+  for (int i = 0; i < 2000; ++i) {
+    Pbn p = RandomPbn(&rng, 10, 3000000);
+    std::string c, o;
+    EncodeCompact(p, &c);
+    EncodeOrdered(p, &o);
+    std::string_view cv = c, ov = o;
+    ASSERT_EQ(DecodeCompact(&cv).value(), p);
+    ASSERT_EQ(DecodeOrdered(&ov).value(), p);
+  }
+}
+
+}  // namespace
+}  // namespace vpbn::num

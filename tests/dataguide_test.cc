@@ -1,0 +1,220 @@
+#include "dataguide/dataguide.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace vpbn::dg {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+TEST(DataGuideTest, PaperFigure7a) {
+  // The DataGuide of the Figure 2 instance: one type per distinct path.
+  Document doc = testutil::PaperFigure2();
+  DataGuide g = DataGuide::Build(doc);
+  // data, book, title, title.#text, author, name, name.#text, publisher,
+  // location, location.#text = 10 types (two books share all types).
+  EXPECT_EQ(g.num_types(), 10u);
+  EXPECT_TRUE(g.FindByPath("data").ok());
+  EXPECT_TRUE(g.FindByPath("data.book").ok());
+  EXPECT_TRUE(g.FindByPath("data.book.title").ok());
+  EXPECT_TRUE(g.FindByPath("data.book.title.#text").ok());
+  EXPECT_TRUE(g.FindByPath("data.book.author.name.#text").ok());
+  EXPECT_TRUE(g.FindByPath("data.book.publisher.location").ok());
+  EXPECT_FALSE(g.FindByPath("data.book.name").ok());
+}
+
+TEST(DataGuideTest, NodeTypesAssigned) {
+  Document doc = testutil::PaperFigure2();
+  std::vector<TypeId> node_types;
+  DataGuide g = DataGuide::Build(doc, &node_types);
+  ASSERT_EQ(node_types.size(), doc.num_nodes());
+  NodeId data = doc.roots()[0];
+  NodeId book0 = doc.Children(data)[0];
+  NodeId book1 = doc.Children(data)[1];
+  EXPECT_EQ(g.path(node_types[data]), "data");
+  EXPECT_EQ(g.path(node_types[book0]), "data.book");
+  // Both books have the same type.
+  EXPECT_EQ(node_types[book0], node_types[book1]);
+  NodeId title = doc.Children(book0)[0];
+  NodeId title_text = doc.Children(title)[0];
+  EXPECT_EQ(g.path(node_types[title_text]), "data.book.title.#text");
+  EXPECT_TRUE(g.IsTextType(node_types[title_text]));
+}
+
+TEST(DataGuideTest, LengthIsPathLength) {
+  Document doc = testutil::PaperFigure2();
+  DataGuide g = DataGuide::Build(doc);
+  // The paper: "typeOf author ... originalTypeOf is data.book.author",
+  // which has length 3.
+  TypeId author = g.FindByPath("data.book.author").value();
+  EXPECT_EQ(g.length(author), 3u);
+  EXPECT_EQ(g.length(g.FindByPath("data").value()), 1u);
+  EXPECT_EQ(g.length(g.FindByPath("data.book.author.name.#text").value()),
+            5u);
+}
+
+TEST(DataGuideTest, LcaType) {
+  Document doc = testutil::PaperFigure2();
+  DataGuide g = DataGuide::Build(doc);
+  TypeId title = g.FindByPath("data.book.title").value();
+  TypeId name = g.FindByPath("data.book.author.name").value();
+  TypeId author = g.FindByPath("data.book.author").value();
+  TypeId book = g.FindByPath("data.book").value();
+  // "the least common ancestor of name and title is book" (§5.2 Case 2).
+  EXPECT_EQ(g.LcaType(name, title), book);
+  EXPECT_EQ(g.LcaType(title, name), book);
+  // LCA with an ancestor is the ancestor itself.
+  EXPECT_EQ(g.LcaType(name, author), author);
+  EXPECT_EQ(g.LcaType(author, name), author);
+  // LCA of a type with itself is itself.
+  EXPECT_EQ(g.LcaType(title, title), title);
+}
+
+TEST(DataGuideTest, LcaAcrossForestTreesIsNull) {
+  Document doc;
+  doc.AddElement("a", xml::kNullNode);
+  doc.AddElement("b", xml::kNullNode);
+  DataGuide g = DataGuide::Build(doc);
+  TypeId a = g.FindByPath("a").value();
+  TypeId b = g.FindByPath("b").value();
+  EXPECT_EQ(g.LcaType(a, b), kNullType);
+}
+
+TEST(DataGuideTest, FindBySuffix) {
+  Document doc = testutil::PaperFigure2();
+  DataGuide g = DataGuide::Build(doc);
+  EXPECT_EQ(g.FindBySuffix("title").size(), 1u);
+  EXPECT_EQ(g.FindBySuffix("book.title").size(), 1u);
+  EXPECT_EQ(g.FindBySuffix("data.book.title").size(), 1u);
+  EXPECT_EQ(g.FindBySuffix("#text").size(), 3u);
+  EXPECT_EQ(g.FindBySuffix("name.#text").size(), 1u);
+  // Suffix matching respects step boundaries: "ame" is not a step.
+  EXPECT_TRUE(g.FindBySuffix("ame").empty());
+  EXPECT_TRUE(g.FindBySuffix("nosuch").empty());
+}
+
+TEST(DataGuideTest, SuffixAmbiguity) {
+  auto parsed = xml::Parse("<r><a><x/></a><b><x/></b></r>");
+  ASSERT_TRUE(parsed.ok());
+  DataGuide g = DataGuide::Build(*parsed);
+  EXPECT_EQ(g.FindBySuffix("x").size(), 2u);
+  EXPECT_EQ(g.FindBySuffix("a.x").size(), 1u);
+  EXPECT_EQ(g.FindBySuffix("b.x").size(), 1u);
+}
+
+TEST(DataGuideTest, ChildByLabel) {
+  Document doc = testutil::PaperFigure2();
+  DataGuide g = DataGuide::Build(doc);
+  TypeId book = g.FindByPath("data.book").value();
+  EXPECT_TRUE(g.ChildByLabel(book, "title").ok());
+  EXPECT_TRUE(g.ChildByLabel(book, "nope").status().IsNotFound());
+  TypeId title = g.ChildByLabel(book, "title").value();
+  EXPECT_TRUE(g.ChildByLabel(title, "#text").ok());
+}
+
+TEST(DataGuideTest, AncestorTypePredicates) {
+  Document doc = testutil::PaperFigure2();
+  DataGuide g = DataGuide::Build(doc);
+  TypeId data = g.FindByPath("data").value();
+  TypeId name = g.FindByPath("data.book.author.name").value();
+  TypeId title = g.FindByPath("data.book.title").value();
+  EXPECT_TRUE(g.IsAncestorType(data, name));
+  EXPECT_FALSE(g.IsAncestorType(name, data));
+  EXPECT_FALSE(g.IsAncestorType(title, name));
+  EXPECT_FALSE(g.IsAncestorType(name, name));
+  EXPECT_TRUE(g.IsAncestorOrSelfType(name, name));
+}
+
+TEST(DataGuideTest, RecursiveSchemaLevelsAreDistinctTypes) {
+  // "for a recursive schema type, each level of recursion is a different
+  // (actual) type" (§4.1).
+  auto parsed = xml::Parse("<part><part><part/></part></part>");
+  ASSERT_TRUE(parsed.ok());
+  DataGuide g = DataGuide::Build(*parsed);
+  EXPECT_EQ(g.num_types(), 3u);
+  EXPECT_TRUE(g.FindByPath("part").ok());
+  EXPECT_TRUE(g.FindByPath("part.part").ok());
+  EXPECT_TRUE(g.FindByPath("part.part.part").ok());
+}
+
+TEST(DataGuideTest, GuideSmallerThanDocument) {
+  // "In general a DataGuide for a data collection will be much smaller than
+  // the data" — many instances, few types.
+  xml::DocumentBuilder b;
+  b.Open("lib");
+  for (int i = 0; i < 100; ++i) {
+    b.Open("book").Leaf("title", "t" + std::to_string(i)).Close();
+  }
+  b.Close();
+  Document doc = std::move(b).Finish();
+  DataGuide g = DataGuide::Build(doc);
+  EXPECT_EQ(g.num_types(), 4u);  // lib, book, title, title.#text
+  EXPECT_GT(doc.num_nodes(), 300u);
+}
+
+TEST(DataGuideTest, DescendantTypesPreOrder) {
+  Document doc = testutil::PaperFigure2();
+  DataGuide g = DataGuide::Build(doc);
+  TypeId book = g.FindByPath("data.book").value();
+  std::vector<TypeId> desc = g.DescendantTypes(book);
+  std::vector<std::string> paths;
+  for (TypeId t : desc) paths.push_back(g.path(t));
+  EXPECT_EQ(paths, (std::vector<std::string>{
+                       "data.book.title", "data.book.title.#text",
+                       "data.book.author", "data.book.author.name",
+                       "data.book.author.name.#text", "data.book.publisher",
+                       "data.book.publisher.location",
+                       "data.book.publisher.location.#text"}));
+}
+
+TEST(DataGuideTest, TypePbnEncodesForestPosition) {
+  Document doc = testutil::PaperFigure2();
+  DataGuide g = DataGuide::Build(doc);
+  TypeId data = g.FindByPath("data").value();
+  TypeId book = g.FindByPath("data.book").value();
+  EXPECT_EQ(g.pbn(data).ToString(), "1");
+  EXPECT_EQ(g.pbn(book).ToString(), "1.1");
+  EXPECT_TRUE(g.pbn(data).IsStrictPrefixOf(g.pbn(book)));
+}
+
+TEST(DataGuideTest, AddTypeDeduplicates) {
+  DataGuide g;
+  TypeId a1 = g.AddType("a", kNullType);
+  TypeId a2 = g.AddType("a", kNullType);
+  EXPECT_EQ(a1, a2);
+  TypeId b1 = g.AddType("b", a1);
+  TypeId b2 = g.AddType("b", a1);
+  EXPECT_EQ(b1, b2);
+  EXPECT_EQ(g.num_types(), 2u);
+}
+
+TEST(DataGuideTest, RandomForestTypesConsistent) {
+  for (uint64_t seed : {7u, 21u, 99u}) {
+    Document doc = testutil::RandomForest(seed, 200);
+    std::vector<TypeId> node_types;
+    DataGuide g = DataGuide::Build(doc, &node_types);
+    for (NodeId id = 0; id < doc.num_nodes(); ++id) {
+      TypeId t = node_types[id];
+      // The type's depth equals the node's depth.
+      EXPECT_EQ(g.length(t), doc.Depth(id));
+      // The type's parent is the parent node's type.
+      if (doc.parent(id) != xml::kNullNode) {
+        EXPECT_EQ(g.parent(t), node_types[doc.parent(id)]);
+      } else {
+        EXPECT_EQ(g.parent(t), kNullType);
+      }
+      // Labels line up.
+      if (doc.IsText(id)) {
+        EXPECT_TRUE(g.IsTextType(t));
+      } else {
+        EXPECT_EQ(g.label(t), doc.name(id));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vpbn::dg

@@ -1,0 +1,215 @@
+#include "xml/document.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/builder.h"
+
+namespace vpbn::xml {
+namespace {
+
+/// Builds the paper's Figure 2 instance: a data root with two books.
+Document PaperFigure2() {
+  DocumentBuilder b;
+  b.Open("data");
+  b.Open("book")
+      .Leaf("title", "X")
+      .Open("author")
+      .Leaf("name", "C")
+      .Close()
+      .Open("publisher")
+      .Leaf("location", "W")
+      .Close()
+      .Close();
+  b.Open("book")
+      .Leaf("title", "Y")
+      .Open("author")
+      .Leaf("name", "D")
+      .Close()
+      .Open("publisher")
+      .Leaf("location", "M")
+      .Close()
+      .Close();
+  b.Close();
+  return std::move(b).Finish();
+}
+
+TEST(DocumentTest, EmptyDocument) {
+  Document doc;
+  EXPECT_EQ(doc.num_nodes(), 0u);
+  EXPECT_TRUE(doc.roots().empty());
+}
+
+TEST(DocumentTest, AddElementLinksStructure) {
+  Document doc;
+  NodeId root = doc.AddElement("data", kNullNode);
+  NodeId a = doc.AddElement("a", root);
+  NodeId b = doc.AddElement("b", root);
+  EXPECT_EQ(doc.roots(), std::vector<NodeId>{root});
+  EXPECT_EQ(doc.parent(a), root);
+  EXPECT_EQ(doc.parent(b), root);
+  EXPECT_EQ(doc.first_child(root), a);
+  EXPECT_EQ(doc.last_child(root), b);
+  EXPECT_EQ(doc.next_sibling(a), b);
+  EXPECT_EQ(doc.prev_sibling(b), a);
+  EXPECT_EQ(doc.next_sibling(b), kNullNode);
+  EXPECT_EQ(doc.prev_sibling(a), kNullNode);
+}
+
+TEST(DocumentTest, MultipleRootsFormForest) {
+  Document doc;
+  NodeId r1 = doc.AddElement("t1", kNullNode);
+  NodeId r2 = doc.AddElement("t2", kNullNode);
+  EXPECT_EQ(doc.roots().size(), 2u);
+  EXPECT_EQ(doc.next_sibling(r1), r2);
+  EXPECT_EQ(doc.SiblingOrdinal(r2), 2u);
+}
+
+TEST(DocumentTest, TextNodes) {
+  Document doc;
+  NodeId root = doc.AddElement("title", kNullNode);
+  NodeId text = doc.AddText("Moby Dick", root);
+  EXPECT_TRUE(doc.IsText(text));
+  EXPECT_FALSE(doc.IsElement(text));
+  EXPECT_EQ(doc.text(text), "Moby Dick");
+  EXPECT_EQ(doc.name(text), "");
+  EXPECT_EQ(doc.name_id(text), kTextName);
+}
+
+TEST(DocumentTest, Attributes) {
+  Document doc;
+  NodeId root = doc.AddElement("book", kNullNode);
+  doc.AddAttribute(root, "year", "1994");
+  doc.AddAttribute(root, "isbn", "0-201-63346-9");
+  ASSERT_EQ(doc.attributes(root).size(), 2u);
+  EXPECT_EQ(doc.AttributeValue(root, "year").value(), "1994");
+  EXPECT_TRUE(doc.AttributeValue(root, "missing").status().IsNotFound());
+}
+
+TEST(DocumentTest, NameInterning) {
+  Document doc;
+  NodeId a = doc.AddElement("book", kNullNode);
+  NodeId b = doc.AddElement("book", a);
+  NodeId c = doc.AddElement("title", b);
+  EXPECT_EQ(doc.name_id(a), doc.name_id(b));
+  EXPECT_NE(doc.name_id(a), doc.name_id(c));
+  EXPECT_EQ(doc.name(c), "title");
+}
+
+TEST(DocumentTest, ChildrenAndCount) {
+  Document doc = PaperFigure2();
+  NodeId data = doc.roots()[0];
+  EXPECT_EQ(doc.ChildCount(data), 2u);
+  std::vector<NodeId> books = doc.Children(data);
+  ASSERT_EQ(books.size(), 2u);
+  EXPECT_EQ(doc.name(books[0]), "book");
+  EXPECT_EQ(doc.ChildCount(books[0]), 3u);
+}
+
+TEST(DocumentTest, SiblingOrdinalIsOneBased) {
+  Document doc = PaperFigure2();
+  NodeId data = doc.roots()[0];
+  std::vector<NodeId> books = doc.Children(data);
+  std::vector<NodeId> parts = doc.Children(books[1]);
+  EXPECT_EQ(doc.SiblingOrdinal(data), 1u);
+  EXPECT_EQ(doc.SiblingOrdinal(books[0]), 1u);
+  EXPECT_EQ(doc.SiblingOrdinal(books[1]), 2u);
+  EXPECT_EQ(doc.SiblingOrdinal(parts[2]), 3u);
+}
+
+TEST(DocumentTest, DepthRootIsLevelOne) {
+  Document doc = PaperFigure2();
+  NodeId data = doc.roots()[0];
+  NodeId book = doc.Children(data)[0];
+  NodeId title = doc.Children(book)[0];
+  NodeId text = doc.Children(title)[0];
+  EXPECT_EQ(doc.Depth(data), 1u);
+  EXPECT_EQ(doc.Depth(book), 2u);
+  EXPECT_EQ(doc.Depth(title), 3u);
+  EXPECT_EQ(doc.Depth(text), 4u);
+}
+
+TEST(DocumentTest, SubtreeSize) {
+  Document doc = PaperFigure2();
+  NodeId data = doc.roots()[0];
+  // data + 2 * (book + title + text + author + name + text + publisher +
+  // location + text) = 1 + 2*9 = 19.
+  EXPECT_EQ(doc.SubtreeSize(data), 19u);
+  EXPECT_EQ(doc.num_nodes(), 19u);
+}
+
+TEST(DocumentTest, IsAncestor) {
+  Document doc = PaperFigure2();
+  NodeId data = doc.roots()[0];
+  NodeId book0 = doc.Children(data)[0];
+  NodeId book1 = doc.Children(data)[1];
+  NodeId title0 = doc.Children(book0)[0];
+  EXPECT_TRUE(doc.IsAncestor(data, title0));
+  EXPECT_TRUE(doc.IsAncestor(book0, title0));
+  EXPECT_FALSE(doc.IsAncestor(book1, title0));
+  EXPECT_FALSE(doc.IsAncestor(title0, title0));
+  EXPECT_FALSE(doc.IsAncestor(title0, data));
+}
+
+TEST(DocumentTest, DocumentOrderIsPreorder) {
+  Document doc = PaperFigure2();
+  std::vector<NodeId> order = doc.DocumentOrder();
+  ASSERT_EQ(order.size(), doc.num_nodes());
+  // Builder allocates in pre-order, so document order == id order here.
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<NodeId>(i));
+  }
+}
+
+TEST(DocumentTest, StringValueConcatenatesDescendantText) {
+  Document doc = PaperFigure2();
+  NodeId data = doc.roots()[0];
+  NodeId book0 = doc.Children(data)[0];
+  EXPECT_EQ(doc.StringValue(book0), "XCW");
+  EXPECT_EQ(doc.StringValue(data), "XCWYDM");
+}
+
+TEST(DocumentTest, CloneIsDeepAndIdPreserving) {
+  Document doc = PaperFigure2();
+  Document copy = doc.Clone();
+  EXPECT_EQ(copy.num_nodes(), doc.num_nodes());
+  NodeId data = copy.roots()[0];
+  EXPECT_EQ(copy.name(data), "data");
+  // Mutating the copy leaves the original untouched.
+  copy.AddElement("extra", data);
+  EXPECT_EQ(copy.num_nodes(), doc.num_nodes() + 1);
+}
+
+TEST(DocumentTest, ChildRangeIteratesInOrder) {
+  Document doc = PaperFigure2();
+  NodeId data = doc.roots()[0];
+  NodeId book0 = doc.Children(data)[0];
+  std::vector<std::string> names;
+  for (NodeId c : ChildRange(doc, book0)) names.push_back(doc.name(c));
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"title", "author", "publisher"}));
+}
+
+TEST(DocumentTest, MemoryUsageGrowsWithNodes) {
+  Document small;
+  small.AddElement("a", kNullNode);
+  Document big = PaperFigure2();
+  EXPECT_GT(big.MemoryUsage(), small.MemoryUsage());
+}
+
+TEST(BuilderTest, LeafAndCurrentHelpers) {
+  DocumentBuilder b;
+  b.Open("root");
+  NodeId root = b.Current();
+  EXPECT_EQ(b.OpenDepth(), 1u);
+  b.Leaf("name", "value");
+  EXPECT_EQ(b.OpenDepth(), 1u);
+  b.Close();
+  Document doc = std::move(b).Finish();
+  EXPECT_EQ(doc.ChildCount(root), 1u);
+  NodeId leaf = doc.Children(root)[0];
+  EXPECT_EQ(doc.name(leaf), "name");
+  EXPECT_EQ(doc.StringValue(leaf), "value");
+}
+
+}  // namespace
+}  // namespace vpbn::xml

@@ -1,0 +1,189 @@
+#include "pbn/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "pbn/axis.h"
+#include "xml/builder.h"
+
+namespace vpbn::num {
+namespace {
+
+using xml::Document;
+using xml::NodeId;
+
+TEST(DynamicNumberingTest, NumberAllUsesGaps) {
+  xml::DocumentBuilder b;
+  b.Open("r").Open("a").Close().Open("b").Close().Open("c").Close().Close();
+  Document doc = std::move(b).Finish();
+  DynamicNumbering n(10);
+  n.NumberAll(doc);
+  NodeId r = doc.roots()[0];
+  std::vector<NodeId> kids = doc.Children(r);
+  EXPECT_EQ(n.OfNode(r).ToString(), "10");
+  EXPECT_EQ(n.OfNode(kids[0]).ToString(), "10.10");
+  EXPECT_EQ(n.OfNode(kids[1]).ToString(), "10.20");
+  EXPECT_EQ(n.OfNode(kids[2]).ToString(), "10.30");
+}
+
+TEST(DynamicNumberingTest, GapOneIsDense) {
+  xml::DocumentBuilder b;
+  b.Open("r").Open("a").Close().Open("b").Close().Close();
+  Document doc = std::move(b).Finish();
+  DynamicNumbering n(1);
+  n.NumberAll(doc);
+  EXPECT_EQ(n.OfNode(doc.Children(doc.roots()[0])[1]).ToString(), "1.2");
+}
+
+TEST(DynamicNumberingTest, AxisPredicatesHoldOnGappedNumbers) {
+  xml::DocumentBuilder b;
+  b.Open("r").Open("a").Open("x").Close().Close().Open("b").Close().Close();
+  Document doc = std::move(b).Finish();
+  DynamicNumbering n(10);
+  n.NumberAll(doc);
+  NodeId r = doc.roots()[0];
+  NodeId a = doc.Children(r)[0];
+  NodeId x = doc.Children(a)[0];
+  NodeId bb = doc.Children(r)[1];
+  EXPECT_TRUE(IsChild(n.OfNode(a), n.OfNode(r)));
+  EXPECT_TRUE(IsDescendant(n.OfNode(x), n.OfNode(r)));
+  EXPECT_TRUE(IsFollowingSibling(n.OfNode(bb), n.OfNode(a)));
+  EXPECT_TRUE(IsPreceding(n.OfNode(x), n.OfNode(bb)));
+}
+
+TEST(DynamicNumberingTest, AppendNeverRenumbers) {
+  Document doc;
+  NodeId r = doc.AddElement("r", xml::kNullNode);
+  DynamicNumbering n(10);
+  n.NumberAll(doc);
+  for (int i = 0; i < 100; ++i) {
+    NodeId c = doc.AddElement("c", r);
+    n.OnAppend(doc, c);
+  }
+  EXPECT_EQ(n.stats().appends, 100u);
+  EXPECT_EQ(n.stats().renumbered_nodes, 0u);
+  EXPECT_EQ(n.stats().renumber_events, 0u);
+  // Ordinals are strictly increasing with the configured gap.
+  std::vector<NodeId> kids = doc.Children(r);
+  for (size_t i = 1; i < kids.size(); ++i) {
+    EXPECT_LT(n.OfNode(kids[i - 1]), n.OfNode(kids[i]));
+  }
+}
+
+TEST(DynamicNumberingTest, InsertIntoGapAvoidsRenumbering) {
+  Document doc;
+  NodeId r = doc.AddElement("r", xml::kNullNode);
+  NodeId a = doc.AddElement("a", r);
+  NodeId b = doc.AddElement("b", r);
+  DynamicNumbering n(10);
+  n.NumberAll(doc);
+  // Logically insert c before b: ordinal lands strictly between a and b.
+  NodeId c = doc.AddElement("c", r);
+  n.OnInsertBefore(doc, c, b);
+  EXPECT_EQ(n.stats().renumber_events, 0u);
+  EXPECT_LT(n.OfNode(a), n.OfNode(c));
+  EXPECT_LT(n.OfNode(c), n.OfNode(b));
+  EXPECT_TRUE(IsPrecedingSibling(n.OfNode(c), n.OfNode(b)));
+}
+
+TEST(DynamicNumberingTest, ExhaustedGapTriggersLocalRenumber) {
+  Document doc;
+  NodeId r = doc.AddElement("r", xml::kNullNode);
+  NodeId first = doc.AddElement("a", r);
+  NodeId last = doc.AddElement("b", r);
+  DynamicNumbering n(2);  // tiny gap: exhausted after one mid-insert
+  n.NumberAll(doc);
+  std::vector<NodeId> inserted;
+  for (int i = 0; i < 8; ++i) {
+    NodeId c = doc.AddElement("m", r);
+    n.OnInsertBefore(doc, c, last);
+    inserted.push_back(c);
+  }
+  EXPECT_GT(n.stats().renumber_events, 0u);
+  EXPECT_GT(n.stats().renumbered_nodes, 0u);
+  // Logical order is preserved: first, inserted..., last.
+  EXPECT_LT(n.OfNode(first), n.OfNode(inserted[0]));
+  for (size_t i = 1; i < inserted.size(); ++i) {
+    EXPECT_LT(n.OfNode(inserted[i - 1]), n.OfNode(inserted[i])) << i;
+  }
+  EXPECT_LT(n.OfNode(inserted.back()), n.OfNode(last));
+}
+
+TEST(DynamicNumberingTest, RenumberPreservesSubtreePrefixes) {
+  Document doc;
+  NodeId r = doc.AddElement("r", xml::kNullNode);
+  NodeId a = doc.AddElement("a", r);
+  NodeId leaf = doc.AddElement("leaf", a);
+  NodeId b = doc.AddElement("b", r);
+  DynamicNumbering n(1);  // dense: every mid-insert renumbers
+  n.NumberAll(doc);
+  NodeId c = doc.AddElement("c", r);
+  n.OnInsertBefore(doc, c, b);
+  // a's subtree kept consistent: leaf still prefixed by a.
+  EXPECT_TRUE(n.OfNode(a).IsStrictPrefixOf(n.OfNode(leaf)));
+  EXPECT_TRUE(IsChild(n.OfNode(leaf), n.OfNode(a)));
+  EXPECT_LT(n.OfNode(a), n.OfNode(c));
+  EXPECT_LT(n.OfNode(c), n.OfNode(b));
+}
+
+TEST(DynamicNumberingTest, LargerGapsRenumberLess) {
+  auto churn = [](uint32_t gap) {
+    Document doc;
+    NodeId r = doc.AddElement("r", xml::kNullNode);
+    NodeId last = doc.AddElement("z", r);
+    DynamicNumbering n(gap);
+    n.NumberAll(doc);
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+      NodeId c = doc.AddElement("m", r);
+      n.OnInsertBefore(doc, c, last);
+    }
+    return n.stats().renumbered_nodes;
+  };
+  uint64_t dense = churn(1);
+  uint64_t gapped = churn(64);
+  EXPECT_GT(dense, gapped);
+}
+
+TEST(DynamicNumberingTest, RootInsertion) {
+  Document doc;
+  NodeId r1 = doc.AddElement("a", xml::kNullNode);
+  DynamicNumbering n(10);
+  n.NumberAll(doc);
+  NodeId r2 = doc.AddElement("b", xml::kNullNode);
+  n.OnAppend(doc, r2);
+  EXPECT_EQ(n.OfNode(r2).ToString(), "20");
+  NodeId r0 = doc.AddElement("c", xml::kNullNode);
+  n.OnInsertBefore(doc, r0, r1);
+  EXPECT_LT(n.OfNode(r0), n.OfNode(r1));
+}
+
+TEST(DynamicNumberingTest, RandomChurnKeepsTotalOrderConsistent) {
+  Document doc;
+  NodeId r = doc.AddElement("r", xml::kNullNode);
+  DynamicNumbering n(8);
+  n.NumberAll(doc);
+  Rng rng(77);
+  // Maintain the logical sibling order externally and verify the numbers
+  // always agree with it.
+  std::vector<NodeId> logical;
+  for (int i = 0; i < 300; ++i) {
+    NodeId c = doc.AddElement("x", r);
+    if (logical.empty() || rng.Bernoulli(0.5)) {
+      n.OnAppend(doc, c);
+      logical.push_back(c);
+    } else {
+      size_t pos = rng.Uniform(logical.size());
+      n.OnInsertBefore(doc, c, logical[pos]);
+      logical.insert(logical.begin() + pos, c);
+    }
+  }
+  for (size_t i = 1; i < logical.size(); ++i) {
+    ASSERT_LT(n.OfNode(logical[i - 1]), n.OfNode(logical[i])) << i;
+    ASSERT_TRUE(IsFollowingSibling(n.OfNode(logical[i]),
+                                   n.OfNode(logical[i - 1])));
+  }
+}
+
+}  // namespace
+}  // namespace vpbn::num

@@ -1,0 +1,192 @@
+#include "vpbn/level_array_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "vpbn/level_array.h"
+
+namespace vpbn::virt {
+namespace {
+
+struct Fixture {
+  xml::Document doc;
+  dg::DataGuide guide;
+
+  explicit Fixture(xml::Document d) : doc(std::move(d)) {
+    guide = dg::DataGuide::Build(doc);
+  }
+  Fixture() : Fixture(testutil::PaperFigure2()) {}
+
+  LevelArrayMap Build(std::string_view spec, vdg::VDataGuide* out_vg) {
+    auto vg = vdg::VDataGuide::Create(spec, guide);
+    EXPECT_TRUE(vg.ok()) << vg.status();
+    *out_vg = std::move(vg).ValueUnsafe();
+    auto map = BuildLevelArrays(*out_vg);
+    EXPECT_TRUE(map.ok()) << map.status();
+    return std::move(map).ValueUnsafe();
+  }
+};
+
+std::string ArrayFor(const vdg::VDataGuide& vg, const LevelArrayMap& map,
+                     std::string_view vpath) {
+  auto t = vg.FindByVPath(vpath);
+  EXPECT_TRUE(t.ok()) << t.status();
+  return map.of(t.value()).ToString();
+}
+
+TEST(LevelArrayTest, BasicAccessors) {
+  LevelArray a({1, 1, 2, 3});
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.at1(1), 1u);
+  EXPECT_EQ(a.at1(4), 3u);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a.max(), 3u);
+  EXPECT_EQ(a.ToString(), "[1,1,2,3]");
+  EXPECT_EQ(LevelArray().max(), 0u);
+  EXPECT_TRUE(LevelArray().empty());
+}
+
+TEST(LevelArrayTest, PaperFigure10) {
+  // Figure 10 gives the level arrays of Sam's transformation:
+  //   title  [1,1,1]    ◦ under title  [1,1,1,2]
+  //   author [1,1,2]    name           [1,1,2,3]
+  //   ◦ under name      [1,1,2,3,4]
+  Fixture f;
+  vdg::VDataGuide vg;
+  LevelArrayMap map = f.Build(testutil::SamSpec(), &vg);
+  EXPECT_EQ(ArrayFor(vg, map, "title"), "[1,1,1]");
+  EXPECT_EQ(ArrayFor(vg, map, "title.#text"), "[1,1,1,2]");
+  EXPECT_EQ(ArrayFor(vg, map, "title.author"), "[1,1,2]");
+  EXPECT_EQ(ArrayFor(vg, map, "title.author.name"), "[1,1,2,3]");
+  EXPECT_EQ(ArrayFor(vg, map, "title.author.name.#text"), "[1,1,2,3,4]");
+}
+
+TEST(LevelArrayTest, PaperCase1Example) {
+  // §5.2 Case 1: "consider constructing the level array for name in Figure
+  // 7(b). The level of its parent is 2, its parent's level array is [1,1,2]
+  // ... [1,1,2] • [3], yielding [1,1,2,3]".
+  Fixture f;
+  vdg::VDataGuide vg;
+  LevelArrayMap map = f.Build("title { author { name } }", &vg);
+  EXPECT_EQ(ArrayFor(vg, map, "title.author.name"), "[1,1,2,3]");
+}
+
+TEST(LevelArrayTest, PaperCase2Example) {
+  // §5.2 Case 2: "consider inverting name and author in Figure 7(b) ... The
+  // level array for name would then be [1,1] • [2,2]. ... The level array
+  // for author, the new child of name would be [1,1] • [2,3]."
+  Fixture f;
+  vdg::VDataGuide vg;
+  LevelArrayMap map = f.Build("title { name { author } }", &vg);
+  EXPECT_EQ(ArrayFor(vg, map, "title"), "[1,1,1]");
+  EXPECT_EQ(ArrayFor(vg, map, "title.name"), "[1,1,2,2]");
+  EXPECT_EQ(ArrayFor(vg, map, "title.name.author"), "[1,1,2,3]");
+  // Case 2's signature: author's array is one longer than its number.
+  vdg::VTypeId author = vg.FindByVPath("title.name.author").value();
+  EXPECT_EQ(map.of(author).size(),
+            f.guide.length(vg.original(author)) + 1u);
+}
+
+TEST(LevelArrayTest, PaperCase3Example) {
+  // §5.2 Case 3: "consider constructing the level arrays for title and
+  // author in Figure 7(b) ... The level array for title would then be
+  // [1,1] • [1]. ... The level array for author, the new child of title is
+  // [1,1] • [2]."
+  Fixture f;
+  vdg::VDataGuide vg;
+  LevelArrayMap map = f.Build("title { author }", &vg);
+  EXPECT_EQ(ArrayFor(vg, map, "title"), "[1,1,1]");
+  EXPECT_EQ(ArrayFor(vg, map, "title.author"), "[1,1,2]");
+}
+
+TEST(LevelArrayTest, IdentityTransformLevelsMatchDepths) {
+  // In the identity transformation every component is at its own level:
+  // la(t) = [1, 2, ..., depth].
+  Fixture f;
+  vdg::VDataGuide vg;
+  LevelArrayMap map = f.Build("data { ** }", &vg);
+  for (vdg::VTypeId t = 0; t < vg.num_vtypes(); ++t) {
+    const LevelArray& a = map.of(t);
+    ASSERT_EQ(a.size(), f.guide.length(vg.original(t)));
+    for (size_t i = 1; i <= a.size(); ++i) {
+      EXPECT_EQ(a.at1(i), i) << vg.vpath(t);
+    }
+  }
+}
+
+TEST(LevelArrayTest, RootArrayAllOnes) {
+  // Algorithm 1: the root's array assigns level 1 to every cell.
+  Fixture f;
+  vdg::VDataGuide vg;
+  LevelArrayMap map = f.Build("name", &vg);
+  // name's original path data.book.author.name has length 4.
+  EXPECT_EQ(ArrayFor(vg, map, "name"), "[1,1,1,1]");
+}
+
+TEST(LevelArrayTest, DeepInversionChain) {
+  // name { author { book } }: two chained Case-2 inversions.
+  Fixture f;
+  vdg::VDataGuide vg;
+  LevelArrayMap map = f.Build("name { author { book } }", &vg);
+  EXPECT_EQ(ArrayFor(vg, map, "name"), "[1,1,1,1]");
+  EXPECT_EQ(ArrayFor(vg, map, "name.author"), "[1,1,1,2]");
+  EXPECT_EQ(ArrayFor(vg, map, "name.author.book"), "[1,1,3]");
+}
+
+TEST(LevelArrayTest, ArraysAreNonDecreasing) {
+  const char* specs[] = {
+      "title { author { name } }",
+      "title { name { author } }",
+      "name { author { book } }",
+      "data { ** }",
+      "book { location title }",
+      "location { name { title } }",
+  };
+  Fixture f;
+  for (const char* spec : specs) {
+    vdg::VDataGuide vg;
+    LevelArrayMap map = f.Build(spec, &vg);
+    for (vdg::VTypeId t = 0; t < vg.num_vtypes(); ++t) {
+      const LevelArray& a = map.of(t);
+      for (size_t i = 2; i <= a.size(); ++i) {
+        EXPECT_GE(a.at1(i), a.at1(i - 1)) << spec << " " << vg.vpath(t);
+      }
+      // max equals the virtual level.
+      EXPECT_EQ(a.max(), vg.level(t)) << spec << " " << vg.vpath(t);
+      // The array is never shorter than the number and at most one longer.
+      uint32_t s = f.guide.length(vg.original(t));
+      EXPECT_GE(a.size(), s) << spec << " " << vg.vpath(t);
+      EXPECT_LE(a.size(), s + 1u) << spec << " " << vg.vpath(t);
+    }
+  }
+}
+
+TEST(LevelArrayTest, SpaceIsPerTypeNotPerNode) {
+  // §5: "the level arrays do not have to be stored with the numbers since
+  // the level array can be stored with each type". The map's size depends
+  // only on the vDataGuide, not on document size.
+  xml::DocumentBuilder big;
+  big.Open("data");
+  for (int i = 0; i < 500; ++i) {
+    big.Open("book")
+        .Leaf("title", "t")
+        .Open("author")
+        .Leaf("name", "n")
+        .Close()
+        .Open("publisher")
+        .Leaf("location", "l")
+        .Close()
+        .Close();
+  }
+  big.Close();
+  Fixture small;  // 2 books
+  Fixture large(std::move(big).Finish());
+  vdg::VDataGuide vg_small, vg_large;
+  LevelArrayMap map_small = small.Build(testutil::SamSpec(), &vg_small);
+  LevelArrayMap map_large = large.Build(testutil::SamSpec(), &vg_large);
+  EXPECT_EQ(map_small.size(), map_large.size());
+  EXPECT_EQ(map_small.MemoryUsage(), map_large.MemoryUsage());
+}
+
+}  // namespace
+}  // namespace vpbn::virt

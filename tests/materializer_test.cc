@@ -1,0 +1,143 @@
+#include "vpbn/materializer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/treebank.h"
+#include "xml/serializer.h"
+
+namespace vpbn::virt {
+namespace {
+
+Materialized MustMaterialize(const storage::StoredDocument& stored,
+                             std::string_view spec) {
+  auto v = VirtualDocument::Open(stored, spec);
+  EXPECT_TRUE(v.ok()) << v.status();
+  auto m = Materialize(*v);
+  EXPECT_TRUE(m.ok()) << m.status();
+  return std::move(m).ValueUnsafe();
+}
+
+TEST(MaterializerTest, PaperFigure3Output) {
+  // Sam's transformation materializes to exactly the Figure 3 instance.
+  xml::Document doc = testutil::PaperFigure2();
+  auto stored = storage::StoredDocument::Build(doc);
+  Materialized m = MustMaterialize(stored, testutil::SamSpec());
+  EXPECT_EQ(xml::SerializeDocument(m.doc),
+            "<title>X<author><name>C</name></author></title>"
+            "<title>Y<author><name>D</name></author></title>");
+}
+
+TEST(MaterializerTest, IdentityTransformRoundTrips) {
+  // data { ** } must reproduce the original document byte for byte — this
+  // pins the virtual document order exactly.
+  xml::Document doc = testutil::PaperFigure2();
+  auto stored = storage::StoredDocument::Build(doc);
+  Materialized m = MustMaterialize(stored, "data { ** }");
+  EXPECT_EQ(xml::SerializeDocument(m.doc), xml::SerializeDocument(doc));
+}
+
+TEST(MaterializerTest, IdentityOnRandomDocuments) {
+  for (uint64_t seed : {3u, 17u, 42u}) {
+    xml::Document doc = testutil::RandomForest(seed, 120, /*n_labels=*/4);
+    auto stored = storage::StoredDocument::Build(doc);
+    // Identity across the whole forest: every root type with **.
+    std::string spec;
+    const dg::DataGuide& g = stored.dataguide();
+    for (dg::TypeId rt : g.roots()) {
+      if (!spec.empty()) spec += " ";
+      spec += g.label(rt) + " { ** }";
+    }
+    Materialized m = MustMaterialize(stored, spec);
+    EXPECT_EQ(xml::SerializeDocument(m.doc), xml::SerializeDocument(doc))
+        << "seed " << seed;
+  }
+}
+
+TEST(MaterializerTest, IdentityOnDeepRecursiveTreebank) {
+  // Deep recursion: every level of NP/VP/PP nesting is its own type, so
+  // identity exercises long level arrays and deep type paths.
+  workload::TreebankOptions opts;
+  opts.num_sentences = 10;
+  opts.max_depth = 14;
+  xml::Document doc = workload::GenerateTreebank(opts);
+  auto stored = storage::StoredDocument::Build(doc);
+  Materialized m = MustMaterialize(stored, "treebank { ** }");
+  EXPECT_EQ(xml::SerializeDocument(m.doc), xml::SerializeDocument(doc));
+}
+
+TEST(MaterializerTest, AttributesCopied) {
+  auto parsed = xml::Parse(
+      "<data><book year=\"1994\"><title lang=\"en\">X</title>"
+      "<author><name>C</name></author></book></data>");
+  ASSERT_TRUE(parsed.ok());
+  auto stored = storage::StoredDocument::Build(*parsed);
+  Materialized m = MustMaterialize(stored, "title { author }");
+  EXPECT_EQ(xml::SerializeDocument(m.doc),
+            "<title lang=\"en\">X<author/></title>");
+}
+
+TEST(MaterializerTest, ProvenanceTracksVirtualNodes) {
+  xml::Document doc = testutil::PaperFigure2();
+  auto stored = storage::StoredDocument::Build(doc);
+  auto v = VirtualDocument::Open(stored, testutil::SamSpec());
+  ASSERT_TRUE(v.ok());
+  auto m = Materialize(*v);
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->provenance.size(), m->doc.num_nodes());
+  // Every materialized node's name/text matches its source node.
+  for (xml::NodeId id = 0; id < m->doc.num_nodes(); ++id) {
+    const VirtualNode& src = m->provenance[id];
+    if (m->doc.IsText(id)) {
+      EXPECT_EQ(m->doc.text(id), doc.text(src.node));
+    } else {
+      EXPECT_EQ(m->doc.name(id), doc.name(src.node));
+    }
+  }
+}
+
+TEST(MaterializerTest, DuplicationCopiesSharedNodes) {
+  // Two titles in one book: the author subtree is materialized twice.
+  auto parsed = xml::Parse(
+      "<data><book><title>A</title><title>B</title>"
+      "<author><name>N</name></author></book></data>");
+  ASSERT_TRUE(parsed.ok());
+  auto stored = storage::StoredDocument::Build(*parsed);
+  Materialized m = MustMaterialize(stored, testutil::SamSpec());
+  EXPECT_EQ(xml::SerializeDocument(m.doc),
+            "<title>A<author><name>N</name></author></title>"
+            "<title>B<author><name>N</name></author></title>");
+}
+
+TEST(MaterializerTest, NodeLimitEnforced) {
+  xml::Document doc = testutil::PaperFigure2();
+  auto stored = storage::StoredDocument::Build(doc);
+  auto v = VirtualDocument::Open(stored, "data { ** }");
+  ASSERT_TRUE(v.ok());
+  MaterializeOptions options;
+  options.max_nodes = 5;
+  auto m = Materialize(*v, options);
+  ASSERT_FALSE(m.ok());
+  EXPECT_TRUE(m.status().IsResourceExhausted());
+}
+
+TEST(MaterializerTest, SubsetSpecProjectsData) {
+  // Only titles: publishers and authors vanish.
+  xml::Document doc = testutil::PaperFigure2();
+  auto stored = storage::StoredDocument::Build(doc);
+  Materialized m = MustMaterialize(stored, "title");
+  EXPECT_EQ(xml::SerializeDocument(m.doc), "<title>X</title><title>Y</title>");
+}
+
+TEST(MaterializerTest, Case2MaterializesAncestorBelow) {
+  xml::Document doc = testutil::PaperFigure2();
+  auto stored = storage::StoredDocument::Build(doc);
+  Materialized m = MustMaterialize(stored, "name { author }");
+  // Each name contains its text and then its former ancestor author, which
+  // has no further children in this vDataGuide.
+  EXPECT_EQ(xml::SerializeDocument(m.doc),
+            "<name>C<author/></name><name>D<author/></name>");
+}
+
+}  // namespace
+}  // namespace vpbn::virt

@@ -1,0 +1,103 @@
+/// \file parser_fuzz_test.cc
+/// \brief Robustness: every parser in the repository must fail gracefully
+/// (never crash, never hang) on truncated, mutated, or random inputs.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/path_parser.h"
+#include "vdg/spec_ast.h"
+#include "xml/parser.h"
+#include "xquery/xq_parser.h"
+
+namespace vpbn {
+namespace {
+
+const char* kXmlSeed =
+    "<data><book year=\"1994\"><title>X &amp; Y</title>"
+    "<author><name>C</name></author><!-- c --><![CDATA[raw]]></book></data>";
+const char* kPathSeed =
+    "//book[contains(title, \"X\") and count(author) > 1]/author/name/text()";
+const char* kSpecSeed = "data { book { title author { name } * } }";
+const char* kQuerySeed =
+    "for $t in virtualDoc(\"d\", \"title { author }\")//title "
+    "where $t/text() = \"X\" order by $t/@id descending "
+    "return <r k=\"v\">{count($t/author)}</r>";
+
+template <typename ParseFn>
+void TruncationSweep(const char* seed, ParseFn parse) {
+  std::string text = seed;
+  for (size_t cut = 0; cut <= text.size(); ++cut) {
+    // Must return (ok or error), not crash.
+    parse(std::string_view(text).substr(0, cut));
+  }
+}
+
+template <typename ParseFn>
+void MutationSweep(const char* seed, uint64_t rng_seed, ParseFn parse) {
+  Rng rng(rng_seed);
+  std::string text = seed;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string mutated = text;
+    int edits = 1 + static_cast<int>(rng.Uniform(3));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.Uniform(128));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.Uniform(128)));
+      }
+      if (mutated.empty()) mutated = "x";
+    }
+    parse(mutated);
+  }
+}
+
+template <typename ParseFn>
+void RandomBytesSweep(uint64_t rng_seed, ParseFn parse) {
+  Rng rng(rng_seed);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    size_t len = rng.Uniform(200);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    parse(garbage);
+  }
+}
+
+TEST(ParserFuzzTest, XmlParser) {
+  auto parse = [](std::string_view text) { (void)xml::Parse(text); };
+  TruncationSweep(kXmlSeed, parse);
+  MutationSweep(kXmlSeed, 1, parse);
+  RandomBytesSweep(2, parse);
+}
+
+TEST(ParserFuzzTest, PathParser) {
+  auto parse = [](std::string_view text) { (void)query::ParsePath(text); };
+  TruncationSweep(kPathSeed, parse);
+  MutationSweep(kPathSeed, 3, parse);
+  RandomBytesSweep(4, parse);
+}
+
+TEST(ParserFuzzTest, SpecParser) {
+  auto parse = [](std::string_view text) { (void)vdg::ParseSpec(text); };
+  TruncationSweep(kSpecSeed, parse);
+  MutationSweep(kSpecSeed, 5, parse);
+  RandomBytesSweep(6, parse);
+}
+
+TEST(ParserFuzzTest, XQueryParser) {
+  auto parse = [](std::string_view text) { (void)xq::ParseQuery(text); };
+  TruncationSweep(kQuerySeed, parse);
+  MutationSweep(kQuerySeed, 7, parse);
+  RandomBytesSweep(8, parse);
+}
+
+}  // namespace
+}  // namespace vpbn

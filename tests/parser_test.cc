@@ -1,0 +1,208 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/serializer.h"
+
+namespace vpbn::xml {
+namespace {
+
+Document MustParse(std::string_view text, ParseOptions opts = {}) {
+  auto r = Parse(text, opts);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).ValueUnsafe();
+}
+
+TEST(ParserTest, SingleEmptyElement) {
+  Document doc = MustParse("<root/>");
+  ASSERT_EQ(doc.roots().size(), 1u);
+  EXPECT_EQ(doc.name(doc.roots()[0]), "root");
+  EXPECT_EQ(doc.ChildCount(doc.roots()[0]), 0u);
+}
+
+TEST(ParserTest, OpenCloseElement) {
+  Document doc = MustParse("<root></root>");
+  EXPECT_EQ(doc.num_nodes(), 1u);
+}
+
+TEST(ParserTest, NestedElements) {
+  Document doc = MustParse("<a><b><c/></b><d/></a>");
+  NodeId a = doc.roots()[0];
+  std::vector<NodeId> kids = doc.Children(a);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(doc.name(kids[0]), "b");
+  EXPECT_EQ(doc.name(kids[1]), "d");
+  EXPECT_EQ(doc.name(doc.Children(kids[0])[0]), "c");
+}
+
+TEST(ParserTest, TextContent) {
+  Document doc = MustParse("<t>hello world</t>");
+  NodeId t = doc.roots()[0];
+  ASSERT_EQ(doc.ChildCount(t), 1u);
+  NodeId text = doc.Children(t)[0];
+  EXPECT_TRUE(doc.IsText(text));
+  EXPECT_EQ(doc.text(text), "hello world");
+}
+
+TEST(ParserTest, MixedContentPreservesOrder) {
+  Document doc = MustParse("<p>one<b>two</b>three</p>",
+                           {.skip_whitespace_text = false});
+  NodeId p = doc.roots()[0];
+  std::vector<NodeId> kids = doc.Children(p);
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(doc.text(kids[0]), "one");
+  EXPECT_EQ(doc.name(kids[1]), "b");
+  EXPECT_EQ(doc.text(kids[2]), "three");
+}
+
+TEST(ParserTest, WhitespaceTextSkippedByDefault) {
+  Document doc = MustParse("<a>\n  <b/>\n  <c/>\n</a>");
+  EXPECT_EQ(doc.ChildCount(doc.roots()[0]), 2u);
+}
+
+TEST(ParserTest, WhitespaceTextKeptOnRequest) {
+  Document doc =
+      MustParse("<a> <b/> </a>", {.skip_whitespace_text = false});
+  EXPECT_EQ(doc.ChildCount(doc.roots()[0]), 3u);
+}
+
+TEST(ParserTest, Attributes) {
+  Document doc = MustParse(
+      "<book year=\"1994\" isbn='0-201'><title>X</title></book>");
+  NodeId book = doc.roots()[0];
+  EXPECT_EQ(doc.AttributeValue(book, "year").value(), "1994");
+  EXPECT_EQ(doc.AttributeValue(book, "isbn").value(), "0-201");
+}
+
+TEST(ParserTest, AttributeEntitiesDecoded) {
+  Document doc = MustParse("<a title=\"x &amp; y &lt;z&gt;\"/>");
+  EXPECT_EQ(doc.AttributeValue(doc.roots()[0], "title").value(), "x & y <z>");
+}
+
+TEST(ParserTest, TextEntitiesDecoded) {
+  Document doc = MustParse("<t>&lt;tag&gt; &amp; &#65;</t>");
+  EXPECT_EQ(doc.StringValue(doc.roots()[0]), "<tag> & A");
+}
+
+TEST(ParserTest, CommentsSkipped) {
+  Document doc = MustParse("<a><!-- note --><b/><!-- -- tricky --></a>");
+  EXPECT_EQ(doc.ChildCount(doc.roots()[0]), 1u);
+}
+
+TEST(ParserTest, CdataBecomesText) {
+  Document doc = MustParse("<t><![CDATA[raw <not-a-tag> & stuff]]></t>");
+  EXPECT_EQ(doc.StringValue(doc.roots()[0]), "raw <not-a-tag> & stuff");
+}
+
+TEST(ParserTest, PrologSkipped) {
+  Document doc = MustParse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!DOCTYPE data>\n"
+      "<!-- header -->\n"
+      "<data><x/></data>");
+  EXPECT_EQ(doc.name(doc.roots()[0]), "data");
+}
+
+TEST(ParserTest, ProcessingInstructionInContentSkipped) {
+  Document doc = MustParse("<a><?php echo ?><b/></a>");
+  EXPECT_EQ(doc.ChildCount(doc.roots()[0]), 1u);
+}
+
+TEST(ParserTest, NamespacePrefixesKeptVerbatim) {
+  Document doc = MustParse("<ns:a xmlns:ns=\"http://x\"><ns:b/></ns:a>");
+  EXPECT_EQ(doc.name(doc.roots()[0]), "ns:a");
+}
+
+TEST(ParserTest, MultipleRootsAllowedAsForest) {
+  Document doc = MustParse("<a/><b/>");
+  EXPECT_EQ(doc.roots().size(), 2u);
+}
+
+TEST(ParserTest, ErrorOnEmptyInput) {
+  EXPECT_TRUE(Parse("").status().IsParseError());
+  EXPECT_TRUE(Parse("   \n ").status().IsParseError());
+}
+
+TEST(ParserTest, ErrorOnMismatchedTags) {
+  auto st = Parse("<a><b></a></b>").status();
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("mismatched"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnUnterminatedElement) {
+  EXPECT_TRUE(Parse("<a><b>").status().IsParseError());
+}
+
+TEST(ParserTest, ErrorOnBareText) {
+  EXPECT_TRUE(Parse("just text").status().IsParseError());
+}
+
+TEST(ParserTest, ErrorOnBadAttributeSyntax) {
+  EXPECT_TRUE(Parse("<a attr>").status().IsParseError());
+  EXPECT_TRUE(Parse("<a attr=value/>").status().IsParseError());
+  EXPECT_TRUE(Parse("<a attr=\"unterminated/>").status().IsParseError());
+}
+
+TEST(ParserTest, ErrorOnDuplicateAttribute) {
+  auto st = Parse("<a x=\"1\" x=\"2\"/>").status();
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("duplicate"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnAngleInAttribute) {
+  EXPECT_TRUE(Parse("<a x=\"a<b\"/>").status().IsParseError());
+}
+
+TEST(ParserTest, ErrorCarriesLineAndColumn) {
+  auto st = Parse("<a>\n<b>\n</wrong>\n</a>").status();
+  ASSERT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("xml:3"), std::string::npos) << st;
+}
+
+TEST(ParserTest, DepthLimitEnforced) {
+  std::string deep;
+  for (int i = 0; i < 600; ++i) deep += "<d>";
+  for (int i = 0; i < 600; ++i) deep += "</d>";
+  auto st = Parse(deep).status();
+  EXPECT_TRUE(st.IsResourceExhausted());
+  // A custom limit admits it.
+  ParseOptions opts;
+  opts.max_depth = 1000;
+  EXPECT_TRUE(Parse(deep, opts).ok());
+}
+
+TEST(ParserTest, PaperFigure2Document) {
+  // The running example from the paper, §2 Figure 2.
+  Document doc = MustParse(R"(
+    <data>
+      <book><title>X</title>
+        <author><name>C</name></author>
+        <publisher><location>W</location></publisher>
+      </book>
+      <book><title>Y</title>
+        <author><name>D</name></author>
+        <publisher><location>M</location></publisher>
+      </book>
+    </data>)");
+  EXPECT_EQ(doc.num_nodes(), 19u);
+  NodeId data = doc.roots()[0];
+  EXPECT_EQ(doc.StringValue(data), "XCWYDM");
+}
+
+TEST(ParserTest, RoundTripThroughSerializer) {
+  const char* kDocs[] = {
+      "<a/>",
+      "<a><b>text</b><c x=\"1\"/></a>",
+      "<data><book year=\"2001\"><title>A &amp; B</title></book></data>",
+      "<m>one<b>two</b>three</m>",
+  };
+  for (const char* text : kDocs) {
+    Document doc = MustParse(text, {.skip_whitespace_text = false});
+    std::string out = SerializeDocument(doc);
+    Document doc2 = MustParse(out, {.skip_whitespace_text = false});
+    EXPECT_EQ(SerializeDocument(doc2), out) << text;
+  }
+}
+
+}  // namespace
+}  // namespace vpbn::xml

@@ -1,0 +1,152 @@
+/// \file path_functions_test.cc
+/// \brief contains()/starts-with() in XPath predicates across all three
+/// evaluators, plus multi-document XQuery and a tagged scale check.
+
+#include <gtest/gtest.h>
+
+#include "query/eval_indexed.h"
+#include "query/eval_nav.h"
+#include "query/eval_virtual.h"
+#include "tests/test_util.h"
+#include "vpbn/materializer.h"
+#include "workload/books.h"
+#include "workload/treebank.h"
+#include "xquery/xq_engine.h"
+
+namespace vpbn::query {
+namespace {
+
+struct Fixture {
+  xml::Document doc;
+  storage::StoredDocument stored;
+
+  Fixture() : doc(testutil::PaperFigure2()),
+              stored(storage::StoredDocument::Build(doc)) {}
+};
+
+TEST(PathFunctionsTest, ContainsInPredicate) {
+  Fixture f;
+  auto r = EvalNav(f.doc, "//book[contains(author/name, \"C\")]/title");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(f.doc.StringValue((*r)[0]), "X");
+}
+
+TEST(PathFunctionsTest, StartsWithInPredicate) {
+  auto parsed = xml::Parse(
+      "<r><p><n>Alice</n></p><p><n>Albert</n></p><p><n>Bob</n></p></r>");
+  ASSERT_TRUE(parsed.ok());
+  auto al = EvalNav(*parsed, "//p[starts-with(n, \"Al\")]");
+  ASSERT_TRUE(al.ok());
+  EXPECT_EQ(al->size(), 2u);
+  auto exact = EvalNav(*parsed, "//p[starts-with(n, \"Alice\")]");
+  EXPECT_EQ(exact->size(), 1u);
+  auto none = EvalNav(*parsed, "//p[starts-with(n, \"lice\")]");
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(PathFunctionsTest, ContainsWithAttribute) {
+  auto parsed = xml::Parse(
+      "<r><b id=\"alpha-1\"/><b id=\"beta-2\"/></r>");
+  ASSERT_TRUE(parsed.ok());
+  auto r = EvalNav(*parsed, "//b[contains(@id, \"alpha\")]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(PathFunctionsTest, AllEvaluatorsAgree) {
+  Fixture f;
+  const char* paths[] = {
+      "//book[contains(title, \"X\")]",
+      "//book[starts-with(publisher/location, \"W\")]/title",
+      "//name[contains(., \"D\")]",
+  };
+  for (const char* path : paths) {
+    auto nav = EvalNav(f.doc, path);
+    auto idx = EvalIndexed(f.stored, path);
+    ASSERT_TRUE(nav.ok()) << path << nav.status();
+    ASSERT_TRUE(idx.ok()) << path << idx.status();
+    EXPECT_EQ(nav->size(), idx->size()) << path;
+  }
+}
+
+TEST(PathFunctionsTest, ContainsOnVirtualDocument) {
+  Fixture f;
+  auto v = virt::VirtualDocument::Open(f.stored, testutil::SamSpec());
+  ASSERT_TRUE(v.ok());
+  auto r = EvalVirtual(*v, "//title[contains(author/name, \"D\")]");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(v->StringValue((*r)[0]), "YD");
+}
+
+TEST(PathFunctionsTest, ParseErrors) {
+  Fixture f;
+  EXPECT_FALSE(EvalNav(f.doc, "//b[contains(title)]").ok());
+  EXPECT_FALSE(EvalNav(f.doc, "//b[contains(title, ]").ok());
+  EXPECT_FALSE(EvalNav(f.doc, "//b[starts-with(a \"x\")]").ok());
+}
+
+TEST(MultiDocumentTest, JoinAcrossDocuments) {
+  xml::Document books = testutil::PaperFigure2();
+  auto parsed = xml::Parse(
+      "<people><person><name>C</name><city>Logan</city></person>"
+      "<person><name>E</name><city>Oslo</city></person></people>");
+  ASSERT_TRUE(parsed.ok());
+  xml::Document people = std::move(parsed).ValueUnsafe();
+  xq::Engine engine;
+  ASSERT_TRUE(engine.RegisterDocument("books", &books).ok());
+  ASSERT_TRUE(engine.RegisterDocument("people", &people).ok());
+  auto out = engine.RunToXml(R"(
+      for $n in doc("books")//name, $p in doc("people")//person
+      where $n/text() = $p/name/text()
+      return <match>{$n/text()}{$p/city/text()}</match>)");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out, "<match>CLogan</match>");
+}
+
+TEST(TreebankTest, DeepRecursionTypesAndQueries) {
+  workload::TreebankOptions opts;
+  opts.num_sentences = 20;
+  opts.max_depth = 12;
+  xml::Document doc = workload::GenerateTreebank(opts);
+  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+  // Recursive nesting creates distinct per-level types.
+  EXPECT_GT(stored.dataguide().num_types(), 40u);
+  // All three evaluators agree on recursive paths.
+  const char* paths[] = {"//NP//word", "//VP/NP", "//S/descendant::word"};
+  for (const char* path : paths) {
+    auto nav = EvalNav(doc, path);
+    auto idx = EvalIndexed(stored, path);
+    ASSERT_TRUE(nav.ok()) << path;
+    ASSERT_TRUE(idx.ok()) << path;
+    EXPECT_EQ(nav->size(), idx->size()) << path;
+  }
+}
+
+TEST(ScaleTest, LargeDocumentVirtualEquivalence) {
+  // One larger configuration end-to-end: 4000 books (~44k nodes).
+  workload::BooksOptions opts;
+  opts.seed = 3;
+  opts.num_books = 4000;
+  xml::Document doc = workload::GenerateBooks(opts);
+  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+  auto v = virt::VirtualDocument::Open(stored, testutil::SamSpec());
+  ASSERT_TRUE(v.ok());
+  auto m = virt::Materialize(*v);
+  ASSERT_TRUE(m.ok());
+  const char* kQuery = "//title[contains(author/name, \"Hopper\")]";
+  auto virtual_result = EvalVirtual(*v, kQuery);
+  auto physical_result = EvalNav(m->doc, kQuery);
+  ASSERT_TRUE(virtual_result.ok());
+  ASSERT_TRUE(physical_result.ok());
+  ASSERT_EQ(virtual_result->size(), physical_result->size());
+  ASSERT_GT(virtual_result->size(), 0u);
+  for (size_t i = 0; i < virtual_result->size(); ++i) {
+    EXPECT_EQ(v->StringValue((*virtual_result)[i]),
+              m->doc.StringValue((*physical_result)[i]));
+  }
+}
+
+}  // namespace
+}  // namespace vpbn::query

@@ -1,0 +1,160 @@
+#include "query/path_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace vpbn::query {
+namespace {
+
+Path MustParse(std::string_view text) {
+  auto r = ParsePath(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return std::move(r).ValueUnsafe();
+}
+
+TEST(PathParserTest, SimpleChildSteps) {
+  Path p = MustParse("/data/book/title");
+  ASSERT_EQ(p.steps.size(), 3u);
+  for (const Step& s : p.steps) {
+    EXPECT_EQ(s.axis, num::Axis::kChild);
+    EXPECT_EQ(s.test.kind, NodeTest::Kind::kName);
+  }
+  EXPECT_EQ(p.steps[0].test.name, "data");
+  EXPECT_EQ(p.steps[2].test.name, "title");
+}
+
+TEST(PathParserTest, DoubleSlashRewritesToDescendant) {
+  // '//child::X' is parsed as 'descendant::X' (equivalent without
+  // positional predicates).
+  Path p = MustParse("//book");
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps[0].axis, num::Axis::kDescendant);
+  EXPECT_EQ(p.steps[0].test.name, "book");
+}
+
+TEST(PathParserTest, MidPathDoubleSlash) {
+  Path p = MustParse("/data//name");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[1].axis, num::Axis::kDescendant);
+  EXPECT_EQ(p.steps[1].test.name, "name");
+}
+
+TEST(PathParserTest, DoubleSlashWithExplicitAxisKeepsAnonymousStep) {
+  Path p = MustParse("//self::book");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, num::Axis::kDescendantOrSelf);
+  EXPECT_EQ(p.steps[0].test.kind, NodeTest::Kind::kAnyNode);
+  EXPECT_EQ(p.steps[1].axis, num::Axis::kSelf);
+}
+
+TEST(PathParserTest, ExplicitAxes) {
+  Path p = MustParse("/data/descendant::name/ancestor::book");
+  ASSERT_EQ(p.steps.size(), 3u);
+  EXPECT_EQ(p.steps[1].axis, num::Axis::kDescendant);
+  EXPECT_EQ(p.steps[2].axis, num::Axis::kAncestor);
+}
+
+TEST(PathParserTest, AllAxisNamesAccepted) {
+  for (const char* axis :
+       {"self", "child", "parent", "ancestor", "descendant",
+        "ancestor-or-self", "descendant-or-self", "following", "preceding",
+        "following-sibling", "preceding-sibling"}) {
+    std::string text = std::string("/a/") + axis + "::b";
+    EXPECT_TRUE(ParsePath(text).ok()) << text;
+  }
+}
+
+TEST(PathParserTest, Wildcards) {
+  Path p = MustParse("/*/text()");
+  EXPECT_EQ(p.steps[0].test.kind, NodeTest::Kind::kAnyElement);
+  EXPECT_EQ(p.steps[1].test.kind, NodeTest::Kind::kText);
+  Path q = MustParse("/a/node()");
+  EXPECT_EQ(q.steps[1].test.kind, NodeTest::Kind::kAnyNode);
+}
+
+TEST(PathParserTest, DotAndDotDot) {
+  Path p = MustParse("/a/../b/.");
+  ASSERT_EQ(p.steps.size(), 4u);
+  EXPECT_EQ(p.steps[1].axis, num::Axis::kParent);
+  EXPECT_EQ(p.steps[3].axis, num::Axis::kSelf);
+}
+
+TEST(PathParserTest, ExistencePredicate) {
+  Path p = MustParse("/book[author]");
+  ASSERT_EQ(p.steps[0].predicates.size(), 1u);
+  EXPECT_EQ(p.steps[0].predicates[0]->kind, Expr::Kind::kPath);
+}
+
+TEST(PathParserTest, ComparisonPredicates) {
+  Path p = MustParse("/book[title = \"X\"][@year >= 1990]");
+  ASSERT_EQ(p.steps[0].predicates.size(), 2u);
+  const Expr& first = *p.steps[0].predicates[0];
+  EXPECT_EQ(first.kind, Expr::Kind::kCompare);
+  EXPECT_EQ(first.op, CompareOp::kEq);
+  EXPECT_EQ(first.lhs->kind, Expr::Kind::kPath);
+  EXPECT_EQ(first.rhs->kind, Expr::Kind::kString);
+  const Expr& second = *p.steps[0].predicates[1];
+  EXPECT_EQ(second.op, CompareOp::kGe);
+  EXPECT_EQ(second.lhs->kind, Expr::Kind::kAttribute);
+  EXPECT_EQ(second.lhs->str, "year");
+  EXPECT_EQ(second.rhs->kind, Expr::Kind::kNumber);
+  EXPECT_EQ(second.rhs->num, 1990);
+}
+
+TEST(PathParserTest, CountPredicate) {
+  Path p = MustParse("/book[count(author) > 1]");
+  const Expr& e = *p.steps[0].predicates[0];
+  EXPECT_EQ(e.kind, Expr::Kind::kCompare);
+  EXPECT_EQ(e.lhs->kind, Expr::Kind::kCount);
+  ASSERT_EQ(e.lhs->path.steps.size(), 1u);
+  EXPECT_EQ(e.lhs->path.steps[0].test.name, "author");
+}
+
+TEST(PathParserTest, BooleanConnectives) {
+  Path p = MustParse("/b[title and not(publisher) or author = 'C']");
+  const Expr& e = *p.steps[0].predicates[0];
+  EXPECT_EQ(e.kind, Expr::Kind::kOr);
+  EXPECT_EQ(e.lhs->kind, Expr::Kind::kAnd);
+  EXPECT_EQ(e.lhs->rhs->kind, Expr::Kind::kNot);
+}
+
+TEST(PathParserTest, NestedPathPredicates) {
+  Path p = MustParse("/book[author/name = \"C\"]/title");
+  const Expr& e = *p.steps[0].predicates[0];
+  ASSERT_EQ(e.lhs->path.steps.size(), 2u);
+  EXPECT_EQ(e.lhs->path.steps[1].test.name, "name");
+}
+
+TEST(PathParserTest, NegativeAndDecimalNumbers) {
+  Path p = MustParse("/a[x > -2][y <= 3.5]");
+  EXPECT_EQ(p.steps[0].predicates[0]->rhs->num, -2);
+  EXPECT_EQ(p.steps[0].predicates[1]->rhs->num, 3.5);
+}
+
+TEST(PathParserTest, Errors) {
+  EXPECT_FALSE(ParsePath("").ok());
+  EXPECT_FALSE(ParsePath("book").ok());  // must be absolute
+  EXPECT_FALSE(ParsePath("/").ok());
+  EXPECT_FALSE(ParsePath("/a[").ok());
+  EXPECT_FALSE(ParsePath("/a[]").ok());
+  EXPECT_FALSE(ParsePath("/a[x=\"unterminated]").ok());
+  EXPECT_FALSE(ParsePath("/a/sideways::b").ok());
+  EXPECT_FALSE(ParsePath("/a trailing").ok());
+}
+
+TEST(PathParserTest, PositionalPredicateParses) {
+  // A bare number predicate is positional (evaluated dynamically, §5.1).
+  auto r = ParsePath("/a[2]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->steps[0].predicates[0]->kind, Expr::Kind::kNumber);
+  EXPECT_EQ(r->steps[0].predicates[0]->num, 2);
+}
+
+TEST(PathParserTest, ToStringRenders) {
+  Path p = MustParse("//book/title");
+  std::string s = PathToString(p);
+  EXPECT_NE(s.find("book"), std::string::npos);
+  EXPECT_NE(s.find("title"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vpbn::query

@@ -1,0 +1,114 @@
+#include "pbn/pbn.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace vpbn::num {
+namespace {
+
+TEST(PbnTest, ToStringAndBack) {
+  Pbn p{1, 2, 2};
+  EXPECT_EQ(p.ToString(), "1.2.2");
+  auto q = Pbn::FromString("1.2.2");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, p);
+}
+
+TEST(PbnTest, EmptyNumber) {
+  Pbn p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.length(), 0u);
+  EXPECT_EQ(p.ToString(), "");
+  auto q = Pbn::FromString("");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->empty());
+}
+
+TEST(PbnTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(Pbn::FromString("1..2").ok());
+  EXPECT_FALSE(Pbn::FromString("a.b").ok());
+  EXPECT_FALSE(Pbn::FromString("1.2.").ok());
+  EXPECT_FALSE(Pbn::FromString("0.1").ok());   // components are 1-based
+  EXPECT_FALSE(Pbn::FromString("1.-2").ok());
+  EXPECT_FALSE(Pbn::FromString("1.2x").ok());
+}
+
+TEST(PbnTest, ComponentAccess) {
+  Pbn p{3, 1, 4};
+  EXPECT_EQ(p.at1(1), 3u);
+  EXPECT_EQ(p.at1(3), 4u);
+  EXPECT_EQ(p[0], 3u);
+  EXPECT_EQ(p[2], 4u);
+}
+
+TEST(PbnTest, ParentChildPrefix) {
+  Pbn p{1, 2};
+  EXPECT_EQ(p.Child(3), (Pbn{1, 2, 3}));
+  EXPECT_EQ(p.Parent(), (Pbn{1}));
+  EXPECT_EQ((Pbn{1}).Parent(), Pbn());
+  EXPECT_EQ(p.Prefix(1), (Pbn{1}));
+  EXPECT_EQ(p.Prefix(0), Pbn());
+  EXPECT_EQ(p.Prefix(2), p);
+}
+
+TEST(PbnTest, IsPrefixOf) {
+  Pbn root{1};
+  Pbn mid{1, 2};
+  Pbn leaf{1, 2, 2};
+  Pbn other{1, 3};
+  EXPECT_TRUE(root.IsPrefixOf(leaf));
+  EXPECT_TRUE(mid.IsPrefixOf(leaf));
+  EXPECT_TRUE(leaf.IsPrefixOf(leaf));
+  EXPECT_FALSE(leaf.IsStrictPrefixOf(leaf));
+  EXPECT_TRUE(mid.IsStrictPrefixOf(leaf));
+  EXPECT_FALSE(other.IsPrefixOf(leaf));
+  EXPECT_FALSE(leaf.IsPrefixOf(mid));
+  EXPECT_TRUE(Pbn().IsPrefixOf(root));
+}
+
+TEST(PbnTest, CommonPrefixLength) {
+  EXPECT_EQ((Pbn{1, 2, 3}).CommonPrefixLength(Pbn{1, 2, 4}), 2u);
+  EXPECT_EQ((Pbn{1, 2}).CommonPrefixLength(Pbn{1, 2, 4}), 2u);
+  EXPECT_EQ((Pbn{2}).CommonPrefixLength(Pbn{1}), 0u);
+  EXPECT_EQ(Pbn().CommonPrefixLength(Pbn{1}), 0u);
+}
+
+TEST(PbnTest, DocumentOrderComparison) {
+  // The paper's example (§4.2): 1.1.2 precedes 1.2.
+  EXPECT_LT((Pbn{1, 1, 2}), (Pbn{1, 2}));
+  // Ancestors precede descendants.
+  EXPECT_LT((Pbn{1}), (Pbn{1, 1}));
+  EXPECT_LT((Pbn{1, 2}), (Pbn{1, 2, 1}));
+  // Siblings order by last ordinal.
+  EXPECT_LT((Pbn{1, 1}), (Pbn{1, 2}));
+  EXPECT_GT((Pbn{2}), (Pbn{1, 9, 9}));
+  EXPECT_EQ((Pbn{1, 2}) <=> (Pbn{1, 2}), std::strong_ordering::equal);
+}
+
+TEST(PbnTest, SortYieldsDocumentOrder) {
+  std::vector<Pbn> v{{1, 2}, {1}, {1, 1, 1}, {2}, {1, 1}, {1, 10}, {1, 2, 1}};
+  std::sort(v.begin(), v.end());
+  std::vector<std::string> got;
+  for (const Pbn& p : v) got.push_back(p.ToString());
+  EXPECT_EQ(got, (std::vector<std::string>{"1", "1.1", "1.1.1", "1.2",
+                                           "1.2.1", "1.10", "2"}));
+}
+
+TEST(PbnTest, HashConsistentWithEquality) {
+  PbnHash h;
+  EXPECT_EQ(h(Pbn{1, 2, 3}), h(Pbn{1, 2, 3}));
+  EXPECT_NE(h(Pbn{1, 2, 3}), h(Pbn{1, 2, 4}));
+  EXPECT_NE(h(Pbn{1}), h(Pbn{1, 1}));
+}
+
+TEST(PbnTest, LargeComponents) {
+  Pbn p{4000000000u, 1};
+  EXPECT_EQ(p.ToString(), "4000000000.1");
+  auto q = Pbn::FromString("4000000000.1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, p);
+}
+
+}  // namespace
+}  // namespace vpbn::num

@@ -1,0 +1,128 @@
+/// \file positional_test.cc
+/// \brief Positional predicates: sibling ordinals are not stored in vPBN
+/// (§5.1) — they are computed dynamically from the ordered axis result of
+/// each context node, across all evaluators including the virtual one.
+
+#include <gtest/gtest.h>
+
+#include "query/eval_indexed.h"
+#include "query/eval_nav.h"
+#include "query/eval_virtual.h"
+#include "tests/test_util.h"
+
+namespace vpbn::query {
+namespace {
+
+struct Fixture {
+  xml::Document doc;
+  storage::StoredDocument stored;
+
+  explicit Fixture(xml::Document d)
+      : doc(std::move(d)), stored(storage::StoredDocument::Build(doc)) {}
+  Fixture() : Fixture(testutil::PaperFigure2()) {}
+
+  std::vector<std::string> Both(std::string_view path) {
+    auto nav = EvalNav(doc, path);
+    auto idx = EvalIndexed(stored, path);
+    EXPECT_TRUE(nav.ok()) << path << nav.status();
+    EXPECT_TRUE(idx.ok()) << path << idx.status();
+    std::vector<std::string> out;
+    if (nav.ok() && idx.ok()) {
+      EXPECT_EQ(nav->size(), idx->size()) << path;
+      for (xml::NodeId n : *nav) out.push_back(doc.StringValue(n));
+    }
+    return out;
+  }
+};
+
+TEST(PositionalTest, FirstAndSecond) {
+  Fixture f;
+  auto first = f.Both("/data/book[1]/title");
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], "X");
+  auto second = f.Both("/data/book[2]/title");
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], "Y");
+  EXPECT_TRUE(f.Both("/data/book[3]").empty());
+  EXPECT_TRUE(f.Both("/data/book[0]").empty());
+}
+
+TEST(PositionalTest, PositionIsPerContextNode) {
+  // //book/*[1] selects the FIRST child of EACH book (two titles), not the
+  // first node of the merged list.
+  Fixture f;
+  auto firsts = f.Both("//book/*[1]");
+  ASSERT_EQ(firsts.size(), 2u);
+  EXPECT_EQ(firsts[0], "X");
+  EXPECT_EQ(firsts[1], "Y");
+  auto seconds = f.Both("//book/*[2]");
+  ASSERT_EQ(seconds.size(), 2u);
+  EXPECT_EQ(seconds[0], "C");  // the author subtree of book 1
+}
+
+TEST(PositionalTest, CombinesWithOtherPredicates) {
+  auto parsed = xml::Parse(
+      "<r><b><x>1</x><x>2</x><x>3</x></b><b><x>4</x></b></r>");
+  ASSERT_TRUE(parsed.ok());
+  Fixture f(std::move(parsed).ValueUnsafe());
+  // Position applies to the list surviving earlier predicates.
+  auto r = f.Both("//b/x[. > 1][1]");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "2");  // first x > 1 within the first b
+  EXPECT_EQ(r[1], "4");
+  // And ordering of predicate application matters: [1][. > 1] keeps the
+  // first x only if it exceeds 1.
+  auto r2 = f.Both("//b/x[1][. > 1]");
+  ASSERT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r2[0], "4");
+}
+
+TEST(PositionalTest, OnVirtualHierarchy) {
+  Fixture f;
+  auto v = virt::VirtualDocument::Open(f.stored, testutil::SamSpec());
+  ASSERT_TRUE(v.ok());
+  // First child of each virtual title is its text; second is the author.
+  auto firsts = EvalVirtual(*v, "//title/node()[1]");
+  ASSERT_TRUE(firsts.ok()) << firsts.status();
+  ASSERT_EQ(firsts->size(), 2u);
+  EXPECT_TRUE(v->IsText((*firsts)[0]));
+  auto seconds = EvalVirtual(*v, "//title/node()[2]");
+  ASSERT_TRUE(seconds.ok());
+  ASSERT_EQ(seconds->size(), 2u);
+  EXPECT_EQ(v->name((*seconds)[0]), "author");
+  // Positional on the roots step.
+  auto second_title = EvalVirtual(*v, "/title[2]/text()");
+  ASSERT_TRUE(second_title.ok());
+  ASSERT_EQ(second_title->size(), 1u);
+  EXPECT_EQ(v->text((*second_title)[0]), "Y");
+}
+
+TEST(PositionalTest, DoubleSlashPositionalIsPerParent) {
+  // '//x[1]' selects the first x child of EACH parent — the '//'-to-
+  // descendant rewrite must not apply when a positional predicate is
+  // present.
+  auto parsed = xml::Parse(
+      "<r><a><x>1</x><x>2</x></a><b><x>3</x><x>4</x></b></r>");
+  ASSERT_TRUE(parsed.ok());
+  Fixture f(std::move(parsed).ValueUnsafe());
+  auto r = f.Both("//x[1]");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "1");
+  EXPECT_EQ(r[1], "3");
+  // Explicit descendant axis gives the document-global first.
+  auto d = f.Both("/r/descendant::x[1]");
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], "1");
+}
+
+TEST(PositionalTest, DescendantAxisPositions) {
+  Fixture f;
+  // First descendant text node of each book.
+  auto r = f.Both("//book/descendant::text()[1]");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "X");
+  EXPECT_EQ(r[1], "Y");
+}
+
+}  // namespace
+}  // namespace vpbn::query

@@ -1,0 +1,118 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vpbn {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(17);
+  int low = 0, high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t r = rng.Zipf(100, 1.2);
+    EXPECT_LT(r, 100u);
+    if (r < 10) ++low;
+    if (r >= 90) ++high;
+  }
+  EXPECT_GT(low, high * 3);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformish) {
+  Rng rng(19);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Zipf(10, 0.0));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, IdentifierShapeAndAlphabet) {
+  Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    std::string id = rng.Identifier(3, 8);
+    EXPECT_GE(id.size(), 3u);
+    EXPECT_LE(id.size(), 8u);
+    for (char c : id) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(RngTest, WeightedPickRespectsWeights) {
+  Rng rng(29);
+  std::vector<double> weights{1.0, 0.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 5000; ++i) ++counts[rng.WeightedPick(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 4);
+}
+
+}  // namespace
+}  // namespace vpbn

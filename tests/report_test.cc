@@ -1,0 +1,122 @@
+#include "vdg/report.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace vpbn::vdg {
+namespace {
+
+struct Fixture {
+  xml::Document doc;
+  dg::DataGuide guide;
+
+  Fixture() : doc(testutil::PaperFigure2()) {
+    guide = dg::DataGuide::Build(doc);
+  }
+
+  VDataGuide Create(std::string_view spec) {
+    auto vg = VDataGuide::Create(spec, guide);
+    EXPECT_TRUE(vg.ok()) << vg.status();
+    return std::move(vg).ValueUnsafe();
+  }
+};
+
+TEST(ReportTest, IdentityHasFullCoverageAllCase1) {
+  Fixture f;
+  VDataGuide vg = f.Create("data { ** }");
+  ViewReport r = AnalyzeView(vg);
+  EXPECT_EQ(r.coverage, 1.0);
+  EXPECT_TRUE(r.dropped.empty());
+  EXPECT_TRUE(r.duplicated.empty());
+  EXPECT_TRUE(r.possibly_orphaned.empty());
+  EXPECT_EQ(r.case_counts[static_cast<int>(EdgeCase::kRoot)], 1u);
+  EXPECT_EQ(r.case_counts[static_cast<int>(EdgeCase::kDescendant)],
+            vg.num_vtypes() - 1);
+  EXPECT_EQ(r.case_counts[static_cast<int>(EdgeCase::kAncestor)], 0u);
+  EXPECT_EQ(r.case_counts[static_cast<int>(EdgeCase::kLca)], 0u);
+}
+
+TEST(ReportTest, SamViewClassification) {
+  Fixture f;
+  VDataGuide vg = f.Create(testutil::SamSpec());
+  ViewReport r = AnalyzeView(vg);
+  // title(root), title.#text(case1), author(case3), name(case1),
+  // name.#text(case1).
+  EXPECT_EQ(r.case_counts[static_cast<int>(EdgeCase::kRoot)], 1u);
+  EXPECT_EQ(r.case_counts[static_cast<int>(EdgeCase::kLca)], 1u);
+  EXPECT_EQ(r.case_counts[static_cast<int>(EdgeCase::kDescendant)], 3u);
+  // Dropped: data, book, publisher, location, location.#text = 5 of 10.
+  EXPECT_EQ(r.dropped.size(), 5u);
+  EXPECT_NEAR(r.coverage, 0.5, 1e-9);
+  // author hangs below a case-3 edge: possibly orphaned; so is everything
+  // below it.
+  EXPECT_FALSE(r.possibly_orphaned.empty());
+}
+
+TEST(ReportTest, InversionIsCase2) {
+  Fixture f;
+  VDataGuide vg = f.Create("name { author { book } }");
+  ViewReport r = AnalyzeView(vg);
+  EXPECT_EQ(r.case_counts[static_cast<int>(EdgeCase::kAncestor)], 2u);
+  // Case-2 children can be orphaned: an author element with no name
+  // descendant relates to no name instance and never appears. Both
+  // inverted types are therefore flagged; the implicit text under name
+  // (a case-1 edge from the root) is not.
+  VTypeId author = vg.FindByVPath("name.author").value();
+  VTypeId book = vg.FindByVPath("name.author.book").value();
+  VTypeId name_text = vg.FindByVPath("name.#text").value();
+  auto flagged = [&](VTypeId t) {
+    for (VTypeId p : r.possibly_orphaned) {
+      if (p == t) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(flagged(author));
+  EXPECT_TRUE(flagged(book));
+  EXPECT_FALSE(flagged(name_text));
+}
+
+TEST(ReportTest, DuplicatedOriginalsListed) {
+  Fixture f;
+  VDataGuide vg = f.Create("book { title { name } author { name } }");
+  ViewReport r = AnalyzeView(vg);
+  ASSERT_FALSE(r.duplicated.empty());
+  bool found = false;
+  for (dg::TypeId t : r.duplicated) {
+    if (f.guide.path(t) == "data.book.author.name") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ReportTest, ClassifyEdgeDirectly) {
+  Fixture f;
+  VDataGuide vg = f.Create(testutil::SamSpec());
+  VTypeId title = vg.FindByVPath("title").value();
+  VTypeId author = vg.FindByVPath("title.author").value();
+  VTypeId name = vg.FindByVPath("title.author.name").value();
+  EXPECT_EQ(ClassifyEdge(vg, title), EdgeCase::kRoot);
+  EXPECT_EQ(ClassifyEdge(vg, author), EdgeCase::kLca);
+  EXPECT_EQ(ClassifyEdge(vg, name), EdgeCase::kDescendant);
+}
+
+TEST(ReportTest, ToStringMentionsEverything) {
+  Fixture f;
+  VDataGuide vg = f.Create(testutil::SamSpec());
+  ViewReport r = AnalyzeView(vg);
+  std::string s = r.ToString(vg);
+  EXPECT_NE(s.find("coverage: 50%"), std::string::npos) << s;
+  EXPECT_NE(s.find("case3-lca=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("data.book.publisher"), std::string::npos) << s;
+  EXPECT_NE(s.find("possibly orphaned"), std::string::npos) << s;
+}
+
+TEST(ReportTest, EdgeCaseNames) {
+  EXPECT_STREQ(EdgeCaseToString(EdgeCase::kRoot), "root");
+  EXPECT_STREQ(EdgeCaseToString(EdgeCase::kDescendant), "case1-descendant");
+  EXPECT_STREQ(EdgeCaseToString(EdgeCase::kAncestor), "case2-ancestor");
+  EXPECT_STREQ(EdgeCaseToString(EdgeCase::kLca), "case3-lca");
+}
+
+}  // namespace
+}  // namespace vpbn::vdg

@@ -1,0 +1,105 @@
+#include "xml/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/builder.h"
+#include "xml/parser.h"
+
+namespace vpbn::xml {
+namespace {
+
+TEST(SerializerTest, EmptyElementSelfCloses) {
+  DocumentBuilder b;
+  b.Open("a").Close();
+  Document doc = std::move(b).Finish();
+  EXPECT_EQ(SerializeDocument(doc), "<a/>");
+}
+
+TEST(SerializerTest, NestedCompact) {
+  DocumentBuilder b;
+  b.Open("a").Open("b").Text("hi").Close().Open("c").Close().Close();
+  Document doc = std::move(b).Finish();
+  EXPECT_EQ(SerializeDocument(doc), "<a><b>hi</b><c/></a>");
+}
+
+TEST(SerializerTest, AttributesEscaped) {
+  DocumentBuilder b;
+  b.Open("a").Attr("t", "x & \"y\"").Close();
+  Document doc = std::move(b).Finish();
+  EXPECT_EQ(SerializeDocument(doc), "<a t=\"x &amp; &quot;y&quot;\"/>");
+}
+
+TEST(SerializerTest, TextEscaped) {
+  DocumentBuilder b;
+  b.Open("a").Text("1 < 2 & 3 > 2").Close();
+  Document doc = std::move(b).Finish();
+  EXPECT_EQ(SerializeDocument(doc), "<a>1 &lt; 2 &amp; 3 &gt; 2</a>");
+}
+
+TEST(SerializerTest, ForestSerializesAllRoots) {
+  DocumentBuilder b;
+  b.Open("a").Close().Open("b").Close();
+  Document doc = std::move(b).Finish();
+  EXPECT_EQ(SerializeDocument(doc), "<a/><b/>");
+}
+
+TEST(SerializerTest, SerializeNodeIsSubtreeOnly) {
+  DocumentBuilder b;
+  b.Open("root").Open("x").Leaf("y", "v").Close().Open("z").Close().Close();
+  Document doc = std::move(b).Finish();
+  NodeId x = doc.Children(doc.roots()[0])[0];
+  EXPECT_EQ(SerializeNode(doc, x), "<x><y>v</y></x>");
+}
+
+TEST(SerializerTest, IndentedFormParsesBackToSameTree) {
+  DocumentBuilder b;
+  b.Open("data")
+      .Open("book")
+      .Leaf("title", "X")
+      .Open("author")
+      .Leaf("name", "C")
+      .Close()
+      .Close()
+      .Close();
+  Document doc = std::move(b).Finish();
+  std::string pretty = SerializeDocument(doc, {.indent = true});
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto reparsed = Parse(pretty);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(SerializeDocument(*reparsed), SerializeDocument(doc));
+}
+
+TEST(SerializerTest, RangesCoverNestedExtents) {
+  DocumentBuilder b;
+  b.Open("data").Open("book").Leaf("title", "X").Close().Close();
+  Document doc = std::move(b).Finish();
+  std::string out;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges(doc.num_nodes());
+  SerializeWithRanges(doc, doc.roots()[0], &out, &ranges);
+  EXPECT_EQ(out, "<data><book><title>X</title></book></data>");
+  // Every node's range must reproduce its own serialization.
+  for (NodeId id = 0; id < doc.num_nodes(); ++id) {
+    auto [s, e] = ranges[id];
+    EXPECT_EQ(out.substr(s, e - s), SerializeNode(doc, id)) << id;
+  }
+  // Child ranges nest inside parent ranges.
+  NodeId book = doc.Children(doc.roots()[0])[0];
+  NodeId title = doc.Children(book)[0];
+  EXPECT_GE(ranges[title].first, ranges[book].first);
+  EXPECT_LE(ranges[title].second, ranges[book].second);
+}
+
+TEST(SerializerTest, TextNodeRangeIsEscapedText) {
+  DocumentBuilder b;
+  b.Open("t").Text("a & b").Close();
+  Document doc = std::move(b).Finish();
+  std::string out;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges(doc.num_nodes());
+  SerializeWithRanges(doc, doc.roots()[0], &out, &ranges);
+  NodeId text = doc.Children(doc.roots()[0])[0];
+  auto [s, e] = ranges[text];
+  EXPECT_EQ(out.substr(s, e - s), "a &amp; b");
+}
+
+}  // namespace
+}  // namespace vpbn::xml

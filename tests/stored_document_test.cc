@@ -1,0 +1,125 @@
+#include "storage/stored_document.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "xml/serializer.h"
+
+namespace vpbn::storage {
+namespace {
+
+using num::Pbn;
+
+TEST(StoredDocumentTest, StoredStringIsCanonicalSerialization) {
+  xml::Document doc = testutil::PaperFigure2();
+  StoredDocument s = StoredDocument::Build(doc);
+  EXPECT_EQ(s.stored_string(), xml::SerializeDocument(doc));
+}
+
+TEST(StoredDocumentTest, PaperSection6ValueExample) {
+  // "Consider the value of the first <author> element in Figure 2. It is
+  // the following string: <author><name>C</name></author>" at number 1.1.2.
+  xml::Document doc = testutil::PaperFigure2();
+  StoredDocument s = StoredDocument::Build(doc);
+  auto value = s.Value(Pbn{1, 1, 2});
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, "<author><name>C</name></author>");
+}
+
+TEST(StoredDocumentTest, ValueOfEveryNodeMatchesSubtreeSerialization) {
+  xml::Document doc = testutil::PaperFigure2();
+  StoredDocument s = StoredDocument::Build(doc);
+  for (xml::NodeId id = 0; id < doc.num_nodes(); ++id) {
+    auto value = s.Value(s.numbering().OfNode(id));
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, xml::SerializeNode(doc, id)) << id;
+  }
+}
+
+TEST(StoredDocumentTest, ValueRangeNestsLikeTree) {
+  xml::Document doc = testutil::PaperFigure2();
+  StoredDocument s = StoredDocument::Build(doc);
+  auto outer = s.ValueRange(Pbn{1, 1}).value();
+  auto inner = s.ValueRange(Pbn{1, 1, 2}).value();
+  EXPECT_GE(inner.first, outer.first);
+  EXPECT_LE(inner.second, outer.second);
+}
+
+TEST(StoredDocumentTest, ValueOfUnknownNumberIsNotFound) {
+  xml::Document doc = testutil::PaperFigure2();
+  StoredDocument s = StoredDocument::Build(doc);
+  EXPECT_TRUE(s.Value(Pbn{9, 9}).status().IsNotFound());
+}
+
+TEST(StoredDocumentTest, HeaderHasPbnAndTypeId) {
+  xml::Document doc = testutil::PaperFigure2();
+  StoredDocument s = StoredDocument::Build(doc);
+  auto header = s.Header(Pbn{1, 1, 2});
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->pbn, (Pbn{1, 1, 2}));
+  EXPECT_EQ(s.dataguide().path(header->type), "data.book.author");
+}
+
+TEST(StoredDocumentTest, TypeIndexInDocumentOrder) {
+  xml::Document doc = testutil::PaperFigure2();
+  StoredDocument s = StoredDocument::Build(doc);
+  dg::TypeId book = s.dataguide().FindByPath("data.book").value();
+  const auto& books = s.NodesOfType(book);
+  ASSERT_EQ(books.size(), 2u);
+  EXPECT_EQ(books[0].ToString(), "1.1");
+  EXPECT_EQ(books[1].ToString(), "1.2");
+  dg::TypeId name_text =
+      s.dataguide().FindByPath("data.book.author.name.#text").value();
+  const auto& texts = s.NodesOfType(name_text);
+  ASSERT_EQ(texts.size(), 2u);
+  EXPECT_EQ(texts[0].ToString(), "1.1.2.1.1");
+  EXPECT_EQ(texts[1].ToString(), "1.2.2.1.1");
+}
+
+TEST(StoredDocumentTest, NodesOfTypeWithinScope) {
+  xml::Document doc = testutil::PaperFigure2();
+  StoredDocument s = StoredDocument::Build(doc);
+  dg::TypeId name = s.dataguide().FindByPath("data.book.author.name").value();
+  // Within the first book only.
+  auto in_book1 = s.NodesOfTypeWithin(name, Pbn{1, 1});
+  ASSERT_EQ(in_book1.size(), 1u);
+  EXPECT_EQ(in_book1[0].ToString(), "1.1.2.1");
+  // Within the whole document.
+  EXPECT_EQ(s.NodesOfTypeWithin(name, Pbn{1}).size(), 2u);
+  // Within a scope that contains none.
+  EXPECT_TRUE(s.NodesOfTypeWithin(name, Pbn{1, 1, 1}).empty());
+  // Scope equal to a node of the type includes it (descendant-or-self).
+  auto self_scope = s.NodesOfTypeWithin(name, Pbn{1, 1, 2, 1});
+  ASSERT_EQ(self_scope.size(), 1u);
+}
+
+TEST(StoredDocumentTest, TypeOfNodeMatchesGuide) {
+  xml::Document doc = testutil::PaperFigure2();
+  StoredDocument s = StoredDocument::Build(doc);
+  for (xml::NodeId id = 0; id < doc.num_nodes(); ++id) {
+    dg::TypeId t = s.TypeOfNode(id);
+    EXPECT_EQ(s.dataguide().length(t), doc.Depth(id));
+  }
+}
+
+TEST(StoredDocumentTest, RandomDocumentValueIndexComplete) {
+  xml::Document doc = testutil::RandomForest(31, 300);
+  StoredDocument s = StoredDocument::Build(doc);
+  for (xml::NodeId id = 0; id < doc.num_nodes(); ++id) {
+    auto value = s.Value(s.numbering().OfNode(id));
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, xml::SerializeNode(doc, id));
+  }
+}
+
+TEST(StoredDocumentTest, MemoryUsageIsPositiveAndGrows) {
+  xml::Document small = testutil::RandomForest(1, 20);
+  xml::Document large = testutil::RandomForest(1, 2000);
+  size_t small_bytes = StoredDocument::Build(small).MemoryUsage();
+  size_t large_bytes = StoredDocument::Build(large).MemoryUsage();
+  EXPECT_GT(small_bytes, 0u);
+  EXPECT_GT(large_bytes, small_bytes * 10);
+}
+
+}  // namespace
+}  // namespace vpbn::storage

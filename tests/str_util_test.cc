@@ -1,0 +1,92 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vpbn {
+namespace {
+
+TEST(SplitStringTest, Basic) {
+  EXPECT_EQ(SplitString("a.b.c", '.'),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitStringTest, EmptyInputYieldsEmptyVector) {
+  EXPECT_TRUE(SplitString("", '.').empty());
+}
+
+TEST(SplitStringTest, AdjacentSeparatorsKeepEmptyFields) {
+  EXPECT_EQ(SplitString("a..b", '.'),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitString(".a.", '.'),
+            (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(JoinStringsTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"data", "book", "title"};
+  std::string joined = JoinStrings(parts, ".");
+  EXPECT_EQ(joined, "data.book.title");
+  EXPECT_EQ(SplitString(joined, '.'), parts);
+}
+
+TEST(JoinStringsTest, EmptyAndSingle) {
+  EXPECT_EQ(JoinStrings({}, "."), "");
+  EXPECT_EQ(JoinStrings({"solo"}, "."), "solo");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("data.book", "data"));
+  EXPECT_FALSE(StartsWith("data", "data.book"));
+  EXPECT_TRUE(EndsWith("data.book", ".book"));
+  EXPECT_FALSE(EndsWith("book", "data.book"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(TrimWhitespaceTest, Basic) {
+  EXPECT_EQ(TrimWhitespace("  hi \n\t"), "hi");
+  EXPECT_EQ(TrimWhitespace("\n \t"), "");
+  EXPECT_EQ(TrimWhitespace("solid"), "solid");
+}
+
+TEST(EscapeXmlTest, TextEscapesAngleAndAmp) {
+  EXPECT_EQ(EscapeXmlText("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+  EXPECT_EQ(EscapeXmlText("\"quoted\""), "\"quoted\"");
+}
+
+TEST(EscapeXmlTest, AttributeEscapesQuotes) {
+  EXPECT_EQ(EscapeXmlAttribute("say \"hi\" & 'bye'"),
+            "say &quot;hi&quot; &amp; &apos;bye&apos;");
+}
+
+TEST(UnescapeXmlTest, PredefinedEntities) {
+  EXPECT_EQ(UnescapeXml("&lt;a&gt; &amp; &quot;b&quot; &apos;c&apos;"),
+            "<a> & \"b\" 'c'");
+}
+
+TEST(UnescapeXmlTest, NumericReferences) {
+  EXPECT_EQ(UnescapeXml("&#65;&#x42;"), "AB");
+}
+
+TEST(UnescapeXmlTest, UnknownEntityPreserved) {
+  EXPECT_EQ(UnescapeXml("&nbsp;"), "&nbsp;");
+  EXPECT_EQ(UnescapeXml("lonely & ampersand"), "lonely & ampersand");
+}
+
+TEST(UnescapeXmlTest, EscapeRoundTrip) {
+  std::string original = "mixed <tag> & \"stuff\" with 'quotes'";
+  EXPECT_EQ(UnescapeXml(EscapeXmlText(original)), original);
+  EXPECT_EQ(UnescapeXml(EscapeXmlAttribute(original)), original);
+}
+
+TEST(XmlNameTest, Validation) {
+  EXPECT_TRUE(IsValidXmlName("book"));
+  EXPECT_TRUE(IsValidXmlName("_private"));
+  EXPECT_TRUE(IsValidXmlName("a-b.c_d2"));
+  EXPECT_FALSE(IsValidXmlName(""));
+  EXPECT_FALSE(IsValidXmlName("2abc"));
+  EXPECT_FALSE(IsValidXmlName("-abc"));
+  EXPECT_FALSE(IsValidXmlName("has space"));
+}
+
+}  // namespace
+}  // namespace vpbn

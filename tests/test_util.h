@@ -1,0 +1,57 @@
+/// \file test_util.h
+/// \brief Shared fixtures: the paper's running example and random generators.
+
+#pragma once
+
+#include <string>
+
+#include "common/random.h"
+#include "xml/builder.h"
+#include "xml/document.h"
+#include "xml/parser.h"
+
+namespace vpbn::testutil {
+
+/// The paper's Figure 2 data model instance (two books with title, author,
+/// publisher). Node PBN numbers then match Figure 8 exactly.
+inline xml::Document PaperFigure2() {
+  auto doc = xml::Parse(R"(
+    <data>
+      <book><title>X</title>
+        <author><name>C</name></author>
+        <publisher><location>W</location></publisher>
+      </book>
+      <book><title>Y</title>
+        <author><name>D</name></author>
+        <publisher><location>M</location></publisher>
+      </book>
+    </data>)");
+  return std::move(doc).ValueUnsafe();
+}
+
+/// The vDataGuide of Sam's transformation (§2): title { author { name } }.
+inline const char* SamSpec() { return "title { author { name } }"; }
+
+/// A random element-only forest whose shape exercises deep and wide trees.
+inline xml::Document RandomForest(uint64_t seed, int n_nodes,
+                                  int n_labels = 6) {
+  Rng rng(seed);
+  xml::Document doc;
+  std::vector<xml::NodeId> pool;
+  int n_roots = 1 + static_cast<int>(rng.Uniform(2));
+  for (int r = 0; r < n_roots; ++r) {
+    pool.push_back(doc.AddElement("r" + std::to_string(r), xml::kNullNode));
+  }
+  while (static_cast<int>(doc.num_nodes()) < n_nodes) {
+    xml::NodeId parent = pool[rng.Uniform(pool.size())];
+    std::string label = "e" + std::to_string(rng.Uniform(n_labels));
+    if (rng.Bernoulli(0.2)) {
+      doc.AddText("t" + std::to_string(rng.Uniform(100)), parent);
+    } else {
+      pool.push_back(doc.AddElement(label, parent));
+    }
+  }
+  return doc;
+}
+
+}  // namespace vpbn::testutil

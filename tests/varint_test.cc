@@ -1,0 +1,99 @@
+#include "common/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace vpbn {
+namespace {
+
+TEST(VarintTest, EncodesSmallValuesInOneByte) {
+  for (uint32_t v : {0u, 1u, 42u, 127u}) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    EXPECT_EQ(buf.size(), 1u) << v;
+    EXPECT_EQ(VarintLength32(v), 1) << v;
+  }
+}
+
+TEST(VarintTest, RoundTrip32Boundaries) {
+  const uint32_t cases[] = {0,          1,          127,        128,
+                            16383,      16384,      2097151,    2097152,
+                            268435455,  268435456,  std::numeric_limits<uint32_t>::max()};
+  for (uint32_t v : cases) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength32(v)) << v;
+    std::string_view in = buf;
+    auto r = GetVarint32(&in);
+    ASSERT_TRUE(r.ok()) << v;
+    EXPECT_EQ(r.value(), v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(VarintTest, RoundTrip64Boundaries) {
+  const uint64_t cases[] = {0,
+                            127,
+                            128,
+                            (1ULL << 35) - 1,
+                            1ULL << 35,
+                            (1ULL << 56) + 17,
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength64(v)) << v;
+    std::string_view in = buf;
+    auto r = GetVarint64(&in);
+    ASSERT_TRUE(r.ok()) << v;
+    EXPECT_EQ(r.value(), v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(VarintTest, DecodeAdvancesCursorAcrossSequence) {
+  std::string buf;
+  PutVarint32(&buf, 7);
+  PutVarint32(&buf, 300);
+  PutVarint32(&buf, 0);
+  std::string_view in = buf;
+  EXPECT_EQ(GetVarint32(&in).value(), 7u);
+  EXPECT_EQ(GetVarint32(&in).value(), 300u);
+  EXPECT_EQ(GetVarint32(&in).value(), 0u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint32(&buf, 1000000);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    EXPECT_FALSE(GetVarint32(&in).ok()) << cut;
+  }
+}
+
+TEST(VarintTest, EmptyInputFails) {
+  std::string_view in;
+  EXPECT_FALSE(GetVarint32(&in).ok());
+  EXPECT_FALSE(GetVarint64(&in).ok());
+}
+
+TEST(VarintTest, OverlongEncodingRejected) {
+  // Six continuation bytes cannot be a varint32.
+  std::string buf = "\x80\x80\x80\x80\x80\x01";
+  std::string_view in = buf;
+  EXPECT_FALSE(GetVarint32(&in).ok());
+}
+
+TEST(VarintTest, ExhaustiveSmallRange) {
+  for (uint32_t v = 0; v < 70000; v += 7) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    std::string_view in = buf;
+    ASSERT_EQ(GetVarint32(&in).value(), v);
+  }
+}
+
+}  // namespace
+}  // namespace vpbn

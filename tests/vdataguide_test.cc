@@ -1,0 +1,259 @@
+#include "vdg/vdataguide.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace vpbn::vdg {
+namespace {
+
+struct Fixture {
+  xml::Document doc;
+  dg::DataGuide guide;
+
+  Fixture() : doc(testutil::PaperFigure2()) {
+    guide = dg::DataGuide::Build(doc);
+  }
+};
+
+VDataGuide MustCreate(const Fixture& f, std::string_view spec) {
+  auto r = VDataGuide::Create(spec, f.guide);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).ValueUnsafe();
+}
+
+TEST(VDataGuideTest, PaperFigure7b) {
+  // The vDataGuide of Sam's transformation: title { author { name } } with
+  // implicit ◦ children under title and name (Figure 7(b)).
+  Fixture f;
+  VDataGuide vg = MustCreate(f, testutil::SamSpec());
+  ASSERT_EQ(vg.roots().size(), 1u);
+  VTypeId title = vg.roots()[0];
+  EXPECT_EQ(vg.label(title), "title");
+  EXPECT_EQ(vg.level(title), 1u);
+  EXPECT_EQ(f.guide.path(vg.original(title)), "data.book.title");
+
+  // title's children: implicit #text then author.
+  ASSERT_EQ(vg.children(title).size(), 2u);
+  VTypeId title_text = vg.children(title)[0];
+  VTypeId author = vg.children(title)[1];
+  EXPECT_TRUE(vg.IsTextVType(title_text));
+  EXPECT_EQ(vg.label(author), "author");
+  EXPECT_EQ(vg.level(author), 2u);
+  EXPECT_EQ(f.guide.path(vg.original(author)), "data.book.author");
+
+  // author's child: name (author has no text child in the original).
+  ASSERT_EQ(vg.children(author).size(), 1u);
+  VTypeId name = vg.children(author)[0];
+  EXPECT_EQ(vg.label(name), "name");
+  EXPECT_EQ(vg.level(name), 3u);
+
+  // name's child: its implicit #text.
+  ASSERT_EQ(vg.children(name).size(), 1u);
+  EXPECT_TRUE(vg.IsTextVType(vg.children(name)[0]));
+  EXPECT_EQ(vg.level(vg.children(name)[0]), 4u);
+
+  // Total: title, ◦, author, name, ◦.
+  EXPECT_EQ(vg.num_vtypes(), 5u);
+}
+
+TEST(VDataGuideTest, VPathsAreVirtual) {
+  Fixture f;
+  VDataGuide vg = MustCreate(f, testutil::SamSpec());
+  EXPECT_TRUE(vg.FindByVPath("title").ok());
+  EXPECT_TRUE(vg.FindByVPath("title.author").ok());
+  EXPECT_TRUE(vg.FindByVPath("title.author.name").ok());
+  EXPECT_TRUE(vg.FindByVPath("title.author.name.#text").ok());
+  EXPECT_FALSE(vg.FindByVPath("data.book.title").ok());
+  // The paper: "the typeOf author in Figure 7(b) is title.author ... Its
+  // originalTypeOf is data.book.author."
+  VTypeId author = vg.FindByVPath("title.author").value();
+  EXPECT_EQ(f.guide.path(vg.original(author)), "data.book.author");
+}
+
+TEST(VDataGuideTest, IdentityViaExplicitSpec) {
+  Fixture f;
+  VDataGuide vg = MustCreate(
+      f, "data { book { title author { name } publisher { location } } }");
+  // Same types as the original DataGuide: 10.
+  EXPECT_EQ(vg.num_vtypes(), f.guide.num_types());
+  VTypeId book = vg.FindByVPath("data.book").value();
+  // book's children: title, author, publisher (book has no text).
+  EXPECT_EQ(vg.children(book).size(), 3u);
+}
+
+TEST(VDataGuideTest, IdentityViaStarStar) {
+  Fixture f;
+  VDataGuide vg = MustCreate(f, "data { ** }");
+  EXPECT_EQ(vg.num_vtypes(), f.guide.num_types());
+  // Structure mirrors the original guide exactly.
+  for (VTypeId t = 0; t < vg.num_vtypes(); ++t) {
+    dg::TypeId o = vg.original(t);
+    EXPECT_EQ(vg.level(t), f.guide.length(o));
+    EXPECT_EQ(vg.children(t).size(), f.guide.children(o).size());
+  }
+}
+
+TEST(VDataGuideTest, StarExpandsUnmentionedChildren) {
+  Fixture f;
+  // book { title * }: * = author, publisher (title is mentioned).
+  VDataGuide vg = MustCreate(f, "book { title * }");
+  VTypeId book = vg.roots()[0];
+  std::vector<std::string> labels;
+  for (VTypeId c : vg.children(book)) labels.push_back(vg.label(c));
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{"title", "author", "publisher"}));
+  // * is one level deep: author got only its implicit structure, no name.
+  VTypeId author = vg.children(book)[1];
+  EXPECT_TRUE(vg.children(author).empty());  // author has no text child
+  // publisher also shallow.
+  VTypeId publisher = vg.children(book)[2];
+  EXPECT_TRUE(vg.children(publisher).empty());
+}
+
+TEST(VDataGuideTest, StarStarSkipsMentionedSubtrees) {
+  Fixture f;
+  // author is mentioned at top level, so ** under book omits it entirely.
+  VDataGuide vg = MustCreate(f, "book { ** } author { name }");
+  VTypeId book = vg.roots()[0];
+  std::vector<std::string> labels;
+  for (VTypeId c : vg.children(book)) labels.push_back(vg.label(c));
+  EXPECT_EQ(labels, (std::vector<std::string>{"title", "publisher"}));
+  // The second root is the author tree.
+  VTypeId author = vg.roots()[1];
+  EXPECT_EQ(vg.label(author), "author");
+  EXPECT_EQ(vg.children(author).size(), 1u);
+}
+
+TEST(VDataGuideTest, QualifiedLabelResolution) {
+  auto parsed = xml::Parse("<r><a><x><w/></x></a><b><x><v/></x></b></r>");
+  ASSERT_TRUE(parsed.ok());
+  dg::DataGuide g = dg::DataGuide::Build(*parsed);
+  // Bare "x" is ambiguous.
+  auto bad = VDataGuide::Create("x", g);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("ambiguous"), std::string::npos);
+  // Qualified labels resolve.
+  auto good = VDataGuide::Create("a.x", g);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(g.path(good->original(good->roots()[0])), "r.a.x");
+}
+
+TEST(VDataGuideTest, ContextNarrowsAmbiguousLabels) {
+  // Two 'name' types exist (item name, person name); under person the bare
+  // label resolves to the person's name.
+  auto parsed = xml::Parse(
+      "<site><items><item><name>lamp</name></item></items>"
+      "<people><person><name>P</name></person></people></site>");
+  ASSERT_TRUE(parsed.ok());
+  dg::DataGuide g = dg::DataGuide::Build(*parsed);
+  // Bare 'name' at the root stays ambiguous.
+  EXPECT_FALSE(VDataGuide::Create("name", g).ok());
+  // Under person it narrows to the descendant candidate.
+  auto vg = VDataGuide::Create("person { name }", g);
+  ASSERT_TRUE(vg.ok()) << vg.status();
+  VTypeId name = vg->FindByVPath("person.name").value();
+  EXPECT_EQ(g.path(vg->original(name)), "site.people.person.name");
+}
+
+TEST(VDataGuideTest, ContextPrefersAncestorWhenNoDescendantMatches) {
+  // Inversion with a bare label: under name, 'person' is an ancestor type.
+  auto parsed = xml::Parse(
+      "<site><items><item><name>lamp</name></item></items>"
+      "<people><person><name>P</name></person></people></site>");
+  ASSERT_TRUE(parsed.ok());
+  dg::DataGuide g = dg::DataGuide::Build(*parsed);
+  auto vg = VDataGuide::Create("person.name { person }", g);
+  ASSERT_TRUE(vg.ok()) << vg.status();
+  VTypeId person = vg->FindByVPath("name.person").value();
+  EXPECT_EQ(g.path(vg->original(person)), "site.people.person");
+}
+
+TEST(VDataGuideTest, ContextResolutionStillAmbiguousWithinScope) {
+  // Two distinct name types both under person: context cannot decide.
+  auto parsed = xml::Parse(
+      "<r><person><pet><name>a</name></pet><name>b</name></person></r>");
+  ASSERT_TRUE(parsed.ok());
+  dg::DataGuide g = dg::DataGuide::Build(*parsed);
+  auto vg = VDataGuide::Create("person { name }", g);
+  ASSERT_FALSE(vg.ok());
+  EXPECT_TRUE(vg.status().IsInvalidArgument());
+  // Qualification still works.
+  EXPECT_TRUE(VDataGuide::Create("person { pet.name }", g).ok());
+}
+
+TEST(VDataGuideTest, UnknownLabelFails) {
+  Fixture f;
+  auto r = VDataGuide::Create("nosuch", f.guide);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(VDataGuideTest, LevelsAndPbnsConsistent) {
+  Fixture f;
+  VDataGuide vg = MustCreate(f, testutil::SamSpec());
+  for (VTypeId t = 0; t < vg.num_vtypes(); ++t) {
+    EXPECT_EQ(vg.level(t), vg.pbn(t).length());
+    if (vg.parent(t) != kNullVType) {
+      EXPECT_TRUE(vg.pbn(vg.parent(t)).IsStrictPrefixOf(vg.pbn(t)));
+      EXPECT_EQ(vg.level(t), vg.level(vg.parent(t)) + 1);
+    } else {
+      EXPECT_EQ(vg.level(t), 1u);
+    }
+  }
+}
+
+TEST(VDataGuideTest, TypeForestPredicates) {
+  Fixture f;
+  VDataGuide vg = MustCreate(f, testutil::SamSpec());
+  VTypeId title = vg.FindByVPath("title").value();
+  VTypeId author = vg.FindByVPath("title.author").value();
+  VTypeId name = vg.FindByVPath("title.author.name").value();
+  VTypeId title_text = vg.FindByVPath("title.#text").value();
+  EXPECT_TRUE(vg.IsAncestorVType(title, name));
+  EXPECT_FALSE(vg.IsAncestorVType(name, title));
+  EXPECT_TRUE(vg.IsChildVType(author, title));
+  EXPECT_FALSE(vg.IsChildVType(name, title));
+  EXPECT_TRUE(vg.SameParentVType(title_text, author));
+  EXPECT_TRUE(vg.SameTreeVType(title, name));
+}
+
+TEST(VDataGuideTest, PreorderIndexMatchesTraversal) {
+  Fixture f;
+  VDataGuide vg = MustCreate(f, "data { ** }");
+  std::vector<VTypeId> order = vg.PreOrder();
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(vg.preorder_index(order[i]), i);
+  }
+}
+
+TEST(VDataGuideTest, DuplicatedOriginalsDetected) {
+  Fixture f;
+  VDataGuide identity = MustCreate(f, "data { ** }");
+  EXPECT_FALSE(identity.HasDuplicatedOriginals());
+  // name appears under both title and author.
+  VDataGuide dup = MustCreate(f, "book { title { name } author { name } }");
+  EXPECT_TRUE(dup.HasDuplicatedOriginals());
+}
+
+TEST(VDataGuideTest, ExpansionLimitEnforced) {
+  Fixture f;
+  ExpandLimits limits;
+  limits.max_vtypes = 3;
+  auto r = VDataGuide::Create("data { ** }", f.guide, limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST(VDataGuideTest, MultipleRootsFormForest) {
+  Fixture f;
+  VDataGuide vg = MustCreate(f, "title publisher");
+  ASSERT_EQ(vg.roots().size(), 2u);
+  EXPECT_FALSE(vg.SameTreeVType(vg.roots()[0], vg.roots()[1]));
+  EXPECT_EQ(vg.pbn(vg.roots()[0]).ToString(), "1");
+  EXPECT_EQ(vg.pbn(vg.roots()[1]).ToString(), "2");
+}
+
+}  // namespace
+}  // namespace vpbn::vdg

@@ -1,0 +1,221 @@
+#include "vpbn/virtual_document.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace vpbn::virt {
+namespace {
+
+using num::Axis;
+
+class VDocFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = testutil::PaperFigure2();
+    stored_ = std::make_unique<storage::StoredDocument>(
+        storage::StoredDocument::Build(doc_));
+  }
+
+  VirtualDocument Open(std::string_view spec) {
+    auto v = VirtualDocument::Open(*stored_, spec);
+    EXPECT_TRUE(v.ok()) << v.status();
+    return std::move(v).ValueUnsafe();
+  }
+
+  /// PBN string of a virtual node.
+  std::string P(const VirtualDocument& v, const VirtualNode& n) {
+    return v.stored().numbering().OfNode(n.node).ToString();
+  }
+
+  xml::Document doc_;
+  std::unique_ptr<storage::StoredDocument> stored_;
+};
+
+TEST_F(VDocFixture, RootsAreTitleInstances) {
+  VirtualDocument v = Open(testutil::SamSpec());
+  std::vector<VirtualNode> roots = v.Roots();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(v.name(roots[0]), "title");
+  EXPECT_EQ(P(v, roots[0]), "1.1.1");
+  EXPECT_EQ(P(v, roots[1]), "1.2.1");
+}
+
+TEST_F(VDocFixture, ChildrenOfTitle) {
+  // Figure 3: each <title> contains its text then the related <author>s.
+  VirtualDocument v = Open(testutil::SamSpec());
+  std::vector<VirtualNode> roots = v.Roots();
+  std::vector<VirtualNode> kids = v.Children(roots[0]);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_TRUE(v.IsText(kids[0]));
+  EXPECT_EQ(v.text(kids[0]), "X");
+  EXPECT_EQ(v.name(kids[1]), "author");
+  EXPECT_EQ(P(v, kids[1]), "1.1.2");
+
+  std::vector<VirtualNode> kids2 = v.Children(roots[1]);
+  ASSERT_EQ(kids2.size(), 2u);
+  EXPECT_EQ(v.text(kids2[0]), "Y");
+  EXPECT_EQ(P(v, kids2[1]), "1.2.2");
+}
+
+TEST_F(VDocFixture, DescendantsOfTitle) {
+  VirtualDocument v = Open(testutil::SamSpec());
+  std::vector<VirtualNode> roots = v.Roots();
+  std::vector<VirtualNode> desc = v.AxisNodes(roots[0], Axis::kDescendant);
+  // text X, author, name, name text C.
+  ASSERT_EQ(desc.size(), 4u);
+  EXPECT_EQ(v.text(desc[0]), "X");
+  EXPECT_EQ(v.name(desc[1]), "author");
+  EXPECT_EQ(v.name(desc[2]), "name");
+  EXPECT_EQ(v.text(desc[3]), "C");
+}
+
+TEST_F(VDocFixture, ParentsInvertChildren) {
+  VirtualDocument v = Open(testutil::SamSpec());
+  std::vector<VirtualNode> roots = v.Roots();
+  for (const VirtualNode& r : roots) {
+    for (const VirtualNode& c : v.Children(r)) {
+      std::vector<VirtualNode> parents = v.Parents(c);
+      ASSERT_EQ(parents.size(), 1u) << P(v, c);
+      EXPECT_EQ(parents[0], r);
+    }
+    EXPECT_TRUE(v.Parents(r).empty());
+  }
+}
+
+TEST_F(VDocFixture, StringValueInVirtualShape) {
+  VirtualDocument v = Open(testutil::SamSpec());
+  std::vector<VirtualNode> roots = v.Roots();
+  // title1's virtual subtree holds X (its text) and C (the author's name).
+  EXPECT_EQ(v.StringValue(roots[0]), "XC");
+  EXPECT_EQ(v.StringValue(roots[1]), "YD");
+}
+
+TEST_F(VDocFixture, Case2InversionNavigation) {
+  // name { author }: each name's children are its text and its original
+  // *ancestor* author.
+  VirtualDocument v = Open("name { author }");
+  std::vector<VirtualNode> roots = v.Roots();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(v.name(roots[0]), "name");
+  std::vector<VirtualNode> kids = v.Children(roots[0]);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_TRUE(v.IsText(kids[0]));
+  EXPECT_EQ(v.text(kids[0]), "C");
+  EXPECT_EQ(v.name(kids[1]), "author");
+  EXPECT_EQ(P(v, kids[1]), "1.1.2");  // the ancestor author, same number
+}
+
+TEST_F(VDocFixture, IdentityNavigationMatchesPhysical) {
+  VirtualDocument v = Open("data { ** }");
+  std::vector<VirtualNode> roots = v.Roots();
+  ASSERT_EQ(roots.size(), 1u);
+  // Walk both trees in parallel.
+  std::vector<std::pair<VirtualNode, xml::NodeId>> stack = {
+      {roots[0], doc_.roots()[0]}};
+  while (!stack.empty()) {
+    auto [vn, pn] = stack.back();
+    stack.pop_back();
+    EXPECT_EQ(vn.node, pn);
+    std::vector<VirtualNode> vkids = v.Children(vn);
+    std::vector<xml::NodeId> pkids = doc_.Children(pn);
+    ASSERT_EQ(vkids.size(), pkids.size());
+    for (size_t i = 0; i < vkids.size(); ++i) {
+      stack.push_back({vkids[i], pkids[i]});
+    }
+  }
+}
+
+TEST_F(VDocFixture, FollowingPrecedingAxes) {
+  VirtualDocument v = Open(testutil::SamSpec());
+  std::vector<VirtualNode> roots = v.Roots();
+  // Everything except title1 and its subtree follows nothing before it;
+  // title2's subtree plus title2 follows title1's subtree.
+  std::vector<VirtualNode> following =
+      v.AxisNodes(roots[0], Axis::kFollowing);
+  ASSERT_EQ(following.size(), 5u);  // title2 + its 4 descendants
+  EXPECT_EQ(P(v, following[0]), "1.2.1");
+  std::vector<VirtualNode> preceding =
+      v.AxisNodes(roots[1], Axis::kPreceding);
+  ASSERT_EQ(preceding.size(), 5u);  // title1 + its 4 descendants
+  EXPECT_EQ(P(v, preceding[0]), "1.1.1");
+}
+
+TEST_F(VDocFixture, SiblingAxes) {
+  VirtualDocument v = Open(testutil::SamSpec());
+  std::vector<VirtualNode> roots = v.Roots();
+  std::vector<VirtualNode> kids = v.Children(roots[0]);
+  // author follows the title text among title1's children.
+  std::vector<VirtualNode> fs =
+      v.AxisNodes(kids[0], Axis::kFollowingSibling);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(v.name(fs[0]), "author");
+  std::vector<VirtualNode> ps =
+      v.AxisNodes(kids[1], Axis::kPrecedingSibling);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_TRUE(v.IsText(ps[0]));
+  // Roots are siblings of each other.
+  std::vector<VirtualNode> root_fs =
+      v.AxisNodes(roots[0], Axis::kFollowingSibling);
+  ASSERT_EQ(root_fs.size(), 1u);
+  EXPECT_EQ(root_fs[0], roots[1]);
+}
+
+TEST_F(VDocFixture, AncestorAxis) {
+  VirtualDocument v = Open(testutil::SamSpec());
+  auto name_t = v.vguide().FindByVPath("title.author.name").value();
+  std::vector<VirtualNode> names = v.NodesOfVType(name_t);
+  ASSERT_EQ(names.size(), 2u);
+  std::vector<VirtualNode> anc = v.AxisNodes(names[0], Axis::kAncestor);
+  ASSERT_EQ(anc.size(), 2u);
+  EXPECT_EQ(v.name(anc[0]), "title");
+  EXPECT_EQ(v.name(anc[1]), "author");
+  std::vector<VirtualNode> anc_self =
+      v.AxisNodes(names[0], Axis::kAncestorOrSelf);
+  EXPECT_EQ(anc_self.size(), 3u);
+}
+
+TEST_F(VDocFixture, DuplicationThroughSharedLca) {
+  // A book with two titles: its author is a virtual child of both.
+  auto parsed = xml::Parse(
+      "<data><book><title>A</title><title>B</title>"
+      "<author><name>N</name></author></book></data>");
+  ASSERT_TRUE(parsed.ok());
+  auto stored = storage::StoredDocument::Build(*parsed);
+  auto v = VirtualDocument::Open(stored, testutil::SamSpec());
+  ASSERT_TRUE(v.ok()) << v.status();
+  std::vector<VirtualNode> roots = v->Roots();
+  ASSERT_EQ(roots.size(), 2u);
+  auto kids_a = v->Children(roots[0]);
+  auto kids_b = v->Children(roots[1]);
+  // Both titles contain the same author instance.
+  ASSERT_EQ(kids_a.size(), 2u);
+  ASSERT_EQ(kids_b.size(), 2u);
+  EXPECT_EQ(kids_a[1].node, kids_b[1].node);
+  // And the author has two virtual parents.
+  EXPECT_EQ(v->Parents(kids_a[1]).size(), 2u);
+}
+
+TEST_F(VDocFixture, OrphanNodesHaveNoVirtualParent) {
+  // A book with an author but no title: the author relates to no title.
+  auto parsed = xml::Parse(
+      "<data><book><title>T</title><author><name>N1</name></author></book>"
+      "<book><author><name>N2</name></author></book></data>");
+  ASSERT_TRUE(parsed.ok());
+  auto stored = storage::StoredDocument::Build(*parsed);
+  auto v = VirtualDocument::Open(stored, testutil::SamSpec());
+  ASSERT_TRUE(v.ok()) << v.status();
+  auto author_t = v->vguide().FindByVPath("title.author").value();
+  auto authors = v->NodesOfVType(author_t);
+  ASSERT_EQ(authors.size(), 2u);
+  EXPECT_EQ(v->Parents(authors[0]).size(), 1u);
+  EXPECT_TRUE(v->Parents(authors[1]).empty());  // the orphan
+}
+
+TEST_F(VDocFixture, BadSpecPropagatesError) {
+  auto v = VirtualDocument::Open(*stored_, "nosuch { }");
+  EXPECT_FALSE(v.ok());
+}
+
+}  // namespace
+}  // namespace vpbn::virt

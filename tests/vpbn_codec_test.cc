@@ -1,0 +1,115 @@
+#include "vpbn/vpbn_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "pbn/codec.h"
+#include "tests/test_util.h"
+#include "vpbn/virtual_document.h"
+
+namespace vpbn::virt {
+namespace {
+
+using num::Pbn;
+
+TEST(VpbnCodecTest, RoundTripPaperFigure10Numbers) {
+  // The (number, array) pairs of Figure 10.
+  struct Case {
+    Pbn pbn;
+    LevelArray levels;
+  };
+  const Case cases[] = {
+      {Pbn{1, 1, 1}, LevelArray({1, 1, 1})},
+      {Pbn{1, 1, 1, 1}, LevelArray({1, 1, 1, 2})},
+      {Pbn{1, 1, 2}, LevelArray({1, 1, 2})},
+      {Pbn{1, 1, 2, 1}, LevelArray({1, 1, 2, 3})},
+      {Pbn{1, 1, 2, 1, 1}, LevelArray({1, 1, 2, 3, 4})},
+  };
+  for (const Case& c : cases) {
+    std::string buf;
+    EncodeVpbn(c.pbn, c.levels, &buf);
+    EXPECT_EQ(buf.size(), VpbnEncodedSize(c.pbn, c.levels));
+    std::string_view in = buf;
+    auto d = DecodeVpbn(&in);
+    ASSERT_TRUE(d.ok()) << c.pbn;
+    EXPECT_EQ(d->pbn, c.pbn);
+    EXPECT_EQ(d->levels, c.levels);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(VpbnCodecTest, Case2ArrayOneLongerThanNumber) {
+  Pbn pbn{1, 1, 2};
+  LevelArray levels({1, 1, 2, 3});  // one extra entry
+  std::string buf;
+  EncodeVpbn(pbn, levels, &buf);
+  std::string_view in = buf;
+  auto d = DecodeVpbn(&in);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->levels.size(), d->pbn.length() + 1);
+}
+
+TEST(VpbnCodecTest, DeltaEncodingIsCompact) {
+  // A depth-6 identity-style array [1..6] costs one byte per entry.
+  Pbn pbn{1, 2, 3, 4, 5, 6};
+  LevelArray levels({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(VpbnEncodedSize(pbn, levels),
+            num::CompactEncodedSize(pbn) + 1 + 6);
+}
+
+TEST(VpbnCodecTest, SequencesDecodeInOrder) {
+  std::string buf;
+  EncodeVpbn(Pbn{1, 2}, LevelArray({1, 1}), &buf);
+  EncodeVpbn(Pbn{2}, LevelArray({1, 2}), &buf);
+  std::string_view in = buf;
+  auto first = DecodeVpbn(&in);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->pbn, (Pbn{1, 2}));
+  auto second = DecodeVpbn(&in);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->levels, LevelArray({1, 2}));
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(VpbnCodecTest, CorruptInputsRejected) {
+  std::string_view empty;
+  EXPECT_FALSE(DecodeVpbn(&empty).ok());
+  std::string buf;
+  EncodeVpbn(Pbn{1, 2, 3}, LevelArray({1, 2, 3}), &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    EXPECT_FALSE(DecodeVpbn(&in).ok()) << cut;
+  }
+  // Extra byte > 1 is structurally impossible and rejected.
+  std::string bad;
+  num::EncodeCompact(Pbn{1}, &bad);
+  bad.push_back(5);
+  std::string_view in = bad;
+  EXPECT_FALSE(DecodeVpbn(&in).ok());
+}
+
+TEST(VpbnCodecTest, RoundTripsEveryTypeOfRealViews) {
+  xml::Document doc = testutil::PaperFigure2();
+  auto stored = storage::StoredDocument::Build(doc);
+  for (const char* spec :
+       {"data { ** }", "title { author { name } }", "name { author { book } }",
+        "book { location title }"}) {
+    auto v = VirtualDocument::Open(stored, spec);
+    ASSERT_TRUE(v.ok()) << spec;
+    for (vdg::VTypeId t = 0; t < v->vguide().num_vtypes(); ++t) {
+      const LevelArray& levels = v->space().level_array(t);
+      for (const VirtualNode& n : v->NodesOfVType(t)) {
+        const num::Pbn& pbn = stored.numbering().OfNode(n.node);
+        std::string buf;
+        EncodeVpbn(pbn, levels, &buf);
+        std::string_view in = buf;
+        auto d = DecodeVpbn(&in);
+        ASSERT_TRUE(d.ok()) << spec;
+        EXPECT_EQ(d->pbn, pbn);
+        EXPECT_EQ(d->levels, levels);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vpbn::virt

@@ -1,0 +1,223 @@
+#include "vpbn/vpbn.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace vpbn::virt {
+namespace {
+
+using num::Pbn;
+
+/// Fixture around Sam's transformation of the Figure 2 instance: the vPBN
+/// numbers are those of Figure 10.
+class SamFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = testutil::PaperFigure2();
+    guide_ = dg::DataGuide::Build(doc_);
+    auto vg = vdg::VDataGuide::Create(testutil::SamSpec(), guide_);
+    ASSERT_TRUE(vg.ok()) << vg.status();
+    vg_ = std::make_unique<vdg::VDataGuide>(std::move(vg).ValueUnsafe());
+    auto space = VpbnSpace::Create(*vg_);
+    ASSERT_TRUE(space.ok()) << space.status();
+    space_ = std::make_unique<VpbnSpace>(std::move(space).ValueUnsafe());
+
+    title_t_ = vg_->FindByVPath("title").value();
+    title_text_t_ = vg_->FindByVPath("title.#text").value();
+    author_t_ = vg_->FindByVPath("title.author").value();
+    name_t_ = vg_->FindByVPath("title.author.name").value();
+    name_text_t_ = vg_->FindByVPath("title.author.name.#text").value();
+  }
+
+  Vpbn V(const Pbn& p, vdg::VTypeId t) {
+    pbns_.push_back(std::make_unique<Pbn>(p));
+    return Vpbn(*pbns_.back(), t);
+  }
+
+  xml::Document doc_;
+  dg::DataGuide guide_;
+  std::unique_ptr<vdg::VDataGuide> vg_;
+  std::unique_ptr<VpbnSpace> space_;
+  std::vector<std::unique_ptr<Pbn>> pbns_;
+  vdg::VTypeId title_t_, title_text_t_, author_t_, name_t_, name_text_t_;
+};
+
+TEST_F(SamFixture, PaperExampleDescendant) {
+  // §5: "The leftmost <name> is a virtual descendant of the leftmost
+  // <title> since its prefix at level 1 is 1.1, which matches the prefix at
+  // level 1 of <title> (1.1). But <name> is not a virtual descendant of the
+  // rightmost <title>; that <title> has a prefix of 1.2 at level 1."
+  Vpbn name1 = V(Pbn{1, 1, 2, 1}, name_t_);
+  Vpbn title1 = V(Pbn{1, 1, 1}, title_t_);
+  Vpbn title2 = V(Pbn{1, 2, 1}, title_t_);
+  EXPECT_TRUE(space_->VDescendant(name1, title1));
+  EXPECT_FALSE(space_->VDescendant(name1, title2));
+  EXPECT_TRUE(space_->VAncestor(title1, name1));
+  EXPECT_FALSE(space_->VAncestor(title2, name1));
+}
+
+TEST_F(SamFixture, PaperExamplePreceding) {
+  // §5: "Text node C 1.1.2.1.1 virtually precedes 1.2.2 since C is not a
+  // virtual ancestor or self ... and at level 1 C has a prefix of 1.1 which
+  // is less than [the other]'s prefix at level 1 (1.2)."
+  Vpbn c = V(Pbn{1, 1, 2, 1, 1}, name_text_t_);
+  Vpbn author2 = V(Pbn{1, 2, 2}, author_t_);
+  EXPECT_TRUE(space_->VPreceding(c, author2));
+  EXPECT_TRUE(space_->VFollowing(author2, c));
+  EXPECT_FALSE(space_->VFollowing(c, author2));
+}
+
+TEST_F(SamFixture, PaperExampleNotFollowingSibling) {
+  // §5: "C is not a virtual following-sibling of D since though they are at
+  // the same level, they do not have the same virtual parent (their
+  // prefixes differ at level 1)."
+  Vpbn c = V(Pbn{1, 1, 2, 1, 1}, name_text_t_);
+  Vpbn d = V(Pbn{1, 2, 2, 1, 1}, name_text_t_);
+  EXPECT_FALSE(space_->VFollowingSibling(c, d));
+  EXPECT_FALSE(space_->VFollowingSibling(d, c));
+  EXPECT_FALSE(space_->VPrecedingSibling(c, d));
+  // But C does precede D in virtual document order.
+  EXPECT_TRUE(space_->VPreceding(c, d));
+  EXPECT_TRUE(space_->VFollowing(d, c));
+}
+
+TEST_F(SamFixture, VirtualLevels) {
+  // Figure 10: titles at level 1, their text and authors at 2, names at 3,
+  // name text at 4.
+  EXPECT_EQ(space_->VirtualLevel(V(Pbn{1, 1, 1}, title_t_)), 1u);
+  EXPECT_EQ(space_->VirtualLevel(V(Pbn{1, 1, 1, 1}, title_text_t_)), 2u);
+  EXPECT_EQ(space_->VirtualLevel(V(Pbn{1, 1, 2}, author_t_)), 2u);
+  EXPECT_EQ(space_->VirtualLevel(V(Pbn{1, 1, 2, 1}, name_t_)), 3u);
+  EXPECT_EQ(space_->VirtualLevel(V(Pbn{1, 1, 2, 1, 1}, name_text_t_)), 4u);
+}
+
+TEST_F(SamFixture, SelfRequiresSameTypeAndNumber) {
+  Vpbn a = V(Pbn{1, 1, 2}, author_t_);
+  Vpbn a2 = V(Pbn{1, 1, 2}, author_t_);
+  Vpbn b = V(Pbn{1, 2, 2}, author_t_);
+  EXPECT_TRUE(space_->VSelf(a, a2));
+  EXPECT_FALSE(space_->VSelf(a, b));
+}
+
+TEST_F(SamFixture, ChildAndParent) {
+  Vpbn title1 = V(Pbn{1, 1, 1}, title_t_);
+  Vpbn author1 = V(Pbn{1, 1, 2}, author_t_);
+  Vpbn name1 = V(Pbn{1, 1, 2, 1}, name_t_);
+  // author is a virtual child of the same book's title.
+  EXPECT_TRUE(space_->VChild(author1, title1));
+  EXPECT_TRUE(space_->VParent(title1, author1));
+  // name is a grandchild, not a child, of title.
+  EXPECT_FALSE(space_->VChild(name1, title1));
+  EXPECT_TRUE(space_->VDescendant(name1, title1));
+  // Cross-book pairs fail.
+  Vpbn author2 = V(Pbn{1, 2, 2}, author_t_);
+  EXPECT_FALSE(space_->VChild(author2, title1));
+}
+
+TEST_F(SamFixture, TitleTextIsChildOfOwnTitleOnly) {
+  Vpbn title1 = V(Pbn{1, 1, 1}, title_t_);
+  Vpbn text1 = V(Pbn{1, 1, 1, 1}, title_text_t_);
+  Vpbn title2 = V(Pbn{1, 2, 1}, title_t_);
+  EXPECT_TRUE(space_->VChild(text1, title1));
+  EXPECT_FALSE(space_->VChild(text1, title2));
+}
+
+TEST_F(SamFixture, SiblingsUnderSameTitle) {
+  // title's text and the book's author are virtual siblings (children of
+  // the same title); text comes first, matching Figure 3.
+  Vpbn text1 = V(Pbn{1, 1, 1, 1}, title_text_t_);
+  Vpbn author1 = V(Pbn{1, 1, 2}, author_t_);
+  EXPECT_TRUE(space_->VPrecedingSibling(text1, author1));
+  EXPECT_TRUE(space_->VFollowingSibling(author1, text1));
+  EXPECT_FALSE(space_->VPrecedingSibling(author1, text1));
+}
+
+TEST_F(SamFixture, DescendantOrSelfAndAncestorOrSelf) {
+  Vpbn title1 = V(Pbn{1, 1, 1}, title_t_);
+  Vpbn name1 = V(Pbn{1, 1, 2, 1}, name_t_);
+  EXPECT_TRUE(space_->VDescendantOrSelf(title1, title1));
+  EXPECT_TRUE(space_->VDescendantOrSelf(name1, title1));
+  EXPECT_TRUE(space_->VAncestorOrSelf(title1, name1));
+  EXPECT_FALSE(space_->VAncestorOrSelf(name1, title1));
+}
+
+TEST_F(SamFixture, CheckAxisDispatch) {
+  Vpbn title1 = V(Pbn{1, 1, 1}, title_t_);
+  Vpbn author1 = V(Pbn{1, 1, 2}, author_t_);
+  using num::Axis;
+  EXPECT_TRUE(space_->VCheckAxis(Axis::kChild, author1, title1));
+  EXPECT_TRUE(space_->VCheckAxis(Axis::kParent, title1, author1));
+  EXPECT_TRUE(space_->VCheckAxis(Axis::kDescendant, author1, title1));
+  EXPECT_FALSE(space_->VCheckAxis(Axis::kSelf, author1, title1));
+  EXPECT_FALSE(space_->VCheckAxis(Axis::kAttribute, author1, title1));
+}
+
+TEST_F(SamFixture, VCompareOrdersFigure3) {
+  // Expected virtual document order (Figure 3): title1, X, author1, name1,
+  // C, title2, Y, author2, name2, D.
+  std::vector<Vpbn> expected = {
+      V(Pbn{1, 1, 1}, title_t_),          V(Pbn{1, 1, 1, 1}, title_text_t_),
+      V(Pbn{1, 1, 2}, author_t_),         V(Pbn{1, 1, 2, 1}, name_t_),
+      V(Pbn{1, 1, 2, 1, 1}, name_text_t_), V(Pbn{1, 2, 1}, title_t_),
+      V(Pbn{1, 2, 1, 1}, title_text_t_),  V(Pbn{1, 2, 2}, author_t_),
+      V(Pbn{1, 2, 2, 1}, name_t_),        V(Pbn{1, 2, 2, 1, 1}, name_text_t_),
+  };
+  for (size_t i = 0; i < expected.size(); ++i) {
+    for (size_t j = 0; j < expected.size(); ++j) {
+      auto cmp = space_->VCompare(expected[i], expected[j]);
+      if (i < j) {
+        EXPECT_EQ(cmp, std::weak_ordering::less) << i << " vs " << j;
+      } else if (i > j) {
+        EXPECT_EQ(cmp, std::weak_ordering::greater) << i << " vs " << j;
+      } else {
+        EXPECT_EQ(cmp, std::weak_ordering::equivalent) << i;
+      }
+    }
+  }
+}
+
+TEST_F(SamFixture, PrecedingFollowingDuality) {
+  std::vector<Vpbn> nodes = {
+      V(Pbn{1, 1, 1}, title_t_),   V(Pbn{1, 1, 2}, author_t_),
+      V(Pbn{1, 2, 1}, title_t_),   V(Pbn{1, 2, 2}, author_t_),
+      V(Pbn{1, 1, 2, 1}, name_t_), V(Pbn{1, 2, 2, 1, 1}, name_text_t_),
+  };
+  for (const Vpbn& x : nodes) {
+    for (const Vpbn& y : nodes) {
+      EXPECT_EQ(space_->VPreceding(x, y), space_->VFollowing(y, x));
+      EXPECT_EQ(space_->VPrecedingSibling(x, y),
+                space_->VFollowingSibling(y, x));
+      EXPECT_EQ(space_->VAncestor(x, y), space_->VDescendant(y, x));
+    }
+  }
+}
+
+TEST_F(SamFixture, AxesArePartition) {
+  // For any pair in the same virtual tree, exactly one of self / ancestor /
+  // descendant / preceding / following holds.
+  std::vector<Vpbn> nodes = {
+      V(Pbn{1, 1, 1}, title_t_),           V(Pbn{1, 1, 1, 1}, title_text_t_),
+      V(Pbn{1, 1, 2}, author_t_),          V(Pbn{1, 1, 2, 1}, name_t_),
+      V(Pbn{1, 1, 2, 1, 1}, name_text_t_), V(Pbn{1, 2, 1}, title_t_),
+      V(Pbn{1, 2, 1, 1}, title_text_t_),   V(Pbn{1, 2, 2}, author_t_),
+      V(Pbn{1, 2, 2, 1}, name_t_),         V(Pbn{1, 2, 2, 1, 1}, name_text_t_),
+  };
+  for (const Vpbn& x : nodes) {
+    for (const Vpbn& y : nodes) {
+      int holds = space_->VSelf(x, y) + space_->VAncestor(x, y) +
+                  space_->VDescendant(x, y) + space_->VPreceding(x, y) +
+                  space_->VFollowing(x, y);
+      EXPECT_EQ(holds, 1) << space_->ToString(x) << " vs "
+                          << space_->ToString(y);
+    }
+  }
+}
+
+TEST_F(SamFixture, ToStringShowsNumberAndArray) {
+  Vpbn author1 = V(Pbn{1, 1, 2}, author_t_);
+  EXPECT_EQ(space_->ToString(author1), "1.1.2 [1,1,2]");
+}
+
+}  // namespace
+}  // namespace vpbn::virt

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "storage/stored_document.h"
+#include "vdg/vdataguide.h"
+#include "workload/auctions.h"
+#include "workload/bibliography.h"
+#include "workload/books.h"
+#include "workload/random_trees.h"
+#include "xml/serializer.h"
+
+namespace vpbn::workload {
+namespace {
+
+TEST(BooksTest, DeterministicForSeed) {
+  BooksOptions opts;
+  opts.seed = 5;
+  opts.num_books = 10;
+  xml::Document a = GenerateBooks(opts);
+  xml::Document b = GenerateBooks(opts);
+  EXPECT_EQ(xml::SerializeDocument(a), xml::SerializeDocument(b));
+  opts.seed = 6;
+  xml::Document c = GenerateBooks(opts);
+  EXPECT_NE(xml::SerializeDocument(a), xml::SerializeDocument(c));
+}
+
+TEST(BooksTest, ShapeMatchesPaperSchema) {
+  BooksOptions opts;
+  opts.num_books = 25;
+  xml::Document doc = GenerateBooks(opts);
+  dg::DataGuide g = dg::DataGuide::Build(doc);
+  EXPECT_TRUE(g.FindByPath("data").ok());
+  EXPECT_TRUE(g.FindByPath("data.book").ok());
+  EXPECT_TRUE(g.FindByPath("data.book.title").ok());
+  EXPECT_TRUE(g.FindByPath("data.book.author.name").ok());
+  EXPECT_TRUE(g.FindByPath("data.book.publisher.location").ok());
+  // 25 books under data.
+  EXPECT_EQ(doc.ChildCount(doc.roots()[0]), 25u);
+}
+
+TEST(BooksTest, OptionsControlShape) {
+  BooksOptions opts;
+  opts.num_books = 40;
+  opts.publisher_prob = 0.0;
+  opts.title_prob = 0.0;
+  opts.with_attributes = false;
+  xml::Document doc = GenerateBooks(opts);
+  dg::DataGuide g = dg::DataGuide::Build(doc);
+  EXPECT_FALSE(g.FindByPath("data.book.publisher").ok());
+  EXPECT_FALSE(g.FindByPath("data.book.title").ok());
+  EXPECT_TRUE(g.FindByPath("data.book.author").ok());
+  xml::NodeId book0 = doc.Children(doc.roots()[0])[0];
+  EXPECT_TRUE(doc.attributes(book0).empty());
+}
+
+TEST(BooksTest, AuthorsBetweenOneAndMax) {
+  BooksOptions opts;
+  opts.num_books = 60;
+  opts.max_extra_authors = 2;
+  xml::Document doc = GenerateBooks(opts);
+  for (xml::NodeId book : doc.Children(doc.roots()[0])) {
+    int authors = 0;
+    for (xml::NodeId c : doc.Children(book)) {
+      if (doc.name(c) == "author") ++authors;
+    }
+    EXPECT_GE(authors, 1);
+    EXPECT_LE(authors, 3);
+  }
+}
+
+TEST(AuctionsTest, ShapeAndScale) {
+  AuctionsOptions opts;
+  opts.num_items = 30;
+  opts.num_people = 15;
+  opts.num_auctions = 20;
+  xml::Document doc = GenerateAuctions(opts);
+  dg::DataGuide g = dg::DataGuide::Build(doc);
+  EXPECT_TRUE(g.FindByPath("site.people.person.name").ok());
+  EXPECT_TRUE(g.FindByPath("site.open_auctions.auction.bidder.price").ok());
+  storage::StoredDocument s = storage::StoredDocument::Build(doc);
+  auto person = g.FindByPath("site.people.person");
+  ASSERT_TRUE(person.ok());
+  EXPECT_EQ(s.NodesOfType(*person).size(), 15u);
+  auto auction = g.FindByPath("site.open_auctions.auction");
+  ASSERT_TRUE(auction.ok());
+  EXPECT_EQ(s.NodesOfType(*auction).size(), 20u);
+}
+
+TEST(AuctionsTest, Deterministic) {
+  AuctionsOptions opts;
+  opts.seed = 9;
+  EXPECT_EQ(xml::SerializeDocument(GenerateAuctions(opts)),
+            xml::SerializeDocument(GenerateAuctions(opts)));
+}
+
+TEST(BibliographyTest, SharedAuthorPool) {
+  BibliographyOptions opts;
+  opts.num_publications = 50;
+  opts.author_pool = 10;
+  xml::Document doc = GenerateBibliography(opts);
+  // Author names repeat across publications (pool is small).
+  std::map<std::string, int> counts;
+  for (xml::NodeId id = 0; id < doc.num_nodes(); ++id) {
+    if (doc.IsElement(id) && doc.name(id) == "author") {
+      counts[doc.StringValue(id)]++;
+    }
+  }
+  EXPECT_LE(counts.size(), 10u);
+  int repeated = 0;
+  for (const auto& [name, n] : counts) {
+    if (n > 1) ++repeated;
+  }
+  EXPECT_GT(repeated, 0);
+}
+
+TEST(BibliographyTest, BothPublicationKinds) {
+  BibliographyOptions opts;
+  opts.num_publications = 40;
+  xml::Document doc = GenerateBibliography(opts);
+  dg::DataGuide g = dg::DataGuide::Build(doc);
+  EXPECT_TRUE(g.FindByPath("bib.article").ok());
+  EXPECT_TRUE(g.FindByPath("bib.inproceedings").ok());
+  EXPECT_TRUE(g.FindByPath("bib.article.journal").ok());
+  EXPECT_TRUE(g.FindByPath("bib.inproceedings.booktitle").ok());
+}
+
+TEST(RandomTreesTest, RespectsNodeBudgetAndDepth) {
+  RandomTreeOptions opts;
+  opts.seed = 3;
+  opts.num_nodes = 500;
+  opts.max_depth = 8;
+  xml::Document doc = GenerateRandomTree(opts);
+  EXPECT_GE(doc.num_nodes(), 500u);
+  for (xml::NodeId id = 0; id < doc.num_nodes(); ++id) {
+    EXPECT_LE(doc.Depth(id), 9u);  // leaves may exceed by one (text)
+  }
+}
+
+TEST(RandomTreesTest, RandomSpecIsValid) {
+  RandomTreeOptions topts;
+  topts.seed = 11;
+  topts.num_nodes = 200;
+  xml::Document doc = GenerateRandomTree(topts);
+  dg::DataGuide g = dg::DataGuide::Build(doc);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomSpecOptions sopts;
+    sopts.seed = seed;
+    sopts.num_types = 6;
+    std::string spec = GenerateRandomSpec(g, sopts);
+    ASSERT_FALSE(spec.empty());
+    auto vg = vdg::VDataGuide::Create(spec, g);
+    EXPECT_TRUE(vg.ok()) << "seed " << seed << ": " << spec << "\n"
+                         << vg.status();
+  }
+}
+
+TEST(RandomTreesTest, SpecDeterministic) {
+  RandomTreeOptions topts;
+  xml::Document doc = GenerateRandomTree(topts);
+  dg::DataGuide g = dg::DataGuide::Build(doc);
+  RandomSpecOptions sopts;
+  sopts.seed = 4;
+  EXPECT_EQ(GenerateRandomSpec(g, sopts), GenerateRandomSpec(g, sopts));
+}
+
+}  // namespace
+}  // namespace vpbn::workload

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/bibliography.h"
+#include "xquery/xq_engine.h"
+
+namespace vpbn::xq {
+namespace {
+
+class BuiltinsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = testutil::PaperFigure2();
+    ASSERT_TRUE(engine_.RegisterDocument("book.xml", &doc_).ok());
+  }
+
+  std::string MustRun(std::string_view query) {
+    auto r = engine_.RunToXml(query);
+    EXPECT_TRUE(r.ok()) << query << "\n" << r.status();
+    return r.ValueOr("<error/>");
+  }
+
+  xml::Document doc_;
+  Engine engine_;
+};
+
+TEST_F(BuiltinsFixture, DistinctValues) {
+  EXPECT_EQ(MustRun("count(distinct-values(doc(\"book.xml\")//book))"), "2");
+  EXPECT_EQ(MustRun("count(distinct-values(doc(\"book.xml\")//location))"),
+            "2");
+}
+
+TEST_F(BuiltinsFixture, DistinctValuesCollapsesDuplicates) {
+  workload::BibliographyOptions opts;
+  opts.num_publications = 30;
+  opts.author_pool = 5;
+  xml::Document bib = workload::GenerateBibliography(opts);
+  Engine e;
+  ASSERT_TRUE(e.RegisterDocument("bib.xml", &bib).ok());
+  auto all = e.RunToXml("count(doc(\"bib.xml\")//author)");
+  auto distinct =
+      e.RunToXml("count(distinct-values(doc(\"bib.xml\")//author))");
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_LT(std::stoi(*distinct), std::stoi(*all));
+  EXPECT_LE(std::stoi(*distinct), 5);
+}
+
+TEST_F(BuiltinsFixture, DistinctValuesPreservesFirstSeenOrder) {
+  std::string out = MustRun(R"(
+      for $v in distinct-values(doc("book.xml")//title)
+      return <t>{$v}</t>)");
+  EXPECT_EQ(out, "<t>X</t><t>Y</t>");
+}
+
+TEST_F(BuiltinsFixture, Contains) {
+  std::string out = MustRun(R"(
+      for $b in doc("book.xml")//book
+      where contains($b/title, "X")
+      return <hit>{$b/author/name/text()}</hit>)");
+  EXPECT_EQ(out, "<hit>C</hit>");
+  EXPECT_EQ(MustRun("contains(\"hello world\", \"lo wo\")"), "1");
+  EXPECT_EQ(MustRun("contains(\"hello\", \"z\")"), "0");
+}
+
+TEST_F(BuiltinsFixture, ContainsOverVirtualNodes) {
+  std::string out = MustRun(R"(
+      for $t in virtualDoc("book.xml", "title { author { name } }")//title
+      where contains($t, "D")
+      return <t>{$t/text()}</t>)");
+  // Virtual string value of title2 is "YD" (title text + author name).
+  EXPECT_EQ(out, "<t>Y</t>");
+}
+
+TEST_F(BuiltinsFixture, StringFn) {
+  EXPECT_EQ(MustRun("string(doc(\"book.xml\")//title)"), "X");
+  EXPECT_EQ(MustRun("string(42)"), "42");
+  EXPECT_EQ(MustRun("string(doc(\"book.xml\")//nosuch)"), "");
+}
+
+TEST_F(BuiltinsFixture, BuiltinsCompose) {
+  std::string out = MustRun(R"(
+      let $names := distinct-values(doc("book.xml")//name)
+      return <n>{count($names)}</n>)");
+  EXPECT_EQ(out, "<n>2</n>");
+}
+
+TEST_F(BuiltinsFixture, Aggregates) {
+  auto parsed = xml::Parse(
+      "<r><v>10</v><v>2</v><v>7</v><v>-1</v></r>");
+  ASSERT_TRUE(parsed.ok());
+  xml::Document nums = std::move(parsed).ValueUnsafe();
+  Engine e;
+  ASSERT_TRUE(e.RegisterDocument("n", &nums).ok());
+  EXPECT_EQ(e.RunToXml("sum(doc(\"n\")//v)").ValueOr("?"), "18");
+  EXPECT_EQ(e.RunToXml("min(doc(\"n\")//v)").ValueOr("?"), "-1");
+  EXPECT_EQ(e.RunToXml("max(doc(\"n\")//v)").ValueOr("?"), "10");
+  EXPECT_EQ(e.RunToXml("avg(doc(\"n\")//v)").ValueOr("?"), "4.500000");
+  // Empty sequences: sum is 0, the others are empty.
+  EXPECT_EQ(e.RunToXml("sum(doc(\"n\")//nosuch)").ValueOr("?"), "0");
+  EXPECT_EQ(e.RunToXml("max(doc(\"n\")//nosuch)").ValueOr("?"), "");
+  // Non-numeric input is a hard error.
+  EXPECT_FALSE(e.Run("sum(doc(\"n\")//v/ancestor::r)").ok());
+}
+
+TEST_F(BuiltinsFixture, AggregateOverVirtualView) {
+  workload::BibliographyOptions opts;
+  opts.num_publications = 30;
+  xml::Document bib = workload::GenerateBibliography(opts);
+  Engine e;
+  ASSERT_TRUE(e.RegisterDocument("bib", &bib).ok());
+  auto out = e.RunToXml(R"(
+      for $a in virtualDoc("bib",
+          "article.author { article { article.year } }")//author
+      where $a/text() = "Author0" and max($a/article/year) >= 2000
+      return <active>{$a/text()}</active>)");
+  ASSERT_TRUE(out.ok()) << out.status();
+}
+
+TEST_F(BuiltinsFixture, AttributeTerminalPaths) {
+  auto parsed = xml::Parse(
+      "<data><book year=\"1994\"><title>A</title><author>X</author></book>"
+      "<book year=\"2001\"><title>B</title><author>Y</author></book>"
+      "<book><title>C</title><author>Z</author></book></data>");
+  ASSERT_TRUE(parsed.ok());
+  xml::Document d = std::move(parsed).ValueUnsafe();
+  Engine e;
+  ASSERT_TRUE(e.RegisterDocument("d", &d).ok());
+  // doc(...)//book/@year atomizes to attribute values; the attribute-less
+  // book contributes nothing.
+  auto years = e.RunToXml(R"(
+      for $y in doc("d")//book/@year return <y>{$y}</y>)");
+  ASSERT_TRUE(years.ok()) << years.status();
+  EXPECT_EQ(*years, "<y>1994</y><y>2001</y>");
+  // Relative form from a bound variable.
+  auto rel = e.RunToXml(R"(
+      for $b in doc("d")//book
+      where $b/@year >= 2000
+      return <t>{$b/title/text()}{$b/@year}</t>)");
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(*rel, "<t>B2001</t>");
+  // virtualDoc form.
+  auto v = e.RunToXml(R"(
+      for $y in virtualDoc("d", "book { title }")//book/@year
+      return <y>{$y}</y>)");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(*v, "<y>1994</y><y>2001</y>");
+}
+
+TEST_F(BuiltinsFixture, ParseErrors) {
+  EXPECT_FALSE(engine_.Run("distinct-values(").ok());
+  EXPECT_FALSE(engine_.Run("contains(\"a\")").ok());
+  EXPECT_FALSE(engine_.Run("contains(\"a\" \"b\")").ok());
+  EXPECT_FALSE(engine_.Run("string()").ok());
+}
+
+}  // namespace
+}  // namespace vpbn::xq

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "workload/books.h"
+#include "xquery/xq_engine.h"
+
+namespace vpbn::xq {
+namespace {
+
+class OrderByFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = xml::Parse(
+        "<data>"
+        "<book year=\"2001\"><title>Beta</title></book>"
+        "<book year=\"1994\"><title>Alpha</title></book>"
+        "<book year=\"2010\"><title>Gamma</title></book>"
+        "</data>");
+    ASSERT_TRUE(parsed.ok());
+    doc_ = std::move(parsed).ValueUnsafe();
+    ASSERT_TRUE(engine_.RegisterDocument("d", &doc_).ok());
+  }
+
+  std::string MustRun(std::string_view query) {
+    auto r = engine_.RunToXml(query);
+    EXPECT_TRUE(r.ok()) << query << "\n" << r.status();
+    return r.ValueOr("<error/>");
+  }
+
+  xml::Document doc_;
+  Engine engine_;
+};
+
+TEST_F(OrderByFixture, LexicographicAscending) {
+  std::string out = MustRun(R"(
+      for $b in doc("d")//book
+      order by $b/title
+      return <t>{$b/title/text()}</t>)");
+  EXPECT_EQ(out, "<t>Alpha</t><t>Beta</t><t>Gamma</t>");
+}
+
+TEST_F(OrderByFixture, ExplicitAscendingKeyword) {
+  std::string out = MustRun(R"(
+      for $b in doc("d")//book
+      order by $b/title ascending
+      return <t>{$b/title/text()}</t>)");
+  EXPECT_EQ(out, "<t>Alpha</t><t>Beta</t><t>Gamma</t>");
+}
+
+TEST_F(OrderByFixture, Descending) {
+  std::string out = MustRun(R"(
+      for $b in doc("d")//book
+      order by $b/title descending
+      return <t>{$b/title/text()}</t>)");
+  EXPECT_EQ(out, "<t>Gamma</t><t>Beta</t><t>Alpha</t>");
+}
+
+TEST_F(OrderByFixture, NumericKeysSortNumerically) {
+  auto parsed = xml::Parse(
+      "<r><v>10</v><v>9</v><v>100</v><v>2</v></r>");
+  ASSERT_TRUE(parsed.ok());
+  xml::Document nums = std::move(parsed).ValueUnsafe();
+  Engine e;
+  ASSERT_TRUE(e.RegisterDocument("n", &nums).ok());
+  auto out = e.RunToXml(R"(
+      for $v in doc("n")//v
+      order by $v
+      return <o>{$v/text()}</o>)");
+  ASSERT_TRUE(out.ok());
+  // Numeric, not lexicographic: 2 < 9 < 10 < 100.
+  EXPECT_EQ(*out, "<o>2</o><o>9</o><o>10</o><o>100</o>");
+}
+
+TEST_F(OrderByFixture, OrderByAttribute) {
+  std::string out = MustRun(R"(
+      for $b in doc("d")//book
+      order by $b/@year
+      return <y>{$b/title/text()}</y>)");
+  EXPECT_EQ(out, "<y>Alpha</y><y>Beta</y><y>Gamma</y>");
+}
+
+TEST_F(OrderByFixture, CombinesWithWhere) {
+  std::string out = MustRun(R"(
+      for $b in doc("d")//book
+      where $b/@year > 1995
+      order by $b/title descending
+      return <t>{$b/title/text()}</t>)");
+  EXPECT_EQ(out, "<t>Gamma</t><t>Beta</t>");
+}
+
+TEST_F(OrderByFixture, StableForEqualKeys) {
+  auto parsed = xml::Parse(
+      "<r><p k=\"same\"><n>first</n></p><p k=\"same\"><n>second</n></p></r>");
+  ASSERT_TRUE(parsed.ok());
+  xml::Document d2 = std::move(parsed).ValueUnsafe();
+  Engine e;
+  ASSERT_TRUE(e.RegisterDocument("d2", &d2).ok());
+  auto out = e.RunToXml(R"(
+      for $p in doc("d2")//p
+      order by $p/@k
+      return <o>{$p/n/text()}</o>)");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "<o>first</o><o>second</o>");
+}
+
+TEST_F(OrderByFixture, WorksOverVirtualDoc) {
+  xml::Document books = testutil::PaperFigure2();
+  Engine e;
+  ASSERT_TRUE(e.RegisterDocument("b", &books).ok());
+  auto out = e.RunToXml(R"(
+      for $t in virtualDoc("b", "title { author { name } }")//title
+      order by $t/text() descending
+      return <t>{$t/text()}</t>)");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out, "<t>Y</t><t>X</t>");
+}
+
+TEST_F(OrderByFixture, ParseErrors) {
+  EXPECT_FALSE(engine_.Run("for $x in doc(\"d\")//book order return $x")
+                   .ok());
+  EXPECT_FALSE(
+      engine_.Run("for $x in doc(\"d\")//book order by return $x").ok());
+}
+
+}  // namespace
+}  // namespace vpbn::xq

@@ -1,0 +1,167 @@
+/// \file vpbnq.cc
+/// \brief Command-line front end: query XML files physically or through a
+/// virtual hierarchy, inspect DataGuides, materialize views, run XQuery.
+///
+///   vpbnq <file.xml> <xpath>                  query with PBN indexes
+///   vpbnq --view <spec> <file.xml> <xpath>    query a virtual hierarchy
+///   vpbnq --materialize <spec> <file.xml>     print the transformed doc
+///   vpbnq --dataguide <file.xml>              print the structural summary
+///   vpbnq --xquery <query> <file.xml>         run FLWR (doc name: "doc")
+///   vpbnq --numbers <file.xml>                dump PBN numbers
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "query/eval_bulk.h"
+#include "query/eval_indexed.h"
+#include "query/eval_virtual.h"
+#include "vdg/report.h"
+#include "vpbn/materializer.h"
+#include "vpbn/virtual_document.h"
+#include "vpbn/virtual_value.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/xq_engine.h"
+
+namespace {
+
+using namespace vpbn;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  vpbnq [--bulk] <file.xml> <xpath>\n"
+               "  vpbnq --view <vdataguide> <file.xml> <xpath>\n"
+               "  vpbnq --materialize <vdataguide> <file.xml>\n"
+               "  vpbnq --report <vdataguide> <file.xml>\n"
+               "  vpbnq --dataguide <file.xml>\n"
+               "  vpbnq --numbers <file.xml>\n"
+               "  vpbnq --xquery <query> <file.xml>\n");
+  return 2;
+}
+
+Result<xml::Document> Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return xml::Parse(buf.str());
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return Usage();
+
+  if (args[0] == "--dataguide" && args.size() == 2) {
+    auto doc = Load(args[1]);
+    if (!doc.ok()) return Fail(doc.status());
+    dg::DataGuide g = dg::DataGuide::Build(*doc);
+    for (dg::TypeId t : g.PreOrder()) {
+      std::printf("%*s%s\n", 2 * (g.length(t) - 1), "",
+                  g.label(t).c_str());
+    }
+    return 0;
+  }
+
+  if (args[0] == "--numbers" && args.size() == 2) {
+    auto doc = Load(args[1]);
+    if (!doc.ok()) return Fail(doc.status());
+    num::Numbering n = num::Numbering::Number(*doc);
+    for (xml::NodeId id : doc->DocumentOrder()) {
+      std::printf("%-16s %s\n", n.OfNode(id).ToString().c_str(),
+                  doc->IsText(id)
+                      ? ("\"" + doc->text(id) + "\"").c_str()
+                      : doc->name(id).c_str());
+    }
+    return 0;
+  }
+
+  if (args[0] == "--report" && args.size() == 3) {
+    auto doc = Load(args[2]);
+    if (!doc.ok()) return Fail(doc.status());
+    dg::DataGuide guide = dg::DataGuide::Build(*doc);
+    auto vg = vdg::VDataGuide::Create(args[1], guide);
+    if (!vg.ok()) return Fail(vg.status());
+    vdg::ViewReport report = vdg::AnalyzeView(*vg);
+    std::printf("%s", report.ToString(*vg).c_str());
+    return 0;
+  }
+
+  if (args[0] == "--materialize" && args.size() == 3) {
+    auto doc = Load(args[2]);
+    if (!doc.ok()) return Fail(doc.status());
+    storage::StoredDocument stored = storage::StoredDocument::Build(*doc);
+    auto vdoc = virt::VirtualDocument::Open(stored, args[1]);
+    if (!vdoc.ok()) return Fail(vdoc.status());
+    auto m = virt::Materialize(*vdoc);
+    if (!m.ok()) return Fail(m.status());
+    std::printf("%s\n",
+                xml::SerializeDocument(m->doc, {.indent = true}).c_str());
+    return 0;
+  }
+
+  if (args[0] == "--xquery" && args.size() == 3) {
+    auto doc = Load(args[2]);
+    if (!doc.ok()) return Fail(doc.status());
+    xq::Engine engine;
+    if (auto s = engine.RegisterDocument("doc", &*doc); !s.ok()) {
+      return Fail(s);
+    }
+    auto out = engine.RunToXml(args[1]);
+    if (!out.ok()) return Fail(out.status());
+    std::printf("%s\n", out->c_str());
+    return 0;
+  }
+
+  if (args[0] == "--view" && args.size() == 4) {
+    auto doc = Load(args[2]);
+    if (!doc.ok()) return Fail(doc.status());
+    storage::StoredDocument stored = storage::StoredDocument::Build(*doc);
+    auto vdoc = virt::VirtualDocument::Open(stored, args[1]);
+    if (!vdoc.ok()) return Fail(vdoc.status());
+    auto hits = query::EvalVirtual(*vdoc, args[3]);
+    if (!hits.ok()) return Fail(hits.status());
+    virt::VirtualValueComputer values(*vdoc);
+    for (const virt::VirtualNode& n : *hits) {
+      std::printf("%s\n", values.Value(n).c_str());
+    }
+    std::fprintf(stderr, "%zu node(s)\n", hits->size());
+    return 0;
+  }
+
+  bool bulk = false;
+  if (!args.empty() && args[0] == "--bulk") {
+    bulk = true;
+    args.erase(args.begin());
+  }
+  if (args.size() == 2 && args[0][0] != '-') {
+    auto doc = Load(args[0]);
+    if (!doc.ok()) return Fail(doc.status());
+    storage::StoredDocument stored = storage::StoredDocument::Build(*doc);
+    auto path = query::ParsePath(args[1]);
+    if (!path.ok()) return Fail(path.status());
+    auto hits = bulk ? query::EvalBulkOrIndexed(stored, *path)
+                     : query::EvalIndexed(stored, *path);
+    if (!hits.ok()) return Fail(hits.status());
+    for (const num::Pbn& p : *hits) {
+      std::printf("%s\n", std::string(*stored.Value(p)).c_str());
+    }
+    std::fprintf(stderr, "%zu node(s)\n", hits->size());
+    return 0;
+  }
+
+  return Usage();
+}
