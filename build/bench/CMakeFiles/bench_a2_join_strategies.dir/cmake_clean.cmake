@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_join_strategies.dir/bench_a2_join_strategies.cc.o"
+  "CMakeFiles/bench_a2_join_strategies.dir/bench_a2_join_strategies.cc.o.d"
+  "bench_a2_join_strategies"
+  "bench_a2_join_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_join_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

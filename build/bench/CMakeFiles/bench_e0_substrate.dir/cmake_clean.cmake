@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e0_substrate.dir/bench_e0_substrate.cc.o"
+  "CMakeFiles/bench_e0_substrate.dir/bench_e0_substrate.cc.o.d"
+  "bench_e0_substrate"
+  "bench_e0_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e0_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

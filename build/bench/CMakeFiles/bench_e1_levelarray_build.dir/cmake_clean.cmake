@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_levelarray_build.dir/bench_e1_levelarray_build.cc.o"
+  "CMakeFiles/bench_e1_levelarray_build.dir/bench_e1_levelarray_build.cc.o.d"
+  "bench_e1_levelarray_build"
+  "bench_e1_levelarray_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_levelarray_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_query_vs_materialize.dir/bench_e3_query_vs_materialize.cc.o"
+  "CMakeFiles/bench_e3_query_vs_materialize.dir/bench_e3_query_vs_materialize.cc.o.d"
+  "bench_e3_query_vs_materialize"
+  "bench_e3_query_vs_materialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_query_vs_materialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_virtual_value.dir/bench_e6_virtual_value.cc.o"
+  "CMakeFiles/bench_e6_virtual_value.dir/bench_e6_virtual_value.cc.o.d"
+  "bench_e6_virtual_value"
+  "bench_e6_virtual_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_virtual_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

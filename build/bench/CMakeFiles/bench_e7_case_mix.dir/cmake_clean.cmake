@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_case_mix.dir/bench_e7_case_mix.cc.o"
+  "CMakeFiles/bench_e7_case_mix.dir/bench_e7_case_mix.cc.o.d"
+  "bench_e7_case_mix"
+  "bench_e7_case_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_case_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

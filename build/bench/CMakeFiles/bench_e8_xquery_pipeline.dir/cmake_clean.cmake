@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_xquery_pipeline.dir/bench_e8_xquery_pipeline.cc.o"
+  "CMakeFiles/bench_e8_xquery_pipeline.dir/bench_e8_xquery_pipeline.cc.o.d"
+  "bench_e8_xquery_pipeline"
+  "bench_e8_xquery_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_xquery_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_view.dir/virtual_view.cpp.o"
+  "CMakeFiles/virtual_view.dir/virtual_view.cpp.o.d"
+  "virtual_view"
+  "virtual_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbn_common.dir/random.cc.o"
+  "CMakeFiles/vpbn_common.dir/random.cc.o.d"
+  "CMakeFiles/vpbn_common.dir/status.cc.o"
+  "CMakeFiles/vpbn_common.dir/status.cc.o.d"
+  "CMakeFiles/vpbn_common.dir/str_util.cc.o"
+  "CMakeFiles/vpbn_common.dir/str_util.cc.o.d"
+  "CMakeFiles/vpbn_common.dir/varint.cc.o"
+  "CMakeFiles/vpbn_common.dir/varint.cc.o.d"
+  "libvpbn_common.a"
+  "libvpbn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbn_dataguide.dir/dataguide.cc.o"
+  "CMakeFiles/vpbn_dataguide.dir/dataguide.cc.o.d"
+  "libvpbn_dataguide.a"
+  "libvpbn_dataguide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbn_dataguide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pbn/axis.cc" "src/pbn/CMakeFiles/vpbn_pbn.dir/axis.cc.o" "gcc" "src/pbn/CMakeFiles/vpbn_pbn.dir/axis.cc.o.d"
+  "/root/repo/src/pbn/codec.cc" "src/pbn/CMakeFiles/vpbn_pbn.dir/codec.cc.o" "gcc" "src/pbn/CMakeFiles/vpbn_pbn.dir/codec.cc.o.d"
+  "/root/repo/src/pbn/dynamic.cc" "src/pbn/CMakeFiles/vpbn_pbn.dir/dynamic.cc.o" "gcc" "src/pbn/CMakeFiles/vpbn_pbn.dir/dynamic.cc.o.d"
+  "/root/repo/src/pbn/numbering.cc" "src/pbn/CMakeFiles/vpbn_pbn.dir/numbering.cc.o" "gcc" "src/pbn/CMakeFiles/vpbn_pbn.dir/numbering.cc.o.d"
+  "/root/repo/src/pbn/pbn.cc" "src/pbn/CMakeFiles/vpbn_pbn.dir/pbn.cc.o" "gcc" "src/pbn/CMakeFiles/vpbn_pbn.dir/pbn.cc.o.d"
+  "/root/repo/src/pbn/structural_join.cc" "src/pbn/CMakeFiles/vpbn_pbn.dir/structural_join.cc.o" "gcc" "src/pbn/CMakeFiles/vpbn_pbn.dir/structural_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vpbn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/vpbn_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbn_pbn.dir/axis.cc.o"
+  "CMakeFiles/vpbn_pbn.dir/axis.cc.o.d"
+  "CMakeFiles/vpbn_pbn.dir/codec.cc.o"
+  "CMakeFiles/vpbn_pbn.dir/codec.cc.o.d"
+  "CMakeFiles/vpbn_pbn.dir/dynamic.cc.o"
+  "CMakeFiles/vpbn_pbn.dir/dynamic.cc.o.d"
+  "CMakeFiles/vpbn_pbn.dir/numbering.cc.o"
+  "CMakeFiles/vpbn_pbn.dir/numbering.cc.o.d"
+  "CMakeFiles/vpbn_pbn.dir/pbn.cc.o"
+  "CMakeFiles/vpbn_pbn.dir/pbn.cc.o.d"
+  "CMakeFiles/vpbn_pbn.dir/structural_join.cc.o"
+  "CMakeFiles/vpbn_pbn.dir/structural_join.cc.o.d"
+  "libvpbn_pbn.a"
+  "libvpbn_pbn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbn_pbn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

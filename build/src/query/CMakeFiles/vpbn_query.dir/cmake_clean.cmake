@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbn_query.dir/eval_bulk.cc.o"
+  "CMakeFiles/vpbn_query.dir/eval_bulk.cc.o.d"
+  "CMakeFiles/vpbn_query.dir/eval_indexed.cc.o"
+  "CMakeFiles/vpbn_query.dir/eval_indexed.cc.o.d"
+  "CMakeFiles/vpbn_query.dir/eval_nav.cc.o"
+  "CMakeFiles/vpbn_query.dir/eval_nav.cc.o.d"
+  "CMakeFiles/vpbn_query.dir/eval_virtual.cc.o"
+  "CMakeFiles/vpbn_query.dir/eval_virtual.cc.o.d"
+  "CMakeFiles/vpbn_query.dir/path_parser.cc.o"
+  "CMakeFiles/vpbn_query.dir/path_parser.cc.o.d"
+  "libvpbn_query.a"
+  "libvpbn_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbn_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbn_storage.dir/stored_document.cc.o"
+  "CMakeFiles/vpbn_storage.dir/stored_document.cc.o.d"
+  "libvpbn_storage.a"
+  "libvpbn_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbn_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

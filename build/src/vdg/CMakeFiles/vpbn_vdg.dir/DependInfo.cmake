@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vdg/report.cc" "src/vdg/CMakeFiles/vpbn_vdg.dir/report.cc.o" "gcc" "src/vdg/CMakeFiles/vpbn_vdg.dir/report.cc.o.d"
+  "/root/repo/src/vdg/spec_parser.cc" "src/vdg/CMakeFiles/vpbn_vdg.dir/spec_parser.cc.o" "gcc" "src/vdg/CMakeFiles/vpbn_vdg.dir/spec_parser.cc.o.d"
+  "/root/repo/src/vdg/vdataguide.cc" "src/vdg/CMakeFiles/vpbn_vdg.dir/vdataguide.cc.o" "gcc" "src/vdg/CMakeFiles/vpbn_vdg.dir/vdataguide.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vpbn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataguide/CMakeFiles/vpbn_dataguide.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbn/CMakeFiles/vpbn_pbn.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/vpbn_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

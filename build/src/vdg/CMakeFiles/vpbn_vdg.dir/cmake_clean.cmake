@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbn_vdg.dir/report.cc.o"
+  "CMakeFiles/vpbn_vdg.dir/report.cc.o.d"
+  "CMakeFiles/vpbn_vdg.dir/spec_parser.cc.o"
+  "CMakeFiles/vpbn_vdg.dir/spec_parser.cc.o.d"
+  "CMakeFiles/vpbn_vdg.dir/vdataguide.cc.o"
+  "CMakeFiles/vpbn_vdg.dir/vdataguide.cc.o.d"
+  "libvpbn_vdg.a"
+  "libvpbn_vdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbn_vdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

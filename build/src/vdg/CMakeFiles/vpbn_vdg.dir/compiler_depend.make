@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vpbn_vdg.
+# This may be replaced when dependencies are built.

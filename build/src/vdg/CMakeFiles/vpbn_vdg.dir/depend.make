@@ -1,0 +1,2 @@
+# Empty dependencies file for vpbn_vdg.
+# This may be replaced when dependencies are built.

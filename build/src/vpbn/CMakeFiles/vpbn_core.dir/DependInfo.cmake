@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vpbn/level_array.cc" "src/vpbn/CMakeFiles/vpbn_core.dir/level_array.cc.o" "gcc" "src/vpbn/CMakeFiles/vpbn_core.dir/level_array.cc.o.d"
+  "/root/repo/src/vpbn/level_array_builder.cc" "src/vpbn/CMakeFiles/vpbn_core.dir/level_array_builder.cc.o" "gcc" "src/vpbn/CMakeFiles/vpbn_core.dir/level_array_builder.cc.o.d"
+  "/root/repo/src/vpbn/materializer.cc" "src/vpbn/CMakeFiles/vpbn_core.dir/materializer.cc.o" "gcc" "src/vpbn/CMakeFiles/vpbn_core.dir/materializer.cc.o.d"
+  "/root/repo/src/vpbn/virtual_document.cc" "src/vpbn/CMakeFiles/vpbn_core.dir/virtual_document.cc.o" "gcc" "src/vpbn/CMakeFiles/vpbn_core.dir/virtual_document.cc.o.d"
+  "/root/repo/src/vpbn/virtual_value.cc" "src/vpbn/CMakeFiles/vpbn_core.dir/virtual_value.cc.o" "gcc" "src/vpbn/CMakeFiles/vpbn_core.dir/virtual_value.cc.o.d"
+  "/root/repo/src/vpbn/vpbn.cc" "src/vpbn/CMakeFiles/vpbn_core.dir/vpbn.cc.o" "gcc" "src/vpbn/CMakeFiles/vpbn_core.dir/vpbn.cc.o.d"
+  "/root/repo/src/vpbn/vpbn_codec.cc" "src/vpbn/CMakeFiles/vpbn_core.dir/vpbn_codec.cc.o" "gcc" "src/vpbn/CMakeFiles/vpbn_core.dir/vpbn_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vpbn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/vpbn_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbn/CMakeFiles/vpbn_pbn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataguide/CMakeFiles/vpbn_dataguide.dir/DependInfo.cmake"
+  "/root/repo/build/src/vdg/CMakeFiles/vpbn_vdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vpbn_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbn_core.dir/level_array.cc.o"
+  "CMakeFiles/vpbn_core.dir/level_array.cc.o.d"
+  "CMakeFiles/vpbn_core.dir/level_array_builder.cc.o"
+  "CMakeFiles/vpbn_core.dir/level_array_builder.cc.o.d"
+  "CMakeFiles/vpbn_core.dir/materializer.cc.o"
+  "CMakeFiles/vpbn_core.dir/materializer.cc.o.d"
+  "CMakeFiles/vpbn_core.dir/virtual_document.cc.o"
+  "CMakeFiles/vpbn_core.dir/virtual_document.cc.o.d"
+  "CMakeFiles/vpbn_core.dir/virtual_value.cc.o"
+  "CMakeFiles/vpbn_core.dir/virtual_value.cc.o.d"
+  "CMakeFiles/vpbn_core.dir/vpbn.cc.o"
+  "CMakeFiles/vpbn_core.dir/vpbn.cc.o.d"
+  "CMakeFiles/vpbn_core.dir/vpbn_codec.cc.o"
+  "CMakeFiles/vpbn_core.dir/vpbn_codec.cc.o.d"
+  "libvpbn_core.a"
+  "libvpbn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/auctions.cc" "src/workload/CMakeFiles/vpbn_workload.dir/auctions.cc.o" "gcc" "src/workload/CMakeFiles/vpbn_workload.dir/auctions.cc.o.d"
+  "/root/repo/src/workload/bibliography.cc" "src/workload/CMakeFiles/vpbn_workload.dir/bibliography.cc.o" "gcc" "src/workload/CMakeFiles/vpbn_workload.dir/bibliography.cc.o.d"
+  "/root/repo/src/workload/books.cc" "src/workload/CMakeFiles/vpbn_workload.dir/books.cc.o" "gcc" "src/workload/CMakeFiles/vpbn_workload.dir/books.cc.o.d"
+  "/root/repo/src/workload/random_trees.cc" "src/workload/CMakeFiles/vpbn_workload.dir/random_trees.cc.o" "gcc" "src/workload/CMakeFiles/vpbn_workload.dir/random_trees.cc.o.d"
+  "/root/repo/src/workload/treebank.cc" "src/workload/CMakeFiles/vpbn_workload.dir/treebank.cc.o" "gcc" "src/workload/CMakeFiles/vpbn_workload.dir/treebank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vpbn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/vpbn_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataguide/CMakeFiles/vpbn_dataguide.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbn/CMakeFiles/vpbn_pbn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbn_workload.dir/auctions.cc.o"
+  "CMakeFiles/vpbn_workload.dir/auctions.cc.o.d"
+  "CMakeFiles/vpbn_workload.dir/bibliography.cc.o"
+  "CMakeFiles/vpbn_workload.dir/bibliography.cc.o.d"
+  "CMakeFiles/vpbn_workload.dir/books.cc.o"
+  "CMakeFiles/vpbn_workload.dir/books.cc.o.d"
+  "CMakeFiles/vpbn_workload.dir/random_trees.cc.o"
+  "CMakeFiles/vpbn_workload.dir/random_trees.cc.o.d"
+  "CMakeFiles/vpbn_workload.dir/treebank.cc.o"
+  "CMakeFiles/vpbn_workload.dir/treebank.cc.o.d"
+  "libvpbn_workload.a"
+  "libvpbn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

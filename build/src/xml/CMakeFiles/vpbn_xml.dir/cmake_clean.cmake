@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbn_xml.dir/binary_io.cc.o"
+  "CMakeFiles/vpbn_xml.dir/binary_io.cc.o.d"
+  "CMakeFiles/vpbn_xml.dir/document.cc.o"
+  "CMakeFiles/vpbn_xml.dir/document.cc.o.d"
+  "CMakeFiles/vpbn_xml.dir/parser.cc.o"
+  "CMakeFiles/vpbn_xml.dir/parser.cc.o.d"
+  "CMakeFiles/vpbn_xml.dir/serializer.cc.o"
+  "CMakeFiles/vpbn_xml.dir/serializer.cc.o.d"
+  "libvpbn_xml.a"
+  "libvpbn_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbn_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbn_xquery.dir/xq_engine.cc.o"
+  "CMakeFiles/vpbn_xquery.dir/xq_engine.cc.o.d"
+  "CMakeFiles/vpbn_xquery.dir/xq_parser.cc.o"
+  "CMakeFiles/vpbn_xquery.dir/xq_parser.cc.o.d"
+  "libvpbn_xquery.a"
+  "libvpbn_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbn_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_integration_test.dir/auction_integration_test.cc.o"
+  "CMakeFiles/auction_integration_test.dir/auction_integration_test.cc.o.d"
+  "auction_integration_test"
+  "auction_integration_test.pdb"
+  "auction_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

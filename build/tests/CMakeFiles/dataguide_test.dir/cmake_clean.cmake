@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataguide_test.dir/dataguide_test.cc.o"
+  "CMakeFiles/dataguide_test.dir/dataguide_test.cc.o.d"
+  "dataguide_test"
+  "dataguide_test.pdb"
+  "dataguide_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataguide_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

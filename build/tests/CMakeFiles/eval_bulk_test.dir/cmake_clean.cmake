@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_bulk_test.dir/eval_bulk_test.cc.o"
+  "CMakeFiles/eval_bulk_test.dir/eval_bulk_test.cc.o.d"
+  "eval_bulk_test"
+  "eval_bulk_test.pdb"
+  "eval_bulk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_bulk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_virtual_test.dir/eval_virtual_test.cc.o"
+  "CMakeFiles/eval_virtual_test.dir/eval_virtual_test.cc.o.d"
+  "eval_virtual_test"
+  "eval_virtual_test.pdb"
+  "eval_virtual_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_virtual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

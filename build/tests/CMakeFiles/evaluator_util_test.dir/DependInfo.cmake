@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/evaluator_util_test.cc" "tests/CMakeFiles/evaluator_util_test.dir/evaluator_util_test.cc.o" "gcc" "tests/CMakeFiles/evaluator_util_test.dir/evaluator_util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/vpbn_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vpbn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpbn/CMakeFiles/vpbn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vpbn_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/vdg/CMakeFiles/vpbn_vdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataguide/CMakeFiles/vpbn_dataguide.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbn/CMakeFiles/vpbn_pbn.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/vpbn_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vpbn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

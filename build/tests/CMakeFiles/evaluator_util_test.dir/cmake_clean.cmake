@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluator_util_test.dir/evaluator_util_test.cc.o"
+  "CMakeFiles/evaluator_util_test.dir/evaluator_util_test.cc.o.d"
+  "evaluator_util_test"
+  "evaluator_util_test.pdb"
+  "evaluator_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluator_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/level_array_test.dir/level_array_test.cc.o"
+  "CMakeFiles/level_array_test.dir/level_array_test.cc.o.d"
+  "level_array_test"
+  "level_array_test.pdb"
+  "level_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/level_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materializer_test.dir/materializer_test.cc.o"
+  "CMakeFiles/materializer_test.dir/materializer_test.cc.o.d"
+  "materializer_test"
+  "materializer_test.pdb"
+  "materializer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materializer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_functions_test.dir/path_functions_test.cc.o"
+  "CMakeFiles/path_functions_test.dir/path_functions_test.cc.o.d"
+  "path_functions_test"
+  "path_functions_test.pdb"
+  "path_functions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

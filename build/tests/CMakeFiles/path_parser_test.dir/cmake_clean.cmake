@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_parser_test.dir/path_parser_test.cc.o"
+  "CMakeFiles/path_parser_test.dir/path_parser_test.cc.o.d"
+  "path_parser_test"
+  "path_parser_test.pdb"
+  "path_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

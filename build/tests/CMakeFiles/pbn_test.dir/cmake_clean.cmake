@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbn_test.dir/pbn_test.cc.o"
+  "CMakeFiles/pbn_test.dir/pbn_test.cc.o.d"
+  "pbn_test"
+  "pbn_test.pdb"
+  "pbn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stored_document_test.dir/stored_document_test.cc.o"
+  "CMakeFiles/stored_document_test.dir/stored_document_test.cc.o.d"
+  "stored_document_test"
+  "stored_document_test.pdb"
+  "stored_document_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stored_document_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

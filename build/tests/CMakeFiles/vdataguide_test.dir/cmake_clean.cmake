@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdataguide_test.dir/vdataguide_test.cc.o"
+  "CMakeFiles/vdataguide_test.dir/vdataguide_test.cc.o.d"
+  "vdataguide_test"
+  "vdataguide_test.pdb"
+  "vdataguide_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdataguide_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_document_test.dir/virtual_document_test.cc.o"
+  "CMakeFiles/virtual_document_test.dir/virtual_document_test.cc.o.d"
+  "virtual_document_test"
+  "virtual_document_test.pdb"
+  "virtual_document_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_document_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

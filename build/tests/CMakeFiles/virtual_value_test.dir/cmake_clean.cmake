@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_value_test.dir/virtual_value_test.cc.o"
+  "CMakeFiles/virtual_value_test.dir/virtual_value_test.cc.o.d"
+  "virtual_value_test"
+  "virtual_value_test.pdb"
+  "virtual_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbn_codec_test.dir/vpbn_codec_test.cc.o"
+  "CMakeFiles/vpbn_codec_test.dir/vpbn_codec_test.cc.o.d"
+  "vpbn_codec_test"
+  "vpbn_codec_test.pdb"
+  "vpbn_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbn_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbn_space_test.dir/vpbn_space_test.cc.o"
+  "CMakeFiles/vpbn_space_test.dir/vpbn_space_test.cc.o.d"
+  "vpbn_space_test"
+  "vpbn_space_test.pdb"
+  "vpbn_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbn_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_builtins_test.dir/xquery_builtins_test.cc.o"
+  "CMakeFiles/xquery_builtins_test.dir/xquery_builtins_test.cc.o.d"
+  "xquery_builtins_test"
+  "xquery_builtins_test.pdb"
+  "xquery_builtins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_builtins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

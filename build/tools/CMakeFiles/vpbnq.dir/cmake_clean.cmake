@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpbnq.dir/vpbnq.cc.o"
+  "CMakeFiles/vpbnq.dir/vpbnq.cc.o.d"
+  "vpbnq"
+  "vpbnq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpbnq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
