@@ -1,0 +1,104 @@
+/// \file bench_e9_parallel_scaling.cc
+/// \brief E9: parallel query scaling through the QueryEngine facade —
+/// wall-clock and speedup vs thread count, on join-dominated (bulk) and
+/// fan-out-dominated (indexed/virtual) queries over XMark-style auctions.
+///
+/// The interesting column is `speedup` = t(1 thread)/t(N threads). On a
+/// single-core host every row sits near 1.0x (the engine still goes through
+/// the pool; the benchmark then mostly measures partitioning overhead) —
+/// run on a multi-core host to see scaling. Determinism is asserted: every
+/// thread count must return the same node list.
+///
+///   $ ./bench_e9_parallel_scaling [num_auctions]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "query/engine.h"
+#include "vpbn/virtual_document.h"
+#include "workload/auctions.h"
+
+int main(int argc, char** argv) {
+  using namespace vpbn;
+  using bench::Fmt;
+
+  workload::AuctionsOptions opts;
+  opts.num_items = 400;
+  opts.num_people = 300;
+  opts.num_auctions = argc > 1 ? std::atoi(argv[1]) : 4000;
+  xml::Document doc = workload::GenerateAuctions(opts);
+  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+  auto vdoc = virt::VirtualDocument::Open(
+      stored, "auction { itemref bidder { personref price } }");
+  if (!vdoc.ok()) {
+    std::fprintf(stderr, "%s\n", vdoc.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "E9 — parallel scaling (auctions workload, %zu nodes,"
+      " hardware_concurrency=%u)\n\n",
+      static_cast<size_t>(doc.num_nodes()),
+      std::thread::hardware_concurrency());
+
+  struct Workload {
+    const char* name;
+    const char* query;
+    const query::QueryEngine* engine;
+  };
+  query::QueryEngine stored_engine(stored);
+  query::QueryEngine virtual_engine(*vdoc);
+  const Workload workloads[] = {
+      // Bulk plan: descendant joins over long sorted PBN lists — exercises
+      // the partitioned stack-tree join.
+      {"bulk joins", "//auction[bidder/price]//personref", &stored_engine},
+      // Indexed plan (positional predicate): per-context-node fan-out.
+      {"indexed fan-out", "//auction/bidder[1]/price", &stored_engine},
+      // Virtual plan: vPBN axis computation per context node.
+      {"virtual fan-out", "//bidder[personref]/price", &virtual_engine},
+  };
+
+  for (const Workload& w : workloads) {
+    std::printf("%s: %s\n", w.name, w.query);
+    auto prepared = w.engine->Prepare(w.query);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+      return 1;
+    }
+    auto baseline = w.engine->Execute(*prepared, {.threads = 1});
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+      return 1;
+    }
+
+    bench::Table table({"threads", "ms", "speedup", "results"});
+    double t1_ms = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      size_t n = 0;
+      double ms = bench::MedianMs(5, [&] {
+        auto r = w.engine->Execute(*prepared, {.threads = threads});
+        n = r.ok() ? r->size() : 0;
+        if (r.ok() && !(r->nodes() == baseline->nodes())) {
+          std::fprintf(stderr, "NONDETERMINISM at %d threads on %s\n",
+                       threads, w.query);
+          std::exit(1);
+        }
+      });
+      if (threads == 1) t1_ms = ms;
+      table.AddRow({std::to_string(threads), Fmt(ms),
+                    Fmt(t1_ms / ms, 2) + "x", std::to_string(n)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (multi-core): join-dominated queries approach Nx on"
+      " the chunked\nmerge; fan-out queries scale with context-list length;"
+      " tiny queries stay flat\nbecause the sequential cutoffs keep them"
+      " inline.\n");
+  return 0;
+}

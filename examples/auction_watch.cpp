@@ -13,7 +13,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "query/eval_virtual.h"
+#include "query/engine.h"
 #include "vpbn/virtual_document.h"
 #include "workload/auctions.h"
 
@@ -41,9 +41,10 @@ int main(int argc, char** argv) {
   }
 
   // Hottest auctions: more than 3 bidders, shown with their last price.
-  auto hot = query::EvalVirtual(*by_auction, "//auction[count(bidder) > 3]");
+  query::QueryEngine by_auction_engine(*by_auction);
+  auto hot = by_auction_engine.Execute("//auction[count(bidder) > 3]", {});
   std::cout << "Hot auctions (>3 bidders): " << hot->size() << "\n";
-  for (const virt::VirtualNode& a : *hot) {
+  for (const virt::VirtualNode& a : hot->virtual_nodes()) {
     std::cout << "  auction "
               << *stored.doc().AttributeValue(a.node, "id") << "\n";
   }
@@ -56,10 +57,11 @@ int main(int argc, char** argv) {
     std::cerr << by_price.status() << "\n";
     return 1;
   }
-  auto rich = query::EvalVirtual(*by_price, "//price[text() > 100]");
+  query::QueryEngine by_price_engine(*by_price);
+  auto rich = by_price_engine.Execute("//price[text() > 100]", {});
   std::cout << "\nBids above 100: " << rich->size() << "\n";
   int shown = 0;
-  for (const virt::VirtualNode& p : *rich) {
+  for (const virt::VirtualNode& p : rich->virtual_nodes()) {
     if (++shown > 5) {
       std::cout << "  ...\n";
       break;

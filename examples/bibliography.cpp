@@ -10,8 +10,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "query/eval_nav.h"
-#include "query/eval_virtual.h"
+#include "query/engine.h"
 #include "vpbn/materializer.h"
 #include "vpbn/virtual_document.h"
 #include "workload/bibliography.h"
@@ -64,14 +63,16 @@ int main(int argc, char** argv) {
   auto vdoc = virt::VirtualDocument::Open(stored, kByAuthor);
   const char* kQuery = "//author[text() = \"Author1\"]/article/title";
 
+  query::QueryEngine virtual_engine(*vdoc);
   auto t0 = Clock::now();
-  auto virtual_hits = query::EvalVirtual(*vdoc, kQuery);
+  auto virtual_hits = virtual_engine.Execute(kQuery, {});
   auto t1 = Clock::now();
 
   auto m0 = Clock::now();
   auto materialized = virt::Materialize(*vdoc);
   auto renumbered = num::Numbering::Number(materialized->doc);
-  auto physical_hits = query::EvalNav(materialized->doc, kQuery);
+  query::QueryEngine nav_engine(materialized->doc);
+  auto physical_hits = nav_engine.Execute(kQuery, {});
   auto m1 = Clock::now();
 
   std::cout << "Author1's articles, two ways:\n";

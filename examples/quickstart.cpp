@@ -6,7 +6,7 @@
 
 #include <iostream>
 
-#include "query/eval_virtual.h"
+#include "query/engine.h"
 #include "storage/stored_document.h"
 #include "vpbn/virtual_document.h"
 #include "xml/parser.h"
@@ -66,16 +66,25 @@ int main() {
     std::cout << "  <title> " << vdoc->StringValue(root) << "\n";
   }
 
-  // 4. Query the virtual hierarchy with XPath. author is now a *child* of
-  //    title even though physically it is a sibling.
-  auto result = query::EvalVirtual(*vdoc, "//title[author = \"Knuth\"]");
+  // 4. Query the virtual hierarchy with XPath through the QueryEngine
+  //    facade: Prepare parses and plans once, Execute runs the plan (here
+  //    sequentially; pass {.threads = N} for the parallel engine). author
+  //    is now a *child* of title even though physically it is a sibling.
+  query::QueryEngine engine(*vdoc);
+  auto prepared = engine.Prepare("//title[author = \"Knuth\"]");
+  if (!prepared.ok()) {
+    std::cerr << "prepare failed: " << prepared.status() << "\n";
+    return 1;
+  }
+  auto result = engine.Execute(*prepared, {.collect_stats = true});
   if (!result.ok()) {
     std::cerr << "query failed: " << result.status() << "\n";
     return 1;
   }
   std::cout << "\nTitles by Knuth (via virtual //title[author = ...]):\n";
-  for (const virt::VirtualNode& n : *result) {
+  for (const virt::VirtualNode& n : result->virtual_nodes()) {
     std::cout << "  " << vdoc->StringValue(n) << "\n";
   }
+  std::cout << "\nExecution stats:\n" << result->stats().ToString();
   return 0;
 }

@@ -1,0 +1,78 @@
+/// \file parallel.h
+/// \brief Fork/join helpers on top of ThreadPool.
+///
+/// ParallelFor partitions an index range into contiguous chunks and runs
+/// one task per chunk, blocking until every chunk finished. Design points:
+///
+///   * **Sequential cutoff.** With no pool, a 1-thread pool, or fewer than
+///     \p grain indexes, the body runs inline on the caller — parallelism
+///     never changes results, only who computes them.
+///   * **Reentrancy.** A ParallelFor issued from inside a pool worker runs
+///     inline. Workers are a bounded resource; recursively waiting on
+///     tasks that need a worker to run is a classic self-deadlock.
+///   * **Exceptions.** The first exception thrown by any chunk is captured
+///     and rethrown on the joining thread after all chunks complete.
+
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace vpbn::common {
+
+/// \brief Runs body(begin, end) over a partition of [0, n), possibly in
+/// parallel on \p pool. Chunks are contiguous and in index order; the body
+/// must only write state disjoint per index (or synchronize itself).
+inline void ParallelFor(ThreadPool* pool, size_t n, size_t grain,
+                        const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= grain ||
+      ThreadPool::InWorker()) {
+    body(0, n);
+    return;
+  }
+  size_t max_chunks = static_cast<size_t>(pool->num_threads()) * 4;
+  size_t num_chunks = std::min(max_chunks, (n + grain - 1) / grain);
+  size_t chunk = (n + num_chunks - 1) / num_chunks;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t pending = 0;
+  std::exception_ptr error;
+
+  for (size_t begin = 0; begin < n; begin += chunk) {
+    size_t end = std::min(begin + chunk, n);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++pending;
+    }
+    pool->Submit([&, begin, end] {
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      {
+        // Notify under the lock: the joining thread destroys mu/cv as soon
+        // as it observes pending == 0, so the notify must complete before
+        // this task ever releases the mutex.
+        std::lock_guard<std::mutex> lock(mu);
+        --pending;
+        cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return pending == 0; });
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace vpbn::common

@@ -1,20 +1,26 @@
 #include "pbn/structural_join.h"
 
+#include <algorithm>
+
+#include "common/parallel.h"
+
 namespace vpbn::num {
 
 namespace {
 
-/// Stack-tree join skeleton shared by both variants. The stack holds the
-/// chain of ancestors enclosing the current position in document order;
-/// each descendant is matched against the whole stack (ancestor variant)
-/// or its top-most applicable entry (parent variant).
+/// Stack-tree join skeleton shared by both variants and by the parallel
+/// partitioning. The stack holds the chain of ancestors enclosing the
+/// current position in document order; each descendant is matched against
+/// the whole stack (ancestor variant) or its top-most applicable entry
+/// (parent variant). \p stack and \p a describe the merge state as of
+/// descendants[d_begin]: the enclosing chain of that descendant and the
+/// first ancestor index not yet consumed.
 template <bool kParentOnly>
-std::vector<JoinPair> StackTreeJoin(const std::vector<Pbn>& ancestors,
-                                    const std::vector<Pbn>& descendants) {
-  std::vector<JoinPair> out;
-  std::vector<size_t> stack;  // indexes into `ancestors`
-  size_t a = 0;
-  for (size_t d = 0; d < descendants.size(); ++d) {
+void StackTreeJoinRange(const std::vector<Pbn>& ancestors,
+                        const std::vector<Pbn>& descendants, size_t d_begin,
+                        size_t d_end, std::vector<size_t> stack, size_t a,
+                        std::vector<JoinPair>* out) {
+  for (size_t d = d_begin; d < d_end; ++d) {
     const Pbn& dn = descendants[d];
     // Pop ancestors that cannot enclose dn (dn is past their subtree).
     while (!stack.empty() && !ancestors[stack.back()].IsStrictPrefixOf(dn)) {
@@ -33,13 +39,80 @@ std::vector<JoinPair> StackTreeJoin(const std::vector<Pbn>& ancestors,
       if (!stack.empty()) {
         size_t top = stack.back();
         if (ancestors[top].length() + 1 == dn.length()) {
-          out.push_back(JoinPair{top, d});
+          out->push_back(JoinPair{top, d});
         }
       }
     } else {
-      for (size_t s : stack) out.push_back(JoinPair{s, d});
+      for (size_t s : stack) out->push_back(JoinPair{s, d});
     }
   }
+}
+
+template <bool kParentOnly>
+std::vector<JoinPair> StackTreeJoin(const std::vector<Pbn>& ancestors,
+                                    const std::vector<Pbn>& descendants) {
+  std::vector<JoinPair> out;
+  StackTreeJoinRange<kParentOnly>(ancestors, descendants, 0,
+                                  descendants.size(), {}, 0, &out);
+  return out;
+}
+
+/// Reconstructs the merge state at descendants[d_begin] by binary search:
+/// the ancestors enclosing it are exactly its proper PBN prefixes (any
+/// earlier ancestor enclosing a later descendant of the chunk would — by
+/// contiguity of subtree intervals in document order — enclose this one
+/// too), and the scan pointer resumes at the first ancestor >= it.
+template <bool kParentOnly>
+void JoinChunk(const std::vector<Pbn>& ancestors,
+               const std::vector<Pbn>& descendants, size_t d_begin,
+               size_t d_end, std::vector<JoinPair>* out) {
+  const Pbn& first = descendants[d_begin];
+  std::vector<size_t> stack;
+  for (size_t len = 1; len < first.length(); ++len) {
+    Pbn prefix = first.Prefix(len);
+    auto it = std::lower_bound(ancestors.begin(), ancestors.end(), prefix);
+    // Duplicate entries (if callers pass non-deduped lists) all enclose.
+    for (; it != ancestors.end() && *it == prefix; ++it) {
+      stack.push_back(static_cast<size_t>(it - ancestors.begin()));
+    }
+  }
+  size_t a = static_cast<size_t>(
+      std::lower_bound(ancestors.begin(), ancestors.end(), first) -
+      ancestors.begin());
+  StackTreeJoinRange<kParentOnly>(ancestors, descendants, d_begin, d_end,
+                                  std::move(stack), a, out);
+}
+
+template <bool kParentOnly>
+std::vector<JoinPair> PartitionedJoin(const std::vector<Pbn>& ancestors,
+                                      const std::vector<Pbn>& descendants,
+                                      common::ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      descendants.size() < kParallelJoinCutoff || ancestors.empty()) {
+    return StackTreeJoin<kParentOnly>(ancestors, descendants);
+  }
+  size_t num_chunks =
+      std::min(static_cast<size_t>(pool->num_threads()) * 2,
+               descendants.size() / (kParallelJoinCutoff / 4));
+  num_chunks = std::max<size_t>(num_chunks, 1);
+  size_t chunk = (descendants.size() + num_chunks - 1) / num_chunks;
+  std::vector<std::vector<JoinPair>> parts(num_chunks);
+  common::ParallelFor(pool, num_chunks, 1, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      size_t d_begin = c * chunk;
+      size_t d_end = std::min(d_begin + chunk, descendants.size());
+      if (d_begin >= d_end) continue;
+      JoinChunk<kParentOnly>(ancestors, descendants, d_begin, d_end,
+                             &parts[c]);
+    }
+  });
+  // Chunks partition the descendant list in order, so concatenation keeps
+  // the (descendant, ancestor-depth) output order of the sequential join.
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<JoinPair> out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
   return out;
 }
 
@@ -53,6 +126,18 @@ std::vector<JoinPair> AncestorDescendantJoin(
 std::vector<JoinPair> ParentChildJoin(const std::vector<Pbn>& parents,
                                       const std::vector<Pbn>& children) {
   return StackTreeJoin<true>(parents, children);
+}
+
+std::vector<JoinPair> AncestorDescendantJoin(const std::vector<Pbn>& ancestors,
+                                             const std::vector<Pbn>& descendants,
+                                             common::ThreadPool* pool) {
+  return PartitionedJoin<false>(ancestors, descendants, pool);
+}
+
+std::vector<JoinPair> ParentChildJoin(const std::vector<Pbn>& parents,
+                                      const std::vector<Pbn>& children,
+                                      common::ThreadPool* pool) {
+  return PartitionedJoin<true>(parents, children, pool);
 }
 
 }  // namespace vpbn::num

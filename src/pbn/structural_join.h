@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "pbn/pbn.h"
 
 namespace vpbn::num {
@@ -37,5 +38,28 @@ std::vector<JoinPair> AncestorDescendantJoin(
 /// Same input contract and output order.
 std::vector<JoinPair> ParentChildJoin(const std::vector<Pbn>& parents,
                                       const std::vector<Pbn>& children);
+
+/// \brief Inputs below this many descendants always take the sequential
+/// O(|A| + |D| + |out|) stack-tree path, even when a pool is supplied —
+/// chunking overhead would dominate.
+inline constexpr size_t kParallelJoinCutoff = 2048;
+
+/// \name Partitioned parallel joins
+///
+/// Same contract and byte-identical output as the sequential variants. The
+/// sorted descendant list is split into contiguous chunks; each chunk joins
+/// independently against the binary-searched slice of the ancestor list that
+/// can reach it (the enclosing ancestors of a chunk's first descendant are
+/// exactly its PBN prefixes, found by binary search), and the per-chunk
+/// outputs concatenate in document order. Sequential when \p pool is null,
+/// single-threaded, or the input is below kParallelJoinCutoff.
+/// @{
+std::vector<JoinPair> AncestorDescendantJoin(const std::vector<Pbn>& ancestors,
+                                             const std::vector<Pbn>& descendants,
+                                             common::ThreadPool* pool);
+std::vector<JoinPair> ParentChildJoin(const std::vector<Pbn>& parents,
+                                      const std::vector<Pbn>& children,
+                                      common::ThreadPool* pool);
+/// @}
 
 }  // namespace vpbn::num

@@ -1,0 +1,154 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "query/eval_bulk.h"
+#include "query/eval_indexed.h"
+#include "query/eval_nav.h"
+#include "query/eval_virtual.h"
+#include "vpbn/virtual_value.h"
+
+namespace vpbn::query {
+
+const char* PlanKindToString(PlanKind plan) {
+  switch (plan) {
+    case PlanKind::kNav:
+      return "nav";
+    case PlanKind::kBulk:
+      return "bulk";
+    case PlanKind::kIndexed:
+      return "indexed";
+    case PlanKind::kVirtual:
+      return "virtual";
+  }
+  return "?";
+}
+
+std::string ExecStats::ToString() const {
+  std::string out = "plan=" + std::string(plan) +
+                    " threads=" + std::to_string(threads) +
+                    " wall_ms=" + std::to_string(wall_ms) +
+                    " nodes_scanned=" + std::to_string(nodes_scanned) +
+                    " join_pairs=" + std::to_string(join_pairs) + "\n";
+  for (const StepStats& s : steps) {
+    out += "  step " + s.label + ": nodes_out=" + std::to_string(s.nodes_out) +
+           " wall_ms=" + std::to_string(s.wall_ms) + "\n";
+  }
+  return out;
+}
+
+size_t QueryResult::size() const {
+  return std::visit([](const auto& nodes) { return nodes.size(); }, nodes_);
+}
+
+QueryEngine::~QueryEngine() = default;
+
+Result<PreparedQuery> QueryEngine::Prepare(std::string_view path_text) const {
+  VPBN_ASSIGN_OR_RETURN(Path path, ParsePath(path_text));
+  PreparedQuery q;
+  q.text_ = std::string(path_text);
+  q.path_ = std::move(path);
+  if (doc_ != nullptr) {
+    q.plan_ = PlanKind::kNav;
+  } else if (stored_ != nullptr) {
+    // Set-at-a-time joins where the fragment allows; the per-node indexed
+    // evaluator handles everything else.
+    q.plan_ =
+        InBulkFragment(q.path_) ? PlanKind::kBulk : PlanKind::kIndexed;
+  } else {
+    q.plan_ = PlanKind::kVirtual;
+  }
+  return q;
+}
+
+common::ThreadPool* QueryEngine::PoolFor(int threads) const {
+  if (threads == 0) {
+    threads =
+        std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (threads <= 1) return nullptr;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_ == nullptr || pool_->num_threads() != threads) {
+    pool_ = std::make_unique<common::ThreadPool>(threads);
+  }
+  return pool_.get();
+}
+
+Result<QueryResult> QueryEngine::Execute(const PreparedQuery& query,
+                                         const ExecOptions& options) const {
+  common::ThreadPool* pool = PoolFor(options.threads);
+  ExecContext ctx(pool, options.collect_stats);
+  auto t0 = std::chrono::steady_clock::now();
+
+  QueryResult result;
+  switch (query.plan()) {
+    case PlanKind::kNav: {
+      VPBN_ASSIGN_OR_RETURN(std::vector<xml::NodeId> nodes,
+                            EvalNav(*doc_, query.path(), &ctx));
+      result.nodes_ = std::move(nodes);
+      break;
+    }
+    case PlanKind::kBulk: {
+      VPBN_ASSIGN_OR_RETURN(std::vector<num::Pbn> nodes,
+                            EvalBulk(*stored_, query.path(), &ctx));
+      result.nodes_ = std::move(nodes);
+      break;
+    }
+    case PlanKind::kIndexed: {
+      VPBN_ASSIGN_OR_RETURN(std::vector<num::Pbn> nodes,
+                            EvalIndexed(*stored_, query.path(), &ctx));
+      result.nodes_ = std::move(nodes);
+      break;
+    }
+    case PlanKind::kVirtual: {
+      VPBN_ASSIGN_OR_RETURN(std::vector<virt::VirtualNode> nodes,
+                            EvalVirtual(*vdoc_, query.path(), &ctx));
+      result.nodes_ = std::move(nodes);
+      break;
+    }
+  }
+
+  ExecStats& stats = result.stats_;
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  stats.threads = pool != nullptr ? pool->num_threads() : 1;
+  stats.plan = PlanKindToString(query.plan());
+  if (options.collect_stats) {
+    stats.nodes_scanned = ctx.nodes_scanned();
+    stats.join_pairs = ctx.join_pairs();
+    stats.steps = ctx.TakeSteps();
+  }
+  return result;
+}
+
+Result<QueryResult> QueryEngine::Execute(std::string_view path_text,
+                                         const ExecOptions& options) const {
+  VPBN_ASSIGN_OR_RETURN(PreparedQuery query, Prepare(path_text));
+  return Execute(query, options);
+}
+
+std::vector<std::string> QueryEngine::StringValues(
+    const QueryResult& result) const {
+  std::vector<std::string> out;
+  if (doc_ != nullptr) {
+    for (xml::NodeId id : result.nav_nodes()) {
+      out.push_back(doc_->StringValue(id));
+    }
+  } else if (stored_ != nullptr) {
+    for (const num::Pbn& p : result.pbn_nodes()) {
+      auto value = stored_->Value(p);
+      out.push_back(value.ok() ? std::string(*value) : std::string());
+    }
+  } else {
+    virt::VirtualValueComputer values(*vdoc_);
+    for (const virt::VirtualNode& n : result.virtual_nodes()) {
+      out.push_back(values.Value(n));
+    }
+  }
+  return out;
+}
+
+}  // namespace vpbn::query

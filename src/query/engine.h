@@ -1,0 +1,167 @@
+/// \file engine.h
+/// \brief QueryEngine: one facade over all three query substrates, with the
+/// prepare/execute split the substrate free functions cannot express.
+///
+/// The free-function API (EvalNav / EvalIndexed / EvalBulk / EvalVirtual)
+/// re-parses the path and re-picks the strategy on every call. QueryEngine
+/// separates the two phases:
+///
+///   * **Prepare(path_text)** parses once and plans once — over a
+///     StoredDocument it decides bulk-join vs per-node-indexed from the
+///     path's shape; over a Document it plans navigational; over a
+///     VirtualDocument, virtual (vPBN) evaluation.
+///   * **Execute(prepared, ExecOptions)** runs the plan, optionally on a
+///     thread pool (partitioned structural joins, per-context-node
+///     fan-out) and optionally collecting per-query ExecStats.
+///
+/// The same PreparedQuery can be executed many times with different
+/// options; the engine caches its thread pool between calls. One engine
+/// views exactly one substrate instance and holds no data — all three
+/// substrate objects stay owned by the caller and must outlive the engine.
+///
+/// \code
+///   query::QueryEngine engine(stored);   // or (doc) or (vdoc)
+///   VPBN_ASSIGN_OR_RETURN(query::PreparedQuery q,
+///                         engine.Prepare("//book[author/name]/title"));
+///   VPBN_ASSIGN_OR_RETURN(query::QueryResult r,
+///                         engine.Execute(q, {.threads = 4,
+///                                            .collect_stats = true}));
+///   for (const std::string& v : engine.StringValues(r)) ...
+///   std::cout << r.stats().ToString();
+/// \endcode
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "query/exec_context.h"
+#include "query/path_parser.h"
+#include "storage/stored_document.h"
+#include "vpbn/virtual_document.h"
+#include "xml/document.h"
+
+namespace vpbn::query {
+
+/// \brief How a prepared query will be evaluated.
+enum class PlanKind : uint8_t {
+  kNav,      ///< tree walking on a Document
+  kBulk,     ///< set-at-a-time structural joins on a StoredDocument
+  kIndexed,  ///< per-node PBN index scans on a StoredDocument
+  kVirtual,  ///< vPBN evaluation on a VirtualDocument
+};
+
+const char* PlanKindToString(PlanKind plan);
+
+/// \brief A parsed, planned query. Created by QueryEngine::Prepare; execute
+/// it any number of times (concurrently, if desired — it is immutable).
+class PreparedQuery {
+ public:
+  const Path& path() const { return path_; }
+  PlanKind plan() const { return plan_; }
+  const std::string& text() const { return text_; }
+
+ private:
+  friend class QueryEngine;
+  Path path_;
+  PlanKind plan_ = PlanKind::kNav;
+  std::string text_;
+};
+
+/// \brief Per-Execute knobs.
+struct ExecOptions {
+  /// Thread budget: 1 = sequential (default), 0 = hardware concurrency,
+  /// N > 1 = pool of N. Results are identical for every value.
+  int threads = 1;
+  /// Collect ExecStats (counters + per-step timings) into the result.
+  bool collect_stats = false;
+};
+
+/// \brief Result nodes in the substrate's native handle type, plus stats.
+class QueryResult {
+ public:
+  using NodeList = std::variant<std::vector<xml::NodeId>,
+                                std::vector<num::Pbn>,
+                                std::vector<virt::VirtualNode>>;
+
+  size_t size() const;
+
+  /// The full node list as a variant — for substrate-generic code (e.g.
+  /// comparing results across runs) that has no business knowing the type.
+  const NodeList& nodes() const { return nodes_; }
+
+  /// \name Typed access — call the accessor matching the engine's substrate
+  /// (nav for Document, pbn for StoredDocument, virtual_nodes for
+  /// VirtualDocument). Calling the wrong one is a contract violation.
+  /// @{
+  const std::vector<xml::NodeId>& nav_nodes() const {
+    return std::get<std::vector<xml::NodeId>>(nodes_);
+  }
+  const std::vector<num::Pbn>& pbn_nodes() const {
+    return std::get<std::vector<num::Pbn>>(nodes_);
+  }
+  const std::vector<virt::VirtualNode>& virtual_nodes() const {
+    return std::get<std::vector<virt::VirtualNode>>(nodes_);
+  }
+  /// @}
+
+  /// Populated when ExecOptions::collect_stats was set (wall_ms, plan and
+  /// threads are filled in either way).
+  const ExecStats& stats() const { return stats_; }
+
+ private:
+  friend class QueryEngine;
+  NodeList nodes_;
+  ExecStats stats_;
+};
+
+/// \brief The unified query facade. Construct over any substrate; Prepare
+/// then Execute. Thread-compatible: concurrent Execute calls on one engine
+/// are safe (the pool is guarded; substrates are immutable).
+class QueryEngine {
+ public:
+  explicit QueryEngine(const xml::Document& doc) : doc_(&doc) {}
+  explicit QueryEngine(const storage::StoredDocument& stored)
+      : stored_(&stored) {}
+  explicit QueryEngine(const virt::VirtualDocument& vdoc) : vdoc_(&vdoc) {}
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Parses \p path_text and picks the execution plan for this substrate.
+  Result<PreparedQuery> Prepare(std::string_view path_text) const;
+
+  /// Runs \p query. Deterministic: for any thread count the result nodes
+  /// are identical and in document order.
+  Result<QueryResult> Execute(const PreparedQuery& query,
+                              const ExecOptions& options = {}) const;
+
+  /// Prepare + Execute in one call (for one-shot queries).
+  Result<QueryResult> Execute(std::string_view path_text,
+                              const ExecOptions& options = {}) const;
+
+  /// String values of the result nodes, substrate-appropriate: XML values
+  /// for stored nodes (via the value index), assembled virtual values for
+  /// virtual nodes, text content for navigational nodes.
+  std::vector<std::string> StringValues(const QueryResult& result) const;
+
+ private:
+  common::ThreadPool* PoolFor(int threads) const;
+
+  const xml::Document* doc_ = nullptr;
+  const storage::StoredDocument* stored_ = nullptr;
+  const virt::VirtualDocument* vdoc_ = nullptr;
+
+  // Lazily built, reused across Execute calls, rebuilt when the requested
+  // size changes. Guarded: Execute may be called concurrently.
+  mutable std::mutex pool_mu_;
+  mutable std::unique_ptr<common::ThreadPool> pool_;
+};
+
+}  // namespace vpbn::query

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/parallel.h"
 #include "pbn/structural_join.h"
 #include "query/eval_indexed.h"
 
@@ -15,13 +16,22 @@ using num::Pbn;
 /// Surviving instances per type, lists kept in document order.
 using State = std::map<dg::TypeId, std::vector<Pbn>>;
 
+/// Per-type predicate filtering fans out on the pool only when the
+/// surviving type count reaches this (each task runs a whole relative-chain
+/// evaluation, so even small counts amortize).
+constexpr size_t kParallelPredicateCutoff = 2;
+
+common::ThreadPool* PoolOf(ExecContext* ctx) {
+  return ctx != nullptr ? ctx->pool() : nullptr;
+}
+
 bool TypeMatches(const dg::DataGuide& g, dg::TypeId t, const NodeTest& test) {
   return test.Matches(!g.IsTextType(t), g.label(t));
 }
 
 /// Fragment test: child/descendant chains, name-ish tests, existence
 /// predicates that are themselves such chains.
-bool InFragment(const Path& path, bool relative) {
+bool InFragment(const Path& path) {
   for (size_t i = 0; i < path.steps.size(); ++i) {
     const Step& step = path.steps[i];
     switch (step.axis) {
@@ -40,10 +50,9 @@ bool InFragment(const Path& path, bool relative) {
     }
     for (const auto& pred : step.predicates) {
       if (pred->kind != Expr::Kind::kPath) return false;
-      if (!InFragment(pred->path, /*relative=*/true)) return false;
+      if (!InFragment(pred->path)) return false;
     }
   }
-  (void)relative;
   return !path.steps.empty();
 }
 
@@ -51,9 +60,11 @@ bool InFragment(const Path& path, bool relative) {
 /// `witnesses` (all witness types are descendants of the context type, so
 /// the ancestor side of the join identifies survivors).
 std::vector<Pbn> SemiJoinAncestors(const std::vector<Pbn>& context,
-                                   const std::vector<Pbn>& witnesses) {
+                                   const std::vector<Pbn>& witnesses,
+                                   ExecContext* ctx) {
   std::vector<num::JoinPair> pairs =
-      num::AncestorDescendantJoin(context, witnesses);
+      num::AncestorDescendantJoin(context, witnesses, PoolOf(ctx));
+  if (ctx) ctx->CountJoinPairs(pairs.size());
   std::vector<bool> keep(context.size(), false);
   for (const num::JoinPair& p : pairs) keep[p.ancestor_index] = true;
   std::vector<Pbn> out;
@@ -66,28 +77,47 @@ std::vector<Pbn> SemiJoinAncestors(const std::vector<Pbn>& context,
 /// Evaluates `path` starting from `state` (document node when
 /// `from_document` is set), returning the surviving per-type lists.
 State EvalChain(const storage::StoredDocument& stored, const Path& path,
-                size_t first_step, State state, bool from_document);
+                size_t first_step, State state, bool from_document,
+                ExecContext* ctx);
 
-/// Applies one step's existence predicates to every per-type list.
+/// Applies one step's existence predicates to every per-type list. The
+/// per-type semi-joins are independent (each anchors the relative chain at
+/// one type and reads only the immutable indexes), so they fan out on the
+/// pool; the filtered map is rebuilt in type order afterwards, keeping the
+/// result identical to the sequential pass.
 State ApplyPredicates(const storage::StoredDocument& stored, const Step& step,
-                      State state) {
+                      State state, ExecContext* ctx) {
   for (const auto& pred : step.predicates) {
+    std::vector<std::pair<dg::TypeId, std::vector<Pbn>>> entries(
+        std::make_move_iterator(state.begin()),
+        std::make_move_iterator(state.end()));
+    std::vector<std::vector<Pbn>> kept(entries.size());
+    common::ParallelFor(
+        entries.size() >= kParallelPredicateCutoff ? PoolOf(ctx) : nullptr,
+        entries.size(), /*grain=*/1, [&](size_t b, size_t e) {
+          for (size_t i = b; i < e; ++i) {
+            auto& [t, list] = entries[i];
+            if (list.empty()) continue;
+            // Evaluate the relative chain anchored at this type.
+            State anchor;
+            anchor.emplace(t, list);
+            State terminal = EvalChain(stored, pred->path, 0,
+                                       std::move(anchor),
+                                       /*from_document=*/false, ctx);
+            // Union of all terminal instances witnesses the predicate.
+            std::vector<Pbn> witnesses;
+            for (auto& [tt, tlist] : terminal) {
+              witnesses.insert(witnesses.end(), tlist.begin(), tlist.end());
+            }
+            std::sort(witnesses.begin(), witnesses.end());
+            kept[i] = SemiJoinAncestors(list, witnesses, ctx);
+          }
+        });
     State filtered;
-    for (auto& [t, list] : state) {
-      if (list.empty()) continue;
-      // Evaluate the relative chain anchored at this type.
-      State anchor;
-      anchor.emplace(t, list);
-      State terminal = EvalChain(stored, pred->path, 0, std::move(anchor),
-                                 /*from_document=*/false);
-      // Union of all terminal instances witnesses the predicate.
-      std::vector<Pbn> witnesses;
-      for (auto& [tt, tlist] : terminal) {
-        witnesses.insert(witnesses.end(), tlist.begin(), tlist.end());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (!kept[i].empty()) {
+        filtered.emplace(entries[i].first, std::move(kept[i]));
       }
-      std::sort(witnesses.begin(), witnesses.end());
-      std::vector<Pbn> kept = SemiJoinAncestors(list, witnesses);
-      if (!kept.empty()) filtered.emplace(t, std::move(kept));
     }
     state = std::move(filtered);
   }
@@ -95,8 +125,10 @@ State ApplyPredicates(const storage::StoredDocument& stored, const Step& step,
 }
 
 State EvalChain(const storage::StoredDocument& stored, const Path& path,
-                size_t first_step, State state, bool from_document) {
+                size_t first_step, State state, bool from_document,
+                ExecContext* ctx) {
   const dg::DataGuide& g = stored.dataguide();
+  common::ThreadPool* pool = PoolOf(ctx);
   bool doc_node = from_document;
   for (size_t s = first_step; s < path.steps.size(); ++s) {
     const Step& step = path.steps[s];
@@ -110,7 +142,9 @@ State EvalChain(const storage::StoredDocument& stored, const Path& path,
       for (auto& [t, list] : state) {
         for (dg::TypeId dt : g.DescendantTypes(t)) {
           // Descendant instances within any context instance: join.
-          auto pairs = num::AncestorDescendantJoin(list, stored.NodesOfType(dt));
+          auto pairs =
+              num::AncestorDescendantJoin(list, stored.NodesOfType(dt), pool);
+          if (ctx) ctx->CountJoinPairs(pairs.size());
           std::vector<Pbn> kept;
           const auto& all = stored.NodesOfType(dt);
           std::vector<bool> mark(all.size(), false);
@@ -146,6 +180,7 @@ State EvalChain(const storage::StoredDocument& stored, const Path& path,
     State next;
     auto add = [&](dg::TypeId nt, std::vector<Pbn> kept) {
       if (kept.empty()) return;
+      if (ctx) ctx->CountNodes(kept.size());
       auto [it, inserted] = next.emplace(nt, std::move(kept));
       if (!inserted) {
         std::vector<Pbn> merged;
@@ -181,8 +216,9 @@ State EvalChain(const storage::StoredDocument& stored, const Path& path,
           const std::vector<Pbn>& all = stored.NodesOfType(nt);
           std::vector<num::JoinPair> pairs =
               step.axis == num::Axis::kChild
-                  ? num::ParentChildJoin(list, all)
-                  : num::AncestorDescendantJoin(list, all);
+                  ? num::ParentChildJoin(list, all, pool)
+                  : num::AncestorDescendantJoin(list, all, pool);
+          if (ctx) ctx->CountJoinPairs(pairs.size());
           std::vector<bool> mark(all.size(), false);
           for (const num::JoinPair& p : pairs) mark[p.descendant_index] = true;
           std::vector<Pbn> kept;
@@ -194,22 +230,24 @@ State EvalChain(const storage::StoredDocument& stored, const Path& path,
       }
     }
     state = std::move(next);
-    state = ApplyPredicates(stored, step, std::move(state));
+    state = ApplyPredicates(stored, step, std::move(state), ctx);
   }
   return state;
 }
 
 }  // namespace
 
+bool InBulkFragment(const Path& path) { return InFragment(path); }
+
 Result<std::vector<Pbn>> EvalBulk(const storage::StoredDocument& stored,
-                                  const Path& path) {
-  if (!InFragment(path, /*relative=*/false)) {
+                                  const Path& path, ExecContext* ctx) {
+  if (!InFragment(path)) {
     return Status::NotImplemented(
         "bulk evaluation supports child/descendant chains with existence "
         "predicates only");
   }
   State state =
-      EvalChain(stored, path, 0, State(), /*from_document=*/true);
+      EvalChain(stored, path, 0, State(), /*from_document=*/true, ctx);
   std::vector<Pbn> out;
   for (auto& [t, list] : state) {
     out.insert(out.end(), list.begin(), list.end());
@@ -226,10 +264,17 @@ Result<std::vector<Pbn>> EvalBulk(const storage::StoredDocument& stored,
 }
 
 Result<std::vector<Pbn>> EvalBulkOrIndexed(
-    const storage::StoredDocument& stored, const Path& path) {
-  auto bulk = EvalBulk(stored, path);
+    const storage::StoredDocument& stored, const Path& path,
+    ExecContext* ctx) {
+  auto bulk = EvalBulk(stored, path, ctx);
   if (bulk.ok() || !bulk.status().IsNotImplemented()) return bulk;
-  return EvalIndexed(stored, path);
+  return EvalIndexed(stored, path, ctx);
+}
+
+Result<std::vector<Pbn>> EvalBulkOrIndexed(
+    const storage::StoredDocument& stored, std::string_view path_text) {
+  VPBN_ASSIGN_OR_RETURN(Path path, ParsePath(path_text));
+  return EvalBulkOrIndexed(stored, path);
 }
 
 }  // namespace vpbn::query

@@ -26,15 +26,25 @@
 #include <vector>
 
 #include "common/result.h"
+#include "query/exec_context.h"
 #include "query/path_parser.h"
 #include "storage/stored_document.h"
 
 namespace vpbn::query {
 
+/// \brief True iff \p path lies in the bulk-join fragment (child/descendant
+/// chains, name-ish tests, existence predicates that are such chains).
+/// Exposed so planners (query/engine.h) can pick the strategy once at
+/// Prepare time instead of probing with a NotImplemented round trip.
+bool InBulkFragment(const Path& path);
+
 /// \brief Evaluate \p path set-at-a-time. NotImplemented if the path uses
-/// features outside the join fragment.
+/// features outside the join fragment. \p ctx (optional) supplies a thread
+/// pool — structural joins are chunk-partitioned and predicate semi-joins
+/// fan out per surviving type — and collects ExecStats.
 Result<std::vector<num::Pbn>> EvalBulk(const storage::StoredDocument& stored,
-                                       const Path& path);
+                                       const Path& path,
+                                       ExecContext* ctx = nullptr);
 
 /// \brief Parse and evaluate.
 Result<std::vector<num::Pbn>> EvalBulk(const storage::StoredDocument& stored,
@@ -42,6 +52,11 @@ Result<std::vector<num::Pbn>> EvalBulk(const storage::StoredDocument& stored,
 
 /// \brief EvalBulk when the fragment allows, else EvalIndexed.
 Result<std::vector<num::Pbn>> EvalBulkOrIndexed(
-    const storage::StoredDocument& stored, const Path& path);
+    const storage::StoredDocument& stored, const Path& path,
+    ExecContext* ctx = nullptr);
+
+/// \brief Parse, then EvalBulk when the fragment allows, else EvalIndexed.
+Result<std::vector<num::Pbn>> EvalBulkOrIndexed(
+    const storage::StoredDocument& stored, std::string_view path_text);
 
 }  // namespace vpbn::query

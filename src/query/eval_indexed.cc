@@ -139,9 +139,9 @@ Result<std::vector<Pbn>> EvalIndexed(const storage::StoredDocument& stored,
 }
 
 Result<std::vector<Pbn>> EvalIndexed(const storage::StoredDocument& stored,
-                                     const Path& path) {
+                                     const Path& path, ExecContext* ctx) {
   IndexedAdapter adapter(stored);
-  PathEvaluator<IndexedAdapter> evaluator(adapter);
+  PathEvaluator<IndexedAdapter> evaluator(adapter, ctx);
   return evaluator.Eval(path);
 }
 

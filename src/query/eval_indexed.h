@@ -26,6 +26,10 @@ class IndexedAdapter {
  public:
   using Node = num::Pbn;
 
+  /// StoredDocument is fully immutable after Build (indexes included), so
+  /// the const interface is safe for concurrent use.
+  static constexpr bool kParallelSafe = true;
+
   explicit IndexedAdapter(const storage::StoredDocument& stored)
       : stored_(&stored) {}
 
@@ -51,8 +55,10 @@ class IndexedAdapter {
 Result<std::vector<num::Pbn>> EvalIndexed(
     const storage::StoredDocument& stored, std::string_view path_text);
 
-/// \brief Evaluate a pre-parsed path.
+/// \brief Evaluate a pre-parsed path. \p ctx (optional) supplies a thread
+/// pool and collects ExecStats (see query/engine.h).
 Result<std::vector<num::Pbn>> EvalIndexed(
-    const storage::StoredDocument& stored, const Path& path);
+    const storage::StoredDocument& stored, const Path& path,
+    ExecContext* ctx = nullptr);
 
 }  // namespace vpbn::query

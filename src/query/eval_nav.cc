@@ -123,9 +123,9 @@ Result<std::vector<NodeId>> EvalNav(const xml::Document& doc,
 }
 
 Result<std::vector<NodeId>> EvalNav(const xml::Document& doc,
-                                    const Path& path) {
+                                    const Path& path, ExecContext* ctx) {
   NavAdapter adapter(doc);
-  PathEvaluator<NavAdapter> evaluator(adapter);
+  PathEvaluator<NavAdapter> evaluator(adapter, ctx);
   return evaluator.Eval(path);
 }
 

@@ -199,9 +199,9 @@ Result<std::vector<VirtualNode>> EvalVirtual(
 }
 
 Result<std::vector<VirtualNode>> EvalVirtual(
-    const virt::VirtualDocument& vdoc, const Path& path) {
+    const virt::VirtualDocument& vdoc, const Path& path, ExecContext* ctx) {
   VirtualAdapter adapter(vdoc);
-  PathEvaluator<VirtualAdapter> evaluator(adapter);
+  PathEvaluator<VirtualAdapter> evaluator(adapter, ctx);
   return evaluator.Eval(path);
 }
 

@@ -25,6 +25,11 @@ class VirtualAdapter {
  public:
   using Node = virt::VirtualNode;
 
+  /// VirtualDocument's only query-local scratch state is the reachability
+  /// memo, which synchronizes internally (virtual_document.h), so the const
+  /// interface is safe for concurrent use.
+  static constexpr bool kParallelSafe = true;
+
   explicit VirtualAdapter(const virt::VirtualDocument& vdoc)
       : vdoc_(&vdoc) {}
 
@@ -50,8 +55,10 @@ class VirtualAdapter {
 Result<std::vector<virt::VirtualNode>> EvalVirtual(
     const virt::VirtualDocument& vdoc, std::string_view path_text);
 
-/// \brief Evaluate a pre-parsed path.
+/// \brief Evaluate a pre-parsed path. \p ctx (optional) supplies a thread
+/// pool and collects ExecStats (see query/engine.h).
 Result<std::vector<virt::VirtualNode>> EvalVirtual(
-    const virt::VirtualDocument& vdoc, const Path& path);
+    const virt::VirtualDocument& vdoc, const Path& path,
+    ExecContext* ctx = nullptr);
 
 }  // namespace vpbn::query

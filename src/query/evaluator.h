@@ -24,14 +24,34 @@
 #pragma once
 
 #include <charconv>
+#include <chrono>
 #include <cmath>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/result.h"
+#include "query/exec_context.h"
 #include "query/path_ast.h"
 
 namespace vpbn::query {
+
+/// \brief Minimum context size before a step fans out per-context-node work
+/// onto the ExecContext's pool; below this the task overhead dominates.
+inline constexpr size_t kParallelFanoutCutoff = 16;
+
+/// \brief Whether an adapter declares its const interface safe for
+/// concurrent use (static constexpr bool kParallelSafe). Adapters without
+/// the marker are conservatively evaluated sequentially.
+template <typename Adapter>
+constexpr bool AdapterParallelSafe() {
+  if constexpr (requires { Adapter::kParallelSafe; }) {
+    return Adapter::kParallelSafe;
+  } else {
+    return false;
+  }
+}
 
 /// \brief Attempts to interpret \p s as an XPath number.
 inline bool ToNumber(const std::string& s, double* out) {
@@ -89,29 +109,34 @@ class PathEvaluator {
  public:
   using Node = typename Adapter::Node;
 
-  explicit PathEvaluator(const Adapter& adapter) : adapter_(&adapter) {}
+  /// \p ctx (optional) supplies the thread pool for per-context-node
+  /// fan-out and receives execution statistics; it must outlive the
+  /// evaluator. With a null ctx evaluation is sequential, as before.
+  explicit PathEvaluator(const Adapter& adapter, ExecContext* ctx = nullptr)
+      : adapter_(&adapter), ctx_(ctx) {}
 
   /// Evaluates an absolute path from the document node.
   Result<std::vector<Node>> Eval(const Path& path) {
     return EvalSteps(path, 0, path.steps.size(), {},
-                     /*has_document_node=*/true);
+                     /*has_document_node=*/true, /*record_stats=*/true);
   }
 
   /// Evaluates a (relative) path from an explicit context node.
   Result<std::vector<Node>> EvalFrom(const Path& path, const Node& context) {
     return EvalSteps(path, 0, path.steps.size(), {context},
-                     /*has_document_node=*/false);
+                     /*has_document_node=*/false, /*record_stats=*/true);
   }
 
   /// Evaluates only the first \p n_steps of the path (used by callers that
   /// handle a trailing attribute step themselves).
   Result<std::vector<Node>> EvalPrefix(const Path& path, size_t n_steps) {
-    return EvalSteps(path, 0, n_steps, {}, /*has_document_node=*/true);
+    return EvalSteps(path, 0, n_steps, {}, /*has_document_node=*/true,
+                     /*record_stats=*/true);
   }
   Result<std::vector<Node>> EvalPrefixFrom(const Path& path, size_t n_steps,
                                            const Node& context) {
     return EvalSteps(path, 0, n_steps, {context},
-                     /*has_document_node=*/false);
+                     /*has_document_node=*/false, /*record_stats=*/true);
   }
 
  private:
@@ -142,7 +167,8 @@ class PathEvaluator {
 
   Result<std::vector<Node>> EvalSteps(const Path& path, size_t idx,
                                       size_t end, std::vector<Node> context,
-                                      bool has_document_node) {
+                                      bool has_document_node,
+                                      bool record_stats) {
     if (idx == end) {
       adapter_->SortUnique(&context);
       return context;
@@ -152,6 +178,9 @@ class PathEvaluator {
       return Status::InvalidArgument(
           "attribute steps are only supported inside predicates");
     }
+    bool timing = ctx_ != nullptr && ctx_->collect_stats() && record_stats;
+    std::chrono::steady_clock::time_point t0;
+    if (timing) t0 = std::chrono::steady_clock::now();
     std::vector<Node> next;
     bool next_has_document_node = false;
     if (has_document_node) {
@@ -179,21 +208,94 @@ class PathEvaluator {
           break;  // no ancestors/siblings of the document node
       }
       adapter_->SortUnique(&from_doc);
+      if (ctx_) ctx_->CountNodes(from_doc.size());
       VPBN_ASSIGN_OR_RETURN(from_doc, ApplyPredicates(step, std::move(from_doc)));
       Append(&next, std::move(from_doc));
     }
+    VPBN_RETURN_NOT_OK(EvalStepOverContext(step, context, &next));
+    adapter_->SortUnique(&next);
+    if (timing) {
+      StepStats s;
+      s.label = StepLabel(step);
+      s.nodes_out = next.size();
+      s.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      ctx_->RecordStep(std::move(s));
+    }
+    return EvalSteps(path, idx + 1, end, std::move(next),
+                     next_has_document_node, record_stats);
+  }
+
+  /// Expands \p step from every node of \p context into \p next. XPath
+  /// applies predicates within each context node's axis result — positions
+  /// are relative to that list, so each node filters before merging, which
+  /// is also what makes the fan-out embarrassingly parallel: each context
+  /// node's (axis scan + predicate filter) is independent, and the caller's
+  /// final SortUnique restores document order regardless of completion
+  /// order. Parallel only when the adapter declares its const interface
+  /// thread-safe and the context is large enough to pay for the tasks.
+  Status EvalStepOverContext(const Step& step, const std::vector<Node>& context,
+                             std::vector<Node>* next) {
+    common::ThreadPool* pool = ctx_ != nullptr ? ctx_->pool() : nullptr;
+    if (AdapterParallelSafe<Adapter>() && pool != nullptr &&
+        pool->num_threads() > 1 && context.size() >= kParallelFanoutCutoff &&
+        !common::ThreadPool::InWorker()) {
+      std::vector<std::vector<Node>> slots(context.size());
+      std::mutex error_mu;
+      Status error = Status::OK();
+      common::ParallelFor(
+          pool, context.size(), /*grain=*/4, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i) {
+              std::vector<Node> axis_result =
+                  adapter_->Axis(context[i], step.axis, step.test);
+              adapter_->SortUnique(&axis_result);
+              ctx_->CountNodes(axis_result.size());
+              auto filtered = ApplyPredicates(step, std::move(axis_result));
+              if (!filtered.ok()) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (error.ok()) error = filtered.status();
+                return;
+              }
+              slots[i] = std::move(filtered).ValueUnsafe();
+            }
+          });
+      if (!error.ok()) return error;
+      for (std::vector<Node>& s : slots) Append(next, std::move(s));
+      return Status::OK();
+    }
     for (const Node& n : context) {
-      // XPath applies predicates within each context node's axis result —
-      // positions are relative to that list, so filter before merging.
       std::vector<Node> axis_result = adapter_->Axis(n, step.axis, step.test);
       adapter_->SortUnique(&axis_result);
+      if (ctx_) ctx_->CountNodes(axis_result.size());
       VPBN_ASSIGN_OR_RETURN(axis_result,
                             ApplyPredicates(step, std::move(axis_result)));
-      Append(&next, std::move(axis_result));
+      Append(next, std::move(axis_result));
     }
-    adapter_->SortUnique(&next);
-    return EvalSteps(path, idx + 1, end, std::move(next),
-                     next_has_document_node);
+    return Status::OK();
+  }
+
+  static std::string StepLabel(const Step& step) {
+    std::string label = num::AxisToString(step.axis);
+    label += "::";
+    switch (step.test.kind) {
+      case NodeTest::Kind::kName:
+        label += step.test.name;
+        break;
+      case NodeTest::Kind::kAnyElement:
+        label += "*";
+        break;
+      case NodeTest::Kind::kText:
+        label += "text()";
+        break;
+      case NodeTest::Kind::kAnyNode:
+        label += "node()";
+        break;
+    }
+    if (!step.predicates.empty()) {
+      label += "[" + std::to_string(step.predicates.size()) + " pred]";
+    }
+    return label;
   }
 
   static void Append(std::vector<Node>* out, std::vector<Node> in) {
@@ -210,8 +312,11 @@ class PathEvaluator {
     for (const auto& pred : step.predicates) {
       std::vector<Node> kept;
       if (pred->kind == Expr::Kind::kNumber) {
+        // XPath: [n] keeps the node whose position equals n exactly. A
+        // non-integral number ([2.5]) equals no position and selects
+        // nothing — truncating would wrongly select node 2.
         auto position = static_cast<int64_t>(pred->num);
-        if (position >= 1 &&
+        if (static_cast<double>(position) == pred->num && position >= 1 &&
             static_cast<size_t>(position) <= nodes.size()) {
           kept.push_back(nodes[position - 1]);
         }
@@ -226,12 +331,20 @@ class PathEvaluator {
     return nodes;
   }
 
+  /// Relative path evaluation inside a predicate: never records step
+  /// timings (only the top-level path's steps belong in ExecStats).
+  Result<std::vector<Node>> EvalRelative(const Path& path,
+                                         const Node& context) {
+    return EvalSteps(path, 0, path.steps.size(), {context},
+                     /*has_document_node=*/false, /*record_stats=*/false);
+  }
+
   Result<Value> EvalExpr(const Expr& expr, const Node& context) {
     Value v;
     switch (expr.kind) {
       case Expr::Kind::kPath: {
         VPBN_ASSIGN_OR_RETURN(std::vector<Node> nodes,
-                              EvalFrom(expr.path, context));
+                              EvalRelative(expr.path, context));
         v.kind = Value::Kind::kNodeSet;
         v.nodes = std::move(nodes);
         return v;
@@ -256,7 +369,7 @@ class PathEvaluator {
       }
       case Expr::Kind::kCount: {
         VPBN_ASSIGN_OR_RETURN(std::vector<Node> nodes,
-                              EvalFrom(expr.path, context));
+                              EvalRelative(expr.path, context));
         v.kind = Value::Kind::kNumber;
         v.num = static_cast<double>(nodes.size());
         return v;
@@ -376,6 +489,7 @@ class PathEvaluator {
   }
 
   const Adapter* adapter_;
+  ExecContext* ctx_;
 };
 
 }  // namespace vpbn::query

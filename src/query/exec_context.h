@@ -1,0 +1,83 @@
+/// \file exec_context.h
+/// \brief Per-execution state threaded through the evaluators: the thread
+/// pool to fan work out on, and the counters behind ExecStats.
+///
+/// An ExecContext is owned by one QueryEngine::Execute call (query/engine.h)
+/// and shared by every evaluator frame of that execution, across threads —
+/// counters are atomic, step records are mutex-guarded. A null ExecContext
+/// (the default everywhere) means sequential execution and no accounting,
+/// which keeps the pre-engine call sites zero-cost.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace vpbn::query {
+
+/// \brief Accounting for one top-level path step (ExecStats::steps).
+struct StepStats {
+  std::string label;        ///< "child::book[2 predicates]" and the like
+  uint64_t nodes_out = 0;   ///< context size after the step
+  double wall_ms = 0;       ///< wall time of the step, predicates included
+};
+
+/// \brief What one Execute call did. Returned inside QueryResult.
+struct ExecStats {
+  uint64_t nodes_scanned = 0;      ///< nodes produced by axis/index scans
+  uint64_t join_pairs = 0;         ///< structural-join pairs emitted
+  double wall_ms = 0;              ///< end-to-end wall time
+  int threads = 1;                 ///< thread budget the execution ran with
+  std::string plan;                ///< "nav" | "indexed" | "bulk" | "virtual"
+  std::vector<StepStats> steps;    ///< per-step timings (top-level path only)
+
+  std::string ToString() const;
+};
+
+/// \brief Mutable execution state. Pointer-identity shared, never copied.
+class ExecContext {
+ public:
+  ExecContext() = default;
+  ExecContext(common::ThreadPool* pool, bool collect_stats)
+      : pool_(pool), collect_stats_(collect_stats) {}
+
+  common::ThreadPool* pool() const { return pool_; }
+  bool collect_stats() const { return collect_stats_; }
+
+  void CountNodes(uint64_t n) {
+    nodes_scanned_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountJoinPairs(uint64_t n) {
+    join_pairs_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void RecordStep(StepStats step) {
+    std::lock_guard<std::mutex> lock(steps_mu_);
+    steps_.push_back(std::move(step));
+  }
+
+  uint64_t nodes_scanned() const {
+    return nodes_scanned_.load(std::memory_order_relaxed);
+  }
+  uint64_t join_pairs() const {
+    return join_pairs_.load(std::memory_order_relaxed);
+  }
+  std::vector<StepStats> TakeSteps() {
+    std::lock_guard<std::mutex> lock(steps_mu_);
+    return std::move(steps_);
+  }
+
+ private:
+  common::ThreadPool* pool_ = nullptr;
+  bool collect_stats_ = false;
+  std::atomic<uint64_t> nodes_scanned_{0};
+  std::atomic<uint64_t> join_pairs_{0};
+  std::mutex steps_mu_;
+  std::vector<StepStats> steps_;
+};
+
+}  // namespace vpbn::query

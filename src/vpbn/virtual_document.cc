@@ -27,6 +27,26 @@ std::vector<bool> ComputeIntactTypes(const vdg::VDataGuide& vg) {
 
 }  // namespace
 
+VirtualDocument::VirtualDocument(VirtualDocument&& other) noexcept
+    : stored_(other.stored_),
+      vguide_(std::move(other.vguide_)),
+      space_(std::move(other.space_)),
+      intact_(std::move(other.intact_)),
+      guaranteed_(std::move(other.guaranteed_)),
+      reachable_memo_(std::move(other.reachable_memo_)) {}
+
+VirtualDocument& VirtualDocument::operator=(VirtualDocument&& other) noexcept {
+  if (this != &other) {
+    stored_ = other.stored_;
+    vguide_ = std::move(other.vguide_);
+    space_ = std::move(other.space_);
+    intact_ = std::move(other.intact_);
+    guaranteed_ = std::move(other.guaranteed_);
+    reachable_memo_ = std::move(other.reachable_memo_);
+  }
+  return *this;
+}
+
 Result<VirtualDocument> VirtualDocument::Open(
     const storage::StoredDocument& stored, std::string_view spec_text) {
   VirtualDocument out;
@@ -61,11 +81,14 @@ Result<VirtualDocument> VirtualDocument::Open(
 bool VirtualDocument::IsReachable(const VirtualNode& v) const {
   if (guaranteed_[v.vtype]) return true;
   uint64_t key = (static_cast<uint64_t>(v.node) << 32) | v.vtype;
-  auto it = reachable_memo_.find(key);
-  if (it != reachable_memo_.end()) return it->second;
-  // Seed false first: the vDataGuide is a tree so recursion terminates,
-  // but seeding keeps pathological re-entry cheap.
-  reachable_memo_.emplace(key, false);
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    auto it = reachable_memo_.find(key);
+    if (it != reachable_memo_.end()) return it->second;
+  }
+  // Compute outside the lock: the recursion climbs strictly toward vDataGuide
+  // roots (no cycles), and a concurrent thread computing the same key derives
+  // the same value from the same immutable structures.
   bool reachable = false;
   for (const VirtualNode& p : Parents(v)) {
     if (IsReachable(p)) {
@@ -73,7 +96,8 @@ bool VirtualDocument::IsReachable(const VirtualNode& v) const {
       break;
     }
   }
-  reachable_memo_[key] = reachable;
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  reachable_memo_.emplace(key, reachable);
   return reachable;
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,11 @@ class VirtualDocument {
  public:
   /// An empty view; unusable until move-assigned from Open().
   VirtualDocument() = default;
+
+  /// Movable (the memo mutex is not moved — a moved document starts with a
+  /// fresh lock). Moving while other threads query is undefined, as usual.
+  VirtualDocument(VirtualDocument&& other) noexcept;
+  VirtualDocument& operator=(VirtualDocument&& other) noexcept;
 
   /// Expands \p spec_text against \p stored's DataGuide and builds the
   /// vPBN space (level arrays). \p stored must outlive the result.
@@ -122,7 +128,11 @@ class VirtualDocument {
   /// is a prefix of the child's number and always exists.
   bool IsGuaranteedReachable(vdg::VTypeId t) const { return guaranteed_[t]; }
 
-  /// True iff \p v has a virtual-parent chain to a root (memoized).
+  /// True iff \p v has a virtual-parent chain to a root (memoized). Safe
+  /// for concurrent calls: the memo synchronizes internally, and the
+  /// recursion over parent chains runs lock-free on immutable state (two
+  /// threads may race to compute the same key, but both compute the same
+  /// value).
   bool IsReachable(const VirtualNode& v) const;
   /// @}
 
@@ -144,8 +154,12 @@ class VirtualDocument {
   VpbnSpace space_;
   std::vector<bool> intact_;      // by VTypeId
   std::vector<bool> guaranteed_;  // by VTypeId
-  // Reachability memo keyed by (node, vtype); mutable lazy cache, not
-  // thread-safe (like most query-local scratch state).
+  // Reachability memo keyed by (node, vtype); mutable lazy cache shared by
+  // concurrent query threads, so guarded by memo_mu_. The lock is held only
+  // around map access, never across the parent-chain recursion (which would
+  // self-deadlock); the recursion itself terminates because the vDataGuide
+  // is a tree — every hop strictly shortens the vtype path to a root.
+  mutable std::mutex memo_mu_;
   mutable std::unordered_map<uint64_t, bool> reachable_memo_;
 };
 

@@ -1,0 +1,129 @@
+/// \file engine_test.cc
+/// \brief QueryEngine facade: planning per substrate, prepare-once/execute-
+/// many, ExecOptions (threads, stats), typed results and StringValues.
+
+#include "query/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "pbn/numbering.h"
+#include "tests/test_util.h"
+#include "vpbn/virtual_document.h"
+
+namespace vpbn::query {
+namespace {
+
+struct Fixture {
+  xml::Document doc = testutil::PaperFigure2();
+  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+};
+
+TEST(EngineTest, PlansPerSubstrate) {
+  Fixture f;
+  QueryEngine nav(f.doc);
+  QueryEngine idx(f.stored);
+  auto v = virt::VirtualDocument::Open(f.stored, testutil::SamSpec());
+  ASSERT_TRUE(v.ok());
+  QueryEngine virt_engine(*v);
+
+  auto p_nav = nav.Prepare("//book/title");
+  ASSERT_TRUE(p_nav.ok());
+  EXPECT_EQ(p_nav->plan(), PlanKind::kNav);
+
+  // Bulk fragment: child/descendant steps with existential predicates.
+  auto p_bulk = idx.Prepare("//book[author/name]/title");
+  ASSERT_TRUE(p_bulk.ok());
+  EXPECT_EQ(p_bulk->plan(), PlanKind::kBulk);
+
+  // Positional predicates fall out of the bulk fragment.
+  auto p_idx = idx.Prepare("/data/book[2]/title");
+  ASSERT_TRUE(p_idx.ok());
+  EXPECT_EQ(p_idx->plan(), PlanKind::kIndexed);
+
+  auto p_virt = virt_engine.Prepare("//title");
+  ASSERT_TRUE(p_virt.ok());
+  EXPECT_EQ(p_virt->plan(), PlanKind::kVirtual);
+}
+
+TEST(EngineTest, SameAnswerOnEverySubstrate) {
+  Fixture f;
+  QueryEngine nav(f.doc);
+  QueryEngine idx(f.stored);
+  num::Numbering numbering = num::Numbering::Number(f.doc);
+  for (const char* path : {"//title", "//book[author/name]/title",
+                           "/data/book[2]/title", "//publisher/location"}) {
+    SCOPED_TRACE(path);
+    auto a = nav.Execute(path);
+    auto b = idx.Execute(path);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    // Same nodes selected: map the navigational hits to their PBNs.
+    std::vector<num::Pbn> nav_pbns;
+    for (xml::NodeId id : a->nav_nodes()) {
+      nav_pbns.push_back(numbering.OfNode(id));
+    }
+    EXPECT_EQ(nav_pbns, b->pbn_nodes());
+  }
+}
+
+TEST(EngineTest, PrepareOnceExecuteMany) {
+  Fixture f;
+  QueryEngine engine(f.stored);
+  auto prepared = engine.Prepare("//book/title");
+  ASSERT_TRUE(prepared.ok());
+  auto r1 = engine.Execute(*prepared, {.threads = 1});
+  auto r2 = engine.Execute(*prepared, {.threads = 4});
+  auto r3 = engine.Execute(*prepared, {.threads = 0});  // hw concurrency
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r1->pbn_nodes(), r2->pbn_nodes());
+  EXPECT_EQ(r1->pbn_nodes(), r3->pbn_nodes());
+  EXPECT_EQ(r2->stats().threads, 4);
+}
+
+TEST(EngineTest, StatsAreCollectedOnRequest) {
+  Fixture f;
+  QueryEngine engine(f.stored);
+  auto bare = engine.Execute("//book[author/name]/title", {});
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->stats().steps.empty());
+  EXPECT_EQ(bare->stats().plan, "bulk");
+
+  // A positional predicate forces the per-node indexed plan, which records
+  // per-step stats.
+  auto with = engine.Execute("/data/book[2]/title", {.collect_stats = true});
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with->stats().plan, "indexed");
+  EXPECT_GT(with->stats().nodes_scanned, 0u);
+  EXPECT_FALSE(with->stats().steps.empty());
+  EXPECT_FALSE(with->stats().ToString().empty());
+}
+
+TEST(EngineTest, StringValuesPerSubstrate) {
+  Fixture f;
+  QueryEngine nav(f.doc);
+  auto r = nav.Execute("//book/title");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(nav.StringValues(*r), (std::vector<std::string>{"X", "Y"}));
+
+  auto v = virt::VirtualDocument::Open(f.stored, testutil::SamSpec());
+  ASSERT_TRUE(v.ok());
+  QueryEngine virt_engine(*v);
+  auto titles = virt_engine.Execute("/title/text()");
+  ASSERT_TRUE(titles.ok());
+  EXPECT_EQ(virt_engine.StringValues(*titles),
+            (std::vector<std::string>{"X", "Y"}));
+}
+
+TEST(EngineTest, ParseErrorsSurfaceFromPrepare) {
+  Fixture f;
+  QueryEngine engine(f.stored);
+  auto p = engine.Prepare("//book[");
+  EXPECT_FALSE(p.ok());
+  auto r = engine.Execute("//book[", {});
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace vpbn::query

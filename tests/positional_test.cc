@@ -115,6 +115,24 @@ TEST(PositionalTest, DoubleSlashPositionalIsPerParent) {
   EXPECT_EQ(d[0], "1");
 }
 
+TEST(PositionalTest, NonIntegralPositionSelectsNothing) {
+  // XPath: [2.5] means position() = 2.5, which no node satisfies. The
+  // predicate must not truncate to [2].
+  Fixture f;
+  EXPECT_TRUE(f.Both("/data/book[2.5]").empty());
+  EXPECT_TRUE(f.Both("//book/*[1.5]").empty());
+  // Integral-valued doubles still select positionally.
+  auto second = f.Both("/data/book[2.0]/title");
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], "Y");
+  // Same semantics on the virtual substrate.
+  auto v = virt::VirtualDocument::Open(f.stored, testutil::SamSpec());
+  ASSERT_TRUE(v.ok());
+  auto none = EvalVirtual(*v, "//title/node()[1.5]");
+  ASSERT_TRUE(none.ok()) << none.status();
+  EXPECT_TRUE(none->empty());
+}
+
 TEST(PositionalTest, DescendantAxisPositions) {
   Fixture f;
   // First descendant text node of each book.

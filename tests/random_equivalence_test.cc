@@ -12,6 +12,7 @@
 
 #include <set>
 
+#include "query/engine.h"
 #include "query/eval_nav.h"
 #include "query/eval_virtual.h"
 #include "vpbn/materializer.h"
@@ -99,6 +100,64 @@ TEST_P(RandomEquivalenceTest, VirtualMatchesMaterialized) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomEquivalenceTest,
                          ::testing::Range<uint64_t>(1, 13));
+
+/// Determinism: the node lists (not just the node sets) with 1 and with N
+/// threads must be identical — parallel execution is invisible in output.
+class ParallelDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelDeterminismTest, ThreadsDoNotChangeResults) {
+  uint64_t seed = GetParam();
+  workload::RandomTreeOptions topts;
+  topts.seed = seed;
+  topts.num_nodes = 600;  // Large enough to cross the parallel cutoffs.
+  topts.num_labels = 4;
+  topts.text_prob = 0.25;
+  xml::Document doc = workload::GenerateRandomTree(topts);
+  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+
+  QueryEngine nav_engine(doc);
+  QueryEngine stored_engine(stored);
+
+  workload::RandomSpecOptions sopts;
+  sopts.seed = seed * 37 + 1;
+  sopts.num_types = 4;
+  std::string spec = workload::GenerateRandomSpec(stored.dataguide(), sopts);
+  SCOPED_TRACE(spec);
+  auto v = virt::VirtualDocument::Open(stored, spec);
+  ASSERT_TRUE(v.ok()) << v.status();
+  QueryEngine virtual_engine(*v);
+
+  // Physical paths over labels the generator emits; virtual paths from the
+  // vDataGuide battery. Every query runs on every applicable substrate.
+  std::vector<std::string> physical = {
+      "//e0",           "//e1/*",          "//e0//e1",
+      "//e2/text()",    "//e0[e1]",        "//*[text()]",
+      "//e1/..",        "//e0/descendant::*",
+  };
+  for (int threads : {2, 4}) {
+    for (const std::string& path : physical) {
+      for (const query::QueryEngine* engine : {&nav_engine, &stored_engine}) {
+        SCOPED_TRACE(path);
+        auto seq = engine->Execute(path, {.threads = 1});
+        auto par = engine->Execute(path, {.threads = threads});
+        ASSERT_TRUE(seq.ok()) << seq.status();
+        ASSERT_TRUE(par.ok()) << par.status();
+        EXPECT_TRUE(seq->nodes() == par->nodes()) << path;
+      }
+    }
+    for (const std::string& path : PathBattery(v->vguide())) {
+      SCOPED_TRACE(path);
+      auto seq = virtual_engine.Execute(path, {.threads = 1});
+      auto par = virtual_engine.Execute(path, {.threads = threads});
+      ASSERT_TRUE(seq.ok()) << seq.status();
+      ASSERT_TRUE(par.ok()) << par.status();
+      EXPECT_TRUE(seq->nodes() == par->nodes()) << path;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminismTest,
+                         ::testing::Range<uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace vpbn::query

@@ -8,21 +8,23 @@
 ///   vpbnq --dataguide <file.xml>              print the structural summary
 ///   vpbnq --xquery <query> <file.xml>         run FLWR (doc name: "doc")
 ///   vpbnq --numbers <file.xml>                dump PBN numbers
+///
+/// Query modes go through query::QueryEngine (prepare once, execute once),
+/// so `--threads N` runs the parallel engine and `--stats` prints the
+/// per-query ExecStats.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "query/eval_bulk.h"
-#include "query/eval_indexed.h"
-#include "query/eval_virtual.h"
+#include "query/engine.h"
 #include "vdg/report.h"
 #include "vpbn/materializer.h"
 #include "vpbn/virtual_document.h"
-#include "vpbn/virtual_value.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xquery/xq_engine.h"
@@ -34,8 +36,9 @@ using namespace vpbn;
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  vpbnq [--bulk] <file.xml> <xpath>\n"
-               "  vpbnq --view <vdataguide> <file.xml> <xpath>\n"
+               "  vpbnq [--bulk] [--threads N] [--stats] <file.xml> <xpath>\n"
+               "  vpbnq [--threads N] [--stats] --view <vdataguide> <file.xml> "
+               "<xpath>\n"
                "  vpbnq --materialize <vdataguide> <file.xml>\n"
                "  vpbnq --report <vdataguide> <file.xml>\n"
                "  vpbnq --dataguide <file.xml>\n"
@@ -59,10 +62,45 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Prepare, execute and print one query through the engine facade.
+int RunQuery(const query::QueryEngine& engine, const std::string& path_text,
+             const query::ExecOptions& options) {
+  auto prepared = engine.Prepare(path_text);
+  if (!prepared.ok()) return Fail(prepared.status());
+  auto result = engine.Execute(*prepared, options);
+  if (!result.ok()) return Fail(result.status());
+  for (const std::string& value : engine.StringValues(*result)) {
+    std::printf("%s\n", value.c_str());
+  }
+  std::fprintf(stderr, "%zu node(s)\n", result->size());
+  if (options.collect_stats) {
+    std::fprintf(stderr, "%s", result->stats().ToString().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+
+  // Engine options may precede or follow the mode flag.
+  query::ExecOptions exec_options;
+  bool bulk = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--threads" && std::next(it) != args.end()) {
+      exec_options.threads = std::atoi(std::next(it)->c_str());
+      it = args.erase(it, it + 2);
+    } else if (*it == "--stats") {
+      exec_options.collect_stats = true;
+      it = args.erase(it);
+    } else if (*it == "--bulk") {
+      bulk = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
   if (args.empty()) return Usage();
 
   if (args[0] == "--dataguide" && args.size() == 2) {
@@ -132,35 +170,20 @@ int main(int argc, char** argv) {
     storage::StoredDocument stored = storage::StoredDocument::Build(*doc);
     auto vdoc = virt::VirtualDocument::Open(stored, args[1]);
     if (!vdoc.ok()) return Fail(vdoc.status());
-    auto hits = query::EvalVirtual(*vdoc, args[3]);
-    if (!hits.ok()) return Fail(hits.status());
-    virt::VirtualValueComputer values(*vdoc);
-    for (const virt::VirtualNode& n : *hits) {
-      std::printf("%s\n", values.Value(n).c_str());
-    }
-    std::fprintf(stderr, "%zu node(s)\n", hits->size());
-    return 0;
+    query::QueryEngine engine(*vdoc);
+    return RunQuery(engine, args[3], exec_options);
   }
 
-  bool bulk = false;
-  if (!args.empty() && args[0] == "--bulk") {
-    bulk = true;
-    args.erase(args.begin());
-  }
   if (args.size() == 2 && args[0][0] != '-') {
     auto doc = Load(args[0]);
     if (!doc.ok()) return Fail(doc.status());
     storage::StoredDocument stored = storage::StoredDocument::Build(*doc);
-    auto path = query::ParsePath(args[1]);
-    if (!path.ok()) return Fail(path.status());
-    auto hits = bulk ? query::EvalBulkOrIndexed(stored, *path)
-                     : query::EvalIndexed(stored, *path);
-    if (!hits.ok()) return Fail(hits.status());
-    for (const num::Pbn& p : *hits) {
-      std::printf("%s\n", std::string(*stored.Value(p)).c_str());
-    }
-    std::fprintf(stderr, "%zu node(s)\n", hits->size());
-    return 0;
+    // The engine's planner already picks bulk joins where the fragment
+    // allows and per-node index scans otherwise, so --bulk is subsumed;
+    // it stays accepted for compatibility.
+    (void)bulk;
+    query::QueryEngine engine(stored);
+    return RunQuery(engine, args[1], exec_options);
   }
 
   return Usage();
