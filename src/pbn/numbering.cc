@@ -44,8 +44,10 @@ Result<xml::NodeId> Numbering::NodeOf(const Pbn& pbn) const {
 }
 
 size_t Numbering::NumbersMemoryUsage() const {
+  // The vector slots already charge one sizeof(Pbn) header per number, so
+  // each element adds only its heap block (allocation overhead included).
   size_t total = numbers_.capacity() * sizeof(Pbn);
-  for (const Pbn& p : numbers_) total += p.MemoryUsage();
+  for (const Pbn& p : numbers_) total += p.HeapMemoryUsage();
   return total;
 }
 

@@ -1,0 +1,228 @@
+#include "pbn/packed.h"
+
+#include <algorithm>
+
+#include "pbn/codec.h"
+
+namespace vpbn::num {
+
+size_t PackedPbnRef::CommonPrefixLength(const PackedPbnRef& o) const {
+  ComponentIterator a(*this);
+  ComponentIterator b(o);
+  size_t n = 0;
+  while (a.HasNext() && b.HasNext() && a.Next() == b.Next()) ++n;
+  return n;
+}
+
+uint32_t PackedPbnRef::at1(size_t i) const {
+  ComponentIterator it(*this);
+  uint32_t c = 0;
+  for (size_t k = 0; k < i; ++k) c = it.Next();
+  return c;
+}
+
+void PackedPbnRef::DecodeTo(std::vector<uint32_t>* out) const {
+  out->clear();
+  out->reserve(length_);
+  ComponentIterator it(*this);
+  while (it.HasNext()) out->push_back(it.Next());
+}
+
+Pbn PackedPbnRef::Materialize() const {
+  std::vector<uint32_t> components;
+  DecodeTo(&components);
+  return Pbn(std::move(components));
+}
+
+uint32_t PackedPbnRef::PrefixByteSize(size_t n) const {
+  const char* p = data_;
+  for (size_t k = 0; k < n; ++k) {
+    p += 1 + static_cast<uint8_t>(*p);
+  }
+  return static_cast<uint32_t>(p - data_);
+}
+
+namespace {
+
+/// The last component of \p x as a one-component sub-ref (terminator
+/// borrowed from the parent encoding's own tail). Requires !x.empty().
+PackedPbnRef LastComponent(const PackedPbnRef& x) {
+  uint32_t parent_bytes = x.PrefixByteSize(x.length() - 1);
+  return PackedPbnRef(x.data() + parent_bytes, x.size_bytes() - parent_bytes,
+                      1);
+}
+
+}  // namespace
+
+bool PackedIsSibling(const PackedPbnRef& x, const PackedPbnRef& y) {
+  if (x.length() != y.length() || x.empty()) return false;
+  // Same parent: the byte spans before the last component must be equal
+  // (equal components encode to equal bytes and vice versa).
+  uint32_t px = x.PrefixByteSize(x.length() - 1);
+  uint32_t py = y.PrefixByteSize(y.length() - 1);
+  return px == py && std::memcmp(x.data(), y.data(), px) == 0;
+}
+
+bool PackedIsFollowingSibling(const PackedPbnRef& x, const PackedPbnRef& y) {
+  return PackedIsSibling(x, y) &&
+         LastComponent(x).Compare(LastComponent(y)) > 0;
+}
+
+bool PackedIsPrecedingSibling(const PackedPbnRef& x, const PackedPbnRef& y) {
+  return PackedIsSibling(x, y) &&
+         LastComponent(x).Compare(LastComponent(y)) < 0;
+}
+
+bool PackedCheckAxis(Axis axis, const PackedPbnRef& x, const PackedPbnRef& y) {
+  switch (axis) {
+    case Axis::kSelf:
+      return PackedIsSelf(x, y);
+    case Axis::kChild:
+      return PackedIsChild(x, y);
+    case Axis::kParent:
+      return PackedIsParent(x, y);
+    case Axis::kAncestor:
+      return PackedIsAncestor(x, y);
+    case Axis::kDescendant:
+      return PackedIsDescendant(x, y);
+    case Axis::kAncestorOrSelf:
+      return PackedIsAncestorOrSelf(x, y);
+    case Axis::kDescendantOrSelf:
+      return PackedIsDescendantOrSelf(x, y);
+    case Axis::kFollowing:
+      return PackedIsFollowing(x, y);
+    case Axis::kPreceding:
+      return PackedIsPreceding(x, y);
+    case Axis::kFollowingSibling:
+      return PackedIsFollowingSibling(x, y);
+    case Axis::kPrecedingSibling:
+      return PackedIsPrecedingSibling(x, y);
+    case Axis::kAttribute:
+      return false;
+  }
+  return false;
+}
+
+void PackedPbnList::FinishAppend(uint32_t num_components) {
+  offsets_.push_back(static_cast<uint32_t>(arena_.size()));
+  lengths_.push_back(num_components);
+  uint32_t begin = offsets_[offsets_.size() - 2];
+  keys_.push_back(PackedPbnRef::ComputeKey(
+      arena_.data() + begin, static_cast<uint32_t>(arena_.size()) - begin));
+}
+
+void PackedPbnList::Append(const Pbn& pbn) {
+  EncodeOrdered(pbn, &arena_);
+  FinishAppend(static_cast<uint32_t>(pbn.length()));
+}
+
+void PackedPbnList::Append(const PackedPbnRef& ref) {
+  arena_.append(ref.data(), ref.size_bytes());
+  offsets_.push_back(static_cast<uint32_t>(arena_.size()));
+  lengths_.push_back(ref.length());
+  keys_.push_back(ref.key());
+}
+
+void PackedPbnList::AppendPrefix(const PackedPbnRef& ref, size_t n) {
+  uint32_t bytes = ref.PrefixByteSize(n);
+  arena_.append(ref.data(), bytes);
+  arena_.push_back('\0');
+  FinishAppend(static_cast<uint32_t>(n));
+}
+
+std::vector<Pbn> PackedPbnList::MaterializeAll() const {
+  std::vector<Pbn> out;
+  out.reserve(size());
+  for (size_t i = 0; i < size(); ++i) out.push_back(Materialize(i));
+  return out;
+}
+
+PackedPbnList PackedPbnList::FromPbns(const std::vector<Pbn>& pbns) {
+  PackedPbnList out;
+  out.Reserve(pbns.size());
+  for (const Pbn& p : pbns) out.Append(p);
+  return out;
+}
+
+void PackedPbnList::SortUnique() {
+  std::vector<size_t> order(size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return (*this)[a].Compare((*this)[b]) < 0;
+  });
+  PackedPbnList sorted;
+  sorted.Reserve(size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    PackedPbnRef r = (*this)[order[i]];
+    if (i > 0 && r == sorted[sorted.size() - 1]) continue;
+    sorted.Append(r);
+  }
+  *this = std::move(sorted);
+}
+
+PackedPbnList PackedPbnList::MergeUnique(const PackedPbnList& a,
+                                         const PackedPbnList& b) {
+  PackedPbnList out;
+  out.Reserve(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size()) {
+      out.Append(a[i++]);
+    } else if (i >= a.size()) {
+      out.Append(b[j++]);
+    } else {
+      int c = a[i].Compare(b[j]);
+      if (c < 0) {
+        out.Append(a[i++]);
+      } else if (c > 0) {
+        out.Append(b[j++]);
+      } else {
+        out.Append(a[i++]);
+        ++j;
+      }
+    }
+  }
+  return out;
+}
+
+size_t PackedPbnList::LowerBound(const PackedPbnRef& key) const {
+  size_t lo = 0, hi = size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if ((*this)[mid].Compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::pair<size_t, size_t> PackedPbnList::PrefixRange(
+    const PackedPbnRef& scope) const {
+  // Descendants-or-self of `scope` form one contiguous run starting at the
+  // first element >= scope. The run's end is the first element that scope
+  // does not prefix; since "scope prefixes e" implies e >= scope and the
+  // prefixed elements are contiguous, a second binary search on the prefix
+  // test finds it.
+  size_t first = LowerBound(scope);
+  size_t lo = first, hi = size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (scope.IsPrefixOf((*this)[mid])) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {first, lo};
+}
+
+void PackedPbnList::Reserve(size_t nodes, size_t bytes_per_node) {
+  arena_.reserve(arena_.size() + nodes * bytes_per_node);
+  offsets_.reserve(offsets_.size() + nodes);
+  lengths_.reserve(lengths_.size() + nodes);
+  keys_.reserve(keys_.size() + nodes);
+}
+
+}  // namespace vpbn::num

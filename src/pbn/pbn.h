@@ -72,23 +72,47 @@ class Pbn {
   std::strong_ordering operator<=>(const Pbn& other) const;
   bool operator==(const Pbn& other) const = default;
 
-  /// Heap bytes used (E5 space accounting).
-  size_t MemoryUsage() const {
-    return components_.capacity() * sizeof(uint32_t);
+  /// Typical allocator bookkeeping per heap block (header plus size-class
+  /// rounding), charged to every non-empty number so the packed-vs-vector
+  /// space comparison (E5/E10) reflects what the process actually pays.
+  static constexpr size_t kAllocOverhead = 16;
+
+  /// Bytes this number costs in a container slot: the std::vector header
+  /// (sizeof(Pbn)) plus its heap block including allocation overhead.
+  /// Containers that already charge sizeof(Pbn) per slot should sum
+  /// HeapMemoryUsage() instead.
+  size_t MemoryUsage() const { return sizeof(Pbn) + HeapMemoryUsage(); }
+
+  /// Heap bytes alone: the component block plus allocation overhead; zero
+  /// for an empty, never-allocated number.
+  size_t HeapMemoryUsage() const {
+    return components_.capacity() == 0
+               ? 0
+               : components_.capacity() * sizeof(uint32_t) + kAllocOverhead;
   }
 
  private:
   std::vector<uint32_t> components_;
 };
 
-/// \brief Hash functor so Pbn can key unordered containers.
+/// \brief Hash functor so Pbn can key unordered containers. Hashes the
+/// order-preserving encoded byte stream (pbn/codec.h) without materializing
+/// it, so a Pbn and its packed form (pbn/packed.h, PackedPbnRef::Hash) hash
+/// identically.
 struct PbnHash {
   size_t operator()(const Pbn& p) const {
-    // FNV-1a over the components.
+    // FNV-1a over the bytes EncodeOrdered would emit: per component a
+    // length byte then big-endian payload, then the 0x00 terminator.
     uint64_t h = 1469598103934665603ULL;
+    auto step = [&h](uint8_t byte) { h = (h ^ byte) * 1099511628211ULL; };
     for (uint32_t c : p.components()) {
-      h = (h ^ c) * 1099511628211ULL;
+      int nbytes = c > 0xFFFFFF ? 4 : c > 0xFFFF ? 3 : c > 0xFF ? 2 : 1;
+      step(static_cast<uint8_t>(nbytes));
+      for (int i = nbytes - 1; i >= 0; --i) {
+        step(static_cast<uint8_t>((c >> (8 * i)) & 0xFF));
+      }
     }
+    step(0);
     return static_cast<size_t>(h);
   }
 };

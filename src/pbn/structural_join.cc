@@ -116,6 +116,160 @@ std::vector<JoinPair> PartitionedJoin(const std::vector<Pbn>& ancestors,
   return out;
 }
 
+/// Packed mirror of StackTreeJoinRange: the merge state is byte-level. Every
+/// IsStrictPrefixOf/order decision is a sort-key compare (arena memcmp only
+/// past equal keys); with kCounted the counters tally decisions and the
+/// bytes they touched. Counting is a template parameter so the uncounted
+/// join carries zero bookkeeping in its inner loop.
+template <bool kParentOnly, bool kCounted>
+void PackedStackTreeJoinLoop(const PackedPbnList& ancestors,
+                             const PackedPbnList& descendants, size_t d_begin,
+                             size_t d_end, std::vector<size_t>& stack,
+                             size_t a, std::vector<JoinPair>* out,
+                             JoinCounters* counters) {
+  uint64_t comparisons = 0;
+  uint64_t bytes = 0;
+  const size_t a_size = ancestors.size();
+  const char* a_arena = ancestors.arena_data();
+  const uint32_t* a_off = ancestors.offsets_data();
+  const uint32_t* a_len = ancestors.lengths_data();
+  const uint64_t* a_key = ancestors.keys_data();
+  const char* d_arena = descendants.arena_data();
+  const uint32_t* d_off = descendants.offsets_data();
+  const uint32_t* d_len = descendants.lengths_data();
+  const uint64_t* d_key = descendants.keys_data();
+  for (size_t d = d_begin; d < d_end; ++d) {
+    const PackedPbnRef dn(d_arena + d_off[d], d_off[d + 1] - d_off[d],
+                          d_len[d], d_key[d]);
+    while (!stack.empty()) {
+      const size_t s = stack.back();
+      const PackedPbnRef top(a_arena + a_off[s], a_off[s + 1] - a_off[s],
+                             a_len[s], a_key[s]);
+      if constexpr (kCounted) {
+        ++comparisons;
+        bytes += top.size_bytes();
+      }
+      if (top.IsStrictPrefixOf(dn)) break;
+      stack.pop_back();
+    }
+    while (a < a_size) {
+      const PackedPbnRef an(a_arena + a_off[a], a_off[a + 1] - a_off[a],
+                            a_len[a], a_key[a]);
+      if constexpr (kCounted) {
+        ++comparisons;
+        bytes += std::min(an.size_bytes(), dn.size_bytes());
+      }
+      if (an.Compare(dn) >= 0) break;
+      if (an.IsStrictPrefixOf(dn)) stack.push_back(a);
+      ++a;
+    }
+    if constexpr (kParentOnly) {
+      if (!stack.empty()) {
+        size_t top = stack.back();
+        if (ancestors[top].length() + 1 == dn.length()) {
+          out->push_back(JoinPair{top, d});
+        }
+      }
+    } else {
+      for (size_t s : stack) out->push_back(JoinPair{s, d});
+    }
+  }
+  if constexpr (kCounted) {
+    counters->comparisons += comparisons;
+    counters->bytes_compared += bytes;
+  }
+}
+
+template <bool kParentOnly>
+void PackedStackTreeJoinRange(const PackedPbnList& ancestors,
+                              const PackedPbnList& descendants,
+                              size_t d_begin, size_t d_end,
+                              std::vector<size_t> stack, size_t a,
+                              std::vector<JoinPair>* out,
+                              JoinCounters* counters) {
+  if (counters != nullptr) {
+    PackedStackTreeJoinLoop<kParentOnly, true>(ancestors, descendants,
+                                               d_begin, d_end, stack, a, out,
+                                               counters);
+  } else {
+    PackedStackTreeJoinLoop<kParentOnly, false>(ancestors, descendants,
+                                                d_begin, d_end, stack, a, out,
+                                                nullptr);
+  }
+}
+
+/// Packed chunk seeding: the enclosing ancestors of the chunk's first
+/// descendant are its proper prefixes, each found by a memcmp binary search
+/// over the ancestor offsets; the scan pointer resumes at the first
+/// ancestor >= it.
+template <bool kParentOnly>
+void PackedJoinChunk(const PackedPbnList& ancestors,
+                     const PackedPbnList& descendants, size_t d_begin,
+                     size_t d_end, std::vector<JoinPair>* out,
+                     JoinCounters* counters) {
+  const PackedPbnRef first = descendants[d_begin];
+  std::vector<size_t> stack;
+  // Prefixes share `first`'s leading bytes, so each prefix ref borrows
+  // them; only the terminator differs, supplied by a one-byte buffer via
+  // AppendPrefix into a scratch list.
+  PackedPbnList scratch;
+  scratch.Reserve(first.length());
+  for (size_t len = 1; len < first.length(); ++len) {
+    scratch.AppendPrefix(first, len);
+  }
+  for (size_t len = 1; len < first.length(); ++len) {
+    PackedPbnRef prefix = scratch[len - 1];
+    for (size_t i = ancestors.LowerBound(prefix);
+         i < ancestors.size() && ancestors[i] == prefix; ++i) {
+      stack.push_back(i);
+    }
+  }
+  size_t a = ancestors.LowerBound(first);
+  PackedStackTreeJoinRange<kParentOnly>(ancestors, descendants, d_begin,
+                                        d_end, std::move(stack), a, out,
+                                        counters);
+}
+
+template <bool kParentOnly>
+std::vector<JoinPair> PackedPartitionedJoin(const PackedPbnList& ancestors,
+                                            const PackedPbnList& descendants,
+                                            common::ThreadPool* pool,
+                                            JoinCounters* counters) {
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      descendants.size() < kParallelJoinCutoff || ancestors.empty()) {
+    std::vector<JoinPair> out;
+    PackedStackTreeJoinRange<kParentOnly>(ancestors, descendants, 0,
+                                          descendants.size(), {}, 0, &out,
+                                          counters);
+    return out;
+  }
+  size_t num_chunks =
+      std::min(static_cast<size_t>(pool->num_threads()) * 2,
+               descendants.size() / (kParallelJoinCutoff / 4));
+  num_chunks = std::max<size_t>(num_chunks, 1);
+  size_t chunk = (descendants.size() + num_chunks - 1) / num_chunks;
+  std::vector<std::vector<JoinPair>> parts(num_chunks);
+  std::vector<JoinCounters> part_counters(num_chunks);
+  common::ParallelFor(pool, num_chunks, 1, [&](size_t cb, size_t ce) {
+    for (size_t c = cb; c < ce; ++c) {
+      size_t d_begin = c * chunk;
+      size_t d_end = std::min(d_begin + chunk, descendants.size());
+      if (d_begin >= d_end) continue;
+      PackedJoinChunk<kParentOnly>(ancestors, descendants, d_begin, d_end,
+                                   &parts[c], &part_counters[c]);
+    }
+  });
+  if (counters != nullptr) {
+    for (const JoinCounters& pc : part_counters) counters->Add(pc);
+  }
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  std::vector<JoinPair> out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
 }  // namespace
 
 std::vector<JoinPair> AncestorDescendantJoin(
@@ -138,6 +292,20 @@ std::vector<JoinPair> ParentChildJoin(const std::vector<Pbn>& parents,
                                       const std::vector<Pbn>& children,
                                       common::ThreadPool* pool) {
   return PartitionedJoin<true>(parents, children, pool);
+}
+
+std::vector<JoinPair> AncestorDescendantJoin(const PackedPbnList& ancestors,
+                                             const PackedPbnList& descendants,
+                                             common::ThreadPool* pool,
+                                             JoinCounters* counters) {
+  return PackedPartitionedJoin<false>(ancestors, descendants, pool, counters);
+}
+
+std::vector<JoinPair> ParentChildJoin(const PackedPbnList& parents,
+                                      const PackedPbnList& children,
+                                      common::ThreadPool* pool,
+                                      JoinCounters* counters) {
+  return PackedPartitionedJoin<true>(parents, children, pool, counters);
 }
 
 }  // namespace vpbn::num

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "pbn/packed.h"
 #include "pbn/pbn.h"
 
 namespace vpbn::num {
@@ -60,6 +62,40 @@ std::vector<JoinPair> AncestorDescendantJoin(const std::vector<Pbn>& ancestors,
 std::vector<JoinPair> ParentChildJoin(const std::vector<Pbn>& parents,
                                       const std::vector<Pbn>& children,
                                       common::ThreadPool* pool);
+/// @}
+
+/// \brief Work counters for the packed joins, so ExecStats can report how
+/// many axis decisions and arena bytes a join actually touched. Each join
+/// call accumulates into the struct when non-null.
+struct JoinCounters {
+  uint64_t comparisons = 0;    ///< prefix/order decisions made
+  uint64_t bytes_compared = 0; ///< encoded bytes fed to those decisions
+
+  void Add(const JoinCounters& o) {
+    comparisons += o.comparisons;
+    bytes_compared += o.bytes_compared;
+  }
+};
+
+/// \name Packed structural joins
+///
+/// Same contract and byte-identical JoinPair output as the vector variants,
+/// but streaming over the contiguous arenas of PackedPbnList: every axis
+/// decision is a memcmp over encoded bytes and the chunk-seeding binary
+/// search of the parallel variant is a memcmp bsearch over the offset
+/// column. Sequential when \p pool is null/single-threaded or the input is
+/// below kParallelJoinCutoff. Pool and counters are explicit (no defaults)
+/// so brace-initialized vector calls never overload-clash with the vector
+/// variants; pass nullptr for either.
+/// @{
+std::vector<JoinPair> AncestorDescendantJoin(const PackedPbnList& ancestors,
+                                             const PackedPbnList& descendants,
+                                             common::ThreadPool* pool,
+                                             JoinCounters* counters);
+std::vector<JoinPair> ParentChildJoin(const PackedPbnList& parents,
+                                      const PackedPbnList& children,
+                                      common::ThreadPool* pool,
+                                      JoinCounters* counters);
 /// @}
 
 }  // namespace vpbn::num

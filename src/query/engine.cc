@@ -31,7 +31,11 @@ std::string ExecStats::ToString() const {
                     " threads=" + std::to_string(threads) +
                     " wall_ms=" + std::to_string(wall_ms) +
                     " nodes_scanned=" + std::to_string(nodes_scanned) +
-                    " join_pairs=" + std::to_string(join_pairs) + "\n";
+                    " join_pairs=" + std::to_string(join_pairs) +
+                    " pbn_comparisons=" + std::to_string(pbn_comparisons) +
+                    " bytes_compared=" + std::to_string(bytes_compared) +
+                    " plan_cache=" + std::to_string(plan_cache_hits) + "h/" +
+                    std::to_string(plan_cache_misses) + "m\n";
   for (const StepStats& s : steps) {
     out += "  step " + s.label + ": nodes_out=" + std::to_string(s.nodes_out) +
            " wall_ms=" + std::to_string(s.wall_ms) + "\n";
@@ -46,21 +50,56 @@ size_t QueryResult::size() const {
 QueryEngine::~QueryEngine() = default;
 
 Result<PreparedQuery> QueryEngine::Prepare(std::string_view path_text) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_index_.find(std::string(path_text));
+    if (it != cache_index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->second;
+    }
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+
   VPBN_ASSIGN_OR_RETURN(Path path, ParsePath(path_text));
   PreparedQuery q;
   q.text_ = std::string(path_text);
-  q.path_ = std::move(path);
+  q.path_ = std::make_shared<const Path>(std::move(path));
   if (doc_ != nullptr) {
     q.plan_ = PlanKind::kNav;
   } else if (stored_ != nullptr) {
     // Set-at-a-time joins where the fragment allows; the per-node indexed
     // evaluator handles everything else.
     q.plan_ =
-        InBulkFragment(q.path_) ? PlanKind::kBulk : PlanKind::kIndexed;
+        InBulkFragment(q.path()) ? PlanKind::kBulk : PlanKind::kIndexed;
   } else {
     q.plan_ = PlanKind::kVirtual;
   }
+
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (cache_capacity_ > 0 && cache_index_.find(q.text_) == cache_index_.end()) {
+    lru_.emplace_front(q.text_, q);
+    cache_index_.emplace(q.text_, lru_.begin());
+    while (lru_.size() > cache_capacity_) {
+      cache_index_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
   return q;
+}
+
+void QueryEngine::SetPlanCacheCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_capacity_ = capacity;
+  while (lru_.size() > cache_capacity_) {
+    cache_index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+size_t QueryEngine::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return lru_.size();
 }
 
 common::ThreadPool* QueryEngine::PoolFor(int threads) const {
@@ -116,9 +155,13 @@ Result<QueryResult> QueryEngine::Execute(const PreparedQuery& query,
                       .count();
   stats.threads = pool != nullptr ? pool->num_threads() : 1;
   stats.plan = PlanKindToString(query.plan());
+  stats.plan_cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.plan_cache_misses = cache_misses_.load(std::memory_order_relaxed);
   if (options.collect_stats) {
     stats.nodes_scanned = ctx.nodes_scanned();
     stats.join_pairs = ctx.join_pairs();
+    stats.pbn_comparisons = ctx.pbn_comparisons();
+    stats.bytes_compared = ctx.bytes_compared();
     stats.steps = ctx.TakeSteps();
   }
   return result;

@@ -32,9 +32,12 @@
 
 #pragma once
 
+#include <atomic>
+#include <list>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -60,15 +63,17 @@ const char* PlanKindToString(PlanKind plan);
 
 /// \brief A parsed, planned query. Created by QueryEngine::Prepare; execute
 /// it any number of times (concurrently, if desired — it is immutable).
+/// Copyable: the parsed Path (move-only itself) is held behind a shared
+/// pointer, so cached plans hand out cheap handles to one immutable parse.
 class PreparedQuery {
  public:
-  const Path& path() const { return path_; }
+  const Path& path() const { return *path_; }
   PlanKind plan() const { return plan_; }
   const std::string& text() const { return text_; }
 
  private:
   friend class QueryEngine;
-  Path path_;
+  std::shared_ptr<const Path> path_;
   PlanKind plan_ = PlanKind::kNav;
   std::string text_;
 };
@@ -135,7 +140,28 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Parses \p path_text and picks the execution plan for this substrate.
+  /// Plans are memoized in a capacity-bounded LRU cache keyed by the path
+  /// text, so repeated Prepare (and one-shot Execute) calls with the same
+  /// text skip the parse and the plan choice entirely.
   Result<PreparedQuery> Prepare(std::string_view path_text) const;
+
+  /// Resizes the prepared-plan cache (evicting LRU entries down to \p
+  /// capacity); 0 disables caching. Default kDefaultPlanCacheCapacity.
+  void SetPlanCacheCapacity(size_t capacity);
+
+  /// \name Engine-lifetime plan-cache counters (also stamped into the
+  /// ExecStats of every Execute call).
+  /// @{
+  uint64_t plan_cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t plan_cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  size_t plan_cache_size() const;
+  /// @}
+
+  static constexpr size_t kDefaultPlanCacheCapacity = 128;
 
   /// Runs \p query. Deterministic: for any thread count the result nodes
   /// are identical and in document order.
@@ -162,6 +188,19 @@ class QueryEngine {
   // size changes. Guarded: Execute may be called concurrently.
   mutable std::mutex pool_mu_;
   mutable std::unique_ptr<common::ThreadPool> pool_;
+
+  // Prepared-plan LRU: most-recent at the front of lru_, with index_
+  // pointing into it by path text. Guarded by cache_mu_ (Prepare may be
+  // called concurrently); the hit/miss counters are atomic so Execute can
+  // stamp them without the lock.
+  mutable std::mutex cache_mu_;
+  mutable std::list<std::pair<std::string, PreparedQuery>> lru_;
+  mutable std::unordered_map<
+      std::string, std::list<std::pair<std::string, PreparedQuery>>::iterator>
+      cache_index_;
+  mutable size_t cache_capacity_ = kDefaultPlanCacheCapacity;
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> cache_misses_{0};
 };
 
 }  // namespace vpbn::query

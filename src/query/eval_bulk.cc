@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/parallel.h"
+#include "pbn/packed.h"
 #include "pbn/structural_join.h"
 #include "query/eval_indexed.h"
 
@@ -11,10 +12,14 @@ namespace vpbn::query {
 
 namespace {
 
+using num::PackedPbnList;
 using num::Pbn;
 
-/// Surviving instances per type, lists kept in document order.
-using State = std::map<dg::TypeId, std::vector<Pbn>>;
+/// Surviving instances per type. The lists stay packed (one arena per
+/// type-list, pbn/codec.h ordered encoding) end to end: joins, semi-joins
+/// and merges all run over arena bytes, and heap Pbns exist only in the
+/// final materialized result.
+using State = std::map<dg::TypeId, PackedPbnList>;
 
 /// Per-type predicate filtering fans out on the pool only when the
 /// surviving type count reaches this (each task runs a whole relative-chain
@@ -56,20 +61,37 @@ bool InFragment(const Path& path) {
   return !path.steps.empty();
 }
 
+/// Runs the packed structural join for one step edge and flushes its work
+/// counters into the context.
+std::vector<num::JoinPair> Join(num::Axis axis, const PackedPbnList& ancestors,
+                                const PackedPbnList& descendants,
+                                ExecContext* ctx) {
+  num::JoinCounters jc;
+  std::vector<num::JoinPair> pairs =
+      axis == num::Axis::kChild
+          ? num::ParentChildJoin(ancestors, descendants, PoolOf(ctx), &jc)
+          : num::AncestorDescendantJoin(ancestors, descendants, PoolOf(ctx),
+                                        &jc);
+  if (ctx) {
+    ctx->CountJoinPairs(pairs.size());
+    ctx->CountComparisons(jc.comparisons, jc.bytes_compared);
+  }
+  return pairs;
+}
+
 /// Retains the context instances that have at least one descendant in
 /// `witnesses` (all witness types are descendants of the context type, so
 /// the ancestor side of the join identifies survivors).
-std::vector<Pbn> SemiJoinAncestors(const std::vector<Pbn>& context,
-                                   const std::vector<Pbn>& witnesses,
-                                   ExecContext* ctx) {
+PackedPbnList SemiJoinAncestors(const PackedPbnList& context,
+                                const PackedPbnList& witnesses,
+                                ExecContext* ctx) {
   std::vector<num::JoinPair> pairs =
-      num::AncestorDescendantJoin(context, witnesses, PoolOf(ctx));
-  if (ctx) ctx->CountJoinPairs(pairs.size());
+      Join(num::Axis::kDescendant, context, witnesses, ctx);
   std::vector<bool> keep(context.size(), false);
   for (const num::JoinPair& p : pairs) keep[p.ancestor_index] = true;
-  std::vector<Pbn> out;
+  PackedPbnList out;
   for (size_t i = 0; i < context.size(); ++i) {
-    if (keep[i]) out.push_back(context[i]);
+    if (keep[i]) out.Append(context[i]);
   }
   return out;
 }
@@ -88,10 +110,10 @@ State EvalChain(const storage::StoredDocument& stored, const Path& path,
 State ApplyPredicates(const storage::StoredDocument& stored, const Step& step,
                       State state, ExecContext* ctx) {
   for (const auto& pred : step.predicates) {
-    std::vector<std::pair<dg::TypeId, std::vector<Pbn>>> entries(
+    std::vector<std::pair<dg::TypeId, PackedPbnList>> entries(
         std::make_move_iterator(state.begin()),
         std::make_move_iterator(state.end()));
-    std::vector<std::vector<Pbn>> kept(entries.size());
+    std::vector<PackedPbnList> kept(entries.size());
     common::ParallelFor(
         entries.size() >= kParallelPredicateCutoff ? PoolOf(ctx) : nullptr,
         entries.size(), /*grain=*/1, [&](size_t b, size_t e) {
@@ -105,11 +127,13 @@ State ApplyPredicates(const storage::StoredDocument& stored, const Step& step,
                                        std::move(anchor),
                                        /*from_document=*/false, ctx);
             // Union of all terminal instances witnesses the predicate.
-            std::vector<Pbn> witnesses;
+            PackedPbnList witnesses;
             for (auto& [tt, tlist] : terminal) {
-              witnesses.insert(witnesses.end(), tlist.begin(), tlist.end());
+              for (size_t j = 0; j < tlist.size(); ++j) {
+                witnesses.Append(tlist[j]);
+              }
             }
-            std::sort(witnesses.begin(), witnesses.end());
+            witnesses.SortUnique();
             kept[i] = SemiJoinAncestors(list, witnesses, ctx);
           }
         });
@@ -128,7 +152,6 @@ State EvalChain(const storage::StoredDocument& stored, const Path& path,
                 size_t first_step, State state, bool from_document,
                 ExecContext* ctx) {
   const dg::DataGuide& g = stored.dataguide();
-  common::ThreadPool* pool = PoolOf(ctx);
   bool doc_node = from_document;
   for (size_t s = first_step; s < path.steps.size(); ++s) {
     const Step& step = path.steps[s];
@@ -142,26 +165,20 @@ State EvalChain(const storage::StoredDocument& stored, const Path& path,
       for (auto& [t, list] : state) {
         for (dg::TypeId dt : g.DescendantTypes(t)) {
           // Descendant instances within any context instance: join.
-          auto pairs =
-              num::AncestorDescendantJoin(list, stored.NodesOfType(dt), pool);
-          if (ctx) ctx->CountJoinPairs(pairs.size());
-          std::vector<Pbn> kept;
-          const auto& all = stored.NodesOfType(dt);
+          const PackedPbnList& all = stored.PackedNodesOfType(dt);
+          auto pairs = Join(num::Axis::kDescendant, list, all, ctx);
           std::vector<bool> mark(all.size(), false);
           for (const num::JoinPair& p : pairs) mark[p.descendant_index] = true;
+          PackedPbnList kept;
           for (size_t i = 0; i < all.size(); ++i) {
-            if (mark[i]) kept.push_back(all[i]);
+            if (mark[i]) kept.Append(all[i]);
           }
           if (kept.empty()) continue;
-          auto [it, inserted] = next.emplace(dt, kept);
-          if (!inserted) {
-            // Merge sorted unique.
-            std::vector<Pbn> merged;
-            std::merge(it->second.begin(), it->second.end(), kept.begin(),
-                       kept.end(), std::back_inserter(merged));
-            merged.erase(std::unique(merged.begin(), merged.end()),
-                         merged.end());
-            it->second = std::move(merged);
+          auto it = next.find(dt);
+          if (it == next.end()) {
+            next.emplace(dt, std::move(kept));
+          } else {
+            it->second = PackedPbnList::MergeUnique(it->second, kept);
           }
         }
       }
@@ -169,7 +186,7 @@ State EvalChain(const storage::StoredDocument& stored, const Path& path,
         // From the document node '//' reaches every type in full.
         next.clear();
         for (dg::TypeId t = 0; t < g.num_types(); ++t) {
-          next.emplace(t, stored.NodesOfType(t));
+          next.emplace(t, stored.PackedNodesOfType(t));
         }
         doc_node = false;
       }
@@ -178,16 +195,14 @@ State EvalChain(const storage::StoredDocument& stored, const Path& path,
     }
 
     State next;
-    auto add = [&](dg::TypeId nt, std::vector<Pbn> kept) {
+    auto add = [&](dg::TypeId nt, PackedPbnList kept) {
       if (kept.empty()) return;
       if (ctx) ctx->CountNodes(kept.size());
-      auto [it, inserted] = next.emplace(nt, std::move(kept));
-      if (!inserted) {
-        std::vector<Pbn> merged;
-        std::merge(it->second.begin(), it->second.end(), kept.begin(),
-                   kept.end(), std::back_inserter(merged));
-        merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-        it->second = std::move(merged);
+      auto it = next.find(nt);
+      if (it == next.end()) {
+        next.emplace(nt, std::move(kept));
+      } else {
+        it->second = PackedPbnList::MergeUnique(it->second, kept);
       }
     };
 
@@ -195,11 +210,15 @@ State EvalChain(const storage::StoredDocument& stored, const Path& path,
       // Step from the document node.
       if (step.axis == num::Axis::kChild) {
         for (dg::TypeId rt : g.roots()) {
-          if (TypeMatches(g, rt, step.test)) add(rt, stored.NodesOfType(rt));
+          if (TypeMatches(g, rt, step.test)) {
+            add(rt, stored.PackedNodesOfType(rt));
+          }
         }
       } else {  // descendant
         for (dg::TypeId t = 0; t < g.num_types(); ++t) {
-          if (TypeMatches(g, t, step.test)) add(t, stored.NodesOfType(t));
+          if (TypeMatches(g, t, step.test)) {
+            add(t, stored.PackedNodesOfType(t));
+          }
         }
       }
       doc_node = false;
@@ -213,17 +232,13 @@ State EvalChain(const storage::StoredDocument& stored, const Path& path,
         }
         for (dg::TypeId nt : candidates) {
           if (!TypeMatches(g, nt, step.test)) continue;
-          const std::vector<Pbn>& all = stored.NodesOfType(nt);
-          std::vector<num::JoinPair> pairs =
-              step.axis == num::Axis::kChild
-                  ? num::ParentChildJoin(list, all, pool)
-                  : num::AncestorDescendantJoin(list, all, pool);
-          if (ctx) ctx->CountJoinPairs(pairs.size());
+          const PackedPbnList& all = stored.PackedNodesOfType(nt);
+          std::vector<num::JoinPair> pairs = Join(step.axis, list, all, ctx);
           std::vector<bool> mark(all.size(), false);
           for (const num::JoinPair& p : pairs) mark[p.descendant_index] = true;
-          std::vector<Pbn> kept;
+          PackedPbnList kept;
           for (size_t i = 0; i < all.size(); ++i) {
-            if (mark[i]) kept.push_back(all[i]);
+            if (mark[i]) kept.Append(all[i]);
           }
           add(nt, std::move(kept));
         }
@@ -250,7 +265,9 @@ Result<std::vector<Pbn>> EvalBulk(const storage::StoredDocument& stored,
       EvalChain(stored, path, 0, State(), /*from_document=*/true, ctx);
   std::vector<Pbn> out;
   for (auto& [t, list] : state) {
-    out.insert(out.end(), list.begin(), list.end());
+    for (size_t i = 0; i < list.size(); ++i) {
+      out.push_back(list.Materialize(i));
+    }
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

@@ -1,6 +1,10 @@
 #include "query/eval_indexed.h"
 
 #include <algorithm>
+#include <string>
+
+#include "pbn/codec.h"
+#include "pbn/packed.h"
 
 namespace vpbn::query {
 
@@ -100,10 +104,20 @@ std::vector<Pbn> IndexedAdapter::Axis(const Pbn& n, num::Axis axis,
     case Axis::kPreceding:
     case Axis::kFollowingSibling:
     case Axis::kPrecedingSibling: {
-      // Number-comparison join over instances of matching types.
+      // Number-comparison scan over the packed arenas of matching types:
+      // the context number is encoded once and every axis decision is a
+      // memcmp against arena bytes; only hits materialize a Pbn.
+      std::string encoded;
+      num::EncodeOrdered(n, &encoded);
+      num::PackedPbnRef nref(encoded.data(),
+                             static_cast<uint32_t>(encoded.size()),
+                             static_cast<uint32_t>(n.length()));
       for (dg::TypeId t : MatchingTypes(test)) {
-        for (const Pbn& c : stored_->NodesOfType(t)) {
-          if (num::CheckAxis(axis, c, n)) out.push_back(c);
+        const num::PackedPbnList& all = stored_->PackedNodesOfType(t);
+        for (size_t i = 0; i < all.size(); ++i) {
+          if (num::PackedCheckAxis(axis, all[i], nref)) {
+            out.push_back(all.Materialize(i));
+          }
         }
       }
       break;

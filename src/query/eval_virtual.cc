@@ -72,6 +72,7 @@ std::vector<VirtualNode> VirtualAdapter::Axis(const VirtualNode& n,
   const virt::VpbnSpace& space = vdoc_->space();
   std::vector<VirtualNode> out;
   Vpbn vn = vdoc_->VpbnOf(n);
+  virt::VpbnView vview(vn);
   switch (axis) {
     case Axis::kSelf:
       if (VTypeMatches(n.vtype, test)) out.push_back(n);
@@ -108,9 +109,19 @@ std::vector<VirtualNode> VirtualAdapter::Axis(const VirtualNode& n,
           need_bfs = true;
           continue;
         }
-        for (const VirtualNode& cand : vdoc_->NodesOfVType(dt)) {
-          if (space.VDescendant(vdoc_->VpbnOf(cand), vn)) {
-            out.push_back(cand);
+        // Stream the packed arena of the type's instances (aligned with
+        // the NodeId column): each candidate is decoded once into the
+        // reused buffer and tested without materializing a Pbn.
+        const storage::StoredDocument& sd = vdoc_->stored();
+        const num::PackedPbnList& packed =
+            sd.PackedNodesOfType(vg.original(dt));
+        const std::vector<xml::NodeId>& ids =
+            sd.NodeIdsOfType(vg.original(dt));
+        std::vector<uint32_t> buf;
+        for (size_t i = 0; i < packed.size(); ++i) {
+          virt::VpbnView cv = virt::DecodeView(packed[i], dt, &buf);
+          if (space.VDescendant(cv, vview)) {
+            out.push_back(VirtualNode{ids[i], dt});
           }
         }
       }
@@ -151,12 +162,19 @@ std::vector<VirtualNode> VirtualAdapter::Axis(const VirtualNode& n,
     }
     case Axis::kFollowing:
     case Axis::kPreceding: {
+      const storage::StoredDocument& sd = vdoc_->stored();
+      std::vector<uint32_t> buf;
       for (vdg::VTypeId t : MatchingVTypes(test)) {
-        for (const VirtualNode& cand : vdoc_->NodesOfVType(t)) {
-          Vpbn c = vdoc_->VpbnOf(cand);
-          bool hit = axis == Axis::kFollowing ? space.VFollowing(c, vn)
-                                              : space.VPreceding(c, vn);
-          if (hit && vdoc_->IsReachable(cand)) out.push_back(cand);
+        const num::PackedPbnList& packed =
+            sd.PackedNodesOfType(vg.original(t));
+        const std::vector<xml::NodeId>& ids = sd.NodeIdsOfType(vg.original(t));
+        for (size_t i = 0; i < packed.size(); ++i) {
+          virt::VpbnView cv = virt::DecodeView(packed[i], t, &buf);
+          bool hit = axis == Axis::kFollowing ? space.VFollowing(cv, vview)
+                                              : space.VPreceding(cv, vview);
+          if (!hit) continue;
+          VirtualNode cand{ids[i], t};
+          if (vdoc_->IsReachable(cand)) out.push_back(cand);
         }
       }
       break;

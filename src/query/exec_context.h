@@ -31,6 +31,10 @@ struct StepStats {
 struct ExecStats {
   uint64_t nodes_scanned = 0;      ///< nodes produced by axis/index scans
   uint64_t join_pairs = 0;         ///< structural-join pairs emitted
+  uint64_t pbn_comparisons = 0;    ///< packed axis/order decisions made
+  uint64_t bytes_compared = 0;     ///< encoded arena bytes those touched
+  uint64_t plan_cache_hits = 0;    ///< engine-lifetime prepared-plan hits
+  uint64_t plan_cache_misses = 0;  ///< engine-lifetime prepared-plan misses
   double wall_ms = 0;              ///< end-to-end wall time
   int threads = 1;                 ///< thread budget the execution ran with
   std::string plan;                ///< "nav" | "indexed" | "bulk" | "virtual"
@@ -55,6 +59,10 @@ class ExecContext {
   void CountJoinPairs(uint64_t n) {
     join_pairs_.fetch_add(n, std::memory_order_relaxed);
   }
+  void CountComparisons(uint64_t comparisons, uint64_t bytes) {
+    pbn_comparisons_.fetch_add(comparisons, std::memory_order_relaxed);
+    bytes_compared_.fetch_add(bytes, std::memory_order_relaxed);
+  }
   void RecordStep(StepStats step) {
     std::lock_guard<std::mutex> lock(steps_mu_);
     steps_.push_back(std::move(step));
@@ -66,6 +74,12 @@ class ExecContext {
   uint64_t join_pairs() const {
     return join_pairs_.load(std::memory_order_relaxed);
   }
+  uint64_t pbn_comparisons() const {
+    return pbn_comparisons_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_compared() const {
+    return bytes_compared_.load(std::memory_order_relaxed);
+  }
   std::vector<StepStats> TakeSteps() {
     std::lock_guard<std::mutex> lock(steps_mu_);
     return std::move(steps_);
@@ -76,6 +90,8 @@ class ExecContext {
   bool collect_stats_ = false;
   std::atomic<uint64_t> nodes_scanned_{0};
   std::atomic<uint64_t> join_pairs_{0};
+  std::atomic<uint64_t> pbn_comparisons_{0};
+  std::atomic<uint64_t> bytes_compared_{0};
   std::mutex steps_mu_;
   std::vector<StepStats> steps_;
 };

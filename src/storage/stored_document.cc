@@ -2,9 +2,36 @@
 
 #include <algorithm>
 
+#include "pbn/codec.h"
 #include "xml/serializer.h"
 
 namespace vpbn::storage {
+
+StoredDocument::StoredDocument(StoredDocument&& other) noexcept
+    : doc_(other.doc_),
+      text_(std::move(other.text_)),
+      numbering_(std::move(other.numbering_)),
+      guide_(std::move(other.guide_)),
+      node_types_(std::move(other.node_types_)),
+      ranges_(std::move(other.ranges_)),
+      packed_type_index_(std::move(other.packed_type_index_)),
+      type_node_index_(std::move(other.type_node_index_)),
+      type_cache_(std::move(other.type_cache_)) {}
+
+StoredDocument& StoredDocument::operator=(StoredDocument&& other) noexcept {
+  if (this != &other) {
+    doc_ = other.doc_;
+    text_ = std::move(other.text_);
+    numbering_ = std::move(other.numbering_);
+    guide_ = std::move(other.guide_);
+    node_types_ = std::move(other.node_types_);
+    ranges_ = std::move(other.ranges_);
+    packed_type_index_ = std::move(other.packed_type_index_);
+    type_node_index_ = std::move(other.type_node_index_);
+    type_cache_ = std::move(other.type_cache_);
+  }
+  return *this;
+}
 
 StoredDocument StoredDocument::Build(const xml::Document& doc) {
   StoredDocument out;
@@ -17,12 +44,15 @@ StoredDocument StoredDocument::Build(const xml::Document& doc) {
     xml::SerializeWithRanges(doc, root, &out.text_, &out.ranges_);
   }
 
-  out.type_index_.assign(out.guide_.num_types(), {});
+  out.packed_type_index_.assign(out.guide_.num_types(), {});
   out.type_node_index_.assign(out.guide_.num_types(), {});
-  // DocumentOrder guarantees the per-type vectors come out sorted in
-  // document order, which the binary searches rely on.
+  out.type_cache_.resize(out.guide_.num_types());
+  // DocumentOrder guarantees the per-type arenas come out sorted in
+  // document order, which the memcmp binary searches and the packed
+  // structural joins rely on.
   for (xml::NodeId id : doc.DocumentOrder()) {
-    out.type_index_[out.node_types_[id]].push_back(out.numbering_.OfNode(id));
+    out.packed_type_index_[out.node_types_[id]].Append(
+        out.numbering_.OfNode(id));
     out.type_node_index_[out.node_types_[id]].push_back(id);
   }
   return out;
@@ -45,10 +75,23 @@ Result<NodeHeader> StoredDocument::Header(const num::Pbn& pbn) const {
   return NodeHeader{pbn, node_types_[id]};
 }
 
+const num::PackedPbnList& StoredDocument::PackedNodesOfType(
+    dg::TypeId t) const {
+  static const num::PackedPbnList kEmpty;
+  if (t >= packed_type_index_.size()) return kEmpty;
+  return packed_type_index_[t];
+}
+
 const std::vector<num::Pbn>& StoredDocument::NodesOfType(dg::TypeId t) const {
   static const std::vector<num::Pbn> kEmpty;
-  if (t >= type_index_.size()) return kEmpty;
-  return type_index_[t];
+  if (t >= packed_type_index_.size()) return kEmpty;
+  std::lock_guard<std::mutex> lock(type_cache_mu_);
+  std::unique_ptr<std::vector<num::Pbn>>& slot = type_cache_[t];
+  if (slot == nullptr) {
+    slot = std::make_unique<std::vector<num::Pbn>>(
+        packed_type_index_[t].MaterializeAll());
+  }
+  return *slot;
 }
 
 const std::vector<xml::NodeId>& StoredDocument::NodeIdsOfType(
@@ -60,24 +103,28 @@ const std::vector<xml::NodeId>& StoredDocument::NodeIdsOfType(
 
 std::pair<size_t, size_t> StoredDocument::TypeRangeWithin(
     dg::TypeId t, const num::Pbn& scope) const {
-  const std::vector<num::Pbn>& all = NodesOfType(t);
-  // Descendants-or-self of `scope` form a contiguous run in document order:
-  // [scope, successor-of-subtree). lower_bound on scope starts the run; the
-  // run ends at the first number that scope does not prefix. Because all
-  // instances of one type share a depth, the end can also be found by
-  // binary search on the scope prefix.
-  auto first = std::lower_bound(all.begin(), all.end(), scope);
-  auto last = first;
-  while (last != all.end() && scope.IsPrefixOf(*last)) ++last;
-  return {static_cast<size_t>(first - all.begin()),
-          static_cast<size_t>(last - all.begin())};
+  // One small encoding of the scope, then pure memcmp binary searches.
+  std::string encoded;
+  num::EncodeOrdered(scope, &encoded);
+  return TypeRangeWithin(
+      t, num::PackedPbnRef(encoded.data(),
+                           static_cast<uint32_t>(encoded.size()),
+                           static_cast<uint32_t>(scope.length())));
+}
+
+std::pair<size_t, size_t> StoredDocument::TypeRangeWithin(
+    dg::TypeId t, const num::PackedPbnRef& scope) const {
+  return PackedNodesOfType(t).PrefixRange(scope);
 }
 
 std::vector<num::Pbn> StoredDocument::NodesOfTypeWithin(
     dg::TypeId t, const num::Pbn& scope) const {
-  const std::vector<num::Pbn>& all = NodesOfType(t);
+  const num::PackedPbnList& all = PackedNodesOfType(t);
   auto [first, last] = TypeRangeWithin(t, scope);
-  return std::vector<num::Pbn>(all.begin() + first, all.begin() + last);
+  std::vector<num::Pbn> out;
+  out.reserve(last - first);
+  for (size_t i = first; i < last; ++i) out.push_back(all.Materialize(i));
+  return out;
 }
 
 size_t StoredDocument::MemoryUsage() const {
@@ -86,9 +133,9 @@ size_t StoredDocument::MemoryUsage() const {
   total += numbering_.NumbersMemoryUsage();
   total += guide_.MemoryUsage();
   total += node_types_.capacity() * sizeof(dg::TypeId);
-  for (const auto& v : type_index_) {
-    total += v.capacity() * sizeof(num::Pbn);
-    for (const auto& p : v) total += p.MemoryUsage();
+  for (const auto& list : packed_type_index_) total += list.MemoryUsage();
+  for (const auto& v : type_node_index_) {
+    total += v.capacity() * sizeof(xml::NodeId);
   }
   return total;
 }

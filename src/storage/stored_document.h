@@ -16,6 +16,8 @@
 
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -24,6 +26,7 @@
 #include "common/result.h"
 #include "dataguide/dataguide.h"
 #include "pbn/numbering.h"
+#include "pbn/packed.h"
 #include "pbn/pbn.h"
 #include "xml/document.h"
 
@@ -39,6 +42,14 @@ struct NodeHeader {
 /// \brief A document in stored-string form with its numbering and indexes.
 class StoredDocument {
  public:
+  StoredDocument() = default;
+
+  /// Movable (the materialization-cache mutex is not moved — a moved
+  /// document starts with a fresh lock). Moving while other threads query
+  /// is undefined, as usual.
+  StoredDocument(StoredDocument&& other) noexcept;
+  StoredDocument& operator=(StoredDocument&& other) noexcept;
+
   /// Builds the stored form of \p doc: serializes it, numbers it, builds its
   /// DataGuide and both indexes. The Document remains owned by the caller
   /// and must outlive the StoredDocument.
@@ -70,23 +81,41 @@ class StoredDocument {
   Result<NodeHeader> Header(const num::Pbn& pbn) const;
 
   /// \name Type index
+  ///
+  /// The stored substrate is columnar: per type, one contiguous arena of
+  /// order-preserving encoded numbers (pbn/packed.h). The packed accessors
+  /// are the hot path — joins and axis scans stream over the arena with
+  /// memcmp decisions. The vector accessors materialize heap Pbns lazily
+  /// (once per type, thread-safe) for API compatibility.
   /// @{
+
+  /// Packed numbers of all nodes of type \p t, in document order. Empty
+  /// list for types with no instances.
+  const num::PackedPbnList& PackedNodesOfType(dg::TypeId t) const;
 
   /// PBN numbers of all nodes of type \p t, in document order. Empty vector
   /// for types with no instances (cannot happen for Build-derived guides).
+  /// Materialized lazily from the packed arena on first call.
   const std::vector<num::Pbn>& NodesOfType(dg::TypeId t) const;
 
   /// NodeIds of all nodes of type \p t, aligned index-for-index with
   /// NodesOfType(t). Lets callers avoid the PBN -> NodeId hash lookup.
   const std::vector<xml::NodeId>& NodeIdsOfType(dg::TypeId t) const;
 
-  /// Index range [first, last) into NodesOfType(t)/NodeIdsOfType(t) of the
-  /// instances that are descendants-or-self of \p scope, found by binary
-  /// search on the ordered index (a containment range scan).
+  /// Index range [first, last) into PackedNodesOfType(t)/NodeIdsOfType(t)
+  /// of the instances that are descendants-or-self of \p scope, found by
+  /// memcmp binary search on the packed ordered index (a containment range
+  /// scan).
   std::pair<size_t, size_t> TypeRangeWithin(dg::TypeId t,
                                             const num::Pbn& scope) const;
 
-  /// Nodes of type \p t restricted to descendants-or-self of \p scope.
+  /// Same range scan with an already-encoded scope (the fully packed hot
+  /// path — no per-call encoding).
+  std::pair<size_t, size_t> TypeRangeWithin(
+      dg::TypeId t, const num::PackedPbnRef& scope) const;
+
+  /// Nodes of type \p t restricted to descendants-or-self of \p scope,
+  /// materialized from the packed arena.
   std::vector<num::Pbn> NodesOfTypeWithin(dg::TypeId t,
                                           const num::Pbn& scope) const;
   /// @}
@@ -101,8 +130,13 @@ class StoredDocument {
   dg::DataGuide guide_;
   std::vector<dg::TypeId> node_types_;
   std::vector<std::pair<uint64_t, uint64_t>> ranges_;  // by NodeId
-  std::vector<std::vector<num::Pbn>> type_index_;      // by TypeId
+  std::vector<num::PackedPbnList> packed_type_index_;  // by TypeId
   std::vector<std::vector<xml::NodeId>> type_node_index_;  // aligned
+  // Lazy per-type Pbn materialization of the packed index (compatibility
+  // path). unique_ptr keeps each vector's address stable once built; the
+  // mutex orders first-build against concurrent readers.
+  mutable std::mutex type_cache_mu_;
+  mutable std::vector<std::unique_ptr<std::vector<num::Pbn>>> type_cache_;
 };
 
 }  // namespace vpbn::storage

@@ -39,11 +39,9 @@ Result<VpbnSpace> VpbnSpace::Create(const vdg::VDataGuide& guide) {
   return space;
 }
 
-bool VpbnSpace::NumbersCompatible(const Vpbn& x, const Vpbn& y) const {
+bool VpbnSpace::NumbersCompatible(const VpbnView& x, const VpbnView& y) const {
   const LevelArray& xa = arrays_.of(x.vtype);
   const LevelArray& ya = arrays_.of(y.vtype);
-  const num::Pbn& xn = *x.pbn;
-  const num::Pbn& yn = *y.pbn;
   size_t m = std::min(xa.size(), ya.size());
   for (size_t i = 1; i <= m; ++i) {
     if (xa.at1(i) != ya.at1(i)) continue;
@@ -51,17 +49,18 @@ bool VpbnSpace::NumbersCompatible(const Vpbn& x, const Vpbn& y) const {
     // on both sides and agree (the paper's x_a[i] = y_a[i] => x_n[i] =
     // y_n[i]). A missing component (the Case-2 extra entry) cannot witness
     // agreement.
-    if (i > xn.length() || i > yn.length()) return false;
-    if (xn.at1(i) != yn.at1(i)) return false;
+    if (i > x.length() || i > y.length()) return false;
+    if (x.at1(i) != y.at1(i)) return false;
   }
   return true;
 }
 
-bool VpbnSpace::VSelf(const Vpbn& x, const Vpbn& y) const {
-  return x.vtype == y.vtype && *x.pbn == *y.pbn;
+bool VpbnSpace::VSelf(const VpbnView& x, const VpbnView& y) const {
+  return x.vtype == y.vtype && x.len == y.len &&
+         std::equal(x.comps, x.comps + x.len, y.comps);
 }
 
-bool VpbnSpace::VAncestor(const Vpbn& x, const Vpbn& y) const {
+bool VpbnSpace::VAncestor(const VpbnView& x, const VpbnView& y) const {
   // Type-level: ancestor(typeOf(V,x), typeOf(V,y)) in the vDataGuide.
   if (!guide_->IsAncestorVType(x.vtype, y.vtype)) return false;
   // Number-level: max(y_a) > max(x_a) and prefix compatibility.
@@ -69,28 +68,28 @@ bool VpbnSpace::VAncestor(const Vpbn& x, const Vpbn& y) const {
   return NumbersCompatible(x, y);
 }
 
-bool VpbnSpace::VDescendant(const Vpbn& x, const Vpbn& y) const {
+bool VpbnSpace::VDescendant(const VpbnView& x, const VpbnView& y) const {
   return VAncestor(y, x);
 }
 
-bool VpbnSpace::VParent(const Vpbn& x, const Vpbn& y) const {
+bool VpbnSpace::VParent(const VpbnView& x, const VpbnView& y) const {
   return VAncestor(x, y) && VirtualLevel(x) + 1 == VirtualLevel(y) &&
          guide_->IsChildVType(y.vtype, x.vtype);
 }
 
-bool VpbnSpace::VChild(const Vpbn& x, const Vpbn& y) const {
+bool VpbnSpace::VChild(const VpbnView& x, const VpbnView& y) const {
   return VParent(y, x);
 }
 
-bool VpbnSpace::VAncestorOrSelf(const Vpbn& x, const Vpbn& y) const {
+bool VpbnSpace::VAncestorOrSelf(const VpbnView& x, const VpbnView& y) const {
   return VSelf(x, y) || VAncestor(x, y);
 }
 
-bool VpbnSpace::VDescendantOrSelf(const Vpbn& x, const Vpbn& y) const {
+bool VpbnSpace::VDescendantOrSelf(const VpbnView& x, const VpbnView& y) const {
   return VSelf(x, y) || VDescendant(x, y);
 }
 
-bool VpbnSpace::VPreceding(const Vpbn& x, const Vpbn& y) const {
+bool VpbnSpace::VPreceding(const VpbnView& x, const VpbnView& y) const {
   // Document-order axes hold across any pair in the virtual forest (see the
   // worked example in §5 where a text node precedes an <author> whose type
   // is an ancestor type of the text's type). Defined through the canonical
@@ -100,7 +99,7 @@ bool VpbnSpace::VPreceding(const Vpbn& x, const Vpbn& y) const {
   return VCompare(x, y) == std::weak_ordering::less;
 }
 
-bool VpbnSpace::VFollowing(const Vpbn& x, const Vpbn& y) const {
+bool VpbnSpace::VFollowing(const VpbnView& x, const VpbnView& y) const {
   if (VSelf(x, y) || VAncestor(x, y) || VDescendant(x, y)) return false;
   return VCompare(x, y) == std::weak_ordering::greater;
 }
@@ -110,45 +109,43 @@ namespace {
 /// Context positions are those strictly below the node's own level; sibling
 /// nodes must agree on all of them (same virtual parent).
 bool SiblingContextsMatch(const LevelArray& xa, const LevelArray& ya,
-                          const num::Pbn& xn, const num::Pbn& yn) {
+                          const VpbnView& x, const VpbnView& y) {
   size_t m = std::min(xa.size(), ya.size());
   uint32_t own_level = xa.max();  // == ya.max() (checked by caller)
   for (size_t i = 1; i <= m; ++i) {
     if (xa.at1(i) != ya.at1(i)) continue;
     if (xa.at1(i) == own_level) continue;  // final-level ordinals may differ
-    if (i > xn.length() || i > yn.length()) return false;
-    if (xn.at1(i) != yn.at1(i)) return false;
+    if (i > x.length() || i > y.length()) return false;
+    if (x.at1(i) != y.at1(i)) return false;
   }
   return true;
 }
 
 }  // namespace
 
-bool VpbnSpace::VPrecedingSibling(const Vpbn& x, const Vpbn& y) const {
+bool VpbnSpace::VPrecedingSibling(const VpbnView& x, const VpbnView& y) const {
   // Type-level: virtual siblings share a virtual parent type.
   if (!guide_->SameParentVType(x.vtype, y.vtype)) return false;
   if (VirtualLevel(x) != VirtualLevel(y)) return false;
   if (VSelf(x, y)) return false;
-  if (!SiblingContextsMatch(arrays_.of(x.vtype), arrays_.of(y.vtype), *x.pbn,
-                            *y.pbn)) {
+  if (!SiblingContextsMatch(arrays_.of(x.vtype), arrays_.of(y.vtype), x, y)) {
     return false;
   }
   return VPreceding(x, y);
 }
 
-bool VpbnSpace::VFollowingSibling(const Vpbn& x, const Vpbn& y) const {
+bool VpbnSpace::VFollowingSibling(const VpbnView& x, const VpbnView& y) const {
   if (!guide_->SameParentVType(x.vtype, y.vtype)) return false;
   if (VirtualLevel(x) != VirtualLevel(y)) return false;
   if (VSelf(x, y)) return false;
-  if (!SiblingContextsMatch(arrays_.of(x.vtype), arrays_.of(y.vtype), *x.pbn,
-                            *y.pbn)) {
+  if (!SiblingContextsMatch(arrays_.of(x.vtype), arrays_.of(y.vtype), x, y)) {
     return false;
   }
   return VFollowing(x, y);
 }
 
-bool VpbnSpace::VCheckAxis(num::Axis axis, const Vpbn& x,
-                           const Vpbn& y) const {
+bool VpbnSpace::VCheckAxis(num::Axis axis, const VpbnView& x,
+                           const VpbnView& y) const {
   using num::Axis;
   switch (axis) {
     case Axis::kSelf:
@@ -179,7 +176,8 @@ bool VpbnSpace::VCheckAxis(num::Axis axis, const Vpbn& x,
   return false;
 }
 
-std::weak_ordering VpbnSpace::VCompare(const Vpbn& x, const Vpbn& y) const {
+std::weak_ordering VpbnSpace::VCompare(const VpbnView& x,
+                                       const VpbnView& y) const {
   if (VSelf(x, y)) return std::weak_ordering::equivalent;
   // Pre-order: ancestors come first.
   if (VAncestor(x, y)) return std::weak_ordering::less;
@@ -205,8 +203,8 @@ std::weak_ordering VpbnSpace::VCompare(const Vpbn& x, const Vpbn& y) const {
     uint32_t yb = ys[l - 1], ye = ys[l];
     uint32_t nx = xe - xb, ny = ye - yb;
     for (uint32_t j = 0; j < std::min(nx, ny); ++j) {
-      uint64_t cx = xb + j <= x.pbn->length() ? x.pbn->at1(xb + j) : kMissing;
-      uint64_t cy = yb + j <= y.pbn->length() ? y.pbn->at1(yb + j) : kMissing;
+      uint64_t cx = xb + j <= x.length() ? x.at1(xb + j) : kMissing;
+      uint64_t cy = yb + j <= y.length() ? y.at1(yb + j) : kMissing;
       if (cx != cy) {
         return cx < cy ? std::weak_ordering::less
                        : std::weak_ordering::greater;
@@ -229,11 +227,18 @@ std::weak_ordering VpbnSpace::VCompare(const Vpbn& x, const Vpbn& y) const {
   }
   // Same depth, same segments, same ancestor types all the way down: the
   // same virtual type, so plain number order decides (and equal numbers
-  // were handled by VSelf).
-  auto c = *x.pbn <=> *y.pbn;
-  if (c == std::strong_ordering::less) return std::weak_ordering::less;
-  if (c == std::strong_ordering::greater) return std::weak_ordering::greater;
-  return std::weak_ordering::equivalent;
+  // were handled by VSelf). Component-wise with prefix-before-extension,
+  // exactly Pbn::operator<=>.
+  size_t m = std::min(x.length(), y.length());
+  for (size_t i = 1; i <= m; ++i) {
+    if (x.at1(i) != y.at1(i)) {
+      return x.at1(i) < y.at1(i) ? std::weak_ordering::less
+                                 : std::weak_ordering::greater;
+    }
+  }
+  if (x.length() == y.length()) return std::weak_ordering::equivalent;
+  return x.length() < y.length() ? std::weak_ordering::less
+                                 : std::weak_ordering::greater;
 }
 
 std::string VpbnSpace::ToString(const Vpbn& x) const {

@@ -17,9 +17,11 @@
 #pragma once
 
 #include <compare>
+#include <vector>
 
 #include "common/result.h"
 #include "pbn/axis.h"
+#include "pbn/packed.h"
 #include "pbn/pbn.h"
 #include "vdg/vdataguide.h"
 #include "vpbn/level_array.h"
@@ -36,6 +38,40 @@ struct Vpbn {
   Vpbn() = default;
   Vpbn(const num::Pbn& p, vdg::VTypeId t) : pbn(&p), vtype(t) {}
 };
+
+/// \brief A borrowed, decoded view of a vPBN number: a raw component span
+/// plus the virtual type. This is the packed-ref entry point into the axis
+/// predicates — a PackedPbnRef from a columnar arena (pbn/packed.h) is
+/// decoded once into a caller-owned buffer and then tested against many
+/// candidates without materializing a heap Pbn per test. Every VpbnSpace
+/// predicate has a VpbnView overload; the Vpbn overloads are thin wrappers
+/// viewing the Pbn's own component storage.
+struct VpbnView {
+  const uint32_t* comps = nullptr;
+  uint32_t len = 0;
+  vdg::VTypeId vtype = vdg::kNullVType;
+
+  VpbnView() = default;
+  VpbnView(const num::Pbn& p, vdg::VTypeId t)
+      : comps(p.components().data()),
+        len(static_cast<uint32_t>(p.length())),
+        vtype(t) {}
+  VpbnView(const uint32_t* c, uint32_t n, vdg::VTypeId t)
+      : comps(c), len(n), vtype(t) {}
+  explicit VpbnView(const Vpbn& v) : VpbnView(*v.pbn, v.vtype) {}
+
+  /// 1-based component access, matching the paper's x_n[i] notation.
+  uint32_t at1(size_t i) const { return comps[i - 1]; }
+  size_t length() const { return len; }
+};
+
+/// \brief Decode \p ref into \p buf (reused across calls) and view it as
+/// the vPBN of virtual type \p t. The buffer must outlive the view.
+inline VpbnView DecodeView(const num::PackedPbnRef& ref, vdg::VTypeId t,
+                           std::vector<uint32_t>* buf) {
+  ref.DecodeTo(buf);
+  return VpbnView(buf->data(), static_cast<uint32_t>(buf->size()), t);
+}
 
 /// \brief The virtual numbering space of one vDataGuide.
 class VpbnSpace {
@@ -57,25 +93,67 @@ class VpbnSpace {
   uint32_t VirtualLevel(const Vpbn& x) const {
     return arrays_.of(x.vtype).max();
   }
+  uint32_t VirtualLevel(const VpbnView& x) const {
+    return arrays_.of(x.vtype).max();
+  }
 
   /// \name Virtual axis predicates (§5). Each answers "is x <axis> of y in
-  /// the virtual hierarchy?".
+  /// the virtual hierarchy?". The VpbnView overloads carry the logic (and
+  /// serve the packed query paths, which decode an arena ref once per
+  /// candidate instead of materializing Pbns); the Vpbn overloads wrap.
   /// @{
-  bool VSelf(const Vpbn& x, const Vpbn& y) const;
-  bool VAncestor(const Vpbn& x, const Vpbn& y) const;
-  bool VParent(const Vpbn& x, const Vpbn& y) const;
-  bool VDescendant(const Vpbn& x, const Vpbn& y) const;
-  bool VChild(const Vpbn& x, const Vpbn& y) const;
-  bool VAncestorOrSelf(const Vpbn& x, const Vpbn& y) const;
-  bool VDescendantOrSelf(const Vpbn& x, const Vpbn& y) const;
-  bool VPreceding(const Vpbn& x, const Vpbn& y) const;
-  bool VFollowing(const Vpbn& x, const Vpbn& y) const;
-  bool VPrecedingSibling(const Vpbn& x, const Vpbn& y) const;
-  bool VFollowingSibling(const Vpbn& x, const Vpbn& y) const;
+  bool VSelf(const VpbnView& x, const VpbnView& y) const;
+  bool VAncestor(const VpbnView& x, const VpbnView& y) const;
+  bool VParent(const VpbnView& x, const VpbnView& y) const;
+  bool VDescendant(const VpbnView& x, const VpbnView& y) const;
+  bool VChild(const VpbnView& x, const VpbnView& y) const;
+  bool VAncestorOrSelf(const VpbnView& x, const VpbnView& y) const;
+  bool VDescendantOrSelf(const VpbnView& x, const VpbnView& y) const;
+  bool VPreceding(const VpbnView& x, const VpbnView& y) const;
+  bool VFollowing(const VpbnView& x, const VpbnView& y) const;
+  bool VPrecedingSibling(const VpbnView& x, const VpbnView& y) const;
+  bool VFollowingSibling(const VpbnView& x, const VpbnView& y) const;
+
+  bool VSelf(const Vpbn& x, const Vpbn& y) const {
+    return VSelf(VpbnView(x), VpbnView(y));
+  }
+  bool VAncestor(const Vpbn& x, const Vpbn& y) const {
+    return VAncestor(VpbnView(x), VpbnView(y));
+  }
+  bool VParent(const Vpbn& x, const Vpbn& y) const {
+    return VParent(VpbnView(x), VpbnView(y));
+  }
+  bool VDescendant(const Vpbn& x, const Vpbn& y) const {
+    return VDescendant(VpbnView(x), VpbnView(y));
+  }
+  bool VChild(const Vpbn& x, const Vpbn& y) const {
+    return VChild(VpbnView(x), VpbnView(y));
+  }
+  bool VAncestorOrSelf(const Vpbn& x, const Vpbn& y) const {
+    return VAncestorOrSelf(VpbnView(x), VpbnView(y));
+  }
+  bool VDescendantOrSelf(const Vpbn& x, const Vpbn& y) const {
+    return VDescendantOrSelf(VpbnView(x), VpbnView(y));
+  }
+  bool VPreceding(const Vpbn& x, const Vpbn& y) const {
+    return VPreceding(VpbnView(x), VpbnView(y));
+  }
+  bool VFollowing(const Vpbn& x, const Vpbn& y) const {
+    return VFollowing(VpbnView(x), VpbnView(y));
+  }
+  bool VPrecedingSibling(const Vpbn& x, const Vpbn& y) const {
+    return VPrecedingSibling(VpbnView(x), VpbnView(y));
+  }
+  bool VFollowingSibling(const Vpbn& x, const Vpbn& y) const {
+    return VFollowingSibling(VpbnView(x), VpbnView(y));
+  }
   /// @}
 
   /// Dispatch on \p axis (kAttribute is always false).
-  bool VCheckAxis(num::Axis axis, const Vpbn& x, const Vpbn& y) const;
+  bool VCheckAxis(num::Axis axis, const VpbnView& x, const VpbnView& y) const;
+  bool VCheckAxis(num::Axis axis, const Vpbn& x, const Vpbn& y) const {
+    return VCheckAxis(axis, VpbnView(x), VpbnView(y));
+  }
 
   /// Virtual document order: less = x comes before y. Nodes that compare
   /// equivalent are the same virtual node.
@@ -92,7 +170,10 @@ class VpbnSpace {
   /// std::sort — which the naive "ordinal scan, then type order" reading of
   /// §5's formulas is not (it admits cycles when `*`/`**` expansions put
   /// differently-scoped types under one parent).
-  std::weak_ordering VCompare(const Vpbn& x, const Vpbn& y) const;
+  std::weak_ordering VCompare(const VpbnView& x, const VpbnView& y) const;
+  std::weak_ordering VCompare(const Vpbn& x, const Vpbn& y) const {
+    return VCompare(VpbnView(x), VpbnView(y));
+  }
 
   /// Render "1.2.2 [1,1,2]" for diagnostics.
   std::string ToString(const Vpbn& x) const;
@@ -101,7 +182,7 @@ class VpbnSpace {
   /// The number-level prefix test shared by VAncestor/VDescendant: at every
   /// aligned position where the level arrays agree, the PBN components must
   /// exist and agree.
-  bool NumbersCompatible(const Vpbn& x, const Vpbn& y) const;
+  bool NumbersCompatible(const VpbnView& x, const VpbnView& y) const;
 
   /// First array position (1-based) of each level's segment for \p t, plus
   /// a final end marker: segment of level l is [starts[l-1], starts[l]).

@@ -125,5 +125,90 @@ TEST(EngineTest, ParseErrorsSurfaceFromPrepare) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(EngineTest, PlanCacheHitsOnRepeatedPrepare) {
+  Fixture f;
+  QueryEngine engine(f.stored);
+  EXPECT_EQ(engine.plan_cache_hits(), 0u);
+  EXPECT_EQ(engine.plan_cache_misses(), 0u);
+
+  auto first = engine.Prepare("//book/title");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(engine.plan_cache_misses(), 1u);
+  EXPECT_EQ(engine.plan_cache_hits(), 0u);
+  EXPECT_EQ(engine.plan_cache_size(), 1u);
+
+  auto second = engine.Prepare("//book/title");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.plan_cache_hits(), 1u);
+  EXPECT_EQ(engine.plan_cache_misses(), 1u);
+  // The cached plan is the same parse.
+  EXPECT_EQ(&first->path(), &second->path());
+  EXPECT_EQ(second->plan(), first->plan());
+
+  // One-shot Execute goes through the same cache.
+  auto r = engine.Execute("//book/title", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(engine.plan_cache_hits(), 2u);
+  EXPECT_EQ(r->stats().plan_cache_hits, 2u);
+  EXPECT_EQ(r->stats().plan_cache_misses, 1u);
+
+  // Parse errors are not cached.
+  auto bad = engine.Prepare("//book[");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(engine.plan_cache_size(), 1u);
+}
+
+TEST(EngineTest, PlanCacheEvictsLeastRecentlyUsed) {
+  Fixture f;
+  QueryEngine engine(f.stored);
+  engine.SetPlanCacheCapacity(2);
+
+  ASSERT_TRUE(engine.Prepare("//title").ok());          // {title}
+  ASSERT_TRUE(engine.Prepare("//book").ok());           // {book, title}
+  ASSERT_TRUE(engine.Prepare("//title").ok());          // hit, bumps title
+  EXPECT_EQ(engine.plan_cache_hits(), 1u);
+  ASSERT_TRUE(engine.Prepare("//publisher").ok());      // evicts book
+  EXPECT_EQ(engine.plan_cache_size(), 2u);
+
+  ASSERT_TRUE(engine.Prepare("//book").ok());  // miss: evicted; evicts title
+  EXPECT_EQ(engine.plan_cache_hits(), 1u);
+  EXPECT_EQ(engine.plan_cache_misses(), 4u);
+  ASSERT_TRUE(engine.Prepare("//publisher").ok());      // still cached
+  EXPECT_EQ(engine.plan_cache_hits(), 2u);
+
+  // Capacity 0 disables caching entirely.
+  engine.SetPlanCacheCapacity(0);
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+  ASSERT_TRUE(engine.Prepare("//title").ok());
+  ASSERT_TRUE(engine.Prepare("//title").ok());
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+  EXPECT_EQ(engine.plan_cache_hits(), 2u);  // no new hits
+}
+
+TEST(EngineTest, CachedPlanExecutesIdentically) {
+  Fixture f;
+  QueryEngine engine(f.stored);
+  auto p1 = engine.Prepare("//book[author/name]/title");
+  ASSERT_TRUE(p1.ok());
+  auto r1 = engine.Execute(*p1, {});
+  auto p2 = engine.Prepare("//book[author/name]/title");  // cache hit
+  ASSERT_TRUE(p2.ok());
+  auto r2 = engine.Execute(*p2, {.threads = 2});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->pbn_nodes(), r2->pbn_nodes());
+}
+
+TEST(EngineTest, PackedComparisonCountersSurfaceInStats) {
+  Fixture f;
+  QueryEngine engine(f.stored);
+  // Bulk plan: the packed structural joins must report their work.
+  auto r = engine.Execute("//book[author/name]/title", {.collect_stats = true});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats().plan, "bulk");
+  EXPECT_GT(r->stats().pbn_comparisons, 0u);
+  EXPECT_GT(r->stats().bytes_compared, 0u);
+}
+
 }  // namespace
 }  // namespace vpbn::query
