@@ -225,4 +225,20 @@ void PackedPbnList::Reserve(size_t nodes, size_t bytes_per_node) {
   keys_.reserve(keys_.size() + nodes);
 }
 
+void DecodedPbnColumn::FromList(const PackedPbnList& list) {
+  values_.clear();
+  starts_.assign(1, 0);
+  size_t n = list.size();
+  size_t total = 0;
+  const uint32_t* lengths = list.lengths_data();
+  for (size_t i = 0; i < n; ++i) total += lengths[i];
+  values_.reserve(total);
+  starts_.reserve(n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    PackedPbnRef::ComponentIterator it(list[i]);
+    while (it.HasNext()) values_.push_back(it.Next());
+    starts_.push_back(static_cast<uint32_t>(values_.size()));
+  }
+}
+
 }  // namespace vpbn::num

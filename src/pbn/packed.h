@@ -323,4 +323,59 @@ class PackedPbnList {
   std::vector<uint64_t> keys_;     // PackedPbnRef::ComputeKey per element
 };
 
+/// \brief A batch-decoded PBN column: every number of a list expanded once
+/// into one flat uint32 value column plus a start-offset column.
+///
+/// The ordered-codec arena is the right resident format, but a merge join
+/// that revisits the same prefix components for every group comparison
+/// should not re-run the byte decoder per visit. Decoding a whole
+/// PackedPbnList into this layout costs one linear pass; afterwards the
+/// join inner loops are plain aligned uint32 compares over contiguous
+/// memory (SIMD-friendly, branch-free per lane), and component i of element
+/// n is O(1) instead of an O(i) byte scan.
+///
+///   values_ : |c(p_0,1)..c(p_0,l_0)|c(p_1,1)..|...                (uint32)
+///   starts_ : |0|l_0|l_0+l_1|...|total|          (size() + 1 entries)
+class DecodedPbnColumn {
+ public:
+  size_t size() const { return starts_.empty() ? 0 : starts_.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  /// Component span of element \p i (length(i) entries).
+  const uint32_t* comps(size_t i) const { return values_.data() + starts_[i]; }
+  uint32_t length(size_t i) const { return starts_[i + 1] - starts_[i]; }
+
+  /// Decode every element of \p list (one pass over the arena). Replaces
+  /// the current contents.
+  void FromList(const PackedPbnList& list);
+
+  /// Append one already-decoded number (the non-arena entry point, e.g. a
+  /// query context node whose Pbn is materialized anyway).
+  void Append(const uint32_t* comps, uint32_t len) {
+    values_.insert(values_.end(), comps, comps + len);
+    starts_.push_back(static_cast<uint32_t>(values_.size()));
+  }
+
+  void Clear() {
+    values_.clear();
+    starts_.assign(1, 0);
+  }
+
+  void Reserve(size_t elements, size_t comps_per_element) {
+    starts_.reserve(elements + 1);
+    values_.reserve(elements * comps_per_element);
+  }
+
+  size_t MemoryUsage() const {
+    return values_.capacity() * sizeof(uint32_t) +
+           starts_.capacity() * sizeof(uint32_t);
+  }
+
+  DecodedPbnColumn() { starts_.push_back(0); }
+
+ private:
+  std::vector<uint32_t> values_;
+  std::vector<uint32_t> starts_;
+};
+
 }  // namespace vpbn::num

@@ -68,12 +68,16 @@ std::vector<JoinPair> ParentChildJoin(const std::vector<Pbn>& parents,
 /// many axis decisions and arena bytes a join actually touched. Each join
 /// call accumulates into the struct when non-null.
 struct JoinCounters {
-  uint64_t comparisons = 0;    ///< prefix/order decisions made
-  uint64_t bytes_compared = 0; ///< encoded bytes fed to those decisions
+  uint64_t comparisons = 0;     ///< prefix/order decisions made
+  uint64_t bytes_compared = 0;  ///< encoded bytes fed to those decisions
+  uint64_t vjoin_pairs = 0;     ///< pairs emitted by virtual merge joins
+  uint64_t decoded_batches = 0; ///< arenas batch-decoded into flat columns
 
   void Add(const JoinCounters& o) {
     comparisons += o.comparisons;
     bytes_compared += o.bytes_compared;
+    vjoin_pairs += o.vjoin_pairs;
+    decoded_batches += o.decoded_batches;
   }
 };
 

@@ -34,6 +34,8 @@ std::string ExecStats::ToString() const {
                     " join_pairs=" + std::to_string(join_pairs) +
                     " pbn_comparisons=" + std::to_string(pbn_comparisons) +
                     " bytes_compared=" + std::to_string(bytes_compared) +
+                    " vjoin_pairs=" + std::to_string(vjoin_pairs) +
+                    " decoded_batches=" + std::to_string(decoded_batches) +
                     " plan_cache=" + std::to_string(plan_cache_hits) + "h/" +
                     std::to_string(plan_cache_misses) + "m\n";
   for (const StepStats& s : steps) {
@@ -119,6 +121,7 @@ Result<QueryResult> QueryEngine::Execute(const PreparedQuery& query,
                                          const ExecOptions& options) const {
   common::ThreadPool* pool = PoolFor(options.threads);
   ExecContext ctx(pool, options.collect_stats);
+  ctx.set_virtual_join(options.virtual_join);
   auto t0 = std::chrono::steady_clock::now();
 
   QueryResult result;
@@ -162,6 +165,8 @@ Result<QueryResult> QueryEngine::Execute(const PreparedQuery& query,
     stats.join_pairs = ctx.join_pairs();
     stats.pbn_comparisons = ctx.pbn_comparisons();
     stats.bytes_compared = ctx.bytes_compared();
+    stats.vjoin_pairs = ctx.vjoin_pairs();
+    stats.decoded_batches = ctx.decoded_batches();
     stats.steps = ctx.TakeSteps();
   }
   return result;

@@ -85,6 +85,11 @@ struct ExecOptions {
   int threads = 1;
   /// Collect ExecStats (counters + per-step timings) into the result.
   bool collect_stats = false;
+  /// Virtual plans only: evaluate eligible axis steps with vtype-
+  /// partitioned merge joins (default) instead of per-candidate predicate
+  /// scans. Results are identical either way; off is the benchmark
+  /// baseline.
+  bool virtual_join = true;
 };
 
 /// \brief Result nodes in the substrate's native handle type, plus stats.

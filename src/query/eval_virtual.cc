@@ -1,45 +1,101 @@
 #include "query/eval_virtual.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/parallel.h"
+#include "pbn/packed.h"
+#include "pbn/structural_join.h"
 
 namespace vpbn::query {
 
 using virt::VirtualNode;
 using virt::Vpbn;
 
+namespace {
+
+/// Cache key for ExecContext::CachedVTypes: the test kind byte plus the
+/// name (only kName tests have one, the others collapse per kind).
+std::string TestCacheKey(const NodeTest& test) {
+  std::string key(1, static_cast<char>('0' + static_cast<int>(test.kind)));
+  key += test.name;
+  return key;
+}
+
+}  // namespace
+
+/// One vtype's slice of the context: which context positions it occupies
+/// and their PBNs as a flat column. Within one vtype the context
+/// subsequence is already in document order, and equal-typed instances
+/// have equal-length numbers, so the column is lexicographically sorted —
+/// exactly what MergeCompatiblePairs requires of its inputs.
+struct VirtualAdapter::ContextGroup {
+  vdg::VTypeId vtype = vdg::kNullVType;
+  std::vector<uint32_t> slots;  ///< context indexes, ascending
+  num::DecodedPbnColumn col;    ///< context numbers, same order
+};
+
+/// One unit of batched axis work: merge the group's context column against
+/// one result vtype's instance column (target != kNullVType), or run the
+/// exact per-node chain expansion for every type the merges could not
+/// cover (target == kNullVType). Tasks are independent — they are the
+/// parallel grain — and their hit lists are appended in task order, so
+/// results are identical for any thread count.
+struct VirtualAdapter::JoinTask {
+  const ContextGroup* group = nullptr;
+  vdg::VTypeId target = vdg::kNullVType;
+  bool reach_filter = false;  ///< drop candidates the bitmap marks orphaned
+};
+
 bool VirtualAdapter::VTypeMatches(vdg::VTypeId t, const NodeTest& test) const {
   const vdg::VDataGuide& vg = vdoc_->vguide();
   return test.Matches(!vg.IsTextVType(t), vg.label(t));
 }
 
-std::vector<vdg::VTypeId> VirtualAdapter::MatchingVTypes(
+std::shared_ptr<const std::vector<vdg::VTypeId>> VirtualAdapter::MatchingVTypes(
     const NodeTest& test) const {
-  const vdg::VDataGuide& vg = vdoc_->vguide();
-  std::vector<vdg::VTypeId> out;
-  for (vdg::VTypeId t = 0; t < vg.num_vtypes(); ++t) {
-    if (VTypeMatches(t, test)) out.push_back(t);
-  }
-  return out;
+  auto build = [this, &test] {
+    const vdg::VDataGuide& vg = vdoc_->vguide();
+    std::vector<vdg::VTypeId> out;
+    for (vdg::VTypeId t = 0; t < vg.num_vtypes(); ++t) {
+      if (VTypeMatches(t, test)) out.push_back(t);
+    }
+    return out;
+  };
+  if (ctx_ != nullptr) return ctx_->CachedVTypes(TestCacheKey(test), build);
+  return std::make_shared<const std::vector<vdg::VTypeId>>(build());
 }
 
 std::vector<VirtualNode> VirtualAdapter::DocumentRoots(
     const NodeTest& test) const {
+  const vdg::VDataGuide& vg = vdoc_->vguide();
   std::vector<VirtualNode> out;
-  for (vdg::VTypeId rt : vdoc_->vguide().roots()) {
+  for (vdg::VTypeId rt : vg.roots()) {
     if (!VTypeMatches(rt, test)) continue;
-    std::vector<VirtualNode> nodes = vdoc_->NodesOfVType(rt);
-    out.insert(out.end(), nodes.begin(), nodes.end());
+    const std::vector<xml::NodeId>& ids =
+        vdoc_->stored().NodeIdsOfType(vg.original(rt));
+    out.reserve(out.size() + ids.size());
+    for (xml::NodeId id : ids) out.push_back(VirtualNode{id, rt});
   }
   return out;
 }
 
 std::vector<VirtualNode> VirtualAdapter::AllNodes(const NodeTest& test) const {
+  const vdg::VDataGuide& vg = vdoc_->vguide();
   std::vector<VirtualNode> out;
-  for (vdg::VTypeId t : MatchingVTypes(test)) {
-    for (const VirtualNode& n : vdoc_->NodesOfVType(t)) {
-      // Orphans (instances with no virtual-parent chain) are not part of
-      // the virtual document.
-      if (vdoc_->IsReachable(n)) out.push_back(n);
+  const auto types = MatchingVTypes(test);  // keep the cache entry alive
+  for (vdg::VTypeId t : *types) {
+    const std::vector<xml::NodeId>& ids =
+        vdoc_->stored().NodeIdsOfType(vg.original(t));
+    // Orphans (instances with no virtual-parent chain) are not part of
+    // the virtual document; the memoized bitmap answers per index.
+    const std::vector<uint8_t>* bm = vdoc_->ReachableBitmap(t);
+    out.reserve(out.size() + ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (bm == nullptr || (*bm)[i] != 0) {
+        out.push_back(VirtualNode{ids[i], t});
+      }
     }
   }
   return out;
@@ -59,6 +115,287 @@ bool VirtualAdapter::ChainSafe(vdg::VTypeId top, vdg::VTypeId bottom) const {
     if (i == vdg::kNullVType) return false;  // bottom not under top
     if (!orig.IsAncestorOrSelfType(vg.original(i), vg.original(bottom))) {
       return false;
+    }
+  }
+  return true;
+}
+
+void VirtualAdapter::DescendantWalkUnsafe(const VirtualNode& n,
+                                          const NodeTest& test,
+                                          std::vector<VirtualNode>* out) const {
+  // Exact expansion through actual virtual children; safe types are the
+  // merge joins' (or Axis's own joins') responsibility and are skipped.
+  std::vector<VirtualNode> frontier = vdoc_->Children(n);
+  while (!frontier.empty()) {
+    std::vector<VirtualNode> next;
+    for (const VirtualNode& c : frontier) {
+      if (VTypeMatches(c.vtype, test) && !ChainSafe(n.vtype, c.vtype)) {
+        out->push_back(c);
+      }
+      std::vector<VirtualNode> down = vdoc_->Children(c);
+      next.insert(next.end(), down.begin(), down.end());
+    }
+    vdoc_->SortVirtualOrder(&next);
+    frontier = std::move(next);
+  }
+}
+
+void VirtualAdapter::AncestorWalkUnsafe(const VirtualNode& n,
+                                        const NodeTest& test,
+                                        std::vector<VirtualNode>* out) const {
+  // Mirror of VirtualDocument::AxisNodes(kAncestor): climb actual
+  // (reachable) parent chains, but emit only types the merges do not
+  // cover. ChainSafe types are excluded even when their merge was skipped
+  // for an impassable link — the climb cannot reach them anyway.
+  std::vector<VirtualNode> frontier;
+  for (const VirtualNode& p : vdoc_->Parents(n)) {
+    if (vdoc_->IsReachable(p)) frontier.push_back(p);
+  }
+  while (!frontier.empty()) {
+    std::vector<VirtualNode> next;
+    for (const VirtualNode& p : frontier) {
+      if (VTypeMatches(p.vtype, test) && !ChainSafe(p.vtype, n.vtype)) {
+        out->push_back(p);
+      }
+      for (const VirtualNode& gp : vdoc_->Parents(p)) {
+        if (vdoc_->IsReachable(gp)) next.push_back(gp);
+      }
+    }
+    vdoc_->SortVirtualOrder(&next);
+    frontier = std::move(next);
+  }
+}
+
+void VirtualAdapter::RunJoinTask(
+    const JoinTask& task, const std::vector<VirtualNode>& context,
+    num::Axis axis, const NodeTest& test,
+    std::vector<std::pair<uint32_t, VirtualNode>>* hits,
+    num::JoinCounters* counters) const {
+  const ContextGroup& g = *task.group;
+  if (task.target == vdg::kNullVType) {
+    // Fallback: exact chain expansion per context node of the group.
+    const bool desc = axis == num::Axis::kDescendant ||
+                      axis == num::Axis::kDescendantOrSelf;
+    std::vector<VirtualNode> out;
+    for (uint32_t slot : g.slots) {
+      out.clear();
+      if (desc) {
+        DescendantWalkUnsafe(context[slot], test, &out);
+      } else {
+        AncestorWalkUnsafe(context[slot], test, &out);
+      }
+      // A node reachable through two placement chains is walked twice;
+      // dedup here so every task's hit list — and with it each slot — is
+      // duplicate-free (the BatchAxis contract).
+      vdoc_->SortVirtualOrder(&out);
+      for (const VirtualNode& n : out) hits->emplace_back(slot, n);
+    }
+    return;
+  }
+  const vdg::VDataGuide& vg = vdoc_->vguide();
+  const dg::DataGuide& orig = vg.original_guide();
+  const dg::TypeId ot = vg.original(task.target);
+  bool built = false;
+  const num::DecodedPbnColumn& cand = vdoc_->DecodedNodesOfType(ot, &built);
+  if (built) counters->decoded_batches += 1;
+  const std::vector<xml::NodeId>& ids = vdoc_->stored().NodeIdsOfType(ot);
+  const virt::VPairMergePlan plan = vdoc_->space().PlanPairMerge(
+      g.vtype, task.target, orig.length(vg.original(g.vtype)),
+      orig.length(ot));
+  const std::vector<uint8_t>* bm =
+      task.reach_filter ? vdoc_->ReachableBitmap(task.target) : nullptr;
+  virt::MergeCompatiblePairs(
+      plan, g.col, cand, counters, [&](size_t xi, size_t yi) {
+        if (bm != nullptr && (*bm)[yi] == 0) return;
+        hits->emplace_back(g.slots[xi], VirtualNode{ids[yi], task.target});
+      });
+}
+
+bool VirtualAdapter::BatchAxis(const std::vector<VirtualNode>& context,
+                               num::Axis axis, const NodeTest& test,
+                               std::vector<std::vector<VirtualNode>>* slots)
+    const {
+  return BatchAxisImpl(context, axis, test, slots, nullptr);
+}
+
+bool VirtualAdapter::BatchAxisFlat(const std::vector<VirtualNode>& context,
+                                   num::Axis axis, const NodeTest& test,
+                                   std::vector<VirtualNode>* out) const {
+  return BatchAxisImpl(context, axis, test, nullptr, out);
+}
+
+bool VirtualAdapter::BatchAxisImpl(const std::vector<VirtualNode>& context,
+                                   num::Axis axis, const NodeTest& test,
+                                   std::vector<std::vector<VirtualNode>>* slots,
+                                   std::vector<VirtualNode>* flat) const {
+  using num::Axis;
+  if (context.empty()) return false;
+  if (ctx_ != nullptr && !ctx_->virtual_join()) return false;
+  const bool desc =
+      axis == Axis::kDescendant || axis == Axis::kDescendantOrSelf;
+  const bool anc = axis == Axis::kAncestor || axis == Axis::kAncestorOrSelf;
+  if (!desc && !anc && axis != Axis::kChild && axis != Axis::kParent) {
+    return false;
+  }
+  // The descendant family already scans whole candidate lists per context
+  // node, so merging wins at any context size. Child / parent / ancestor
+  // trade sublinear per-node range scans for full-list merges — only worth
+  // it once the context is large enough to amortize a pass.
+  const size_t min_context = ctx_ != nullptr
+                                 ? ctx_->vjoin_min_context()
+                                 : ExecContext::kDefaultVJoinMinContext;
+  if (!desc && context.size() < min_context) return false;
+
+  const vdg::VDataGuide& vg = vdoc_->vguide();
+  const dg::DataGuide& orig = vg.original_guide();
+
+  if (slots != nullptr) slots->assign(context.size(), {});
+  if (axis == Axis::kDescendantOrSelf || axis == Axis::kAncestorOrSelf) {
+    for (size_t i = 0; i < context.size(); ++i) {
+      if (VTypeMatches(context[i].vtype, test)) {
+        if (slots != nullptr) {
+          (*slots)[i].push_back(context[i]);
+        } else {
+          flat->push_back(context[i]);
+        }
+      }
+    }
+  }
+
+  // Partition the context by vtype, preserving order (see ContextGroup).
+  std::vector<std::unique_ptr<ContextGroup>> groups;
+  {
+    std::unordered_map<uint32_t, ContextGroup*> index;
+    for (size_t i = 0; i < context.size(); ++i) {
+      auto [it, inserted] = index.emplace(context[i].vtype, nullptr);
+      if (inserted) {
+        groups.push_back(std::make_unique<ContextGroup>());
+        groups.back()->vtype = context[i].vtype;
+        it->second = groups.back().get();
+      }
+      ContextGroup& g = *it->second;
+      g.slots.push_back(static_cast<uint32_t>(i));
+      const num::Pbn& p = vdoc_->stored().numbering().OfNode(context[i].node);
+      g.col.Append(p.components().data(), static_cast<uint32_t>(p.length()));
+    }
+  }
+
+  // One task per (context vtype, result vtype) pair the type forest can
+  // produce, in deterministic enumeration order. Divergences between the
+  // number predicates and actual placement are resolved here, pair by
+  // pair, so merge results equal the per-candidate path exactly:
+  //   * a null original LCA makes the child/parent placement relation
+  //     empty while the number predicate is vacuously true — skip;
+  //   * an ancestor chain with a null-LCA link is impassable for the
+  //     parent-chain walk — stop enumerating at the break;
+  //   * a not-ChainSafe pair may rely on intermediate instances that do
+  //     not exist — leave it to the exact walk fallback.
+  std::vector<JoinTask> tasks;
+  for (const std::unique_ptr<ContextGroup>& gp : groups) {
+    const ContextGroup& g = *gp;
+    const vdg::VTypeId ct = g.vtype;
+    const dg::TypeId cot = vg.original(ct);
+    switch (axis) {
+      case Axis::kChild:
+        for (vdg::VTypeId t : vg.children(ct)) {
+          if (!VTypeMatches(t, test)) continue;
+          if (orig.LcaType(cot, vg.original(t)) == dg::kNullType) continue;
+          tasks.push_back({&g, t, false});
+        }
+        break;
+      case Axis::kParent: {
+        const vdg::VTypeId pt = vg.parent(ct);
+        if (pt != vdg::kNullVType && VTypeMatches(pt, test) &&
+            orig.LcaType(cot, vg.original(pt)) != dg::kNullType) {
+          tasks.push_back({&g, pt, !vdoc_->IsGuaranteedReachable(pt)});
+        }
+        break;
+      }
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        bool need_walk = false;
+        std::vector<vdg::VTypeId> stack(vg.children(ct).rbegin(),
+                                        vg.children(ct).rend());
+        while (!stack.empty()) {
+          const vdg::VTypeId dt = stack.back();
+          stack.pop_back();
+          for (auto it = vg.children(dt).rbegin();
+               it != vg.children(dt).rend(); ++it) {
+            stack.push_back(*it);
+          }
+          if (!VTypeMatches(dt, test)) continue;
+          if (ChainSafe(ct, dt)) {
+            tasks.push_back({&g, dt, false});
+          } else {
+            need_walk = true;
+          }
+        }
+        if (need_walk) tasks.push_back({&g, vdg::kNullVType, false});
+        break;
+      }
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf: {
+        bool need_walk = false;
+        vdg::VTypeId prev = ct;
+        for (vdg::VTypeId at = vg.parent(ct); at != vdg::kNullVType;
+             prev = at, at = vg.parent(at)) {
+          if (orig.LcaType(vg.original(at), vg.original(prev)) ==
+              dg::kNullType) {
+            break;  // impassable link: nothing at or above is an ancestor
+          }
+          if (!VTypeMatches(at, test)) continue;
+          if (ChainSafe(at, ct)) {
+            tasks.push_back({&g, at, !vdoc_->IsGuaranteedReachable(at)});
+          } else {
+            need_walk = true;
+          }
+        }
+        if (need_walk) tasks.push_back({&g, vdg::kNullVType, false});
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (tasks.empty()) return true;  // slots may still hold -or-self seeds
+
+  std::vector<std::vector<std::pair<uint32_t, VirtualNode>>> hit_lists(
+      tasks.size());
+  std::vector<num::JoinCounters> task_counters(tasks.size());
+  common::ThreadPool* pool = ctx_ != nullptr ? ctx_->pool() : nullptr;
+  // ParallelFor runs inline when there is no usable pool or too few tasks;
+  // hit lists are per-task, so no synchronization is needed either way.
+  common::ParallelFor(pool, tasks.size(), /*grain=*/1,
+                      [&](size_t lo, size_t hi) {
+                        for (size_t i = lo; i < hi; ++i) {
+                          RunJoinTask(tasks[i], context, axis, test,
+                                      &hit_lists[i], &task_counters[i]);
+                        }
+                      });
+
+  if (ctx_ != nullptr) {
+    num::JoinCounters total;
+    for (const num::JoinCounters& c : task_counters) total.Add(c);
+    ctx_->CountComparisons(total.comparisons, total.bytes_compared);
+    ctx_->CountVJoinPairs(total.vjoin_pairs);
+    ctx_->CountDecodedBatches(total.decoded_batches);
+  }
+
+  // Task order is deterministic and the caller sorts downstream (per slot
+  // or over the flattened list), so the result is identical for any thread
+  // count.
+  if (slots != nullptr) {
+    for (const auto& hits : hit_lists) {
+      for (const auto& [slot, node] : hits) {
+        (*slots)[slot].push_back(node);
+      }
+    }
+  } else {
+    size_t total = flat->size();
+    for (const auto& hits : hit_lists) total += hits.size();
+    flat->reserve(total);
+    for (const auto& hits : hit_lists) {
+      for (const auto& [slot, node] : hits) flat->push_back(node);
     }
   }
   return true;
@@ -126,21 +463,7 @@ std::vector<VirtualNode> VirtualAdapter::Axis(const VirtualNode& n,
         }
       }
       if (need_bfs) {
-        // Exact expansion through actual virtual children.
-        std::vector<VirtualNode> frontier = vdoc_->Children(n);
-        while (!frontier.empty()) {
-          std::vector<VirtualNode> next;
-          for (const VirtualNode& c : frontier) {
-            if (VTypeMatches(c.vtype, test) &&
-                !ChainSafe(n.vtype, c.vtype)) {
-              out.push_back(c);  // safe types were already joined above
-            }
-            std::vector<VirtualNode> down = vdoc_->Children(c);
-            next.insert(next.end(), down.begin(), down.end());
-          }
-          vdoc_->SortVirtualOrder(&next);
-          frontier = std::move(next);
-        }
+        DescendantWalkUnsafe(n, test, &out);
       }
       break;
     }
@@ -164,7 +487,8 @@ std::vector<VirtualNode> VirtualAdapter::Axis(const VirtualNode& n,
     case Axis::kPreceding: {
       const storage::StoredDocument& sd = vdoc_->stored();
       std::vector<uint32_t> buf;
-      for (vdg::VTypeId t : MatchingVTypes(test)) {
+      const auto types = MatchingVTypes(test);  // keep the cache entry alive
+      for (vdg::VTypeId t : *types) {
         const num::PackedPbnList& packed =
             sd.PackedNodesOfType(vg.original(t));
         const std::vector<xml::NodeId>& ids = sd.NodeIdsOfType(vg.original(t));
@@ -218,7 +542,7 @@ Result<std::vector<VirtualNode>> EvalVirtual(
 
 Result<std::vector<VirtualNode>> EvalVirtual(
     const virt::VirtualDocument& vdoc, const Path& path, ExecContext* ctx) {
-  VirtualAdapter adapter(vdoc);
+  VirtualAdapter adapter(vdoc, ctx);
   PathEvaluator<VirtualAdapter> evaluator(adapter, ctx);
   return evaluator.Eval(path);
 }

@@ -7,9 +7,19 @@
 /// "our approach is to virtually transform only the data needed by the
 /// query by applying the transformation at the level of the node numbers
 /// used in the query" (§4.3).
+///
+/// Axis evaluation is join-based where the axis allows it: BatchAxis
+/// partitions the context by virtual type and, for every (context-vtype,
+/// result-vtype) pair the type forest can produce, runs one merge
+/// (virt::MergeCompatiblePairs) over the pair's batch-decoded instance
+/// columns — a linear pass per pair instead of |context| x |candidates|
+/// predicate calls. Pairs whose intermediate chain is not provably intact
+/// (ChainSafe) fall back to the exact per-node chain expansion, so results
+/// are byte-identical to the per-candidate path.
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,18 +35,42 @@ class VirtualAdapter {
  public:
   using Node = virt::VirtualNode;
 
-  /// VirtualDocument's only query-local scratch state is the reachability
-  /// memo, which synchronizes internally (virtual_document.h), so the const
-  /// interface is safe for concurrent use.
+  /// VirtualDocument's only query-local scratch state is the pair of lazy
+  /// caches (reachability bitmaps, decoded columns), which synchronize
+  /// internally (virtual_document.h), so the const interface is safe for
+  /// concurrent use.
   static constexpr bool kParallelSafe = true;
 
-  explicit VirtualAdapter(const virt::VirtualDocument& vdoc)
-      : vdoc_(&vdoc) {}
+  /// \p ctx (optional) supplies the merge-join knobs, the MatchingVTypes
+  /// cache and the stats counters; it must outlive the adapter.
+  explicit VirtualAdapter(const virt::VirtualDocument& vdoc,
+                          ExecContext* ctx = nullptr)
+      : vdoc_(&vdoc), ctx_(ctx) {}
 
   std::vector<Node> DocumentRoots(const NodeTest& test) const;
   std::vector<Node> AllNodes(const NodeTest& test) const;
   std::vector<Node> Axis(const Node& n, num::Axis axis,
                          const NodeTest& test) const;
+
+  /// Whole-context axis evaluation by vtype-pair merge joins (see the file
+  /// comment). True: slots[i] holds Axis(context[i], axis, test) as a set,
+  /// duplicate-free. False: axis not covered (self / order / sibling axes),
+  /// merge joins disabled (ExecContext::virtual_join), or the context is
+  /// too small for a full-list merge to beat the per-node range scans.
+  bool BatchAxis(const std::vector<Node>& context, num::Axis axis,
+                 const NodeTest& test,
+                 std::vector<std::vector<Node>>* slots) const;
+
+  /// BatchAxis without the per-slot materialization: appends every hit to
+  /// \p out directly (task order; the caller's SortUnique restores document
+  /// order). For steps with no predicates this skips one small vector
+  /// allocation per context node — positional semantics never look at the
+  /// per-slot lists there, and slots are duplicate-free, so the flattened
+  /// result and the per-node counts are unchanged. Same false conditions
+  /// as BatchAxis.
+  bool BatchAxisFlat(const std::vector<Node>& context, num::Axis axis,
+                     const NodeTest& test, std::vector<Node>* out) const;
+
   void SortUnique(std::vector<Node>* nodes) const;
   std::string StringValue(const Node& n) const;
   Result<std::string> Attribute(const Node& n, const std::string& name) const;
@@ -44,11 +78,38 @@ class VirtualAdapter {
   const virt::VirtualDocument& vdoc() const { return *vdoc_; }
 
  private:
+  struct ContextGroup;
+  struct JoinTask;
+
   bool VTypeMatches(vdg::VTypeId t, const NodeTest& test) const;
   bool ChainSafe(vdg::VTypeId top, vdg::VTypeId bottom) const;
-  std::vector<vdg::VTypeId> MatchingVTypes(const NodeTest& test) const;
+  std::shared_ptr<const std::vector<vdg::VTypeId>> MatchingVTypes(
+      const NodeTest& test) const;
+
+  /// Exact chain expansion for descendant types where ChainSafe fails,
+  /// shared by Axis() and the batch fallback tasks: walks actual virtual
+  /// children from \p n, emitting matching nodes of unsafe types.
+  void DescendantWalkUnsafe(const Node& n, const NodeTest& test,
+                            std::vector<Node>* out) const;
+  /// Ancestor counterpart: climbs actual (reachable) virtual parents from
+  /// \p n, emitting matching ancestors whose type the merges do not cover.
+  void AncestorWalkUnsafe(const Node& n, const NodeTest& test,
+                          std::vector<Node>* out) const;
+
+  void RunJoinTask(const JoinTask& task, const std::vector<Node>& context,
+                   num::Axis axis, const NodeTest& test,
+                   std::vector<std::pair<uint32_t, Node>>* hits,
+                   num::JoinCounters* counters) const;
+
+  /// Shared core of BatchAxis / BatchAxisFlat: exactly one of \p slots and
+  /// \p flat is non-null.
+  bool BatchAxisImpl(const std::vector<Node>& context, num::Axis axis,
+                     const NodeTest& test,
+                     std::vector<std::vector<Node>>* slots,
+                     std::vector<Node>* flat) const;
 
   const virt::VirtualDocument* vdoc_;
+  ExecContext* ctx_;
 };
 
 /// \brief Parse and evaluate \p path_text over the virtual document.

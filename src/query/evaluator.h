@@ -26,6 +26,7 @@
 #include <charconv>
 #include <chrono>
 #include <cmath>
+#include <concepts>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -51,6 +52,50 @@ constexpr bool AdapterParallelSafe() {
   } else {
     return false;
   }
+}
+
+/// \brief Whether an adapter offers a whole-context axis evaluation:
+///
+///   bool BatchAxis(const std::vector<Node>& context, num::Axis axis,
+///                  const NodeTest& test,
+///                  std::vector<std::vector<Node>>* slots) const;
+///
+/// A true return means slots[i] holds exactly what Axis(context[i], ...)
+/// would have produced (as a set — per-slot SortUnique still runs); false
+/// means the adapter declined (axis or shape not covered) and the evaluator
+/// falls back to per-node Axis calls. This is how the virtual substrate
+/// replaces |context| x |candidates| predicate scans with one merge join
+/// per (context-vtype, result-vtype) pair while preserving XPath's
+/// per-context-node predicate semantics byte-for-byte.
+template <typename Adapter>
+constexpr bool AdapterHasBatchAxis() {
+  return requires(const Adapter& a,
+                  const std::vector<typename Adapter::Node>& context,
+                  num::Axis axis, const NodeTest& test,
+                  std::vector<std::vector<typename Adapter::Node>>* slots) {
+    { a.BatchAxis(context, axis, test, slots) } -> std::convertible_to<bool>;
+  };
+}
+
+/// \brief Whether an adapter also offers the flattened batch form,
+///
+///   bool BatchAxisFlat(const std::vector<Node>& context, num::Axis axis,
+///                      const NodeTest& test, std::vector<Node>* out);
+///
+/// appending every context node's (duplicate-free) axis result directly to
+/// \p out in unspecified order. Usable only for steps without predicates:
+/// nothing there consumes per-slot positions, and the step's final
+/// SortUnique restores document order, so the result and the node counts
+/// match per-slot evaluation exactly while skipping one vector per context
+/// node.
+template <typename Adapter>
+constexpr bool AdapterHasBatchAxisFlat() {
+  return requires(const Adapter& a,
+                  const std::vector<typename Adapter::Node>& context,
+                  num::Axis axis, const NodeTest& test,
+                  std::vector<typename Adapter::Node>* out) {
+    { a.BatchAxisFlat(context, axis, test, out) } -> std::convertible_to<bool>;
+  };
 }
 
 /// \brief Attempts to interpret \p s as an XPath number.
@@ -237,6 +282,22 @@ class PathEvaluator {
   /// thread-safe and the context is large enough to pay for the tasks.
   Status EvalStepOverContext(const Step& step, const std::vector<Node>& context,
                              std::vector<Node>* next) {
+    if constexpr (AdapterHasBatchAxisFlat<Adapter>()) {
+      if (step.predicates.empty()) {
+        const size_t before = next->size();
+        if (adapter_->BatchAxisFlat(context, step.axis, step.test, next)) {
+          if (ctx_) ctx_->CountNodes(next->size() - before);
+          return Status::OK();
+        }
+        // Declined: fall through to the slotted / per-node paths.
+      }
+    }
+    if constexpr (AdapterHasBatchAxis<Adapter>()) {
+      std::vector<std::vector<Node>> slots;
+      if (adapter_->BatchAxis(context, step.axis, step.test, &slots)) {
+        return FinishBatchedStep(step, std::move(slots), next);
+      }
+    }
     common::ThreadPool* pool = ctx_ != nullptr ? ctx_->pool() : nullptr;
     if (AdapterParallelSafe<Adapter>() && pool != nullptr &&
         pool->num_threads() > 1 && context.size() >= kParallelFanoutCutoff &&
@@ -271,6 +332,48 @@ class PathEvaluator {
       VPBN_ASSIGN_OR_RETURN(axis_result,
                             ApplyPredicates(step, std::move(axis_result)));
       Append(next, std::move(axis_result));
+    }
+    return Status::OK();
+  }
+
+  /// Second half of a batched step: per-slot ordering, accounting and
+  /// predicate filtering, then append in context order — the same per-node
+  /// pipeline the fallback runs after Axis, so batched and per-node
+  /// evaluation are byte-identical. Predicates still see one context
+  /// node's list at a time (positional semantics). Slots fan out on the
+  /// pool exactly like per-node evaluation does.
+  Status FinishBatchedStep(const Step& step,
+                           std::vector<std::vector<Node>> slots,
+                           std::vector<Node>* next) {
+    common::ThreadPool* pool = ctx_ != nullptr ? ctx_->pool() : nullptr;
+    if (AdapterParallelSafe<Adapter>() && pool != nullptr &&
+        pool->num_threads() > 1 && slots.size() >= kParallelFanoutCutoff &&
+        !common::ThreadPool::InWorker()) {
+      std::mutex error_mu;
+      Status error = Status::OK();
+      common::ParallelFor(
+          pool, slots.size(), /*grain=*/4, [&](size_t b, size_t e) {
+            for (size_t i = b; i < e; ++i) {
+              adapter_->SortUnique(&slots[i]);
+              ctx_->CountNodes(slots[i].size());
+              auto filtered = ApplyPredicates(step, std::move(slots[i]));
+              if (!filtered.ok()) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (error.ok()) error = filtered.status();
+                return;
+              }
+              slots[i] = std::move(filtered).ValueUnsafe();
+            }
+          });
+      if (!error.ok()) return error;
+      for (std::vector<Node>& s : slots) Append(next, std::move(s));
+      return Status::OK();
+    }
+    for (std::vector<Node>& slot : slots) {
+      adapter_->SortUnique(&slot);
+      if (ctx_) ctx_->CountNodes(slot.size());
+      VPBN_ASSIGN_OR_RETURN(slot, ApplyPredicates(step, std::move(slot)));
+      Append(next, std::move(slot));
     }
     return Status::OK();
   }

@@ -12,8 +12,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -33,6 +35,8 @@ struct ExecStats {
   uint64_t join_pairs = 0;         ///< structural-join pairs emitted
   uint64_t pbn_comparisons = 0;    ///< packed axis/order decisions made
   uint64_t bytes_compared = 0;     ///< encoded arena bytes those touched
+  uint64_t vjoin_pairs = 0;        ///< virtual merge-join pairs emitted
+  uint64_t decoded_batches = 0;    ///< arenas batch-decoded into columns
   uint64_t plan_cache_hits = 0;    ///< engine-lifetime prepared-plan hits
   uint64_t plan_cache_misses = 0;  ///< engine-lifetime prepared-plan misses
   double wall_ms = 0;              ///< end-to-end wall time
@@ -53,6 +57,40 @@ class ExecContext {
   common::ThreadPool* pool() const { return pool_; }
   bool collect_stats() const { return collect_stats_; }
 
+  /// \name Virtual merge-join knobs (query/eval_virtual.h)
+  ///
+  /// `virtual_join` gates the vtype-partitioned merge path (ExecOptions
+  /// exposes it so benchmarks can pin the per-candidate baseline);
+  /// `vjoin_min_context` is the context size below which the child /
+  /// parent / ancestor axes keep their sublinear per-node range scans
+  /// (tests set 1 to force merging on tiny documents).
+  /// @{
+  bool virtual_join() const { return virtual_join_; }
+  void set_virtual_join(bool on) { virtual_join_ = on; }
+  size_t vjoin_min_context() const { return vjoin_min_context_; }
+  void set_vjoin_min_context(size_t n) { vjoin_min_context_ = n; }
+  static constexpr size_t kDefaultVJoinMinContext = 16;
+  /// @}
+
+  /// Per-query cache of node-test -> matching-vtype lists, so repeated
+  /// steps (and every context group of a batch step) do not rescan the
+  /// whole type forest. Keyed by an adapter-chosen string; \p build fills
+  /// the list on the first miss. Entries are shared_ptr so a caller can
+  /// keep reading while other threads insert.
+  template <typename Build>
+  std::shared_ptr<const std::vector<uint32_t>> CachedVTypes(
+      const std::string& key, Build&& build) {
+    {
+      std::lock_guard<std::mutex> lock(vtypes_mu_);
+      auto it = vtypes_cache_.find(key);
+      if (it != vtypes_cache_.end()) return it->second;
+    }
+    auto made = std::make_shared<const std::vector<uint32_t>>(build());
+    std::lock_guard<std::mutex> lock(vtypes_mu_);
+    auto [it, inserted] = vtypes_cache_.emplace(key, std::move(made));
+    return it->second;
+  }
+
   void CountNodes(uint64_t n) {
     nodes_scanned_.fetch_add(n, std::memory_order_relaxed);
   }
@@ -62,6 +100,12 @@ class ExecContext {
   void CountComparisons(uint64_t comparisons, uint64_t bytes) {
     pbn_comparisons_.fetch_add(comparisons, std::memory_order_relaxed);
     bytes_compared_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void CountVJoinPairs(uint64_t n) {
+    vjoin_pairs_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountDecodedBatches(uint64_t n) {
+    decoded_batches_.fetch_add(n, std::memory_order_relaxed);
   }
   void RecordStep(StepStats step) {
     std::lock_guard<std::mutex> lock(steps_mu_);
@@ -80,6 +124,12 @@ class ExecContext {
   uint64_t bytes_compared() const {
     return bytes_compared_.load(std::memory_order_relaxed);
   }
+  uint64_t vjoin_pairs() const {
+    return vjoin_pairs_.load(std::memory_order_relaxed);
+  }
+  uint64_t decoded_batches() const {
+    return decoded_batches_.load(std::memory_order_relaxed);
+  }
   std::vector<StepStats> TakeSteps() {
     std::lock_guard<std::mutex> lock(steps_mu_);
     return std::move(steps_);
@@ -88,12 +138,20 @@ class ExecContext {
  private:
   common::ThreadPool* pool_ = nullptr;
   bool collect_stats_ = false;
+  bool virtual_join_ = true;
+  size_t vjoin_min_context_ = kDefaultVJoinMinContext;
   std::atomic<uint64_t> nodes_scanned_{0};
   std::atomic<uint64_t> join_pairs_{0};
   std::atomic<uint64_t> pbn_comparisons_{0};
   std::atomic<uint64_t> bytes_compared_{0};
+  std::atomic<uint64_t> vjoin_pairs_{0};
+  std::atomic<uint64_t> decoded_batches_{0};
   std::mutex steps_mu_;
   std::vector<StepStats> steps_;
+  std::mutex vtypes_mu_;
+  std::unordered_map<std::string,
+                     std::shared_ptr<const std::vector<uint32_t>>>
+      vtypes_cache_;
 };
 
 }  // namespace vpbn::query

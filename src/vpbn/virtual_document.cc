@@ -1,6 +1,7 @@
 #include "vpbn/virtual_document.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 namespace vpbn::virt {
 
@@ -33,7 +34,8 @@ VirtualDocument::VirtualDocument(VirtualDocument&& other) noexcept
       space_(std::move(other.space_)),
       intact_(std::move(other.intact_)),
       guaranteed_(std::move(other.guaranteed_)),
-      reachable_memo_(std::move(other.reachable_memo_)) {}
+      decoded_(std::move(other.decoded_)),
+      reach_(std::move(other.reach_)) {}
 
 VirtualDocument& VirtualDocument::operator=(VirtualDocument&& other) noexcept {
   if (this != &other) {
@@ -42,7 +44,8 @@ VirtualDocument& VirtualDocument::operator=(VirtualDocument&& other) noexcept {
     space_ = std::move(other.space_);
     intact_ = std::move(other.intact_);
     guaranteed_ = std::move(other.guaranteed_);
-    reachable_memo_ = std::move(other.reachable_memo_);
+    decoded_ = std::move(other.decoded_);
+    reach_ = std::move(other.reach_);
   }
   return *this;
 }
@@ -78,27 +81,85 @@ Result<VirtualDocument> VirtualDocument::Open(
   return out;
 }
 
+const num::DecodedPbnColumn& VirtualDocument::DecodedNodesOfType(
+    dg::TypeId t, bool* built_now) const {
+  if (built_now != nullptr) *built_now = false;
+  {
+    std::lock_guard<std::mutex> lock(decoded_mu_);
+    if (decoded_.size() <= t) decoded_.resize(stored_->dataguide().num_types());
+    if (decoded_[t] != nullptr) return *decoded_[t];
+  }
+  // Decode outside the lock; a concurrent racer computes the same column.
+  auto column = std::make_unique<num::DecodedPbnColumn>();
+  column->FromList(stored_->PackedNodesOfType(t));
+  std::lock_guard<std::mutex> lock(decoded_mu_);
+  if (decoded_[t] == nullptr) {
+    decoded_[t] = std::move(column);
+    if (built_now != nullptr) *built_now = true;
+  }
+  return *decoded_[t];
+}
+
+std::vector<uint8_t> VirtualDocument::BuildReachableBitmap(
+    vdg::VTypeId t) const {
+  const dg::DataGuide& orig = stored_->dataguide();
+  dg::TypeId ot = vguide_->original(t);
+  std::vector<uint8_t> bm(stored_->NodeIdsOfType(ot).size(), 0);
+  // Only non-guaranteed types build bitmaps, and roots are guaranteed, so
+  // t has a virtual parent type.
+  vdg::VTypeId pt = vguide_->parent(t);
+  dg::TypeId pot = vguide_->original(pt);
+  // The placement relation is empty when the originals share no tree of
+  // the DataGuide forest (RelatedInstances finds no LCA): no instance has
+  // any parent, so none is reachable.
+  if (orig.LcaType(pot, ot) == dg::kNullType) return bm;
+  // An instance is reachable iff some compatible parent instance is (the
+  // virtual parent relation *is* NumbersCompatible for a (parent-type,
+  // child-type) pair — the type and level conditions hold structurally).
+  const std::vector<uint8_t>* parent_bm =
+      guaranteed_[pt] ? nullptr : ReachableBitmap(pt);
+  VPairMergePlan plan =
+      space_.PlanPairMerge(pt, t, orig.length(pot), orig.length(ot));
+  MergeCompatiblePairs(plan, DecodedNodesOfType(pot), DecodedNodesOfType(ot),
+                       nullptr, [&](size_t pi, size_t ci) {
+                         if (parent_bm == nullptr || (*parent_bm)[pi] != 0) {
+                           bm[ci] = 1;
+                         }
+                       });
+  return bm;
+}
+
+const std::vector<uint8_t>* VirtualDocument::ReachableBitmap(
+    vdg::VTypeId t) const {
+  if (guaranteed_[t]) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(reach_mu_);
+    if (reach_.size() <= t) reach_.resize(vguide_->num_vtypes());
+    if (reach_[t] != nullptr) return reach_[t].get();
+  }
+  // Build outside the lock: the recursion climbs strictly toward vDataGuide
+  // roots (no cycles), and a concurrent thread building the same bitmap
+  // derives the same bits from the same immutable structures.
+  auto bm = std::make_unique<std::vector<uint8_t>>(BuildReachableBitmap(t));
+  std::lock_guard<std::mutex> lock(reach_mu_);
+  if (reach_[t] == nullptr) reach_[t] = std::move(bm);
+  return reach_[t].get();
+}
+
 bool VirtualDocument::IsReachable(const VirtualNode& v) const {
   if (guaranteed_[v.vtype]) return true;
-  uint64_t key = (static_cast<uint64_t>(v.node) << 32) | v.vtype;
-  {
-    std::lock_guard<std::mutex> lock(memo_mu_);
-    auto it = reachable_memo_.find(key);
-    if (it != reachable_memo_.end()) return it->second;
+  const std::vector<uint8_t>& bm = *ReachableBitmap(v.vtype);
+  // Locate the node's index in its type's instance list: instances of one
+  // type share one depth, so the containment range of the node's own
+  // number is the node itself.
+  dg::TypeId ot = vguide_->original(v.vtype);
+  auto [first, last] =
+      stored_->TypeRangeWithin(ot, stored_->numbering().OfNode(v.node));
+  const std::vector<xml::NodeId>& ids = stored_->NodeIdsOfType(ot);
+  for (size_t i = first; i < last; ++i) {
+    if (ids[i] == v.node) return bm[i] != 0;
   }
-  // Compute outside the lock: the recursion climbs strictly toward vDataGuide
-  // roots (no cycles), and a concurrent thread computing the same key derives
-  // the same value from the same immutable structures.
-  bool reachable = false;
-  for (const VirtualNode& p : Parents(v)) {
-    if (IsReachable(p)) {
-      reachable = true;
-      break;
-    }
-  }
-  std::lock_guard<std::mutex> lock(memo_mu_);
-  reachable_memo_.emplace(key, reachable);
-  return reachable;
+  return false;
 }
 
 std::vector<VirtualNode> VirtualDocument::NodesOfVType(
@@ -170,9 +231,12 @@ std::vector<VirtualNode> VirtualDocument::Parents(
   // A candidate parent instance must have v among its children; reuse the
   // relation in the other direction and keep candidates that relate back.
   std::vector<VirtualNode> candidates = RelatedInstances(v.node, pt);
-  Vpbn vx = VpbnOf(v);
+  const num::Numbering& num = stored_->numbering();
+  VpbnView vx(num.OfNode(v.node), v.vtype);
   for (const VirtualNode& c : candidates) {
-    if (space_.VParent(VpbnOf(c), vx)) out.push_back(c);
+    if (space_.VParent(VpbnView(num.OfNode(c.node), c.vtype), vx)) {
+      out.push_back(c);
+    }
   }
   SortVirtualOrder(&out);
   return out;
@@ -294,12 +358,85 @@ std::string VirtualDocument::StringValue(const VirtualNode& v) const {
 }
 
 void VirtualDocument::SortVirtualOrder(std::vector<VirtualNode>* nodes) const {
-  std::stable_sort(nodes->begin(), nodes->end(),
-                   [&](const VirtualNode& a, const VirtualNode& b) {
-                     return space_.VCompare(VpbnOf(a), VpbnOf(b)) ==
-                            std::weak_ordering::less;
-                   });
-  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+  const size_t n = nodes->size();
+  if (n <= 1) return;
+  // Compare through borrowed views: OfNode hands out a stable reference,
+  // so no Pbn is materialized per comparison.
+  const num::Numbering& num = stored_->numbering();
+  auto vless = [&](const VirtualNode& a, const VirtualNode& b) {
+    return space_.VCompare(VpbnView(num.OfNode(a.node), a.vtype),
+                           VpbnView(num.OfNode(b.node), b.vtype)) ==
+           std::weak_ordering::less;
+  };
+  if (n < 32) {
+    std::stable_sort(nodes->begin(), nodes->end(), vless);
+    nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+    return;
+  }
+
+  // Large inputs: within one vtype every instance has the same number
+  // length and the same level segmentation, so virtual order degenerates
+  // to plain lexicographic PBN order — integer compares. Partition into
+  // per-vtype runs, sort each run cheaply, and pay the full virtual-order
+  // comparator only where runs interleave. Duplicates share a vtype, so
+  // run-local dedup is complete.
+  auto lexless = [&](const VirtualNode& a, const VirtualNode& b) {
+    const std::vector<uint32_t>& ca = num.OfNode(a.node).components();
+    const std::vector<uint32_t>& cb = num.OfNode(b.node).components();
+    return std::lexicographical_compare(ca.begin(), ca.end(), cb.begin(),
+                                        cb.end());
+  };
+  bool single_vtype = true;
+  for (const VirtualNode& v : *nodes) {
+    if (v.vtype != nodes->front().vtype) {
+      single_vtype = false;
+      break;
+    }
+  }
+  if (single_vtype) {
+    // Merge-join output arrives per-target in candidate order, so it is
+    // usually already sorted — worth one linear precheck.
+    if (!std::is_sorted(nodes->begin(), nodes->end(), lexless)) {
+      std::sort(nodes->begin(), nodes->end(), lexless);
+    }
+    nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+    return;
+  }
+  std::vector<std::vector<VirtualNode>> runs;
+  {
+    std::unordered_map<uint32_t, size_t> index;
+    for (const VirtualNode& v : *nodes) {
+      auto [it, inserted] = index.emplace(v.vtype, runs.size());
+      if (inserted) runs.emplace_back();
+      runs[it->second].push_back(v);
+    }
+  }
+  for (std::vector<VirtualNode>& run : runs) {
+    if (!std::is_sorted(run.begin(), run.end(), lexless)) {
+      std::sort(run.begin(), run.end(), lexless);
+    }
+    run.erase(std::unique(run.begin(), run.end()), run.end());
+  }
+  if (runs.size() == 1) {
+    *nodes = std::move(runs.front());
+    return;
+  }
+  // K-way merge on run heads (k = distinct vtypes, small). Heads of
+  // different vtypes never compare equivalent — a vPBN names one node —
+  // so the min pick, and with it the output, is deterministic.
+  nodes->clear();
+  std::vector<size_t> pos(runs.size(), 0);
+  for (;;) {
+    size_t best = runs.size();
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (pos[r] == runs[r].size()) continue;
+      if (best == runs.size() || vless(runs[r][pos[r]], runs[best][pos[best]])) {
+        best = r;
+      }
+    }
+    if (best == runs.size()) break;
+    nodes->push_back(runs[best][pos[best]++]);
+  }
 }
 
 }  // namespace vpbn::virt

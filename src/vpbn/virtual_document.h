@@ -23,7 +23,6 @@
 #include <memory>
 #include <mutex>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -47,8 +46,9 @@ class VirtualDocument {
   /// An empty view; unusable until move-assigned from Open().
   VirtualDocument() = default;
 
-  /// Movable (the memo mutex is not moved — a moved document starts with a
-  /// fresh lock). Moving while other threads query is undefined, as usual.
+  /// Movable (the cache mutexes are not moved — a moved document starts
+  /// with fresh locks). Moving while other threads query is undefined, as
+  /// usual.
   VirtualDocument(VirtualDocument&& other) noexcept;
   VirtualDocument& operator=(VirtualDocument&& other) noexcept;
 
@@ -128,13 +128,39 @@ class VirtualDocument {
   /// is a prefix of the child's number and always exists.
   bool IsGuaranteedReachable(vdg::VTypeId t) const { return guaranteed_[t]; }
 
-  /// True iff \p v has a virtual-parent chain to a root (memoized). Safe
-  /// for concurrent calls: the memo synchronizes internally, and the
-  /// recursion over parent chains runs lock-free on immutable state (two
-  /// threads may race to compute the same key, but both compute the same
-  /// value).
+  /// True iff \p v has a virtual-parent chain to a root. Served from the
+  /// per-vtype reachability bitmap (built lazily, memoized for the life of
+  /// the document). Safe for concurrent calls: the bitmap store
+  /// synchronizes internally, and a build runs lock-free on immutable
+  /// state (two threads may race to build the same bitmap; both compute
+  /// the same bits and the first store wins).
   bool IsReachable(const VirtualNode& v) const;
+
+  /// Reachability of the \p index -th instance of vtype \p t (aligned with
+  /// NodeIdsOfType of the original type) — the O(1) entry point for the
+  /// merge joins, which hold candidate indexes rather than node ids.
+  bool IsReachableAt(vdg::VTypeId t, size_t index) const {
+    if (guaranteed_[t]) return true;
+    return (*ReachableBitmap(t))[index] != 0;
+  }
+
+  /// The memoized per-vtype bitmap, aligned with NodeIdsOfType of the
+  /// original type; nullptr when IsGuaranteedReachable(t) (every instance
+  /// reachable, no bitmap is materialized). Built on first use by merging
+  /// each instance list against its virtual parent type's (already-built)
+  /// bitmap — one linear group merge per edge of the vtype path instead of
+  /// a per-node parent-chain walk.
+  const std::vector<uint8_t>* ReachableBitmap(vdg::VTypeId t) const;
   /// @}
+
+  /// All instances of the original type \p t batch-decoded into a flat
+  /// component column (pbn/packed.h), aligned index-for-index with
+  /// NodeIdsOfType(t) / PackedNodesOfType(t). Built on first use and
+  /// cached for the life of the document; \p built_now (optional) reports
+  /// whether this call performed the decode (the ExecStats
+  /// `decoded_batches` counter). Thread-safe.
+  const num::DecodedPbnColumn& DecodedNodesOfType(
+      dg::TypeId t, bool* built_now = nullptr) const;
 
   /// Sorts \p nodes into virtual document order and removes duplicates.
   void SortVirtualOrder(std::vector<VirtualNode>* nodes) const;
@@ -146,6 +172,7 @@ class VirtualDocument {
                                             vdg::VTypeId ct) const;
 
  private:
+  std::vector<uint8_t> BuildReachableBitmap(vdg::VTypeId t) const;
 
   const storage::StoredDocument* stored_ = nullptr;
   // unique_ptr keeps the guide's address stable across moves of the
@@ -154,13 +181,19 @@ class VirtualDocument {
   VpbnSpace space_;
   std::vector<bool> intact_;      // by VTypeId
   std::vector<bool> guaranteed_;  // by VTypeId
-  // Reachability memo keyed by (node, vtype); mutable lazy cache shared by
-  // concurrent query threads, so guarded by memo_mu_. The lock is held only
-  // around map access, never across the parent-chain recursion (which would
-  // self-deadlock); the recursion itself terminates because the vDataGuide
+  // Lazily-built caches shared by concurrent query threads. Each mutex is
+  // held only around slot access, never across a build (a bitmap build
+  // recurses up the vtype path, which would self-deadlock); entries are
+  // unique_ptr so a stored cache keeps a stable address across later
+  // insertions, and a slot is written at most once (a losing racer's copy
+  // is discarded). The bitmap recursion terminates because the vDataGuide
   // is a tree — every hop strictly shortens the vtype path to a root.
-  mutable std::mutex memo_mu_;
-  mutable std::unordered_map<uint64_t, bool> reachable_memo_;
+  mutable std::mutex decoded_mu_;
+  mutable std::vector<std::unique_ptr<num::DecodedPbnColumn>>
+      decoded_;  // by original TypeId
+  mutable std::mutex reach_mu_;
+  mutable std::vector<std::unique_ptr<std::vector<uint8_t>>>
+      reach_;  // by VTypeId; null slot = not built (or guaranteed)
 };
 
 }  // namespace vpbn::virt

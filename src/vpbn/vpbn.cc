@@ -241,6 +241,35 @@ std::weak_ordering VpbnSpace::VCompare(const VpbnView& x,
                                  : std::weak_ordering::greater;
 }
 
+VPairMergePlan VpbnSpace::PlanPairMerge(vdg::VTypeId x, vdg::VTypeId y,
+                                        uint32_t x_len,
+                                        uint32_t y_len) const {
+  const LevelArray& xa = arrays_.of(x);
+  const LevelArray& ya = arrays_.of(y);
+  uint32_t m = static_cast<uint32_t>(std::min(xa.size(), ya.size()));
+  VPairMergePlan plan;
+  bool in_prefix = true;
+  for (uint32_t i = 1; i <= m; ++i) {
+    if (xa.at1(i) != ya.at1(i)) {
+      in_prefix = false;
+      continue;
+    }
+    // Aligned position: the test requires components on both sides. Every
+    // instance of one type has the same number length, so a position past
+    // either length fails the whole pair, not just one instance.
+    if (i > x_len || i > y_len) {
+      plan.impossible = true;
+      return plan;
+    }
+    if (in_prefix) {
+      plan.merge_prefix = i;
+    } else {
+      plan.residual.push_back(i);
+    }
+  }
+  return plan;
+}
+
 std::string VpbnSpace::ToString(const Vpbn& x) const {
   return x.pbn->ToString() + " " + arrays_.of(x.vtype).ToString();
 }

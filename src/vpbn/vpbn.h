@@ -23,6 +23,7 @@
 #include "pbn/axis.h"
 #include "pbn/packed.h"
 #include "pbn/pbn.h"
+#include "pbn/structural_join.h"
 #include "vdg/vdataguide.h"
 #include "vpbn/level_array.h"
 #include "vpbn/level_array_builder.h"
@@ -71,6 +72,125 @@ inline VpbnView DecodeView(const num::PackedPbnRef& ref, vdg::VTypeId t,
                            std::vector<uint32_t>* buf) {
   ref.DecodeTo(buf);
   return VpbnView(buf->data(), static_cast<uint32_t>(buf->size()), t);
+}
+
+/// \brief The number-level compatibility test of one (vtype, vtype) pair,
+/// compiled into a merge recipe.
+///
+/// NumbersCompatible(x, y) quantifies over the *aligned positions* of the
+/// pair's two level arrays — the positions where the arrays carry the same
+/// level. Those positions are fixed per type pair, so the per-instance test
+/// splits into:
+///
+///   * `merge_prefix` — the longest leading run 1..k of aligned positions.
+///     Compatibility on these is "the numbers share their first k
+///     components", and because every instance of one DataGuide type has
+///     the same number length, equal-k-prefix instances are contiguous in
+///     each type's document-ordered list: a linear two-pointer group merge
+///     enumerates all compatible pairs.
+///   * `residual` — aligned positions after a gap (non-prefix). Verified
+///     per emitted pair. For every pair the virtual type forest can
+///     produce (ancestor/descendant or parent/child virtual types) the
+///     aligned set is provably a pure prefix, so this stays empty; it
+///     exists for exactness should a future caller plan an unrelated pair.
+///   * `impossible` — an aligned position beyond one side's (uniform)
+///     number length: no instance pair can witness agreement there, so the
+///     whole pair joins empty (a Case-2 context whose extra entry aligns).
+struct VPairMergePlan {
+  uint32_t merge_prefix = 0;
+  std::vector<uint32_t> residual;  // 1-based positions, ascending
+  bool impossible = false;
+};
+
+/// \brief All compatible index pairs between two decoded, document-ordered
+/// columns under \p plan, by group merge on the plan's shared prefix.
+/// Emits sink(xi, yi) for every pair with NumbersCompatible(x[xi], y[yi]);
+/// pairs arrive grouped by x index ascending, y ascending within a group.
+/// Counts one comparison per group-order decision (merge_prefix components
+/// = 4 * merge_prefix bytes) plus one per residual check into \p counters
+/// (optional). A plan with merge_prefix == 0 degenerates to the full cross
+/// product, which is the correct answer (every position is unaligned).
+template <typename Sink>
+void MergeCompatiblePairs(const VPairMergePlan& plan,
+                          const num::DecodedPbnColumn& xs,
+                          const num::DecodedPbnColumn& ys,
+                          num::JoinCounters* counters, Sink&& sink) {
+  if (plan.impossible) return;
+  const size_t nx = xs.size();
+  const size_t ny = ys.size();
+  if (nx == 0 || ny == 0) return;
+  const uint32_t k = plan.merge_prefix;
+  uint64_t comparisons = 0;
+  uint64_t pairs = 0;
+  auto residual_ok = [&](size_t xi, size_t yi) {
+    for (uint32_t p : plan.residual) {
+      ++comparisons;
+      bool x_has = p <= xs.length(xi);
+      bool y_has = p <= ys.length(yi);
+      if (!x_has || !y_has) return false;
+      if (xs.comps(xi)[p - 1] != ys.comps(yi)[p - 1]) return false;
+    }
+    return true;
+  };
+  if (k == 0) {
+    for (size_t xi = 0; xi < nx; ++xi) {
+      for (size_t yi = 0; yi < ny; ++yi) {
+        if (residual_ok(xi, yi)) {
+          ++pairs;
+          sink(xi, yi);
+        }
+      }
+    }
+  } else {
+    // Both columns are document-ordered and (per type) uniform-length, so
+    // they are sorted lexicographically by components; equal-k-prefix
+    // groups are contiguous runs on both sides.
+    auto prefix_cmp = [&](size_t xi, size_t yi) {
+      ++comparisons;
+      const uint32_t* a = xs.comps(xi);
+      const uint32_t* b = ys.comps(yi);
+      for (uint32_t i = 0; i < k; ++i) {
+        if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+      }
+      return 0;
+    };
+    auto same_prefix = [&](const uint32_t* a, const uint32_t* b) {
+      for (uint32_t i = 0; i < k; ++i) {
+        if (a[i] != b[i]) return false;
+      }
+      return true;
+    };
+    size_t xi = 0, yi = 0;
+    while (xi < nx && yi < ny) {
+      int c = prefix_cmp(xi, yi);
+      if (c < 0) {
+        ++xi;
+      } else if (c > 0) {
+        ++yi;
+      } else {
+        size_t xe = xi + 1;
+        while (xe < nx && same_prefix(xs.comps(xe), xs.comps(xi))) ++xe;
+        size_t ye = yi + 1;
+        while (ye < ny && same_prefix(ys.comps(ye), ys.comps(yi))) ++ye;
+        comparisons += (xe - xi - 1) + (ye - yi - 1);
+        for (size_t i = xi; i < xe; ++i) {
+          for (size_t j = yi; j < ye; ++j) {
+            if (residual_ok(i, j)) {
+              ++pairs;
+              sink(i, j);
+            }
+          }
+        }
+        xi = xe;
+        yi = ye;
+      }
+    }
+  }
+  if (counters != nullptr) {
+    counters->comparisons += comparisons;
+    counters->bytes_compared += comparisons * 4 * (k == 0 ? 1 : k);
+    counters->vjoin_pairs += pairs;
+  }
 }
 
 /// \brief The virtual numbering space of one vDataGuide.
@@ -177,6 +297,16 @@ class VpbnSpace {
 
   /// Render "1.2.2 [1,1,2]" for diagnostics.
   std::string ToString(const Vpbn& x) const;
+
+  /// Compile the NumbersCompatible test of the type pair (\p x, \p y) into
+  /// a merge recipe (symmetric in its arguments). \p x_len / \p y_len are
+  /// the uniform PBN lengths of the types' instances — i.e.
+  /// original_guide.length(original(t)) — which decide `impossible` once
+  /// per pair instead of once per instance. The type-level and level
+  /// conditions of the axis predicates are NOT part of the plan; the
+  /// caller establishes them when enumerating pairs from the type forest.
+  VPairMergePlan PlanPairMerge(vdg::VTypeId x, vdg::VTypeId y,
+                               uint32_t x_len, uint32_t y_len) const;
 
  private:
   /// The number-level prefix test shared by VAncestor/VDescendant: at every

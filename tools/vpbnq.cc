@@ -10,8 +10,8 @@
 ///   vpbnq --numbers <file.xml>                dump PBN numbers
 ///
 /// Query modes go through query::QueryEngine (prepare once, execute once),
-/// so `--threads N` runs the parallel engine and `--stats` prints the
-/// per-query ExecStats.
+/// so `--threads N` runs the parallel engine, `--stats` prints the
+/// per-query ExecStats, and `--json <file>` writes them as one JSON object.
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,9 +36,10 @@ using namespace vpbn;
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  vpbnq [--bulk] [--threads N] [--stats] <file.xml> <xpath>\n"
-               "  vpbnq [--threads N] [--stats] --view <vdataguide> <file.xml> "
-               "<xpath>\n"
+               "  vpbnq [--bulk] [--threads N] [--stats] [--json <file>] "
+               "<file.xml> <xpath>\n"
+               "  vpbnq [--threads N] [--stats] [--json <file>] --view "
+               "<vdataguide> <file.xml> <xpath>\n"
                "  vpbnq --materialize <vdataguide> <file.xml>\n"
                "  vpbnq --report <vdataguide> <file.xml>\n"
                "  vpbnq --dataguide <file.xml>\n"
@@ -62,9 +63,75 @@ int Fail(const Status& status) {
   return 1;
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Dump one Execute call's ExecStats as a single JSON object (the --json
+/// flag), so harnesses can diff counters across runs without scraping the
+/// human-readable stderr dump.
+int WriteStatsJson(const std::string& path, const query::ExecStats& stats,
+                   size_t result_nodes) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"plan\": \"%s\",\n"
+               "  \"threads\": %d,\n"
+               "  \"wall_ms\": %.6f,\n"
+               "  \"result_nodes\": %zu,\n"
+               "  \"nodes_scanned\": %llu,\n"
+               "  \"join_pairs\": %llu,\n"
+               "  \"pbn_comparisons\": %llu,\n"
+               "  \"bytes_compared\": %llu,\n"
+               "  \"vjoin_pairs\": %llu,\n"
+               "  \"decoded_batches\": %llu,\n"
+               "  \"plan_cache_hits\": %llu,\n"
+               "  \"plan_cache_misses\": %llu,\n"
+               "  \"steps\": [",
+               JsonEscape(stats.plan).c_str(), stats.threads, stats.wall_ms,
+               result_nodes,
+               static_cast<unsigned long long>(stats.nodes_scanned),
+               static_cast<unsigned long long>(stats.join_pairs),
+               static_cast<unsigned long long>(stats.pbn_comparisons),
+               static_cast<unsigned long long>(stats.bytes_compared),
+               static_cast<unsigned long long>(stats.vjoin_pairs),
+               static_cast<unsigned long long>(stats.decoded_batches),
+               static_cast<unsigned long long>(stats.plan_cache_hits),
+               static_cast<unsigned long long>(stats.plan_cache_misses));
+  for (size_t i = 0; i < stats.steps.size(); ++i) {
+    const query::StepStats& s = stats.steps[i];
+    std::fprintf(f,
+                 "%s\n    {\"label\": \"%s\", \"nodes_out\": %llu, "
+                 "\"wall_ms\": %.6f}",
+                 i == 0 ? "" : ",", JsonEscape(s.label).c_str(),
+                 static_cast<unsigned long long>(s.nodes_out), s.wall_ms);
+  }
+  std::fprintf(f, "%s]\n}\n", stats.steps.empty() ? "" : "\n  ");
+  std::fclose(f);
+  return 0;
+}
+
 /// Prepare, execute and print one query through the engine facade.
 int RunQuery(const query::QueryEngine& engine, const std::string& path_text,
-             const query::ExecOptions& options) {
+             const query::ExecOptions& options, const std::string& json_path) {
   auto prepared = engine.Prepare(path_text);
   if (!prepared.ok()) return Fail(prepared.status());
   auto result = engine.Execute(*prepared, options);
@@ -75,6 +142,9 @@ int RunQuery(const query::QueryEngine& engine, const std::string& path_text,
   std::fprintf(stderr, "%zu node(s)\n", result->size());
   if (options.collect_stats) {
     std::fprintf(stderr, "%s", result->stats().ToString().c_str());
+  }
+  if (!json_path.empty()) {
+    return WriteStatsJson(json_path, result->stats(), result->size());
   }
   return 0;
 }
@@ -87,6 +157,7 @@ int main(int argc, char** argv) {
   // Engine options may precede or follow the mode flag.
   query::ExecOptions exec_options;
   bool bulk = false;
+  std::string json_path;
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--threads" && std::next(it) != args.end()) {
       exec_options.threads = std::atoi(std::next(it)->c_str());
@@ -94,6 +165,10 @@ int main(int argc, char** argv) {
     } else if (*it == "--stats") {
       exec_options.collect_stats = true;
       it = args.erase(it);
+    } else if (*it == "--json" && std::next(it) != args.end()) {
+      json_path = *std::next(it);
+      exec_options.collect_stats = true;  // the dump needs the counters
+      it = args.erase(it, it + 2);
     } else if (*it == "--bulk") {
       bulk = true;
       it = args.erase(it);
@@ -171,7 +246,7 @@ int main(int argc, char** argv) {
     auto vdoc = virt::VirtualDocument::Open(stored, args[1]);
     if (!vdoc.ok()) return Fail(vdoc.status());
     query::QueryEngine engine(*vdoc);
-    return RunQuery(engine, args[3], exec_options);
+    return RunQuery(engine, args[3], exec_options, json_path);
   }
 
   if (args.size() == 2 && args[0][0] != '-') {
@@ -183,7 +258,7 @@ int main(int argc, char** argv) {
     // it stays accepted for compatibility.
     (void)bulk;
     query::QueryEngine engine(stored);
-    return RunQuery(engine, args[1], exec_options);
+    return RunQuery(engine, args[1], exec_options, json_path);
   }
 
   return Usage();
