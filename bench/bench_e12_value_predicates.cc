@@ -1,0 +1,244 @@
+/// \file bench_e12_value_predicates.cc
+/// \brief E12: value-predicate pushdown through the dictionary-encoded
+/// value index vs the per-node scan baseline, across selectivities, on the
+/// books catalog and the XMark-style auctions workload.
+///
+/// Both sides run the same QueryEngine over the same StoredDocument; the
+/// only difference is ExecOptions::use_value_index. The baseline evaluates
+/// each candidate by materializing its string value and comparing; the
+/// pushdown side answers equality from postings, ranges from two binary
+/// searches over the sorted numeric column, and contains() from one
+/// dictionary sweep — then semi-joins the witnesses against the context.
+/// Results are byte-identical (asserted here on every query); only the
+/// wall clock and the counters move. Emits a table to stdout and a JSON
+/// record with baseline + speedup per query.
+///
+///   $ ./bench_e12_value_predicates [num_books] [out.json]
+///       [--benchmark_min_time=0.01s]
+///
+/// The --benchmark_min_time flag (Google-Benchmark spelling, accepted for
+/// CI smoke runs) shrinks the workload and repetition count.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "query/engine.h"
+#include "query/eval_nav.h"
+#include "workload/auctions.h"
+#include "workload/books.h"
+
+namespace {
+
+/// Minimal JSON string escaping for the query texts (embedded quotes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vpbn;
+  using bench::Fmt;
+
+  bool smoke = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_min_time=", 21) == 0) {
+      smoke = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
+  // Positional args: [num_books] [out.json] — a non-numeric first arg is
+  // the output path (so `--benchmark_min_time=... out.json` works).
+  workload::BooksOptions bopts;
+  bopts.seed = 12;
+  bopts.num_books = smoke ? 400 : 2000;
+  const char* out_path = "BENCH_e12.json";
+  size_t p = 0;
+  if (p < positional.size() &&
+      positional[p].find_first_not_of("0123456789") == std::string::npos) {
+    bopts.num_books = std::atoi(positional[p++].c_str());
+  }
+  if (p < positional.size()) out_path = positional[p].c_str();
+  const int reps = smoke ? 3 : 11;
+
+  xml::Document books = workload::GenerateBooks(bopts);
+  storage::StoredDocument books_stored = storage::StoredDocument::Build(books);
+
+  workload::AuctionsOptions aopts;
+  aopts.num_items = smoke ? 100 : 400;
+  aopts.num_people = smoke ? 80 : 300;
+  aopts.num_auctions = smoke ? 300 : 3000;
+  xml::Document auctions = workload::GenerateAuctions(aopts);
+  storage::StoredDocument auctions_stored =
+      storage::StoredDocument::Build(auctions);
+
+  // A near-unique equality literal: the first title (titles repeat with
+  // low probability, so its selectivity sits at ~1/num_books).
+  auto first_title = query::EvalNav(books, "//title");
+  if (!first_title.ok() || first_title->empty()) {
+    std::fprintf(stderr, "no titles generated\n");
+    return 1;
+  }
+  std::string rare_title = books.StringValue(first_title->front());
+
+  struct Case {
+    const char* label;    ///< predicate family / selectivity band
+    const char* workload; ///< books | auctions
+    std::string query;
+  };
+  const Case cases[] = {
+      {"eq-rare", "books", "//book[title = \"" + rare_title + "\"]"},
+      {"eq-common", "books", "//book[author/name = \"Ada Codd\"]"},
+      {"range-narrow", "books", "//book[@year >= 2020]"},
+      {"range-wide", "books", "//book[@year > 1980]"},
+      {"contains", "books", "//book[contains(title, \"Vol\")]/title"},
+      {"eq-chain", "auctions", "//auction[bidder/price > 120]"},
+      {"range-leaf", "auctions", "//item[quantity >= 4]/name"},
+  };
+
+  std::printf(
+      "E12 — value-predicate pushdown vs per-node scan (books: %zu nodes, "
+      "%d books; auctions: %zu nodes)\n\n",
+      static_cast<size_t>(books.num_nodes()), bopts.num_books,
+      static_cast<size_t>(auctions.num_nodes()));
+
+  struct Row {
+    std::string label;
+    std::string workload;
+    std::string query;
+    size_t nodes = 0;
+    double selectivity = 0;  // result nodes / candidate instances
+    uint64_t lookups = 0;
+    uint64_t postings = 0;
+    uint64_t fallbacks = 0;
+    double scan_ms = 0;
+    double push_ms = 0;
+    double push_2t_ms = 0;
+    double push_4t_ms = 0;
+  };
+  std::vector<Row> rows;
+  size_t sink = 0;
+
+  for (const Case& c : cases) {
+    const storage::StoredDocument& stored =
+        c.workload[0] == 'b' ? books_stored : auctions_stored;
+    query::QueryEngine engine(stored);
+    auto prepared = engine.Prepare(c.query);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n",
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    query::ExecOptions scan_opts{.threads = 1,
+                                 .collect_stats = false,
+                                 .use_value_index = false};
+    query::ExecOptions push_opts{.threads = 1,
+                                 .collect_stats = true,
+                                 .use_value_index = true};
+
+    // Warm-up verifies byte-identity and captures the counters.
+    auto scan_r = engine.Execute(*prepared, scan_opts);
+    auto push_r = engine.Execute(*prepared, push_opts);
+    if (!scan_r.ok() || !push_r.ok()) {
+      std::fprintf(stderr, "execute failed on %s\n", c.query.c_str());
+      return 1;
+    }
+    if (scan_r->pbn_nodes() != push_r->pbn_nodes()) {
+      std::fprintf(stderr, "DIVERGENCE on %s: scan %zu vs pushdown %zu\n",
+                   c.query.c_str(), scan_r->size(), push_r->size());
+      return 1;
+    }
+
+    Row row;
+    row.label = c.label;
+    row.workload = c.workload;
+    row.query = c.query;
+    row.nodes = push_r->size();
+    // Candidates = instances of the predicate's context element.
+    size_t candidates =
+        c.workload[0] == 'b'
+            ? static_cast<size_t>(bopts.num_books)
+            : static_cast<size_t>(aopts.num_auctions + aopts.num_items);
+    row.selectivity =
+        candidates > 0 ? static_cast<double>(row.nodes) / candidates : 0;
+    row.lookups = push_r->stats().value_index_lookups;
+    row.postings = push_r->stats().value_index_postings;
+    row.fallbacks = push_r->stats().value_scan_fallbacks;
+    push_opts.collect_stats = false;
+    row.scan_ms = bench::MedianMs(reps, [&] {
+      sink += engine.Execute(*prepared, scan_opts)->size();
+    });
+    row.push_ms = bench::MedianMs(reps, [&] {
+      sink += engine.Execute(*prepared, push_opts)->size();
+    });
+    push_opts.threads = 2;
+    row.push_2t_ms = bench::MedianMs(reps, [&] {
+      sink += engine.Execute(*prepared, push_opts)->size();
+    });
+    push_opts.threads = 4;
+    row.push_4t_ms = bench::MedianMs(reps, [&] {
+      sink += engine.Execute(*prepared, push_opts)->size();
+    });
+    rows.push_back(std::move(row));
+  }
+
+  bench::Table table({"case", "query", "nodes", "sel %", "scan ms",
+                      "push ms", "speedup", "2T", "4T"});
+  for (const Row& r : rows) {
+    table.AddRow({r.label, r.query, std::to_string(r.nodes),
+                  Fmt(100 * r.selectivity, 2), Fmt(r.scan_ms), Fmt(r.push_ms),
+                  Fmt(r.push_ms > 0 ? r.scan_ms / r.push_ms : 0, 2) + "x",
+                  Fmt(r.push_2t_ms), Fmt(r.push_4t_ms)});
+  }
+  table.Print();
+
+  FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"experiment\": \"e12_value_predicates\",\n"
+               "  \"workloads\": {\"books\": {\"nodes\": %zu, \"books\": %d}, "
+               "\"auctions\": {\"nodes\": %zu, \"auctions\": %d}},\n"
+               "  \"reps\": %d,\n"
+               "  \"queries\": [",
+               static_cast<size_t>(books.num_nodes()), bopts.num_books,
+               static_cast<size_t>(auctions.num_nodes()), aopts.num_auctions,
+               reps);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        out,
+        "%s\n    {\"case\": \"%s\", \"workload\": \"%s\", \"query\": \"%s\", "
+        "\"result_nodes\": %zu, \"selectivity\": %.5f, "
+        "\"value_index_lookups\": %llu, \"value_index_postings\": %llu, "
+        "\"value_scan_fallbacks\": %llu, "
+        "\"scan_ms\": %.4f, \"push_ms\": %.4f, \"push_2t_ms\": %.4f, "
+        "\"push_4t_ms\": %.4f, \"speedup\": %.3f}",
+        i == 0 ? "" : ",", r.label.c_str(), r.workload.c_str(),
+        JsonEscape(r.query).c_str(), r.nodes, r.selectivity,
+        static_cast<unsigned long long>(r.lookups),
+        static_cast<unsigned long long>(r.postings),
+        static_cast<unsigned long long>(r.fallbacks), r.scan_ms, r.push_ms,
+        r.push_2t_ms, r.push_4t_ms,
+        r.push_ms > 0 ? r.scan_ms / r.push_ms : 0);
+  }
+  std::fprintf(out, "\n  ],\n  \"sink\": %zu\n}\n", sink % 2);
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path);
+  return 0;
+}

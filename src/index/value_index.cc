@@ -1,0 +1,129 @@
+#include "index/value_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vpbn::idx {
+
+uint32_t Dictionary::Intern(std::string_view value) {
+  auto it = map_.find(value);
+  if (it != map_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(terms_.size());
+  terms_.emplace_back(value);
+  double num = 0;
+  bool ok = ParseNumber(terms_.back(), &num);
+  numbers_.push_back(ok ? num : 0);
+  numeric_.push_back(ok ? 1 : 0);
+  map_.emplace(std::string_view(terms_.back()), id);
+  return id;
+}
+
+uint32_t Dictionary::Find(std::string_view value) const {
+  auto it = map_.find(value);
+  return it == map_.end() ? kNoTerm : it->second;
+}
+
+size_t Dictionary::MemoryUsage() const {
+  size_t total = numbers_.capacity() * sizeof(double) + numeric_.capacity();
+  for (const std::string& t : terms_) total += t.capacity() + sizeof(t);
+  // Bucket + node overhead of the hash map, approximated per entry.
+  total += map_.size() * (sizeof(std::string_view) + sizeof(uint32_t) + 16);
+  return total;
+}
+
+size_t TypeColumn::MemoryUsage() const {
+  size_t total = term_ids.capacity() * sizeof(uint32_t) +
+                 numeric_rows.capacity() * sizeof(uint32_t);
+  for (const auto& [term, rows] : postings) {
+    total += rows.capacity() * sizeof(uint32_t) + 16;
+  }
+  return total;
+}
+
+bool ValueIndex::GuideCovers(const dg::DataGuide& guide, dg::TypeId t) {
+  if (guide.IsTextType(t)) return true;
+  for (dg::TypeId c : guide.children(t)) {
+    if (!guide.IsTextType(c)) return false;
+  }
+  return true;
+}
+
+TypeColumn ValueIndex::BuildColumn(
+    size_t n, const std::function<std::string(size_t)>& value_of,
+    Dictionary* dict) {
+  TypeColumn col;
+  col.dict = dict;
+  col.term_ids.reserve(n);
+  for (size_t row = 0; row < n; ++row) {
+    uint32_t term = dict->Intern(value_of(row));
+    col.term_ids.push_back(term);
+    col.postings[term].push_back(static_cast<uint32_t>(row));
+    // NaN terms ("nan" parses) stay out of the sorted column: they would
+    // break the sort's strict weak ordering, and no relational or equality
+    // slice can match them anyway (IEEE comparisons with NaN are false,
+    // which is also what the scan path computes).
+    if (dict->numeric(term) && !std::isnan(dict->number(term))) {
+      col.numeric_rows.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  // Postings rows come out ascending (row-order intern loop); only the
+  // numeric rows need the by-value reorder. stable_sort keeps equal values
+  // in row order, so equality slices are document-ordered.
+  std::stable_sort(col.numeric_rows.begin(), col.numeric_rows.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return dict->number(col.term_ids[a]) <
+                            dict->number(col.term_ids[b]);
+                   });
+  return col;
+}
+
+ValueIndex ValueIndex::Build(
+    const xml::Document& doc, const dg::DataGuide& guide,
+    const std::vector<std::vector<xml::NodeId>>& nodes_by_type) {
+  ValueIndex out;
+  out.columns_.resize(guide.num_types());
+  out.attrs_.resize(guide.num_types());
+  for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
+    const std::vector<xml::NodeId>& ids = nodes_by_type[t];
+    if (GuideCovers(guide, t)) {
+      out.columns_[t] = std::make_unique<TypeColumn>(BuildColumn(
+          ids.size(),
+          [&](size_t row) { return doc.StringValue(ids[row]); },
+          out.dict_.get()));
+    }
+    if (guide.IsTextType(t)) continue;
+    // Attribute columns: one per attribute name seen on any instance,
+    // created on first sight with kNoTerm backfill for earlier rows.
+    std::unordered_map<std::string, AttrColumn>& cols = out.attrs_[t];
+    for (size_t row = 0; row < ids.size(); ++row) {
+      for (const xml::Attribute& a : doc.attributes(ids[row])) {
+        AttrColumn& col = cols[a.name];
+        col.term_ids.resize(ids.size(), kNoTerm);
+        col.term_ids[row] = out.dict_->Intern(a.value);
+      }
+    }
+  }
+  return out;
+}
+
+const AttrColumn* ValueIndex::Attr(dg::TypeId t,
+                                   const std::string& name) const {
+  if (t >= attrs_.size()) return nullptr;
+  auto it = attrs_[t].find(name);
+  return it == attrs_[t].end() ? nullptr : &it->second;
+}
+
+size_t ValueIndex::MemoryUsage() const {
+  size_t total = dict_->MemoryUsage();
+  for (const auto& col : columns_) {
+    if (col != nullptr) total += col->MemoryUsage();
+  }
+  for (const auto& by_name : attrs_) {
+    for (const auto& [name, col] : by_name) {
+      total += name.capacity() + col.MemoryUsage();
+    }
+  }
+  return total;
+}
+
+}  // namespace vpbn::idx

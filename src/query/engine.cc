@@ -36,6 +36,9 @@ std::string ExecStats::ToString() const {
                     " bytes_compared=" + std::to_string(bytes_compared) +
                     " vjoin_pairs=" + std::to_string(vjoin_pairs) +
                     " decoded_batches=" + std::to_string(decoded_batches) +
+                    " value_index_lookups=" + std::to_string(value_index_lookups) +
+                    " value_index_postings=" + std::to_string(value_index_postings) +
+                    " value_scan_fallbacks=" + std::to_string(value_scan_fallbacks) +
                     " plan_cache=" + std::to_string(plan_cache_hits) + "h/" +
                     std::to_string(plan_cache_misses) + "m\n";
   for (const StepStats& s : steps) {
@@ -122,6 +125,7 @@ Result<QueryResult> QueryEngine::Execute(const PreparedQuery& query,
   common::ThreadPool* pool = PoolFor(options.threads);
   ExecContext ctx(pool, options.collect_stats);
   ctx.set_virtual_join(options.virtual_join);
+  ctx.set_use_value_index(options.use_value_index);
   auto t0 = std::chrono::steady_clock::now();
 
   QueryResult result;
@@ -167,6 +171,9 @@ Result<QueryResult> QueryEngine::Execute(const PreparedQuery& query,
     stats.bytes_compared = ctx.bytes_compared();
     stats.vjoin_pairs = ctx.vjoin_pairs();
     stats.decoded_batches = ctx.decoded_batches();
+    stats.value_index_lookups = ctx.value_index_lookups();
+    stats.value_index_postings = ctx.value_index_postings();
+    stats.value_scan_fallbacks = ctx.value_scan_fallbacks();
     stats.steps = ctx.TakeSteps();
   }
   return result;
@@ -180,20 +187,40 @@ Result<QueryResult> QueryEngine::Execute(std::string_view path_text,
 
 std::vector<std::string> QueryEngine::StringValues(
     const QueryResult& result) const {
+  std::deque<std::string> owned;
+  std::vector<std::string_view> views = StringValueViews(result, &owned);
   std::vector<std::string> out;
+  out.reserve(views.size());
+  for (std::string_view v : views) out.emplace_back(v);
+  return out;
+}
+
+std::vector<std::string_view> QueryEngine::StringValueViews(
+    const QueryResult& result, std::deque<std::string>* owned) const {
+  std::vector<std::string_view> out;
+  out.reserve(result.size());
   if (doc_ != nullptr) {
     for (xml::NodeId id : result.nav_nodes()) {
-      out.push_back(doc_->StringValue(id));
+      out.push_back(owned->emplace_back(doc_->StringValue(id)));
     }
   } else if (stored_ != nullptr) {
     for (const num::Pbn& p : result.pbn_nodes()) {
       auto value = stored_->Value(p);
-      out.push_back(value.ok() ? std::string(*value) : std::string());
+      if (value.ok()) {
+        out.push_back(*value);
+      } else {
+        out.push_back(std::string_view());
+      }
     }
   } else {
     virt::VirtualValueComputer values(*vdoc_);
     for (const virt::VirtualNode& n : result.virtual_nodes()) {
-      out.push_back(values.Value(n));
+      std::string_view view;
+      if (values.ValueView(n, &view)) {
+        out.push_back(view);
+      } else {
+        out.push_back(owned->emplace_back(values.Value(n)));
+      }
     }
   }
   return out;

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <list>
 #include <memory>
 #include <string>
@@ -90,6 +91,11 @@ struct ExecOptions {
   /// scans. Results are identical either way; off is the benchmark
   /// baseline.
   bool virtual_join = true;
+  /// Answer value predicates (equality / relational / contains) from the
+  /// dictionary-encoded value index (default) instead of scanning each
+  /// node's string value. Results are identical either way; off is the
+  /// per-node-scan baseline the E12 benchmark measures.
+  bool use_value_index = true;
 };
 
 /// \brief Result nodes in the substrate's native handle type, plus stats.
@@ -181,6 +187,16 @@ class QueryEngine {
   /// for stored nodes (via the value index), assembled virtual values for
   /// virtual nodes, text content for navigational nodes.
   std::vector<std::string> StringValues(const QueryResult& result) const;
+
+  /// StringValues without the per-result copy: stored-substrate values are
+  /// views straight into the stored XML string, and virtual values of
+  /// intact subtrees are views into the same string; only values that must
+  /// be assembled (non-intact virtual subtrees, navigational text) are
+  /// materialized, into \p owned. Every returned view is valid as long as
+  /// both the substrate and \p owned live (a deque never relocates its
+  /// elements). Views are byte-identical to StringValues.
+  std::vector<std::string_view> StringValueViews(
+      const QueryResult& result, std::deque<std::string>* owned) const;
 
  private:
   common::ThreadPool* PoolFor(int threads) const;

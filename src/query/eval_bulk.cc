@@ -7,6 +7,7 @@
 #include "pbn/packed.h"
 #include "pbn/structural_join.h"
 #include "query/eval_indexed.h"
+#include "query/value_pushdown.h"
 
 namespace vpbn::query {
 
@@ -34,8 +35,10 @@ bool TypeMatches(const dg::DataGuide& g, dg::TypeId t, const NodeTest& test) {
   return test.Matches(!g.IsTextType(t), g.label(t));
 }
 
-/// Fragment test: child/descendant chains, name-ish tests, existence
-/// predicates that are themselves such chains.
+/// Fragment test: child/descendant chains, name-ish tests, predicates that
+/// are existence chains of the same shape or recognized value predicates
+/// ([path op literal], [@attr op literal], contains()/starts-with() — see
+/// query/value_pushdown.h).
 bool InFragment(const Path& path) {
   for (size_t i = 0; i < path.steps.size(); ++i) {
     const Step& step = path.steps[i];
@@ -54,8 +57,12 @@ bool InFragment(const Path& path) {
         return false;
     }
     for (const auto& pred : step.predicates) {
-      if (pred->kind != Expr::Kind::kPath) return false;
-      if (!InFragment(pred->path)) return false;
+      if (pred->kind == Expr::Kind::kPath) {
+        if (!InFragment(pred->path)) return false;
+        continue;
+      }
+      ValuePred vp;
+      if (!RecognizeValuePred(*pred, &vp)) return false;
     }
   }
   return !path.steps.empty();
@@ -102,14 +109,224 @@ State EvalChain(const storage::StoredDocument& stored, const Path& path,
                 size_t first_step, State state, bool from_document,
                 ExecContext* ctx);
 
-/// Applies one step's existence predicates to every per-type list. The
-/// per-type semi-joins are independent (each anchors the relative chain at
-/// one type and reads only the immutable indexes), so they fan out on the
-/// pool; the filtered map is rebuilt in type order afterwards, keeping the
-/// result identical to the sequential pass.
+bool UseValueIndex(ExecContext* ctx) {
+  return ctx == nullptr || ctx->use_value_index();
+}
+
+/// Applies one recognized value predicate to one type's surviving list.
+///
+/// Path-compare predicates collect witness instances from the terminal
+/// types' dictionary postings / numeric slices (per-node string scan where
+/// a type has no column or the index is disabled) and semi-join them
+/// against the context; attribute predicates mask the context list with
+/// per-row term tests; contains()/starts-with() on a path tests each
+/// context instance's document-order-first terminal instance against a
+/// term bitmap (XPath coerces a node set to its first node's value).
+PackedPbnList ApplyValuePred(const storage::StoredDocument& stored,
+                             const Expr* pred, const ValuePred& vp,
+                             dg::TypeId t, const PackedPbnList& list,
+                             ExecContext* ctx) {
+  const idx::ValueIndex& vi = stored.value_index();
+  const dg::DataGuide& g = stored.dataguide();
+  const bool use_index = UseValueIndex(ctx);
+  PackedPbnList out;
+  switch (vp.kind) {
+    case ValuePred::Kind::kAttrCompare:
+    case ValuePred::Kind::kAttrString: {
+      const bool is_compare = vp.kind == ValuePred::Kind::kAttrCompare;
+      const idx::Dictionary& dict = vi.dict();
+      const idx::AttrColumn* col = vi.Attr(t, vp.attr);
+      std::shared_ptr<const std::vector<uint8_t>> bitmap;
+      if (!is_compare && use_index) {
+        bitmap = TermBitmap(dict, vp.str_fn, vp.lit.text, ctx);
+      }
+      const num::PackedPbnList& full = stored.PackedNodesOfType(t);
+      const std::vector<xml::NodeId>& ids = stored.NodeIdsOfType(t);
+      for (size_t i = 0; i < list.size(); ++i) {
+        // The surviving instance's row in the full type list (exact hit).
+        size_t row = full.LowerBound(list[i]);
+        bool keep;
+        if (use_index) {
+          uint32_t term =
+              col != nullptr ? col->term_ids[row] : idx::kNoTerm;
+          keep = is_compare
+                     ? TermMatches(dict, term, vp.op, vp.lit)
+                     : (term == idx::kNoTerm ? vp.lit.text.empty()
+                                             : (*bitmap)[term] != 0);
+        } else {
+          // Ablation baseline: fetch the attribute from the document. A
+          // missing attribute compares false under every operator and
+          // coerces to "" for the string functions.
+          std::string hay;
+          bool present = false;
+          if (stored.doc().IsElement(ids[row])) {
+            auto attr = stored.doc().AttributeValue(ids[row], vp.attr);
+            if (attr.ok()) {
+              present = true;
+              hay = std::move(attr).ValueUnsafe();
+            }
+          }
+          keep = is_compare
+                     ? (present && CompareValues(hay, vp.op, vp.lit.text))
+                     : TermMatchesString(hay, vp.str_fn, vp.lit.text);
+        }
+        if (keep) out.Append(list[i]);
+      }
+      if (ctx != nullptr) {
+        if (use_index) {
+          ctx->CountValueIndexLookups(list.size());
+        } else {
+          ctx->CountValueScanFallbacks(list.size());
+        }
+      }
+      return out;
+    }
+    case ValuePred::Kind::kPathCompare: {
+      auto tts = ChainTypes(g, vp.path, t, ctx);
+      PackedPbnList witnesses;
+      for (dg::TypeId tt : *tts) {
+        const idx::TypeColumn* col = vi.Column(tt);
+        const num::PackedPbnList& packed = stored.PackedNodesOfType(tt);
+        if (use_index && col != nullptr) {
+          auto rows = MatchingRows(*col, pred, tt, vp.op, vp.lit, ctx);
+          for (uint32_t row : *rows) witnesses.Append(packed[row]);
+        } else {
+          // Uncovered terminal type (nested structure) or ablation: scan
+          // every instance's assembled string value.
+          const std::vector<xml::NodeId>& ids = stored.NodeIdsOfType(tt);
+          for (size_t row = 0; row < ids.size(); ++row) {
+            if (CompareValues(stored.doc().StringValue(ids[row]), vp.op,
+                              vp.lit.text)) {
+              witnesses.Append(packed[row]);
+            }
+          }
+          if (ctx != nullptr) ctx->CountValueScanFallbacks(ids.size());
+        }
+      }
+      witnesses.SortUnique();
+      return SemiJoinAncestors(list, witnesses, ctx);
+    }
+    case ValuePred::Kind::kPathString: {
+      auto tts = ChainTypes(g, vp.path, t, ctx);
+      std::shared_ptr<const std::vector<uint8_t>> bitmap;
+      if (use_index) bitmap = TermBitmap(vi.dict(), vp.str_fn, vp.lit.text, ctx);
+      for (size_t i = 0; i < list.size(); ++i) {
+        // Document-order-first terminal instance within this context
+        // instance (the node the scan path's string coercion reads).
+        bool have = false;
+        dg::TypeId best_tt = dg::kNullType;
+        size_t best_row = 0;
+        num::PackedPbnRef best{nullptr, 0, 0};
+        for (dg::TypeId tt : *tts) {
+          auto [first, last] = stored.TypeRangeWithin(tt, list[i]);
+          if (first >= last) continue;
+          num::PackedPbnRef candidate = stored.PackedNodesOfType(tt)[first];
+          if (!have || candidate < best) {
+            have = true;
+            best = candidate;
+            best_tt = tt;
+            best_row = first;
+          }
+        }
+        bool keep;
+        if (!have) {
+          keep = vp.lit.text.empty();  // empty node set coerces to ""
+        } else {
+          const idx::TypeColumn* col = vi.Column(best_tt);
+          if (use_index && col != nullptr) {
+            keep = (*bitmap)[col->term_ids[best_row]] != 0;
+          } else {
+            keep = TermMatchesString(
+                stored.doc().StringValue(
+                    stored.NodeIdsOfType(best_tt)[best_row]),
+                vp.str_fn, vp.lit.text);
+            if (ctx != nullptr) ctx->CountValueScanFallbacks(1);
+          }
+        }
+        if (keep) out.Append(list[i]);
+      }
+      if (ctx != nullptr && use_index) {
+        ctx->CountValueIndexLookups(list.size());
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+/// Rough work estimate for one predicate against the current state, used
+/// to order a step's predicates cheapest (most selective machinery) first:
+/// attribute masks touch only the context list; indexed path comparisons
+/// touch their matching rows; everything else streams over the terminal
+/// types' full instance lists. The row collections are memoized in the
+/// context, so estimating does not duplicate work the application pass
+/// would do anyway.
+uint64_t EstimatePredCost(const storage::StoredDocument& stored,
+                          const Expr& pred, const State& state,
+                          ExecContext* ctx) {
+  const dg::DataGuide& g = stored.dataguide();
+  uint64_t total = 0;
+  ValuePred vp;
+  if (pred.kind != Expr::Kind::kPath && RecognizeValuePred(pred, &vp)) {
+    if (vp.kind == ValuePred::Kind::kAttrCompare ||
+        vp.kind == ValuePred::Kind::kAttrString) {
+      for (const auto& [t, list] : state) total += list.size();
+      return total;
+    }
+    const bool use_index = UseValueIndex(ctx);
+    for (const auto& [t, list] : state) {
+      auto tts = ChainTypes(g, vp.path, t, ctx);
+      for (dg::TypeId tt : *tts) {
+        const idx::TypeColumn* col = stored.value_index().Column(tt);
+        if (vp.kind == ValuePred::Kind::kPathString) {
+          total += use_index && col != nullptr
+                       ? list.size()
+                       : stored.PackedNodesOfType(tt).size();
+        } else if (use_index && col != nullptr) {
+          total += MatchingRows(*col, &pred, tt, vp.op, vp.lit, ctx)->size();
+        } else {
+          total += stored.PackedNodesOfType(tt).size();
+        }
+      }
+    }
+    return total;
+  }
+  // Existence chain: the semi-join streams over every terminal instance.
+  for (const auto& [t, list] : state) {
+    for (dg::TypeId tt : ResolveChainTypes(g, t, pred.path)) {
+      total += stored.PackedNodesOfType(tt).size();
+    }
+  }
+  return total;
+}
+
+/// Applies one step's predicates to every per-type list, cheapest first.
+/// The per-type filters are independent (each anchors at one type and
+/// reads only the immutable indexes and the context's thread-safe caches),
+/// so they fan out on the pool; the filtered map is rebuilt in type order
+/// afterwards, keeping the result identical to the sequential pass. All
+/// predicate forms here are existential, so applying them in selectivity
+/// order changes the work, never the result.
 State ApplyPredicates(const storage::StoredDocument& stored, const Step& step,
                       State state, ExecContext* ctx) {
-  for (const auto& pred : step.predicates) {
+  std::vector<const Expr*> preds;
+  preds.reserve(step.predicates.size());
+  for (const auto& pred : step.predicates) preds.push_back(pred.get());
+  if (preds.size() > 1) {
+    std::vector<std::pair<uint64_t, const Expr*>> costed;
+    costed.reserve(preds.size());
+    for (const Expr* p : preds) {
+      costed.emplace_back(EstimatePredCost(stored, *p, state, ctx), p);
+    }
+    std::stable_sort(
+        costed.begin(), costed.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t i = 0; i < costed.size(); ++i) preds[i] = costed[i].second;
+  }
+  for (const Expr* pred : preds) {
+    ValuePred vp;
+    const bool is_value =
+        pred->kind != Expr::Kind::kPath && RecognizeValuePred(*pred, &vp);
     std::vector<std::pair<dg::TypeId, PackedPbnList>> entries(
         std::make_move_iterator(state.begin()),
         std::make_move_iterator(state.end()));
@@ -120,6 +337,10 @@ State ApplyPredicates(const storage::StoredDocument& stored, const Step& step,
           for (size_t i = b; i < e; ++i) {
             auto& [t, list] = entries[i];
             if (list.empty()) continue;
+            if (is_value) {
+              kept[i] = ApplyValuePred(stored, pred, vp, t, list, ctx);
+              continue;
+            }
             // Evaluate the relative chain anchored at this type.
             State anchor;
             anchor.emplace(t, list);
@@ -259,7 +480,7 @@ Result<std::vector<Pbn>> EvalBulk(const storage::StoredDocument& stored,
   if (!InFragment(path)) {
     return Status::NotImplemented(
         "bulk evaluation supports child/descendant chains with existence "
-        "predicates only");
+        "and value (comparison / contains / starts-with) predicates only");
   }
   State state =
       EvalChain(stored, path, 0, State(), /*from_document=*/true, ctx);

@@ -137,6 +137,252 @@ std::string IndexedAdapter::StringValue(const Pbn& n) const {
   return stored_->doc().StringValue(stored_->numbering().NodeOf(n).value());
 }
 
+std::optional<std::string_view> IndexedAdapter::FastStringValue(
+    const Pbn& n) const {
+  if (ctx_ != nullptr && !ctx_->use_value_index()) return std::nullopt;
+  xml::NodeId id = stored_->numbering().NodeOf(n).value();
+  const idx::TypeColumn* col =
+      stored_->value_index().Column(stored_->TypeOfNode(id));
+  if (col == nullptr) return std::nullopt;
+  if (ctx_ != nullptr) ctx_->CountValueIndexLookups(1);
+  return col->dict->term(col->term_ids[stored_->RowOfNode(id)]);
+}
+
+/// One context-type slice of a BatchPredicate call: the indexes into the
+/// context list whose nodes have this type, with their scopes pre-encoded
+/// for the packed range scans.
+struct IndexedAdapter::BatchGroup {
+  dg::TypeId type = dg::kNullType;
+  std::vector<size_t> indexes;          // into the context node list
+  std::vector<xml::NodeId> ids;         // aligned with indexes
+  std::vector<num::PackedPbnRef> refs;  // aligned; views into `encodings`
+  std::vector<std::string> encodings;
+};
+
+bool IndexedAdapter::CanPushPredicate(
+    const Expr& e, const std::vector<dg::TypeId>& context_types) const {
+  switch (e.kind) {
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      return CanPushPredicate(*e.lhs, context_types) &&
+             CanPushPredicate(*e.rhs, context_types);
+    case Expr::Kind::kNot:
+      return CanPushPredicate(*e.lhs, context_types);
+    case Expr::Kind::kPath:
+      // Existence of a predicate-free chain: answered by packed subtree
+      // ranges alone, no value column needed.
+      return IsPredicateFreeChain(e.path);
+    default: {
+      ValuePred vp;
+      if (!RecognizeValuePred(e, &vp)) return false;
+      if (vp.kind == ValuePred::Kind::kAttrCompare ||
+          vp.kind == ValuePred::Kind::kAttrString) {
+        return true;
+      }
+      // Path-valued: every terminal type must carry a value column, or the
+      // per-node scan is the only exact answer.
+      const dg::DataGuide& g = stored_->dataguide();
+      for (dg::TypeId t : context_types) {
+        for (dg::TypeId tt : ResolveChainTypes(g, t, *vp.path)) {
+          if (stored_->value_index().Column(tt) == nullptr) return false;
+        }
+      }
+      return true;
+    }
+  }
+}
+
+void IndexedAdapter::EvalBatchPredicate(const Expr& e,
+                                        const std::vector<BatchGroup>& groups,
+                                        std::vector<char>* keep) const {
+  switch (e.kind) {
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr: {
+      EvalBatchPredicate(*e.lhs, groups, keep);
+      std::vector<char> rhs(keep->size(), 0);
+      EvalBatchPredicate(*e.rhs, groups, &rhs);
+      for (size_t i = 0; i < keep->size(); ++i) {
+        (*keep)[i] = e.kind == Expr::Kind::kAnd ? ((*keep)[i] && rhs[i])
+                                                : ((*keep)[i] || rhs[i]);
+      }
+      return;
+    }
+    case Expr::Kind::kNot: {
+      EvalBatchPredicate(*e.lhs, groups, keep);
+      for (size_t i = 0; i < keep->size(); ++i) (*keep)[i] = !(*keep)[i];
+      return;
+    }
+    case Expr::Kind::kPath: {
+      const dg::DataGuide& g = stored_->dataguide();
+      for (const BatchGroup& group : groups) {
+        auto tts = ChainTypes(g, &e.path, group.type, ctx_);
+        for (size_t k = 0; k < group.indexes.size(); ++k) {
+          for (dg::TypeId tt : *tts) {
+            auto [first, last] = stored_->TypeRangeWithin(tt, group.refs[k]);
+            if (first < last) {
+              (*keep)[group.indexes[k]] = 1;
+              break;
+            }
+          }
+        }
+      }
+      return;
+    }
+    default:
+      break;
+  }
+
+  ValuePred vp;
+  RecognizeValuePred(e, &vp);  // CanPushPredicate vetted the shape
+  const idx::ValueIndex& vi = stored_->value_index();
+  const dg::DataGuide& g = stored_->dataguide();
+  switch (vp.kind) {
+    case ValuePred::Kind::kAttrCompare: {
+      const idx::Dictionary& dict = vi.dict();
+      for (const BatchGroup& group : groups) {
+        const idx::AttrColumn* col = vi.Attr(group.type, vp.attr);
+        for (size_t k = 0; k < group.indexes.size(); ++k) {
+          uint32_t term =
+              col != nullptr
+                  ? col->term_ids[stored_->RowOfNode(group.ids[k])]
+                  : idx::kNoTerm;
+          (*keep)[group.indexes[k]] =
+              TermMatches(dict, term, vp.op, vp.lit) ? 1 : 0;
+        }
+        if (ctx_ != nullptr) {
+          ctx_->CountValueIndexLookups(group.indexes.size());
+        }
+      }
+      return;
+    }
+    case ValuePred::Kind::kAttrString: {
+      const idx::Dictionary& dict = vi.dict();
+      auto bitmap = TermBitmap(dict, vp.str_fn, vp.lit.text, ctx_);
+      for (const BatchGroup& group : groups) {
+        const idx::AttrColumn* col = vi.Attr(group.type, vp.attr);
+        for (size_t k = 0; k < group.indexes.size(); ++k) {
+          uint32_t term =
+              col != nullptr
+                  ? col->term_ids[stored_->RowOfNode(group.ids[k])]
+                  : idx::kNoTerm;
+          // A missing attribute coerces to "", which satisfies both string
+          // functions exactly when the needle is empty.
+          (*keep)[group.indexes[k]] = term == idx::kNoTerm
+                                          ? (vp.lit.text.empty() ? 1 : 0)
+                                          : (*bitmap)[term];
+        }
+        if (ctx_ != nullptr) {
+          ctx_->CountValueIndexLookups(group.indexes.size());
+        }
+      }
+      return;
+    }
+    case ValuePred::Kind::kPathCompare: {
+      for (const BatchGroup& group : groups) {
+        auto tts = ChainTypes(g, vp.path, group.type, ctx_);
+        std::vector<std::shared_ptr<const std::vector<uint32_t>>> rows_by_tt;
+        rows_by_tt.reserve(tts->size());
+        for (dg::TypeId tt : *tts) {
+          rows_by_tt.push_back(
+              MatchingRows(*vi.Column(tt), &e, tt, vp.op, vp.lit, ctx_));
+        }
+        for (size_t k = 0; k < group.indexes.size(); ++k) {
+          bool hit = false;
+          for (size_t j = 0; j < tts->size() && !hit; ++j) {
+            auto [first, last] =
+                stored_->TypeRangeWithin((*tts)[j], group.refs[k]);
+            if (first >= last) continue;
+            const std::vector<uint32_t>& rows = *rows_by_tt[j];
+            auto it = std::lower_bound(rows.begin(), rows.end(),
+                                       static_cast<uint32_t>(first));
+            hit = it != rows.end() && *it < last;
+          }
+          (*keep)[group.indexes[k]] = hit ? 1 : 0;
+        }
+      }
+      return;
+    }
+    case ValuePred::Kind::kPathString: {
+      // contains()/starts-with() coerce the node set to its *first* node's
+      // string value, so each context node tests the document-order-minimal
+      // terminal instance in its subtree (or "" when there is none).
+      auto bitmap = TermBitmap(vi.dict(), vp.str_fn, vp.lit.text, ctx_);
+      for (const BatchGroup& group : groups) {
+        auto tts = ChainTypes(g, vp.path, group.type, ctx_);
+        for (size_t k = 0; k < group.indexes.size(); ++k) {
+          const idx::TypeColumn* best_col = nullptr;
+          size_t best_row = 0;
+          bool have = false;
+          num::PackedPbnRef best{nullptr, 0, 0};
+          for (dg::TypeId tt : *tts) {
+            auto [first, last] = stored_->TypeRangeWithin(tt, group.refs[k]);
+            if (first >= last) continue;
+            num::PackedPbnRef candidate = stored_->PackedNodesOfType(tt)[first];
+            if (!have || candidate < best) {
+              have = true;
+              best = candidate;
+              best_col = vi.Column(tt);
+              best_row = first;
+            }
+          }
+          (*keep)[group.indexes[k]] =
+              !have ? (vp.lit.text.empty() ? 1 : 0)
+                    : (*bitmap)[best_col->term_ids[best_row]];
+        }
+        if (ctx_ != nullptr) {
+          ctx_->CountValueIndexLookups(group.indexes.size());
+        }
+      }
+      return;
+    }
+  }
+}
+
+bool IndexedAdapter::BatchPredicate(const Expr& pred,
+                                    const std::vector<Pbn>& nodes,
+                                    std::vector<char>* keep) const {
+  if (ctx_ == nullptr || !ctx_->use_value_index()) return false;
+  if (nodes.empty()) return false;
+
+  std::vector<xml::NodeId> ids(nodes.size());
+  std::vector<dg::TypeId> types(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    ids[i] = stored_->numbering().NodeOf(nodes[i]).value();
+    types[i] = stored_->TypeOfNode(ids[i]);
+  }
+  std::vector<dg::TypeId> distinct = types;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  if (!CanPushPredicate(pred, distinct)) return false;
+
+  std::vector<BatchGroup> groups(distinct.size());
+  for (size_t g = 0; g < distinct.size(); ++g) groups[g].type = distinct[g];
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    size_t g = std::lower_bound(distinct.begin(), distinct.end(), types[i]) -
+               distinct.begin();
+    groups[g].indexes.push_back(i);
+    groups[g].ids.push_back(ids[i]);
+  }
+  // Encode every scope once; refs are views into the encodings, which must
+  // not reallocate afterwards.
+  for (BatchGroup& group : groups) {
+    group.encodings.resize(group.indexes.size());
+    group.refs.reserve(group.indexes.size());
+    for (size_t k = 0; k < group.indexes.size(); ++k) {
+      const Pbn& n = nodes[group.indexes[k]];
+      num::EncodeOrdered(n, &group.encodings[k]);
+      group.refs.emplace_back(group.encodings[k].data(),
+                              static_cast<uint32_t>(group.encodings[k].size()),
+                              static_cast<uint32_t>(n.length()));
+    }
+  }
+
+  keep->assign(nodes.size(), 0);
+  EvalBatchPredicate(pred, groups, keep);
+  return true;
+}
+
 Result<std::string> IndexedAdapter::Attribute(const Pbn& n,
                                               const std::string& name) const {
   VPBN_ASSIGN_OR_RETURN(xml::NodeId id, stored_->numbering().NodeOf(n));
@@ -154,7 +400,7 @@ Result<std::vector<Pbn>> EvalIndexed(const storage::StoredDocument& stored,
 
 Result<std::vector<Pbn>> EvalIndexed(const storage::StoredDocument& stored,
                                      const Path& path, ExecContext* ctx) {
-  IndexedAdapter adapter(stored);
+  IndexedAdapter adapter(stored, ctx);
   PathEvaluator<IndexedAdapter> evaluator(adapter, ctx);
   return evaluator.Eval(path);
 }

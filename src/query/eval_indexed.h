@@ -10,12 +10,15 @@
 
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "query/evaluator.h"
 #include "query/path_parser.h"
+#include "query/value_pushdown.h"
 #include "storage/stored_document.h"
 
 namespace vpbn::query {
@@ -30,8 +33,12 @@ class IndexedAdapter {
   /// the const interface is safe for concurrent use.
   static constexpr bool kParallelSafe = true;
 
-  explicit IndexedAdapter(const storage::StoredDocument& stored)
-      : stored_(&stored) {}
+  /// \p ctx (optional) supplies the value-index knob and the per-query
+  /// caches the pushdown paths memoize in; with a null ctx the adapter
+  /// evaluates everything per node, as before.
+  explicit IndexedAdapter(const storage::StoredDocument& stored,
+                          ExecContext* ctx = nullptr)
+      : stored_(&stored), ctx_(ctx) {}
 
   std::vector<Node> DocumentRoots(const NodeTest& test) const;
   std::vector<Node> AllNodes(const NodeTest& test) const;
@@ -41,14 +48,36 @@ class IndexedAdapter {
   std::string StringValue(const Node& n) const;
   Result<std::string> Attribute(const Node& n, const std::string& name) const;
 
+  /// String value served as a view into the value index's interned term
+  /// when the node's type is covered (see AdapterHasFastStringValue).
+  std::optional<std::string_view> FastStringValue(const Node& n) const;
+
+  /// Whole-list predicate pushdown (see AdapterHasBatchPredicate):
+  /// and/or/not trees over recognized value predicates and predicate-free
+  /// existence chains become dictionary/numeric-column lookups intersected
+  /// with packed subtree ranges. Declines (false) when the shape is not
+  /// covered, a terminal type has no value column, or the value index is
+  /// disabled.
+  bool BatchPredicate(const Expr& pred, const std::vector<Node>& nodes,
+                      std::vector<char>* keep) const;
+
   const storage::StoredDocument& stored() const { return *stored_; }
 
  private:
+  struct BatchGroup;  // per context-type slice of a BatchPredicate call
+
   bool TypeMatches(dg::TypeId t, const NodeTest& test) const;
   std::vector<dg::TypeId> MatchingTypes(const NodeTest& test) const;
   dg::TypeId TypeOf(const Node& n) const;
 
+  bool CanPushPredicate(const Expr& e,
+                        const std::vector<dg::TypeId>& context_types) const;
+  void EvalBatchPredicate(const Expr& e,
+                          const std::vector<BatchGroup>& groups,
+                          std::vector<char>* keep) const;
+
   const storage::StoredDocument* stored_;
+  ExecContext* ctx_ = nullptr;
 };
 
 /// \brief Parse and evaluate \p path_text over the stored document.

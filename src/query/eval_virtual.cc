@@ -525,6 +525,16 @@ std::string VirtualAdapter::StringValue(const VirtualNode& n) const {
   return vdoc_->StringValue(n);
 }
 
+std::optional<std::string_view> VirtualAdapter::FastStringValue(
+    const VirtualNode& n) const {
+  if (ctx_ != nullptr && !ctx_->use_value_index()) return std::nullopt;
+  const idx::TypeColumn* col = vdoc_->ValueColumn(n.vtype);
+  if (col == nullptr) return std::nullopt;
+  if (ctx_ != nullptr) ctx_->CountValueIndexLookups(1);
+  return col->dict->term(
+      col->term_ids[vdoc_->stored().RowOfNode(n.node)]);
+}
+
 Result<std::string> VirtualAdapter::Attribute(const VirtualNode& n,
                                               const std::string& name) const {
   const xml::Document& doc = vdoc_->stored().doc();

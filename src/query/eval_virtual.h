@@ -20,7 +20,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -74,6 +76,13 @@ class VirtualAdapter {
   void SortUnique(std::vector<Node>* nodes) const;
   std::string StringValue(const Node& n) const;
   Result<std::string> Attribute(const Node& n, const std::string& name) const;
+
+  /// String value served from the virtual document's per-vtype value
+  /// column (intact vtypes reuse the stored index's column; covered
+  /// non-intact vtypes read their lazily assembled column). nullopt when
+  /// the vtype is not covered or the value index is disabled — the caller
+  /// assembles the value per node, as before.
+  std::optional<std::string_view> FastStringValue(const Node& n) const;
 
   const virt::VirtualDocument& vdoc() const { return *vdoc_; }
 

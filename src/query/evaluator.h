@@ -23,16 +23,18 @@
 
 #pragma once
 
-#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <concepts>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/result.h"
+#include "index/value_index.h"
 #include "query/exec_context.h"
 #include "query/path_ast.h"
 
@@ -98,55 +100,106 @@ constexpr bool AdapterHasBatchAxisFlat() {
   };
 }
 
-/// \brief Attempts to interpret \p s as an XPath number.
-inline bool ToNumber(const std::string& s, double* out) {
-  const char* b = s.data();
-  const char* e = s.data() + s.size();
-  while (b < e && (*b == ' ' || *b == '\t' || *b == '\n')) ++b;
-  while (e > b && (e[-1] == ' ' || e[-1] == '\t' || e[-1] == '\n')) --e;
-  if (b == e) return false;
-  auto [ptr, ec] = std::from_chars(b, e, *out);
-  return ec == std::errc() && ptr == e;
+/// \brief Whether an adapter offers a whole-list predicate evaluation:
+///
+///   bool BatchPredicate(const Expr& pred, const std::vector<Node>& nodes,
+///                       std::vector<char>* keep) const;
+///
+/// A true return means keep->at(i) records exactly the truth value the
+/// per-node EvalExpr walk would have produced for nodes[i]; false means the
+/// adapter declined (predicate shape not covered, value index disabled or
+/// type not covered) and the evaluator falls back to per-node evaluation.
+/// This is how the indexed substrate turns value predicates into dictionary
+/// postings lookups + subtree-range intersections instead of per-candidate
+/// string materialization.
+template <typename Adapter>
+constexpr bool AdapterHasBatchPredicate() {
+  return requires(const Adapter& a, const Expr& pred,
+                  const std::vector<typename Adapter::Node>& nodes,
+                  std::vector<char>* keep) {
+    { a.BatchPredicate(pred, nodes, keep) } -> std::convertible_to<bool>;
+  };
 }
 
-/// \brief Compares two strings under an operator, numerically when both
-/// sides parse as numbers (the XPath 1.0 coercion convention for our
-/// subset), else lexicographically.
-inline bool CompareValues(const std::string& lhs, CompareOp op,
-                          const std::string& rhs) {
-  double ln, rn;
-  if (ToNumber(lhs, &ln) && ToNumber(rhs, &rn)) {
-    switch (op) {
-      case CompareOp::kEq:
-        return ln == rn;
-      case CompareOp::kNe:
-        return ln != rn;
-      case CompareOp::kLt:
-        return ln < rn;
-      case CompareOp::kLe:
-        return ln <= rn;
-      case CompareOp::kGt:
-        return ln > rn;
-      case CompareOp::kGe:
-        return ln >= rn;
-    }
-  }
-  int c = lhs.compare(rhs);
+/// \brief Whether an adapter can serve a node's XPath string-value as a
+/// view into interned index storage:
+///
+///   std::optional<std::string_view> FastStringValue(const Node& n) const;
+///
+/// An engaged return must be byte-identical to StringValue(n); nullopt
+/// means the node's type is not covered (or the value index is disabled)
+/// and the caller assembles the value as before. This removes the
+/// per-candidate subtree walk from value comparisons — the win that makes
+/// the virtual substrate's non-pushable predicates cheap (assembled-value
+/// columns are built once per vtype, then every compare is a term lookup).
+template <typename Adapter>
+constexpr bool AdapterHasFastStringValue() {
+  return requires(const Adapter& a, const typename Adapter::Node& n) {
+    {
+      a.FastStringValue(n)
+    } -> std::convertible_to<std::optional<std::string_view>>;
+  };
+}
+
+/// \brief Attempts to interpret \p s as an XPath number. Delegates to the
+/// value index's canonical parse so the dictionary's precomputed numeric
+/// interpretations agree with every comparison made here.
+inline bool ToNumber(std::string_view s, double* out) {
+  return idx::ParseNumber(s, out);
+}
+
+/// \brief Applies \p op to an already-numeric pair.
+inline bool CompareNumbers(double ln, CompareOp op, double rn) {
   switch (op) {
     case CompareOp::kEq:
-      return c == 0;
+      return ln == rn;
     case CompareOp::kNe:
-      return c != 0;
+      return ln != rn;
     case CompareOp::kLt:
-      return c < 0;
+      return ln < rn;
     case CompareOp::kLe:
-      return c <= 0;
+      return ln <= rn;
     case CompareOp::kGt:
-      return c > 0;
+      return ln > rn;
     case CompareOp::kGe:
-      return c >= 0;
+      return ln >= rn;
   }
   return false;
+}
+
+/// \brief Compares two values under an operator, with XPath 1.0 numeric
+/// semantics: when both sides parse as numbers the comparison is numeric.
+/// Otherwise `=` and `!=` compare the strings, while the relational
+/// operators (`< <= > >=`) are strictly numeric — a side that is not a
+/// number never satisfies them ([price > 50] must not match "n/a").
+inline bool CompareValues(std::string_view lhs, CompareOp op,
+                          std::string_view rhs) {
+  double ln, rn;
+  if (ToNumber(lhs, &ln) && ToNumber(rhs, &rn)) {
+    return CompareNumbers(ln, op, rn);
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return false;
+  }
+  return false;
+}
+
+/// \brief Strict weak order over strings for sorting (XQuery order-by):
+/// numeric when both sides parse as numbers, else lexicographic. This is
+/// deliberately *not* CompareValues with kLt — relational comparison
+/// returns false for non-numeric pairs, which is not an order.
+inline bool OrderLess(std::string_view lhs, std::string_view rhs) {
+  double ln, rn;
+  if (ToNumber(lhs, &ln) && ToNumber(rhs, &rn)) return ln < rn;
+  return lhs < rhs;
 }
 
 template <typename Adapter>
@@ -424,9 +477,21 @@ class PathEvaluator {
           kept.push_back(nodes[position - 1]);
         }
       } else {
-        for (const Node& n : nodes) {
-          VPBN_ASSIGN_OR_RETURN(Value v, EvalExpr(*pred, n));
-          if (v.Truthy()) kept.push_back(n);
+        bool batched = false;
+        if constexpr (AdapterHasBatchPredicate<Adapter>()) {
+          std::vector<char> keep;
+          if (adapter_->BatchPredicate(*pred, nodes, &keep)) {
+            for (size_t i = 0; i < nodes.size(); ++i) {
+              if (keep[i]) kept.push_back(nodes[i]);
+            }
+            batched = true;
+          }
+        }
+        if (!batched) {
+          for (const Node& n : nodes) {
+            VPBN_ASSIGN_OR_RETURN(Value v, EvalExpr(*pred, n));
+            if (v.Truthy()) kept.push_back(n);
+          }
         }
       }
       nodes = std::move(kept);
@@ -530,12 +595,24 @@ class PathEvaluator {
     return Status::Internal("unreachable expr kind");
   }
 
+  /// A node's XPath string-value, served from the value index's interned
+  /// term where the adapter can (byte-identical by contract), assembled
+  /// otherwise.
+  std::string NodeStringValue(const Node& n) {
+    if constexpr (AdapterHasFastStringValue<Adapter>()) {
+      if (std::optional<std::string_view> v = adapter_->FastStringValue(n)) {
+        return std::string(*v);
+      }
+    }
+    return adapter_->StringValue(n);
+  }
+
   /// XPath string() coercion: first node's string value for node sets.
   std::string ToStringValue(const Value& v) {
     switch (v.kind) {
       case Value::Kind::kNodeSet:
         return v.nodes.empty() ? std::string()
-                               : adapter_->StringValue(v.nodes.front());
+                               : NodeStringValue(v.nodes.front());
       case Value::Kind::kString:
         return v.str;
       case Value::Kind::kNumber:
@@ -561,7 +638,7 @@ class PathEvaluator {
       for (const Node& n : lhs.nodes) {
         Value lv;
         lv.kind = Value::Kind::kString;
-        lv.str = adapter_->StringValue(n);
+        lv.str = NodeStringValue(n);
         if (Compare(lv, op, rhs)) return true;
       }
       return false;
@@ -570,7 +647,7 @@ class PathEvaluator {
       for (const Node& n : rhs.nodes) {
         Value rv;
         rv.kind = Value::Kind::kString;
-        rv.str = adapter_->StringValue(n);
+        rv.str = NodeStringValue(n);
         if (Compare(lhs, op, rv)) return true;
       }
       return false;

@@ -37,6 +37,9 @@ struct ExecStats {
   uint64_t bytes_compared = 0;     ///< encoded arena bytes those touched
   uint64_t vjoin_pairs = 0;        ///< virtual merge-join pairs emitted
   uint64_t decoded_batches = 0;    ///< arenas batch-decoded into columns
+  uint64_t value_index_lookups = 0;   ///< dictionary / numeric-slice probes
+  uint64_t value_index_postings = 0;  ///< postings rows consumed by pushdown
+  uint64_t value_scan_fallbacks = 0;  ///< value predicates scanned per node
   uint64_t plan_cache_hits = 0;    ///< engine-lifetime prepared-plan hits
   uint64_t plan_cache_misses = 0;  ///< engine-lifetime prepared-plan misses
   double wall_ms = 0;              ///< end-to-end wall time
@@ -72,9 +75,16 @@ class ExecContext {
   static constexpr size_t kDefaultVJoinMinContext = 16;
   /// @}
 
-  /// Per-query cache of node-test -> matching-vtype lists, so repeated
-  /// steps (and every context group of a batch step) do not rescan the
-  /// whole type forest. Keyed by an adapter-chosen string; \p build fills
+  /// Value-index knob (ExecOptions::use_value_index): when off, value
+  /// predicates run the per-node scan path everywhere — the benchmark and
+  /// property-test baseline the pushdown must match byte-for-byte.
+  bool use_value_index() const { return use_value_index_; }
+  void set_use_value_index(bool on) { use_value_index_ = on; }
+
+  /// Per-query cache of uint32 lists keyed by an adapter-chosen string:
+  /// node-test -> matching-vtype lists (so repeated steps and every context
+  /// group of a batch step do not rescan the whole type forest), and
+  /// value-pushdown (predicate, type) -> matching-row lists. \p build fills
   /// the list on the first miss. Entries are shared_ptr so a caller can
   /// keep reading while other threads insert.
   template <typename Build>
@@ -88,6 +98,24 @@ class ExecContext {
     auto made = std::make_shared<const std::vector<uint32_t>>(build());
     std::lock_guard<std::mutex> lock(vtypes_mu_);
     auto [it, inserted] = vtypes_cache_.emplace(key, std::move(made));
+    return it->second;
+  }
+
+  /// Per-query cache of term bitmaps: one byte per dictionary term, 1 where
+  /// the term satisfies a contains()/starts-with() needle. Built once per
+  /// (needle, dictionary) key, so such predicates test each distinct term
+  /// once instead of each node once.
+  template <typename Build>
+  std::shared_ptr<const std::vector<uint8_t>> CachedTermBitmap(
+      const std::string& key, Build&& build) {
+    {
+      std::lock_guard<std::mutex> lock(bitmaps_mu_);
+      auto it = bitmaps_cache_.find(key);
+      if (it != bitmaps_cache_.end()) return it->second;
+    }
+    auto made = std::make_shared<const std::vector<uint8_t>>(build());
+    std::lock_guard<std::mutex> lock(bitmaps_mu_);
+    auto [it, inserted] = bitmaps_cache_.emplace(key, std::move(made));
     return it->second;
   }
 
@@ -106,6 +134,15 @@ class ExecContext {
   }
   void CountDecodedBatches(uint64_t n) {
     decoded_batches_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountValueIndexLookups(uint64_t n) {
+    value_index_lookups_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountValueIndexPostings(uint64_t n) {
+    value_index_postings_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountValueScanFallbacks(uint64_t n) {
+    value_scan_fallbacks_.fetch_add(n, std::memory_order_relaxed);
   }
   void RecordStep(StepStats step) {
     std::lock_guard<std::mutex> lock(steps_mu_);
@@ -130,6 +167,15 @@ class ExecContext {
   uint64_t decoded_batches() const {
     return decoded_batches_.load(std::memory_order_relaxed);
   }
+  uint64_t value_index_lookups() const {
+    return value_index_lookups_.load(std::memory_order_relaxed);
+  }
+  uint64_t value_index_postings() const {
+    return value_index_postings_.load(std::memory_order_relaxed);
+  }
+  uint64_t value_scan_fallbacks() const {
+    return value_scan_fallbacks_.load(std::memory_order_relaxed);
+  }
   std::vector<StepStats> TakeSteps() {
     std::lock_guard<std::mutex> lock(steps_mu_);
     return std::move(steps_);
@@ -139,6 +185,7 @@ class ExecContext {
   common::ThreadPool* pool_ = nullptr;
   bool collect_stats_ = false;
   bool virtual_join_ = true;
+  bool use_value_index_ = true;
   size_t vjoin_min_context_ = kDefaultVJoinMinContext;
   std::atomic<uint64_t> nodes_scanned_{0};
   std::atomic<uint64_t> join_pairs_{0};
@@ -146,12 +193,19 @@ class ExecContext {
   std::atomic<uint64_t> bytes_compared_{0};
   std::atomic<uint64_t> vjoin_pairs_{0};
   std::atomic<uint64_t> decoded_batches_{0};
+  std::atomic<uint64_t> value_index_lookups_{0};
+  std::atomic<uint64_t> value_index_postings_{0};
+  std::atomic<uint64_t> value_scan_fallbacks_{0};
   std::mutex steps_mu_;
   std::vector<StepStats> steps_;
   std::mutex vtypes_mu_;
   std::unordered_map<std::string,
                      std::shared_ptr<const std::vector<uint32_t>>>
       vtypes_cache_;
+  std::mutex bitmaps_mu_;
+  std::unordered_map<std::string,
+                     std::shared_ptr<const std::vector<uint8_t>>>
+      bitmaps_cache_;
 };
 
 }  // namespace vpbn::query

@@ -97,6 +97,33 @@ struct Expr {
   std::unique_ptr<Expr> rhs;      // kCompare, kAnd, kOr
 };
 
+/// \brief True for the downward, predicate-free chains the value-pushdown
+/// planner can reason about at the type level: child and descendant steps
+/// (plus the '//'-style anonymous descendant-or-self step), no predicates
+/// anywhere. For such a path, every instance of a terminal DataGuide type
+/// inside a context node's subtree is connected to it by exactly the
+/// chain's steps (type ids encode full root paths), which is what makes a
+/// postings semi-join exact.
+inline bool IsPredicateFreeChain(const Path& path) {
+  for (const Step& step : path.steps) {
+    switch (step.axis) {
+      case num::Axis::kChild:
+      case num::Axis::kDescendant:
+        break;
+      case num::Axis::kDescendantOrSelf:
+        // Only the anonymous '//' form: a *named* descendant-or-self step
+        // could select the context node itself, which the strictly
+        // descending semi-join machinery does not model.
+        if (step.test.kind != NodeTest::Kind::kAnyNode) return false;
+        break;
+      default:
+        return false;
+    }
+    if (!step.predicates.empty()) return false;
+  }
+  return !path.steps.empty();
+}
+
 /// \brief Render a path back to XPath syntax (for diagnostics).
 std::string PathToString(const Path& path);
 

@@ -13,6 +13,8 @@ StoredDocument::StoredDocument(StoredDocument&& other) noexcept
       numbering_(std::move(other.numbering_)),
       guide_(std::move(other.guide_)),
       node_types_(std::move(other.node_types_)),
+      node_rows_(std::move(other.node_rows_)),
+      value_index_(std::move(other.value_index_)),
       ranges_(std::move(other.ranges_)),
       packed_type_index_(std::move(other.packed_type_index_)),
       type_node_index_(std::move(other.type_node_index_)),
@@ -25,6 +27,8 @@ StoredDocument& StoredDocument::operator=(StoredDocument&& other) noexcept {
     numbering_ = std::move(other.numbering_);
     guide_ = std::move(other.guide_);
     node_types_ = std::move(other.node_types_);
+    node_rows_ = std::move(other.node_rows_);
+    value_index_ = std::move(other.value_index_);
     ranges_ = std::move(other.ranges_);
     packed_type_index_ = std::move(other.packed_type_index_);
     type_node_index_ = std::move(other.type_node_index_);
@@ -50,11 +54,16 @@ StoredDocument StoredDocument::Build(const xml::Document& doc) {
   // DocumentOrder guarantees the per-type arenas come out sorted in
   // document order, which the memcmp binary searches and the packed
   // structural joins rely on.
+  out.node_rows_.assign(doc.num_nodes(), 0);
   for (xml::NodeId id : doc.DocumentOrder()) {
+    out.node_rows_[id] = static_cast<uint32_t>(
+        out.type_node_index_[out.node_types_[id]].size());
     out.packed_type_index_[out.node_types_[id]].Append(
         out.numbering_.OfNode(id));
     out.type_node_index_[out.node_types_[id]].push_back(id);
   }
+  out.value_index_ =
+      idx::ValueIndex::Build(doc, out.guide_, out.type_node_index_);
   return out;
 }
 
@@ -133,6 +142,8 @@ size_t StoredDocument::MemoryUsage() const {
   total += numbering_.NumbersMemoryUsage();
   total += guide_.MemoryUsage();
   total += node_types_.capacity() * sizeof(dg::TypeId);
+  total += node_rows_.capacity() * sizeof(uint32_t);
+  total += value_index_.MemoryUsage();
   for (const auto& list : packed_type_index_) total += list.MemoryUsage();
   for (const auto& v : type_node_index_) {
     total += v.capacity() * sizeof(xml::NodeId);

@@ -25,6 +25,7 @@
 
 #include "common/result.h"
 #include "dataguide/dataguide.h"
+#include "index/value_index.h"
 #include "pbn/numbering.h"
 #include "pbn/packed.h"
 #include "pbn/pbn.h"
@@ -75,6 +76,11 @@ class StoredDocument {
 
   /// Byte range [start, end) of the node's value in the stored string.
   Result<std::pair<uint64_t, uint64_t>> ValueRange(const num::Pbn& pbn) const;
+
+  /// The dictionary-encoded value index (term columns, postings, numeric
+  /// rows) the query layer pushes value predicates into. Built with the
+  /// document; immutable afterwards.
+  const idx::ValueIndex& value_index() const { return value_index_; }
   /// @}
 
   /// Header for the node with number \p pbn.
@@ -101,6 +107,10 @@ class StoredDocument {
   /// NodeIds of all nodes of type \p t, aligned index-for-index with
   /// NodesOfType(t). Lets callers avoid the PBN -> NodeId hash lookup.
   const std::vector<xml::NodeId>& NodeIdsOfType(dg::TypeId t) const;
+
+  /// Row of node \p id within its type's instance list: NodesOfType /
+  /// NodeIdsOfType / the value index's columns all align on it. O(1).
+  uint32_t RowOfNode(xml::NodeId id) const { return node_rows_[id]; }
 
   /// Index range [first, last) into PackedNodesOfType(t)/NodeIdsOfType(t)
   /// of the instances that are descendants-or-self of \p scope, found by
@@ -129,6 +139,8 @@ class StoredDocument {
   num::Numbering numbering_;
   dg::DataGuide guide_;
   std::vector<dg::TypeId> node_types_;
+  std::vector<uint32_t> node_rows_;  // by NodeId: row within its type list
+  idx::ValueIndex value_index_;
   std::vector<std::pair<uint64_t, uint64_t>> ranges_;  // by NodeId
   std::vector<num::PackedPbnList> packed_type_index_;  // by TypeId
   std::vector<std::vector<xml::NodeId>> type_node_index_;  // aligned

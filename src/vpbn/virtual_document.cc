@@ -35,7 +35,8 @@ VirtualDocument::VirtualDocument(VirtualDocument&& other) noexcept
       intact_(std::move(other.intact_)),
       guaranteed_(std::move(other.guaranteed_)),
       decoded_(std::move(other.decoded_)),
-      reach_(std::move(other.reach_)) {}
+      reach_(std::move(other.reach_)),
+      vvalue_cols_(std::move(other.vvalue_cols_)) {}
 
 VirtualDocument& VirtualDocument::operator=(VirtualDocument&& other) noexcept {
   if (this != &other) {
@@ -46,6 +47,7 @@ VirtualDocument& VirtualDocument::operator=(VirtualDocument&& other) noexcept {
     guaranteed_ = std::move(other.guaranteed_);
     decoded_ = std::move(other.decoded_);
     reach_ = std::move(other.reach_);
+    vvalue_cols_ = std::move(other.vvalue_cols_);
   }
   return *this;
 }
@@ -98,6 +100,42 @@ const num::DecodedPbnColumn& VirtualDocument::DecodedNodesOfType(
     if (built_now != nullptr) *built_now = true;
   }
   return *decoded_[t];
+}
+
+const idx::TypeColumn* VirtualDocument::ValueColumn(vdg::VTypeId t) const {
+  const vdg::VDataGuide& vg = *vguide_;
+  // Covered iff the string-value is flat in the *virtual* shape: a text
+  // vtype, or an element vtype whose vguide children are all text vtypes.
+  if (!vg.IsTextVType(t)) {
+    for (vdg::VTypeId c : vg.children(t)) {
+      if (!vg.IsTextVType(c)) return nullptr;
+    }
+  }
+  dg::TypeId ot = vg.original(t);
+  if (intact_[t]) {
+    // Intact subtree: virtual string-values equal the original ones, so
+    // the stored index's column (same row alignment) serves directly.
+    const idx::TypeColumn* col = stored_->value_index().Column(ot);
+    if (col != nullptr) return col;
+  }
+  {
+    std::lock_guard<std::mutex> lock(vvalue_mu_);
+    if (vvalue_cols_.empty()) vvalue_cols_.resize(vg.num_vtypes());
+    if (vvalue_cols_[t] != nullptr) return &vvalue_cols_[t]->column;
+  }
+  // Assemble outside the lock over *every* instance of the original type
+  // (rows must align with NodeIdsOfType whether or not an instance is
+  // reachable); a concurrent racer computes the same column and the first
+  // store wins.
+  const std::vector<xml::NodeId>& ids = stored_->NodeIdsOfType(ot);
+  auto made = std::make_unique<AssembledValueColumn>();
+  made->column = idx::ValueIndex::BuildColumn(
+      ids.size(),
+      [&](size_t row) { return StringValue(VirtualNode{ids[row], t}); },
+      &made->dict);
+  std::lock_guard<std::mutex> lock(vvalue_mu_);
+  if (vvalue_cols_[t] == nullptr) vvalue_cols_[t] = std::move(made);
+  return &vvalue_cols_[t]->column;
 }
 
 std::vector<uint8_t> VirtualDocument::BuildReachableBitmap(

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "index/value_index.h"
 #include "storage/stored_document.h"
 #include "vdg/vdataguide.h"
 #include "vpbn/vpbn.h"
@@ -113,6 +114,17 @@ class VirtualDocument {
   /// such subtrees can be served physically (§6's optimization).
   bool IsIntactVType(vdg::VTypeId t) const { return intact_[t]; }
 
+  /// The dictionary-encoded value column of vtype \p t, or nullptr when
+  /// the vtype is not covered (its virtual string-value is not flat: some
+  /// vguide child is an element vtype). Rows align index-for-index with
+  /// NodeIdsOfType of the original type — stored().RowOfNode(v.node) is a
+  /// node's row. Intact vtypes serve the stored index's column directly
+  /// (their virtual string-values equal the original ones); other covered
+  /// vtypes get an assembled-value column built lazily over every instance
+  /// of the original type, memoized for the life of the document.
+  /// Thread-safe.
+  const idx::TypeColumn* ValueColumn(vdg::VTypeId t) const;
+
   /// \name Reachability
   ///
   /// A virtual node is *in* the virtual document only if a chain of virtual
@@ -172,6 +184,15 @@ class VirtualDocument {
                                             vdg::VTypeId ct) const;
 
  private:
+  /// An assembled per-vtype value column owning a private dictionary:
+  /// columns are immutable once stored, and private dictionaries keep
+  /// concurrent readers of finished columns independent of later builds
+  /// (a shared growing dictionary would race).
+  struct AssembledValueColumn {
+    idx::Dictionary dict;
+    idx::TypeColumn column;
+  };
+
   std::vector<uint8_t> BuildReachableBitmap(vdg::VTypeId t) const;
 
   const storage::StoredDocument* stored_ = nullptr;
@@ -194,6 +215,9 @@ class VirtualDocument {
   mutable std::mutex reach_mu_;
   mutable std::vector<std::unique_ptr<std::vector<uint8_t>>>
       reach_;  // by VTypeId; null slot = not built (or guaranteed)
+  mutable std::mutex vvalue_mu_;
+  mutable std::vector<std::unique_ptr<AssembledValueColumn>>
+      vvalue_cols_;  // by VTypeId; null slot = not built (or served stored)
 };
 
 }  // namespace vpbn::virt

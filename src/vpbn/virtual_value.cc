@@ -20,6 +20,17 @@ std::string VirtualValueComputer::Value(const VirtualNode& v) {
   return out;
 }
 
+bool VirtualValueComputer::ValueView(const VirtualNode& v,
+                                     std::string_view* out) {
+  if (!intact_[v.vtype]) return false;
+  const storage::StoredDocument& stored = vdoc_->stored();
+  auto range = stored.Value(stored.numbering().OfNode(v.node));
+  if (!range.ok()) return false;
+  *out = range.value();
+  ++stats_.range_copies;
+  return true;
+}
+
 void VirtualValueComputer::AppendValue(const VirtualNode& v,
                                        std::string* out) {
   const storage::StoredDocument& stored = vdoc_->stored();

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "vpbn/virtual_document.h"
@@ -32,6 +33,12 @@ class VirtualValueComputer {
   /// The XML value of virtual node \p v (text nodes yield escaped text,
   /// exactly as stored).
   std::string Value(const VirtualNode& v);
+
+  /// Zero-copy variant: when \p v's subtree is intact its value is one
+  /// substring of the stored string — set \p out to that view (valid as
+  /// long as the stored document lives) and return true. False when the
+  /// value must be assembled (caller falls back to Value()).
+  bool ValueView(const VirtualNode& v, std::string_view* out);
 
   /// True iff the virtual subtree of type \p t mirrors its original subtree
   /// (same types, same order, nothing added or removed), so instance values

@@ -310,12 +310,12 @@ Result<Sequence> Engine::EvalFlwr(const XqExpr& flwr, Env* env) {
   VPBN_ASSIGN_OR_RETURN(Sequence unused, EvalFors(flwr, 0, env, &chunks));
   (void)unused;
   // Numeric-aware, stable sort (XQuery sorts by typed value; our subset
-  // compares numerically when both keys parse as numbers).
+  // compares numerically when both keys parse as numbers, lexicographically
+  // otherwise — CompareValues cannot be used here since XPath relational
+  // comparison of non-numeric strings is always false).
   std::stable_sort(chunks.begin(), chunks.end(),
                    [&](const OrderedChunk& a, const OrderedChunk& b) {
-                     return query::CompareValues(a.key,
-                                                 query::CompareOp::kLt,
-                                                 b.key);
+                     return query::OrderLess(a.key, b.key);
                    });
   if (flwr.order_descending) {
     std::reverse(chunks.begin(), chunks.end());

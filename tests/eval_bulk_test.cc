@@ -69,11 +69,29 @@ TEST(EvalBulkTest, PredicateActuallyFilters) {
 TEST(EvalBulkTest, OutsideFragmentIsNotImplemented) {
   Fixture f;
   for (const char* path :
-       {"//title/..", "//name/ancestor::book", "//title[text() = \"X\"]",
+       {"//title/..", "//name/ancestor::book",
         "//book[@year]", "//book[count(author) > 1]",
         "//title/following-sibling::author", "//book[not(publisher)]"}) {
     auto r = EvalBulk(f.stored, path);
     EXPECT_TRUE(r.status().IsNotImplemented()) << path << ": " << r.status();
+  }
+}
+
+TEST(EvalBulkTest, ValuePredicatesAreInFragment) {
+  // Value predicates (comparison / contains / starts-with against a
+  // literal) joined the bulk fragment with the value index; they must
+  // agree with the indexed evaluator.
+  Fixture f;
+  for (const char* text :
+       {"//title[text() = \"X\"]", "//book[title = \"Y\"]",
+        "//book[@year >= 1995]", "//book[contains(title, \"X\")]"}) {
+    auto path = ParsePath(text);
+    ASSERT_TRUE(path.ok()) << text;
+    auto bulk = EvalBulk(f.stored, *path);
+    auto idx = EvalIndexed(f.stored, *path);
+    ASSERT_TRUE(bulk.ok()) << text << ": " << bulk.status();
+    ASSERT_TRUE(idx.ok());
+    EXPECT_EQ(*bulk, *idx) << text;
   }
 }
 

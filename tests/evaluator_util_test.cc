@@ -47,15 +47,35 @@ TEST(CompareValuesTest, NumericWhenBothNumeric) {
   EXPECT_TRUE(CompareValues("1994", CompareOp::kNe, "2001"));
 }
 
-TEST(CompareValuesTest, LexicographicOtherwise) {
-  // "9" < "10" numerically but "10" < "9" lexicographically; the string
-  // side forces lexicographic.
-  EXPECT_TRUE(CompareValues("10x", CompareOp::kLt, "9"));
-  EXPECT_TRUE(CompareValues("apple", CompareOp::kLt, "banana"));
+TEST(CompareValuesTest, StringEqualityOtherwise) {
+  // Non-numeric operands compare as strings for = and !=.
   EXPECT_TRUE(CompareValues("same", CompareOp::kEq, "same"));
+  EXPECT_FALSE(CompareValues("same", CompareOp::kEq, "other"));
   EXPECT_TRUE(CompareValues("a", CompareOp::kNe, "b"));
-  EXPECT_TRUE(CompareValues("b", CompareOp::kGe, "a"));
-  EXPECT_TRUE(CompareValues("a", CompareOp::kLe, "a"));
+  EXPECT_FALSE(CompareValues("a", CompareOp::kNe, "a"));
+}
+
+TEST(CompareValuesTest, RelationalRequiresNumbers) {
+  // XPath 1.0: < <= > >= convert both sides to numbers; a non-numeric
+  // side becomes NaN and every comparison with NaN is false. No
+  // lexicographic fallback.
+  EXPECT_FALSE(CompareValues("10x", CompareOp::kLt, "9"));
+  EXPECT_FALSE(CompareValues("9", CompareOp::kLt, "10x"));
+  EXPECT_FALSE(CompareValues("apple", CompareOp::kLt, "banana"));
+  EXPECT_FALSE(CompareValues("banana", CompareOp::kGt, "apple"));
+  EXPECT_FALSE(CompareValues("b", CompareOp::kGe, "a"));
+  EXPECT_FALSE(CompareValues("a", CompareOp::kLe, "a"));
+}
+
+TEST(OrderLessTest, NumericThenLexicographic) {
+  // XQuery order-by: numeric when both keys parse, lexicographic
+  // otherwise — distinct from CompareValues' predicate semantics.
+  EXPECT_TRUE(OrderLess("9", "10"));
+  EXPECT_FALSE(OrderLess("10", "9"));
+  EXPECT_TRUE(OrderLess("apple", "banana"));
+  EXPECT_FALSE(OrderLess("banana", "apple"));
+  EXPECT_TRUE(OrderLess("10x", "9x"));  // non-numeric: lexicographic
+  EXPECT_FALSE(OrderLess("a", "a"));
 }
 
 /// Regression: mixing `*`/`**` expansions with explicit cross-branch labels

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -103,6 +104,9 @@ int WriteStatsJson(const std::string& path, const query::ExecStats& stats,
                "  \"bytes_compared\": %llu,\n"
                "  \"vjoin_pairs\": %llu,\n"
                "  \"decoded_batches\": %llu,\n"
+               "  \"value_index_lookups\": %llu,\n"
+               "  \"value_index_postings\": %llu,\n"
+               "  \"value_scan_fallbacks\": %llu,\n"
                "  \"plan_cache_hits\": %llu,\n"
                "  \"plan_cache_misses\": %llu,\n"
                "  \"steps\": [",
@@ -114,6 +118,9 @@ int WriteStatsJson(const std::string& path, const query::ExecStats& stats,
                static_cast<unsigned long long>(stats.bytes_compared),
                static_cast<unsigned long long>(stats.vjoin_pairs),
                static_cast<unsigned long long>(stats.decoded_batches),
+               static_cast<unsigned long long>(stats.value_index_lookups),
+               static_cast<unsigned long long>(stats.value_index_postings),
+               static_cast<unsigned long long>(stats.value_scan_fallbacks),
                static_cast<unsigned long long>(stats.plan_cache_hits),
                static_cast<unsigned long long>(stats.plan_cache_misses));
   for (size_t i = 0; i < stats.steps.size(); ++i) {
@@ -136,8 +143,12 @@ int RunQuery(const query::QueryEngine& engine, const std::string& path_text,
   if (!prepared.ok()) return Fail(prepared.status());
   auto result = engine.Execute(*prepared, options);
   if (!result.ok()) return Fail(result.status());
-  for (const std::string& value : engine.StringValues(*result)) {
-    std::printf("%s\n", value.c_str());
+  // Views point into the stored string for stored / intact-virtual results,
+  // so printing a large result set never copies the values.
+  std::deque<std::string> owned;
+  for (std::string_view value : engine.StringValueViews(*result, &owned)) {
+    std::fwrite(value.data(), 1, value.size(), stdout);
+    std::fputc('\n', stdout);
   }
   std::fprintf(stderr, "%zu node(s)\n", result->size());
   if (options.collect_stats) {
