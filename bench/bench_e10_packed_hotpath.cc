@@ -38,8 +38,8 @@ int main(int argc, char** argv) {
   opts.num_auctions = argc > 1 ? std::atoi(argv[1]) : 4000;
   const char* out_path = argc > 2 ? argv[2] : "BENCH_e10.json";
 
-  xml::Document doc = workload::GenerateAuctions(opts);
-  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+  storage::StoredDocument stored =
+      storage::StoredDocument::Build(workload::GenerateAuctions(opts));
   const dg::DataGuide& g = stored.dataguide();
 
   auto auction = g.FindByPath("site.open_auctions.auction").value();
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   std::printf(
       "E10 — packed columnar hot paths (auctions, %zu nodes; "
       "|auction|=%zu |bidder|=%zu |personref|=%zu)\n\n",
-      static_cast<size_t>(doc.num_nodes()), v_auction.size(), v_bidder.size(),
+      static_cast<size_t>(stored.doc().num_nodes()), v_auction.size(), v_bidder.size(),
       v_personref.size());
 
   constexpr int kReps = 15;
@@ -270,7 +270,7 @@ int main(int argc, char** argv) {
                "  \"experiment\": \"e10_packed_hotpath\",\n"
                "  \"workload\": {\"generator\": \"auctions\", \"nodes\": %zu, "
                "\"auctions\": %d, \"ancestors\": %zu, \"descendants\": %zu},\n",
-               static_cast<size_t>(doc.num_nodes()), opts.num_auctions,
+               static_cast<size_t>(stored.doc().num_nodes()), opts.num_auctions,
                v_auction.size(), v_personref.size());
   std::fprintf(out,
                "  \"ad_join\": {\"vector_ms\": %.4f, \"packed_ms\": %.4f, "

@@ -57,8 +57,8 @@ int main(int argc, char** argv) {
   if (p < positional.size()) out_path = positional[p].c_str();
   const int reps = smoke ? 3 : 11;
 
-  xml::Document doc = workload::GenerateAuctions(opts);
-  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+  storage::StoredDocument stored =
+      storage::StoredDocument::Build(workload::GenerateAuctions(opts));
   auto vdoc_or =
       virt::VirtualDocument::Open(stored, "auction { itemref bidder { price } }");
   if (!vdoc_or.ok()) {
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
   std::printf(
       "E11 — virtual merge joins vs per-candidate predicates (auctions, "
       "%zu nodes, %d auctions)\n\n",
-      static_cast<size_t>(doc.num_nodes()), opts.num_auctions);
+      static_cast<size_t>(stored.doc().num_nodes()), opts.num_auctions);
 
   struct Row {
     std::string label;
@@ -182,7 +182,7 @@ int main(int argc, char** argv) {
                "\"auction { itemref bidder { price } }\"},\n"
                "  \"reps\": %d,\n"
                "  \"queries\": [",
-               static_cast<size_t>(doc.num_nodes()), opts.num_auctions, reps);
+               static_cast<size_t>(stored.doc().num_nodes()), opts.num_auctions, reps);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(

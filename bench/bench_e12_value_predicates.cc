@@ -73,25 +73,24 @@ int main(int argc, char** argv) {
   if (p < positional.size()) out_path = positional[p].c_str();
   const int reps = smoke ? 3 : 11;
 
-  xml::Document books = workload::GenerateBooks(bopts);
-  storage::StoredDocument books_stored = storage::StoredDocument::Build(books);
+  storage::StoredDocument books_stored =
+      storage::StoredDocument::Build(workload::GenerateBooks(bopts));
 
   workload::AuctionsOptions aopts;
   aopts.num_items = smoke ? 100 : 400;
   aopts.num_people = smoke ? 80 : 300;
   aopts.num_auctions = smoke ? 300 : 3000;
-  xml::Document auctions = workload::GenerateAuctions(aopts);
   storage::StoredDocument auctions_stored =
-      storage::StoredDocument::Build(auctions);
+      storage::StoredDocument::Build(workload::GenerateAuctions(aopts));
 
   // A near-unique equality literal: the first title (titles repeat with
   // low probability, so its selectivity sits at ~1/num_books).
-  auto first_title = query::EvalNav(books, "//title");
+  auto first_title = query::EvalNav(books_stored.doc(), "//title");
   if (!first_title.ok() || first_title->empty()) {
     std::fprintf(stderr, "no titles generated\n");
     return 1;
   }
-  std::string rare_title = books.StringValue(first_title->front());
+  std::string rare_title = books_stored.doc().StringValue(first_title->front());
 
   struct Case {
     const char* label;    ///< predicate family / selectivity band
@@ -111,8 +110,8 @@ int main(int argc, char** argv) {
   std::printf(
       "E12 — value-predicate pushdown vs per-node scan (books: %zu nodes, "
       "%d books; auctions: %zu nodes)\n\n",
-      static_cast<size_t>(books.num_nodes()), bopts.num_books,
-      static_cast<size_t>(auctions.num_nodes()));
+      static_cast<size_t>(books_stored.doc().num_nodes()), bopts.num_books,
+      static_cast<size_t>(auctions_stored.doc().num_nodes()));
 
   struct Row {
     std::string label;
@@ -216,8 +215,8 @@ int main(int argc, char** argv) {
                "\"auctions\": {\"nodes\": %zu, \"auctions\": %d}},\n"
                "  \"reps\": %d,\n"
                "  \"queries\": [",
-               static_cast<size_t>(books.num_nodes()), bopts.num_books,
-               static_cast<size_t>(auctions.num_nodes()), aopts.num_auctions,
+               static_cast<size_t>(books_stored.doc().num_nodes()), bopts.num_books,
+               static_cast<size_t>(auctions_stored.doc().num_nodes()), aopts.num_auctions,
                reps);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

@@ -46,8 +46,8 @@ int main() {
       workload::BooksOptions opts;
       opts.seed = 7;
       opts.num_books = books;
-      xml::Document doc = workload::GenerateBooks(opts);
-      storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+      storage::StoredDocument stored =
+          storage::StoredDocument::Build(workload::GenerateBooks(opts));
       auto vdoc = virt::VirtualDocument::Open(stored, kSpec);
       if (!vdoc.ok()) {
         std::fprintf(stderr, "%s\n", vdoc.status().ToString().c_str());
@@ -83,7 +83,8 @@ int main() {
         return 1;
       }
       double baseline_total = materialize_ms + renumber_ms + query_after_ms;
-      table.AddRow({std::to_string(books), std::to_string(doc.num_nodes()),
+      table.AddRow({std::to_string(books),
+                    std::to_string(stored.doc().num_nodes()),
                     Fmt(virtual_ms), Fmt(materialize_ms), Fmt(renumber_ms),
                     Fmt(query_after_ms), Fmt(baseline_total),
                     Fmt(baseline_total / virtual_ms, 1) + "x"});

@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
   opts.num_items = 400;
   opts.num_people = 300;
   opts.num_auctions = argc > 1 ? std::atoi(argv[1]) : 4000;
-  xml::Document doc = workload::GenerateAuctions(opts);
-  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+  storage::StoredDocument stored =
+      storage::StoredDocument::Build(workload::GenerateAuctions(opts));
   auto vdoc = virt::VirtualDocument::Open(
       stored, "auction { itemref bidder { personref price } }");
   if (!vdoc.ok()) {
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   std::printf(
       "E9 — parallel scaling (auctions workload, %zu nodes,"
       " hardware_concurrency=%u)\n\n",
-      static_cast<size_t>(doc.num_nodes()),
+      static_cast<size_t>(stored.doc().num_nodes()),
       std::thread::hardware_concurrency());
 
   struct Workload {

@@ -24,10 +24,10 @@ int main(int argc, char** argv) {
   opts.num_items = 60;
   opts.num_people = 25;
   opts.num_auctions = argc > 1 ? std::atoi(argv[1]) : 40;
-  xml::Document doc = workload::GenerateAuctions(opts);
-  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+  storage::StoredDocument stored =
+      storage::StoredDocument::Build(workload::GenerateAuctions(opts));
 
-  std::cout << "Auction site: " << doc.num_nodes() << " nodes, "
+  std::cout << "Auction site: " << stored.doc().num_nodes() << " nodes, "
             << stored.dataguide().num_types() << " types\n\n";
 
   // Auctions regrouped under their items' sellers is beyond this demo; we

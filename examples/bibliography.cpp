@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
             << *result << "\n\n";
 
   // Cost comparison: virtual navigation vs materialize-then-navigate.
+  // Non-owning Build: `doc` is shared with the xq engine above.
   storage::StoredDocument stored = storage::StoredDocument::Build(doc);
   auto vdoc = virt::VirtualDocument::Open(stored, kByAuthor);
   const char* kQuery = "//author[text() = \"Author1\"]/article/title";

@@ -38,7 +38,8 @@ int main() {
   // 2. Build the stored form: the serialized string, prefix-based numbers
   //    (PBN) for every node, the DataGuide (structural summary), the value
   //    index and the type index.
-  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+  storage::StoredDocument stored =
+      storage::StoredDocument::Build(std::move(doc));
 
   std::cout << "Types in the DataGuide:\n";
   for (dg::TypeId t = 0; t < stored.dataguide().num_types(); ++t) {

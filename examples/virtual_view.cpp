@@ -63,7 +63,8 @@ int main() {
             << " view nodes — the view itself was never instantiated)\n\n";
 
   // Show the vPBN numbers of Figure 10: each node keeps its original PBN,
-  // each virtual type carries a level array.
+  // each virtual type carries a level array. Non-owning Build: the xq
+  // engine above still holds a pointer to this document.
   storage::StoredDocument stored = storage::StoredDocument::Build(doc);
   auto vdoc =
       virt::VirtualDocument::Open(stored, "title { author { name } }");

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace vpbn::idx {
 
 uint32_t Dictionary::Intern(std::string_view value) {
@@ -79,17 +81,41 @@ TypeColumn ValueIndex::BuildColumn(
 
 ValueIndex ValueIndex::Build(
     const xml::Document& doc, const dg::DataGuide& guide,
-    const std::vector<std::vector<xml::NodeId>>& nodes_by_type) {
+    const std::vector<std::vector<xml::NodeId>>& nodes_by_type,
+    common::ThreadPool* pool) {
   ValueIndex out;
   out.columns_.resize(guide.num_types());
   out.attrs_.resize(guide.num_types());
+  // Phase 1 (parallel): materialize the string-values of every covered
+  // type's rows — the subtree walks that dominate build time, and the only
+  // per-row work with no ordering constraint. Each type writes its own
+  // slot, so types fan out on the pool.
+  std::vector<dg::TypeId> covered;
+  for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
+    if (GuideCovers(guide, t)) covered.push_back(t);
+  }
+  std::vector<std::vector<std::string>> values(guide.num_types());
+  common::ParallelFor(pool, covered.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t k = lo; k < hi; ++k) {
+      dg::TypeId t = covered[k];
+      const std::vector<xml::NodeId>& ids = nodes_by_type[t];
+      values[t].reserve(ids.size());
+      for (xml::NodeId id : ids) values[t].push_back(doc.StringValue(id));
+    }
+  });
+  // Phase 2 (sequential): intern in canonical order — covered column first,
+  // then attribute columns, type by type — so term ids match the
+  // single-threaded build exactly.
   for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
     const std::vector<xml::NodeId>& ids = nodes_by_type[t];
     if (GuideCovers(guide, t)) {
+      std::vector<std::string>& vals = values[t];
       out.columns_[t] = std::make_unique<TypeColumn>(BuildColumn(
           ids.size(),
-          [&](size_t row) { return doc.StringValue(ids[row]); },
+          [&](size_t row) { return std::move(vals[row]); },
           out.dict_.get()));
+      vals.clear();
+      vals.shrink_to_fit();
     }
     if (guide.IsTextType(t)) continue;
     // Attribute columns: one per attribute name seen on any instance,
@@ -104,6 +130,46 @@ ValueIndex ValueIndex::Build(
     }
   }
   return out;
+}
+
+Result<TypeColumn> ValueIndex::ColumnFromTermIds(
+    std::vector<uint32_t> term_ids, const Dictionary* dict) {
+  TypeColumn col;
+  col.dict = dict;
+  col.term_ids = std::move(term_ids);
+  // Counting pass first: with exact sizes known, the postings map and its
+  // row vectors allocate once instead of rehashing and regrowing under
+  // insertion (the snapshot-restore hot path rebuilds every column).
+  std::vector<uint32_t> counts(dict->size(), 0);
+  size_t numeric_count = 0;
+  for (uint32_t term : col.term_ids) {
+    if (term >= dict->size()) {
+      return Status::InvalidArgument("value column term id out of range");
+    }
+    ++counts[term];
+    if (dict->numeric(term) && !std::isnan(dict->number(term))) {
+      ++numeric_count;
+    }
+  }
+  size_t distinct = 0;
+  for (uint32_t c : counts) distinct += c != 0;
+  col.postings.reserve(distinct);
+  col.numeric_rows.reserve(numeric_count);
+  for (size_t row = 0; row < col.term_ids.size(); ++row) {
+    uint32_t term = col.term_ids[row];
+    std::vector<uint32_t>& rows = col.postings[term];
+    if (rows.empty()) rows.reserve(counts[term]);
+    rows.push_back(static_cast<uint32_t>(row));
+    if (dict->numeric(term) && !std::isnan(dict->number(term))) {
+      col.numeric_rows.push_back(static_cast<uint32_t>(row));
+    }
+  }
+  std::stable_sort(col.numeric_rows.begin(), col.numeric_rows.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return dict->number(col.term_ids[a]) <
+                            dict->number(col.term_ids[b]);
+                   });
+  return col;
 }
 
 const AttrColumn* ValueIndex::Attr(dg::TypeId t,

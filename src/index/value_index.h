@@ -45,8 +45,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
+#include "common/thread_pool.h"
 #include "dataguide/dataguide.h"
 #include "xml/document.h"
+
+namespace vpbn::storage {
+class Snapshot;
+}
 
 namespace vpbn::idx {
 
@@ -131,10 +137,15 @@ class ValueIndex {
   /// Builds columns for every covered type of \p guide and attribute
   /// columns for every attribute name that occurs on an element type.
   /// \p nodes_by_type[t] lists the instances of type t in document order
-  /// (StoredDocument's type_node_index).
+  /// (StoredDocument's type_node_index). With a pool, the per-row
+  /// string-values (the subtree walks that dominate build time) are
+  /// computed in parallel per type; interning stays sequential in type
+  /// order so term ids — and therefore the whole index — are byte-identical
+  /// to the single-threaded build.
   static ValueIndex Build(
       const xml::Document& doc, const dg::DataGuide& guide,
-      const std::vector<std::vector<xml::NodeId>>& nodes_by_type);
+      const std::vector<std::vector<xml::NodeId>>& nodes_by_type,
+      common::ThreadPool* pool = nullptr);
 
   /// Whether \p t is covered per the guide: a text type, or an element type
   /// whose guide children are all text types.
@@ -159,7 +170,15 @@ class ValueIndex {
       size_t n, const std::function<std::string(size_t)>& value_of,
       Dictionary* dict);
 
+  /// Rebuilds a column from its stored term-id row (the snapshot restore
+  /// path): postings and the sorted numeric rows are re-derived rather than
+  /// persisted. InvalidArgument if any id is out of range for \p dict.
+  static Result<TypeColumn> ColumnFromTermIds(std::vector<uint32_t> term_ids,
+                                              const Dictionary* dict);
+
  private:
+  friend class vpbn::storage::Snapshot;  // restore-path access to members
+
   // Heap-held so the address every TypeColumn::dict records stays valid
   // when the index (inside its StoredDocument) is moved.
   std::unique_ptr<Dictionary> dict_ = std::make_unique<Dictionary>();

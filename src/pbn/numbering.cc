@@ -35,6 +35,16 @@ Numbering Numbering::Number(const xml::Document& doc) {
   return out;
 }
 
+Numbering Numbering::FromNumbers(std::vector<Pbn> numbers) {
+  Numbering out;
+  out.numbers_ = std::move(numbers);
+  out.by_pbn_.reserve(out.numbers_.size());
+  for (size_t id = 0; id < out.numbers_.size(); ++id) {
+    out.by_pbn_.emplace(out.numbers_[id], static_cast<xml::NodeId>(id));
+  }
+  return out;
+}
+
 Result<xml::NodeId> Numbering::NodeOf(const Pbn& pbn) const {
   auto it = by_pbn_.find(pbn);
   if (it == by_pbn_.end()) {

@@ -25,6 +25,12 @@ class Numbering {
   /// its parent's number with its 1-based sibling ordinal.
   static Numbering Number(const xml::Document& doc);
 
+  /// Rebuild a Numbering from an already-computed NodeId -> Pbn column (the
+  /// snapshot restore path; the reverse index is re-derived). Duplicate
+  /// numbers collapse in the reverse index — callers that need to reject
+  /// them compare reverse_index_size() against size().
+  static Numbering FromNumbers(std::vector<Pbn> numbers);
+
   /// The number of node \p id.
   const Pbn& OfNode(xml::NodeId id) const { return numbers_[id]; }
 
@@ -37,6 +43,10 @@ class Numbering {
   }
 
   size_t size() const { return numbers_.size(); }
+
+  /// Entries in the reverse (Pbn -> NodeId) index; equals size() exactly
+  /// when every number is distinct.
+  size_t reverse_index_size() const { return by_pbn_.size(); }
 
   /// All numbers, indexed by NodeId.
   const std::vector<Pbn>& numbers() const { return numbers_; }

@@ -144,6 +144,55 @@ PackedPbnList PackedPbnList::FromPbns(const std::vector<Pbn>& pbns) {
   return out;
 }
 
+Result<PackedPbnList> PackedPbnList::FromArena(std::string arena,
+                                               size_t count) {
+  if (arena.size() > static_cast<size_t>(UINT32_MAX)) {
+    return Status::InvalidArgument("packed arena exceeds 32-bit offsets");
+  }
+  PackedPbnList out;
+  out.offsets_.reserve(count + 1);
+  out.lengths_.reserve(count);
+  out.keys_.reserve(count);
+  size_t pos = 0;
+  for (size_t i = 0; i < count; ++i) {
+    size_t begin = pos;
+    uint32_t components = 0;
+    for (;;) {
+      if (pos >= arena.size()) {
+        return Status::InvalidArgument(
+            "packed arena truncated inside an encoding");
+      }
+      uint8_t len = static_cast<uint8_t>(arena[pos]);
+      if (len == 0) {
+        ++pos;  // terminator
+        break;
+      }
+      if (len > 4 || pos + 1 + len > arena.size()) {
+        return Status::InvalidArgument("packed arena has a bad length byte");
+      }
+      pos += 1 + len;
+      ++components;
+    }
+    if (components == 0) {
+      return Status::InvalidArgument("packed arena encodes an empty number");
+    }
+    out.offsets_.push_back(static_cast<uint32_t>(pos));
+    out.lengths_.push_back(components);
+    out.keys_.push_back(PackedPbnRef::ComputeKey(
+        arena.data() + begin, static_cast<uint32_t>(pos - begin)));
+  }
+  if (pos != arena.size()) {
+    return Status::InvalidArgument("packed arena has trailing bytes");
+  }
+  out.arena_ = std::move(arena);
+  for (size_t i = 1; i < out.size(); ++i) {
+    if (out[i - 1].Compare(out[i]) >= 0) {
+      return Status::InvalidArgument("packed arena is not document-ordered");
+    }
+  }
+  return out;
+}
+
 void PackedPbnList::SortUnique() {
   std::vector<size_t> order(size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;

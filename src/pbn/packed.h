@@ -39,6 +39,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/result.h"
 #include "pbn/axis.h"
 #include "pbn/pbn.h"
 
@@ -271,6 +272,16 @@ class PackedPbnList {
 
   /// Build from a vector of Pbns (preserves order).
   static PackedPbnList FromPbns(const std::vector<Pbn>& pbns);
+
+  /// Rebuild a list from a raw ordered-codec arena holding exactly \p count
+  /// encoded numbers (the snapshot restore path). The offset, length and key
+  /// columns are re-derived by walking the codec framing. InvalidArgument if
+  /// the bytes are not exactly \p count well-formed encodings (length byte
+  /// 1..4 per component, 0x00 terminator, no trailing bytes) or the numbers
+  /// are not strictly increasing in document order — arbitrary (corrupt)
+  /// input must never produce a list that violates the sortedness the
+  /// binary-search paths rely on.
+  static Result<PackedPbnList> FromArena(std::string arena, size_t count);
 
   /// Sort into document order and drop duplicates (rebuilds the arena).
   void SortUnique();

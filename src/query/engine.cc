@@ -30,6 +30,8 @@ std::string ExecStats::ToString() const {
   std::string out = "plan=" + std::string(plan) +
                     " threads=" + std::to_string(threads) +
                     " wall_ms=" + std::to_string(wall_ms) +
+                    " ingest_ms=" + std::to_string(ingest_ms) +
+                    " snapshot_load=" + (snapshot_load ? "1" : "0") +
                     " nodes_scanned=" + std::to_string(nodes_scanned) +
                     " join_pairs=" + std::to_string(join_pairs) +
                     " pbn_comparisons=" + std::to_string(pbn_comparisons) +
@@ -162,6 +164,10 @@ Result<QueryResult> QueryEngine::Execute(const PreparedQuery& query,
                       .count();
   stats.threads = pool != nullptr ? pool->num_threads() : 1;
   stats.plan = PlanKindToString(query.plan());
+  if (stored_ != nullptr) {
+    stats.ingest_ms = stored_->ingest_ms();
+    stats.snapshot_load = stored_->from_snapshot();
+  }
   stats.plan_cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.plan_cache_misses = cache_misses_.load(std::memory_order_relaxed);
   if (options.collect_stats) {

@@ -43,6 +43,9 @@ struct ExecStats {
   uint64_t plan_cache_hits = 0;    ///< engine-lifetime prepared-plan hits
   uint64_t plan_cache_misses = 0;  ///< engine-lifetime prepared-plan misses
   double wall_ms = 0;              ///< end-to-end wall time
+  double ingest_ms = 0;            ///< build (or snapshot-load) cost of the
+                                   ///< stored substrate, when one is attached
+  bool snapshot_load = false;      ///< stored substrate came from a snapshot
   int threads = 1;                 ///< thread budget the execution ran with
   std::string plan;                ///< "nav" | "indexed" | "bulk" | "virtual"
   std::vector<StepStats> steps;    ///< per-step timings (top-level path only)

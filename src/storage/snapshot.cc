@@ -1,0 +1,466 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/varint.h"
+#include "index/value_index.h"
+#include "pbn/packed.h"
+#include "xml/binary_io.h"
+
+namespace vpbn::storage {
+
+namespace {
+
+constexpr std::string_view kMagic = "VPSN";
+
+void PutString(std::string* out, std::string_view s) {
+  PutVarint64(out, s.size());
+  out->append(s);
+}
+
+Result<std::string_view> GetString(std::string_view* in) {
+  VPBN_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(in));
+  if (len > in->size()) {
+    return Status::InvalidArgument("snapshot: truncated string");
+  }
+  std::string_view s = in->substr(0, len);
+  in->remove_prefix(len);
+  return s;
+}
+
+// Consumes the canonical ordered encoding of component \p v at \p p: one
+// length byte holding the minimal payload width (1..4), then that many
+// big-endian payload bytes (pbn/codec.cc). Returns the bytes consumed, or
+// 0 when the bytes there encode anything else — including a padded
+// (non-minimal) encoding of the same value, which memcmp document order
+// cannot tolerate.
+size_t MatchOrderedComponent(const char* p, size_t avail, uint32_t v) {
+  size_t nbytes = v > 0xFFFFFF ? 4 : v > 0xFFFF ? 3 : v > 0xFF ? 2 : 1;
+  if (avail < 1 + nbytes) return 0;
+  if (static_cast<uint8_t>(p[0]) != nbytes) return 0;
+  for (size_t i = 0; i < nbytes; ++i) {
+    if (static_cast<uint8_t>(p[1 + i]) !=
+        static_cast<uint8_t>(v >> (8 * (nbytes - 1 - i)))) {
+      return 0;
+    }
+  }
+  return 1 + nbytes;
+}
+
+// Verifies that the packed per-type lists hold exactly the canonical
+// numbering of \p doc: a root's number is one component, its 1-based
+// forest index; a child's is its parent's bytes (terminator dropped) plus
+// the canonical encoding of its 1-based child ordinal plus the
+// terminator. Every node is either a root or a child of exactly one
+// parent, so the two loops together check every number — uniqueness,
+// agreement with the tree, and document order of each list (FromArena
+// already enforced strict byte order) all follow. The per-parent checks
+// are independent, so they fan out on the pool.
+Status ValidateCanonicalNumbers(
+    const xml::Document& doc, const dg::DataGuide& guide,
+    const std::vector<dg::TypeId>& node_types,
+    const std::vector<uint32_t>& node_rows,
+    const std::vector<num::PackedPbnList>& packed,
+    common::ThreadPool* pool) {
+  auto ref_of = [&](xml::NodeId id) {
+    return packed[node_types[id]][node_rows[id]];
+  };
+  const std::vector<xml::NodeId>& roots = doc.roots();
+  for (size_t i = 0; i < roots.size(); ++i) {
+    if (guide.parent(node_types[roots[i]]) != dg::kNullType) {
+      return Status::InvalidArgument(
+          "snapshot: root node carries a non-root type");
+    }
+    num::PackedPbnRef ref = ref_of(roots[i]);
+    size_t used = MatchOrderedComponent(ref.data(), ref.size_bytes(),
+                                        static_cast<uint32_t>(i + 1));
+    if (ref.length() != 1 || used == 0 ||
+        used + 1 != ref.size_bytes() || ref.data()[used] != '\0') {
+      return Status::InvalidArgument(
+          "snapshot: root number is not canonical");
+    }
+  }
+  std::mutex mu;
+  Status first_error;
+  common::ParallelFor(
+      pool, doc.num_nodes(), 2048, [&](size_t lo, size_t hi) {
+        for (size_t id = lo; id < hi; ++id) {
+          num::PackedPbnRef parent = ref_of(static_cast<xml::NodeId>(id));
+          const size_t ps = parent.size_bytes();
+          uint32_t ordinal = 0;
+          for (xml::NodeId c :
+               xml::ChildRange(doc, static_cast<xml::NodeId>(id))) {
+            ++ordinal;
+            num::PackedPbnRef child = ref_of(c);
+            bool ok =
+                guide.parent(node_types[c]) == node_types[id] &&
+                child.length() == parent.length() + 1 &&
+                child.size_bytes() > ps &&
+                std::memcmp(child.data(), parent.data(), ps - 1) == 0;
+            if (ok) {
+              size_t used = MatchOrderedComponent(
+                  child.data() + ps - 1, child.size_bytes() - (ps - 1),
+                  ordinal);
+              ok = used != 0 && ps - 1 + used + 1 == child.size_bytes() &&
+                   child.data()[child.size_bytes() - 1] == '\0';
+            }
+            if (!ok) {
+              std::lock_guard<std::mutex> lock(mu);
+              if (first_error.ok()) {
+                first_error = Status::InvalidArgument(
+                    "snapshot: child number is not canonical");
+              }
+              return;
+            }
+          }
+        }
+      });
+  return first_error;
+}
+
+}  // namespace
+
+std::string Snapshot::Write(const StoredDocument& sd) {
+  std::string out;
+  out.append(kMagic);
+  PutVarint32(&out, kVersion);
+
+  // Document section: the existing binary Document codec, length-prefixed
+  // so corrupt inner bytes cannot desynchronize the outer stream.
+  PutString(&out, xml::WriteBinary(sd.doc()));
+
+  // Stored text + per-node byte ranges.
+  PutString(&out, sd.text_);
+  for (const auto& [start, end] : sd.ranges_) {
+    PutVarint64(&out, start);
+    PutVarint64(&out, end - start);
+  }
+
+  // DataGuide: (label, parent) per type in TypeId order. Load replays them
+  // through AddType, which reproduces paths, type PBNs and child lists.
+  const dg::DataGuide& guide = sd.guide_;
+  PutVarint64(&out, guide.num_types());
+  for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
+    PutString(&out, guide.label(t));
+    dg::TypeId parent = guide.parent(t);
+    PutVarint32(&out, parent == dg::kNullType ? 0 : parent + 1);
+  }
+
+  // Per-type instance lists + packed arenas. The NodeId lists carry the
+  // node-type column and the node-row column implicitly (a node's type is
+  // the list it appears in; its row is its position), so neither is stored
+  // and Load skips the document-order derive pass entirely. Offsets,
+  // lengths and sort keys are re-derived from the codec framing on load.
+  for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
+    const num::PackedPbnList& list = sd.packed_type_index_[t];
+    PutVarint64(&out, list.size());
+    for (xml::NodeId id : sd.type_node_index_[t]) PutVarint32(&out, id);
+    PutString(&out, std::string_view(list.arena_data(), list.arena_bytes()));
+  }
+
+  // Value index: dictionary terms in term-id order, then per-type covered
+  // columns, then per-type attribute columns (sorted by name, so the bytes
+  // are deterministic regardless of hash-map iteration order).
+  const idx::ValueIndex& vi = sd.value_index_;
+  const idx::Dictionary& dict = vi.dict();
+  PutVarint64(&out, dict.size());
+  for (uint32_t i = 0; i < dict.size(); ++i) PutString(&out, dict.term(i));
+  for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
+    const idx::TypeColumn* col = vi.Column(t);
+    out.push_back(col != nullptr ? 1 : 0);
+    if (col != nullptr) {
+      for (uint32_t id : col->term_ids) PutVarint32(&out, id);
+    }
+  }
+  for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
+    const auto& by_name = vi.attrs_[t];
+    std::vector<const std::string*> names;
+    names.reserve(by_name.size());
+    for (const auto& [name, col] : by_name) names.push_back(&name);
+    std::sort(names.begin(), names.end(),
+              [](const std::string* a, const std::string* b) { return *a < *b; });
+    PutVarint64(&out, names.size());
+    for (const std::string* name : names) {
+      PutString(&out, *name);
+      // 0 encodes an absent cell (kNoTerm); real ids shift up by one.
+      for (uint32_t id : by_name.at(*name).term_ids) {
+        PutVarint32(&out, id == idx::kNoTerm ? 0 : id + 1);
+      }
+    }
+  }
+  return out;
+}
+
+Result<StoredDocument> Snapshot::Load(std::string_view data,
+                                      common::ThreadPool* pool) {
+  auto load_start = std::chrono::steady_clock::now();
+  if (data.substr(0, kMagic.size()) != kMagic) {
+    return Status::InvalidArgument("snapshot: bad magic");
+  }
+  data.remove_prefix(kMagic.size());
+  VPBN_ASSIGN_OR_RETURN(uint32_t version, GetVarint32(&data));
+  if (version != kVersion) {
+    return Status::InvalidArgument("snapshot: unsupported version " +
+                                   std::to_string(version));
+  }
+
+  // Document.
+  VPBN_ASSIGN_OR_RETURN(std::string_view doc_blob, GetString(&data));
+  Result<xml::Document> doc_r = xml::ReadBinary(doc_blob);
+  if (!doc_r.ok()) {
+    // ReadBinary distinguishes Internal (id drift); from the snapshot
+    // reader's point of view every inner failure is just corrupt input.
+    return Status::InvalidArgument("snapshot: document section: " +
+                                   doc_r.status().message());
+  }
+  StoredDocument out;
+  out.owned_doc_ =
+      std::make_unique<xml::Document>(std::move(doc_r).ValueUnsafe());
+  out.doc_ = out.owned_doc_.get();
+  const xml::Document& doc = *out.doc_;
+  const size_t n = doc.num_nodes();
+
+  // Stored text + ranges.
+  VPBN_ASSIGN_OR_RETURN(std::string_view text, GetString(&data));
+  out.text_.assign(text);
+  out.ranges_.reserve(n);
+  for (size_t id = 0; id < n; ++id) {
+    VPBN_ASSIGN_OR_RETURN(uint64_t start, GetVarint64(&data));
+    VPBN_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(&data));
+    if (start > out.text_.size() || len > out.text_.size() - start) {
+      return Status::InvalidArgument("snapshot: node range out of bounds");
+    }
+    out.ranges_.emplace_back(start, start + len);
+  }
+
+  // DataGuide replay. AddType must mint exactly the recorded id: a
+  // duplicate (parent, label) pair would dedupe to an earlier type and
+  // shift every id after it.
+  VPBN_ASSIGN_OR_RETURN(uint64_t num_types64, GetVarint64(&data));
+  if (num_types64 > data.size()) {
+    return Status::InvalidArgument("snapshot: type count exceeds input");
+  }
+  const size_t num_types = static_cast<size_t>(num_types64);
+  for (size_t t = 0; t < num_types; ++t) {
+    VPBN_ASSIGN_OR_RETURN(std::string_view label, GetString(&data));
+    VPBN_ASSIGN_OR_RETURN(uint32_t parent_plus1, GetVarint32(&data));
+    dg::TypeId parent =
+        parent_plus1 == 0 ? dg::kNullType : parent_plus1 - 1;
+    if (parent != dg::kNullType && parent >= t) {
+      return Status::InvalidArgument(
+          "snapshot: type parent appears after child");
+    }
+    if (out.guide_.AddType(label, parent) != t) {
+      return Status::InvalidArgument("snapshot: duplicate dataguide type");
+    }
+  }
+
+  // Per-type instance lists (which carry the node-type and node-row
+  // columns: a node's type is the list it appears in, its row its
+  // position) followed by the packed arena for each type.
+  out.node_types_.assign(n, dg::kNullType);
+  out.node_rows_.assign(n, 0);
+  out.type_node_index_.assign(num_types, {});
+  std::vector<std::string_view> arenas(num_types);
+  size_t assigned = 0;
+  for (size_t t = 0; t < num_types; ++t) {
+    VPBN_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(&data));
+    if (count > n - assigned) {
+      return Status::InvalidArgument(
+          "snapshot: type instance counts exceed node count");
+    }
+    std::vector<xml::NodeId>& ids = out.type_node_index_[t];
+    ids.reserve(count);
+    for (uint64_t row = 0; row < count; ++row) {
+      VPBN_ASSIGN_OR_RETURN(uint32_t id, GetVarint32(&data));
+      if (id >= n) {
+        return Status::InvalidArgument("snapshot: node id out of range");
+      }
+      if (out.node_types_[id] != dg::kNullType) {
+        return Status::InvalidArgument(
+            "snapshot: node appears in two type lists");
+      }
+      if (doc.IsText(id) != out.guide_.IsTextType(t)) {
+        return Status::InvalidArgument(
+            "snapshot: node kind does not match its type");
+      }
+      out.node_types_[id] = static_cast<dg::TypeId>(t);
+      out.node_rows_[id] = static_cast<uint32_t>(row);
+      ids.push_back(id);
+    }
+    assigned += count;
+    VPBN_ASSIGN_OR_RETURN(arenas[t], GetString(&data));
+  }
+  if (assigned != n) {
+    return Status::InvalidArgument(
+        "snapshot: type lists do not cover every node");
+  }
+
+  // Packed arenas: framing and sortedness re-validated per type,
+  // independently, so they fan out on the pool.
+  out.packed_type_index_.assign(num_types, {});
+  std::vector<Status> type_status(num_types);
+  common::ParallelFor(pool, num_types, 1, [&](size_t lo, size_t hi) {
+    for (size_t t = lo; t < hi; ++t) {
+      Result<num::PackedPbnList> list = num::PackedPbnList::FromArena(
+          std::string(arenas[t]), out.type_node_index_[t].size());
+      if (!list.ok()) {
+        type_status[t] = list.status();
+        continue;
+      }
+      out.packed_type_index_[t] = std::move(list).ValueUnsafe();
+    }
+  });
+  for (const Status& st : type_status) VPBN_RETURN_NOT_OK(st);
+
+  // Structural validation: the numbering is the *canonical* numbering of
+  // the tree — a root's number is its 1-based forest index, a child's is
+  // its parent's plus one component holding its 1-based child ordinal. So
+  // instead of materializing every Pbn and rebuilding the reverse hash to
+  // check uniqueness (the old, weaker check), verify the packed bytes
+  // against the tree directly: prefix-of-parent plus the canonical
+  // encoding of the ordinal. This also pins the list order to document
+  // order and rejects non-canonical (padded) component encodings, and it
+  // is per-node independent, so it fans out on the pool. The numbering_
+  // member stays unhydrated; StoredDocument materializes it lazily on
+  // first use.
+  VPBN_RETURN_NOT_OK(ValidateCanonicalNumbers(doc, out.guide_,
+                                              out.node_types_, out.node_rows_,
+                                              out.packed_type_index_, pool));
+  out.numbering_ready_.store(false, std::memory_order_relaxed);
+
+  // Value index: dictionary replayed in term-id order, then the covered
+  // columns' postings and numeric rows rebuilt per type on the pool.
+  VPBN_ASSIGN_OR_RETURN(uint64_t term_count, GetVarint64(&data));
+  if (term_count > data.size()) {
+    return Status::InvalidArgument("snapshot: term count exceeds input");
+  }
+  idx::Dictionary* dict = out.value_index_.dict_.get();
+  for (uint64_t i = 0; i < term_count; ++i) {
+    VPBN_ASSIGN_OR_RETURN(std::string_view term, GetString(&data));
+    if (dict->Intern(term) != i) {
+      return Status::InvalidArgument("snapshot: duplicate dictionary term");
+    }
+  }
+  out.value_index_.columns_.resize(num_types);
+  out.value_index_.attrs_.resize(num_types);
+  std::vector<std::unique_ptr<std::vector<uint32_t>>> col_ids(num_types);
+  for (size_t t = 0; t < num_types; ++t) {
+    if (data.empty()) {
+      return Status::InvalidArgument("snapshot: truncated covered flag");
+    }
+    uint8_t flag = static_cast<uint8_t>(data[0]);
+    data.remove_prefix(1);
+    if (flag > 1) {
+      return Status::InvalidArgument("snapshot: bad covered flag");
+    }
+    bool covered = idx::ValueIndex::GuideCovers(out.guide_, t);
+    if ((flag != 0) != covered) {
+      // Coverage is a function of the guide; a mismatched flag means the
+      // column layout cannot line up with what the query layer expects.
+      return Status::InvalidArgument("snapshot: coverage flag mismatch");
+    }
+    if (!covered) continue;
+    size_t rows = out.type_node_index_[t].size();
+    auto ids = std::make_unique<std::vector<uint32_t>>();
+    ids->reserve(rows);
+    for (size_t row = 0; row < rows; ++row) {
+      VPBN_ASSIGN_OR_RETURN(uint32_t id, GetVarint32(&data));
+      ids->push_back(id);
+    }
+    col_ids[t] = std::move(ids);
+  }
+  std::vector<Status> col_status(num_types);
+  common::ParallelFor(pool, num_types, 1, [&](size_t lo, size_t hi) {
+    for (size_t t = lo; t < hi; ++t) {
+      if (col_ids[t] == nullptr) continue;
+      Result<idx::TypeColumn> col =
+          idx::ValueIndex::ColumnFromTermIds(std::move(*col_ids[t]), dict);
+      if (!col.ok()) {
+        col_status[t] = col.status();
+        continue;
+      }
+      out.value_index_.columns_[t] =
+          std::make_unique<idx::TypeColumn>(std::move(col).ValueUnsafe());
+    }
+  });
+  for (const Status& st : col_status) VPBN_RETURN_NOT_OK(st);
+  for (size_t t = 0; t < num_types; ++t) {
+    VPBN_ASSIGN_OR_RETURN(uint64_t attr_count, GetVarint64(&data));
+    if (attr_count > data.size()) {
+      return Status::InvalidArgument("snapshot: attr count exceeds input");
+    }
+    size_t rows = out.type_node_index_[t].size();
+    for (uint64_t a = 0; a < attr_count; ++a) {
+      VPBN_ASSIGN_OR_RETURN(std::string_view name, GetString(&data));
+      idx::AttrColumn col;
+      col.term_ids.reserve(rows);
+      for (size_t row = 0; row < rows; ++row) {
+        VPBN_ASSIGN_OR_RETURN(uint32_t v, GetVarint32(&data));
+        if (v == 0) {
+          col.term_ids.push_back(idx::kNoTerm);
+        } else if (v - 1 >= dict->size()) {
+          return Status::InvalidArgument(
+              "snapshot: attribute term id out of range");
+        } else {
+          col.term_ids.push_back(v - 1);
+        }
+      }
+      if (!out.value_index_.attrs_[t]
+               .emplace(std::string(name), std::move(col))
+               .second) {
+        return Status::InvalidArgument(
+            "snapshot: duplicate attribute column");
+      }
+    }
+  }
+  if (!data.empty()) {
+    return Status::InvalidArgument("snapshot: trailing bytes");
+  }
+
+  out.type_cache_.resize(num_types);
+  out.from_snapshot_ = true;
+  out.ingest_ms_ =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - load_start)
+          .count();
+  return out;
+}
+
+Status Snapshot::WriteFile(const StoredDocument& sd, const std::string& path) {
+  std::string bytes = Write(sd);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    return Status::InvalidArgument("snapshot: cannot open " + path +
+                                   " for writing");
+  }
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.close();
+  if (!f) {
+    return Status::InvalidArgument("snapshot: write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Result<StoredDocument> Snapshot::LoadFile(const std::string& path,
+                                          common::ThreadPool* pool) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    return Status::InvalidArgument("snapshot: cannot open " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  if (f.bad()) {
+    return Status::InvalidArgument("snapshot: read from " + path + " failed");
+  }
+  return Load(bytes, pool);
+}
+
+}  // namespace vpbn::storage

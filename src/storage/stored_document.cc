@@ -1,7 +1,12 @@
 #include "storage/stored_document.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
 
+#include "common/parallel.h"
 #include "pbn/codec.h"
 #include "xml/serializer.h"
 
@@ -9,8 +14,12 @@ namespace vpbn::storage {
 
 StoredDocument::StoredDocument(StoredDocument&& other) noexcept
     : doc_(other.doc_),
+      owned_doc_(std::move(other.owned_doc_)),
+      ingest_ms_(other.ingest_ms_),
+      from_snapshot_(other.from_snapshot_),
       text_(std::move(other.text_)),
       numbering_(std::move(other.numbering_)),
+      numbering_ready_(other.numbering_ready_.load()),
       guide_(std::move(other.guide_)),
       node_types_(std::move(other.node_types_)),
       node_rows_(std::move(other.node_rows_)),
@@ -23,8 +32,12 @@ StoredDocument::StoredDocument(StoredDocument&& other) noexcept
 StoredDocument& StoredDocument::operator=(StoredDocument&& other) noexcept {
   if (this != &other) {
     doc_ = other.doc_;
+    owned_doc_ = std::move(other.owned_doc_);
+    ingest_ms_ = other.ingest_ms_;
+    from_snapshot_ = other.from_snapshot_;
     text_ = std::move(other.text_);
     numbering_ = std::move(other.numbering_);
+    numbering_ready_.store(other.numbering_ready_.load());
     guide_ = std::move(other.guide_);
     node_types_ = std::move(other.node_types_);
     node_rows_ = std::move(other.node_rows_);
@@ -37,34 +50,119 @@ StoredDocument& StoredDocument::operator=(StoredDocument&& other) noexcept {
   return *this;
 }
 
-StoredDocument StoredDocument::Build(const xml::Document& doc) {
+StoredDocument StoredDocument::Build(const xml::Document& doc,
+                                     common::ThreadPool* pool) {
+  auto start = std::chrono::steady_clock::now();
   StoredDocument out;
   out.doc_ = &doc;
-  out.numbering_ = num::Numbering::Number(doc);
-  out.guide_ = dg::DataGuide::Build(doc, &out.node_types_);
-
   out.ranges_.assign(doc.num_nodes(), {0, 0});
-  for (xml::NodeId root : doc.roots()) {
-    xml::SerializeWithRanges(doc, root, &out.text_, &out.ranges_);
+
+  // Phase 1 — serialize / number / DataGuide + type-of-node: three
+  // independent read-only passes over the document. The numbering and guide
+  // passes go to the pool while the serializer runs on the caller thread,
+  // fanning its own subtree chunks into the same pool, so every worker
+  // stays busy. Each pass writes a disjoint member; none reads another's
+  // output.
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      !common::ThreadPool::InWorker()) {
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 2;
+    std::exception_ptr error;
+    auto done = [&](std::exception_ptr e) {
+      // Notify under the lock: the joining thread destroys mu/cv as soon as
+      // it observes pending == 0 (same discipline as ParallelFor).
+      std::lock_guard<std::mutex> lock(mu);
+      if (e && !error) error = e;
+      --pending;
+      cv.notify_one();
+    };
+    pool->Submit([&] {
+      try {
+        out.numbering_ = num::Numbering::Number(doc);
+        done(nullptr);
+      } catch (...) {
+        done(std::current_exception());
+      }
+    });
+    pool->Submit([&] {
+      try {
+        out.guide_ = dg::DataGuide::Build(doc, &out.node_types_);
+        done(nullptr);
+      } catch (...) {
+        done(std::current_exception());
+      }
+    });
+    xml::SerializeForestWithRanges(doc, pool, &out.text_, &out.ranges_);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return pending == 0; });
+    if (error) std::rethrow_exception(error);
+  } else {
+    out.numbering_ = num::Numbering::Number(doc);
+    out.guide_ = dg::DataGuide::Build(doc, &out.node_types_);
+    xml::SerializeForestWithRanges(doc, nullptr, &out.text_, &out.ranges_);
   }
 
+  // Phase 2 — one sequential document-order pass assigning every node its
+  // row within its type's instance list. Cheap (two pushes per node) and
+  // inherently ordered, so not worth fanning out.
   out.packed_type_index_.assign(out.guide_.num_types(), {});
   out.type_node_index_.assign(out.guide_.num_types(), {});
   out.type_cache_.resize(out.guide_.num_types());
-  // DocumentOrder guarantees the per-type arenas come out sorted in
-  // document order, which the memcmp binary searches and the packed
-  // structural joins rely on.
   out.node_rows_.assign(doc.num_nodes(), 0);
   for (xml::NodeId id : doc.DocumentOrder()) {
     out.node_rows_[id] = static_cast<uint32_t>(
         out.type_node_index_[out.node_types_[id]].size());
-    out.packed_type_index_[out.node_types_[id]].Append(
-        out.numbering_.OfNode(id));
     out.type_node_index_[out.node_types_[id]].push_back(id);
   }
+
+  // Phase 3 — pack the per-type PBN arenas, independently per type. The
+  // instance lists are already document-ordered, so each arena comes out
+  // sorted — what the memcmp binary searches and packed structural joins
+  // rely on — and identical to the sequential interleaved build.
+  common::ParallelFor(
+      pool, out.guide_.num_types(), 1, [&](size_t lo, size_t hi) {
+        for (size_t t = lo; t < hi; ++t) {
+          const std::vector<xml::NodeId>& ids = out.type_node_index_[t];
+          num::PackedPbnList& list = out.packed_type_index_[t];
+          list.Reserve(ids.size());
+          for (xml::NodeId id : ids) list.Append(out.numbering_.OfNode(id));
+        }
+      });
+
+  // Phase 4 — value-index columns (parallel string-value computation,
+  // sequential canonical interning inside).
   out.value_index_ =
-      idx::ValueIndex::Build(doc, out.guide_, out.type_node_index_);
+      idx::ValueIndex::Build(doc, out.guide_, out.type_node_index_, pool);
+
+  out.ingest_ms_ =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
   return out;
+}
+
+StoredDocument StoredDocument::Build(xml::Document&& doc,
+                                     common::ThreadPool* pool) {
+  auto owned = std::make_unique<xml::Document>(std::move(doc));
+  StoredDocument out = Build(*owned, pool);
+  out.owned_doc_ = std::move(owned);
+  out.doc_ = out.owned_doc_.get();
+  return out;
+}
+
+void StoredDocument::HydrateNumbering() const {
+  std::lock_guard<std::mutex> lock(numbering_mu_);
+  if (numbering_ready_.load(std::memory_order_relaxed)) return;
+  std::vector<num::Pbn> numbers(doc_->num_nodes());
+  for (size_t t = 0; t < type_node_index_.size(); ++t) {
+    const std::vector<xml::NodeId>& ids = type_node_index_[t];
+    for (size_t row = 0; row < ids.size(); ++row) {
+      numbers[ids[row]] = packed_type_index_[t][row].Materialize();
+    }
+  }
+  numbering_ = num::Numbering::FromNumbers(std::move(numbers));
+  numbering_ready_.store(true, std::memory_order_release);
 }
 
 Result<std::string_view> StoredDocument::Value(const num::Pbn& pbn) const {
@@ -75,12 +173,12 @@ Result<std::string_view> StoredDocument::Value(const num::Pbn& pbn) const {
 
 Result<std::pair<uint64_t, uint64_t>> StoredDocument::ValueRange(
     const num::Pbn& pbn) const {
-  VPBN_ASSIGN_OR_RETURN(xml::NodeId id, numbering_.NodeOf(pbn));
+  VPBN_ASSIGN_OR_RETURN(xml::NodeId id, numbering().NodeOf(pbn));
   return ranges_[id];
 }
 
 Result<NodeHeader> StoredDocument::Header(const num::Pbn& pbn) const {
-  VPBN_ASSIGN_OR_RETURN(xml::NodeId id, numbering_.NodeOf(pbn));
+  VPBN_ASSIGN_OR_RETURN(xml::NodeId id, numbering().NodeOf(pbn));
   return NodeHeader{pbn, node_types_[id]};
 }
 
@@ -139,7 +237,7 @@ std::vector<num::Pbn> StoredDocument::NodesOfTypeWithin(
 size_t StoredDocument::MemoryUsage() const {
   size_t total = text_.capacity() +
                  ranges_.capacity() * sizeof(std::pair<uint64_t, uint64_t>);
-  total += numbering_.NumbersMemoryUsage();
+  total += numbering().NumbersMemoryUsage();
   total += guide_.MemoryUsage();
   total += node_types_.capacity() * sizeof(dg::TypeId);
   total += node_rows_.capacity() * sizeof(uint32_t);

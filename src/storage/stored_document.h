@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "dataguide/dataguide.h"
 #include "index/value_index.h"
 #include "pbn/numbering.h"
@@ -54,10 +56,43 @@ class StoredDocument {
   /// Builds the stored form of \p doc: serializes it, numbers it, builds its
   /// DataGuide and both indexes. The Document remains owned by the caller
   /// and must outlive the StoredDocument.
-  static StoredDocument Build(const xml::Document& doc);
+  ///
+  /// The build runs in explicit phases — serialize / number / DataGuide +
+  /// type-of-node, then per-type packed lists and per-type value columns —
+  /// and with a pool the embarrassingly parallel phases fan out on it. The
+  /// result is byte-identical to the single-threaded build for any thread
+  /// count.
+  static StoredDocument Build(const xml::Document& doc,
+                              common::ThreadPool* pool = nullptr);
+
+  /// Owning overload: the StoredDocument takes the Document in, removing
+  /// the keep-alive burden from the caller (and the dangling-pointer
+  /// footgun when the caller's Document goes out of scope first).
+  static StoredDocument Build(xml::Document&& doc,
+                              common::ThreadPool* pool = nullptr);
 
   const xml::Document& doc() const { return *doc_; }
-  const num::Numbering& numbering() const { return numbering_; }
+
+  /// \name Ingest metadata
+  /// Wall-clock cost of Build (or of Snapshot::Load for snapshot-restored
+  /// documents) and how this document came to be — surfaced by the query
+  /// engine's ExecStats.
+  /// @{
+  double ingest_ms() const { return ingest_ms_; }
+  bool from_snapshot() const { return from_snapshot_; }
+  /// @}
+
+  /// The NodeId <-> Pbn map. Build constructs it eagerly (numbering *is*
+  /// part of the build); a snapshot-loaded document hydrates it from the
+  /// packed per-type arenas on first call — the packed columns already hold
+  /// every number, so queries that stay on the packed hot paths never pay
+  /// for the heap Pbns or the reverse hash. Thread-safe.
+  const num::Numbering& numbering() const {
+    if (!numbering_ready_.load(std::memory_order_acquire)) {
+      HydrateNumbering();
+    }
+    return numbering_;
+  }
   const dg::DataGuide& dataguide() const { return guide_; }
 
   /// Type of a node (typeOf against the DataGuide).
@@ -134,9 +169,22 @@ class StoredDocument {
   size_t MemoryUsage() const;
 
  private:
+  friend class Snapshot;  // restores every member directly on Load
+
+  /// Materializes numbering_ from the packed arenas (snapshot restore
+  /// path); no-op when already hydrated.
+  void HydrateNumbering() const;
+
   const xml::Document* doc_ = nullptr;
+  std::unique_ptr<xml::Document> owned_doc_;  // set by the owning overload
+  double ingest_ms_ = 0;
+  bool from_snapshot_ = false;
   std::string text_;
-  num::Numbering numbering_;
+  // Lazily hydrated after Snapshot::Load (see numbering()); double-checked
+  // via the atomic flag, first build ordered by the mutex.
+  mutable num::Numbering numbering_;
+  mutable std::atomic<bool> numbering_ready_{true};
+  mutable std::mutex numbering_mu_;
   dg::DataGuide guide_;
   std::vector<dg::TypeId> node_types_;
   std::vector<uint32_t> node_rows_;  // by NodeId: row within its type list

@@ -1,5 +1,7 @@
 #include "xml/binary_io.h"
 
+#include <algorithm>
+
 #include "common/varint.h"
 
 namespace vpbn::xml {
@@ -69,15 +71,26 @@ Result<Document> ReadBinary(std::string_view data) {
   }
 
   VPBN_ASSIGN_OR_RETURN(uint64_t name_count, GetVarint64(&data));
-  std::vector<std::string> names;
-  names.reserve(name_count);
+  Document doc;
+  // Intern the whole name table up front (it is written in NameId order,
+  // so interning reproduces the recorded ids) and refer to names by id in
+  // the node loop — one hash lookup per distinct name instead of one per
+  // element. The reserve is capped by what the input could possibly hold,
+  // so a corrupt count cannot force a giant allocation before the
+  // per-entry reads run out of bytes.
+  std::vector<NameId> name_ids;
+  name_ids.reserve(static_cast<size_t>(
+      std::min<uint64_t>(name_count, data.size())));
   for (uint64_t i = 0; i < name_count; ++i) {
     VPBN_ASSIGN_OR_RETURN(std::string_view s, GetString(&data));
-    names.emplace_back(s);
+    name_ids.push_back(doc.name_table().Intern(s));
   }
 
   VPBN_ASSIGN_OR_RETURN(uint64_t node_count, GetVarint64(&data));
-  Document doc;
+  // Every node costs at least three bytes (kind + two varints), so
+  // data.size() / 3 bounds any count a valid stream can carry.
+  doc.ReserveNodes(static_cast<size_t>(
+      std::min<uint64_t>(node_count, data.size() / 3 + 1)));
   for (uint64_t id = 0; id < node_count; ++id) {
     if (data.empty()) {
       return Status::InvalidArgument("binary document: truncated node");
@@ -100,10 +113,10 @@ Result<Document> ReadBinary(std::string_view data) {
       VPBN_ASSIGN_OR_RETURN(std::string_view text, GetString(&data));
       created = doc.AddText(text, parent);
     } else if (kind == NodeKind::kElement) {
-      if (name_plus1 == 0 || name_plus1 > names.size()) {
+      if (name_plus1 == 0 || name_plus1 > name_ids.size()) {
         return Status::InvalidArgument("binary document: bad name id");
       }
-      created = doc.AddElement(names[name_plus1 - 1], parent);
+      created = doc.AddElement(name_ids[name_plus1 - 1], parent);
     } else {
       return Status::InvalidArgument("binary document: bad node kind");
     }

@@ -42,6 +42,14 @@ NodeId Document::AddElement(std::string_view name, NodeId parent) {
   return Append(std::move(data), parent);
 }
 
+NodeId Document::AddElement(NameId name, NodeId parent) {
+  assert(static_cast<size_t>(name) < names_.size());
+  NodeData data;
+  data.kind = NodeKind::kElement;
+  data.name = name;
+  return Append(std::move(data), parent);
+}
+
 NodeId Document::AddText(std::string_view content, NodeId parent) {
   NodeData data;
   data.kind = NodeKind::kText;

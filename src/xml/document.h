@@ -46,6 +46,11 @@ class Document {
   /// (kNullNode appends a new tree root).
   NodeId AddElement(std::string_view name, NodeId parent);
 
+  /// Deserializer fast path: same as AddElement but with an id already
+  /// interned in this document's name_table(), skipping the per-node hash
+  /// lookup.
+  NodeId AddElement(NameId name, NodeId parent);
+
   /// Appends a new text node with \p content under \p parent. Text roots are
   /// permitted in the forest model but unusual.
   NodeId AddText(std::string_view content, NodeId parent);
@@ -53,6 +58,10 @@ class Document {
   /// Adds an attribute to element \p element.
   void AddAttribute(NodeId element, std::string_view name,
                     std::string_view value);
+
+  /// Pre-sizes the node arena for \p n nodes (the parser calls this with an
+  /// input-size heuristic so large documents avoid repeated arena regrowth).
+  void ReserveNodes(size_t n) { nodes_.reserve(n); }
   /// @}
 
   /// \name Node accessors

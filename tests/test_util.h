@@ -40,13 +40,18 @@ inline xml::Document RandomForest(uint64_t seed, int n_nodes,
   std::vector<xml::NodeId> pool;
   int n_roots = 1 + static_cast<int>(rng.Uniform(2));
   for (int r = 0; r < n_roots; ++r) {
-    pool.push_back(doc.AddElement("r" + std::to_string(r), xml::kNullNode));
+    std::string label = "r";
+    label += std::to_string(r);
+    pool.push_back(doc.AddElement(label, xml::kNullNode));
   }
   while (static_cast<int>(doc.num_nodes()) < n_nodes) {
     xml::NodeId parent = pool[rng.Uniform(pool.size())];
-    std::string label = "e" + std::to_string(rng.Uniform(n_labels));
+    std::string label = "e";
+    label += std::to_string(rng.Uniform(n_labels));
     if (rng.Bernoulli(0.2)) {
-      doc.AddText("t" + std::to_string(rng.Uniform(100)), parent);
+      std::string text = "t";
+      text += std::to_string(rng.Uniform(100));
+      doc.AddText(text, parent);
     } else {
       pool.push_back(doc.AddElement(label, parent));
     }

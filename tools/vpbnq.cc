@@ -8,6 +8,11 @@
 ///   vpbnq --dataguide <file.xml>              print the structural summary
 ///   vpbnq --xquery <query> <file.xml>         run FLWR (doc name: "doc")
 ///   vpbnq --numbers <file.xml>                dump PBN numbers
+///   vpbnq --save-snapshot <snap> <file.xml>   build + persist a full-index
+///                                             snapshot (also valid alongside
+///                                             a query)
+///   vpbnq --load-snapshot <snap> <xpath>      query straight from a snapshot
+///                                             (no parse / renumber / index)
 ///
 /// Query modes go through query::QueryEngine (prepare once, execute once),
 /// so `--threads N` runs the parallel engine, `--stats` prints the
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "query/engine.h"
+#include "storage/snapshot.h"
 #include "vdg/report.h"
 #include "vpbn/materializer.h"
 #include "vpbn/virtual_document.h"
@@ -45,7 +51,10 @@ int Usage() {
                "  vpbnq --report <vdataguide> <file.xml>\n"
                "  vpbnq --dataguide <file.xml>\n"
                "  vpbnq --numbers <file.xml>\n"
-               "  vpbnq --xquery <query> <file.xml>\n");
+               "  vpbnq --xquery <query> <file.xml>\n"
+               "  vpbnq --save-snapshot <snap> <file.xml> [<xpath>]\n"
+               "  vpbnq --load-snapshot [--threads N] [--stats] "
+               "[--json <file>] <snap> <xpath>\n");
   return 2;
 }
 
@@ -97,6 +106,8 @@ int WriteStatsJson(const std::string& path, const query::ExecStats& stats,
                "  \"plan\": \"%s\",\n"
                "  \"threads\": %d,\n"
                "  \"wall_ms\": %.6f,\n"
+               "  \"ingest_ms\": %.6f,\n"
+               "  \"snapshot_load\": %s,\n"
                "  \"result_nodes\": %zu,\n"
                "  \"nodes_scanned\": %llu,\n"
                "  \"join_pairs\": %llu,\n"
@@ -111,6 +122,7 @@ int WriteStatsJson(const std::string& path, const query::ExecStats& stats,
                "  \"plan_cache_misses\": %llu,\n"
                "  \"steps\": [",
                JsonEscape(stats.plan).c_str(), stats.threads, stats.wall_ms,
+               stats.ingest_ms, stats.snapshot_load ? "true" : "false",
                result_nodes,
                static_cast<unsigned long long>(stats.nodes_scanned),
                static_cast<unsigned long long>(stats.join_pairs),
@@ -168,7 +180,9 @@ int main(int argc, char** argv) {
   // Engine options may precede or follow the mode flag.
   query::ExecOptions exec_options;
   bool bulk = false;
+  bool load_snapshot = false;
   std::string json_path;
+  std::string save_snapshot;
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--threads" && std::next(it) != args.end()) {
       exec_options.threads = std::atoi(std::next(it)->c_str());
@@ -182,6 +196,12 @@ int main(int argc, char** argv) {
       it = args.erase(it, it + 2);
     } else if (*it == "--bulk") {
       bulk = true;
+      it = args.erase(it);
+    } else if (*it == "--save-snapshot" && std::next(it) != args.end()) {
+      save_snapshot = *std::next(it);
+      it = args.erase(it, it + 2);
+    } else if (*it == "--load-snapshot") {
+      load_snapshot = true;
       it = args.erase(it);
     } else {
       ++it;
@@ -227,7 +247,8 @@ int main(int argc, char** argv) {
   if (args[0] == "--materialize" && args.size() == 3) {
     auto doc = Load(args[2]);
     if (!doc.ok()) return Fail(doc.status());
-    storage::StoredDocument stored = storage::StoredDocument::Build(*doc);
+    storage::StoredDocument stored =
+        storage::StoredDocument::Build(std::move(*doc));
     auto vdoc = virt::VirtualDocument::Open(stored, args[1]);
     if (!vdoc.ok()) return Fail(vdoc.status());
     auto m = virt::Materialize(*vdoc);
@@ -253,17 +274,46 @@ int main(int argc, char** argv) {
   if (args[0] == "--view" && args.size() == 4) {
     auto doc = Load(args[2]);
     if (!doc.ok()) return Fail(doc.status());
-    storage::StoredDocument stored = storage::StoredDocument::Build(*doc);
+    storage::StoredDocument stored =
+        storage::StoredDocument::Build(std::move(*doc));
     auto vdoc = virt::VirtualDocument::Open(stored, args[1]);
     if (!vdoc.ok()) return Fail(vdoc.status());
     query::QueryEngine engine(*vdoc);
     return RunQuery(engine, args[3], exec_options, json_path);
   }
 
-  if (args.size() == 2 && args[0][0] != '-') {
+  // Build-and-persist only: vpbnq --save-snapshot out.snap file.xml
+  if (!save_snapshot.empty() && args.size() == 1 && args[0][0] != '-') {
     auto doc = Load(args[0]);
     if (!doc.ok()) return Fail(doc.status());
-    storage::StoredDocument stored = storage::StoredDocument::Build(*doc);
+    storage::StoredDocument stored =
+        storage::StoredDocument::Build(std::move(*doc));
+    if (auto s = storage::Snapshot::WriteFile(stored, save_snapshot);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::fprintf(stderr, "snapshot written: %s\n", save_snapshot.c_str());
+    return 0;
+  }
+
+  if (args.size() == 2 && args[0][0] != '-') {
+    storage::StoredDocument stored;
+    if (load_snapshot) {
+      auto loaded = storage::Snapshot::LoadFile(args[0]);
+      if (!loaded.ok()) return Fail(loaded.status());
+      stored = std::move(*loaded);
+    } else {
+      auto doc = Load(args[0]);
+      if (!doc.ok()) return Fail(doc.status());
+      stored = storage::StoredDocument::Build(std::move(*doc));
+    }
+    if (!save_snapshot.empty()) {
+      if (auto s = storage::Snapshot::WriteFile(stored, save_snapshot);
+          !s.ok()) {
+        return Fail(s);
+      }
+      std::fprintf(stderr, "snapshot written: %s\n", save_snapshot.c_str());
+    }
     // The engine's planner already picks bulk joins where the fragment
     // allows and per-node index scans otherwise, so --bulk is subsumed;
     // it stays accepted for compatibility.
