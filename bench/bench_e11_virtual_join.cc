@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -57,17 +58,16 @@ int main(int argc, char** argv) {
   if (p < positional.size()) out_path = positional[p].c_str();
   const int reps = smoke ? 3 : 11;
 
-  storage::StoredDocument stored =
-      storage::StoredDocument::Build(workload::GenerateAuctions(opts));
-  auto vdoc_or =
-      virt::VirtualDocument::Open(stored, "auction { itemref bidder { price } }");
+  auto stored = std::make_shared<const storage::StoredDocument>(
+      storage::StoredDocument::Build(workload::GenerateAuctions(opts)));
+  auto vdoc_or = virt::VirtualDocument::OpenShared(
+      stored, "auction { itemref bidder { price } }");
   if (!vdoc_or.ok()) {
     std::fprintf(stderr, "open failed: %s\n",
                  vdoc_or.status().ToString().c_str());
     return 1;
   }
-  virt::VirtualDocument vdoc = std::move(vdoc_or).ValueUnsafe();
-  query::QueryEngine engine(vdoc);
+  query::QueryEngine engine(std::move(vdoc_or).ValueUnsafe());
 
   struct Case {
     const char* label;  ///< which axis family the hot step exercises
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
   std::printf(
       "E11 — virtual merge joins vs per-candidate predicates (auctions, "
       "%zu nodes, %d auctions)\n\n",
-      static_cast<size_t>(stored.doc().num_nodes()), opts.num_auctions);
+      static_cast<size_t>(stored->doc().num_nodes()), opts.num_auctions);
 
   struct Row {
     std::string label;
@@ -110,12 +110,12 @@ int main(int argc, char** argv) {
                    prepared.status().ToString().c_str());
       return 1;
     }
-    query::ExecOptions base_opts{.threads = 1,
-                                 .collect_stats = false,
-                                 .virtual_join = false};
-    query::ExecOptions merge_opts{.threads = 1,
-                                  .collect_stats = true,
-                                  .virtual_join = true};
+    query::ExecOverrides base_opts{.threads = 1,
+                                   .collect_stats = false,
+                                   .virtual_join = false};
+    query::ExecOverrides merge_opts{.threads = 1,
+                                    .collect_stats = true,
+                                    .virtual_join = true};
 
     // Warm-up: verifies byte-identity and pays one-time costs (decoded
     // columns, reachability bitmaps) outside the timed regions — the lazy
@@ -182,7 +182,7 @@ int main(int argc, char** argv) {
                "\"auction { itemref bidder { price } }\"},\n"
                "  \"reps\": %d,\n"
                "  \"queries\": [",
-               static_cast<size_t>(stored.doc().num_nodes()), opts.num_auctions, reps);
+               static_cast<size_t>(stored->doc().num_nodes()), opts.num_auctions, reps);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(

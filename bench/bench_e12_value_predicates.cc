@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -73,24 +74,25 @@ int main(int argc, char** argv) {
   if (p < positional.size()) out_path = positional[p].c_str();
   const int reps = smoke ? 3 : 11;
 
-  storage::StoredDocument books_stored =
-      storage::StoredDocument::Build(workload::GenerateBooks(bopts));
+  auto books_stored = std::make_shared<const storage::StoredDocument>(
+      storage::StoredDocument::Build(workload::GenerateBooks(bopts)));
 
   workload::AuctionsOptions aopts;
   aopts.num_items = smoke ? 100 : 400;
   aopts.num_people = smoke ? 80 : 300;
   aopts.num_auctions = smoke ? 300 : 3000;
-  storage::StoredDocument auctions_stored =
-      storage::StoredDocument::Build(workload::GenerateAuctions(aopts));
+  auto auctions_stored = std::make_shared<const storage::StoredDocument>(
+      storage::StoredDocument::Build(workload::GenerateAuctions(aopts)));
 
   // A near-unique equality literal: the first title (titles repeat with
   // low probability, so its selectivity sits at ~1/num_books).
-  auto first_title = query::EvalNav(books_stored.doc(), "//title");
+  auto first_title = query::EvalNav(books_stored->doc(), "//title");
   if (!first_title.ok() || first_title->empty()) {
     std::fprintf(stderr, "no titles generated\n");
     return 1;
   }
-  std::string rare_title = books_stored.doc().StringValue(first_title->front());
+  std::string rare_title =
+      books_stored->doc().StringValue(first_title->front());
 
   struct Case {
     const char* label;    ///< predicate family / selectivity band
@@ -110,8 +112,8 @@ int main(int argc, char** argv) {
   std::printf(
       "E12 — value-predicate pushdown vs per-node scan (books: %zu nodes, "
       "%d books; auctions: %zu nodes)\n\n",
-      static_cast<size_t>(books_stored.doc().num_nodes()), bopts.num_books,
-      static_cast<size_t>(auctions_stored.doc().num_nodes()));
+      static_cast<size_t>(books_stored->doc().num_nodes()), bopts.num_books,
+      static_cast<size_t>(auctions_stored->doc().num_nodes()));
 
   struct Row {
     std::string label;
@@ -131,21 +133,20 @@ int main(int argc, char** argv) {
   size_t sink = 0;
 
   for (const Case& c : cases) {
-    const storage::StoredDocument& stored =
-        c.workload[0] == 'b' ? books_stored : auctions_stored;
-    query::QueryEngine engine(stored);
+    query::QueryEngine engine(c.workload[0] == 'b' ? books_stored
+                                                   : auctions_stored);
     auto prepared = engine.Prepare(c.query);
     if (!prepared.ok()) {
       std::fprintf(stderr, "prepare failed: %s\n",
                    prepared.status().ToString().c_str());
       return 1;
     }
-    query::ExecOptions scan_opts{.threads = 1,
-                                 .collect_stats = false,
-                                 .use_value_index = false};
-    query::ExecOptions push_opts{.threads = 1,
-                                 .collect_stats = true,
-                                 .use_value_index = true};
+    query::ExecOverrides scan_opts{.threads = 1,
+                                   .collect_stats = false,
+                                   .use_value_index = false};
+    query::ExecOverrides push_opts{.threads = 1,
+                                   .collect_stats = true,
+                                   .use_value_index = true};
 
     // Warm-up verifies byte-identity and captures the counters.
     auto scan_r = engine.Execute(*prepared, scan_opts);
@@ -215,8 +216,8 @@ int main(int argc, char** argv) {
                "\"auctions\": {\"nodes\": %zu, \"auctions\": %d}},\n"
                "  \"reps\": %d,\n"
                "  \"queries\": [",
-               static_cast<size_t>(books_stored.doc().num_nodes()), bopts.num_books,
-               static_cast<size_t>(auctions_stored.doc().num_nodes()), aopts.num_auctions,
+               static_cast<size_t>(books_stored->doc().num_nodes()), bopts.num_books,
+               static_cast<size_t>(auctions_stored->doc().num_nodes()), aopts.num_auctions,
                reps);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -122,15 +123,17 @@ int main(int argc, char** argv) {
   size_t xml_hits = 0;
   double first_query_xml_ms = bench::MedianMs(reps, [&] {
     auto d = xml::Parse(xml_text);
-    storage::StoredDocument s =
-        storage::StoredDocument::Build(std::move(*d));
+    auto s = std::make_shared<const storage::StoredDocument>(
+        storage::StoredDocument::Build(std::move(*d)));
     query::QueryEngine engine(s);
     xml_hits = engine.Execute(kQuery, {})->size();
   });
   size_t snap_hits = 0;
   double first_query_snap_ms = bench::MedianMs(reps, [&] {
-    auto s = storage::Snapshot::Load(snap);
-    query::QueryEngine engine(*s);
+    auto loaded = storage::Snapshot::Load(snap);
+    auto s = std::make_shared<const storage::StoredDocument>(
+        std::move(*loaded));
+    query::QueryEngine engine(s);
     snap_hits = engine.Execute(kQuery, {})->size();
   });
   if (xml_hits != snap_hits) {

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,9 +31,9 @@ int main(int argc, char** argv) {
   opts.num_items = 400;
   opts.num_people = 300;
   opts.num_auctions = argc > 1 ? std::atoi(argv[1]) : 4000;
-  storage::StoredDocument stored =
-      storage::StoredDocument::Build(workload::GenerateAuctions(opts));
-  auto vdoc = virt::VirtualDocument::Open(
+  auto stored = std::make_shared<const storage::StoredDocument>(
+      storage::StoredDocument::Build(workload::GenerateAuctions(opts)));
+  auto vdoc = virt::VirtualDocument::OpenShared(
       stored, "auction { itemref bidder { personref price } }");
   if (!vdoc.ok()) {
     std::fprintf(stderr, "%s\n", vdoc.status().ToString().c_str());
@@ -42,7 +43,7 @@ int main(int argc, char** argv) {
   std::printf(
       "E9 — parallel scaling (auctions workload, %zu nodes,"
       " hardware_concurrency=%u)\n\n",
-      static_cast<size_t>(stored.doc().num_nodes()),
+      static_cast<size_t>(stored->doc().num_nodes()),
       std::thread::hardware_concurrency());
 
   struct Workload {
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
     const query::QueryEngine* engine;
   };
   query::QueryEngine stored_engine(stored);
-  query::QueryEngine virtual_engine(*vdoc);
+  query::QueryEngine virtual_engine(*vdoc);  // shared vdoc from OpenShared
   const Workload workloads[] = {
       // Bulk plan: descendant joins over long sorted PBN lists — exercises
       // the partitioned stack-tree join.

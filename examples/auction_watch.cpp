@@ -12,6 +12,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "query/engine.h"
 #include "vpbn/virtual_document.h"
@@ -24,40 +25,42 @@ int main(int argc, char** argv) {
   opts.num_items = 60;
   opts.num_people = 25;
   opts.num_auctions = argc > 1 ? std::atoi(argv[1]) : 40;
-  storage::StoredDocument stored =
-      storage::StoredDocument::Build(workload::GenerateAuctions(opts));
+  auto stored = std::make_shared<const storage::StoredDocument>(
+      storage::StoredDocument::Build(workload::GenerateAuctions(opts)));
 
-  std::cout << "Auction site: " << stored.doc().num_nodes() << " nodes, "
-            << stored.dataguide().num_types() << " types\n\n";
+  std::cout << "Auction site: " << stored->doc().num_nodes() << " nodes, "
+            << stored->dataguide().num_types() << " types\n\n";
 
   // Auctions regrouped under their items' sellers is beyond this demo; we
   // group bidders under auctions' prices per auction id instead: auction at
   // the top, its bidders below, each bidder exposing personref and price.
-  auto by_auction = virt::VirtualDocument::Open(
+  auto by_auction_opened = virt::VirtualDocument::OpenShared(
       stored, "auction { itemref bidder { personref price } }");
-  if (!by_auction.ok()) {
-    std::cerr << by_auction.status() << "\n";
+  if (!by_auction_opened.ok()) {
+    std::cerr << by_auction_opened.status() << "\n";
     return 1;
   }
+  std::shared_ptr<const virt::VirtualDocument> by_auction = *by_auction_opened;
 
   // Hottest auctions: more than 3 bidders, shown with their last price.
-  query::QueryEngine by_auction_engine(*by_auction);
+  query::QueryEngine by_auction_engine(by_auction);
   auto hot = by_auction_engine.Execute("//auction[count(bidder) > 3]", {});
   std::cout << "Hot auctions (>3 bidders): " << hot->size() << "\n";
   for (const virt::VirtualNode& a : hot->virtual_nodes()) {
     std::cout << "  auction "
-              << *stored.doc().AttributeValue(a.node, "id") << "\n";
+              << *stored->doc().AttributeValue(a.node, "id") << "\n";
   }
 
   // Flip the hierarchy: prices on top, the bidder and auction that produced
   // them below (a Case-2 inversion: price's ancestors become descendants).
-  auto by_price = virt::VirtualDocument::Open(
+  auto by_price_opened = virt::VirtualDocument::OpenShared(
       stored, "price { bidder { auction } }");
-  if (!by_price.ok()) {
-    std::cerr << by_price.status() << "\n";
+  if (!by_price_opened.ok()) {
+    std::cerr << by_price_opened.status() << "\n";
     return 1;
   }
-  query::QueryEngine by_price_engine(*by_price);
+  std::shared_ptr<const virt::VirtualDocument> by_price = *by_price_opened;
+  query::QueryEngine by_price_engine(by_price);
   auto rich = by_price_engine.Execute("//price[text() > 100]", {});
   std::cout << "\nBids above 100: " << rich->size() << "\n";
   int shown = 0;
@@ -68,11 +71,11 @@ int main(int argc, char** argv) {
     }
     // The auction that produced this price is now *below* it.
     auto auction = by_price->AxisNodes(p, num::Axis::kDescendant);
-    std::cout << "  price " << stored.doc().StringValue(p.node);
+    std::cout << "  price " << stored->doc().StringValue(p.node);
     for (const virt::VirtualNode& d : auction) {
       if (by_price->name(d) == "auction") {
         std::cout << "  <- auction "
-                  << *stored.doc().AttributeValue(d.node, "id");
+                  << *stored->doc().AttributeValue(d.node, "id");
       }
     }
     std::cout << "\n";

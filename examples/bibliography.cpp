@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 
 #include "query/engine.h"
 #include "vpbn/materializer.h"
@@ -60,8 +61,9 @@ int main(int argc, char** argv) {
 
   // Cost comparison: virtual navigation vs materialize-then-navigate.
   // Non-owning Build: `doc` is shared with the xq engine above.
-  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
-  auto vdoc = virt::VirtualDocument::Open(stored, kByAuthor);
+  auto stored = std::make_shared<const storage::StoredDocument>(
+      storage::StoredDocument::Build(doc));
+  auto vdoc = virt::VirtualDocument::OpenShared(stored, kByAuthor);
   const char* kQuery = "//author[text() = \"Author1\"]/article/title";
 
   query::QueryEngine virtual_engine(*vdoc);
@@ -70,9 +72,12 @@ int main(int argc, char** argv) {
   auto t1 = Clock::now();
 
   auto m0 = Clock::now();
-  auto materialized = virt::Materialize(*vdoc);
+  auto materialized = virt::Materialize(**vdoc);
   auto renumbered = num::Numbering::Number(materialized->doc);
-  query::QueryEngine nav_engine(materialized->doc);
+  // materialized outlives the engine; the aliasing shared_ptr (empty
+  // owner) expresses exactly that caller-managed lifetime.
+  query::QueryEngine nav_engine(std::shared_ptr<const xml::Document>(
+      std::shared_ptr<const void>(), &materialized->doc));
   auto physical_hits = nav_engine.Execute(kQuery, {});
   auto m1 = Clock::now();
 

@@ -5,6 +5,7 @@
 ///   $ ./quickstart
 
 #include <iostream>
+#include <memory>
 
 #include "query/engine.h"
 #include "storage/stored_document.h"
@@ -37,30 +38,33 @@ int main() {
 
   // 2. Build the stored form: the serialized string, prefix-based numbers
   //    (PBN) for every node, the DataGuide (structural summary), the value
-  //    index and the type index.
-  storage::StoredDocument stored =
-      storage::StoredDocument::Build(std::move(doc));
+  //    index and the type index. Shared ownership (shared_ptr) is the
+  //    engine-facing convention: engines and virtual views co-own the
+  //    document, so it can never dangle beneath them.
+  auto stored = std::make_shared<const storage::StoredDocument>(
+      storage::StoredDocument::Build(std::move(doc)));
 
   std::cout << "Types in the DataGuide:\n";
-  for (dg::TypeId t = 0; t < stored.dataguide().num_types(); ++t) {
-    std::cout << "  " << stored.dataguide().path(t) << "\n";
+  for (dg::TypeId t = 0; t < stored->dataguide().num_types(); ++t) {
+    std::cout << "  " << stored->dataguide().path(t) << "\n";
   }
 
   std::cout << "\nPBN numbers of the <book> elements:\n";
   dg::TypeId book =
-      stored.dataguide().FindByPath("library.shelf.book").value();
-  for (const num::Pbn& pbn : stored.NodesOfType(book)) {
-    std::cout << "  " << pbn << "  value: " << *stored.Value(pbn) << "\n";
+      stored->dataguide().FindByPath("library.shelf.book").value();
+  for (const num::Pbn& pbn : stored->NodesOfType(book)) {
+    std::cout << "  " << pbn << "  value: " << *stored->Value(pbn) << "\n";
   }
 
   // 3. Sketch a *virtual hierarchy*: titles at the top, each containing the
   //    authors of the same book. No data moves; the vDataGuide plus level
   //    arrays (vPBN) reinterpret the numbers.
-  auto vdoc = virt::VirtualDocument::Open(stored, "title { author }");
-  if (!vdoc.ok()) {
-    std::cerr << "virtual open failed: " << vdoc.status() << "\n";
+  auto opened = virt::VirtualDocument::OpenShared(stored, "title { author }");
+  if (!opened.ok()) {
+    std::cerr << "virtual open failed: " << opened.status() << "\n";
     return 1;
   }
+  std::shared_ptr<const virt::VirtualDocument> vdoc = *opened;
 
   std::cout << "\nVirtual hierarchy 'title { author }':\n";
   for (const virt::VirtualNode& root : vdoc->Roots()) {
@@ -71,7 +75,7 @@ int main() {
   //    facade: Prepare parses and plans once, Execute runs the plan (here
   //    sequentially; pass {.threads = N} for the parallel engine). author
   //    is now a *child* of title even though physically it is a sibling.
-  query::QueryEngine engine(*vdoc);
+  query::QueryEngine engine(vdoc);
   auto prepared = engine.Prepare("//title[author = \"Knuth\"]");
   if (!prepared.ok()) {
     std::cerr << "prepare failed: " << prepared.status() << "\n";

@@ -36,6 +36,10 @@ std::string EscapeXmlAttribute(std::string_view s);
 /// Unknown entities are passed through verbatim.
 std::string UnescapeXml(std::string_view s);
 
+/// \brief Escape \p s for embedding in a JSON string literal: quotes,
+/// backslashes and control characters. Does not add the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
 /// \brief True iff \p c may start an XML name (letters, '_' — simplified,
 /// ASCII-only subset).
 bool IsNameStartChar(char c);

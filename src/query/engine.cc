@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <thread>
 
+#include "common/str_util.h"
 #include "query/eval_bulk.h"
 #include "query/eval_indexed.h"
 #include "query/eval_nav.h"
@@ -32,6 +35,7 @@ std::string ExecStats::ToString() const {
                     " wall_ms=" + std::to_string(wall_ms) +
                     " ingest_ms=" + std::to_string(ingest_ms) +
                     " snapshot_load=" + (snapshot_load ? "1" : "0") +
+                    " result_nodes=" + std::to_string(result_nodes) +
                     " nodes_scanned=" + std::to_string(nodes_scanned) +
                     " join_pairs=" + std::to_string(join_pairs) +
                     " pbn_comparisons=" + std::to_string(pbn_comparisons) +
@@ -42,7 +46,9 @@ std::string ExecStats::ToString() const {
                     " value_index_postings=" + std::to_string(value_index_postings) +
                     " value_scan_fallbacks=" + std::to_string(value_scan_fallbacks) +
                     " plan_cache=" + std::to_string(plan_cache_hits) + "h/" +
-                    std::to_string(plan_cache_misses) + "m\n";
+                    std::to_string(plan_cache_misses) + "m" +
+                    " result_cache=" + std::to_string(result_cache_hits) +
+                    "h/" + std::to_string(result_cache_misses) + "m\n";
   for (const StepStats& s : steps) {
     out += "  step " + s.label + ": nodes_out=" + std::to_string(s.nodes_out) +
            " wall_ms=" + std::to_string(s.wall_ms) + "\n";
@@ -50,11 +56,120 @@ std::string ExecStats::ToString() const {
   return out;
 }
 
+std::string ExecStats::ToJson() const {
+  char buf[256];
+  std::string out = "{";
+  auto add_u64 = [&](const char* key, uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64 ",", key, v);
+    out += buf;
+  };
+  out += "\"plan\":\"" + JsonEscape(plan) + "\",";
+  std::snprintf(buf, sizeof(buf), "\"threads\":%d,", threads);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "\"wall_ms\":%.6f,", wall_ms);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "\"ingest_ms\":%.6f,", ingest_ms);
+  out += buf;
+  out += std::string("\"snapshot_load\":") +
+         (snapshot_load ? "true," : "false,");
+  add_u64("result_nodes", result_nodes);
+  add_u64("nodes_scanned", nodes_scanned);
+  add_u64("join_pairs", join_pairs);
+  add_u64("pbn_comparisons", pbn_comparisons);
+  add_u64("bytes_compared", bytes_compared);
+  add_u64("vjoin_pairs", vjoin_pairs);
+  add_u64("decoded_batches", decoded_batches);
+  add_u64("value_index_lookups", value_index_lookups);
+  add_u64("value_index_postings", value_index_postings);
+  add_u64("value_scan_fallbacks", value_scan_fallbacks);
+  add_u64("plan_cache_hits", plan_cache_hits);
+  add_u64("plan_cache_misses", plan_cache_misses);
+  add_u64("result_cache_hits", result_cache_hits);
+  add_u64("result_cache_misses", result_cache_misses);
+  out += "\"steps\":[";
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const StepStats& s = steps[i];
+    if (i != 0) out += ',';
+    out += "{\"label\":\"" + JsonEscape(s.label) + "\",";
+    std::snprintf(buf, sizeof(buf),
+                  "\"nodes_out\":%" PRIu64 ",\"wall_ms\":%.6f}", s.nodes_out,
+                  s.wall_ms);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+void ExecStats::Accumulate(const ExecStats& other) {
+  nodes_scanned += other.nodes_scanned;
+  join_pairs += other.join_pairs;
+  pbn_comparisons += other.pbn_comparisons;
+  bytes_compared += other.bytes_compared;
+  vjoin_pairs += other.vjoin_pairs;
+  decoded_batches += other.decoded_batches;
+  value_index_lookups += other.value_index_lookups;
+  value_index_postings += other.value_index_postings;
+  value_scan_fallbacks += other.value_scan_fallbacks;
+  // Engine-lifetime counters: keep the latest observation, not a sum of
+  // snapshots.
+  plan_cache_hits = other.plan_cache_hits;
+  plan_cache_misses = other.plan_cache_misses;
+  result_cache_hits += other.result_cache_hits;
+  result_cache_misses += other.result_cache_misses;
+  result_nodes += other.result_nodes;
+  wall_ms += other.wall_ms;
+  ingest_ms = other.ingest_ms;
+  snapshot_load = other.snapshot_load;
+  threads = other.threads;
+  if (!other.plan.empty()) plan = other.plan;
+  // Per-step records are per-query detail; a cumulative object drops them.
+}
+
 size_t QueryResult::size() const {
   return std::visit([](const auto& nodes) { return nodes.size(); }, nodes_);
 }
 
 QueryEngine::~QueryEngine() = default;
+
+uint64_t QueryEngine::NextEngineId() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void QueryEngine::SetDefaultOptions(const ExecOptions& options) {
+  std::lock_guard<std::mutex> lock(defaults_mu_);
+  defaults_ = options;
+}
+
+ExecOptions QueryEngine::default_options() const {
+  std::lock_guard<std::mutex> lock(defaults_mu_);
+  return defaults_;
+}
+
+ExecOptions QueryEngine::EffectiveOptions(
+    const ExecOverrides& overrides) const {
+  ExecOptions effective = default_options();
+  if (overrides.threads) effective.threads = *overrides.threads;
+  if (overrides.collect_stats) {
+    effective.collect_stats = *overrides.collect_stats;
+  }
+  if (overrides.virtual_join) {
+    effective.virtual_join = *overrides.virtual_join;
+  }
+  if (overrides.use_value_index) {
+    effective.use_value_index = *overrides.use_value_index;
+  }
+  return effective;
+}
+
+void QueryEngine::SetEpoch(uint64_t epoch) {
+  if (epoch_.exchange(epoch, std::memory_order_relaxed) == epoch) return;
+  // Every cached plan carries the old stamp; drop them so Prepare re-stamps
+  // instead of serving a plan Execute would reject.
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  lru_.clear();
+  cache_index_.clear();
+}
 
 Result<PreparedQuery> QueryEngine::Prepare(std::string_view path_text) const {
   {
@@ -72,6 +187,8 @@ Result<PreparedQuery> QueryEngine::Prepare(std::string_view path_text) const {
   PreparedQuery q;
   q.text_ = std::string(path_text);
   q.path_ = std::make_shared<const Path>(std::move(path));
+  q.engine_id_ = engine_id_;
+  q.epoch_ = epoch_.load(std::memory_order_relaxed);
   if (doc_ != nullptr) {
     q.plan_ = PlanKind::kNav;
   } else if (stored_ != nullptr) {
@@ -123,7 +240,20 @@ common::ThreadPool* QueryEngine::PoolFor(int threads) const {
 }
 
 Result<QueryResult> QueryEngine::Execute(const PreparedQuery& query,
-                                         const ExecOptions& options) const {
+                                         const ExecOverrides& overrides) const {
+  return ExecuteResolved(query, EffectiveOptions(overrides));
+}
+
+Result<QueryResult> QueryEngine::ExecuteResolved(
+    const PreparedQuery& query, const ExecOptions& options) const {
+  const uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (query.engine_id_ != engine_id_ || query.epoch_ != epoch) {
+    return Status::Internal(
+        "stale PreparedQuery: prepared against engine#" +
+        std::to_string(query.engine_id_) + " epoch " +
+        std::to_string(query.epoch_) + ", executing on engine#" +
+        std::to_string(engine_id_) + " epoch " + std::to_string(epoch));
+  }
   common::ThreadPool* pool = PoolFor(options.threads);
   ExecContext ctx(pool, options.collect_stats);
   ctx.set_virtual_join(options.virtual_join);
@@ -164,6 +294,7 @@ Result<QueryResult> QueryEngine::Execute(const PreparedQuery& query,
                       .count();
   stats.threads = pool != nullptr ? pool->num_threads() : 1;
   stats.plan = PlanKindToString(query.plan());
+  stats.result_nodes = result.size();
   if (stored_ != nullptr) {
     stats.ingest_ms = stored_->ingest_ms();
     stats.snapshot_load = stored_->from_snapshot();
@@ -186,9 +317,9 @@ Result<QueryResult> QueryEngine::Execute(const PreparedQuery& query,
 }
 
 Result<QueryResult> QueryEngine::Execute(std::string_view path_text,
-                                         const ExecOptions& options) const {
+                                         const ExecOverrides& overrides) const {
   VPBN_ASSIGN_OR_RETURN(PreparedQuery query, Prepare(path_text));
-  return Execute(query, options);
+  return Execute(query, overrides);
 }
 
 std::vector<std::string> QueryEngine::StringValues(

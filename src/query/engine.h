@@ -10,25 +10,33 @@
 ///     StoredDocument it decides bulk-join vs per-node-indexed from the
 ///     path's shape; over a Document it plans navigational; over a
 ///     VirtualDocument, virtual (vPBN) evaluation.
-///   * **Execute(prepared, ExecOptions)** runs the plan, optionally on a
+///   * **Execute(prepared, ExecOverrides)** runs the plan, optionally on a
 ///     thread pool (partitioned structural joins, per-context-node
 ///     fan-out) and optionally collecting per-query ExecStats.
 ///
 /// The same PreparedQuery can be executed many times with different
 /// options; the engine caches its thread pool between calls. One engine
-/// views exactly one substrate instance and holds no data — all three
-/// substrate objects stay owned by the caller and must outlive the engine.
+/// views exactly one substrate instance and holds no data. Engines share
+/// ownership of their substrate (`std::shared_ptr<const ...>`), so a
+/// long-running server can drop or reload a document while queries against
+/// the old instance are still in flight — the engine keeps it alive.
 ///
 /// \code
+///   auto stored = std::make_shared<const storage::StoredDocument>(
+///       storage::StoredDocument::Build(std::move(doc)));
 ///   query::QueryEngine engine(stored);   // or (doc) or (vdoc)
+///   engine.SetDefaultOptions({.threads = 4});        // engine-level default
 ///   VPBN_ASSIGN_OR_RETURN(query::PreparedQuery q,
 ///                         engine.Prepare("//book[author/name]/title"));
 ///   VPBN_ASSIGN_OR_RETURN(query::QueryResult r,
-///                         engine.Execute(q, {.threads = 4,
-///                                            .collect_stats = true}));
+///                         engine.Execute(q, {.collect_stats = true}));
 ///   for (const std::string& v : engine.StringValues(r)) ...
 ///   std::cout << r.stats().ToString();
 /// \endcode
+///
+/// Execute takes **ExecOverrides** — per-request deltas merged over the
+/// engine defaults (SetDefaultOptions / EffectiveOptions). A field left
+/// unset falls through to the default; `{}` means "run with the defaults".
 
 #pragma once
 
@@ -36,6 +44,8 @@
 #include <deque>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -72,14 +82,28 @@ class PreparedQuery {
   PlanKind plan() const { return plan_; }
   const std::string& text() const { return text_; }
 
+  /// \name Provenance stamp
+  /// Which engine instance and document epoch this plan was prepared
+  /// against. Execute refuses a plan whose stamp does not match, so a
+  /// catalog reload can never silently run a plan prepared over the old
+  /// document (the stale plan surfaces as an Internal error instead).
+  /// @{
+  uint64_t engine_id() const { return engine_id_; }
+  uint64_t epoch() const { return epoch_; }
+  /// @}
+
  private:
   friend class QueryEngine;
   std::shared_ptr<const Path> path_;
   PlanKind plan_ = PlanKind::kNav;
   std::string text_;
+  uint64_t engine_id_ = 0;
+  uint64_t epoch_ = 0;
 };
 
-/// \brief Per-Execute knobs.
+/// \brief Fully resolved execution knobs. What Execute actually runs with:
+/// either the engine defaults verbatim, or the defaults with an
+/// ExecOverrides delta merged on top (EffectiveOptions).
 struct ExecOptions {
   /// Thread budget: 1 = sequential (default), 0 = hardware concurrency,
   /// N > 1 = pool of N. Results are identical for every value.
@@ -96,6 +120,21 @@ struct ExecOptions {
   /// node's string value. Results are identical either way; off is the
   /// per-node-scan baseline the E12 benchmark measures.
   bool use_value_index = true;
+
+  bool operator==(const ExecOptions&) const = default;
+};
+
+/// \brief A per-request delta over the engine's default ExecOptions: each
+/// set field replaces the corresponding default, unset fields fall through.
+/// Designated initializers read like the old per-call knobs —
+/// `engine.Execute(q, {.threads = 4, .collect_stats = true})` — but a
+/// server can now thread one ExecOverrides from the wire to the engine
+/// without knowing (or clobbering) the engine's configured defaults.
+struct ExecOverrides {
+  std::optional<int> threads;
+  std::optional<bool> collect_stats;
+  std::optional<bool> virtual_join;
+  std::optional<bool> use_value_index;
 };
 
 /// \brief Result nodes in the substrate's native handle type, plus stats.
@@ -141,14 +180,70 @@ class QueryResult {
 /// are safe (the pool is guarded; substrates are immutable).
 class QueryEngine {
  public:
-  explicit QueryEngine(const xml::Document& doc) : doc_(&doc) {}
+  /// \name Construction — shared substrate ownership
+  /// The engine co-owns its substrate, so the substrate can never dangle
+  /// under an in-flight query: a catalog that reloads a document just drops
+  /// its reference and builds a new engine, and the old instance lives
+  /// until the last Execute over it returns. For a substrate owned by
+  /// something you already hold a shared_ptr to (e.g. the Document inside a
+  /// shared StoredDocument), pass an aliasing shared_ptr.
+  /// @{
+  explicit QueryEngine(std::shared_ptr<const xml::Document> doc)
+      : doc_(std::move(doc)) {}
+  explicit QueryEngine(std::shared_ptr<const storage::StoredDocument> stored)
+      : stored_(std::move(stored)) {}
+  explicit QueryEngine(std::shared_ptr<const virt::VirtualDocument> vdoc)
+      : vdoc_(std::move(vdoc)) {}
+  /// @}
+
+  /// \name Deprecated non-owning shims (one release)
+  /// Pre-PR-6 constructors over caller-owned substrates. They wrap the
+  /// reference in a shared_ptr with a no-op deleter, so the caller keeps
+  /// the outlive-the-engine burden the shared_ptr constructors remove.
+  /// @{
+  [[deprecated("construct QueryEngine over std::shared_ptr<const Document>")]]
+  explicit QueryEngine(const xml::Document& doc)
+      : doc_(&doc, [](const xml::Document*) {}) {}
+  [[deprecated(
+      "construct QueryEngine over std::shared_ptr<const StoredDocument>")]]
   explicit QueryEngine(const storage::StoredDocument& stored)
-      : stored_(&stored) {}
-  explicit QueryEngine(const virt::VirtualDocument& vdoc) : vdoc_(&vdoc) {}
+      : stored_(&stored, [](const storage::StoredDocument*) {}) {}
+  [[deprecated(
+      "construct QueryEngine over std::shared_ptr<const VirtualDocument>")]]
+  explicit QueryEngine(const virt::VirtualDocument& vdoc)
+      : vdoc_(&vdoc, [](const virt::VirtualDocument*) {}) {}
+  /// @}
+
   ~QueryEngine();
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// \name Engine-level default options
+  /// SetDefaultOptions replaces the defaults Execute resolves overrides
+  /// against; EffectiveOptions is that merge, exposed so callers (the
+  /// server's result-cache key) can see exactly what a request will run
+  /// with. Thread-safe, but intended to be configured before the engine is
+  /// shared.
+  /// @{
+  void SetDefaultOptions(const ExecOptions& options);
+  ExecOptions default_options() const;
+  ExecOptions EffectiveOptions(const ExecOverrides& overrides = {}) const;
+  /// @}
+
+  /// \name Document epoch
+  /// An owner-assigned generation number stamped into every PreparedQuery
+  /// (the server's catalog sets it to the entry's reload epoch). Changing
+  /// it clears the plan cache and invalidates every outstanding
+  /// PreparedQuery — Execute rejects plans whose stamp mismatches.
+  /// @{
+  void SetEpoch(uint64_t epoch);
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  /// @}
+
+  /// Process-unique identity of this engine instance (the other half of the
+  /// PreparedQuery provenance stamp).
+  uint64_t engine_id() const { return engine_id_; }
 
   /// Parses \p path_text and picks the execution plan for this substrate.
   /// Plans are memoized in a capacity-bounded LRU cache keyed by the path
@@ -174,14 +269,16 @@ class QueryEngine {
 
   static constexpr size_t kDefaultPlanCacheCapacity = 128;
 
-  /// Runs \p query. Deterministic: for any thread count the result nodes
-  /// are identical and in document order.
+  /// Runs \p query with the engine defaults plus \p overrides merged on
+  /// top. Deterministic: for any thread count the result nodes are
+  /// identical and in document order. Fails with Internal if \p query was
+  /// prepared by a different engine or under a different epoch.
   Result<QueryResult> Execute(const PreparedQuery& query,
-                              const ExecOptions& options = {}) const;
+                              const ExecOverrides& overrides = {}) const;
 
   /// Prepare + Execute in one call (for one-shot queries).
   Result<QueryResult> Execute(std::string_view path_text,
-                              const ExecOptions& options = {}) const;
+                              const ExecOverrides& overrides = {}) const;
 
   /// String values of the result nodes, substrate-appropriate: XML values
   /// for stored nodes (via the value index), assembled virtual values for
@@ -201,9 +298,21 @@ class QueryEngine {
  private:
   common::ThreadPool* PoolFor(int threads) const;
 
-  const xml::Document* doc_ = nullptr;
-  const storage::StoredDocument* stored_ = nullptr;
-  const virt::VirtualDocument* vdoc_ = nullptr;
+  /// Execute with fully resolved options (the merge already applied).
+  Result<QueryResult> ExecuteResolved(const PreparedQuery& query,
+                                      const ExecOptions& options) const;
+
+  std::shared_ptr<const xml::Document> doc_;
+  std::shared_ptr<const storage::StoredDocument> stored_;
+  std::shared_ptr<const virt::VirtualDocument> vdoc_;
+
+  static uint64_t NextEngineId();
+
+  const uint64_t engine_id_ = NextEngineId();
+  std::atomic<uint64_t> epoch_{0};
+
+  mutable std::mutex defaults_mu_;
+  ExecOptions defaults_;
 
   // Lazily built, reused across Execute calls, rebuilt when the requested
   // size changes. Guarded: Execute may be called concurrently.

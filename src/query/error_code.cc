@@ -1,0 +1,39 @@
+#include "query/error_code.h"
+
+namespace vpbn::query {
+
+const char* ErrorCodeToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kParse:
+      return "parse";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kOverload:
+      return "overload";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+ErrorCode ErrorCodeFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return ErrorCode::kOk;
+    case StatusCode::kParseError:
+    case StatusCode::kInvalidArgument:
+      return ErrorCode::kParse;
+    case StatusCode::kNotFound:
+      return ErrorCode::kNotFound;
+    case StatusCode::kResourceExhausted:
+      return ErrorCode::kOverload;
+    case StatusCode::kInternal:
+    case StatusCode::kNotImplemented:
+      return ErrorCode::kInternal;
+  }
+  return ErrorCode::kInternal;
+}
+
+}  // namespace vpbn::query

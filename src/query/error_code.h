@@ -1,0 +1,36 @@
+/// \file error_code.h
+/// \brief The stable wire-facing error taxonomy.
+///
+/// The library's StatusCode (common/status.h) is fine-grained and may grow;
+/// clients of the query API — the vpbnd line protocol above all — need a
+/// small closed set of codes that never changes meaning. Every Status an
+/// engine or server error path can produce maps onto exactly one ErrorCode,
+/// and the protocol writes the numeric value verbatim onto the wire, so the
+/// mapping here IS the wire contract (docs/server.md lists it).
+
+#pragma once
+
+#include "common/status.h"
+
+namespace vpbn::query {
+
+/// \brief Wire-stable failure category. Numeric values are part of the
+/// vpbnd protocol; never renumber.
+enum class ErrorCode : int {
+  kOk = 0,        ///< success
+  kParse = 1,     ///< malformed request: bad path, bad spec, bad arguments
+  kNotFound = 2,  ///< unknown document, view, or node
+  kOverload = 3,  ///< admission control shed the request; retry later
+  kInternal = 4,  ///< engine invariant violated or unsupported operation
+};
+
+/// \brief Stable lower-case token for an ErrorCode ("ok", "parse",
+/// "not_found", "overload", "internal").
+const char* ErrorCodeToString(ErrorCode code);
+
+/// \brief Collapse a Status onto the wire taxonomy. Total: every StatusCode
+/// maps somewhere (parse/invalid-argument -> kParse, not-found -> kNotFound,
+/// resource-exhausted -> kOverload, everything else non-OK -> kInternal).
+ErrorCode ErrorCodeFromStatus(const Status& status);
+
+}  // namespace vpbn::query

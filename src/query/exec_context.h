@@ -42,6 +42,9 @@ struct ExecStats {
   uint64_t value_scan_fallbacks = 0;  ///< value predicates scanned per node
   uint64_t plan_cache_hits = 0;    ///< engine-lifetime prepared-plan hits
   uint64_t plan_cache_misses = 0;  ///< engine-lifetime prepared-plan misses
+  uint64_t result_cache_hits = 0;    ///< server result-cache hits (vpbnd)
+  uint64_t result_cache_misses = 0;  ///< server result-cache misses (vpbnd)
+  uint64_t result_nodes = 0;       ///< size of the result node list
   double wall_ms = 0;              ///< end-to-end wall time
   double ingest_ms = 0;            ///< build (or snapshot-load) cost of the
                                    ///< stored substrate, when one is attached
@@ -51,6 +54,16 @@ struct ExecStats {
   std::vector<StepStats> steps;    ///< per-step timings (top-level path only)
 
   std::string ToString() const;
+
+  /// The one JSON serialization of these counters, shared by `vpbnq --json`,
+  /// the vpbnd STATS verb and the E14 driver. One compact object on a single
+  /// line (the vpbnd protocol is newline-delimited), every field above plus
+  /// the steps array.
+  std::string ToJson() const;
+
+  /// Field-wise sum (wall/ingest add, plan/threads/snapshot keep the last
+  /// non-default value) — the server's cumulative-counters accumulator.
+  void Accumulate(const ExecStats& other);
 };
 
 /// \brief Mutable execution state. Pointer-identity shared, never copied.

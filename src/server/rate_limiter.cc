@@ -1,0 +1,59 @@
+#include "server/rate_limiter.h"
+
+#include <algorithm>
+
+namespace vpbn::server {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(rate_per_sec),
+      burst_(burst > 0 ? burst : std::max(rate_per_sec, 1.0)),
+      tokens_(burst_) {}
+
+bool TokenBucket::TryAcquire() {
+  const double now_sec =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return TryAcquireAt(now_sec);
+}
+
+bool TokenBucket::TryAcquireAt(double now_sec) {
+  if (unlimited()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!primed_) {
+    last_sec_ = now_sec;
+    primed_ = true;
+  }
+  if (now_sec > last_sec_) {
+    tokens_ = std::min(burst_, tokens_ + (now_sec - last_sec_) * rate_);
+    last_sec_ = now_sec;
+  }
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool AdmissionGate::TryEnter() {
+  if (max_ <= 0) return true;
+  int cur = inflight_.load(std::memory_order_relaxed);
+  while (true) {
+    if (cur >= max_) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+}
+
+void AdmissionGate::Exit() {
+  if (max_ <= 0) return;
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+}  // namespace vpbn::server

@@ -1,0 +1,84 @@
+/// \file rate_limiter.h
+/// \brief Admission control for vpbnd: a bounded in-flight gate and a
+/// token-bucket rate limiter.
+///
+/// Both shed instead of queueing: an over-limit request gets an immediate
+/// ResourceExhausted (wire code `overload`, ErrorCode::kOverload) and the
+/// client decides whether to retry — unbounded queues only convert overload
+/// into latency collapse. Counters record every shed so the STATS endpoint
+/// can report shed rates.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace vpbn::server {
+
+/// \brief Classic token bucket. `rate` tokens/second refill, up to `burst`
+/// capacity; each admitted request consumes one token. rate <= 0 disables
+/// limiting (always admits).
+class TokenBucket {
+ public:
+  /// \p burst <= 0 defaults to max(rate, 1).
+  TokenBucket(double rate_per_sec, double burst);
+
+  /// Admit or shed, refilling from the monotonic clock.
+  bool TryAcquire();
+
+  /// Deterministic core for tests: \p now_sec is seconds on any
+  /// monotonically nondecreasing clock.
+  bool TryAcquireAt(double now_sec);
+
+  bool unlimited() const { return rate_ <= 0; }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+ private:
+  const double rate_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_;
+  double last_sec_ = 0;
+  bool primed_ = false;  ///< last_sec_ valid (first call seeds the clock)
+  std::atomic<uint64_t> shed_{0};
+};
+
+/// \brief Bounded in-flight counter. TryEnter admits while fewer than
+/// `max_inflight` holders are active; Exit releases. max_inflight <= 0
+/// disables the bound.
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(int max_inflight) : max_(max_inflight) {}
+
+  bool TryEnter();
+  void Exit();
+
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+  /// RAII holder: admit on construction, release on destruction.
+  class Ticket {
+   public:
+    explicit Ticket(AdmissionGate& gate)
+        : gate_(gate), admitted_(gate.TryEnter()) {}
+    ~Ticket() {
+      if (admitted_) gate_.Exit();
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    bool admitted() const { return admitted_; }
+
+   private:
+    AdmissionGate& gate_;
+    const bool admitted_;
+  };
+
+ private:
+  const int max_;
+  std::atomic<int> inflight_{0};
+  std::atomic<uint64_t> shed_{0};
+};
+
+}  // namespace vpbn::server

@@ -83,6 +83,24 @@ Result<VirtualDocument> VirtualDocument::Open(
   return out;
 }
 
+Result<std::shared_ptr<const VirtualDocument>> VirtualDocument::OpenShared(
+    std::shared_ptr<const storage::StoredDocument> stored,
+    std::string_view spec_text) {
+  if (stored == nullptr) {
+    return Status::InvalidArgument("OpenShared: null stored document");
+  }
+  VPBN_ASSIGN_OR_RETURN(VirtualDocument vdoc, Open(*stored, spec_text));
+  // One control block owns both the view and the stored document it points
+  // into; the aliasing pointer exposes only the view.
+  struct Holder {
+    std::shared_ptr<const storage::StoredDocument> keep_alive;
+    VirtualDocument vdoc;
+  };
+  auto holder = std::make_shared<Holder>(
+      Holder{std::move(stored), std::move(vdoc)});
+  return std::shared_ptr<const VirtualDocument>(holder, &holder->vdoc);
+}
+
 const num::DecodedPbnColumn& VirtualDocument::DecodedNodesOfType(
     dg::TypeId t, bool* built_now) const {
   if (built_now != nullptr) *built_now = false;

@@ -58,6 +58,13 @@ class VirtualDocument {
   static Result<VirtualDocument> Open(const storage::StoredDocument& stored,
                                       std::string_view spec_text);
 
+  /// Shared-ownership Open: the returned VirtualDocument co-owns \p stored
+  /// (the control block holds both), so there is no outlive-the-view burden
+  /// — exactly what a catalog that hot-swaps documents under queries needs.
+  static Result<std::shared_ptr<const VirtualDocument>> OpenShared(
+      std::shared_ptr<const storage::StoredDocument> stored,
+      std::string_view spec_text);
+
   const storage::StoredDocument& stored() const { return *stored_; }
   const vdg::VDataGuide& vguide() const { return *vguide_; }
   const VpbnSpace& space() const { return space_; }

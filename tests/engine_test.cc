@@ -1,8 +1,11 @@
 /// \file engine_test.cc
 /// \brief QueryEngine facade: planning per substrate, prepare-once/execute-
-/// many, ExecOptions (threads, stats), typed results and StringValues.
+/// many, default options + per-request overrides, epoch/provenance stamps,
+/// typed results and StringValues.
 
 #include "query/engine.h"
+
+#include <memory>
 
 #include <gtest/gtest.h>
 
@@ -14,15 +17,18 @@ namespace vpbn::query {
 namespace {
 
 struct Fixture {
-  xml::Document doc = testutil::PaperFigure2();
-  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+  std::shared_ptr<const xml::Document> doc =
+      std::make_shared<const xml::Document>(testutil::PaperFigure2());
+  std::shared_ptr<const storage::StoredDocument> stored =
+      std::make_shared<const storage::StoredDocument>(
+          storage::StoredDocument::Build(*doc));
 };
 
 TEST(EngineTest, PlansPerSubstrate) {
   Fixture f;
   QueryEngine nav(f.doc);
   QueryEngine idx(f.stored);
-  auto v = virt::VirtualDocument::Open(f.stored, testutil::SamSpec());
+  auto v = virt::VirtualDocument::OpenShared(f.stored, testutil::SamSpec());
   ASSERT_TRUE(v.ok());
   QueryEngine virt_engine(*v);
 
@@ -49,7 +55,7 @@ TEST(EngineTest, SameAnswerOnEverySubstrate) {
   Fixture f;
   QueryEngine nav(f.doc);
   QueryEngine idx(f.stored);
-  num::Numbering numbering = num::Numbering::Number(f.doc);
+  num::Numbering numbering = num::Numbering::Number(*f.doc);
   for (const char* path : {"//title", "//book[author/name]/title",
                            "/data/book[2]/title", "//publisher/location"}) {
     SCOPED_TRACE(path);
@@ -107,7 +113,7 @@ TEST(EngineTest, StringValuesPerSubstrate) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(nav.StringValues(*r), (std::vector<std::string>{"X", "Y"}));
 
-  auto v = virt::VirtualDocument::Open(f.stored, testutil::SamSpec());
+  auto v = virt::VirtualDocument::OpenShared(f.stored, testutil::SamSpec());
   ASSERT_TRUE(v.ok());
   QueryEngine virt_engine(*v);
   auto titles = virt_engine.Execute("/title/text()");
@@ -208,6 +214,125 @@ TEST(EngineTest, PackedComparisonCountersSurfaceInStats) {
   EXPECT_EQ(r->stats().plan, "bulk");
   EXPECT_GT(r->stats().pbn_comparisons, 0u);
   EXPECT_GT(r->stats().bytes_compared, 0u);
+}
+
+TEST(EngineTest, DefaultOptionsMergeUnderOverrides) {
+  Fixture f;
+  QueryEngine engine(f.stored);
+
+  // Out of the box the defaults are the ExecOptions defaults.
+  EXPECT_EQ(engine.EffectiveOptions({}), ExecOptions{});
+
+  engine.SetDefaultOptions(
+      {.threads = 3, .collect_stats = true, .use_value_index = false});
+  EXPECT_EQ(engine.default_options().threads, 3);
+
+  // No overrides: the defaults verbatim.
+  ExecOptions eff = engine.EffectiveOptions({});
+  EXPECT_EQ(eff.threads, 3);
+  EXPECT_TRUE(eff.collect_stats);
+  EXPECT_TRUE(eff.virtual_join);
+  EXPECT_FALSE(eff.use_value_index);
+
+  // Each set override replaces its default; unset fields fall through.
+  eff = engine.EffectiveOptions({.threads = 1, .use_value_index = true});
+  EXPECT_EQ(eff.threads, 1);
+  EXPECT_TRUE(eff.collect_stats);   // inherited
+  EXPECT_TRUE(eff.use_value_index); // overridden back on
+
+  // Execute actually runs with the merge: defaults say collect_stats.
+  auto r = engine.Execute("/data/book[2]/title", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats().threads, 3);
+  EXPECT_FALSE(r->stats().steps.empty());
+
+  // ...and a per-request override wins without touching the defaults.
+  auto quiet = engine.Execute("/data/book[2]/title", {.collect_stats = false});
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_TRUE(quiet->stats().steps.empty());
+  EXPECT_TRUE(engine.default_options().collect_stats);
+}
+
+TEST(EngineTest, PreparedQueryCarriesProvenanceStamp) {
+  Fixture f;
+  QueryEngine a(f.stored);
+  QueryEngine b(f.stored);
+  EXPECT_NE(a.engine_id(), b.engine_id());
+
+  auto p = a.Prepare("//book/title");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->engine_id(), a.engine_id());
+  EXPECT_EQ(p->epoch(), a.epoch());
+
+  // A plan prepared on engine A must not execute on engine B, even though
+  // both view the same document.
+  auto r = b.Execute(*p, {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal()) << r.status();
+}
+
+TEST(EngineTest, SetEpochInvalidatesPlansAndCache) {
+  Fixture f;
+  QueryEngine engine(f.stored);
+  engine.SetEpoch(7);
+  EXPECT_EQ(engine.epoch(), 7u);
+
+  auto p = engine.Prepare("//book/title");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->epoch(), 7u);
+  ASSERT_TRUE(engine.Execute(*p, {}).ok());
+  EXPECT_EQ(engine.plan_cache_size(), 1u);
+
+  // Bumping the epoch clears the plan cache and rejects the stale plan.
+  engine.SetEpoch(8);
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+  auto stale = engine.Execute(*p, {});
+  EXPECT_FALSE(stale.ok());
+  EXPECT_TRUE(stale.status().IsInternal()) << stale.status();
+
+  // Re-preparing the same text under the new epoch works again.
+  auto fresh = engine.Prepare("//book/title");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->epoch(), 8u);
+  EXPECT_TRUE(engine.Execute(*fresh, {}).ok());
+
+  // Same-value SetEpoch is a no-op (the cache survives).
+  ASSERT_TRUE(engine.Prepare("//book").ok());
+  size_t size_before = engine.plan_cache_size();
+  engine.SetEpoch(8);
+  EXPECT_EQ(engine.plan_cache_size(), size_before);
+}
+
+TEST(EngineTest, DeprecatedRawConstructorsStillWork) {
+  // The one-release compatibility shims: engines over caller-owned
+  // substrates answer identically to shared-ownership engines.
+  Fixture f;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  QueryEngine raw(*f.stored);
+#pragma GCC diagnostic pop
+  QueryEngine shared(f.stored);
+  auto a = raw.Execute("//book/title", {});
+  auto b = shared.Execute("//book/title", {});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->pbn_nodes(), b->pbn_nodes());
+}
+
+TEST(EngineTest, ExecStatsJsonIsSingleLineAndComplete) {
+  Fixture f;
+  QueryEngine engine(f.stored);
+  auto r = engine.Execute("/data/book[2]/title", {.collect_stats = true});
+  ASSERT_TRUE(r.ok());
+  std::string json = r->stats().ToJson();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key :
+       {"\"plan\":", "\"threads\":", "\"wall_ms\":", "\"result_nodes\":",
+        "\"nodes_scanned\":", "\"plan_cache_hits\":", "\"steps\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing";
+  }
 }
 
 }  // namespace

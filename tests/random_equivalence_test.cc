@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "query/engine.h"
@@ -112,8 +113,10 @@ TEST_P(ParallelDeterminismTest, ThreadsDoNotChangeResults) {
   topts.num_nodes = 600;  // Large enough to cross the parallel cutoffs.
   topts.num_labels = 4;
   topts.text_prob = 0.25;
-  xml::Document doc = workload::GenerateRandomTree(topts);
-  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+  auto doc = std::make_shared<const xml::Document>(
+      workload::GenerateRandomTree(topts));
+  auto stored = std::make_shared<const storage::StoredDocument>(
+      storage::StoredDocument::Build(*doc));
 
   QueryEngine nav_engine(doc);
   QueryEngine stored_engine(stored);
@@ -121,9 +124,9 @@ TEST_P(ParallelDeterminismTest, ThreadsDoNotChangeResults) {
   workload::RandomSpecOptions sopts;
   sopts.seed = seed * 37 + 1;
   sopts.num_types = 4;
-  std::string spec = workload::GenerateRandomSpec(stored.dataguide(), sopts);
+  std::string spec = workload::GenerateRandomSpec(stored->dataguide(), sopts);
   SCOPED_TRACE(spec);
-  auto v = virt::VirtualDocument::Open(stored, spec);
+  auto v = virt::VirtualDocument::OpenShared(stored, spec);
   ASSERT_TRUE(v.ok()) << v.status();
   QueryEngine virtual_engine(*v);
 
@@ -145,7 +148,7 @@ TEST_P(ParallelDeterminismTest, ThreadsDoNotChangeResults) {
         EXPECT_TRUE(seq->nodes() == par->nodes()) << path;
       }
     }
-    for (const std::string& path : PathBattery(v->vguide())) {
+    for (const std::string& path : PathBattery((*v)->vguide())) {
       SCOPED_TRACE(path);
       auto seq = virtual_engine.Execute(path, {.threads = 1});
       auto par = virtual_engine.Execute(path, {.threads = threads});

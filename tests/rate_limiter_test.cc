@@ -1,0 +1,104 @@
+/// \file rate_limiter_test.cc
+/// \brief Admission control: the token bucket (injectable clock) and the
+/// bounded in-flight gate with its RAII ticket.
+
+#include "server/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace vpbn::server {
+namespace {
+
+TEST(TokenBucketTest, DisabledBucketAdmitsEverything) {
+  TokenBucket bucket(0.0, 0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.TryAcquire());
+}
+
+TEST(TokenBucketTest, BurstThenRefillAtRate) {
+  // Rate and time steps are binary-exact so the refill arithmetic is too.
+  TokenBucket bucket(/*rate=*/8.0, /*burst=*/3);
+  double t = 100.0;
+  // The full burst is available immediately...
+  EXPECT_TRUE(bucket.TryAcquireAt(t));
+  EXPECT_TRUE(bucket.TryAcquireAt(t));
+  EXPECT_TRUE(bucket.TryAcquireAt(t));
+  // ...then the bucket is dry.
+  EXPECT_FALSE(bucket.TryAcquireAt(t));
+  EXPECT_FALSE(bucket.TryAcquireAt(t + 0.0625));
+  // 8/s refill: one token back after 125ms.
+  EXPECT_TRUE(bucket.TryAcquireAt(t + 0.125));
+  EXPECT_FALSE(bucket.TryAcquireAt(t + 0.125));
+  // Refill is capped at burst, no matter how long the idle gap.
+  EXPECT_TRUE(bucket.TryAcquireAt(t + 1000.0));
+  EXPECT_TRUE(bucket.TryAcquireAt(t + 1000.0));
+  EXPECT_TRUE(bucket.TryAcquireAt(t + 1000.0));
+  EXPECT_FALSE(bucket.TryAcquireAt(t + 1000.0));
+}
+
+TEST(TokenBucketTest, ClockGoingBackwardsDoesNotMintTokens) {
+  TokenBucket bucket(1.0, 1);
+  EXPECT_TRUE(bucket.TryAcquireAt(50.0));
+  EXPECT_FALSE(bucket.TryAcquireAt(10.0));  // time warp: no refill
+  EXPECT_TRUE(bucket.TryAcquireAt(51.0));
+}
+
+TEST(AdmissionGateTest, BoundsInflightAndTicketReleases) {
+  AdmissionGate gate(2);
+  {
+    AdmissionGate::Ticket a(gate);
+    AdmissionGate::Ticket b(gate);
+    EXPECT_TRUE(a.admitted());
+    EXPECT_TRUE(b.admitted());
+    EXPECT_EQ(gate.inflight(), 2u);
+    AdmissionGate::Ticket c(gate);
+    EXPECT_FALSE(c.admitted());  // over the limit: shed
+    EXPECT_EQ(gate.inflight(), 2u);
+  }
+  // All tickets destroyed: capacity is back.
+  EXPECT_EQ(gate.inflight(), 0u);
+  AdmissionGate::Ticket d(gate);
+  EXPECT_TRUE(d.admitted());
+}
+
+TEST(AdmissionGateTest, ZeroMeansUnbounded) {
+  AdmissionGate gate(0);
+  std::vector<std::unique_ptr<AdmissionGate::Ticket>> tickets;
+  for (int i = 0; i < 100; ++i) {
+    tickets.push_back(std::make_unique<AdmissionGate::Ticket>(gate));
+  }
+  for (const auto& t : tickets) EXPECT_TRUE(t->admitted());
+}
+
+TEST(AdmissionGateTest, ConcurrentAdmissionNeverExceedsLimit) {
+  constexpr size_t kLimit = 4;
+  AdmissionGate gate(kLimit);
+  std::atomic<size_t> peak{0};
+  std::atomic<size_t> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        AdmissionGate::Ticket ticket(gate);
+        if (!ticket.admitted()) continue;
+        admitted.fetch_add(1, std::memory_order_relaxed);
+        size_t now = gate.inflight();
+        size_t prev = peak.load(std::memory_order_relaxed);
+        while (now > prev &&
+               !peak.compare_exchange_weak(prev, now,
+                                           std::memory_order_relaxed)) {
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(peak.load(), kLimit);
+  EXPECT_GT(admitted.load(), 0u);
+  EXPECT_EQ(gate.inflight(), 0u);
+}
+
+}  // namespace
+}  // namespace vpbn::server

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -107,13 +108,16 @@ TEST(SnapshotTest, ParallelLoadIsByteIdentical) {
 // three substrates and thread counts.
 TEST(SnapshotTest, LoadedDocumentAnswersQueriesIdentically) {
   xml::Document doc = AuctionsDoc();
-  StoredDocument built = StoredDocument::Build(doc);
-  auto loaded = Snapshot::Load(Snapshot::Write(built));
-  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  auto built = std::make_shared<const StoredDocument>(
+      StoredDocument::Build(doc));
+  auto loaded_result = Snapshot::Load(Snapshot::Write(*built));
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status();
+  auto loaded = std::make_shared<const StoredDocument>(
+      std::move(*loaded_result));
 
   const char* kSpec = "auction { itemref bidder { personref price } }";
-  auto built_vdoc = virt::VirtualDocument::Open(built, kSpec);
-  auto loaded_vdoc = virt::VirtualDocument::Open(*loaded, kSpec);
+  auto built_vdoc = virt::VirtualDocument::OpenShared(built, kSpec);
+  auto loaded_vdoc = virt::VirtualDocument::OpenShared(loaded, kSpec);
   ASSERT_TRUE(built_vdoc.ok()) << built_vdoc.status();
   ASSERT_TRUE(loaded_vdoc.ok()) << loaded_vdoc.status();
 
@@ -127,11 +131,15 @@ TEST(SnapshotTest, LoadedDocumentAnswersQueriesIdentically) {
   };
 
   // Stored substrate (bulk/indexed plans) and the navigational substrate
-  // over the loaded document's own copy of the tree.
+  // over the loaded document's own copy of the tree. The navigational
+  // documents are owned by this frame / by `loaded`, so the engines get
+  // non-owning aliasing pointers.
   query::QueryEngine built_stored(built);
-  query::QueryEngine loaded_stored(*loaded);
-  query::QueryEngine built_nav(doc);
-  query::QueryEngine loaded_nav(loaded->doc());
+  query::QueryEngine loaded_stored(loaded);
+  query::QueryEngine built_nav(std::shared_ptr<const xml::Document>(
+      std::shared_ptr<const void>(), &doc));
+  query::QueryEngine loaded_nav(
+      std::shared_ptr<const xml::Document>(loaded, &loaded->doc()));
   query::QueryEngine built_virtual(*built_vdoc);
   query::QueryEngine loaded_virtual(*loaded_vdoc);
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -138,8 +139,9 @@ TEST(ValuePredicateDifferentialTest, VirtualAgreesWithItsScanPath) {
   opts.seed = 9;
   opts.num_books = 120;
   xml::Document doc = workload::GenerateBooks(opts);
-  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
-  auto v = virt::VirtualDocument::Open(stored, testutil::SamSpec());
+  auto stored = std::make_shared<const storage::StoredDocument>(
+      storage::StoredDocument::Build(doc));
+  auto v = virt::VirtualDocument::OpenShared(stored, testutil::SamSpec());
   ASSERT_TRUE(v.ok()) << v.status();
   QueryEngine engine(*v);
 
@@ -238,7 +240,8 @@ TEST(ValueIndexPropertyTest, PushdownMatchesScanOnStoredDocument) {
   // ~12k nodes: book + title/author/name/price elements + 3 text nodes.
   xml::Document doc = JunkCatalog(/*seed=*/2026, /*num_books=*/1500);
   ASSERT_GE(doc.num_nodes(), 10000u);
-  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+  auto stored = std::make_shared<const storage::StoredDocument>(
+      storage::StoredDocument::Build(doc));
   QueryEngine engine(stored);
 
   static const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
@@ -278,8 +281,9 @@ TEST(ValueIndexPropertyTest, PushdownMatchesScanOnStoredDocument) {
 TEST(ValueIndexPropertyTest, PushdownMatchesScanOnVirtualDocument) {
   xml::Document doc = JunkCatalog(/*seed=*/7, /*num_books=*/1500);
   ASSERT_GE(doc.num_nodes(), 10000u);
-  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
-  auto v = virt::VirtualDocument::Open(stored, testutil::SamSpec());
+  auto stored = std::make_shared<const storage::StoredDocument>(
+      storage::StoredDocument::Build(doc));
+  auto v = virt::VirtualDocument::OpenShared(stored, testutil::SamSpec());
   ASSERT_TRUE(v.ok()) << v.status();
   QueryEngine engine(*v);
 
@@ -315,7 +319,8 @@ TEST(ValueIndexPropertyTest, PushdownMatchesScanOnVirtualDocument) {
 // per-node scans.
 TEST(ValueIndexPropertyTest, StatsShowPushdown) {
   xml::Document doc = JunkCatalog(/*seed=*/3, /*num_books=*/500);
-  storage::StoredDocument stored = storage::StoredDocument::Build(doc);
+  auto stored = std::make_shared<const storage::StoredDocument>(
+      storage::StoredDocument::Build(doc));
   QueryEngine engine(stored);
   auto on = engine.Execute("//book[price = 42]",
                            {.collect_stats = true, .use_value_index = true});

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -39,7 +40,10 @@ virt::VirtualDocument Open(const storage::StoredDocument& stored,
 void ExpectJoinMatchesBaseline(const virt::VirtualDocument& vdoc,
                                const std::vector<std::string>& queries,
                                uint64_t* vjoin_pairs_seen = nullptr) {
-  QueryEngine engine(vdoc);
+  // vdoc is owned by the caller's frame; hand the engine a non-owning
+  // aliasing pointer.
+  QueryEngine engine(std::shared_ptr<const virt::VirtualDocument>(
+      std::shared_ptr<const void>(), &vdoc));
   for (const std::string& q : queries) {
     auto base = engine.Execute(q, {.threads = 1,
                                    .collect_stats = false,

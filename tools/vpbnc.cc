@@ -1,0 +1,115 @@
+/// \file vpbnc.cc
+/// \brief Minimal vpbnd client: send one request line, print the one-line
+/// JSON response.
+///
+///   vpbnc [--host 127.0.0.1] --port N <request...>
+///   vpbnc --port 7070 QUERY books '//book/title'
+///   vpbnc --port 7070 LIST
+///   vpbnc --port 7070 STATS
+///   vpbnc --port 7070 SHUTDOWN
+///
+/// All arguments after the flags are joined with single spaces into the
+/// request line (so the path may arrive pre-split by the shell). Exits 0
+/// on a "code":0 response, 1 otherwise — scripts can branch on the exit
+/// code without parsing JSON.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vpbnc [--host A.B.C.D] --port N <request words...>\n");
+  return 2;
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else {
+      break;
+    }
+  }
+  if (port <= 0 || i >= argc) return Usage();
+
+  std::string line;
+  for (; i < argc; ++i) {
+    if (!line.empty()) line += ' ';
+    line += argv[i];
+  }
+  line += '\n';
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("vpbnc: socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "vpbnc: bad host '%s'\n", host.c_str());
+    ::close(fd);
+    return 1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::perror("vpbnc: connect");
+    ::close(fd);
+    return 1;
+  }
+  if (!WriteAll(fd, line)) {
+    std::perror("vpbnc: send");
+    ::close(fd);
+    return 1;
+  }
+
+  std::string response;
+  char chunk[4096];
+  while (response.find('\n') == std::string::npos) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t nl = response.find('\n');
+  if (nl == std::string::npos) {
+    std::fprintf(stderr, "vpbnc: connection closed without a response\n");
+    return 1;
+  }
+  response.resize(nl);
+  std::printf("%s\n", response.c_str());
+  return response.rfind("{\"code\":0", 0) == 0 ? 0 : 1;
+}

@@ -73,87 +73,30 @@ int Fail(const Status& status) {
   return 1;
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
 /// Dump one Execute call's ExecStats as a single JSON object (the --json
 /// flag), so harnesses can diff counters across runs without scraping the
-/// human-readable stderr dump.
-int WriteStatsJson(const std::string& path, const query::ExecStats& stats,
-                   size_t result_nodes) {
+/// human-readable stderr dump. The serialization is ExecStats::ToJson — the
+/// same object vpbnd's STATS endpoint and the E14 driver emit.
+int WriteStatsJson(const std::string& path, const query::ExecStats& stats) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
     return 1;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"plan\": \"%s\",\n"
-               "  \"threads\": %d,\n"
-               "  \"wall_ms\": %.6f,\n"
-               "  \"ingest_ms\": %.6f,\n"
-               "  \"snapshot_load\": %s,\n"
-               "  \"result_nodes\": %zu,\n"
-               "  \"nodes_scanned\": %llu,\n"
-               "  \"join_pairs\": %llu,\n"
-               "  \"pbn_comparisons\": %llu,\n"
-               "  \"bytes_compared\": %llu,\n"
-               "  \"vjoin_pairs\": %llu,\n"
-               "  \"decoded_batches\": %llu,\n"
-               "  \"value_index_lookups\": %llu,\n"
-               "  \"value_index_postings\": %llu,\n"
-               "  \"value_scan_fallbacks\": %llu,\n"
-               "  \"plan_cache_hits\": %llu,\n"
-               "  \"plan_cache_misses\": %llu,\n"
-               "  \"steps\": [",
-               JsonEscape(stats.plan).c_str(), stats.threads, stats.wall_ms,
-               stats.ingest_ms, stats.snapshot_load ? "true" : "false",
-               result_nodes,
-               static_cast<unsigned long long>(stats.nodes_scanned),
-               static_cast<unsigned long long>(stats.join_pairs),
-               static_cast<unsigned long long>(stats.pbn_comparisons),
-               static_cast<unsigned long long>(stats.bytes_compared),
-               static_cast<unsigned long long>(stats.vjoin_pairs),
-               static_cast<unsigned long long>(stats.decoded_batches),
-               static_cast<unsigned long long>(stats.value_index_lookups),
-               static_cast<unsigned long long>(stats.value_index_postings),
-               static_cast<unsigned long long>(stats.value_scan_fallbacks),
-               static_cast<unsigned long long>(stats.plan_cache_hits),
-               static_cast<unsigned long long>(stats.plan_cache_misses));
-  for (size_t i = 0; i < stats.steps.size(); ++i) {
-    const query::StepStats& s = stats.steps[i];
-    std::fprintf(f,
-                 "%s\n    {\"label\": \"%s\", \"nodes_out\": %llu, "
-                 "\"wall_ms\": %.6f}",
-                 i == 0 ? "" : ",", JsonEscape(s.label).c_str(),
-                 static_cast<unsigned long long>(s.nodes_out), s.wall_ms);
-  }
-  std::fprintf(f, "%s]\n}\n", stats.steps.empty() ? "" : "\n  ");
+  std::string json = stats.ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
   std::fclose(f);
   return 0;
 }
 
 /// Prepare, execute and print one query through the engine facade.
 int RunQuery(const query::QueryEngine& engine, const std::string& path_text,
-             const query::ExecOptions& options, const std::string& json_path) {
+             const query::ExecOverrides& overrides,
+             const std::string& json_path) {
   auto prepared = engine.Prepare(path_text);
   if (!prepared.ok()) return Fail(prepared.status());
-  auto result = engine.Execute(*prepared, options);
+  auto result = engine.Execute(*prepared, overrides);
   if (!result.ok()) return Fail(result.status());
   // Views point into the stored string for stored / intact-virtual results,
   // so printing a large result set never copies the values.
@@ -163,11 +106,11 @@ int RunQuery(const query::QueryEngine& engine, const std::string& path_text,
     std::fputc('\n', stdout);
   }
   std::fprintf(stderr, "%zu node(s)\n", result->size());
-  if (options.collect_stats) {
+  if (overrides.collect_stats.value_or(false)) {
     std::fprintf(stderr, "%s", result->stats().ToString().c_str());
   }
   if (!json_path.empty()) {
-    return WriteStatsJson(json_path, result->stats(), result->size());
+    return WriteStatsJson(json_path, result->stats());
   }
   return 0;
 }
@@ -177,22 +120,23 @@ int RunQuery(const query::QueryEngine& engine, const std::string& path_text,
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
 
-  // Engine options may precede or follow the mode flag.
-  query::ExecOptions exec_options;
+  // Engine options may precede or follow the mode flag. They collect into
+  // an ExecOverrides: unset knobs fall through to the engine defaults.
+  query::ExecOverrides exec_overrides;
   bool bulk = false;
   bool load_snapshot = false;
   std::string json_path;
   std::string save_snapshot;
   for (auto it = args.begin(); it != args.end();) {
     if (*it == "--threads" && std::next(it) != args.end()) {
-      exec_options.threads = std::atoi(std::next(it)->c_str());
+      exec_overrides.threads = std::atoi(std::next(it)->c_str());
       it = args.erase(it, it + 2);
     } else if (*it == "--stats") {
-      exec_options.collect_stats = true;
+      exec_overrides.collect_stats = true;
       it = args.erase(it);
     } else if (*it == "--json" && std::next(it) != args.end()) {
       json_path = *std::next(it);
-      exec_options.collect_stats = true;  // the dump needs the counters
+      exec_overrides.collect_stats = true;  // the dump needs the counters
       it = args.erase(it, it + 2);
     } else if (*it == "--bulk") {
       bulk = true;
@@ -274,12 +218,12 @@ int main(int argc, char** argv) {
   if (args[0] == "--view" && args.size() == 4) {
     auto doc = Load(args[2]);
     if (!doc.ok()) return Fail(doc.status());
-    storage::StoredDocument stored =
-        storage::StoredDocument::Build(std::move(*doc));
-    auto vdoc = virt::VirtualDocument::Open(stored, args[1]);
+    auto stored = std::make_shared<const storage::StoredDocument>(
+        storage::StoredDocument::Build(std::move(*doc)));
+    auto vdoc = virt::VirtualDocument::OpenShared(stored, args[1]);
     if (!vdoc.ok()) return Fail(vdoc.status());
     query::QueryEngine engine(*vdoc);
-    return RunQuery(engine, args[3], exec_options, json_path);
+    return RunQuery(engine, args[3], exec_overrides, json_path);
   }
 
   // Build-and-persist only: vpbnq --save-snapshot out.snap file.xml
@@ -297,18 +241,18 @@ int main(int argc, char** argv) {
   }
 
   if (args.size() == 2 && args[0][0] != '-') {
-    storage::StoredDocument stored;
+    storage::StoredDocument built;
     if (load_snapshot) {
       auto loaded = storage::Snapshot::LoadFile(args[0]);
       if (!loaded.ok()) return Fail(loaded.status());
-      stored = std::move(*loaded);
+      built = std::move(*loaded);
     } else {
       auto doc = Load(args[0]);
       if (!doc.ok()) return Fail(doc.status());
-      stored = storage::StoredDocument::Build(std::move(*doc));
+      built = storage::StoredDocument::Build(std::move(*doc));
     }
     if (!save_snapshot.empty()) {
-      if (auto s = storage::Snapshot::WriteFile(stored, save_snapshot);
+      if (auto s = storage::Snapshot::WriteFile(built, save_snapshot);
           !s.ok()) {
         return Fail(s);
       }
@@ -318,8 +262,10 @@ int main(int argc, char** argv) {
     // allows and per-node index scans otherwise, so --bulk is subsumed;
     // it stays accepted for compatibility.
     (void)bulk;
+    auto stored = std::make_shared<const storage::StoredDocument>(
+        std::move(built));
     query::QueryEngine engine(stored);
-    return RunQuery(engine, args[1], exec_options, json_path);
+    return RunQuery(engine, args[1], exec_overrides, json_path);
   }
 
   return Usage();
