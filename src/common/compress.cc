@@ -1,0 +1,54 @@
+#include "common/compress.h"
+
+#ifdef VPBN_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace vpbn::common {
+
+#ifdef VPBN_HAVE_ZLIB
+
+bool CompressionAvailable() { return true; }
+
+Status Deflate(std::string_view in, std::string* out) {
+  uLong bound = compressBound(static_cast<uLong>(in.size()));
+  out->resize(bound);
+  uLongf dest_len = bound;
+  int rc = compress2(reinterpret_cast<Bytef*>(out->data()), &dest_len,
+                     reinterpret_cast<const Bytef*>(in.data()),
+                     static_cast<uLong>(in.size()), Z_BEST_COMPRESSION);
+  if (rc != Z_OK) {
+    return Status::Internal("deflate failed: zlib error " +
+                            std::to_string(rc));
+  }
+  out->resize(dest_len);
+  return Status::OK();
+}
+
+Status Inflate(std::string_view in, size_t raw_size, std::string* out) {
+  out->resize(raw_size);
+  uLongf dest_len = static_cast<uLongf>(raw_size);
+  int rc = uncompress(reinterpret_cast<Bytef*>(out->data()), &dest_len,
+                      reinterpret_cast<const Bytef*>(in.data()),
+                      static_cast<uLong>(in.size()));
+  if (rc != Z_OK || dest_len != raw_size) {
+    return Status::InvalidArgument("inflate: corrupt compressed section");
+  }
+  return Status::OK();
+}
+
+#else  // !VPBN_HAVE_ZLIB
+
+bool CompressionAvailable() { return false; }
+
+Status Deflate(std::string_view, std::string*) {
+  return Status::NotImplemented("compiled without zlib");
+}
+
+Status Inflate(std::string_view, size_t, std::string*) {
+  return Status::NotImplemented("compiled without zlib");
+}
+
+#endif
+
+}  // namespace vpbn::common

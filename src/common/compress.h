@@ -1,0 +1,31 @@
+/// \file compress.h
+/// \brief Thin deflate/inflate wrappers for snapshot sections.
+///
+/// Compression is an optional dependency: when the build finds no zlib the
+/// writers fall back to storing sections uncompressed and the readers
+/// reject compressed sections with InvalidArgument — the format stays
+/// readable everywhere it can be.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace vpbn::common {
+
+/// True when this build can deflate/inflate (zlib was found at configure
+/// time). Writers must consult this before emitting compressed sections.
+bool CompressionAvailable();
+
+/// Deflates \p in into \p out (replacing its contents). NotImplemented when
+/// CompressionAvailable() is false.
+Status Deflate(std::string_view in, std::string* out);
+
+/// Inflates \p in — which must decompress to exactly \p raw_size bytes —
+/// into \p out (replacing its contents). InvalidArgument on corrupt input
+/// or a size mismatch; NotImplemented without zlib.
+Status Inflate(std::string_view in, size_t raw_size, std::string* out);
+
+}  // namespace vpbn::common

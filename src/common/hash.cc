@@ -1,0 +1,39 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace vpbn::common {
+
+namespace {
+
+inline uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+uint64_t Hash64(std::string_view data, uint64_t seed) {
+  const char* p = data.data();
+  size_t n = data.size();
+  uint64_t h = Mix(seed ^ (0x9e3779b97f4a7c15ULL + n));
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = Mix(h ^ w) * 0x2545f4914f6cdd1dULL;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t w = 0;
+    std::memcpy(&w, p, n);
+    h = Mix(h ^ w ^ (static_cast<uint64_t>(n) << 56));
+  }
+  return Mix(h);
+}
+
+}  // namespace vpbn::common

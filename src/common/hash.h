@@ -1,0 +1,22 @@
+/// \file hash.h
+/// \brief Fast 64-bit content hash for integrity checks.
+///
+/// Used by the snapshot format to checksum section payloads: a verified
+/// checksum lets Load skip the expensive structural re-validation, while a
+/// bit flip anywhere in the payload flips the digest. This is a corruption
+/// detector, not a cryptographic MAC.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace vpbn::common {
+
+/// \brief Hash \p data with a 64-bit mixing hash (8 bytes per round, a
+/// splitmix-style finalizer per chunk). Deterministic across platforms and
+/// builds; seeds allow domain separation.
+uint64_t Hash64(std::string_view data, uint64_t seed = 0);
+
+}  // namespace vpbn::common

@@ -1,0 +1,47 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vpbn::common {
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::InvalidArgument("mmap: cannot open " + path + ": " +
+                                   std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::InvalidArgument("mmap: cannot stat " + path + ": " +
+                                   std::strerror(err));
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* addr = nullptr;
+  if (size > 0) {
+    addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      return Status::InvalidArgument("mmap: cannot map " + path + ": " +
+                                     std::strerror(err));
+    }
+  }
+  // The mapping keeps the file content reachable; the descriptor is no
+  // longer needed.
+  ::close(fd);
+  return std::shared_ptr<MappedFile>(new MappedFile(addr, size));
+}
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr && size_ > 0) ::munmap(addr_, size_);
+}
+
+}  // namespace vpbn::common

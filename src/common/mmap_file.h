@@ -1,0 +1,44 @@
+/// \file mmap_file.h
+/// \brief Read-only memory-mapped file with shared ownership.
+///
+/// The snapshot loader maps a .vpsn file and hands byte views of its
+/// sections to the StoredDocument, which keeps the MappedFile alive via
+/// shared_ptr for as long as any lazily-decoded section still references
+/// the mapping. Because the mapping is MAP_SHARED of a read-only file,
+/// every process that maps the same snapshot shares one copy of the bytes
+/// in the page cache, and pages are faulted in only when touched.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace vpbn::common {
+
+class MappedFile {
+ public:
+  /// Map \p path read-only. InvalidArgument if the file cannot be opened,
+  /// stat'ed, or mapped. An empty file maps to an empty view (no mapping).
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::string_view bytes() const {
+    return {static_cast<const char*>(addr_), size_};
+  }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(void* addr, size_t size) : addr_(addr), size_(size) {}
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace vpbn::common

@@ -73,4 +73,52 @@ int VarintLength64(uint64_t value) {
   return len;
 }
 
+void PutDeltaU32Array(std::string* out, const uint32_t* values, size_t n) {
+  uint32_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    PutVarint32(out, values[i] - prev);
+    prev = values[i];
+  }
+}
+
+void PutDeltaU64Array(std::string* out, const uint64_t* values, size_t n) {
+  uint64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    PutVarint64(out, values[i] - prev);
+    prev = values[i];
+  }
+}
+
+Status GetDeltaU32Array(std::string_view* in, size_t n,
+                        std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(n <= in->size() ? n : in->size());
+  uint32_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    VPBN_ASSIGN_OR_RETURN(uint32_t delta, GetVarint32(in));
+    if (delta > UINT32_MAX - prev) {
+      return Status::InvalidArgument("varint: delta array overflows");
+    }
+    prev += delta;
+    out->push_back(prev);
+  }
+  return Status::OK();
+}
+
+Status GetDeltaU64Array(std::string_view* in, size_t n,
+                        std::vector<uint64_t>* out) {
+  out->clear();
+  out->reserve(n <= in->size() ? n : in->size());
+  uint64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    VPBN_ASSIGN_OR_RETURN(uint64_t delta, GetVarint64(in));
+    if (delta > UINT64_MAX - prev) {
+      return Status::InvalidArgument("varint: delta array overflows");
+    }
+    prev += delta;
+    out->push_back(prev);
+  }
+  return Status::OK();
+}
+
 }  // namespace vpbn

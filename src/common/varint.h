@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 
@@ -36,5 +37,28 @@ int VarintLength32(uint32_t value);
 
 /// \brief Number of bytes PutVarint64 would emit for \p value.
 int VarintLength64(uint64_t value);
+
+/// \name Delta-compressed integer arrays
+///
+/// A non-decreasing sequence stores as first-value + successive deltas,
+/// each LEB128-encoded — the postings/offset-table layout the snapshot
+/// format and the blocked PBN codec share. The decoder rejects truncation,
+/// overlong encodings, and deltas that overflow the element type, so a
+/// decoded array is always well-formed and non-decreasing.
+/// @{
+
+/// \brief Append \p n values (which must be non-decreasing) as
+/// first + deltas. Encoding an empty array appends nothing.
+void PutDeltaU32Array(std::string* out, const uint32_t* values, size_t n);
+void PutDeltaU64Array(std::string* out, const uint64_t* values, size_t n);
+
+/// \brief Decode \p n values previously written by the matching Put. On
+/// success advances \p in and fills \p out (resized to n). InvalidArgument
+/// on truncation, overlong encodings, or accumulated overflow.
+Status GetDeltaU32Array(std::string_view* in, size_t n,
+                        std::vector<uint32_t>* out);
+Status GetDeltaU64Array(std::string_view* in, size_t n,
+                        std::vector<uint64_t>* out);
+/// @}
 
 }  // namespace vpbn

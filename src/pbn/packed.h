@@ -64,7 +64,8 @@ class PackedPbnRef {
   /// terminator. Never reads beyond \p size bytes.
   static uint64_t ComputeKey(const char* data, uint32_t size) {
     uint64_t w = 0;
-    std::memcpy(&w, data, size < 8 ? size : 8);
+    // size == 0 keeps data out of memcpy: an empty ref may carry nullptr.
+    if (size != 0) std::memcpy(&w, data, size < 8 ? size : 8);
 #if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
     return w;
 #else
@@ -324,6 +325,12 @@ class PackedPbnList {
   /// @}
 
  private:
+  /// DecodeBlock front-codes against bytes already in arena_, so it appends
+  /// through the members directly (Append(ref) cannot alias its own arena
+  /// across a reallocation).
+  friend Status DecodeBlock(std::string_view payload, size_t entries,
+                            PackedPbnList* out);
+
   /// Record the element whose encoding now ends the arena (the last
   /// offsets_ entry must already be pushed).
   void FinishAppend(uint32_t num_components);
@@ -333,6 +340,101 @@ class PackedPbnList {
   std::vector<uint32_t> lengths_;  // component counts
   std::vector<uint64_t> keys_;     // PackedPbnRef::ComputeKey per element
 };
+
+/// \name Batched compare/decode kernels and the blocked arena codec.
+///
+/// The packed lists are consumed in *runs*: a structural-join advance walks
+/// a contiguous span of ancestors, a merge scans a group of equal-prefix
+/// rows, the E10 decision kernel probes a window. Over a run the 8-byte
+/// sort-key column decides almost every element, so the kernels below work
+/// key-column-first: SIMD (AVX2/AVX-512, resolved once at runtime, scalar
+/// fallback) over the uncompressed keys, with the arena touched only on
+/// equal-key lanes — the scalar tie-break path, which XMark-style data hits
+/// on well under 1% of decisions.
+///
+/// Sorted lists carry their per-block min/max sort keys implicitly: with a
+/// fixed block size of kPbnBlockEntries, block b's minimum is keys[b*B] and
+/// its maximum keys[min((b+1)*B, n) - 1], so block skipping needs no side
+/// structure and never goes stale on append. The on-disk blocked codec
+/// (EncodeBlocked) stores the same min/max explicitly per block and
+/// front-codes the arena bytes; DecodeBlock amortizes the ordered-codec
+/// decode over a whole block.
+/// @{
+
+/// Entries per block, shared by the in-memory skip stride and the on-disk
+/// blocked codec. 256 entries of XMark-typical 8-16 byte encodings come to
+/// roughly 2-4 KiB of arena per block.
+inline constexpr size_t kPbnBlockEntries = 256;
+
+/// \brief Result of CompareKeysBatch: how many run elements compare less
+/// than the probe in document order, and how many are strict prefixes
+/// (ancestors) of it.
+struct BatchCounts {
+  uint64_t less = 0;
+  uint64_t prefix = 0;
+};
+
+/// \brief Batched decision kernel over the run [lo, lo+n) of a packed
+/// list's columns: counts document-order-less and strict-prefix outcomes
+/// against \p probe. Exactly the decisions PackedPbnRef::Compare and
+/// IsStrictPrefixOf make, property-tested byte-identical; SIMD over the key
+/// column with scalar tie-break only on equal keys.
+BatchCounts CompareKeysBatch(const uint64_t* keys, const uint32_t* offsets,
+                             const char* arena, size_t lo, size_t n,
+                             const PackedPbnRef& probe);
+
+/// \brief The instruction set the batched kernels resolved to at startup:
+/// "avx512", "avx2" or "scalar".
+const char* BatchKernelIsa();
+
+/// \brief Smallest sort key any strict prefix (ancestor) of \p probe can
+/// have: the key of its one-component prefix, which is probe's key masked
+/// to the byte span of its first component. Every longer prefix keeps more
+/// of probe's own bytes, so its key is >= this bound; every element with a
+/// smaller key is neither an ancestor of probe nor >= probe.
+inline uint64_t MinStrictPrefixKeyBound(const PackedPbnRef& probe) {
+  if (probe.size_bytes() < 2) return 0;
+  uint32_t pb = 1u + static_cast<uint8_t>(probe.data()[0]);
+  if (pb >= 8) return probe.key();
+  return probe.key() & ~(~0ull >> (8 * pb));
+}
+
+/// \brief Advance \p i over whole kPbnBlockEntries-blocks of the sorted key
+/// column whose maximum key (the block's last key) is below \p bound.
+/// Returns the first index not skipped; *skips (when non-null) counts the
+/// blocks jumped. Only block-tail keys are read — skipped blocks cost one
+/// key load each.
+inline size_t SkipBlocksBelow(const uint64_t* keys, size_t i, size_t hi,
+                              uint64_t bound, uint64_t* skips) {
+  uint64_t n = 0;
+  while (hi - i >= kPbnBlockEntries &&
+         keys[i + kPbnBlockEntries - 1] < bound) {
+    i += kPbnBlockEntries;
+    ++n;
+  }
+  if (skips != nullptr) *skips += n;
+  return i;
+}
+
+/// \brief Encode \p list (which must be sorted in document order) into the
+/// blocked on-disk form: a delta-varint block offset table, per-block
+/// min/max sort keys, and per-block front-coded entry payloads (first entry
+/// raw, then lcp + suffix per entry).
+std::string EncodeBlocked(const PackedPbnList& list);
+
+/// \brief Decode one block payload of \p entries front-coded entries,
+/// appending to \p out. Validates framing byte-for-byte (component length
+/// bytes 1..4, terminator, lcp bounds) and strict document order against
+/// the previously appended entry, so corrupt payloads fail with
+/// InvalidArgument and never produce an out-of-order list.
+Status DecodeBlock(std::string_view payload, size_t entries,
+                   PackedPbnList* out);
+
+/// \brief Decode a full EncodeBlocked blob holding exactly \p count
+/// entries. Validates the offset table, the per-block min/max keys and
+/// every entry; arbitrary corrupt input returns InvalidArgument.
+Result<PackedPbnList> DecodeBlocked(std::string_view blob, size_t count);
+/// @}
 
 /// \brief A batch-decoded PBN column: every number of a list expanded once
 /// into one flat uint32 value column plus a start-offset column.

@@ -1,10 +1,25 @@
 #include "pbn/structural_join.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/parallel.h"
 
 namespace vpbn::num {
+
+namespace {
+
+std::atomic<bool> g_join_block_skipping{true};
+
+}  // namespace
+
+void SetJoinBlockSkipping(bool enabled) {
+  g_join_block_skipping.store(enabled, std::memory_order_relaxed);
+}
+
+bool JoinBlockSkippingEnabled() {
+  return g_join_block_skipping.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -129,6 +144,8 @@ void PackedStackTreeJoinLoop(const PackedPbnList& ancestors,
                              JoinCounters* counters) {
   uint64_t comparisons = 0;
   uint64_t bytes = 0;
+  uint64_t block_skips = 0;
+  const bool skip_blocks = JoinBlockSkippingEnabled();
   const size_t a_size = ancestors.size();
   const char* a_arena = ancestors.arena_data();
   const uint32_t* a_off = ancestors.offsets_data();
@@ -139,8 +156,12 @@ void PackedStackTreeJoinLoop(const PackedPbnList& ancestors,
   const uint32_t* d_len = descendants.lengths_data();
   const uint64_t* d_key = descendants.keys_data();
   for (size_t d = d_begin; d < d_end; ++d) {
-    const PackedPbnRef dn(d_arena + d_off[d], d_off[d + 1] - d_off[d],
-                          d_len[d], d_key[d]);
+    PackedPbnRef dn(d_arena + d_off[d], d_off[d + 1] - d_off[d], d_len[d],
+                    d_key[d]);
+    // Pop the chain entries whose subtrees ended before dn. A popped
+    // entry's subtree is a contiguous document-order interval ending
+    // before dn, so it would be popped for every later descendant too —
+    // which is what lets the block skip below run on the drained stack.
     while (!stack.empty()) {
       const size_t s = stack.back();
       const PackedPbnRef top(a_arena + a_off[s], a_off[s + 1] - a_off[s],
@@ -151,6 +172,34 @@ void PackedStackTreeJoinLoop(const PackedPbnList& ancestors,
       }
       if (top.IsStrictPrefixOf(dn)) break;
       stack.pop_back();
+    }
+    if (skip_blocks && stack.empty()) {
+      // No enclosing chain: once the ancestor scan is exhausted, no later
+      // descendant can produce output.
+      if (a >= a_size) break;
+      // A whole descendant block strictly below the next ancestor key emits
+      // nothing: every dn in it has an.key > dn.key, so the advance loop
+      // breaks immediately with the stack still empty.
+      size_t d0 = d;
+      while (d_end - d >= kPbnBlockEntries &&
+             a_key[a] > d_key[d + kPbnBlockEntries - 1]) {
+        d += kPbnBlockEntries;
+        ++block_skips;
+      }
+      if (d >= d_end) break;
+      if (d != d0) {
+        dn = PackedPbnRef(d_arena + d_off[d], d_off[d + 1] - d_off[d],
+                          d_len[d], d_key[d]);
+      }
+    }
+    if (skip_blocks && a < a_size) {
+      // Ancestors with sort keys below this bound can be neither prefixes
+      // of dn nor >= dn, so the advance loop would step over every one of
+      // them without touching the stack. Stride whole blocks off the key
+      // column, then finish the sub-block run without decoding arena bytes.
+      const uint64_t bound = MinStrictPrefixKeyBound(dn);
+      a = SkipBlocksBelow(a_key, a, a_size, bound, &block_skips);
+      while (a < a_size && a_key[a] < bound) ++a;
     }
     while (a < a_size) {
       const PackedPbnRef an(a_arena + a_off[a], a_off[a + 1] - a_off[a],
@@ -177,6 +226,7 @@ void PackedStackTreeJoinLoop(const PackedPbnList& ancestors,
   if constexpr (kCounted) {
     counters->comparisons += comparisons;
     counters->bytes_compared += bytes;
+    counters->block_skips += block_skips;
   }
 }
 

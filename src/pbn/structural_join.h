@@ -72,14 +72,27 @@ struct JoinCounters {
   uint64_t bytes_compared = 0;  ///< encoded bytes fed to those decisions
   uint64_t vjoin_pairs = 0;     ///< pairs emitted by virtual merge joins
   uint64_t decoded_batches = 0; ///< arenas batch-decoded into flat columns
+  uint64_t block_skips = 0;     ///< kPbnBlockEntries blocks skipped wholesale
 
   void Add(const JoinCounters& o) {
     comparisons += o.comparisons;
     bytes_compared += o.bytes_compared;
     vjoin_pairs += o.vjoin_pairs;
     decoded_batches += o.decoded_batches;
+    block_skips += o.block_skips;
   }
 };
+
+/// \name Block-skipping toggle.
+///
+/// The packed joins stride over whole kPbnBlockEntries blocks whose min/max
+/// sort keys prove no element can match or stop the merge (identical
+/// output either way — property-tested). On by default; the toggle exists
+/// so tests and benches can pin the unskipped baseline. Process-global.
+/// @{
+void SetJoinBlockSkipping(bool enabled);
+bool JoinBlockSkippingEnabled();
+/// @}
 
 /// \name Packed structural joins
 ///

@@ -35,6 +35,8 @@ std::string ExecStats::ToString() const {
                     " wall_ms=" + std::to_string(wall_ms) +
                     " ingest_ms=" + std::to_string(ingest_ms) +
                     " snapshot_load=" + (snapshot_load ? "1" : "0") +
+                    " snapshot_bytes=" + std::to_string(snapshot_bytes) +
+                    " mapped_bytes=" + std::to_string(mapped_bytes) +
                     " result_nodes=" + std::to_string(result_nodes) +
                     " nodes_scanned=" + std::to_string(nodes_scanned) +
                     " join_pairs=" + std::to_string(join_pairs) +
@@ -42,6 +44,7 @@ std::string ExecStats::ToString() const {
                     " bytes_compared=" + std::to_string(bytes_compared) +
                     " vjoin_pairs=" + std::to_string(vjoin_pairs) +
                     " decoded_batches=" + std::to_string(decoded_batches) +
+                    " block_skips=" + std::to_string(block_skips) +
                     " value_index_lookups=" + std::to_string(value_index_lookups) +
                     " value_index_postings=" + std::to_string(value_index_postings) +
                     " value_scan_fallbacks=" + std::to_string(value_scan_fallbacks) +
@@ -72,6 +75,8 @@ std::string ExecStats::ToJson() const {
   out += buf;
   out += std::string("\"snapshot_load\":") +
          (snapshot_load ? "true," : "false,");
+  add_u64("snapshot_bytes", snapshot_bytes);
+  add_u64("mapped_bytes", mapped_bytes);
   add_u64("result_nodes", result_nodes);
   add_u64("nodes_scanned", nodes_scanned);
   add_u64("join_pairs", join_pairs);
@@ -79,6 +84,7 @@ std::string ExecStats::ToJson() const {
   add_u64("bytes_compared", bytes_compared);
   add_u64("vjoin_pairs", vjoin_pairs);
   add_u64("decoded_batches", decoded_batches);
+  add_u64("block_skips", block_skips);
   add_u64("value_index_lookups", value_index_lookups);
   add_u64("value_index_postings", value_index_postings);
   add_u64("value_scan_fallbacks", value_scan_fallbacks);
@@ -107,6 +113,7 @@ void ExecStats::Accumulate(const ExecStats& other) {
   bytes_compared += other.bytes_compared;
   vjoin_pairs += other.vjoin_pairs;
   decoded_batches += other.decoded_batches;
+  block_skips += other.block_skips;
   value_index_lookups += other.value_index_lookups;
   value_index_postings += other.value_index_postings;
   value_scan_fallbacks += other.value_scan_fallbacks;
@@ -120,6 +127,8 @@ void ExecStats::Accumulate(const ExecStats& other) {
   wall_ms += other.wall_ms;
   ingest_ms = other.ingest_ms;
   snapshot_load = other.snapshot_load;
+  snapshot_bytes = other.snapshot_bytes;
+  mapped_bytes = other.mapped_bytes;
   threads = other.threads;
   if (!other.plan.empty()) plan = other.plan;
   // Per-step records are per-query detail; a cumulative object drops them.
@@ -298,6 +307,8 @@ Result<QueryResult> QueryEngine::ExecuteResolved(
   if (stored_ != nullptr) {
     stats.ingest_ms = stored_->ingest_ms();
     stats.snapshot_load = stored_->from_snapshot();
+    stats.snapshot_bytes = stored_->snapshot_bytes();
+    stats.mapped_bytes = stored_->mapped_bytes();
   }
   stats.plan_cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.plan_cache_misses = cache_misses_.load(std::memory_order_relaxed);
@@ -308,6 +319,7 @@ Result<QueryResult> QueryEngine::ExecuteResolved(
     stats.bytes_compared = ctx.bytes_compared();
     stats.vjoin_pairs = ctx.vjoin_pairs();
     stats.decoded_batches = ctx.decoded_batches();
+    stats.block_skips = ctx.block_skips();
     stats.value_index_lookups = ctx.value_index_lookups();
     stats.value_index_postings = ctx.value_index_postings();
     stats.value_scan_fallbacks = ctx.value_scan_fallbacks();

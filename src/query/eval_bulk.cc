@@ -82,6 +82,7 @@ std::vector<num::JoinPair> Join(num::Axis axis, const PackedPbnList& ancestors,
   if (ctx) {
     ctx->CountJoinPairs(pairs.size());
     ctx->CountComparisons(jc.comparisons, jc.bytes_compared);
+    ctx->CountBlockSkips(jc.block_skips);
   }
   return pairs;
 }

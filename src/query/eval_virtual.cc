@@ -379,6 +379,7 @@ bool VirtualAdapter::BatchAxisImpl(const std::vector<VirtualNode>& context,
     ctx_->CountComparisons(total.comparisons, total.bytes_compared);
     ctx_->CountVJoinPairs(total.vjoin_pairs);
     ctx_->CountDecodedBatches(total.decoded_batches);
+    ctx_->CountBlockSkips(total.block_skips);
   }
 
   // Task order is deterministic and the caller sorts downstream (per slot

@@ -37,6 +37,7 @@ struct ExecStats {
   uint64_t bytes_compared = 0;     ///< encoded arena bytes those touched
   uint64_t vjoin_pairs = 0;        ///< virtual merge-join pairs emitted
   uint64_t decoded_batches = 0;    ///< arenas batch-decoded into columns
+  uint64_t block_skips = 0;        ///< whole key blocks skipped by joins
   uint64_t value_index_lookups = 0;   ///< dictionary / numeric-slice probes
   uint64_t value_index_postings = 0;  ///< postings rows consumed by pushdown
   uint64_t value_scan_fallbacks = 0;  ///< value predicates scanned per node
@@ -49,6 +50,8 @@ struct ExecStats {
   double ingest_ms = 0;            ///< build (or snapshot-load) cost of the
                                    ///< stored substrate, when one is attached
   bool snapshot_load = false;      ///< stored substrate came from a snapshot
+  uint64_t snapshot_bytes = 0;     ///< on-disk size of that snapshot
+  uint64_t mapped_bytes = 0;       ///< bytes of it memory-mapped, not copied
   int threads = 1;                 ///< thread budget the execution ran with
   std::string plan;                ///< "nav" | "indexed" | "bulk" | "virtual"
   std::vector<StepStats> steps;    ///< per-step timings (top-level path only)
@@ -151,6 +154,9 @@ class ExecContext {
   void CountDecodedBatches(uint64_t n) {
     decoded_batches_.fetch_add(n, std::memory_order_relaxed);
   }
+  void CountBlockSkips(uint64_t n) {
+    block_skips_.fetch_add(n, std::memory_order_relaxed);
+  }
   void CountValueIndexLookups(uint64_t n) {
     value_index_lookups_.fetch_add(n, std::memory_order_relaxed);
   }
@@ -183,6 +189,9 @@ class ExecContext {
   uint64_t decoded_batches() const {
     return decoded_batches_.load(std::memory_order_relaxed);
   }
+  uint64_t block_skips() const {
+    return block_skips_.load(std::memory_order_relaxed);
+  }
   uint64_t value_index_lookups() const {
     return value_index_lookups_.load(std::memory_order_relaxed);
   }
@@ -209,6 +218,7 @@ class ExecContext {
   std::atomic<uint64_t> bytes_compared_{0};
   std::atomic<uint64_t> vjoin_pairs_{0};
   std::atomic<uint64_t> decoded_batches_{0};
+  std::atomic<uint64_t> block_skips_{0};
   std::atomic<uint64_t> value_index_lookups_{0};
   std::atomic<uint64_t> value_index_postings_{0};
   std::atomic<uint64_t> value_scan_fallbacks_{0};

@@ -74,9 +74,12 @@ struct CatalogEntry {
 class Catalog {
  public:
   /// \p default_options seeds every engine's SetDefaultOptions (the server
-  /// passes its per-query thread budget and knobs here).
-  explicit Catalog(query::ExecOptions default_options = {})
-      : default_options_(default_options) {}
+  /// passes its per-query thread budget and knobs here). \p use_mmap
+  /// selects how `.vpsn` sources load: memory-mapped (the default — v2
+  /// snapshots then serve straight from the page cache) or copied.
+  explicit Catalog(query::ExecOptions default_options = {},
+                   bool use_mmap = true)
+      : default_options_(default_options), use_mmap_(use_mmap) {}
 
   /// \name Registration
   /// Adding a name that already exists is InvalidArgument (use Reload).
@@ -124,6 +127,7 @@ class Catalog {
       const std::map<std::string, std::string>& view_specs) const;
 
   const query::ExecOptions default_options_;
+  const bool use_mmap_ = true;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const CatalogEntry>> docs_;
 };

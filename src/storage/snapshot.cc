@@ -2,23 +2,116 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/compress.h"
+#include "common/hash.h"
 #include "common/parallel.h"
 #include "common/varint.h"
 #include "index/value_index.h"
 #include "pbn/packed.h"
 #include "xml/binary_io.h"
+#include "xml/serializer.h"
 
 namespace vpbn::storage {
 
 namespace {
 
 constexpr std::string_view kMagic = "VPSN";
+
+/// \name v2 section plumbing
+/// @{
+
+constexpr size_t kPageSize = 4096;
+constexpr uint8_t kSectionDoc = 1;
+constexpr uint8_t kSectionArenas = 2;
+constexpr uint8_t kSectionValues = 3;
+// zlib's worst-case expansion bound, used to cap attacker-chosen raw sizes
+// before allocating.
+constexpr uint64_t kMaxInflateRatio = 1032;
+
+void PutFixed64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint64_t GetFixed64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+/// Frames one section blob: u8 codec (0 stored / 1 deflate) | varint
+/// raw_size | varint payload_size | payload. Deflates when zlib is in the
+/// build and it actually shrinks the bytes.
+void PutBlob(std::string* out, std::string_view raw) {
+  std::string deflated;
+  bool use_deflate = common::CompressionAvailable() && raw.size() >= 64 &&
+                     common::Deflate(raw, &deflated).ok() &&
+                     deflated.size() < raw.size();
+  out->push_back(use_deflate ? 1 : 0);
+  PutVarint64(out, raw.size());
+  std::string_view payload = use_deflate ? std::string_view(deflated) : raw;
+  PutVarint64(out, payload.size());
+  out->append(payload);
+}
+
+struct BlobView {
+  std::string_view payload;  ///< stored or deflated bytes, in place
+  uint64_t raw_size = 0;
+  bool deflated = false;
+};
+
+Result<BlobView> GetBlob(std::string_view* in) {
+  if (in->empty()) {
+    return Status::InvalidArgument("snapshot: truncated blob header");
+  }
+  uint8_t codec = static_cast<uint8_t>((*in)[0]);
+  in->remove_prefix(1);
+  if (codec > 1) {
+    return Status::InvalidArgument("snapshot: unknown blob codec");
+  }
+  BlobView out;
+  out.deflated = codec == 1;
+  VPBN_ASSIGN_OR_RETURN(out.raw_size, GetVarint64(in));
+  VPBN_ASSIGN_OR_RETURN(uint64_t payload_size, GetVarint64(in));
+  if (payload_size > in->size()) {
+    return Status::InvalidArgument("snapshot: truncated blob payload");
+  }
+  if (out.deflated) {
+    if (!common::CompressionAvailable()) {
+      return Status::InvalidArgument(
+          "snapshot: compressed section but compiled without zlib");
+    }
+    if (out.raw_size > (payload_size + 64) * kMaxInflateRatio) {
+      return Status::InvalidArgument("snapshot: implausible inflated size");
+    }
+  } else if (out.raw_size != payload_size) {
+    return Status::InvalidArgument("snapshot: stored blob size mismatch");
+  }
+  out.payload = in->substr(0, payload_size);
+  in->remove_prefix(payload_size);
+  return out;
+}
+
+/// Reads a blob and materializes its raw bytes: in place for stored blobs,
+/// via \p scratch for deflated ones.
+Result<std::string_view> ReadBlob(std::string_view* in, std::string* scratch) {
+  VPBN_ASSIGN_OR_RETURN(BlobView blob, GetBlob(in));
+  if (!blob.deflated) return blob.payload;
+  VPBN_RETURN_NOT_OK(
+      common::Inflate(blob.payload, blob.raw_size, scratch));
+  return std::string_view(*scratch);
+}
+
+/// @}
 
 void PutString(std::string* out, std::string_view s) {
   PutVarint64(out, s.size());
@@ -127,10 +220,52 @@ Status ValidateCanonicalNumbers(
 
 }  // namespace
 
-std::string Snapshot::Write(const StoredDocument& sd) {
+std::string Snapshot::Write(const StoredDocument& sd, uint32_t version) {
+  if (version == 1) return WriteV1(sd);
+  if (version == 2) return WriteV2(sd);
+  return {};
+}
+
+void Snapshot::WriteValues(const StoredDocument& sd, std::string* outp) {
+  std::string& out = *outp;
+  const dg::DataGuide& guide = sd.guide_;
+  // Value index: dictionary terms in term-id order, then per-type covered
+  // columns, then per-type attribute columns (sorted by name, so the bytes
+  // are deterministic regardless of hash-map iteration order).
+  const idx::ValueIndex& vi = sd.value_index_;
+  const idx::Dictionary& dict = vi.dict();
+  PutVarint64(&out, dict.size());
+  for (uint32_t i = 0; i < dict.size(); ++i) PutString(&out, dict.term(i));
+  for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
+    const idx::TypeColumn* col = vi.Column(t);
+    out.push_back(col != nullptr ? 1 : 0);
+    if (col != nullptr) {
+      for (uint32_t id : col->term_ids) PutVarint32(&out, id);
+    }
+  }
+  for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
+    const auto& by_name = vi.attrs_[t];
+    std::vector<const std::string*> names;
+    names.reserve(by_name.size());
+    for (const auto& [name, col] : by_name) names.push_back(&name);
+    std::sort(names.begin(), names.end(),
+              [](const std::string* a, const std::string* b) { return *a < *b; });
+    PutVarint64(&out, names.size());
+    for (const std::string* name : names) {
+      PutString(&out, *name);
+      // 0 encodes an absent cell (kNoTerm); real ids shift up by one.
+      for (uint32_t id : by_name.at(*name).term_ids) {
+        PutVarint32(&out, id == idx::kNoTerm ? 0 : id + 1);
+      }
+    }
+  }
+}
+
+std::string Snapshot::WriteV1(const StoredDocument& sd) {
+  sd.EnsureAllPacked();
   std::string out;
   out.append(kMagic);
-  PutVarint32(&out, kVersion);
+  PutVarint32(&out, 1);
 
   // Document section: the existing binary Document codec, length-prefixed
   // so corrupt inner bytes cannot desynchronize the outer stream.
@@ -165,51 +300,108 @@ std::string Snapshot::Write(const StoredDocument& sd) {
     PutString(&out, std::string_view(list.arena_data(), list.arena_bytes()));
   }
 
-  // Value index: dictionary terms in term-id order, then per-type covered
-  // columns, then per-type attribute columns (sorted by name, so the bytes
-  // are deterministic regardless of hash-map iteration order).
-  const idx::ValueIndex& vi = sd.value_index_;
-  const idx::Dictionary& dict = vi.dict();
-  PutVarint64(&out, dict.size());
-  for (uint32_t i = 0; i < dict.size(); ++i) PutString(&out, dict.term(i));
+  WriteValues(sd, &out);
+  return out;
+}
+
+std::string Snapshot::WriteV2(const StoredDocument& sd) {
+  sd.EnsureAllPacked();
+  const dg::DataGuide& guide = sd.guide_;
+
+  // Section payloads first; the directory needs their sizes. Only the
+  // document, the blocked arenas and the value index are stored — text,
+  // ranges, guide and the node-type/row columns are re-derived on load by
+  // Build's own deterministic phases.
+  std::string doc_sec;
+  PutBlob(&doc_sec, xml::WriteBinary(sd.doc()));
+
+  std::string arena_sec;
+  PutVarint64(&arena_sec, guide.num_types());
   for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
-    const idx::TypeColumn* col = vi.Column(t);
-    out.push_back(col != nullptr ? 1 : 0);
-    if (col != nullptr) {
-      for (uint32_t id : col->term_ids) PutVarint32(&out, id);
-    }
+    const num::PackedPbnList& list = sd.packed_type_index_[t];
+    PutVarint64(&arena_sec, list.size());
+    PutBlob(&arena_sec, num::EncodeBlocked(list));
   }
-  for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
-    const auto& by_name = vi.attrs_[t];
-    std::vector<const std::string*> names;
-    names.reserve(by_name.size());
-    for (const auto& [name, col] : by_name) names.push_back(&name);
-    std::sort(names.begin(), names.end(),
-              [](const std::string* a, const std::string* b) { return *a < *b; });
-    PutVarint64(&out, names.size());
-    for (const std::string* name : names) {
-      PutString(&out, *name);
-      // 0 encodes an absent cell (kNoTerm); real ids shift up by one.
-      for (uint32_t id : by_name.at(*name).term_ids) {
-        PutVarint32(&out, id == idx::kNoTerm ? 0 : id + 1);
-      }
-    }
+
+  std::string values_raw;
+  WriteValues(sd, &values_raw);
+  std::string values_sec;
+  PutBlob(&values_sec, values_raw);
+
+  std::string out;
+  out.append(kMagic);
+  PutVarint32(&out, 2);
+  const size_t checksum_pos = out.size();
+  out.append(8, '\0');  // patched below
+
+  // Directory: u8 count, then (u8 kind, u64 offset, u64 size) per section.
+  // Offsets are absolute and page-aligned so a mapped load can hand out
+  // naturally aligned section views.
+  const std::string* payloads[3] = {&doc_sec, &arena_sec, &values_sec};
+  const uint8_t kinds[3] = {kSectionDoc, kSectionArenas, kSectionValues};
+  out.push_back(3);
+  size_t off = out.size() + 3 * 17;
+  uint64_t offsets[3];
+  for (int i = 0; i < 3; ++i) {
+    off = (off + kPageSize - 1) / kPageSize * kPageSize;
+    offsets[i] = off;
+    out.push_back(static_cast<char>(kinds[i]));
+    PutFixed64(&out, offsets[i]);
+    PutFixed64(&out, payloads[i]->size());
+    off += payloads[i]->size();
   }
+  for (int i = 0; i < 3; ++i) {
+    out.resize(offsets[i], '\0');
+    out.append(*payloads[i]);
+  }
+
+  const uint64_t checksum =
+      common::Hash64(std::string_view(out).substr(checksum_pos + 8));
+  std::string sum;
+  PutFixed64(&sum, checksum);
+  out.replace(checksum_pos, 8, sum);
   return out;
 }
 
 Result<StoredDocument> Snapshot::Load(std::string_view data,
                                       common::ThreadPool* pool) {
-  auto load_start = std::chrono::steady_clock::now();
-  if (data.substr(0, kMagic.size()) != kMagic) {
+  return LoadOwned(data, pool, nullptr, nullptr);
+}
+
+Result<StoredDocument> Snapshot::LoadOwned(
+    std::string_view full, common::ThreadPool* pool,
+    std::shared_ptr<common::MappedFile> mapping,
+    std::unique_ptr<std::string> buffer) {
+  if (full.substr(0, kMagic.size()) != kMagic) {
     return Status::InvalidArgument("snapshot: bad magic");
   }
-  data.remove_prefix(kMagic.size());
-  VPBN_ASSIGN_OR_RETURN(uint32_t version, GetVarint32(&data));
-  if (version != kVersion) {
-    return Status::InvalidArgument("snapshot: unsupported version " +
-                                   std::to_string(version));
+  std::string_view body = full.substr(kMagic.size());
+  VPBN_ASSIGN_OR_RETURN(uint32_t version, GetVarint32(&body));
+  if (version == 1) {
+    // A v1 load copies everything out; the mapping/buffer (if any) is
+    // dropped, but the on-disk size is still worth reporting.
+    auto loaded = LoadV1(body, pool);
+    if (loaded.ok()) loaded->snapshot_bytes_ = full.size();
+    return loaded;
   }
+  if (version == 2) {
+    if (mapping == nullptr && buffer == nullptr) {
+      // The lazy arena views must outlive the caller's buffer, so an
+      // in-memory v2 load retains its own copy of the bytes.
+      buffer = std::make_unique<std::string>(full);
+      std::string_view owned = *buffer;
+      return LoadV2(owned, owned.substr(full.size() - body.size()), pool,
+                    nullptr, std::move(buffer));
+    }
+    return LoadV2(full, body, pool, std::move(mapping), std::move(buffer));
+  }
+  return Status::InvalidArgument("snapshot: unsupported version " +
+                                 std::to_string(version));
+}
+
+Result<StoredDocument> Snapshot::LoadV1(std::string_view data,
+                                        common::ThreadPool* pool) {
+  auto load_start = std::chrono::steady_clock::now();
 
   // Document.
   VPBN_ASSIGN_OR_RETURN(std::string_view doc_blob, GetString(&data));
@@ -338,6 +530,25 @@ Result<StoredDocument> Snapshot::Load(std::string_view data,
 
   // Value index: dictionary replayed in term-id order, then the covered
   // columns' postings and numeric rows rebuilt per type on the pool.
+  VPBN_RETURN_NOT_OK(LoadValues(&data, &out, pool));
+  if (!data.empty()) {
+    return Status::InvalidArgument("snapshot: trailing bytes");
+  }
+
+  out.type_cache_.resize(num_types);
+  out.from_snapshot_ = true;
+  out.ingest_ms_ =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - load_start)
+          .count();
+  return out;
+}
+
+Status Snapshot::LoadValues(std::string_view* datap, StoredDocument* outp,
+                            common::ThreadPool* pool) {
+  std::string_view& data = *datap;
+  StoredDocument& out = *outp;
+  const size_t num_types = out.guide_.num_types();
   VPBN_ASSIGN_OR_RETURN(uint64_t term_count, GetVarint64(&data));
   if (term_count > data.size()) {
     return Status::InvalidArgument("snapshot: term count exceeds input");
@@ -421,11 +632,167 @@ Result<StoredDocument> Snapshot::Load(std::string_view data,
       }
     }
   }
-  if (!data.empty()) {
+  return Status::OK();
+}
+
+Result<StoredDocument> Snapshot::LoadV2(
+    std::string_view full, std::string_view data, common::ThreadPool* pool,
+    std::shared_ptr<common::MappedFile> mapping,
+    std::unique_ptr<std::string> buffer) {
+  auto load_start = std::chrono::steady_clock::now();
+
+  // Integrity first: the whole-file checksum is what lets the v2 path skip
+  // v1's per-node canonical-numbering walk and defer arena decoding.
+  if (data.size() < 8) {
+    return Status::InvalidArgument("snapshot: truncated checksum");
+  }
+  const uint64_t checksum = GetFixed64(data.data());
+  data.remove_prefix(8);
+  if (common::Hash64(data) != checksum) {
+    return Status::InvalidArgument("snapshot: checksum mismatch");
+  }
+
+  // Section directory.
+  if (data.empty()) {
+    return Status::InvalidArgument("snapshot: missing section directory");
+  }
+  const size_t n_sections = static_cast<uint8_t>(data[0]);
+  data.remove_prefix(1);
+  if (n_sections < 3 || n_sections > 8 || data.size() < n_sections * 17) {
+    return Status::InvalidArgument("snapshot: bad section directory");
+  }
+  std::string_view sections[4];
+  bool seen[4] = {false, false, false, false};
+  for (size_t i = 0; i < n_sections; ++i) {
+    const uint8_t kind = static_cast<uint8_t>(data[0]);
+    const uint64_t off = GetFixed64(data.data() + 1);
+    const uint64_t size = GetFixed64(data.data() + 9);
+    data.remove_prefix(17);
+    if (kind < kSectionDoc || kind > kSectionValues || seen[kind]) {
+      return Status::InvalidArgument("snapshot: bad section kind");
+    }
+    if (off > full.size() || size > full.size() - off) {
+      return Status::InvalidArgument("snapshot: section out of bounds");
+    }
+    seen[kind] = true;
+    sections[kind] = full.substr(off, size);
+  }
+  if (!seen[kSectionDoc] || !seen[kSectionArenas] || !seen[kSectionValues]) {
+    return Status::InvalidArgument("snapshot: missing section");
+  }
+
+  // Document.
+  std::string_view doc_view = sections[kSectionDoc];
+  std::string doc_scratch;
+  VPBN_ASSIGN_OR_RETURN(std::string_view doc_blob,
+                        ReadBlob(&doc_view, &doc_scratch));
+  if (!doc_view.empty()) {
+    return Status::InvalidArgument("snapshot: trailing document bytes");
+  }
+  Result<xml::Document> doc_r = xml::ReadBinary(doc_blob);
+  if (!doc_r.ok()) {
+    return Status::InvalidArgument("snapshot: document section: " +
+                                   doc_r.status().message());
+  }
+  StoredDocument out;
+  out.owned_doc_ =
+      std::make_unique<xml::Document>(std::move(doc_r).ValueUnsafe());
+  out.doc_ = out.owned_doc_.get();
+  const xml::Document& doc = *out.doc_;
+  const size_t n = doc.num_nodes();
+
+  // Re-derive what v1 stored: the stored text and node ranges, the
+  // DataGuide and the node-type column — Build's own phase 1, minus the
+  // numbering pass (the arenas carry every number). With a pool the guide
+  // build runs alongside the serializer, exactly as in Build.
+  out.ranges_.assign(n, {0, 0});
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      !common::ThreadPool::InWorker()) {
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 1;
+    std::exception_ptr error;
+    pool->Submit([&] {
+      std::exception_ptr e;
+      try {
+        out.guide_ = dg::DataGuide::Build(doc, &out.node_types_);
+      } catch (...) {
+        e = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (e && !error) error = e;
+      --pending;
+      cv.notify_one();
+    });
+    xml::SerializeForestWithRanges(doc, pool, &out.text_, &out.ranges_);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return pending == 0; });
+    if (error) std::rethrow_exception(error);
+  } else {
+    out.guide_ = dg::DataGuide::Build(doc, &out.node_types_);
+    xml::SerializeForestWithRanges(doc, nullptr, &out.text_, &out.ranges_);
+  }
+  const size_t num_types = out.guide_.num_types();
+
+  // Phase 2 of Build: rows within each type's instance list, in document
+  // order.
+  out.type_node_index_.assign(num_types, {});
+  out.node_rows_.assign(n, 0);
+  for (xml::NodeId id : doc.DocumentOrder()) {
+    out.node_rows_[id] = static_cast<uint32_t>(
+        out.type_node_index_[out.node_types_[id]].size());
+    out.type_node_index_[out.node_types_[id]].push_back(id);
+  }
+
+  // Arena directory: per-type instance counts are validated against the
+  // derived lists now; the blob bytes stay in the backing store and decode
+  // on first touch (stored_document.cc DecodeLazyArena).
+  std::string_view ar = sections[kSectionArenas];
+  VPBN_ASSIGN_OR_RETURN(uint64_t arena_types, GetVarint64(&ar));
+  if (arena_types != num_types) {
+    return Status::InvalidArgument("snapshot: arena type count mismatch");
+  }
+  out.lazy_arenas_.resize(num_types);
+  for (size_t t = 0; t < num_types; ++t) {
+    VPBN_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(&ar));
+    if (count != out.type_node_index_[t].size()) {
+      return Status::InvalidArgument(
+          "snapshot: arena instance count mismatch");
+    }
+    VPBN_ASSIGN_OR_RETURN(BlobView blob, GetBlob(&ar));
+    out.lazy_arenas_[t] =
+        StoredDocument::LazyArena{blob.payload, blob.raw_size, blob.deflated};
+  }
+  if (!ar.empty()) {
+    return Status::InvalidArgument("snapshot: trailing arena bytes");
+  }
+  out.packed_type_index_.assign(num_types, {});
+  out.packed_ready_ =
+      std::make_unique<std::atomic<uint8_t>[]>(num_types);
+  for (size_t t = 0; t < num_types; ++t) {
+    out.packed_ready_[t].store(0, std::memory_order_relaxed);
+  }
+  out.numbering_ready_.store(false, std::memory_order_relaxed);
+
+  // Values.
+  std::string_view values_view = sections[kSectionValues];
+  std::string values_scratch;
+  VPBN_ASSIGN_OR_RETURN(std::string_view values_raw,
+                        ReadBlob(&values_view, &values_scratch));
+  if (!values_view.empty()) {
+    return Status::InvalidArgument("snapshot: trailing value bytes");
+  }
+  std::string_view values_cursor = values_raw;
+  VPBN_RETURN_NOT_OK(LoadValues(&values_cursor, &out, pool));
+  if (!values_cursor.empty()) {
     return Status::InvalidArgument("snapshot: trailing bytes");
   }
 
   out.type_cache_.resize(num_types);
+  out.mapping_ = std::move(mapping);
+  out.snapshot_buffer_ = std::move(buffer);
+  out.snapshot_bytes_ = full.size();
+  out.mapped_bytes_ = out.mapping_ != nullptr ? full.size() : 0;
   out.from_snapshot_ = true;
   out.ingest_ms_ =
       std::chrono::duration<double, std::milli>(
@@ -434,8 +801,13 @@ Result<StoredDocument> Snapshot::Load(std::string_view data,
   return out;
 }
 
-Status Snapshot::WriteFile(const StoredDocument& sd, const std::string& path) {
-  std::string bytes = Write(sd);
+Status Snapshot::WriteFile(const StoredDocument& sd, const std::string& path,
+                           uint32_t version) {
+  std::string bytes = Write(sd, version);
+  if (bytes.empty()) {
+    return Status::InvalidArgument("snapshot: unsupported write version " +
+                                   std::to_string(version));
+  }
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f) {
     return Status::InvalidArgument("snapshot: cannot open " + path +
@@ -450,17 +822,29 @@ Status Snapshot::WriteFile(const StoredDocument& sd, const std::string& path) {
 }
 
 Result<StoredDocument> Snapshot::LoadFile(const std::string& path,
-                                          common::ThreadPool* pool) {
+                                          common::ThreadPool* pool,
+                                          bool use_mmap) {
+  if (use_mmap) {
+    auto mapped = common::MappedFile::Open(path);
+    if (!mapped.ok()) return mapped.status();
+    std::shared_ptr<common::MappedFile> mf = std::move(mapped).ValueUnsafe();
+    std::string_view full = mf->bytes();
+    // A v2 document keeps the mapping alive and decodes arenas straight
+    // out of it; a v1 load copies everything and drops the mapping on
+    // return.
+    return LoadOwned(full, pool, std::move(mf), nullptr);
+  }
   std::ifstream f(path, std::ios::binary);
   if (!f) {
     return Status::InvalidArgument("snapshot: cannot open " + path);
   }
-  std::string bytes((std::istreambuf_iterator<char>(f)),
-                    std::istreambuf_iterator<char>());
+  auto bytes = std::make_unique<std::string>(
+      (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
   if (f.bad()) {
     return Status::InvalidArgument("snapshot: read from " + path + " failed");
   }
-  return Load(bytes, pool);
+  std::string_view full = *bytes;
+  return LoadOwned(full, pool, nullptr, std::move(bytes));
 }
 
 }  // namespace vpbn::storage

@@ -36,11 +36,37 @@
 /// ordinals), so Load recomputes what each node's bytes must be from its
 /// parent's and rejects any deviation — stronger than the uniqueness hash
 /// check it replaces, and cheaper.
+///
+/// Version 2 trades the flat layout for a compressed, checksummed,
+/// mmap-friendly one:
+///
+///   magic "VPSN" | varint version=2 | u64 LE checksum (Hash64 of every
+///   byte after this field) | section directory (u8 count; per section
+///   u8 kind, u64 LE offset, u64 LE size) | page-aligned sections
+///
+///   DOC    : the xml::WriteBinary blob, deflated
+///   ARENAS : per type, instance count + the *blocked* ordered-codec blob
+///            (pbn/packed.h EncodeBlocked: front-coded keys, varint-delta
+///            offset directory, per-block min/max sort keys), deflated
+///   VALUES : the v1 value-index bytes, deflated
+///
+/// Every blob is framed `u8 codec | varint raw_size | varint payload_size`
+/// (codec 0 = stored, 1 = deflate); builds without zlib write codec 0 and
+/// reject codec 1. Everything else — stored text, node ranges, the
+/// DataGuide, node-type/row columns — is re-derived from the document with
+/// Build's own deterministic phases, which both shrinks the file (the E13
+/// corpus drops below its source-XML size) and keeps exactly one source of
+/// truth. The checksum makes the corruption check O(bytes) up front, so a
+/// v2 load skips the per-node canonical-numbering walk, leaves the arena
+/// blobs in place (mapped or buffered), and decodes each type on first
+/// touch — the lazy path pbn/packed.h DecodeBlocked still fully validates.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 
+#include "common/mmap_file.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "storage/stored_document.h"
@@ -49,25 +75,59 @@ namespace vpbn::storage {
 
 class Snapshot {
  public:
-  /// Current on-disk format version.
-  static constexpr uint32_t kVersion = 1;
+  /// Current on-disk format version. Version 1 is the legacy flat layout
+  /// (everything stored raw, structurally re-validated on load); version 2
+  /// is the compressed, checksummed, page-aligned section layout described
+  /// above. Both load; Write defaults to the newest.
+  static constexpr uint32_t kVersion = 2;
 
   /// Serialize \p sd (document + every built artifact) into snapshot form.
-  static std::string Write(const StoredDocument& sd);
+  /// \p version selects the on-disk format (1 or 2); anything else returns
+  /// an empty string.
+  static std::string Write(const StoredDocument& sd,
+                           uint32_t version = kVersion);
 
   /// Reconstruct a query-ready StoredDocument. The returned document owns
   /// its xml::Document; nothing is renumbered or re-indexed. With a pool,
-  /// the per-type restore work (arena framing, number materialization,
-  /// postings rebuild) fans out — the result is identical for any thread
-  /// count. Fails with InvalidArgument on corrupt or version-incompatible
-  /// input.
+  /// the per-type restore work fans out — the result is identical for any
+  /// thread count. Fails with InvalidArgument on corrupt or
+  /// version-incompatible input. For v2 input the arena bytes are retained
+  /// in an internal buffer and decoded per type on first touch.
   static Result<StoredDocument> Load(std::string_view data,
                                      common::ThreadPool* pool = nullptr);
 
-  /// File convenience wrappers around Write/Load.
-  static Status WriteFile(const StoredDocument& sd, const std::string& path);
+  /// File convenience wrappers around Write/Load. With \p use_mmap (the
+  /// default), LoadFile memory-maps the file instead of copying it; a v2
+  /// document then keeps the mapping alive and decodes arenas straight out
+  /// of it, so the page cache is shared across processes.
+  static Status WriteFile(const StoredDocument& sd, const std::string& path,
+                          uint32_t version = kVersion);
   static Result<StoredDocument> LoadFile(const std::string& path,
-                                         common::ThreadPool* pool = nullptr);
+                                         common::ThreadPool* pool = nullptr,
+                                         bool use_mmap = true);
+
+ private:
+  static std::string WriteV1(const StoredDocument& sd);
+  static std::string WriteV2(const StoredDocument& sd);
+  /// The value-index section bytes, shared verbatim by both versions.
+  static void WriteValues(const StoredDocument& sd, std::string* out);
+  static Status LoadValues(std::string_view* data, StoredDocument* out,
+                           common::ThreadPool* pool);
+  static Result<StoredDocument> LoadV1(std::string_view data,
+                                       common::ThreadPool* pool);
+  /// Version dispatch over a backing store the caller hands over (mapping
+  /// or buffer; both may be null for v1, which copies everything out).
+  static Result<StoredDocument> LoadOwned(
+      std::string_view full, common::ThreadPool* pool,
+      std::shared_ptr<common::MappedFile> mapping,
+      std::unique_ptr<std::string> buffer);
+  /// \p full is the whole snapshot (for section offsets); \p data is
+  /// positioned just past the version varint. Exactly one of \p mapping /
+  /// \p buffer backs the lazy arena views of the returned document.
+  static Result<StoredDocument> LoadV2(
+      std::string_view full, std::string_view data, common::ThreadPool* pool,
+      std::shared_ptr<common::MappedFile> mapping,
+      std::unique_ptr<std::string> buffer);
 };
 
 }  // namespace vpbn::storage

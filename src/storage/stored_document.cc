@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 
+#include "common/compress.h"
 #include "common/parallel.h"
 #include "pbn/codec.h"
 #include "xml/serializer.h"
@@ -27,6 +28,12 @@ StoredDocument::StoredDocument(StoredDocument&& other) noexcept
       ranges_(std::move(other.ranges_)),
       packed_type_index_(std::move(other.packed_type_index_)),
       type_node_index_(std::move(other.type_node_index_)),
+      mapping_(std::move(other.mapping_)),
+      snapshot_buffer_(std::move(other.snapshot_buffer_)),
+      lazy_arenas_(std::move(other.lazy_arenas_)),
+      packed_ready_(std::move(other.packed_ready_)),
+      snapshot_bytes_(other.snapshot_bytes_),
+      mapped_bytes_(other.mapped_bytes_),
       type_cache_(std::move(other.type_cache_)) {}
 
 StoredDocument& StoredDocument::operator=(StoredDocument&& other) noexcept {
@@ -45,6 +52,12 @@ StoredDocument& StoredDocument::operator=(StoredDocument&& other) noexcept {
     ranges_ = std::move(other.ranges_);
     packed_type_index_ = std::move(other.packed_type_index_);
     type_node_index_ = std::move(other.type_node_index_);
+    mapping_ = std::move(other.mapping_);
+    snapshot_buffer_ = std::move(other.snapshot_buffer_);
+    lazy_arenas_ = std::move(other.lazy_arenas_);
+    packed_ready_ = std::move(other.packed_ready_);
+    snapshot_bytes_ = other.snapshot_bytes_;
+    mapped_bytes_ = other.mapped_bytes_;
     type_cache_ = std::move(other.type_cache_);
   }
   return *this;
@@ -154,6 +167,7 @@ StoredDocument StoredDocument::Build(xml::Document&& doc,
 void StoredDocument::HydrateNumbering() const {
   std::lock_guard<std::mutex> lock(numbering_mu_);
   if (numbering_ready_.load(std::memory_order_relaxed)) return;
+  EnsureAllPacked();
   std::vector<num::Pbn> numbers(doc_->num_nodes());
   for (size_t t = 0; t < type_node_index_.size(); ++t) {
     const std::vector<xml::NodeId>& ids = type_node_index_[t];
@@ -186,17 +200,50 @@ const num::PackedPbnList& StoredDocument::PackedNodesOfType(
     dg::TypeId t) const {
   static const num::PackedPbnList kEmpty;
   if (t >= packed_type_index_.size()) return kEmpty;
+  if (packed_ready_ != nullptr &&
+      packed_ready_[t].load(std::memory_order_acquire) == 0) {
+    DecodeLazyArena(t);
+  }
   return packed_type_index_[t];
+}
+
+void StoredDocument::DecodeLazyArena(dg::TypeId t) const {
+  std::lock_guard<std::mutex> lock(packed_mu_);
+  if (packed_ready_[t].load(std::memory_order_relaxed) != 0) return;
+  const LazyArena& la = lazy_arenas_[t];
+  std::string inflated;
+  std::string_view blob = la.blob;
+  bool ok = true;
+  if (la.deflated) {
+    ok = common::Inflate(blob, la.raw_bytes, &inflated).ok();
+    blob = inflated;
+  }
+  if (ok) {
+    Result<num::PackedPbnList> list =
+        num::DecodeBlocked(blob, type_node_index_[t].size());
+    // The snapshot checksum vouched for these bytes at load time, so a
+    // failure here is unreachable absent a logic bug; DecodeBlocked's own
+    // validation still keeps the failure mode defined (type reads empty).
+    if (list.ok()) packed_type_index_[t] = std::move(list).ValueUnsafe();
+  }
+  packed_ready_[t].store(1, std::memory_order_release);
+}
+
+void StoredDocument::EnsureAllPacked() const {
+  if (packed_ready_ == nullptr) return;
+  for (size_t t = 0; t < packed_type_index_.size(); ++t) {
+    PackedNodesOfType(static_cast<dg::TypeId>(t));
+  }
 }
 
 const std::vector<num::Pbn>& StoredDocument::NodesOfType(dg::TypeId t) const {
   static const std::vector<num::Pbn> kEmpty;
   if (t >= packed_type_index_.size()) return kEmpty;
+  const num::PackedPbnList& packed = PackedNodesOfType(t);
   std::lock_guard<std::mutex> lock(type_cache_mu_);
   std::unique_ptr<std::vector<num::Pbn>>& slot = type_cache_[t];
   if (slot == nullptr) {
-    slot = std::make_unique<std::vector<num::Pbn>>(
-        packed_type_index_[t].MaterializeAll());
+    slot = std::make_unique<std::vector<num::Pbn>>(packed.MaterializeAll());
   }
   return *slot;
 }

@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mmap_file.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "dataguide/dataguide.h"
@@ -80,6 +81,12 @@ class StoredDocument {
   /// @{
   double ingest_ms() const { return ingest_ms_; }
   bool from_snapshot() const { return from_snapshot_; }
+
+  /// On-disk size of the snapshot this document was restored from (0 for
+  /// built documents) and how many of those bytes are memory-mapped rather
+  /// than copied. Surfaced by ExecStats / the server STATS verb.
+  size_t snapshot_bytes() const { return snapshot_bytes_; }
+  size_t mapped_bytes() const { return mapped_bytes_; }
   /// @}
 
   /// The NodeId <-> Pbn map. Build constructs it eagerly (numbering *is*
@@ -175,6 +182,32 @@ class StoredDocument {
   /// path); no-op when already hydrated.
   void HydrateNumbering() const;
 
+  /// \name Snapshot v2 lazy arenas
+  ///
+  /// A v2 load leaves the blocked per-type arena bytes in the snapshot
+  /// backing store (the mapped file, or the retained load buffer) and
+  /// decodes each type on its first PackedNodesOfType touch — cold start
+  /// never pays for types a workload does not read. The snapshot checksum
+  /// verified at load time vouches for the bytes, so a decode failure here
+  /// is unreachable absent a logic bug; DecodeBlocked still validates
+  /// framing and order, and on failure the type presents as empty rather
+  /// than anything undefined.
+  /// @{
+
+  /// Decodes the still-lazy arena of type \p t (first-touch path of
+  /// PackedNodesOfType).
+  void DecodeLazyArena(dg::TypeId t) const;
+
+  /// Forces every lazy arena decoded (Snapshot::Write, full hydration).
+  void EnsureAllPacked() const;
+
+  struct LazyArena {
+    std::string_view blob;   ///< blocked bytes, possibly deflated
+    uint64_t raw_bytes = 0;  ///< inflated size (== blob.size() when plain)
+    bool deflated = false;
+  };
+  /// @}
+
   const xml::Document* doc_ = nullptr;
   std::unique_ptr<xml::Document> owned_doc_;  // set by the owning overload
   double ingest_ms_ = 0;
@@ -190,8 +223,21 @@ class StoredDocument {
   std::vector<uint32_t> node_rows_;  // by NodeId: row within its type list
   idx::ValueIndex value_index_;
   std::vector<std::pair<uint64_t, uint64_t>> ranges_;  // by NodeId
-  std::vector<num::PackedPbnList> packed_type_index_;  // by TypeId
+  // Mutable for the lazy v2 decode path; immutable once decoded.
+  mutable std::vector<num::PackedPbnList> packed_type_index_;  // by TypeId
   std::vector<std::vector<xml::NodeId>> type_node_index_;  // aligned
+  // Snapshot v2 backing store: exactly one of mapping_/snapshot_buffer_ is
+  // set for a v2-restored document; lazy_arenas_ views point into it.
+  // packed_ready_ is a per-type decoded flag (null for built documents and
+  // v1 loads — the common case pays one null check); packed_mu_ orders
+  // first decode against concurrent readers.
+  std::shared_ptr<common::MappedFile> mapping_;
+  std::unique_ptr<std::string> snapshot_buffer_;
+  std::vector<LazyArena> lazy_arenas_;
+  mutable std::unique_ptr<std::atomic<uint8_t>[]> packed_ready_;
+  mutable std::mutex packed_mu_;
+  size_t snapshot_bytes_ = 0;
+  size_t mapped_bytes_ = 0;
   // Lazy per-type Pbn materialization of the packed index (compatibility
   // path). unique_ptr keeps each vector's address stable once built; the
   // mutex orders first-build against concurrent readers.

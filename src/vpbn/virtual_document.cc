@@ -442,6 +442,46 @@ void VirtualDocument::SortVirtualOrder(std::vector<VirtualNode>* nodes) const {
     return std::lexicographical_compare(ca.begin(), ca.end(), cb.begin(),
                                         cb.end());
   };
+  // Run-local order is plain document order, and the type index already
+  // keeps an 8-byte ordered-codec sort key per instance. Decorating the
+  // run with those keys turns the sortedness precheck into a flat uint64
+  // scan and the sort into an integer sort; component compares fire only
+  // on equal keys (numbers sharing their first eight encoded bytes).
+  dg::TypeId memo_type = dg::kNullType;
+  const uint64_t* memo_keys = nullptr;
+  auto doc_key = [&](const VirtualNode& v) {
+    const dg::TypeId t = stored_->TypeOfNode(v.node);
+    if (t != memo_type) {
+      memo_type = t;
+      memo_keys = stored_->PackedNodesOfType(t).keys_data();
+    }
+    return memo_keys[stored_->RowOfNode(v.node)];
+  };
+  auto sort_run = [&](std::vector<VirtualNode>* run) {
+    const size_t m = run->size();
+    std::vector<uint64_t> keys(m);
+    for (size_t i = 0; i < m; ++i) keys[i] = doc_key((*run)[i]);
+    bool sorted = true;
+    for (size_t i = 0; i + 1 < m; ++i) {
+      if (keys[i] > keys[i + 1] ||
+          (keys[i] == keys[i + 1] && lexless((*run)[i + 1], (*run)[i]))) {
+        sorted = false;
+        break;
+      }
+    }
+    if (!sorted) {
+      std::vector<std::pair<uint64_t, VirtualNode>> dec(m);
+      for (size_t i = 0; i < m; ++i) dec[i] = {keys[i], (*run)[i]};
+      std::sort(dec.begin(), dec.end(),
+                [&](const std::pair<uint64_t, VirtualNode>& x,
+                    const std::pair<uint64_t, VirtualNode>& y) {
+                  if (x.first != y.first) return x.first < y.first;
+                  return lexless(x.second, y.second);
+                });
+      for (size_t i = 0; i < m; ++i) (*run)[i] = dec[i].second;
+    }
+    run->erase(std::unique(run->begin(), run->end()), run->end());
+  };
   bool single_vtype = true;
   for (const VirtualNode& v : *nodes) {
     if (v.vtype != nodes->front().vtype) {
@@ -452,10 +492,7 @@ void VirtualDocument::SortVirtualOrder(std::vector<VirtualNode>* nodes) const {
   if (single_vtype) {
     // Merge-join output arrives per-target in candidate order, so it is
     // usually already sorted — worth one linear precheck.
-    if (!std::is_sorted(nodes->begin(), nodes->end(), lexless)) {
-      std::sort(nodes->begin(), nodes->end(), lexless);
-    }
-    nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+    sort_run(nodes);
     return;
   }
   std::vector<std::vector<VirtualNode>> runs;
@@ -468,10 +505,7 @@ void VirtualDocument::SortVirtualOrder(std::vector<VirtualNode>* nodes) const {
     }
   }
   for (std::vector<VirtualNode>& run : runs) {
-    if (!std::is_sorted(run.begin(), run.end(), lexless)) {
-      std::sort(run.begin(), run.end(), lexless);
-    }
-    run.erase(std::unique(run.begin(), run.end()), run.end());
+    sort_run(&run);
   }
   if (runs.size() == 1) {
     *nodes = std::move(runs.front());

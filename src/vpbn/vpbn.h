@@ -144,34 +144,59 @@ void MergeCompatiblePairs(const VPairMergePlan& plan,
   } else {
     // Both columns are document-ordered and (per type) uniform-length, so
     // they are sorted lexicographically by components; equal-k-prefix
-    // groups are contiguous runs on both sides.
-    auto prefix_cmp = [&](size_t xi, size_t yi) {
-      ++comparisons;
+    // groups are contiguous runs on both sides. The merge walks packed
+    // 64-bit keys of the first min(k, 2) components — flat columns built
+    // in one batched pass per side — and touches the component arrays
+    // only when keys collide (k > 2 prefixes sharing both lead values).
+    const bool two = k >= 2;
+    auto build_keys = [two](const num::DecodedPbnColumn& c, size_t n) {
+      std::vector<uint64_t> keys(n);
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t* a = c.comps(i);
+        keys[i] = (static_cast<uint64_t>(a[0]) << 32) | (two ? a[1] : 0u);
+      }
+      return keys;
+    };
+    const std::vector<uint64_t> xk = build_keys(xs, nx);
+    const std::vector<uint64_t> yk = build_keys(ys, ny);
+    auto tail_cmp = [&](size_t xi, size_t yi) {
       const uint32_t* a = xs.comps(xi);
       const uint32_t* b = ys.comps(yi);
-      for (uint32_t i = 0; i < k; ++i) {
+      for (uint32_t i = 2; i < k; ++i) {
         if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
       }
       return 0;
     };
-    auto same_prefix = [&](const uint32_t* a, const uint32_t* b) {
-      for (uint32_t i = 0; i < k; ++i) {
+    auto same_tail = [&](const uint32_t* a, const uint32_t* b) {
+      for (uint32_t i = 2; i < k; ++i) {
         if (a[i] != b[i]) return false;
       }
       return true;
     };
     size_t xi = 0, yi = 0;
     while (xi < nx && yi < ny) {
-      int c = prefix_cmp(xi, yi);
+      ++comparisons;
+      int c;
+      if (xk[xi] != yk[yi]) {
+        c = xk[xi] < yk[yi] ? -1 : 1;
+      } else {
+        c = k > 2 ? tail_cmp(xi, yi) : 0;
+      }
       if (c < 0) {
         ++xi;
       } else if (c > 0) {
         ++yi;
       } else {
         size_t xe = xi + 1;
-        while (xe < nx && same_prefix(xs.comps(xe), xs.comps(xi))) ++xe;
+        while (xe < nx && xk[xe] == xk[xi] &&
+               (k <= 2 || same_tail(xs.comps(xe), xs.comps(xi)))) {
+          ++xe;
+        }
         size_t ye = yi + 1;
-        while (ye < ny && same_prefix(ys.comps(ye), ys.comps(yi))) ++ye;
+        while (ye < ny && yk[ye] == yk[yi] &&
+               (k <= 2 || same_tail(ys.comps(ye), ys.comps(yi)))) {
+          ++ye;
+        }
         comparisons += (xe - xi - 1) + (ye - yi - 1);
         for (size_t i = xi; i < xe; ++i) {
           for (size_t j = yi; j < ye; ++j) {

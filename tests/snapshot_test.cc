@@ -285,5 +285,170 @@ TEST(SnapshotTest, LoadFileOfMissingPathFails) {
   EXPECT_FALSE(r.ok());
 }
 
+// ---- Version 2 format ----
+
+TEST(SnapshotV2Test, WriteDefaultsToV2AndV1StillWrites) {
+  xml::Document doc = testutil::PaperFigure2();
+  StoredDocument built = StoredDocument::Build(doc);
+  std::string v2 = Snapshot::Write(built);
+  std::string v2_explicit = Snapshot::Write(built, 2);
+  std::string v1 = Snapshot::Write(built, 1);
+  EXPECT_EQ(v2, v2_explicit);
+  EXPECT_NE(v1, v2);
+  EXPECT_TRUE(Snapshot::Write(built, 3).empty());  // unknown version
+  ASSERT_GE(v2.size(), 5u);
+  EXPECT_EQ(v2.substr(0, 4), "VPSN");
+  EXPECT_EQ(static_cast<uint8_t>(v2[4]), 2);
+  ASSERT_GE(v1.size(), 5u);
+  EXPECT_EQ(static_cast<uint8_t>(v1[4]), 1);
+}
+
+TEST(SnapshotV2Test, V1SnapshotsStillLoad) {
+  xml::Document doc = AuctionsDoc();
+  StoredDocument built = StoredDocument::Build(doc);
+  auto from_v1 = Snapshot::Load(Snapshot::Write(built, 1));
+  auto from_v2 = Snapshot::Load(Snapshot::Write(built, 2));
+  ASSERT_TRUE(from_v1.ok()) << from_v1.status();
+  ASSERT_TRUE(from_v2.ok()) << from_v2.status();
+  EXPECT_EQ(from_v1->stored_string(), built.stored_string());
+  EXPECT_EQ(from_v1->stored_string(), from_v2->stored_string());
+  ASSERT_EQ(from_v1->numbering().size(), built.numbering().size());
+  for (xml::NodeId id = 0; id < doc.num_nodes(); ++id) {
+    ASSERT_EQ(from_v1->numbering().OfNode(id), built.numbering().OfNode(id));
+    ASSERT_EQ(from_v2->numbering().OfNode(id), built.numbering().OfNode(id));
+    ASSERT_EQ(from_v1->TypeOfNode(id), from_v2->TypeOfNode(id));
+  }
+  // Both restored documents re-snapshot to identical v2 bytes.
+  EXPECT_EQ(Snapshot::Write(*from_v1), Snapshot::Write(*from_v2));
+}
+
+TEST(SnapshotV2Test, CheckedInV1FixtureLoads) {
+  // A v1 file written by the previous format generation, checked in so a
+  // format change that breaks old files fails here rather than in the
+  // field. Regenerate only deliberately (Write(sd, 1) over
+  // tests/data/books.xml).
+  std::string path = std::string(VPBN_TEST_DATA_DIR) + "/books_v1.vpsn";
+  auto loaded = Snapshot::LoadFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->from_snapshot());
+  EXPECT_EQ(loaded->snapshot_bytes(), 733u);
+  EXPECT_EQ(loaded->mapped_bytes(), 0u);  // v1 loads copy out of the map
+  auto engine = std::make_shared<const StoredDocument>(std::move(*loaded));
+  query::QueryEngine q(engine);
+  auto r = q.Execute("//book/title", {});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(SnapshotV2Test, V2IsSmallerThanV1) {
+  xml::Document doc = AuctionsDoc();
+  StoredDocument built = StoredDocument::Build(doc);
+  std::string v1 = Snapshot::Write(built, 1);
+  std::string v2 = Snapshot::Write(built, 2);
+  EXPECT_LT(v2.size(), v1.size());
+}
+
+TEST(SnapshotV2Test, MmapLoadReportsMappedBytesAndMatchesCopyLoad) {
+  xml::Document doc = AuctionsDoc();
+  StoredDocument built = StoredDocument::Build(doc);
+  std::string path = ::testing::TempDir() + "/snapshot_v2_mmap.vpsn";
+  ASSERT_TRUE(Snapshot::WriteFile(built, path).ok());
+
+  auto mapped = Snapshot::LoadFile(path, nullptr, /*use_mmap=*/true);
+  auto copied = Snapshot::LoadFile(path, nullptr, /*use_mmap=*/false);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_TRUE(copied.ok()) << copied.status();
+  EXPECT_GT(mapped->snapshot_bytes(), 0u);
+  EXPECT_EQ(mapped->mapped_bytes(), mapped->snapshot_bytes());
+  EXPECT_EQ(copied->mapped_bytes(), 0u);
+  EXPECT_EQ(copied->snapshot_bytes(), mapped->snapshot_bytes());
+
+  // Lazy arenas decode out of the mapping; a move must not invalidate the
+  // views (the backing store moves along).
+  StoredDocument moved = std::move(*mapped);
+  for (dg::TypeId t = 0; t < moved.dataguide().num_types(); ++t) {
+    const num::PackedPbnList& a = moved.PackedNodesOfType(t);
+    const num::PackedPbnList& b = copied->PackedNodesOfType(t);
+    ASSERT_EQ(a.size(), b.size()) << "type " << t;
+    ASSERT_EQ(std::string_view(a.arena_data(), a.arena_bytes()),
+              std::string_view(b.arena_data(), b.arena_bytes()))
+        << "type " << t;
+  }
+  EXPECT_EQ(Snapshot::Write(moved), Snapshot::Write(*copied));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotV2Test, EveryMutationFailsWithInvalidArgument) {
+  // The v2 checksum covers every byte after the header field, and the
+  // header itself is fully validated — so unlike v1 (where a flip in dead
+  // padding could legitimately survive), *every* byte change to a v2
+  // snapshot must be rejected, and always as InvalidArgument.
+  xml::Document doc = testutil::PaperFigure2();
+  std::string snap = Snapshot::Write(StoredDocument::Build(doc));
+  Rng rng(20250809);
+  for (int i = 0; i < 400; ++i) {
+    std::string mutated = snap;
+    size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] =
+        static_cast<char>(mutated[pos] ^ (1 + rng.Uniform(255)));
+    auto r = Snapshot::Load(mutated);
+    ASSERT_FALSE(r.ok()) << "flip at " << pos << " survived";
+    EXPECT_TRUE(r.status().IsInvalidArgument())
+        << "flip at " << pos << ": " << r.status();
+  }
+  // Exhaustively flip one bit in each of the first 64 bytes (magic,
+  // version, checksum, directory) — the headers must be as tight as the
+  // checksummed body.
+  for (size_t pos = 0; pos < std::min<size_t>(64, snap.size()); ++pos) {
+    std::string mutated = snap;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x01);
+    auto r = Snapshot::Load(mutated);
+    ASSERT_FALSE(r.ok()) << "bit flip at " << pos << " survived";
+    EXPECT_TRUE(r.status().IsInvalidArgument()) << "bit flip at " << pos;
+  }
+}
+
+TEST(SnapshotV2Test, EveryMutationOfLargeSnapshotFails) {
+  xml::Document doc = AuctionsDoc();
+  std::string snap = Snapshot::Write(StoredDocument::Build(doc));
+  Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = snap;
+    int flips = 1 + static_cast<int>(rng.Uniform(8));
+    bool changed = false;
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(mutated.size());
+      uint8_t x = static_cast<uint8_t>(rng.Uniform(256));
+      changed |= x != 0;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ x);
+    }
+    if (!changed) continue;
+    auto r = Snapshot::Load(mutated);
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(SnapshotV2Test, V1FormatTruncationAndMutationStillSafe) {
+  // The legacy reader keeps its own fuzz hardening now that Write defaults
+  // to v2 and the shared tests above stopped covering it.
+  xml::Document doc = testutil::PaperFigure2();
+  std::string snap = Snapshot::Write(StoredDocument::Build(doc), 1);
+  for (size_t cut = 0; cut < snap.size(); ++cut) {
+    auto r = Snapshot::Load(std::string_view(snap).substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "cut at " << cut;
+    EXPECT_TRUE(r.status().IsInvalidArgument()) << "cut at " << cut;
+  }
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = snap;
+    mutated[rng.Uniform(mutated.size())] =
+        static_cast<char>(rng.Uniform(256));
+    auto r = Snapshot::Load(mutated);  // must not crash; may fail or succeed
+    if (r.ok()) {
+      EXPECT_FALSE(Snapshot::Write(*r).empty());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace vpbn::storage

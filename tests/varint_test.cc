@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <vector>
 
 namespace vpbn {
 namespace {
@@ -92,6 +93,145 @@ TEST(VarintTest, ExhaustiveSmallRange) {
     PutVarint32(&buf, v);
     std::string_view in = buf;
     ASSERT_EQ(GetVarint32(&in).value(), v);
+  }
+}
+
+TEST(DeltaArrayTest, RoundTripU32) {
+  const std::vector<uint32_t> cases[] = {
+      {},
+      {0},
+      {0, 0, 0},
+      {1, 1, 2, 3, 5, 8, 13},
+      {0, 127, 128, 16383, 16384, 2097152,
+       std::numeric_limits<uint32_t>::max()},
+      {std::numeric_limits<uint32_t>::max(),
+       std::numeric_limits<uint32_t>::max()},
+  };
+  for (const auto& values : cases) {
+    std::string buf;
+    PutDeltaU32Array(&buf, values.data(), values.size());
+    std::string_view in = buf;
+    std::vector<uint32_t> out;
+    ASSERT_TRUE(GetDeltaU32Array(&in, values.size(), &out).ok());
+    EXPECT_EQ(out, values);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(DeltaArrayTest, RoundTripU64Boundaries) {
+  const std::vector<uint64_t> values = {
+      0,
+      127,
+      128,
+      16384,
+      uint64_t{1} << 32,
+      (uint64_t{1} << 56) - 1,
+      uint64_t{1} << 56,
+      std::numeric_limits<uint64_t>::max() - 1,
+      std::numeric_limits<uint64_t>::max(),
+  };
+  std::string buf;
+  PutDeltaU64Array(&buf, values.data(), values.size());
+  std::string_view in = buf;
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(GetDeltaU64Array(&in, values.size(), &out).ok());
+  EXPECT_EQ(out, values);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(DeltaArrayTest, EmptyArrayAppendsNothing) {
+  std::string buf;
+  PutDeltaU32Array(&buf, nullptr, 0);
+  PutDeltaU64Array(&buf, nullptr, 0);
+  EXPECT_TRUE(buf.empty());
+  std::string_view in = buf;
+  std::vector<uint32_t> out32;
+  std::vector<uint64_t> out64;
+  EXPECT_TRUE(GetDeltaU32Array(&in, 0, &out32).ok());
+  EXPECT_TRUE(GetDeltaU64Array(&in, 0, &out64).ok());
+  EXPECT_TRUE(out32.empty());
+  EXPECT_TRUE(out64.empty());
+}
+
+TEST(DeltaArrayTest, MaxLengthEncodings) {
+  // First element at the type max is the longest single encoding (5 bytes
+  // for u32, 10 for u64); a zero delta after it must still round-trip.
+  {
+    const uint32_t values[] = {std::numeric_limits<uint32_t>::max(),
+                               std::numeric_limits<uint32_t>::max()};
+    std::string buf;
+    PutDeltaU32Array(&buf, values, 2);
+    EXPECT_EQ(buf.size(), 6u);  // 5-byte first + 1-byte zero delta
+    std::string_view in = buf;
+    std::vector<uint32_t> out;
+    ASSERT_TRUE(GetDeltaU32Array(&in, 2, &out).ok());
+    EXPECT_EQ(out[0], values[0]);
+    EXPECT_EQ(out[1], values[1]);
+  }
+  {
+    const uint64_t values[] = {std::numeric_limits<uint64_t>::max(),
+                               std::numeric_limits<uint64_t>::max()};
+    std::string buf;
+    PutDeltaU64Array(&buf, values, 2);
+    EXPECT_EQ(buf.size(), 11u);  // 10-byte first + 1-byte zero delta
+    std::string_view in = buf;
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(GetDeltaU64Array(&in, 2, &out).ok());
+    EXPECT_EQ(out[0], values[0]);
+  }
+}
+
+TEST(DeltaArrayTest, TruncationFailsAtEveryOffset) {
+  const uint32_t values[] = {5, 300, 70000, 70000, 1u << 30};
+  std::string buf;
+  PutDeltaU32Array(&buf, values, 5);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string_view in(buf.data(), cut);
+    std::vector<uint32_t> out;
+    EXPECT_FALSE(GetDeltaU32Array(&in, 5, &out).ok()) << cut;
+  }
+}
+
+TEST(DeltaArrayTest, OverflowingDeltaRejected) {
+  // max as first element, then a delta of 1: the sum wraps. The decoder
+  // must reject rather than return a decreasing array.
+  std::string buf;
+  PutVarint32(&buf, std::numeric_limits<uint32_t>::max());
+  PutVarint32(&buf, 1);
+  std::string_view in = buf;
+  std::vector<uint32_t> out;
+  EXPECT_FALSE(GetDeltaU32Array(&in, 2, &out).ok());
+
+  std::string buf64;
+  PutVarint64(&buf64, std::numeric_limits<uint64_t>::max());
+  PutVarint64(&buf64, 1);
+  std::string_view in64 = buf64;
+  std::vector<uint64_t> out64;
+  EXPECT_FALSE(GetDeltaU64Array(&in64, 2, &out64).ok());
+}
+
+TEST(DeltaArrayTest, RandomRoundTrip) {
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = next() % 200;
+    std::vector<uint64_t> values(n);
+    uint64_t acc = next() % 1000;
+    for (size_t i = 0; i < n; ++i) {
+      acc += next() % 5000;
+      values[i] = acc;
+    }
+    std::string buf;
+    PutDeltaU64Array(&buf, values.data(), values.size());
+    std::string_view in = buf;
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(GetDeltaU64Array(&in, n, &out).ok());
+    EXPECT_EQ(out, values);
   }
 }
 

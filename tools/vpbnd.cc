@@ -35,7 +35,7 @@ int Usage() {
       "             [--port N] [--port-file <path>] [--host A.B.C.D]\n"
       "             [--workers N] [--max-inflight N]\n"
       "             [--rate QPS] [--burst N] [--result-cache N]\n"
-      "             [--threads N (per-query default)]\n");
+      "             [--threads N (per-query default)] [--no-mmap]\n");
   return 2;
 }
 
@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   std::vector<std::pair<std::string, std::string>> views;  // doc/name -> spec
   server::ServerOptions options;
   query::ExecOptions engine_defaults;
+  bool use_mmap = true;
   std::string port_file;
 
   for (int i = 1; i < argc; ++i) {
@@ -84,13 +85,17 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atoll(v));
     } else if (arg == "--threads" && (v = next())) {
       engine_defaults.threads = std::atoi(v);
+    } else if (arg == "--mmap") {
+      use_mmap = true;
+    } else if (arg == "--no-mmap") {
+      use_mmap = false;
     } else {
       return Usage();
     }
   }
   if (docs.empty()) return Usage();
 
-  server::Catalog catalog(engine_defaults);
+  server::Catalog catalog(engine_defaults, use_mmap);
   for (const auto& [name, path] : docs) {
     if (Status s = catalog.AddDocumentFile(name, path); !s.ok()) {
       std::fprintf(stderr, "vpbnd: loading '%s': %s\n", name.c_str(),

@@ -53,7 +53,7 @@ int Usage() {
                "  vpbnq --numbers <file.xml>\n"
                "  vpbnq --xquery <query> <file.xml>\n"
                "  vpbnq --save-snapshot <snap> <file.xml> [<xpath>]\n"
-               "  vpbnq --load-snapshot [--threads N] [--stats] "
+               "  vpbnq --load-snapshot [--no-mmap] [--threads N] [--stats] "
                "[--json <file>] <snap> <xpath>\n");
   return 2;
 }
@@ -125,6 +125,7 @@ int main(int argc, char** argv) {
   query::ExecOverrides exec_overrides;
   bool bulk = false;
   bool load_snapshot = false;
+  bool use_mmap = true;
   std::string json_path;
   std::string save_snapshot;
   for (auto it = args.begin(); it != args.end();) {
@@ -146,6 +147,12 @@ int main(int argc, char** argv) {
       it = args.erase(it, it + 2);
     } else if (*it == "--load-snapshot") {
       load_snapshot = true;
+      it = args.erase(it);
+    } else if (*it == "--mmap") {
+      use_mmap = true;
+      it = args.erase(it);
+    } else if (*it == "--no-mmap") {
+      use_mmap = false;
       it = args.erase(it);
     } else {
       ++it;
@@ -243,7 +250,8 @@ int main(int argc, char** argv) {
   if (args.size() == 2 && args[0][0] != '-') {
     storage::StoredDocument built;
     if (load_snapshot) {
-      auto loaded = storage::Snapshot::LoadFile(args[0]);
+      auto loaded =
+          storage::Snapshot::LoadFile(args[0], nullptr, use_mmap);
       if (!loaded.ok()) return Fail(loaded.status());
       built = std::move(*loaded);
     } else {
