@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/parallel.h"
 
@@ -35,11 +36,111 @@ size_t Dictionary::MemoryUsage() const {
 
 size_t TypeColumn::MemoryUsage() const {
   size_t total = term_ids.capacity() * sizeof(uint32_t) +
-                 numeric_rows.capacity() * sizeof(uint32_t);
+                 numeric_rows.capacity() * sizeof(uint32_t) +
+                 stats.MemoryUsage();
   for (const auto& [term, rows] : postings) {
     total += rows.capacity() * sizeof(uint32_t) + 16;
   }
   return total;
+}
+
+double ColumnStats::EstimateRowsBelow(double v, bool inclusive) const {
+  if (numeric_count == 0) return 0;
+  double below = 0;
+  if (v <= min_value) {
+    below = 0;
+  } else if (v > max_value) {
+    below = static_cast<double>(numeric_count);
+  } else {
+    double lo = min_value;
+    for (size_t i = 0; i < bucket_max.size(); ++i) {
+      double hi = bucket_max[i];
+      if (v > hi) {
+        below += static_cast<double>(bucket_rows[i]);
+        lo = hi;
+        continue;
+      }
+      // v lies inside bucket i: linear interpolation over its value span.
+      double span = hi - lo;
+      double frac = span > 0 ? (v - lo) / span : 0.0;
+      below += frac * static_cast<double>(bucket_rows[i]);
+      break;
+    }
+  }
+  if (inclusive) below += EstimateEqRows(v);
+  return std::min(below, static_cast<double>(numeric_count));
+}
+
+double ColumnStats::EstimateEqRows(double v) const {
+  if (numeric_count == 0 || std::isnan(v) || v < min_value || v > max_value) {
+    return 0;
+  }
+  for (size_t i = 0; i < bucket_max.size(); ++i) {
+    if (v <= bucket_max[i]) {
+      uint64_t d = bucket_distinct[i] != 0 ? bucket_distinct[i] : 1;
+      return static_cast<double>(bucket_rows[i]) / static_cast<double>(d);
+    }
+  }
+  return 0;
+}
+
+ColumnStats ValueIndex::ComputeStats(const TypeColumn& col) {
+  ColumnStats s;
+  const Dictionary& dict = *col.dict;
+  const size_t n = col.term_ids.size();
+  s.row_count = n;
+  s.numeric_count = col.numeric_rows.size();
+  s.distinct_terms = col.postings.size();
+  for (const auto& [term, rows] : col.postings) {
+    s.max_term_rows = std::max<uint64_t>(s.max_term_rows, rows.size());
+  }
+  // Zone maps over the row-order column. Term bounds cover every row; value
+  // bounds cover only the numeric rows, so a block of pure strings keeps
+  // the (+inf, -inf) empty interval and every numeric range skips it.
+  const size_t blocks =
+      (n + ColumnStats::kZoneBlockRows - 1) / ColumnStats::kZoneBlockRows;
+  s.zone_min.assign(blocks, std::numeric_limits<double>::infinity());
+  s.zone_max.assign(blocks, -std::numeric_limits<double>::infinity());
+  s.zone_term_min.assign(blocks, kNoTerm);
+  s.zone_term_max.assign(blocks, 0);
+  for (size_t row = 0; row < n; ++row) {
+    uint32_t term = col.term_ids[row];
+    size_t b = row / ColumnStats::kZoneBlockRows;
+    s.zone_term_min[b] = std::min(s.zone_term_min[b], term);
+    s.zone_term_max[b] = std::max(s.zone_term_max[b], term);
+    if (dict.numeric(term) && !std::isnan(dict.number(term))) {
+      double v = dict.number(term);
+      s.zone_min[b] = std::min(s.zone_min[b], v);
+      s.zone_max[b] = std::max(s.zone_max[b], v);
+    }
+  }
+  // Equi-depth histogram over the value-sorted numeric rows. Bucket ends
+  // extend past equal-value runs so one value never straddles buckets; the
+  // per-bucket distinct count falls out of the same walk.
+  const std::vector<uint32_t>& nr = col.numeric_rows;
+  if (!nr.empty()) {
+    auto value_at = [&](size_t i) {
+      return dict.number(col.term_ids[nr[i]]);
+    };
+    s.min_value = value_at(0);
+    s.max_value = value_at(nr.size() - 1);
+    size_t buckets = std::min<size_t>(ColumnStats::kMaxBuckets, nr.size());
+    size_t depth = (nr.size() + buckets - 1) / buckets;
+    size_t i = 0;
+    while (i < nr.size()) {
+      size_t end = std::min(nr.size(), i + depth);
+      while (end < nr.size() && value_at(end) == value_at(end - 1)) ++end;
+      uint64_t distinct = 1;
+      for (size_t j = i + 1; j < end; ++j) {
+        distinct += value_at(j) != value_at(j - 1) ? 1 : 0;
+      }
+      s.bucket_max.push_back(value_at(end - 1));
+      s.bucket_rows.push_back(end - i);
+      s.bucket_distinct.push_back(distinct);
+      i = end;
+    }
+  }
+  return s;
 }
 
 bool ValueIndex::GuideCovers(const dg::DataGuide& guide, dg::TypeId t) {
@@ -76,6 +177,7 @@ TypeColumn ValueIndex::BuildColumn(
                      return dict->number(col.term_ids[a]) <
                             dict->number(col.term_ids[b]);
                    });
+  col.stats = ComputeStats(col);
   return col;
 }
 
@@ -133,7 +235,8 @@ ValueIndex ValueIndex::Build(
 }
 
 Result<TypeColumn> ValueIndex::ColumnFromTermIds(
-    std::vector<uint32_t> term_ids, const Dictionary* dict) {
+    std::vector<uint32_t> term_ids, const Dictionary* dict,
+    ColumnStats* precomputed) {
   TypeColumn col;
   col.dict = dict;
   col.term_ids = std::move(term_ids);
@@ -169,6 +272,32 @@ Result<TypeColumn> ValueIndex::ColumnFromTermIds(
                      return dict->number(col.term_ids[a]) <
                             dict->number(col.term_ids[b]);
                    });
+  if (precomputed != nullptr) {
+    // Persisted statistics must have exactly the shape ComputeStats would
+    // produce for this column; the bucket/zone *contents* only steer cost
+    // estimates, never results, so they are trusted once the shapes match.
+    const ColumnStats& s = *precomputed;
+    const size_t blocks =
+        (col.term_ids.size() + ColumnStats::kZoneBlockRows - 1) /
+        ColumnStats::kZoneBlockRows;
+    const bool shape_ok =
+        s.row_count == col.term_ids.size() &&
+        s.numeric_count == col.numeric_rows.size() &&
+        s.distinct_terms == col.postings.size() &&
+        s.bucket_max.size() == s.bucket_rows.size() &&
+        s.bucket_max.size() == s.bucket_distinct.size() &&
+        s.bucket_max.size() <= ColumnStats::kMaxBuckets &&
+        s.bucket_max.empty() == (s.numeric_count == 0) &&
+        s.zone_min.size() == blocks && s.zone_max.size() == blocks &&
+        s.zone_term_min.size() == blocks && s.zone_term_max.size() == blocks;
+    if (!shape_ok) {
+      return Status::InvalidArgument(
+          "value column stats do not match column shape");
+    }
+    col.stats = std::move(*precomputed);
+  } else {
+    col.stats = ComputeStats(col);
+  }
   return col;
 }
 

@@ -101,6 +101,71 @@ class Dictionary {
   std::unordered_map<std::string_view, uint32_t> map_;
 };
 
+/// \brief Per-column statistics: term-frequency aggregates, an equi-depth
+/// histogram over the numeric rows, and per-block zone maps over the
+/// row-order term/value columns.
+///
+/// The histogram feeds the cost model's selectivity estimates
+/// (query/cardinality.h); the zone maps feed data skipping: block b covers
+/// rows [b*kZoneBlockRows, (b+1)*kZoneBlockRows) of the column, and a range
+/// predicate whose interval misses [zone_min[b], zone_max[b]] — or an
+/// equality probe whose term id misses [zone_term_min[b], zone_term_max[b]]
+/// — cannot match any row of the block, so scans skip it wholesale.
+///
+/// Stats are recomputed by ComputeStats in both build paths (BuildColumn and
+/// the snapshot-restore ColumnFromTermIds), so a restored column carries
+/// bit-identical statistics to a freshly built one; snapshot v2 can also
+/// persist them (storage/snapshot.cc, optional STATS section) to skip the
+/// recompute on load.
+struct TypeColumn;
+struct ColumnStats {
+  /// Rows per zone-map block. Matches num::kPbnBlockEntries so a value-column
+  /// block aligns with one packed-PBN block of the type's instance list.
+  static constexpr size_t kZoneBlockRows = 256;
+  /// Equi-depth histogram resolution cap.
+  static constexpr size_t kMaxBuckets = 64;
+
+  uint64_t row_count = 0;       ///< rows in the column
+  uint64_t numeric_count = 0;   ///< rows with a (non-NaN) numeric value
+  uint64_t distinct_terms = 0;  ///< distinct terms in the column
+  uint64_t max_term_rows = 0;   ///< size of the largest postings list
+  double min_value = 0;         ///< smallest numeric value (iff numeric_count)
+  double max_value = 0;         ///< largest numeric value (iff numeric_count)
+
+  /// Equi-depth histogram over the value-sorted numeric rows. bucket_max[i]
+  /// is the largest value in bucket i; bucket_rows[i] its row count;
+  /// bucket_distinct[i] its distinct-value count. Bucket boundaries are
+  /// extended past equal-value runs, so one value never straddles buckets
+  /// and bucket_rows / bucket_distinct is an unbiased per-value row count.
+  std::vector<double> bucket_max;
+  std::vector<uint64_t> bucket_rows;
+  std::vector<uint64_t> bucket_distinct;
+
+  /// Zone maps over row-order blocks: numeric value bounds (+inf/-inf when
+  /// the block holds no numeric row) and term-id bounds per block.
+  std::vector<double> zone_min;
+  std::vector<double> zone_max;
+  std::vector<uint32_t> zone_term_min;
+  std::vector<uint32_t> zone_term_max;
+
+  /// Estimated count of numeric rows with value < v (value <= v when
+  /// \p inclusive): cumulative buckets plus linear interpolation inside the
+  /// partial bucket.
+  double EstimateRowsBelow(double v, bool inclusive) const;
+  /// Estimated count of numeric rows with value == v (bucket rows over
+  /// bucket distinct values).
+  double EstimateEqRows(double v) const;
+
+  size_t MemoryUsage() const {
+    return bucket_max.capacity() * sizeof(double) +
+           bucket_rows.capacity() * sizeof(uint64_t) +
+           bucket_distinct.capacity() * sizeof(uint64_t) +
+           (zone_min.capacity() + zone_max.capacity()) * sizeof(double) +
+           (zone_term_min.capacity() + zone_term_max.capacity()) *
+               sizeof(uint32_t);
+  }
+};
+
 /// \brief Value column of one covered type. Rows align index-for-index with
 /// the type's document-ordered instance list.
 struct TypeColumn {
@@ -114,6 +179,9 @@ struct TypeColumn {
   std::vector<uint32_t> numeric_rows;
   /// term id -> ascending instance rows whose value equals the term.
   std::unordered_map<uint32_t, std::vector<uint32_t>> postings;
+  /// Histogram + zone maps, computed by ValueIndex::ComputeStats in every
+  /// build path (so built and restored columns agree bit-for-bit).
+  ColumnStats stats;
 
   size_t MemoryUsage() const;
 };
@@ -173,8 +241,21 @@ class ValueIndex {
   /// Rebuilds a column from its stored term-id row (the snapshot restore
   /// path): postings and the sorted numeric rows are re-derived rather than
   /// persisted. InvalidArgument if any id is out of range for \p dict.
+  /// With \p precomputed (snapshot v2 STATS section), the statistics are
+  /// moved in instead of recomputed, after validating that their counts and
+  /// array shapes match the rebuilt column — mismatches are
+  /// InvalidArgument, so a corrupt stats section can never seed the cost
+  /// model with statistics of the wrong shape.
   static Result<TypeColumn> ColumnFromTermIds(std::vector<uint32_t> term_ids,
-                                              const Dictionary* dict);
+                                              const Dictionary* dict,
+                                              ColumnStats* precomputed =
+                                                  nullptr);
+
+  /// Computes the histogram + zone-map statistics of \p col (which must
+  /// have its term_ids, numeric_rows and postings populated). Deterministic
+  /// in the column contents alone, so both build paths produce identical
+  /// stats.
+  static ColumnStats ComputeStats(const TypeColumn& col);
 
  private:
   friend class vpbn::storage::Snapshot;  // restore-path access to members

@@ -559,8 +559,8 @@ std::string EncodeBlocked(const PackedPbnList& list) {
   return out;
 }
 
-Status DecodeBlock(std::string_view payload, size_t entries,
-                   PackedPbnList* out) {
+Status DecodeBlockScalar(std::string_view payload, size_t entries,
+                         PackedPbnList* out) {
   std::string& arena = out->arena_;
   for (size_t e = 0; e < entries; ++e) {
     const uint32_t begin = static_cast<uint32_t>(arena.size());
@@ -622,6 +622,210 @@ Status DecodeBlock(std::string_view payload, size_t entries,
   }
   if (!payload.empty()) {
     return Status::InvalidArgument("blocked arena: trailing block bytes");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Batched DecodeBlock. The scalar decoder above interleaves varint parsing,
+// arena growth, framing validation and the order check per entry; the
+// batched form splits them into block-wide passes — parse every header into
+// stack arrays, size the arena once and assemble with straight memcpys,
+// validate framing, then check document order over the key column with a
+// SIMD kernel that touches the arena only on equal-key pairs (the same
+// key-column-first shape as CompareKeysBatch).
+
+namespace {
+
+/// Append to \p suspects every index i in [lo, hi) where the key column
+/// does NOT prove keys[i-1] < keys[i] strictly; the caller re-checks those
+/// pairs with the full scalar Compare. Keys are unsigned.
+void OrderScalar(const uint64_t* keys, size_t lo, size_t hi,
+                 std::vector<size_t>* suspects) {
+  for (size_t i = lo; i < hi; ++i) {
+    if (keys[i - 1] >= keys[i]) suspects->push_back(i);
+  }
+}
+
+#if defined(__x86_64__)
+
+__attribute__((target("avx2"))) void OrderAvx2(const uint64_t* keys,
+                                               size_t lo, size_t hi,
+                                               std::vector<size_t>* suspects) {
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  size_t i = lo;
+  for (; i + 4 <= hi; i += 4) {
+    const __m256i prev = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i - 1)),
+        bias);
+    const __m256i cur = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i)), bias);
+    const int ordered = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(cur, prev)));
+    if (ordered != 0xF) {
+      for (int b = 0; b < 4; ++b) {
+        if ((ordered & (1 << b)) == 0) suspects->push_back(i + b);
+      }
+    }
+  }
+  if (i < hi) OrderScalar(keys, i, hi, suspects);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512bw,avx512vl"))) void
+OrderAvx512(const uint64_t* keys, size_t lo, size_t hi,
+            std::vector<size_t>* suspects) {
+  size_t i = lo;
+  for (; i + 8 <= hi; i += 8) {
+    const __m512i prev =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(keys + i - 1));
+    const __m512i cur =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(keys + i));
+    const __mmask8 suspect = _mm512_cmple_epu64_mask(cur, prev);
+    if (suspect != 0) {
+      for (int b = 0; b < 8; ++b) {
+        if (suspect & (1 << b)) suspects->push_back(i + b);
+      }
+    }
+  }
+  if (i < hi) OrderScalar(keys, i, hi, suspects);
+}
+
+#endif  // defined(__x86_64__)
+
+using OrderFn = void (*)(const uint64_t*, size_t, size_t,
+                         std::vector<size_t>*);
+
+struct DecodeKernel {
+  OrderFn fn;
+  const char* isa;
+};
+
+DecodeKernel ResolveDecodeKernel() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return {OrderAvx512, "avx512"};
+  }
+  if (__builtin_cpu_supports("avx2")) return {OrderAvx2, "avx2"};
+#endif
+  return {OrderScalar, "scalar"};
+}
+
+const DecodeKernel& GetDecodeKernel() {
+  static const DecodeKernel kernel = ResolveDecodeKernel();
+  return kernel;
+}
+
+}  // namespace
+
+const char* DecodeKernelIsa() { return GetDecodeKernel().isa; }
+
+Status DecodeBlock(std::string_view payload, size_t entries,
+                   PackedPbnList* out) {
+  if (entries > kPbnBlockEntries) {
+    // Oversized calls (not produced by EncodeBlocked) take the reference
+    // path rather than spilling the header arrays to the heap.
+    return DecodeBlockScalar(payload, entries, out);
+  }
+  // Pass 1: parse every front-coding header, remembering where each
+  // entry's suffix bytes live. Validation here matches the scalar decoder
+  // branch for branch.
+  uint32_t lcps[kPbnBlockEntries];
+  uint32_t suffixes[kPbnBlockEntries];
+  const char* srcs[kPbnBlockEntries];
+  uint32_t sizes[kPbnBlockEntries];
+  size_t total = 0;
+  for (size_t e = 0; e < entries; ++e) {
+    if (e == 0) {
+      VPBN_ASSIGN_OR_RETURN(uint32_t size, GetVarint32(&payload));
+      if (size > payload.size()) {
+        return Status::InvalidArgument("blocked arena: truncated entry");
+      }
+      lcps[e] = 0;
+      suffixes[e] = size;
+    } else {
+      VPBN_ASSIGN_OR_RETURN(uint32_t lcp, GetVarint32(&payload));
+      VPBN_ASSIGN_OR_RETURN(uint32_t suffix, GetVarint32(&payload));
+      if (lcp >= sizes[e - 1] || suffix > payload.size() ||
+          lcp > UINT32_MAX - suffix) {
+        return Status::InvalidArgument("blocked arena: bad front coding");
+      }
+      lcps[e] = lcp;
+      suffixes[e] = suffix;
+    }
+    srcs[e] = payload.data();
+    payload.remove_prefix(suffixes[e]);
+    sizes[e] = lcps[e] + suffixes[e];
+    total += sizes[e];
+  }
+  if (!payload.empty()) {
+    return Status::InvalidArgument("blocked arena: trailing block bytes");
+  }
+
+  // Pass 2: size the arena once and assemble every entry with two memcpys
+  // (shared prefix from the previous entry, just written; suffix from the
+  // payload). Adjacent regions never overlap.
+  std::string& arena = out->arena_;
+  const size_t base = arena.size();
+  arena.resize(base + total);
+  char* dst = arena.data() + base;
+  const char* prev = nullptr;
+  for (size_t e = 0; e < entries; ++e) {
+    if (lcps[e] != 0) std::memcpy(dst, prev, lcps[e]);
+    std::memcpy(dst + lcps[e], srcs[e], suffixes[e]);
+    prev = dst;
+    dst += sizes[e];
+  }
+
+  // Pass 3: validate each assembled encoding's framing (component length
+  // bytes 1..4, one terminator, nothing after it) and push the columns.
+  const size_t first_new = out->size();
+  size_t begin = base;
+  for (size_t e = 0; e < entries; ++e) {
+    const uint32_t size = sizes[e];
+    uint32_t components = 0;
+    uint32_t posn = 0;
+    for (;;) {
+      if (posn >= size) {
+        return Status::InvalidArgument(
+            "blocked arena: entry missing terminator");
+      }
+      const uint8_t len = static_cast<uint8_t>(arena[begin + posn]);
+      if (len == 0) {
+        ++posn;
+        break;
+      }
+      if (len > 4 || posn + 1 + len > size) {
+        return Status::InvalidArgument("blocked arena: bad length byte");
+      }
+      posn += 1 + len;
+      ++components;
+    }
+    if (posn != size || components == 0) {
+      return Status::InvalidArgument("blocked arena: malformed entry");
+    }
+    out->offsets_.push_back(static_cast<uint32_t>(begin + size));
+    out->lengths_.push_back(components);
+    out->keys_.push_back(PackedPbnRef::ComputeKey(arena.data() + begin, size));
+    begin += size;
+  }
+
+  // Pass 4: document-order check over the key column (the pair across the
+  // previous block's boundary included). Unequal keys decide outright;
+  // equal-key pairs — rare — re-check with the full comparison.
+  const size_t lo = first_new == 0 ? 1 : first_new;
+  const size_t hi = out->size();
+  if (lo < hi) {
+    std::vector<size_t> suspects;
+    GetDecodeKernel().fn(out->keys_.data(), lo, hi, &suspects);
+    for (size_t i : suspects) {
+      if ((*out)[i - 1].Compare((*out)[i]) >= 0) {
+        return Status::InvalidArgument("blocked arena: not document-ordered");
+      }
+    }
   }
   return Status::OK();
 }

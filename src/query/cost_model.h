@@ -1,0 +1,122 @@
+/// \file cost_model.h
+/// \brief Costed plan and strategy selection over a StoredDocument, fed by
+/// query/cardinality.h estimates and the value index's zone maps.
+///
+/// Every decision the evaluators used to make with a fixed threshold is a
+/// method here, so the `ExecOptions::use_cost_model` knob swaps one layer:
+///
+///   * **Stored plan** (engine Prepare): bulk set-at-a-time joins vs the
+///     per-node indexed evaluator, for paths inside the bulk fragment
+///     (outside it, indexed is the only applicable plan — no decision).
+///   * **Value-predicate strategy** (eval_bulk ApplyValuePred / the indexed
+///     adapter's BatchPredicate): collect all matching rows as witnesses
+///     and semi-join (wins at low selectivity — few witnesses), probe each
+///     context's subtree range against the sorted matching-rows list (wins
+///     for small contexts), or scan each context's term-column range with
+///     zone-map block skipping, never materializing rows at all (wins at
+///     high selectivity, where the witness sort alone costs more than the
+///     whole scan).
+///   * **Merge vs walk** (eval_virtual BatchAxis): replaces the fixed
+///     kDefaultVJoinMinContext = 16 context-size threshold with a costed
+///     comparison of the vtype merge join against per-node range walks.
+///
+/// Costs are abstract work units (roughly "one streamed row" = 1). The
+/// zone-map survivor fraction is *computed, not estimated*: the per-block
+/// min/max arrays are resident in ColumnStats, so the model counts exactly
+/// how many blocks a range predicate can touch in O(row_count / 256).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "query/cardinality.h"
+
+namespace vpbn::query {
+
+/// \brief Abstract per-operation work weights. The defaults were calibrated
+/// against the E12/E16 sweeps; they need only get the *ratios* right.
+struct CostWeights {
+  double row = 1.0;          ///< stream one row through a scan or merge
+  double probe = 8.0;        ///< one binary-search descent level
+  double materialize = 6.0;  ///< append one packed witness / heap Pbn
+  double setup = 64.0;       ///< fixed per-structure overhead
+};
+
+/// \brief How a recognized [path op literal] predicate should be answered
+/// for one (context type, context list). See PredStrategy choice docs in
+/// the file header.
+enum class PredStrategy : uint8_t {
+  kWitness,    ///< matching rows -> packed witnesses -> semi-join (default)
+  kRowsProbe,  ///< matching rows + per-context binary probe into them
+  kScanProbe,  ///< per-context zone-skipped term-column range scan
+};
+
+/// \brief The chosen strategy plus the estimates that drove it.
+struct PredPlan {
+  PredStrategy strategy = PredStrategy::kWitness;
+  double est_rows = 0;  ///< estimated matching rows over all terminal types
+};
+
+/// \brief Zone-map admissibility of \p col 256-row block \p b for
+/// `value op lit`: false means no row of the block can satisfy the
+/// predicate, so a scan skips it whole. Conservative by construction (the
+/// zone bounds cover the full block even when a scan visits only part of
+/// it); semantics mirror TermMatches — string equality on the interned
+/// term-id bounds, numeric comparisons on the value bounds, != never
+/// skips. \p eq_term is the literal's dictionary term for the
+/// string-equality case (idx::kNoTerm otherwise).
+bool ZoneBlockCanMatch(const idx::ColumnStats& s, size_t b, CompareOp op,
+                       const ValueLiteral& lit, uint32_t eq_term);
+
+class CostModel {
+ public:
+  explicit CostModel(const storage::StoredDocument& stored,
+                     CostWeights weights = {})
+      : stored_(&stored), card_(stored), w_(weights) {}
+
+  const CardinalityEstimator& cardinality() const { return card_; }
+
+  /// True when the set-at-a-time bulk plan is estimated cheaper than the
+  /// per-node indexed plan. Call only for paths in the bulk fragment.
+  bool BulkBeatsIndexed(const Path& path) const;
+
+  /// Estimated result cardinality (ExecStats::est_rows).
+  double EstimateResultRows(const Path& path) const {
+    return card_.EstimateResultRows(path);
+  }
+
+  /// Strategy choice for one [path op literal] predicate against a context
+  /// list of \p n_context instances of \p context_type, with resolved
+  /// terminal types \p terminal_types.
+  PredPlan ChoosePredStrategy(dg::TypeId context_type, size_t n_context,
+                              const std::vector<dg::TypeId>& terminal_types,
+                              CompareOp op, const ValueLiteral& lit) const;
+
+  /// Fraction of \p col's zone-map blocks a `value op lit` scan must visit
+  /// (the rest skip on their min/max bounds). Exact, O(blocks).
+  static double ZoneSurvivorFraction(const idx::TypeColumn& col, CompareOp op,
+                                     const ValueLiteral& lit);
+
+  /// Costed merge-vs-walk for a virtual axis step: a vtype merge join
+  /// streams context + candidates once after setup; a walk binary-searches
+  /// the candidate list per context node. Replaces the fixed context-size
+  /// threshold.
+  bool MergeBeatsWalk(size_t n_context, size_t n_candidates) const {
+    double merge = w_.setup + (static_cast<double>(n_context) +
+                               static_cast<double>(n_candidates)) *
+                                  w_.row;
+    double walk = static_cast<double>(n_context) * w_.probe *
+                  Log2(n_candidates);
+    return merge < walk;
+  }
+
+ private:
+  static double Log2(size_t n);
+
+  const storage::StoredDocument* stored_;
+  CardinalityEstimator card_;
+  CostWeights w_;
+};
+
+}  // namespace vpbn::query

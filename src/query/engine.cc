@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/str_util.h"
+#include "query/cost_model.h"
 #include "query/eval_bulk.h"
 #include "query/eval_indexed.h"
 #include "query/eval_nav.h"
@@ -48,6 +49,10 @@ std::string ExecStats::ToString() const {
                     " value_index_lookups=" + std::to_string(value_index_lookups) +
                     " value_index_postings=" + std::to_string(value_index_postings) +
                     " value_scan_fallbacks=" + std::to_string(value_scan_fallbacks) +
+                    " zone_map_skips=" + std::to_string(zone_map_skips) +
+                    " est_rows=" + std::to_string(est_rows) +
+                    (chosen_plan.empty() ? std::string()
+                                         : " chosen_plan=" + chosen_plan) +
                     " plan_cache=" + std::to_string(plan_cache_hits) + "h/" +
                     std::to_string(plan_cache_misses) + "m" +
                     " result_cache=" + std::to_string(result_cache_hits) +
@@ -88,6 +93,9 @@ std::string ExecStats::ToJson() const {
   add_u64("value_index_lookups", value_index_lookups);
   add_u64("value_index_postings", value_index_postings);
   add_u64("value_scan_fallbacks", value_scan_fallbacks);
+  add_u64("zone_map_skips", zone_map_skips);
+  add_u64("est_rows", est_rows);
+  out += "\"chosen_plan\":\"" + JsonEscape(chosen_plan) + "\",";
   add_u64("plan_cache_hits", plan_cache_hits);
   add_u64("plan_cache_misses", plan_cache_misses);
   add_u64("result_cache_hits", result_cache_hits);
@@ -117,6 +125,10 @@ void ExecStats::Accumulate(const ExecStats& other) {
   value_index_lookups += other.value_index_lookups;
   value_index_postings += other.value_index_postings;
   value_scan_fallbacks += other.value_scan_fallbacks;
+  zone_map_skips += other.zone_map_skips;
+  // Per-query planner detail: keep the latest observation.
+  est_rows = other.est_rows;
+  if (!other.chosen_plan.empty()) chosen_plan = other.chosen_plan;
   // Engine-lifetime counters: keep the latest observation, not a sum of
   // snapshots.
   plan_cache_hits = other.plan_cache_hits;
@@ -168,6 +180,9 @@ ExecOptions QueryEngine::EffectiveOptions(
   if (overrides.use_value_index) {
     effective.use_value_index = *overrides.use_value_index;
   }
+  if (overrides.use_cost_model) {
+    effective.use_cost_model = *overrides.use_cost_model;
+  }
   return effective;
 }
 
@@ -175,6 +190,18 @@ void QueryEngine::SetEpoch(uint64_t epoch) {
   if (epoch_.exchange(epoch, std::memory_order_relaxed) == epoch) return;
   // Every cached plan carries the old stamp; drop them so Prepare re-stamps
   // instead of serving a plan Execute would reject.
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  lru_.clear();
+  cache_index_.clear();
+}
+
+void QueryEngine::SetStatsEpoch(uint64_t stats_epoch) {
+  if (stats_epoch_.exchange(stats_epoch, std::memory_order_relaxed) ==
+      stats_epoch) {
+    return;
+  }
+  // Cached plans were costed under the previous statistics; drop them so
+  // Prepare re-plans against the rebuilt histograms and zone maps.
   std::lock_guard<std::mutex> lock(cache_mu_);
   lru_.clear();
   cache_index_.clear();
@@ -198,15 +225,28 @@ Result<PreparedQuery> QueryEngine::Prepare(std::string_view path_text) const {
   q.path_ = std::make_shared<const Path>(std::move(path));
   q.engine_id_ = engine_id_;
   q.epoch_ = epoch_.load(std::memory_order_relaxed);
+  q.stats_epoch_ = stats_epoch_.load(std::memory_order_relaxed);
   if (doc_ != nullptr) {
     q.plan_ = PlanKind::kNav;
+    q.cost_plan_ = q.plan_;
   } else if (stored_ != nullptr) {
-    // Set-at-a-time joins where the fragment allows; the per-node indexed
-    // evaluator handles everything else.
-    q.plan_ =
-        InBulkFragment(q.path()) ? PlanKind::kBulk : PlanKind::kIndexed;
+    // Fragment rule: set-at-a-time joins where the fragment allows; the
+    // per-node indexed evaluator handles everything else.
+    const bool in_fragment = InBulkFragment(q.path());
+    q.plan_ = in_fragment ? PlanKind::kBulk : PlanKind::kIndexed;
+    // Costed choice: within the fragment, compare the two plans on the
+    // cardinality estimates (outside it there is no decision to make).
+    // Execute picks cost_plan_ or plan_ by ExecOptions::use_cost_model.
+    CostModel cm(*stored_);
+    q.cost_plan_ = in_fragment
+                       ? (cm.BulkBeatsIndexed(q.path()) ? PlanKind::kBulk
+                                                        : PlanKind::kIndexed)
+                       : PlanKind::kIndexed;
+    double est = cm.EstimateResultRows(q.path());
+    q.est_rows_ = est > 0 ? static_cast<uint64_t>(est + 0.5) : 0;
   } else {
     q.plan_ = PlanKind::kVirtual;
+    q.cost_plan_ = q.plan_;
   }
 
   std::lock_guard<std::mutex> lock(cache_mu_);
@@ -256,21 +296,30 @@ Result<QueryResult> QueryEngine::Execute(const PreparedQuery& query,
 Result<QueryResult> QueryEngine::ExecuteResolved(
     const PreparedQuery& query, const ExecOptions& options) const {
   const uint64_t epoch = epoch_.load(std::memory_order_relaxed);
-  if (query.engine_id_ != engine_id_ || query.epoch_ != epoch) {
+  const uint64_t stats_epoch = stats_epoch_.load(std::memory_order_relaxed);
+  if (query.engine_id_ != engine_id_ || query.epoch_ != epoch ||
+      query.stats_epoch_ != stats_epoch) {
     return Status::Internal(
         "stale PreparedQuery: prepared against engine#" +
         std::to_string(query.engine_id_) + " epoch " +
-        std::to_string(query.epoch_) + ", executing on engine#" +
-        std::to_string(engine_id_) + " epoch " + std::to_string(epoch));
+        std::to_string(query.epoch_) + " stats_epoch " +
+        std::to_string(query.stats_epoch_) + ", executing on engine#" +
+        std::to_string(engine_id_) + " epoch " + std::to_string(epoch) +
+        " stats_epoch " + std::to_string(stats_epoch));
   }
   common::ThreadPool* pool = PoolFor(options.threads);
   ExecContext ctx(pool, options.collect_stats);
   ctx.set_virtual_join(options.virtual_join);
   ctx.set_use_value_index(options.use_value_index);
+  ctx.set_use_cost_model(options.use_cost_model);
+  // The costed bulk-vs-indexed choice only exists on the stored substrate;
+  // everywhere else both plans coincide.
+  const PlanKind effective_plan =
+      options.use_cost_model ? query.cost_plan() : query.plan();
   auto t0 = std::chrono::steady_clock::now();
 
   QueryResult result;
-  switch (query.plan()) {
+  switch (effective_plan) {
     case PlanKind::kNav: {
       VPBN_ASSIGN_OR_RETURN(std::vector<xml::NodeId> nodes,
                             EvalNav(*doc_, query.path(), &ctx));
@@ -302,7 +351,13 @@ Result<QueryResult> QueryEngine::ExecuteResolved(
                       std::chrono::steady_clock::now() - t0)
                       .count();
   stats.threads = pool != nullptr ? pool->num_threads() : 1;
-  stats.plan = PlanKindToString(query.plan());
+  stats.plan = PlanKindToString(effective_plan);
+  if (stored_ != nullptr) {
+    stats.chosen_plan =
+        std::string(options.use_cost_model ? "cost:" : "rule:") +
+        PlanKindToString(effective_plan);
+    stats.est_rows = query.est_rows();
+  }
   stats.result_nodes = result.size();
   if (stored_ != nullptr) {
     stats.ingest_ms = stored_->ingest_ms();
@@ -323,6 +378,7 @@ Result<QueryResult> QueryEngine::ExecuteResolved(
     stats.value_index_lookups = ctx.value_index_lookups();
     stats.value_index_postings = ctx.value_index_postings();
     stats.value_scan_fallbacks = ctx.value_scan_fallbacks();
+    stats.zone_map_skips = ctx.zone_map_skips();
     stats.steps = ctx.TakeSteps();
   }
   return result;

@@ -82,23 +82,39 @@ class PreparedQuery {
   PlanKind plan() const { return plan_; }
   const std::string& text() const { return text_; }
 
+  /// The costed plan choice for a stored-document query (equals plan()
+  /// when the cost model agrees with the fragment rule, or when only one
+  /// plan applies). Execute picks cost_plan() when
+  /// ExecOptions::use_cost_model is set, plan() otherwise — one cached
+  /// PreparedQuery serves both settings.
+  PlanKind cost_plan() const { return cost_plan_; }
+
+  /// The planner's estimated result cardinality (stored substrate only;
+  /// 0 elsewhere). Stamped into ExecStats::est_rows.
+  uint64_t est_rows() const { return est_rows_; }
+
   /// \name Provenance stamp
-  /// Which engine instance and document epoch this plan was prepared
-  /// against. Execute refuses a plan whose stamp does not match, so a
-  /// catalog reload can never silently run a plan prepared over the old
-  /// document (the stale plan surfaces as an Internal error instead).
+  /// Which engine instance, document epoch, and statistics epoch this plan
+  /// was prepared against. Execute refuses a plan whose stamp does not
+  /// match, so a catalog reload can never silently run a plan prepared
+  /// over the old document — or costed under stale statistics (the stale
+  /// plan surfaces as an Internal error instead).
   /// @{
   uint64_t engine_id() const { return engine_id_; }
   uint64_t epoch() const { return epoch_; }
+  uint64_t stats_epoch() const { return stats_epoch_; }
   /// @}
 
  private:
   friend class QueryEngine;
   std::shared_ptr<const Path> path_;
   PlanKind plan_ = PlanKind::kNav;
+  PlanKind cost_plan_ = PlanKind::kNav;
   std::string text_;
+  uint64_t est_rows_ = 0;
   uint64_t engine_id_ = 0;
   uint64_t epoch_ = 0;
+  uint64_t stats_epoch_ = 0;
 };
 
 /// \brief Fully resolved execution knobs. What Execute actually runs with:
@@ -120,6 +136,13 @@ struct ExecOptions {
   /// node's string value. Results are identical either way; off is the
   /// per-node-scan baseline the E12 benchmark measures.
   bool use_value_index = true;
+  /// Pick plans and evaluation strategies with the cost model
+  /// (query/cost_model.h) — cardinality-estimated bulk-vs-indexed,
+  /// predicate strategy, merge-vs-walk — and skip value blocks via zone
+  /// maps (default). Off reverts every decision to the fixed-threshold
+  /// heuristics. Results are identical either way; off is the E16
+  /// fixed-strategy baseline.
+  bool use_cost_model = true;
 
   bool operator==(const ExecOptions&) const = default;
 };
@@ -135,6 +158,7 @@ struct ExecOverrides {
   std::optional<bool> collect_stats;
   std::optional<bool> virtual_join;
   std::optional<bool> use_value_index;
+  std::optional<bool> use_cost_model;
 };
 
 /// \brief Result nodes in the substrate's native handle type, plus stats.
@@ -241,6 +265,20 @@ class QueryEngine {
   uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
   /// @}
 
+  /// \name Statistics epoch
+  /// Generation number of the value-index statistics (histograms + zone
+  /// maps) cached plans were costed under. A catalog that rebuilds or
+  /// reloads statistics without swapping the document bumps this instead of
+  /// the document epoch; like SetEpoch it clears the plan cache and makes
+  /// Execute reject outstanding PreparedQuery handles, so a costed plan can
+  /// never outlive the statistics that justified it.
+  /// @{
+  void SetStatsEpoch(uint64_t stats_epoch);
+  uint64_t stats_epoch() const {
+    return stats_epoch_.load(std::memory_order_relaxed);
+  }
+  /// @}
+
   /// Process-unique identity of this engine instance (the other half of the
   /// PreparedQuery provenance stamp).
   uint64_t engine_id() const { return engine_id_; }
@@ -310,6 +348,7 @@ class QueryEngine {
 
   const uint64_t engine_id_ = NextEngineId();
   std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> stats_epoch_{0};
 
   mutable std::mutex defaults_mu_;
   ExecOptions defaults_;

@@ -1,11 +1,13 @@
 #include "query/eval_bulk.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "common/parallel.h"
 #include "pbn/packed.h"
 #include "pbn/structural_join.h"
+#include "query/cost_model.h"
 #include "query/eval_indexed.h"
 #include "query/value_pushdown.h"
 
@@ -114,6 +116,117 @@ bool UseValueIndex(ExecContext* ctx) {
   return ctx == nullptr || ctx->use_value_index();
 }
 
+/// kScanProbe: answers a [path op literal] predicate per context instance by
+/// scanning its terminal-row range in the term column directly — no
+/// matching-rows materialization, no witness sort. Whole 256-row blocks the
+/// zone maps rule out are skipped, and the scan stops at the first hit.
+/// Chosen by the cost model at high selectivity, where the witness path's
+/// global sort alone costs more than these early-exiting scans.
+PackedPbnList PredScanProbe(const storage::StoredDocument& stored,
+                            const ValuePred& vp,
+                            const std::vector<dg::TypeId>& tts,
+                            const PackedPbnList& list, ExecContext* ctx) {
+  const idx::ValueIndex& vi = stored.value_index();
+  const idx::Dictionary& dict = vi.dict();
+  const bool string_eq = vp.op == CompareOp::kEq && !vp.lit.numeric;
+  const uint32_t eq_term = string_eq ? dict.Find(vp.lit.text) : idx::kNoTerm;
+  PackedPbnList out;
+  uint64_t skips = 0;
+  uint64_t tested = 0;
+  for (size_t i = 0; i < list.size(); ++i) {
+    bool keep = false;
+    for (dg::TypeId tt : tts) {
+      if (string_eq && eq_term == idx::kNoTerm) break;  // literal not interned
+      const idx::TypeColumn* col = vi.Column(tt);
+      auto [first, last] = stored.TypeRangeWithin(tt, list[i]);
+      size_t row = first;
+      while (row < last && !keep) {
+        const size_t b = row / idx::ColumnStats::kZoneBlockRows;
+        const size_t block_end =
+            std::min(last, (b + 1) * idx::ColumnStats::kZoneBlockRows);
+        if (!ZoneBlockCanMatch(col->stats, b, vp.op, vp.lit, eq_term)) {
+          ++skips;
+          row = block_end;
+          continue;
+        }
+        for (; row < block_end; ++row) {
+          ++tested;
+          if (TermMatches(dict, col->term_ids[row], vp.op, vp.lit)) {
+            keep = true;
+            break;
+          }
+        }
+      }
+      if (keep) break;
+    }
+    if (keep) out.Append(list[i]);
+  }
+  if (ctx != nullptr) {
+    ctx->CountValueIndexLookups(list.size() * tts.size());
+    ctx->CountValueIndexPostings(tested);
+    ctx->CountZoneMapSkips(skips);
+  }
+  return out;
+}
+
+/// kRowsProbe: answers the predicate per context instance by probing the
+/// (memoized) sorted matching-rows list against the context's terminal-row
+/// range. Contexts arrive in ascending document order, so the probe keeps a
+/// monotone cursor over the rows list and skips whole 256-entry blocks on
+/// their last entry (the block's implicit max) — the postings-block
+/// counterpart of the value zone maps. Chosen for small contexts, where
+/// materializing packed witnesses for every matching row would dominate.
+PackedPbnList PredRowsProbe(const storage::StoredDocument& stored,
+                            const Expr* pred, const ValuePred& vp,
+                            const std::vector<dg::TypeId>& tts,
+                            const PackedPbnList& list, ExecContext* ctx) {
+  const idx::ValueIndex& vi = stored.value_index();
+  std::vector<bool> keep(list.size(), false);
+  uint64_t skips = 0;
+  for (dg::TypeId tt : tts) {
+    const idx::TypeColumn* col = vi.Column(tt);
+    auto rows = MatchingRows(*col, pred, tt, vp.op, vp.lit, ctx);
+    if (rows->empty()) continue;
+    const size_t n = rows->size();
+    const size_t nblocks =
+        (n + idx::ColumnStats::kZoneBlockRows - 1) /
+        idx::ColumnStats::kZoneBlockRows;
+    size_t blk = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (keep[i]) continue;
+      auto [first, last] = stored.TypeRangeWithin(tt, list[i]);
+      if (first >= last) continue;
+      // Range starts are non-decreasing (nested same-type contexts start
+      // no earlier than their ancestors), so blocks left behind are left
+      // behind for good.
+      while (blk < nblocks) {
+        const size_t tail =
+            std::min(n, (blk + 1) * idx::ColumnStats::kZoneBlockRows) - 1;
+        if ((*rows)[tail] < first) {
+          ++blk;
+          ++skips;
+        } else {
+          break;
+        }
+      }
+      if (blk == nblocks) break;
+      auto it = std::lower_bound(
+          rows->begin() + blk * idx::ColumnStats::kZoneBlockRows, rows->end(),
+          static_cast<uint32_t>(first));
+      if (it != rows->end() && *it < last) keep[i] = true;
+    }
+  }
+  PackedPbnList out;
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (keep[i]) out.Append(list[i]);
+  }
+  if (ctx != nullptr) {
+    ctx->CountValueIndexLookups(list.size() * tts.size());
+    ctx->CountZoneMapSkips(skips);
+  }
+  return out;
+}
+
 /// Applies one recognized value predicate to one type's surviving list.
 ///
 /// Path-compare predicates collect witness instances from the terminal
@@ -184,6 +297,30 @@ PackedPbnList ApplyValuePred(const storage::StoredDocument& stored,
     }
     case ValuePred::Kind::kPathCompare: {
       auto tts = ChainTypes(g, vp.path, t, ctx);
+      if (use_index && ctx != nullptr && ctx->use_cost_model()) {
+        // Costed strategy choice, applicable when every terminal type has a
+        // value column (all three strategies are byte-identical; an
+        // uncovered type needs the scan fallback below either way).
+        bool covered = true;
+        for (dg::TypeId tt : *tts) {
+          if (vi.Column(tt) == nullptr) {
+            covered = false;
+            break;
+          }
+        }
+        if (covered && !tts->empty()) {
+          CostModel cm(stored);
+          PredPlan plan =
+              cm.ChoosePredStrategy(t, list.size(), *tts, vp.op, vp.lit);
+          if (plan.strategy == PredStrategy::kScanProbe) {
+            return PredScanProbe(stored, vp, *tts, list, ctx);
+          }
+          if (plan.strategy == PredStrategy::kRowsProbe) {
+            return PredRowsProbe(stored, pred, vp, *tts, list, ctx);
+          }
+          // kWitness falls through to the default path below.
+        }
+      }
       PackedPbnList witnesses;
       for (dg::TypeId tt : *tts) {
         const idx::TypeColumn* col = vi.Column(tt);
@@ -284,7 +421,17 @@ uint64_t EstimatePredCost(const storage::StoredDocument& stored,
                        ? list.size()
                        : stored.PackedNodesOfType(tt).size();
         } else if (use_index && col != nullptr) {
-          total += MatchingRows(*col, &pred, tt, vp.op, vp.lit, ctx)->size();
+          if (ctx != nullptr && ctx->use_cost_model()) {
+            // Histogram estimate: order predicates without materializing
+            // their matching-rows lists (a costed strategy may never need
+            // them at all).
+            total += static_cast<uint64_t>(
+                CardinalityEstimator::ColumnSelectivity(*col, vp.op, vp.lit) *
+                static_cast<double>(col->stats.row_count));
+          } else {
+            total +=
+                MatchingRows(*col, &pred, tt, vp.op, vp.lit, ctx)->size();
+          }
         } else {
           total += stored.PackedNodesOfType(tt).size();
         }

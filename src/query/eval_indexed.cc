@@ -5,6 +5,7 @@
 
 #include "pbn/codec.h"
 #include "pbn/packed.h"
+#include "query/cost_model.h"
 
 namespace vpbn::query {
 
@@ -280,6 +281,59 @@ void IndexedAdapter::EvalBatchPredicate(const Expr& e,
     case ValuePred::Kind::kPathCompare: {
       for (const BatchGroup& group : groups) {
         auto tts = ChainTypes(g, vp.path, group.type, ctx_);
+        // Costed choice between probing materialized matching-rows lists
+        // (the fixed behavior, wins at low selectivity) and scanning each
+        // context's terminal-row range directly with zone-map block
+        // skipping (wins at high selectivity — no materialization, early
+        // exit on the first hit). Byte-identical either way.
+        if (ctx_ != nullptr && ctx_->use_cost_model() && !tts->empty()) {
+          CostModel cm(*stored_);
+          PredPlan plan = cm.ChoosePredStrategy(
+              group.type, group.indexes.size(), *tts, vp.op, vp.lit);
+          if (plan.strategy == PredStrategy::kScanProbe) {
+            const idx::Dictionary& dict = vi.dict();
+            const bool string_eq =
+                vp.op == CompareOp::kEq && !vp.lit.numeric;
+            const uint32_t eq_term =
+                string_eq ? dict.Find(vp.lit.text) : idx::kNoTerm;
+            uint64_t skips = 0;
+            uint64_t tested = 0;
+            for (size_t k = 0; k < group.indexes.size(); ++k) {
+              bool hit = false;
+              for (size_t j = 0; j < tts->size() && !hit; ++j) {
+                if (string_eq && eq_term == idx::kNoTerm) break;
+                const idx::TypeColumn* col = vi.Column((*tts)[j]);
+                auto [first, last] =
+                    stored_->TypeRangeWithin((*tts)[j], group.refs[k]);
+                size_t row = first;
+                while (row < last && !hit) {
+                  const size_t b = row / idx::ColumnStats::kZoneBlockRows;
+                  const size_t block_end = std::min(
+                      last, (b + 1) * idx::ColumnStats::kZoneBlockRows);
+                  if (!ZoneBlockCanMatch(col->stats, b, vp.op, vp.lit,
+                                         eq_term)) {
+                    ++skips;
+                    row = block_end;
+                    continue;
+                  }
+                  for (; row < block_end; ++row) {
+                    ++tested;
+                    if (TermMatches(dict, col->term_ids[row], vp.op,
+                                    vp.lit)) {
+                      hit = true;
+                      break;
+                    }
+                  }
+                }
+              }
+              (*keep)[group.indexes[k]] = hit ? 1 : 0;
+            }
+            ctx_->CountValueIndexLookups(group.indexes.size() * tts->size());
+            ctx_->CountValueIndexPostings(tested);
+            ctx_->CountZoneMapSkips(skips);
+            continue;
+          }
+        }
         std::vector<std::shared_ptr<const std::vector<uint32_t>>> rows_by_tt;
         rows_by_tt.reserve(tts->size());
         for (dg::TypeId tt : *tts) {

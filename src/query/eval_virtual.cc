@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "pbn/packed.h"
 #include "pbn/structural_join.h"
+#include "query/cost_model.h"
 
 namespace vpbn::query {
 
@@ -240,11 +241,28 @@ bool VirtualAdapter::BatchAxisImpl(const std::vector<VirtualNode>& context,
   // The descendant family already scans whole candidate lists per context
   // node, so merging wins at any context size. Child / parent / ancestor
   // trade sublinear per-node range scans for full-list merges — only worth
-  // it once the context is large enough to amortize a pass.
+  // it once the context is large enough to amortize a pass. With the cost
+  // model on, that trade is costed against the actual candidate volume
+  // (CostModel::MergeBeatsWalk); an explicitly set vjoin_min_context (tests
+  // pin it to 1 to force merging on tiny documents) still wins.
   const size_t min_context = ctx_ != nullptr
                                  ? ctx_->vjoin_min_context()
                                  : ExecContext::kDefaultVJoinMinContext;
-  if (!desc && context.size() < min_context) return false;
+  if (!desc) {
+    if (ctx_ != nullptr && ctx_->use_cost_model() &&
+        min_context == ExecContext::kDefaultVJoinMinContext) {
+      const vdg::VDataGuide& cvg = vdoc_->vguide();
+      const auto types = MatchingVTypes(test);  // keep the cache entry alive
+      size_t candidates = 0;
+      for (vdg::VTypeId t : *types) {
+        candidates += vdoc_->stored().NodeIdsOfType(cvg.original(t)).size();
+      }
+      CostModel cm(vdoc_->stored());
+      if (!cm.MergeBeatsWalk(context.size(), candidates)) return false;
+    } else if (context.size() < min_context) {
+      return false;
+    }
+  }
 
   const vdg::VDataGuide& vg = vdoc_->vguide();
   const dg::DataGuide& orig = vg.original_guide();

@@ -41,6 +41,8 @@ struct ExecStats {
   uint64_t value_index_lookups = 0;   ///< dictionary / numeric-slice probes
   uint64_t value_index_postings = 0;  ///< postings rows consumed by pushdown
   uint64_t value_scan_fallbacks = 0;  ///< value predicates scanned per node
+  uint64_t zone_map_skips = 0;     ///< value/postings blocks skipped on bounds
+  uint64_t est_rows = 0;           ///< planner's estimated result cardinality
   uint64_t plan_cache_hits = 0;    ///< engine-lifetime prepared-plan hits
   uint64_t plan_cache_misses = 0;  ///< engine-lifetime prepared-plan misses
   uint64_t result_cache_hits = 0;    ///< server result-cache hits (vpbnd)
@@ -54,6 +56,8 @@ struct ExecStats {
   uint64_t mapped_bytes = 0;       ///< bytes of it memory-mapped, not copied
   int threads = 1;                 ///< thread budget the execution ran with
   std::string plan;                ///< "nav" | "indexed" | "bulk" | "virtual"
+  std::string chosen_plan;         ///< "cost:bulk" / "rule:indexed" — how the
+                                   ///< plan was picked (stored substrate only)
   std::vector<StepStats> steps;    ///< per-step timings (top-level path only)
 
   std::string ToString() const;
@@ -99,6 +103,14 @@ class ExecContext {
   /// property-test baseline the pushdown must match byte-for-byte.
   bool use_value_index() const { return use_value_index_; }
   void set_use_value_index(bool on) { use_value_index_ = on; }
+
+  /// Cost-model knob (ExecOptions::use_cost_model): when on, the evaluators
+  /// replace their fixed-threshold decisions (pushdown strategy, merge vs
+  /// walk, predicate ordering) with costed choices from query/cost_model.h,
+  /// including zone-map data skipping. Results are byte-identical either
+  /// way; off is the fixed-heuristics baseline.
+  bool use_cost_model() const { return use_cost_model_; }
+  void set_use_cost_model(bool on) { use_cost_model_ = on; }
 
   /// Per-query cache of uint32 lists keyed by an adapter-chosen string:
   /// node-test -> matching-vtype lists (so repeated steps and every context
@@ -166,6 +178,9 @@ class ExecContext {
   void CountValueScanFallbacks(uint64_t n) {
     value_scan_fallbacks_.fetch_add(n, std::memory_order_relaxed);
   }
+  void CountZoneMapSkips(uint64_t n) {
+    zone_map_skips_.fetch_add(n, std::memory_order_relaxed);
+  }
   void RecordStep(StepStats step) {
     std::lock_guard<std::mutex> lock(steps_mu_);
     steps_.push_back(std::move(step));
@@ -201,6 +216,9 @@ class ExecContext {
   uint64_t value_scan_fallbacks() const {
     return value_scan_fallbacks_.load(std::memory_order_relaxed);
   }
+  uint64_t zone_map_skips() const {
+    return zone_map_skips_.load(std::memory_order_relaxed);
+  }
   std::vector<StepStats> TakeSteps() {
     std::lock_guard<std::mutex> lock(steps_mu_);
     return std::move(steps_);
@@ -211,6 +229,7 @@ class ExecContext {
   bool collect_stats_ = false;
   bool virtual_join_ = true;
   bool use_value_index_ = true;
+  bool use_cost_model_ = true;
   size_t vjoin_min_context_ = kDefaultVJoinMinContext;
   std::atomic<uint64_t> nodes_scanned_{0};
   std::atomic<uint64_t> join_pairs_{0};
@@ -222,6 +241,7 @@ class ExecContext {
   std::atomic<uint64_t> value_index_lookups_{0};
   std::atomic<uint64_t> value_index_postings_{0};
   std::atomic<uint64_t> value_scan_fallbacks_{0};
+  std::atomic<uint64_t> zone_map_skips_{0};
   std::mutex steps_mu_;
   std::vector<StepStats> steps_;
   std::mutex vtypes_mu_;

@@ -231,6 +231,10 @@ Result<std::shared_ptr<const CatalogEntry>> Catalog::BuildEntry(
   auto engine = std::make_shared<query::QueryEngine>(stored);
   engine->SetDefaultOptions(default_options_);
   engine->SetEpoch(epoch);
+  // Value-index statistics (histograms, zone maps) are rebuilt with the
+  // document, so the statistics generation tracks the document generation:
+  // a reload invalidates every plan costed under the old histograms.
+  engine->SetStatsEpoch(epoch);
   entry->engine = std::move(engine);
 
   for (const auto& [vname, spec] : view_specs) {

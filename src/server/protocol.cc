@@ -40,6 +40,14 @@ Status ParseQueryOption(std::string_view token, query::ExecOverrides* out) {
     out->use_value_index = false;
     return Status::OK();
   }
+  if (token == "--cost-model") {
+    out->use_cost_model = true;
+    return Status::OK();
+  }
+  if (token == "--no-cost-model") {
+    out->use_cost_model = false;
+    return Status::OK();
+  }
   constexpr std::string_view kThreads = "--threads=";
   if (StartsWith(token, kThreads)) {
     std::string arg(token.substr(kThreads.size()));

@@ -32,6 +32,8 @@ constexpr size_t kPageSize = 4096;
 constexpr uint8_t kSectionDoc = 1;
 constexpr uint8_t kSectionArenas = 2;
 constexpr uint8_t kSectionValues = 3;
+constexpr uint8_t kSectionStats = 4;  // optional; absent in older snapshots
+constexpr uint8_t kMaxSectionKind = kSectionStats;
 // zlib's worst-case expansion bound, used to cap attacker-chosen raw sizes
 // before allocating.
 constexpr uint64_t kMaxInflateRatio = 1032;
@@ -117,6 +119,105 @@ void PutString(std::string* out, std::string_view s) {
   PutVarint64(out, s.size());
   out->append(s);
 }
+
+/// \name STATS section codec
+///
+/// Per covered type, the precomputed ColumnStats. Doubles store as fixed64
+/// bit patterns (not decimal round trips), so restored statistics are
+/// bit-identical to the computed ones and the restore-equals-build
+/// invariants keep holding exactly.
+/// @{
+
+Result<uint64_t> GetFixed64Checked(std::string_view* in) {
+  if (in->size() < 8) {
+    return Status::InvalidArgument("snapshot: truncated fixed64");
+  }
+  uint64_t v = GetFixed64(in->data());
+  in->remove_prefix(8);
+  return v;
+}
+
+void PutDoubleBits(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutFixed64(out, bits);
+}
+
+Result<double> GetDoubleBits(std::string_view* in) {
+  VPBN_ASSIGN_OR_RETURN(uint64_t bits, GetFixed64Checked(in));
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+void PutColumnStats(std::string* out, const idx::ColumnStats& s) {
+  PutVarint64(out, s.row_count);
+  PutVarint64(out, s.numeric_count);
+  PutVarint64(out, s.distinct_terms);
+  PutVarint64(out, s.max_term_rows);
+  PutDoubleBits(out, s.min_value);
+  PutDoubleBits(out, s.max_value);
+  PutVarint64(out, s.bucket_max.size());
+  for (size_t i = 0; i < s.bucket_max.size(); ++i) {
+    PutDoubleBits(out, s.bucket_max[i]);
+    PutVarint64(out, s.bucket_rows[i]);
+    PutVarint64(out, s.bucket_distinct[i]);
+  }
+  PutVarint64(out, s.zone_min.size());
+  for (size_t i = 0; i < s.zone_min.size(); ++i) {
+    PutDoubleBits(out, s.zone_min[i]);
+    PutDoubleBits(out, s.zone_max[i]);
+    PutVarint32(out, s.zone_term_min[i]);
+    PutVarint32(out, s.zone_term_max[i]);
+  }
+}
+
+Status GetColumnStats(std::string_view* in, idx::ColumnStats* s) {
+  VPBN_ASSIGN_OR_RETURN(s->row_count, GetVarint64(in));
+  VPBN_ASSIGN_OR_RETURN(s->numeric_count, GetVarint64(in));
+  VPBN_ASSIGN_OR_RETURN(s->distinct_terms, GetVarint64(in));
+  VPBN_ASSIGN_OR_RETURN(s->max_term_rows, GetVarint64(in));
+  VPBN_ASSIGN_OR_RETURN(s->min_value, GetDoubleBits(in));
+  VPBN_ASSIGN_OR_RETURN(s->max_value, GetDoubleBits(in));
+  VPBN_ASSIGN_OR_RETURN(uint64_t buckets, GetVarint64(in));
+  if (buckets > idx::ColumnStats::kMaxBuckets) {
+    return Status::InvalidArgument("snapshot: too many histogram buckets");
+  }
+  s->bucket_max.reserve(buckets);
+  s->bucket_rows.reserve(buckets);
+  s->bucket_distinct.reserve(buckets);
+  for (uint64_t i = 0; i < buckets; ++i) {
+    VPBN_ASSIGN_OR_RETURN(double bmax, GetDoubleBits(in));
+    VPBN_ASSIGN_OR_RETURN(uint64_t rows, GetVarint64(in));
+    VPBN_ASSIGN_OR_RETURN(uint64_t distinct, GetVarint64(in));
+    s->bucket_max.push_back(bmax);
+    s->bucket_rows.push_back(rows);
+    s->bucket_distinct.push_back(distinct);
+  }
+  VPBN_ASSIGN_OR_RETURN(uint64_t zones, GetVarint64(in));
+  // Each zone entry is at least 18 bytes (two fixed64s + two varints), so
+  // an attacker-chosen count cannot force an oversized allocation.
+  if (zones > in->size() / 18) {
+    return Status::InvalidArgument("snapshot: truncated stats zones");
+  }
+  s->zone_min.reserve(zones);
+  s->zone_max.reserve(zones);
+  s->zone_term_min.reserve(zones);
+  s->zone_term_max.reserve(zones);
+  for (uint64_t i = 0; i < zones; ++i) {
+    VPBN_ASSIGN_OR_RETURN(double zmin, GetDoubleBits(in));
+    VPBN_ASSIGN_OR_RETURN(double zmax, GetDoubleBits(in));
+    VPBN_ASSIGN_OR_RETURN(uint32_t tmin, GetVarint32(in));
+    VPBN_ASSIGN_OR_RETURN(uint32_t tmax, GetVarint32(in));
+    s->zone_min.push_back(zmin);
+    s->zone_max.push_back(zmax);
+    s->zone_term_min.push_back(tmin);
+    s->zone_term_max.push_back(tmax);
+  }
+  return Status::OK();
+}
+
+/// @}
 
 Result<std::string_view> GetString(std::string_view* in) {
   VPBN_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(in));
@@ -220,9 +321,10 @@ Status ValidateCanonicalNumbers(
 
 }  // namespace
 
-std::string Snapshot::Write(const StoredDocument& sd, uint32_t version) {
+std::string Snapshot::Write(const StoredDocument& sd, uint32_t version,
+                            bool stats_section) {
   if (version == 1) return WriteV1(sd);
-  if (version == 2) return WriteV2(sd);
+  if (version == 2) return WriteV2(sd, stats_section);
   return {};
 }
 
@@ -304,7 +406,7 @@ std::string Snapshot::WriteV1(const StoredDocument& sd) {
   return out;
 }
 
-std::string Snapshot::WriteV2(const StoredDocument& sd) {
+std::string Snapshot::WriteV2(const StoredDocument& sd, bool stats_section) {
   sd.EnsureAllPacked();
   const dg::DataGuide& guide = sd.guide_;
 
@@ -328,6 +430,21 @@ std::string Snapshot::WriteV2(const StoredDocument& sd) {
   std::string values_sec;
   PutBlob(&values_sec, values_raw);
 
+  // Optional STATS section: the precomputed per-column statistics, so a
+  // load can move them in instead of recomputing. Layout mirrors the
+  // values section's coverage flags: per type a u8 flag, then the stats.
+  std::string stats_sec;
+  if (stats_section) {
+    std::string stats_raw;
+    PutVarint64(&stats_raw, guide.num_types());
+    for (dg::TypeId t = 0; t < guide.num_types(); ++t) {
+      const idx::TypeColumn* col = sd.value_index_.Column(t);
+      stats_raw.push_back(col != nullptr ? 1 : 0);
+      if (col != nullptr) PutColumnStats(&stats_raw, col->stats);
+    }
+    PutBlob(&stats_sec, stats_raw);
+  }
+
   std::string out;
   out.append(kMagic);
   PutVarint32(&out, 2);
@@ -337,12 +454,18 @@ std::string Snapshot::WriteV2(const StoredDocument& sd) {
   // Directory: u8 count, then (u8 kind, u64 offset, u64 size) per section.
   // Offsets are absolute and page-aligned so a mapped load can hand out
   // naturally aligned section views.
-  const std::string* payloads[3] = {&doc_sec, &arena_sec, &values_sec};
-  const uint8_t kinds[3] = {kSectionDoc, kSectionArenas, kSectionValues};
-  out.push_back(3);
-  size_t off = out.size() + 3 * 17;
-  uint64_t offsets[3];
-  for (int i = 0; i < 3; ++i) {
+  std::vector<const std::string*> payloads = {&doc_sec, &arena_sec,
+                                              &values_sec};
+  std::vector<uint8_t> kinds = {kSectionDoc, kSectionArenas, kSectionValues};
+  if (stats_section) {
+    payloads.push_back(&stats_sec);
+    kinds.push_back(kSectionStats);
+  }
+  const size_t n_sections = payloads.size();
+  out.push_back(static_cast<char>(n_sections));
+  size_t off = out.size() + n_sections * 17;
+  std::vector<uint64_t> offsets(n_sections);
+  for (size_t i = 0; i < n_sections; ++i) {
     off = (off + kPageSize - 1) / kPageSize * kPageSize;
     offsets[i] = off;
     out.push_back(static_cast<char>(kinds[i]));
@@ -350,7 +473,7 @@ std::string Snapshot::WriteV2(const StoredDocument& sd) {
     PutFixed64(&out, payloads[i]->size());
     off += payloads[i]->size();
   }
-  for (int i = 0; i < 3; ++i) {
+  for (size_t i = 0; i < n_sections; ++i) {
     out.resize(offsets[i], '\0');
     out.append(*payloads[i]);
   }
@@ -544,8 +667,9 @@ Result<StoredDocument> Snapshot::LoadV1(std::string_view data,
   return out;
 }
 
-Status Snapshot::LoadValues(std::string_view* datap, StoredDocument* outp,
-                            common::ThreadPool* pool) {
+Status Snapshot::LoadValues(
+    std::string_view* datap, StoredDocument* outp, common::ThreadPool* pool,
+    std::vector<std::unique_ptr<idx::ColumnStats>>* stats) {
   std::string_view& data = *datap;
   StoredDocument& out = *outp;
   const size_t num_types = out.guide_.num_types();
@@ -592,8 +716,10 @@ Status Snapshot::LoadValues(std::string_view* datap, StoredDocument* outp,
   common::ParallelFor(pool, num_types, 1, [&](size_t lo, size_t hi) {
     for (size_t t = lo; t < hi; ++t) {
       if (col_ids[t] == nullptr) continue;
-      Result<idx::TypeColumn> col =
-          idx::ValueIndex::ColumnFromTermIds(std::move(*col_ids[t]), dict);
+      idx::ColumnStats* pre =
+          stats != nullptr && t < stats->size() ? (*stats)[t].get() : nullptr;
+      Result<idx::TypeColumn> col = idx::ValueIndex::ColumnFromTermIds(
+          std::move(*col_ids[t]), dict, pre);
       if (!col.ok()) {
         col_status[t] = col.status();
         continue;
@@ -661,14 +787,14 @@ Result<StoredDocument> Snapshot::LoadV2(
   if (n_sections < 3 || n_sections > 8 || data.size() < n_sections * 17) {
     return Status::InvalidArgument("snapshot: bad section directory");
   }
-  std::string_view sections[4];
-  bool seen[4] = {false, false, false, false};
+  std::string_view sections[kMaxSectionKind + 1];
+  bool seen[kMaxSectionKind + 1] = {};
   for (size_t i = 0; i < n_sections; ++i) {
     const uint8_t kind = static_cast<uint8_t>(data[0]);
     const uint64_t off = GetFixed64(data.data() + 1);
     const uint64_t size = GetFixed64(data.data() + 9);
     data.remove_prefix(17);
-    if (kind < kSectionDoc || kind > kSectionValues || seen[kind]) {
+    if (kind < kSectionDoc || kind > kMaxSectionKind || seen[kind]) {
       return Status::InvalidArgument("snapshot: bad section kind");
     }
     if (off > full.size() || size > full.size() - off) {
@@ -774,6 +900,47 @@ Result<StoredDocument> Snapshot::LoadV2(
   }
   out.numbering_ready_.store(false, std::memory_order_relaxed);
 
+  // Optional STATS section: parse before the values so the column restore
+  // can move the statistics in instead of recomputing them. Coverage flags
+  // must agree with the guide, exactly as the values section's must.
+  std::vector<std::unique_ptr<idx::ColumnStats>> stats;
+  if (seen[kSectionStats]) {
+    std::string_view stats_view = sections[kSectionStats];
+    std::string stats_scratch;
+    VPBN_ASSIGN_OR_RETURN(std::string_view stats_raw,
+                          ReadBlob(&stats_view, &stats_scratch));
+    if (!stats_view.empty()) {
+      return Status::InvalidArgument("snapshot: trailing stats bytes");
+    }
+    std::string_view cursor = stats_raw;
+    VPBN_ASSIGN_OR_RETURN(uint64_t stats_types, GetVarint64(&cursor));
+    if (stats_types != num_types) {
+      return Status::InvalidArgument("snapshot: stats type count mismatch");
+    }
+    stats.resize(num_types);
+    for (size_t t = 0; t < num_types; ++t) {
+      if (cursor.empty()) {
+        return Status::InvalidArgument("snapshot: truncated stats flag");
+      }
+      const uint8_t flag = static_cast<uint8_t>(cursor[0]);
+      cursor.remove_prefix(1);
+      if (flag > 1) {
+        return Status::InvalidArgument("snapshot: bad stats flag");
+      }
+      const bool covered = idx::ValueIndex::GuideCovers(out.guide_, t);
+      if ((flag != 0) != covered) {
+        return Status::InvalidArgument("snapshot: stats coverage mismatch");
+      }
+      if (!covered) continue;
+      auto s = std::make_unique<idx::ColumnStats>();
+      VPBN_RETURN_NOT_OK(GetColumnStats(&cursor, s.get()));
+      stats[t] = std::move(s);
+    }
+    if (!cursor.empty()) {
+      return Status::InvalidArgument("snapshot: trailing stats bytes");
+    }
+  }
+
   // Values.
   std::string_view values_view = sections[kSectionValues];
   std::string values_scratch;
@@ -783,7 +950,8 @@ Result<StoredDocument> Snapshot::LoadV2(
     return Status::InvalidArgument("snapshot: trailing value bytes");
   }
   std::string_view values_cursor = values_raw;
-  VPBN_RETURN_NOT_OK(LoadValues(&values_cursor, &out, pool));
+  VPBN_RETURN_NOT_OK(LoadValues(&values_cursor, &out, pool,
+                                seen[kSectionStats] ? &stats : nullptr));
   if (!values_cursor.empty()) {
     return Status::InvalidArgument("snapshot: trailing bytes");
   }

@@ -49,6 +49,17 @@
 ///            (pbn/packed.h EncodeBlocked: front-coded keys, varint-delta
 ///            offset directory, per-block min/max sort keys), deflated
 ///   VALUES : the v1 value-index bytes, deflated
+///   STATS  : *optional* — per covered type, the precomputed column
+///            statistics (index/value_index.h ColumnStats: aggregate
+///            counts, the equi-depth histogram, the zone maps), deflated.
+///            Doubles store as fixed64 bit patterns so restored statistics
+///            are bit-identical. When present, Load moves them into the
+///            restored columns (after validating their shapes against the
+///            rebuilt columns) instead of recomputing; when absent — every
+///            snapshot written before the section existed — Load falls
+///            back to ValueIndex::ComputeStats, which produces the same
+///            statistics from the term columns. Either way a loaded
+///            document costs queries identically to a freshly built one.
 ///
 /// Every blob is framed `u8 codec | varint raw_size | varint payload_size`
 /// (codec 0 = stored, 1 = deflate); builds without zlib write codec 0 and
@@ -65,6 +76,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/mmap_file.h"
 #include "common/result.h"
@@ -83,9 +95,13 @@ class Snapshot {
 
   /// Serialize \p sd (document + every built artifact) into snapshot form.
   /// \p version selects the on-disk format (1 or 2); anything else returns
-  /// an empty string.
+  /// an empty string. \p stats_section controls whether a v2 snapshot
+  /// carries the optional STATS section (ignored for v1); writing without
+  /// it reproduces the pre-STATS v2 layout, which the backward-compat
+  /// tests load to prove old snapshots keep working.
   static std::string Write(const StoredDocument& sd,
-                           uint32_t version = kVersion);
+                           uint32_t version = kVersion,
+                           bool stats_section = true);
 
   /// Reconstruct a query-ready StoredDocument. The returned document owns
   /// its xml::Document; nothing is renumbered or re-indexed. With a pool,
@@ -108,11 +124,15 @@ class Snapshot {
 
  private:
   static std::string WriteV1(const StoredDocument& sd);
-  static std::string WriteV2(const StoredDocument& sd);
+  static std::string WriteV2(const StoredDocument& sd, bool stats_section);
   /// The value-index section bytes, shared verbatim by both versions.
   static void WriteValues(const StoredDocument& sd, std::string* out);
+  /// \p stats, when non-null, holds per-type statistics parsed from a v2
+  /// STATS section; covered columns move them in instead of recomputing.
   static Status LoadValues(std::string_view* data, StoredDocument* out,
-                           common::ThreadPool* pool);
+                           common::ThreadPool* pool,
+                           std::vector<std::unique_ptr<idx::ColumnStats>>*
+                               stats = nullptr);
   static Result<StoredDocument> LoadV1(std::string_view data,
                                        common::ThreadPool* pool);
   /// Version dispatch over a backing store the caller hands over (mapping

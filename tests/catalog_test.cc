@@ -104,6 +104,10 @@ TEST(CatalogTest, ReloadPublishesNewEpochWithoutDisturbingReaders) {
   EXPECT_NE(new_entry.get(), old_entry.get());
   EXPECT_EQ(new_entry->epoch, 2u);
   EXPECT_EQ(new_entry->engine->epoch(), 2u);
+  // The statistics epoch tracks the generation too: a reload rebuilds the
+  // column statistics, so plans costed against the old generation's stats
+  // carry a stale stats stamp as well as a stale document stamp.
+  EXPECT_EQ(new_entry->engine->stats_epoch(), 2u);
   EXPECT_EQ(CountTitles(*new_entry->engine), 3u);
 
   // The old generation still answers with its own (old) data — reloads

@@ -303,6 +303,41 @@ TEST(EngineTest, SetEpochInvalidatesPlansAndCache) {
   EXPECT_EQ(engine.plan_cache_size(), size_before);
 }
 
+TEST(EngineTest, SetStatsEpochInvalidatesPlansAndCache) {
+  // Plans carry a statistics-epoch stamp alongside the document epoch: a
+  // plan costed under old statistics must not survive a statistics refresh,
+  // or the cost model's choice would silently go stale.
+  Fixture f;
+  QueryEngine engine(f.stored);
+  engine.SetStatsEpoch(3);
+  EXPECT_EQ(engine.stats_epoch(), 3u);
+
+  auto p = engine.Prepare("//book/title");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->stats_epoch(), 3u);
+  ASSERT_TRUE(engine.Execute(*p, {}).ok());
+  EXPECT_EQ(engine.plan_cache_size(), 1u);
+
+  // Bumping the stats epoch clears the plan cache and rejects the stale
+  // plan, exactly like a document-epoch bump.
+  engine.SetStatsEpoch(4);
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+  auto stale = engine.Execute(*p, {});
+  EXPECT_FALSE(stale.ok());
+  EXPECT_TRUE(stale.status().IsInternal()) << stale.status();
+
+  // Re-preparing under the new stats epoch works again.
+  auto fresh = engine.Prepare("//book/title");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->stats_epoch(), 4u);
+  EXPECT_TRUE(engine.Execute(*fresh, {}).ok());
+
+  // Same-value SetStatsEpoch is a no-op (the cache survives).
+  size_t size_before = engine.plan_cache_size();
+  engine.SetStatsEpoch(4);
+  EXPECT_EQ(engine.plan_cache_size(), size_before);
+}
+
 TEST(EngineTest, DeprecatedRawConstructorsStillWork) {
   // The one-release compatibility shims: engines over caller-owned
   // substrates answer identically to shared-ownership engines.

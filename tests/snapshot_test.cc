@@ -428,6 +428,77 @@ TEST(SnapshotV2Test, EveryMutationOfLargeSnapshotFails) {
   }
 }
 
+TEST(SnapshotV2Test, StatsSectionRoundTripsBitIdentical) {
+  // A v2 snapshot with the STATS section restores column statistics
+  // bit-for-bit, and one written without it (the pre-STATS layout) still
+  // loads and recomputes the very same statistics — so the cost model sees
+  // identical numbers whichever path hydrated the document.
+  xml::Document doc = AuctionsDoc();
+  StoredDocument built = StoredDocument::Build(doc);
+  std::string with_stats = Snapshot::Write(built, 2, /*stats_section=*/true);
+  std::string without = Snapshot::Write(built, 2, /*stats_section=*/false);
+  ASSERT_GT(with_stats.size(), without.size());
+
+  auto from_stats = Snapshot::Load(with_stats);
+  auto recomputed = Snapshot::Load(without);
+  ASSERT_TRUE(from_stats.ok()) << from_stats.status();
+  ASSERT_TRUE(recomputed.ok()) << recomputed.status();
+
+  size_t covered = 0;
+  for (dg::TypeId t = 0; t < built.dataguide().num_types(); ++t) {
+    const idx::TypeColumn* want = built.value_index().Column(t);
+    const idx::TypeColumn* a = from_stats->value_index().Column(t);
+    const idx::TypeColumn* b = recomputed->value_index().Column(t);
+    ASSERT_EQ(want == nullptr, a == nullptr);
+    ASSERT_EQ(want == nullptr, b == nullptr);
+    if (want == nullptr) continue;
+    ++covered;
+    for (const idx::TypeColumn* got : {a, b}) {
+      const idx::ColumnStats& ws = want->stats;
+      const idx::ColumnStats& gs = got->stats;
+      EXPECT_EQ(gs.row_count, ws.row_count);
+      EXPECT_EQ(gs.numeric_count, ws.numeric_count);
+      EXPECT_EQ(gs.distinct_terms, ws.distinct_terms);
+      EXPECT_EQ(gs.max_term_rows, ws.max_term_rows);
+      EXPECT_EQ(gs.min_value, ws.min_value);
+      EXPECT_EQ(gs.max_value, ws.max_value);
+      EXPECT_EQ(gs.bucket_max, ws.bucket_max);
+      EXPECT_EQ(gs.bucket_rows, ws.bucket_rows);
+      EXPECT_EQ(gs.bucket_distinct, ws.bucket_distinct);
+      EXPECT_EQ(gs.zone_min, ws.zone_min);
+      EXPECT_EQ(gs.zone_max, ws.zone_max);
+      EXPECT_EQ(gs.zone_term_min, ws.zone_term_min);
+      EXPECT_EQ(gs.zone_term_max, ws.zone_term_max);
+    }
+  }
+  ASSERT_GT(covered, 0u);
+}
+
+TEST(SnapshotV2Test, PreStatsThreeSectionLayoutStillLoads) {
+  // Snapshots written before the STATS section existed carry exactly three
+  // sections; they must keep loading, and re-writing the loaded document
+  // must reproduce the current (four-section) bytes of a fresh build.
+  xml::Document doc = testutil::PaperFigure2();
+  StoredDocument built = StoredDocument::Build(doc);
+  std::string old_layout = Snapshot::Write(built, 2, /*stats_section=*/false);
+  auto loaded = Snapshot::Load(old_layout);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(Snapshot::Write(*loaded), Snapshot::Write(built));
+}
+
+TEST(SnapshotV2Test, MismatchedStatsShapeRejected) {
+  // A stats record whose shape disagrees with the column it claims to
+  // describe must be rejected, not installed.
+  idx::Dictionary dict;
+  dict.Intern("10");
+  dict.Intern("20");
+  std::vector<uint32_t> ids = {0, 1, 0, 1};
+  idx::ColumnStats bogus;  // zero counts, no zones: wrong for 4 rows
+  auto col = idx::ValueIndex::ColumnFromTermIds(ids, &dict, &bogus);
+  ASSERT_FALSE(col.ok());
+  EXPECT_TRUE(col.status().IsInvalidArgument());
+}
+
 TEST(SnapshotV2Test, V1FormatTruncationAndMutationStillSafe) {
   // The legacy reader keeps its own fuzz hardening now that Write defaults
   // to v2 and the shared tests above stopped covering it.
