@@ -1,0 +1,265 @@
+/// \file bench_e17_partitioned.cc
+/// \brief E17: partitioned stored documents — partition-parallel build,
+/// partition-wise query execution with pruning, and cold-vs-warm mmap
+/// behaviour of a snapshot large enough to matter (the full run targets a
+/// ten-million-node auctions corpus; pass a smaller scale or a
+/// --benchmark_min_time flag for a smoke run).
+///
+/// Everything is gated on byte-identity first: the pool build must
+/// snapshot to the same bytes as the sequential build, and every
+/// partitioned query must return exactly the unpartitioned result,
+/// before anything is timed.
+///
+///   $ ./bench_e17_partitioned [scale] [out.json]
+///       [--benchmark_min_time=0.01s]
+///
+/// \p scale is the XMark-style factor fed to workload::ScaledAuctions
+/// (28 ~= 10M nodes; the smoke default is 0.05).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "query/engine.h"
+#include "storage/snapshot.h"
+#include "storage/stored_document.h"
+#include "workload/auctions.h"
+
+int main(int argc, char** argv) {
+  using namespace vpbn;
+  using bench::Fmt;
+
+  bool smoke = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_min_time=", 21) == 0) {
+      smoke = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
+  double scale = smoke ? 0.05 : 28.0;
+  const char* out_path = "BENCH_e17.json";
+  size_t p = 0;
+  if (p < positional.size() &&
+      positional[p].find_first_not_of("0123456789.") == std::string::npos) {
+    scale = std::atof(positional[p++].c_str());
+  }
+  if (p < positional.size()) out_path = positional[p].c_str();
+  const int reps = smoke ? 3 : 5;
+  const int kPartitions = 8;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  // --- Corpus (streamed generation: satellite of this experiment) -------
+  workload::AuctionsOptions opts = workload::ScaledAuctions(scale);
+  std::fprintf(stderr,
+               "e17: generating auctions at scale %.3g "
+               "(%d items, %d people, %d auctions)\n",
+               scale, opts.num_items, opts.num_people, opts.num_auctions);
+  uint64_t last_pct = 0;
+  xml::Document doc = workload::GenerateAuctionsChunked(
+      opts, 100000, [&](uint64_t done, uint64_t total) {
+        uint64_t pct = total == 0 ? 100 : 100 * done / total;
+        if (pct >= last_pct + 10) {
+          std::fprintf(stderr, "e17: generated %llu%%\n",
+                       static_cast<unsigned long long>(pct));
+          last_pct = pct;
+        }
+      });
+  const size_t num_nodes = doc.num_nodes();
+  std::fprintf(stderr, "e17: %zu nodes\n", num_nodes);
+
+  // --- Build: sequential vs pool (byte-identity gated) ------------------
+  double build_seq_ms = 0, build_pool_ms = 0;
+  storage::StoredDocument stored;
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    storage::StoredDocument seq = storage::StoredDocument::Build(doc);
+    build_seq_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    // The reference build borrows `doc` — snapshot it before the owning
+    // build below moves the document out from under it.
+    std::string seq_snap = storage::Snapshot::Write(seq);
+    common::ThreadPool pool(static_cast<int>(hw));
+    t0 = std::chrono::steady_clock::now();
+    storage::StoredDocument par =
+        storage::StoredDocument::Build(std::move(doc), &pool);
+    build_pool_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    if (seq_snap != storage::Snapshot::Write(par)) {
+      std::fprintf(stderr, "MISMATCH: pool build differs from sequential\n");
+      return 1;
+    }
+    stored = std::move(par);
+  }
+  const size_t chunks = stored.partitions().count();
+  std::fprintf(stderr, "e17: build seq %.0f ms, pool(%u) %.0f ms, %zu "
+               "partition chunks\n",
+               build_seq_ms, hw, build_pool_ms, chunks);
+
+  // --- Snapshot + cold/warm mmap residency ------------------------------
+  const std::string snap_path = "/tmp/bench_e17.vpsn";
+  if (!storage::Snapshot::WriteFile(stored, snap_path).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", snap_path.c_str());
+    return 1;
+  }
+
+  struct QuerySpec {
+    const char* label;
+    const char* path;
+  };
+  const std::vector<QuerySpec> kQueries = {
+      {"scan_all", "//item/name"},
+      {"mid_selective", "//auction[bidder/price > 120]/itemref"},
+      {"high_selective", "//bidder[price > 990]/personref"},
+      {"no_match_literal", "//person[city = \"__nowhere__\"]/name"},
+  };
+
+  auto loaded = storage::Snapshot::LoadFile(snap_path, nullptr, true);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto shared = std::make_shared<const storage::StoredDocument>(
+      std::move(*loaded));
+  const size_t resident_after_load = shared->resident_mapped_bytes();
+
+  query::QueryEngine plain(shared);
+  query::QueryEngine parted(shared);
+  {
+    query::ExecOptions defaults;
+    defaults.collect_stats = true;
+    plain.SetDefaultOptions(defaults);
+    defaults.partitions = kPartitions;
+    defaults.threads = static_cast<int>(hw);
+    parted.SetDefaultOptions(defaults);
+  }
+
+  // Cold first query: pages evicted, then one mid-selective query pays
+  // the page-in plus lazy-decode cost.
+  shared->EvictMappedPages();
+  const size_t resident_cold = shared->resident_mapped_bytes();
+  double cold_ms = 0;
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = plain.Execute(kQueries[1].path, {});
+    cold_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    if (!r.ok()) return 1;
+  }
+  const size_t resident_warm = shared->resident_mapped_bytes();
+  double warm_ms = bench::MedianMs(reps, [&] {
+    if (!plain.Execute(kQueries[1].path, {}).ok()) std::abort();
+  });
+
+  // --- Partitioned vs unpartitioned queries (byte-identity gated) -------
+  struct Row {
+    std::string label;
+    size_t hits = 0;
+    double plain_ms = 0;
+    double parted_ms = 0;
+    uint64_t skips = 0;
+    uint64_t used = 0;
+  };
+  std::vector<Row> rows;
+  for (const QuerySpec& q : kQueries) {
+    auto p1 = plain.Prepare(q.path);
+    auto p2 = parted.Prepare(q.path);
+    if (!p1.ok() || !p2.ok()) {
+      std::fprintf(stderr, "prepare failed for %s\n", q.path);
+      return 1;
+    }
+    auto r1 = plain.Execute(*p1);
+    auto r2 = parted.Execute(*p2);
+    if (!r1.ok() || !r2.ok() || r1->nodes() != r2->nodes()) {
+      std::fprintf(stderr, "MISMATCH: %s partitioned result differs\n",
+                   q.path);
+      return 1;
+    }
+    Row row;
+    row.label = q.label;
+    row.hits = r1->size();
+    row.skips = r2->stats().partition_skips;
+    row.used = r2->stats().partitions_used;
+    row.plain_ms = bench::MedianMs(reps, [&] {
+      if (!plain.Execute(*p1).ok()) std::abort();
+    });
+    row.parted_ms = bench::MedianMs(reps, [&] {
+      if (!parted.Execute(*p2).ok()) std::abort();
+    });
+    rows.push_back(std::move(row));
+  }
+
+  // --- Report -----------------------------------------------------------
+  std::printf("E17 — partitioned execution (auctions scale %.3g, %zu "
+              "nodes, %zu chunks, %d-way groups, %u hw threads)\n\n",
+              scale, num_nodes, chunks, kPartitions, hw);
+  bench::Table table(
+      {"query", "hits", "plain ms", "part ms", "speedup", "used", "skips"});
+  for (const Row& r : rows) {
+    table.AddRow({r.label, std::to_string(r.hits), Fmt(r.plain_ms),
+                  Fmt(r.parted_ms),
+                  r.parted_ms > 0 ? Fmt(r.plain_ms / r.parted_ms) : "-",
+                  std::to_string(r.used), std::to_string(r.skips)});
+  }
+  table.Print();
+  std::printf("\nbuild: seq %.1f ms, pool(%u) %.1f ms (%.2fx)\n",
+              build_seq_ms, hw, build_pool_ms,
+              build_pool_ms > 0 ? build_seq_ms / build_pool_ms : 0);
+  std::printf("mmap residency: after load %zu B, evicted %zu B, after "
+              "query %zu B; cold query %.2f ms, warm %.2f ms\n",
+              resident_after_load, resident_cold, resident_warm, cold_ms,
+              warm_ms);
+
+  FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"experiment\": \"e17_partitioned\",\n"
+               "  \"workload\": {\"generator\": \"auctions\", \"scale\": "
+               "%.4f, \"nodes\": %zu, \"chunks\": %zu, \"partitions\": %d, "
+               "\"hw_threads\": %u},\n",
+               scale, num_nodes, chunks, kPartitions, hw);
+  std::fprintf(out,
+               "  \"build\": {\"seq_ms\": %.2f, \"pool_ms\": %.2f, "
+               "\"speedup\": %.3f, \"byte_identical\": true},\n",
+               build_seq_ms, build_pool_ms,
+               build_pool_ms > 0 ? build_seq_ms / build_pool_ms : 0);
+  std::fprintf(out,
+               "  \"mmap\": {\"resident_after_load\": %zu, "
+               "\"resident_evicted\": %zu, \"resident_after_query\": %zu, "
+               "\"cold_query_ms\": %.3f, \"warm_query_ms\": %.3f},\n",
+               resident_after_load, resident_cold, resident_warm, cold_ms,
+               warm_ms);
+  std::fprintf(out, "  \"queries\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"label\": \"%s\", \"hits\": %zu, \"plain_ms\": "
+                 "%.4f, \"partitioned_ms\": %.4f, \"partitions_used\": "
+                 "%llu, \"partition_skips\": %llu}%s\n",
+                 r.label.c_str(), r.hits, r.plain_ms, r.parted_ms,
+                 static_cast<unsigned long long>(r.used),
+                 static_cast<unsigned long long>(r.skips),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path);
+  std::remove(snap_path.c_str());
+  return 0;
+}

@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 namespace vpbn::common {
 
@@ -37,11 +38,42 @@ Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
   // The mapping keeps the file content reachable; the descriptor is no
   // longer needed.
   ::close(fd);
-  return std::shared_ptr<MappedFile>(new MappedFile(addr, size));
+  return std::shared_ptr<MappedFile>(new MappedFile(addr, size, path));
 }
 
 MappedFile::~MappedFile() {
   if (addr_ != nullptr && size_ > 0) ::munmap(addr_, size_);
+}
+
+size_t MappedFile::ResidentBytes() const {
+  if (addr_ == nullptr || size_ == 0) return 0;
+  const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  const size_t pages = (size_ + page - 1) / page;
+  std::vector<unsigned char> vec(pages);
+  if (::mincore(addr_, size_, vec.data()) != 0) return 0;
+  size_t resident = 0;
+  for (size_t i = 0; i < pages; ++i) {
+    if (vec[i] & 1) ++resident;
+  }
+  size_t bytes = resident * page;
+  // The tail page is partial; do not report more than the mapping holds.
+  return bytes > size_ ? size_ : bytes;
+}
+
+void MappedFile::EvictPages() const {
+  if (addr_ == nullptr || size_ == 0) return;
+  ::madvise(addr_, size_, MADV_DONTNEED);
+  // madvise only drops the process's page tables; the pages themselves sit
+  // in the page cache (MAP_SHARED of a file). fadvise asks the kernel to
+  // drop those too, which is what makes the next touch actually cold.
+  int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd >= 0) {
+    // fadvise skips dirty pages, so flush a freshly-written file first
+    // (fdatasync is permitted on a read-only descriptor).
+    ::fdatasync(fd);
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+    ::close(fd);
+  }
 }
 
 }  // namespace vpbn::common

@@ -34,11 +34,25 @@ class MappedFile {
   }
   size_t size() const { return size_; }
 
+  /// Bytes of the mapping currently resident in the page cache (mincore
+  /// walk). Observability only — the answer is stale the moment it returns.
+  /// 0 for an empty mapping or when mincore is unavailable.
+  size_t ResidentBytes() const;
+
+  /// Drop this mapping's pages from the page cache where the kernel allows
+  /// (madvise on the mapping plus posix_fadvise(DONTNEED) on a reopened
+  /// descriptor — a MAP_SHARED file mapping's pages live in the page cache,
+  /// which plain madvise cannot drain), simulating a cold start for load
+  /// benchmarks. Best-effort.
+  void EvictPages() const;
+
  private:
-  MappedFile(void* addr, size_t size) : addr_(addr), size_(size) {}
+  MappedFile(void* addr, size_t size, std::string path)
+      : addr_(addr), size_(size), path_(std::move(path)) {}
 
   void* addr_ = nullptr;
   size_t size_ = 0;
+  std::string path_;  // for EvictPages; the mapping itself needs no fd
 };
 
 }  // namespace vpbn::common

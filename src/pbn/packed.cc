@@ -135,6 +135,23 @@ void PackedPbnList::AppendPrefix(const PackedPbnRef& ref, size_t n) {
   FinishAppend(static_cast<uint32_t>(n));
 }
 
+void PackedPbnList::AppendSlice(const PackedPbnList& other, size_t first,
+                                size_t last) {
+  if (first >= last) return;
+  const uint32_t lo = other.offsets_[first];
+  const uint32_t hi = other.offsets_[last];
+  const uint32_t base = static_cast<uint32_t>(arena_.size());
+  arena_.append(other.arena_.data() + lo, hi - lo);
+  offsets_.reserve(offsets_.size() + (last - first));
+  for (size_t i = first + 1; i <= last; ++i) {
+    offsets_.push_back(base + (other.offsets_[i] - lo));
+  }
+  lengths_.insert(lengths_.end(), other.lengths_.begin() + first,
+                  other.lengths_.begin() + last);
+  keys_.insert(keys_.end(), other.keys_.begin() + first,
+               other.keys_.begin() + last);
+}
+
 std::vector<Pbn> PackedPbnList::MaterializeAll() const {
   std::vector<Pbn> out;
   out.reserve(size());

@@ -265,6 +265,12 @@ class PackedPbnList {
   /// Append the first \p n components of \p ref (its ancestor at depth n).
   void AppendPrefix(const PackedPbnRef& ref, size_t n);
 
+  /// Append rows [first, last) of \p other in one arena memcpy plus three
+  /// column copies — the bulk path behind partition-restricted list
+  /// construction and segment stitching, where per-element Append would
+  /// re-touch every byte. \p other must not alias this list.
+  void AppendSlice(const PackedPbnList& other, size_t first, size_t last);
+
   /// Materialize element \p i as a heap Pbn.
   Pbn Materialize(size_t i) const { return (*this)[i].Materialize(); }
 

@@ -143,6 +143,13 @@ struct ExecOptions {
   /// heuristics. Results are identical either way; off is the E16
   /// fixed-strategy baseline.
   bool use_cost_model = true;
+  /// Stored bulk plans only: evaluate partition-wise over the document's
+  /// subtree partitions, grouped into this many concurrent tasks with
+  /// metadata-pruned groups skipped (ExecStats::partition_skips). 0 (the
+  /// default) keeps the single-task path. Results are byte-identical for
+  /// every value — like `threads`, this shapes the execution, never the
+  /// answer.
+  int partitions = 0;
 
   bool operator==(const ExecOptions&) const = default;
 };
@@ -159,6 +166,7 @@ struct ExecOverrides {
   std::optional<bool> virtual_join;
   std::optional<bool> use_value_index;
   std::optional<bool> use_cost_model;
+  std::optional<int> partitions;
 };
 
 /// \brief Result nodes in the substrate's native handle type, plus stats.

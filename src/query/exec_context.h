@@ -42,6 +42,8 @@ struct ExecStats {
   uint64_t value_index_postings = 0;  ///< postings rows consumed by pushdown
   uint64_t value_scan_fallbacks = 0;  ///< value predicates scanned per node
   uint64_t zone_map_skips = 0;     ///< value/postings blocks skipped on bounds
+  uint64_t partition_skips = 0;    ///< partition groups pruned before eval
+  uint64_t partitions_used = 0;    ///< partition groups actually evaluated
   uint64_t est_rows = 0;           ///< planner's estimated result cardinality
   uint64_t plan_cache_hits = 0;    ///< engine-lifetime prepared-plan hits
   uint64_t plan_cache_misses = 0;  ///< engine-lifetime prepared-plan misses
@@ -181,6 +183,12 @@ class ExecContext {
   void CountZoneMapSkips(uint64_t n) {
     zone_map_skips_.fetch_add(n, std::memory_order_relaxed);
   }
+  void CountPartitionSkips(uint64_t n) {
+    partition_skips_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void CountPartitionsUsed(uint64_t n) {
+    partitions_used_.fetch_add(n, std::memory_order_relaxed);
+  }
   void RecordStep(StepStats step) {
     std::lock_guard<std::mutex> lock(steps_mu_);
     steps_.push_back(std::move(step));
@@ -219,6 +227,12 @@ class ExecContext {
   uint64_t zone_map_skips() const {
     return zone_map_skips_.load(std::memory_order_relaxed);
   }
+  uint64_t partition_skips() const {
+    return partition_skips_.load(std::memory_order_relaxed);
+  }
+  uint64_t partitions_used() const {
+    return partitions_used_.load(std::memory_order_relaxed);
+  }
   std::vector<StepStats> TakeSteps() {
     std::lock_guard<std::mutex> lock(steps_mu_);
     return std::move(steps_);
@@ -242,6 +256,8 @@ class ExecContext {
   std::atomic<uint64_t> value_index_postings_{0};
   std::atomic<uint64_t> value_scan_fallbacks_{0};
   std::atomic<uint64_t> zone_map_skips_{0};
+  std::atomic<uint64_t> partition_skips_{0};
+  std::atomic<uint64_t> partitions_used_{0};
   std::mutex steps_mu_;
   std::vector<StepStats> steps_;
   std::mutex vtypes_mu_;

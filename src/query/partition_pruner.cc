@@ -1,0 +1,182 @@
+#include "query/partition_pruner.h"
+
+#include <vector>
+
+#include "query/cost_model.h"
+#include "query/value_pushdown.h"
+
+namespace vpbn::query {
+
+namespace {
+
+/// A type participates in a group's evaluation when the group's candidate
+/// set for it is non-empty: its contiguous row range over the group's
+/// chunks, plus the spine rows every group task sees (spine nodes are the
+/// shared ancestors chunk-local results hang off).
+bool TypePresent(const storage::DocumentPartitions& parts, dg::TypeId t,
+                 size_t chunk_lo, size_t chunk_hi) {
+  auto [lo, hi] = parts.TypeRange(t, chunk_lo, chunk_hi);
+  return lo < hi || !parts.spine_rows[t].empty();
+}
+
+bool TypeMatches(const dg::DataGuide& g, dg::TypeId t, const NodeTest& test) {
+  return test.Matches(!g.IsTextType(t), g.label(t));
+}
+
+/// Proves one step predicate false for *every* candidate context of type
+/// \p t the group evaluates — the admissible type-kill. Only possible when
+/// the type has no spine instances: then every candidate context lies
+/// wholly inside one of the group's chunks, so every instance its
+/// predicate chain can reach has a row inside the group's range of the
+/// chain's terminal types, and emptiness / zone-map bounds over those
+/// ranges are a proof. A spine context's subtree escapes the group, so a
+/// type with spine instances is never killed.
+bool PredDisprovedForGroup(const storage::StoredDocument& stored,
+                           const storage::DocumentPartitions& parts,
+                           dg::TypeId t, const Expr& pred, size_t chunk_lo,
+                           size_t chunk_hi) {
+  if (!parts.spine_rows[t].empty()) return false;
+  const dg::DataGuide& g = stored.dataguide();
+
+  if (pred.kind == Expr::Kind::kPath) {
+    // Existence chain: a witness for an in-group context must sit in the
+    // group's row range of some terminal type.
+    for (dg::TypeId tt : ResolveChainTypes(g, t, pred.path)) {
+      auto [lo, hi] = parts.TypeRange(tt, chunk_lo, chunk_hi);
+      if (lo < hi) return false;
+    }
+    return true;
+  }
+
+  ValuePred vp;
+  if (!RecognizeValuePred(pred, &vp)) return false;
+  // Attribute predicates have no per-row column ordering to bound, and the
+  // string functions have no zone representation — neither is prunable.
+  if (vp.kind != ValuePred::Kind::kPathCompare) return false;
+
+  const idx::ValueIndex& vi = stored.value_index();
+  const idx::Dictionary& dict = vi.dict();
+  const bool string_eq = vp.op == CompareOp::kEq && !vp.lit.numeric;
+  const uint32_t eq_term = string_eq ? dict.Find(vp.lit.text) : idx::kNoTerm;
+  // A string-equality literal that was never interned matches no row of
+  // any column — the one kill that needs no per-group bounds at all.
+  if (string_eq && eq_term == idx::kNoTerm) return true;
+  if (vp.op == CompareOp::kNe) return false;  // zone maps never disprove !=
+
+  for (dg::TypeId tt : ResolveChainTypes(g, t, *vp.path)) {
+    auto [lo, hi] = parts.TypeRange(tt, chunk_lo, chunk_hi);
+    if (lo >= hi) continue;  // no in-group instances of this terminal type
+    const idx::TypeColumn* col = vi.Column(tt);
+    if (col == nullptr) return false;  // uncovered type: nothing to bound
+    const idx::ColumnStats& s = col->stats;
+    const size_t first_b = lo / idx::ColumnStats::kZoneBlockRows;
+    const size_t last_b = (hi - 1) / idx::ColumnStats::kZoneBlockRows;
+    const size_t nblocks =
+        string_eq ? s.zone_term_min.size() : s.zone_min.size();
+    if (last_b >= nblocks) return false;  // stats lack zones: no proof
+    for (size_t b = first_b; b <= last_b; ++b) {
+      if (ZoneBlockCanMatch(s, b, vp.op, vp.lit, eq_term)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool PartitionGroupCanMatch(const storage::StoredDocument& stored,
+                            const Path& path, size_t chunk_lo,
+                            size_t chunk_hi, ExecContext* /*ctx*/) {
+  const dg::DataGuide& g = stored.dataguide();
+  const storage::DocumentPartitions& parts = stored.partitions();
+  const size_t num_types = g.num_types();
+  std::vector<bool> frontier(num_types, false);
+  bool doc_node = true;
+
+  for (const Step& step : path.steps) {
+    if (step.axis == num::Axis::kDescendantOrSelf &&
+        step.test.kind == NodeTest::Kind::kAnyNode) {
+      // '//' anonymous step: the evaluator folds it into the next step by
+      // widening the type frontier; mirror that (present types only).
+      if (doc_node) {
+        for (dg::TypeId t = 0; t < num_types; ++t) {
+          frontier[t] = TypePresent(parts, t, chunk_lo, chunk_hi);
+        }
+        doc_node = false;
+      } else {
+        std::vector<bool> widened = frontier;
+        for (dg::TypeId t = 0; t < num_types; ++t) {
+          if (!frontier[t]) continue;
+          for (dg::TypeId dt : g.DescendantTypes(t)) {
+            if (TypePresent(parts, dt, chunk_lo, chunk_hi)) {
+              widened[dt] = true;
+            }
+          }
+        }
+        frontier = std::move(widened);
+      }
+      continue;
+    }
+
+    std::vector<bool> next(num_types, false);
+    if (doc_node) {
+      if (step.axis == num::Axis::kChild) {
+        for (dg::TypeId rt : g.roots()) {
+          if (TypeMatches(g, rt, step.test) &&
+              TypePresent(parts, rt, chunk_lo, chunk_hi)) {
+            next[rt] = true;
+          }
+        }
+      } else {
+        for (dg::TypeId t = 0; t < num_types; ++t) {
+          if (TypeMatches(g, t, step.test) &&
+              TypePresent(parts, t, chunk_lo, chunk_hi)) {
+            next[t] = true;
+          }
+        }
+      }
+      doc_node = false;
+    } else {
+      for (dg::TypeId t = 0; t < num_types; ++t) {
+        if (!frontier[t]) continue;
+        const std::vector<dg::TypeId> candidates =
+            step.axis == num::Axis::kChild ? g.children(t)
+                                           : g.DescendantTypes(t);
+        for (dg::TypeId nt : candidates) {
+          if (next[nt]) continue;
+          if (TypeMatches(g, nt, step.test) &&
+              TypePresent(parts, nt, chunk_lo, chunk_hi)) {
+            next[nt] = true;
+          }
+        }
+      }
+    }
+
+    for (dg::TypeId t = 0; t < num_types; ++t) {
+      if (!next[t]) continue;
+      for (const auto& pred : step.predicates) {
+        if (PredDisprovedForGroup(stored, parts, t, *pred, chunk_lo,
+                                  chunk_hi)) {
+          next[t] = false;
+          break;
+        }
+      }
+    }
+
+    bool any = false;
+    for (dg::TypeId t = 0; t < num_types && !any; ++t) any = next[t];
+    if (!any) return false;
+    frontier = std::move(next);
+  }
+
+  // Results the group task keeps are rows inside its own range — spine-only
+  // presence carries a type *through* intermediate steps but yields nothing
+  // at the last one.
+  for (dg::TypeId t = 0; t < num_types; ++t) {
+    if (!frontier[t]) continue;
+    auto [lo, hi] = parts.TypeRange(t, chunk_lo, chunk_hi);
+    if (lo < hi) return true;
+  }
+  return false;
+}
+
+}  // namespace vpbn::query

@@ -1,0 +1,31 @@
+/// \file partition_pruner.h
+/// \brief Partition-group admissibility: decides, before a partition-wise
+/// evaluation task launches, whether a chunk group can possibly contribute
+/// a result row — from partition metadata and value-index zone maps alone.
+///
+/// The check mirrors eval_bulk's type-frontier walk at the *type* level: a
+/// type survives a step only if the group's candidate set (its contiguous
+/// row range plus the spine rows every group sees) is non-empty, and a
+/// step predicate can kill a frontier type when the group's slice of the
+/// value index provably rules it out. Everything here is conservative —
+/// "true" means "cannot prove empty" — so pruning never changes results,
+/// only skips work, which ExecStats reports as `partition_skips`.
+
+#pragma once
+
+#include "query/exec_context.h"
+#include "query/path_ast.h"
+#include "storage/stored_document.h"
+
+namespace vpbn::query {
+
+/// \brief True when chunk group [chunk_lo, chunk_hi) of \p stored's
+/// partitions may contribute at least one result row of \p path.
+/// Conservative: a false return is a proof of emptiness; a true return
+/// promises nothing. Requires `stored.partitions().count() > 0` and \p path
+/// inside the bulk fragment (the partition-wise evaluator's precondition).
+bool PartitionGroupCanMatch(const storage::StoredDocument& stored,
+                            const Path& path, size_t chunk_lo,
+                            size_t chunk_hi, ExecContext* ctx);
+
+}  // namespace vpbn::query

@@ -1,0 +1,184 @@
+#include "storage/partitions.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+#include "common/varint.h"
+
+namespace vpbn::storage {
+
+size_t DocumentPartitions::TargetChunkCount(size_t n) {
+  if (n == 0) return 0;
+  const size_t chunks = (n + kTargetChunkNodes - 1) / kTargetChunkNodes;
+  return std::min(std::max<size_t>(chunks, 1), kMaxChunks);
+}
+
+void DocumentPartitions::Encode(std::string* out) const {
+  const size_t chunks = count();
+  PutVarint64(out, chunks);
+  for (size_t b = 1; b <= chunks; ++b) {
+    PutVarint64(out, cuts[b] - cuts[b - 1]);
+  }
+  PutVarint64(out, type_offsets.size());
+  for (size_t t = 0; t < type_offsets.size(); ++t) {
+    const std::vector<uint32_t>& off = type_offsets[t];
+    for (size_t b = 1; b <= chunks; ++b) {
+      PutVarint32(out, off[b] - off[b - 1]);
+    }
+    const std::vector<uint32_t>& spine = spine_rows[t];
+    PutVarint64(out, spine.size());
+    uint32_t prev = 0;
+    for (size_t i = 0; i < spine.size(); ++i) {
+      // Strictly increasing rows: delta-code with an implicit -1 so every
+      // delta fits a short varint.
+      PutVarint32(out, i == 0 ? spine[i] : spine[i] - prev - 1);
+      prev = spine[i];
+    }
+  }
+}
+
+Result<DocumentPartitions> DocumentPartitions::Decode(std::string_view data,
+                                                      size_t num_types,
+                                                      uint64_t num_nodes) {
+  DocumentPartitions parts;
+  VPBN_ASSIGN_OR_RETURN(uint64_t chunks, GetVarint64(&data));
+  if (chunks > kMaxChunks || chunks > num_nodes + 1) {
+    return Status::InvalidArgument("PARTS: implausible chunk count");
+  }
+  parts.cuts.resize(chunks == 0 ? 0 : chunks + 1, 0);
+  uint64_t pos = 0;
+  for (uint64_t b = 1; b <= chunks; ++b) {
+    VPBN_ASSIGN_OR_RETURN(uint64_t delta, GetVarint64(&data));
+    pos += delta;
+    if (pos > num_nodes) {
+      return Status::InvalidArgument("PARTS: cut beyond document");
+    }
+    parts.cuts[b] = pos;
+  }
+  if (chunks > 0 && pos != num_nodes) {
+    return Status::InvalidArgument("PARTS: cuts do not cover the document");
+  }
+  VPBN_ASSIGN_OR_RETURN(uint64_t types, GetVarint64(&data));
+  if (types != num_types) {
+    return Status::InvalidArgument("PARTS: type count mismatch");
+  }
+  parts.type_offsets.assign(num_types, {});
+  parts.spine_rows.assign(num_types, {});
+  for (size_t t = 0; t < num_types; ++t) {
+    std::vector<uint32_t>& off = parts.type_offsets[t];
+    off.resize(chunks == 0 ? 0 : chunks + 1, 0);
+    uint64_t row = 0;
+    for (uint64_t b = 1; b <= chunks; ++b) {
+      VPBN_ASSIGN_OR_RETURN(uint32_t delta, GetVarint32(&data));
+      row += delta;
+      if (row > num_nodes) {
+        return Status::InvalidArgument("PARTS: row offset beyond document");
+      }
+      off[b] = static_cast<uint32_t>(row);
+    }
+    VPBN_ASSIGN_OR_RETURN(uint64_t spine_count, GetVarint64(&data));
+    if (spine_count > row) {
+      return Status::InvalidArgument("PARTS: more spine rows than rows");
+    }
+    std::vector<uint32_t>& spine = parts.spine_rows[t];
+    spine.reserve(spine_count);
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < spine_count; ++i) {
+      VPBN_ASSIGN_OR_RETURN(uint32_t delta, GetVarint32(&data));
+      const uint64_t value = i == 0 ? delta : prev + 1 + delta;
+      if (value >= row) {
+        return Status::InvalidArgument("PARTS: spine row out of range");
+      }
+      spine.push_back(static_cast<uint32_t>(value));
+      prev = value;
+    }
+  }
+  if (!data.empty()) {
+    return Status::InvalidArgument("PARTS: trailing bytes");
+  }
+  return parts;
+}
+
+DocumentPartitions BuildTypeRows(
+    const xml::Document& doc, const std::vector<dg::TypeId>& node_types,
+    size_t num_types, common::ThreadPool* pool,
+    std::vector<uint32_t>* node_rows,
+    std::vector<std::vector<xml::NodeId>>* type_node_index) {
+  const std::vector<xml::NodeId> order = doc.DocumentOrder();
+  const size_t n = order.size();
+  node_rows->assign(doc.num_nodes(), 0);
+  type_node_index->assign(num_types, {});
+
+  DocumentPartitions parts;
+  const size_t chunks = DocumentPartitions::TargetChunkCount(n);
+  if (chunks == 0) return parts;
+  parts.cuts.resize(chunks + 1);
+  for (size_t b = 0; b <= chunks; ++b) {
+    parts.cuts[b] = static_cast<uint64_t>(n) * b / chunks;
+  }
+
+  // Count per (chunk, type), chunk-parallel: each chunk is a contiguous
+  // document-order slice, so per-type prefix sums over the chunk counts are
+  // exactly the rows the sequential pass would assign.
+  std::vector<std::vector<uint32_t>> counts(
+      chunks, std::vector<uint32_t>(num_types, 0));
+  common::ParallelFor(pool, chunks, 1, [&](size_t lo, size_t hi) {
+    for (size_t b = lo; b < hi; ++b) {
+      std::vector<uint32_t>& c = counts[b];
+      for (uint64_t pos = parts.cuts[b]; pos < parts.cuts[b + 1]; ++pos) {
+        ++c[node_types[order[pos]]];
+      }
+    }
+  });
+
+  parts.type_offsets.assign(num_types, {});
+  for (size_t t = 0; t < num_types; ++t) {
+    std::vector<uint32_t>& off = parts.type_offsets[t];
+    off.resize(chunks + 1, 0);
+    for (size_t b = 0; b < chunks; ++b) off[b + 1] = off[b] + counts[b][t];
+    (*type_node_index)[t].resize(off[chunks]);
+  }
+
+  // Fill, chunk-parallel: chunk b writes rows [off[t][b], off[t][b+1]) of
+  // every type — disjoint slices, so the parallel fill is byte-identical to
+  // the sequential document-order pass.
+  common::ParallelFor(pool, chunks, 1, [&](size_t lo, size_t hi) {
+    for (size_t b = lo; b < hi; ++b) {
+      std::vector<uint32_t> cursor(num_types);
+      for (size_t t = 0; t < num_types; ++t) {
+        cursor[t] = parts.type_offsets[t][b];
+      }
+      for (uint64_t pos = parts.cuts[b]; pos < parts.cuts[b + 1]; ++pos) {
+        const xml::NodeId id = order[pos];
+        const dg::TypeId t = node_types[id];
+        const uint32_t row = cursor[t]++;
+        (*node_rows)[id] = row;
+        (*type_node_index)[t][row] = id;
+      }
+    }
+  });
+
+  // Spine: a node spans cut c iff it is a proper ancestor of the node at
+  // position c (it starts before c and its subtree contains c), so the
+  // spine is the union of the cut nodes' ancestor chains.
+  std::vector<xml::NodeId> spine_nodes;
+  for (size_t b = 1; b < chunks; ++b) {
+    for (xml::NodeId p = doc.parent(order[parts.cuts[b]]); p != xml::kNullNode;
+         p = doc.parent(p)) {
+      spine_nodes.push_back(p);
+    }
+  }
+  std::sort(spine_nodes.begin(), spine_nodes.end());
+  spine_nodes.erase(std::unique(spine_nodes.begin(), spine_nodes.end()),
+                    spine_nodes.end());
+  parts.spine_rows.assign(num_types, {});
+  for (xml::NodeId id : spine_nodes) {
+    parts.spine_rows[node_types[id]].push_back((*node_rows)[id]);
+  }
+  for (std::vector<uint32_t>& rows : parts.spine_rows) {
+    std::sort(rows.begin(), rows.end());
+  }
+  return parts;
+}
+
+}  // namespace vpbn::storage

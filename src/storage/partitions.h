@@ -1,0 +1,120 @@
+/// \file partitions.h
+/// \brief Subtree partitioning of a stored document: B contiguous
+/// document-order chunks plus the "spine" of nodes whose subtrees span a
+/// chunk boundary.
+///
+/// Document order *is* PBN order, so a contiguous document-order chunk is a
+/// contiguous row range in **every** type's document-ordered instance list
+/// — partitioning needs no per-partition arenas at all, only a per-type
+/// row-offset matrix. The one complication is nodes whose subtree crosses a
+/// cut (a `<regions>` element containing items on both sides): those form
+/// the spine. Two properties make the spine cheap and the partitioned
+/// evaluator correct:
+///
+///   * A node spans cut c exactly when it is a proper ancestor of the node
+///     *at* position c, so the spine is the union of the ancestor chains of
+///     the B-1 cut nodes — at most (B-1) * depth nodes, computed in
+///     O(B * depth).
+///   * The spine is ancestor-closed: every ancestor of a spine node spans
+///     the same cut. A non-spine node's whole subtree (and therefore every
+///     step instance on any downward path to it) lies inside one chunk, so
+///     evaluating a chunk against `chunk rows + spine rows` sees every
+///     ancestor chain it needs.
+///
+/// The partition count B is a pure function of the node count (never the
+/// thread count), so a build — and the snapshot written from it — is
+/// byte-identical for any pool size. Query-time parallelism groups the B
+/// build chunks into K <= B tasks.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "dataguide/dataguide.h"
+#include "xml/document.h"
+
+namespace vpbn::storage {
+
+/// \brief Partition metadata over a built document: chunk cuts in
+/// document-order positions, per-type row offsets, and per-type spine rows.
+/// Pure metadata — the packed arenas stay global, so the unpartitioned
+/// paths are untouched and byte-identity is structural.
+struct DocumentPartitions {
+  /// B+1 document-order positions: chunk b covers positions
+  /// [cuts[b], cuts[b+1]); cuts.front() == 0, cuts.back() == node count.
+  std::vector<uint64_t> cuts;
+
+  /// Per type, B+1 row offsets into the type's instance list: chunk b of
+  /// type t owns rows [type_offsets[t][b], type_offsets[t][b+1]). These are
+  /// exactly the prefix sums the partition-parallel row-assignment pass
+  /// computes, so they cost nothing extra to keep.
+  std::vector<std::vector<uint32_t>> type_offsets;
+
+  /// Per type, the sorted rows of instances whose subtree spans at least
+  /// one cut. Ancestor-closed across types (see file comment).
+  std::vector<std::vector<uint32_t>> spine_rows;
+
+  /// Number of chunks (0 for an empty/never-partitioned document).
+  size_t count() const { return cuts.empty() ? 0 : cuts.size() - 1; }
+
+  /// Row range of type \p t over chunk group [chunk_lo, chunk_hi).
+  std::pair<uint32_t, uint32_t> TypeRange(dg::TypeId t, size_t chunk_lo,
+                                          size_t chunk_hi) const {
+    const std::vector<uint32_t>& off = type_offsets[t];
+    return {off[chunk_lo], off[chunk_hi]};
+  }
+
+  /// Total spine nodes across all types (observability / tests).
+  size_t SpineSize() const {
+    size_t n = 0;
+    for (const auto& rows : spine_rows) n += rows.size();
+    return n;
+  }
+
+  /// The target chunk count for an \p n-node document: fine enough that
+  /// query-time K-way grouping and pruning have real granularity, capped so
+  /// the per-type offset matrix stays negligible. Depends on nothing but n
+  /// (determinism across thread counts).
+  static size_t TargetChunkCount(size_t n);
+
+  /// Nodes per chunk TargetChunkCount aims for.
+  static constexpr size_t kTargetChunkNodes = 1024;
+  /// Upper bound on the chunk count.
+  static constexpr size_t kMaxChunks = 256;
+
+  /// Serialize into the snapshot v2 PARTS section payload (varints:
+  /// chunk count, delta-coded cuts, type count, per-type delta-coded
+  /// offsets, per-type spine count + delta-coded rows).
+  void Encode(std::string* out) const;
+
+  /// Parse an encoded payload. InvalidArgument on malformed bytes or shape
+  /// mismatch against \p num_types / \p num_nodes. (The snapshot loader
+  /// additionally verifies the result equals the recomputed partitioning —
+  /// the metadata is a pure function of the tree.)
+  static Result<DocumentPartitions> Decode(std::string_view data,
+                                           size_t num_types,
+                                           uint64_t num_nodes);
+
+  bool operator==(const DocumentPartitions&) const = default;
+};
+
+/// \brief The partition-parallel row-assignment pass (Build phase 2 and the
+/// snapshot loader's row re-derivation): assigns every node its row within
+/// its type's document-ordered instance list, fills the per-type NodeId
+/// lists, and returns the partition metadata whose offset matrix the pass
+/// computed along the way.
+///
+/// With a pool the per-chunk counting and filling fan out; the result —
+/// node_rows, type_node_index and the partitions — is identical for any
+/// thread count (each chunk writes a disjoint, prefix-sum-addressed slice).
+DocumentPartitions BuildTypeRows(
+    const xml::Document& doc, const std::vector<dg::TypeId>& node_types,
+    size_t num_types, common::ThreadPool* pool,
+    std::vector<uint32_t>* node_rows,
+    std::vector<std::vector<xml::NodeId>>* type_node_index);
+
+}  // namespace vpbn::storage

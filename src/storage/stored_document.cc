@@ -25,6 +25,7 @@ StoredDocument::StoredDocument(StoredDocument&& other) noexcept
       node_types_(std::move(other.node_types_)),
       node_rows_(std::move(other.node_rows_)),
       value_index_(std::move(other.value_index_)),
+      partitions_(std::move(other.partitions_)),
       ranges_(std::move(other.ranges_)),
       packed_type_index_(std::move(other.packed_type_index_)),
       type_node_index_(std::move(other.type_node_index_)),
@@ -49,6 +50,7 @@ StoredDocument& StoredDocument::operator=(StoredDocument&& other) noexcept {
     node_types_ = std::move(other.node_types_);
     node_rows_ = std::move(other.node_rows_);
     value_index_ = std::move(other.value_index_);
+    partitions_ = std::move(other.partitions_);
     ranges_ = std::move(other.ranges_);
     packed_type_index_ = std::move(other.packed_type_index_);
     type_node_index_ = std::move(other.type_node_index_);
@@ -116,30 +118,69 @@ StoredDocument StoredDocument::Build(const xml::Document& doc,
     xml::SerializeForestWithRanges(doc, nullptr, &out.text_, &out.ranges_);
   }
 
-  // Phase 2 — one sequential document-order pass assigning every node its
-  // row within its type's instance list. Cheap (two pushes per node) and
-  // inherently ordered, so not worth fanning out.
+  // Phase 2 — row assignment, chunk-parallel (storage/partitions.h): the
+  // document splits into contiguous document-order chunks, per-chunk type
+  // counts prefix-sum into the rows the sequential pass would assign, and
+  // the fill writes disjoint slices. The prefix sums *are* the partition
+  // row-offset matrix, so the subtree-partition metadata the partition-wise
+  // evaluator needs comes out of this phase for free.
   out.packed_type_index_.assign(out.guide_.num_types(), {});
-  out.type_node_index_.assign(out.guide_.num_types(), {});
   out.type_cache_.resize(out.guide_.num_types());
-  out.node_rows_.assign(doc.num_nodes(), 0);
-  for (xml::NodeId id : doc.DocumentOrder()) {
-    out.node_rows_[id] = static_cast<uint32_t>(
-        out.type_node_index_[out.node_types_[id]].size());
-    out.type_node_index_[out.node_types_[id]].push_back(id);
-  }
+  out.partitions_ =
+      BuildTypeRows(doc, out.node_types_, out.guide_.num_types(), pool,
+                    &out.node_rows_, &out.type_node_index_);
 
-  // Phase 3 — pack the per-type PBN arenas, independently per type. The
-  // instance lists are already document-ordered, so each arena comes out
-  // sorted — what the memcmp binary searches and packed structural joins
-  // rely on — and identical to the sequential interleaved build.
+  // Phase 3 — pack the per-type PBN arenas. The instance lists are already
+  // document-ordered, so each arena comes out sorted — what the memcmp
+  // binary searches and packed structural joins rely on — and identical to
+  // the sequential interleaved build. Tasks split per (type, row segment)
+  // rather than per type, so one dominant type (every large real document
+  // has one) cannot serialize the phase; segments encode into scratch lists
+  // stitched back in row order, byte-identical to the straight append.
+  constexpr size_t kPackSegmentRows = 16384;
+  struct PackTask {
+    size_t type;
+    size_t row_lo;
+    size_t row_hi;
+    size_t slot;  // scratch index; contiguous per type, in row order
+  };
+  std::vector<PackTask> tasks;
+  std::vector<size_t> first_slot(out.guide_.num_types() + 1, 0);
+  for (size_t t = 0; t < out.guide_.num_types(); ++t) {
+    first_slot[t] = tasks.size();
+    const size_t rows = out.type_node_index_[t].size();
+    for (size_t lo = 0; lo < rows || (rows == 0 && lo == 0);
+         lo += kPackSegmentRows) {
+      tasks.push_back({t, lo, std::min(rows, lo + kPackSegmentRows),
+                       tasks.size()});
+      if (rows == 0) break;
+    }
+  }
+  first_slot[out.guide_.num_types()] = tasks.size();
+  std::vector<num::PackedPbnList> scratch(tasks.size());
+  common::ParallelFor(pool, tasks.size(), 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const PackTask& task = tasks[i];
+      const std::vector<xml::NodeId>& ids = out.type_node_index_[task.type];
+      num::PackedPbnList& list = scratch[task.slot];
+      list.Reserve(task.row_hi - task.row_lo);
+      for (size_t row = task.row_lo; row < task.row_hi; ++row) {
+        list.Append(out.numbering_.OfNode(ids[row]));
+      }
+    }
+  });
   common::ParallelFor(
       pool, out.guide_.num_types(), 1, [&](size_t lo, size_t hi) {
         for (size_t t = lo; t < hi; ++t) {
-          const std::vector<xml::NodeId>& ids = out.type_node_index_[t];
           num::PackedPbnList& list = out.packed_type_index_[t];
-          list.Reserve(ids.size());
-          for (xml::NodeId id : ids) list.Append(out.numbering_.OfNode(id));
+          if (first_slot[t + 1] - first_slot[t] == 1) {
+            list = std::move(scratch[first_slot[t]]);
+            continue;
+          }
+          list.Reserve(out.type_node_index_[t].size());
+          for (size_t s = first_slot[t]; s < first_slot[t + 1]; ++s) {
+            list.AppendSlice(scratch[s], 0, scratch[s].size());
+          }
         }
       });
 
@@ -279,6 +320,14 @@ std::vector<num::Pbn> StoredDocument::NodesOfTypeWithin(
   out.reserve(last - first);
   for (size_t i = first; i < last; ++i) out.push_back(all.Materialize(i));
   return out;
+}
+
+size_t StoredDocument::resident_mapped_bytes() const {
+  return mapping_ != nullptr ? mapping_->ResidentBytes() : 0;
+}
+
+void StoredDocument::EvictMappedPages() const {
+  if (mapping_ != nullptr) mapping_->EvictPages();
 }
 
 size_t StoredDocument::MemoryUsage() const {

@@ -32,6 +32,7 @@
 #include "pbn/numbering.h"
 #include "pbn/packed.h"
 #include "pbn/pbn.h"
+#include "storage/partitions.h"
 #include "xml/document.h"
 
 namespace vpbn::storage {
@@ -172,6 +173,25 @@ class StoredDocument {
                                           const num::Pbn& scope) const;
   /// @}
 
+  /// \brief Subtree partition metadata (storage/partitions.h): contiguous
+  /// document-order chunks with per-type row offsets and spine rows. Built
+  /// as a byproduct of the row-assignment phase — a pure function of the
+  /// tree, identical for any thread count. `count() <= 1` (tiny documents)
+  /// means partition-wise execution has nothing to split and falls back to
+  /// the single-arena path.
+  const DocumentPartitions& partitions() const { return partitions_; }
+
+  /// Resident bytes of the snapshot mapping actually faulted in (mincore
+  /// walk; 0 for built or buffer-backed documents). With lazy arena decode,
+  /// queries that touch few types leave most of the mapping cold — the E17
+  /// page-cache observability hook.
+  size_t resident_mapped_bytes() const;
+
+  /// Drop the snapshot mapping's pages from the page cache (best-effort
+  /// madvise; no-op for built or buffer-backed documents). Re-creates the
+  /// cold-load state so E17 can measure first-touch cost without remapping.
+  void EvictMappedPages() const;
+
   /// Bytes used by the stored string, headers and indexes (E5 accounting).
   size_t MemoryUsage() const;
 
@@ -222,6 +242,7 @@ class StoredDocument {
   std::vector<dg::TypeId> node_types_;
   std::vector<uint32_t> node_rows_;  // by NodeId: row within its type list
   idx::ValueIndex value_index_;
+  DocumentPartitions partitions_;
   std::vector<std::pair<uint64_t, uint64_t>> ranges_;  // by NodeId
   // Mutable for the lazy v2 decode path; immutable once decoded.
   mutable std::vector<num::PackedPbnList> packed_type_index_;  // by TypeId

@@ -1,12 +1,14 @@
 #include "workload/auctions.h"
 
-#include "common/random.h"
-#include "xml/builder.h"
+#include <algorithm>
+#include <cmath>
+#include <string>
 
 namespace vpbn::workload {
 
 namespace {
 
+constexpr int kNumRegions = 6;
 const char* const kRegions[] = {"africa", "asia", "australia", "europe",
                                 "namerica", "samerica"};
 const char* const kNouns[] = {"clock",  "lamp",   "vase",  "chair",
@@ -15,69 +17,154 @@ const char* const kCities[] = {"Amsterdam", "Cairo", "Lima", "Oslo", "Pune"};
 
 }  // namespace
 
-xml::Document GenerateAuctions(const AuctionsOptions& options) {
-  Rng rng(options.seed);
-  xml::DocumentBuilder b;
-  b.Open("site");
+AuctionsOptions ScaledAuctions(double scale_factor, uint64_t seed) {
+  AuctionsOptions options;
+  options.seed = seed;
+  double f = std::max(scale_factor, 0.0);
+  auto scale = [f](int base) {
+    double n = std::round(static_cast<double>(base) * f / 0.01);
+    return std::max(1, static_cast<int>(n));
+  };
+  options.num_items = scale(200);
+  options.num_people = scale(100);
+  options.num_auctions = scale(150);
+  return options;
+}
 
-  b.Open("regions");
+AuctionsStream::AuctionsStream(const AuctionsOptions& options)
+    : options_(options), rng_(options.seed), items_by_region_(kNumRegions) {
   // Distribute items round-robin-ish over regions so every region exists.
-  int n_regions = 6;
-  std::vector<std::vector<int>> items_by_region(n_regions);
-  for (int i = 0; i < options.num_items; ++i) {
-    items_by_region[rng.Uniform(n_regions)].push_back(i);
+  // Drawn up front (before any item content) so emission order per region
+  // does not perturb the PRNG stream.
+  for (int i = 0; i < options_.num_items; ++i) {
+    items_by_region_[rng_.Uniform(kNumRegions)].push_back(i);
   }
-  for (int r = 0; r < n_regions; ++r) {
-    b.Open(kRegions[r]);
-    for (int i : items_by_region[r]) {
-      b.Open("item");
-      b.Attr("id", "item" + std::to_string(i));
-      b.Leaf("name", std::string(kNouns[rng.Uniform(8)]) + " #" +
-                         std::to_string(i));
-      b.Leaf("description",
-             "A fine " + std::string(kNouns[rng.Uniform(8)]) + ".");
-      b.Leaf("quantity", std::to_string(1 + rng.Uniform(5)));
-      b.Close();
+}
+
+uint64_t AuctionsStream::records_total() const {
+  return static_cast<uint64_t>(std::max(options_.num_items, 0)) +
+         static_cast<uint64_t>(std::max(options_.num_people, 0)) +
+         static_cast<uint64_t>(std::max(options_.num_auctions, 0));
+}
+
+void AuctionsStream::EmitItem(xml::DocumentBuilder* b, int i) {
+  b->Open("item");
+  b->Attr("id", "item" + std::to_string(i));
+  b->Leaf("name",
+          std::string(kNouns[rng_.Uniform(8)]) + " #" + std::to_string(i));
+  b->Leaf("description",
+          "A fine " + std::string(kNouns[rng_.Uniform(8)]) + ".");
+  b->Leaf("quantity", std::to_string(1 + rng_.Uniform(5)));
+  b->Close();
+}
+
+void AuctionsStream::EmitPerson(xml::DocumentBuilder* b, int p) {
+  b->Open("person");
+  b->Attr("id", "person" + std::to_string(p));
+  b->Leaf("name", "P" + std::to_string(p) + " " + rng_.Identifier(4, 8));
+  b->Leaf("city", kCities[rng_.Uniform(5)]);
+  b->Close();
+}
+
+void AuctionsStream::EmitAuction(xml::DocumentBuilder* b, int a) {
+  b->Open("auction");
+  b->Attr("id", "auction" + std::to_string(a));
+  b->Leaf("itemref",
+          "item" +
+              std::to_string(rng_.Uniform(std::max(options_.num_items, 1))));
+  int n_bidders =
+      1 + static_cast<int>(rng_.Zipf(
+              static_cast<uint64_t>(options_.max_extra_bidders) + 1, 1.0));
+  int price = 10 + static_cast<int>(rng_.Uniform(90));
+  for (int bd = 0; bd < n_bidders; ++bd) {
+    b->Open("bidder");
+    b->Leaf("personref",
+            "person" + std::to_string(
+                           rng_.Uniform(std::max(options_.num_people, 1))));
+    price += static_cast<int>(rng_.Uniform(25));
+    b->Leaf("price", std::to_string(price));
+    b->Close();
+  }
+  b->Close();
+}
+
+bool AuctionsStream::Next(xml::DocumentBuilder* b, int max_records) {
+  if (!started_) {
+    b->Open("site");
+    b->Open("regions");
+    b->Open(kRegions[0]);
+    started_ = true;
+  }
+  int batch = 0;
+  while (phase_ != Phase::kDone &&
+         (max_records <= 0 || batch < max_records)) {
+    switch (phase_) {
+      case Phase::kRegions:
+        if (region_idx_ < items_by_region_[region_].size()) {
+          EmitItem(b, items_by_region_[region_][region_idx_++]);
+          ++batch;
+          ++emitted_;
+        } else {
+          b->Close();  // region
+          ++region_;
+          region_idx_ = 0;
+          if (region_ < kNumRegions) {
+            b->Open(kRegions[region_]);
+          } else {
+            b->Close();  // regions
+            b->Open("people");
+            phase_ = Phase::kPeople;
+          }
+        }
+        break;
+      case Phase::kPeople:
+        if (person_ < options_.num_people) {
+          EmitPerson(b, person_++);
+          ++batch;
+          ++emitted_;
+        } else {
+          b->Close();  // people
+          b->Open("open_auctions");
+          phase_ = Phase::kAuctions;
+        }
+        break;
+      case Phase::kAuctions:
+        if (auction_ < options_.num_auctions) {
+          EmitAuction(b, auction_++);
+          ++batch;
+          ++emitted_;
+        } else {
+          b->Close();  // open_auctions
+          b->Close();  // site
+          phase_ = Phase::kDone;
+        }
+        break;
+      case Phase::kDone:
+        break;
     }
-    b.Close();
   }
-  b.Close();  // regions
+  return phase_ != Phase::kDone;
+}
 
-  b.Open("people");
-  for (int p = 0; p < options.num_people; ++p) {
-    b.Open("person");
-    b.Attr("id", "person" + std::to_string(p));
-    b.Leaf("name", "P" + std::to_string(p) + " " + rng.Identifier(4, 8));
-    b.Leaf("city", kCities[rng.Uniform(5)]);
-    b.Close();
+xml::Document GenerateAuctions(const AuctionsOptions& options) {
+  xml::DocumentBuilder b;
+  AuctionsStream stream(options);
+  while (stream.Next(&b, 0)) {
   }
-  b.Close();  // people
+  return std::move(b).Finish();
+}
 
-  b.Open("open_auctions");
-  for (int a = 0; a < options.num_auctions; ++a) {
-    b.Open("auction");
-    b.Attr("id", "auction" + std::to_string(a));
-    b.Leaf("itemref",
-           "item" + std::to_string(rng.Uniform(
-                        std::max(options.num_items, 1))));
-    int n_bidders =
-        1 + static_cast<int>(rng.Zipf(
-                static_cast<uint64_t>(options.max_extra_bidders) + 1, 1.0));
-    int price = 10 + static_cast<int>(rng.Uniform(90));
-    for (int bd = 0; bd < n_bidders; ++bd) {
-      b.Open("bidder");
-      b.Leaf("personref",
-             "person" + std::to_string(rng.Uniform(
-                            std::max(options.num_people, 1))));
-      price += static_cast<int>(rng.Uniform(25));
-      b.Leaf("price", std::to_string(price));
-      b.Close();
-    }
-    b.Close();
+xml::Document GenerateAuctionsChunked(
+    const AuctionsOptions& options, int records_per_chunk,
+    const std::function<void(uint64_t done, uint64_t total)>& on_chunk) {
+  xml::DocumentBuilder b;
+  AuctionsStream stream(options);
+  const uint64_t total = stream.records_total();
+  bool more = true;
+  while (more) {
+    more = stream.Next(&b, std::max(records_per_chunk, 1));
+    if (on_chunk) on_chunk(stream.records_emitted(), total);
   }
-  b.Close();  // open_auctions
-
-  b.Close();  // site
   return std::move(b).Finish();
 }
 

@@ -7,11 +7,22 @@
 /// items, people, and open auctions with bidders referencing both. The
 /// multi-branch schema gives virtual transformations plenty of LCA (Case 3)
 /// structure: e.g. re-hierarchize auctions under the people who bid.
+///
+/// Two entry points share one record-at-a-time core (AuctionsStream):
+/// GenerateAuctions materializes the whole document in one call, and the
+/// stream / GenerateAuctionsChunked forms emit the same tree in bounded
+/// slices so multi-million-node corpora (E17) can report progress and
+/// interleave with other work. For equal options all forms produce
+/// byte-identical documents.
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
+#include "common/random.h"
+#include "xml/builder.h"
 #include "xml/document.h"
 
 namespace vpbn::workload {
@@ -26,10 +37,69 @@ struct AuctionsOptions {
   int max_extra_bidders = 4;
 };
 
+/// \brief Map an XMark-style scale factor to record counts, keeping the
+/// default 4:2:3 item:person:auction ratio (factor 0.01 = the defaults,
+/// factor 10 is on the order of ten million nodes).
+AuctionsOptions ScaledAuctions(double scale_factor, uint64_t seed = 7);
+
+/// \brief Incremental generator: emits the auction site record by record
+/// into a caller-supplied builder.
+///
+/// \code
+///   xml::DocumentBuilder b;
+///   AuctionsStream stream(options);
+///   while (stream.Next(&b, 10000)) { /* report progress */ }
+///   xml::Document doc = std::move(b).Finish();
+/// \endcode
+///
+/// The stream owns all generator state (PRNG, region assignment, section
+/// cursors); the builder only ever holds the partially built document, so
+/// callers control batching without affecting the bytes produced.
+class AuctionsStream {
+ public:
+  explicit AuctionsStream(const AuctionsOptions& options);
+
+  /// Emit up to \p max_records top-level records (items, then people, then
+  /// auctions) into \p b, opening and closing section wrappers as they are
+  /// reached. \p max_records <= 0 emits everything remaining. Returns true
+  /// while the document is incomplete; once it returns false the builder
+  /// holds the finished <site> tree (all elements closed).
+  bool Next(xml::DocumentBuilder* b, int max_records);
+
+  /// Records emitted so far / in total (items + people + auctions).
+  uint64_t records_emitted() const { return emitted_; }
+  uint64_t records_total() const;
+
+ private:
+  enum class Phase { kRegions, kPeople, kAuctions, kDone };
+
+  void EmitItem(xml::DocumentBuilder* b, int i);
+  void EmitPerson(xml::DocumentBuilder* b, int p);
+  void EmitAuction(xml::DocumentBuilder* b, int a);
+
+  AuctionsOptions options_;
+  Rng rng_;
+  std::vector<std::vector<int>> items_by_region_;
+  Phase phase_ = Phase::kRegions;
+  bool started_ = false;
+  int region_ = 0;
+  size_t region_idx_ = 0;
+  int person_ = 0;
+  int auction_ = 0;
+  uint64_t emitted_ = 0;
+};
+
 /// \brief Generate a <site> document:
 ///   site/regions/<region>/item/{name, description, quantity}
 ///   site/people/person/{name, city}
 ///   site/open_auctions/auction/{itemref, bidder/{personref, price}...}
 xml::Document GenerateAuctions(const AuctionsOptions& options);
+
+/// \brief GenerateAuctions in slices of \p records_per_chunk records,
+/// invoking \p on_chunk (may be empty) after each slice with cumulative
+/// progress. Byte-identical to GenerateAuctions for equal \p options.
+xml::Document GenerateAuctionsChunked(
+    const AuctionsOptions& options, int records_per_chunk,
+    const std::function<void(uint64_t done, uint64_t total)>& on_chunk = {});
 
 }  // namespace vpbn::workload

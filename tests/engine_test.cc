@@ -365,9 +365,27 @@ TEST(EngineTest, ExecStatsJsonIsSingleLineAndComplete) {
   EXPECT_EQ(json.back(), '}');
   for (const char* key :
        {"\"plan\":", "\"threads\":", "\"wall_ms\":", "\"result_nodes\":",
-        "\"nodes_scanned\":", "\"plan_cache_hits\":", "\"steps\":"}) {
+        "\"nodes_scanned\":", "\"plan_cache_hits\":", "\"steps\":",
+        "\"partition_skips\":", "\"partitions_used\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << " missing";
   }
+}
+
+TEST(EngineTest, PartitionsOptionMergesAndSurfacesInStats) {
+  Fixture f;
+  QueryEngine engine(f.stored);
+  engine.SetDefaultOptions({.partitions = 4});
+  EXPECT_EQ(engine.EffectiveOptions({}).partitions, 4);
+  EXPECT_EQ(engine.EffectiveOptions({.partitions = 16}).partitions, 16);
+  EXPECT_EQ(engine.EffectiveOptions({.partitions = 0}).partitions, 0);
+
+  // The counters appear in both renderings.
+  auto r = engine.Execute("//book/title", {.collect_stats = true});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->stats().ToString().find("partition_skips="),
+            std::string::npos);
+  EXPECT_NE(r->stats().ToJson().find("\"partitions_used\":"),
+            std::string::npos);
 }
 
 }  // namespace

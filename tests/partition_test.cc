@@ -1,0 +1,348 @@
+/// \file partition_test.cc
+/// \brief Subtree-partition metadata (storage/partitions.h), the partition
+/// pruner, and partition-wise bulk evaluation: structural invariants,
+/// serialization round-trips, and the byte-identity contract — partitioned
+/// execution returns exactly EvalBulk's result for every K and thread
+/// count.
+
+#include "storage/partitions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "pbn/pbn.h"
+#include "query/engine.h"
+#include "query/eval_bulk.h"
+#include "query/partition_pruner.h"
+#include "query/path_parser.h"
+#include "storage/snapshot.h"
+#include "tests/test_util.h"
+#include "vpbn/virtual_document.h"
+#include "workload/auctions.h"
+#include "workload/books.h"
+
+namespace vpbn::storage {
+namespace {
+
+xml::Document Auctions(int items = 120, int people = 60, int auctions = 90) {
+  workload::AuctionsOptions o;
+  o.num_items = items;
+  o.num_people = people;
+  o.num_auctions = auctions;
+  return workload::GenerateAuctions(o);
+}
+
+TEST(DocumentPartitionsTest, TargetChunkCountBounds) {
+  EXPECT_EQ(DocumentPartitions::TargetChunkCount(0), 0u);
+  EXPECT_EQ(DocumentPartitions::TargetChunkCount(1), 1u);
+  EXPECT_EQ(DocumentPartitions::TargetChunkCount(1024), 1u);
+  EXPECT_EQ(DocumentPartitions::TargetChunkCount(1025), 2u);
+  EXPECT_EQ(DocumentPartitions::TargetChunkCount(10 * 1024), 10u);
+  // Clamped at kMaxChunks no matter how large the document gets.
+  EXPECT_EQ(DocumentPartitions::TargetChunkCount(1u << 30),
+            DocumentPartitions::kMaxChunks);
+}
+
+TEST(DocumentPartitionsTest, StructuralInvariants) {
+  xml::Document doc = Auctions();
+  StoredDocument stored = StoredDocument::Build(doc);
+  const DocumentPartitions& parts = stored.partitions();
+  const size_t n = doc.num_nodes();
+  const size_t chunks = parts.count();
+  ASSERT_GE(chunks, 2u) << "corpus too small to partition";
+
+  // Cuts cover [0, n] and are non-decreasing.
+  ASSERT_EQ(parts.cuts.size(), chunks + 1);
+  EXPECT_EQ(parts.cuts.front(), 0u);
+  EXPECT_EQ(parts.cuts.back(), n);
+  for (size_t b = 0; b < chunks; ++b) {
+    EXPECT_LE(parts.cuts[b], parts.cuts[b + 1]);
+  }
+
+  // Per-type offsets are monotone and the full range equals the type's
+  // instance count; every chunk's rows sum to the document's node count.
+  const dg::DataGuide& g = stored.dataguide();
+  ASSERT_EQ(parts.type_offsets.size(), g.num_types());
+  uint64_t total_rows = 0;
+  for (dg::TypeId t = 0; t < g.num_types(); ++t) {
+    const auto& offs = parts.type_offsets[t];
+    ASSERT_EQ(offs.size(), chunks + 1);
+    EXPECT_EQ(offs.front(), 0u);
+    EXPECT_EQ(offs.back(), stored.PackedNodesOfType(t).size());
+    for (size_t b = 0; b < chunks; ++b) EXPECT_LE(offs[b], offs[b + 1]);
+    total_rows += offs.back();
+  }
+  EXPECT_EQ(total_rows, n);
+}
+
+TEST(DocumentPartitionsTest, SpineMatchesBruteForce) {
+  xml::Document doc = Auctions();
+  StoredDocument stored = StoredDocument::Build(doc);
+  const DocumentPartitions& parts = stored.partitions();
+  ASSERT_GE(parts.count(), 2u);
+
+  // A node is on the spine iff it is a proper-or-self ancestor of a node
+  // sitting at an interior cut position in document order.
+  const std::vector<xml::NodeId>& order = doc.DocumentOrder();
+  std::set<xml::NodeId> expected;
+  for (size_t b = 1; b < parts.count(); ++b) {
+    xml::NodeId at = order[parts.cuts[b]];
+    for (xml::NodeId a = doc.parent(at); a != xml::kNullNode;
+         a = doc.parent(a)) {
+      expected.insert(a);
+    }
+  }
+
+  std::set<xml::NodeId> actual;
+  const dg::DataGuide& g = stored.dataguide();
+  for (dg::TypeId t = 0; t < g.num_types(); ++t) {
+    for (uint32_t row : parts.spine_rows[t]) {
+      actual.insert(stored.NodeIdsOfType(t)[row]);
+    }
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(DocumentPartitionsTest, EncodeDecodeRoundTrip) {
+  xml::Document doc = Auctions();
+  StoredDocument stored = StoredDocument::Build(doc);
+  const DocumentPartitions& parts = stored.partitions();
+
+  std::string raw;
+  parts.Encode(&raw);
+  auto decoded = DocumentPartitions::Decode(
+      raw, stored.dataguide().num_types(), doc.num_nodes());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(*decoded == parts);
+}
+
+TEST(DocumentPartitionsTest, DecodeRejectsCorruptInput) {
+  xml::Document doc = Auctions(40, 20, 30);
+  StoredDocument stored = StoredDocument::Build(doc);
+  std::string raw;
+  stored.partitions().Encode(&raw);
+  const size_t num_types = stored.dataguide().num_types();
+  const size_t n = doc.num_nodes();
+
+  // Truncations at every prefix length either fail cleanly or (never)
+  // succeed; they must not crash.
+  for (size_t len = 0; len < raw.size(); ++len) {
+    auto r = DocumentPartitions::Decode(
+        std::string_view(raw.data(), len), num_types, n);
+    EXPECT_FALSE(r.ok()) << "truncated to " << len << " bytes";
+  }
+  // Trailing garbage is rejected too.
+  auto r = DocumentPartitions::Decode(raw + "x", num_types, n);
+  EXPECT_FALSE(r.ok());
+  // Single-byte corruption must never crash; well-formedness may survive a
+  // benign flip, but a decode that succeeds must still satisfy bounds.
+  Rng rng(11);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::string mut = raw;
+    mut[rng.Uniform(mut.size())] ^=
+        static_cast<char>(1 + rng.Uniform(255));
+    auto d = DocumentPartitions::Decode(mut, num_types, n);
+    if (d.ok()) {
+      EXPECT_EQ(d->cuts.back(), n);
+      EXPECT_EQ(d->type_offsets.size(), num_types);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity: partitioned evaluation ≡ EvalBulk, all K × threads ×
+// corpora × paths, predicates included.
+
+struct Corpus {
+  const char* name;
+  xml::Document doc;
+  std::vector<const char*> paths;
+};
+
+std::vector<Corpus> Corpora() {
+  std::vector<Corpus> out;
+  out.push_back({"auctions",
+                 Auctions(),
+                 {"//item/name", "//auction[bidder/price]/itemref",
+                  "//person[city = \"Oslo\"]/name", "//bidder[price > 60]",
+                  "//regions//item[quantity = \"3\"]/name", "//nosuch",
+                  "/site/open_auctions/auction/bidder/personref/text()"}});
+  out.push_back({"forest",
+                 testutil::RandomForest(17, 4000),
+                 {"//e1", "//e2//e3", "//e0[e1]/e2", "//e4/text()",
+                  "/r0//e5[e0/e1]"}});
+  out.push_back({"books",
+                 workload::GenerateBooks({.seed = 3, .num_books = 900}),
+                 {"//book[author]/title", "//publisher/location/text()",
+                  "//book[title = \"nosuchtitle\"]"}});
+  return out;
+}
+
+TEST(PartitionedEvalTest, ByteIdenticalToEvalBulk) {
+  for (Corpus& c : Corpora()) {
+    StoredDocument stored = StoredDocument::Build(c.doc);
+    if (stored.partitions().count() < 2) {
+      ADD_FAILURE() << c.name << ": corpus too small to partition";
+      continue;
+    }
+    for (const char* path_text : c.paths) {
+      auto parsed = query::ParsePath(path_text);
+      ASSERT_TRUE(parsed.ok()) << path_text;
+      if (!query::InBulkFragment(*parsed)) continue;
+      auto baseline = query::EvalBulk(stored, *parsed);
+      ASSERT_TRUE(baseline.ok()) << c.name << " " << path_text << ": "
+                                 << baseline.status();
+      for (int k : {2, 5, 16}) {
+        for (int threads : {1, 2, 8}) {
+          common::ThreadPool pool(threads);
+          query::ExecContext ctx(&pool, /*collect_stats=*/true);
+          auto part = query::EvalBulkPartitioned(stored, *parsed, k, &ctx);
+          ASSERT_TRUE(part.ok())
+              << c.name << " " << path_text << " k=" << k << ": "
+              << part.status();
+          EXPECT_EQ(*part, *baseline)
+              << c.name << " " << path_text << " k=" << k
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+// Pruner admissibility: a group the pruner rejects owns no result rows.
+// Every EvalBulk result row maps to the one group whose row range contains
+// it; that group must have been judged able to match.
+TEST(PartitionedEvalTest, PrunerNeverSkipsAGroupWithResults) {
+  for (Corpus& c : Corpora()) {
+    StoredDocument stored = StoredDocument::Build(c.doc);
+    const DocumentPartitions& parts = stored.partitions();
+    const size_t chunks = parts.count();
+    if (chunks < 2) continue;
+    for (const char* path_text : c.paths) {
+      auto parsed = query::ParsePath(path_text);
+      ASSERT_TRUE(parsed.ok()) << path_text;
+      if (!query::InBulkFragment(*parsed)) continue;
+      auto baseline = query::EvalBulk(stored, *parsed);
+      ASSERT_TRUE(baseline.ok());
+
+      for (int k : {2, 5, 16}) {
+        const size_t groups =
+            std::min(static_cast<size_t>(k), chunks);
+        for (size_t gi = 0; gi < groups; ++gi) {
+          const size_t chunk_lo = chunks * gi / groups;
+          const size_t chunk_hi = chunks * (gi + 1) / groups;
+          if (query::PartitionGroupCanMatch(stored, *parsed, chunk_lo,
+                                            chunk_hi, nullptr)) {
+            continue;  // admissible by construction
+          }
+          // Rejected group: no baseline result's row may land in its
+          // range. Baseline is sorted in document order, so membership is
+          // a binary search over it per in-range row.
+          for (dg::TypeId t = 0; t < stored.dataguide().num_types(); ++t) {
+            auto [lo, hi] = parts.TypeRange(t, chunk_lo, chunk_hi);
+            const std::vector<num::Pbn>& rows = stored.NodesOfType(t);
+            for (size_t row = lo; row < hi; ++row) {
+              EXPECT_FALSE(std::binary_search(baseline->begin(),
+                                              baseline->end(), rows[row]))
+                  << c.name << " " << path_text << " k=" << k
+                  << " pruned group " << gi << " owns a result";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Engine-level: ExecOptions::partitions produces identical results and
+// reports partition counters; a selective predicate actually skips groups.
+TEST(PartitionedEvalTest, EngineOptionAndStats) {
+  xml::Document doc = Auctions();
+  auto stored = std::make_shared<const StoredDocument>(
+      StoredDocument::Build(std::move(doc)));
+  ASSERT_GE(stored->partitions().count(), 2u);
+
+  query::QueryEngine plain(stored);
+  query::QueryEngine partitioned(stored);
+  query::ExecOptions defaults;
+  defaults.partitions = 8;
+  defaults.collect_stats = true;
+  partitioned.SetDefaultOptions(defaults);
+
+  // A literal that is never interned: every group is pruned.
+  for (const char* path_text :
+       {"//item/name", "//auction[bidder]/itemref",
+        "//person[city = \"__nowhere__\"]/name"}) {
+    auto p1 = plain.Prepare(path_text);
+    auto p2 = partitioned.Prepare(path_text);
+    ASSERT_TRUE(p1.ok() && p2.ok()) << path_text;
+    auto r1 = plain.Execute(*p1);
+    auto r2 = partitioned.Execute(*p2);
+    ASSERT_TRUE(r1.ok() && r2.ok()) << path_text;
+    EXPECT_EQ(r1->nodes(), r2->nodes()) << path_text;
+    if (r2->stats().plan == "bulk") {
+      EXPECT_EQ(r2->stats().partitions_used + r2->stats().partition_skips,
+                std::min<uint64_t>(8, stored->partitions().count()))
+          << path_text;
+    }
+  }
+
+  auto p = partitioned.Prepare("//person[city = \"__nowhere__\"]/name");
+  ASSERT_TRUE(p.ok());
+  auto r = partitioned.Execute(*p);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 0u);
+  if (r->stats().plan == "bulk") {
+    EXPECT_GT(r->stats().partition_skips, 0u)
+        << "uninterned literal should prune every group";
+  }
+}
+
+// Build determinism: partitions (and the packed arenas behind them) do not
+// depend on the thread pool used to build.
+TEST(PartitionedEvalTest, BuildIsPoolIndependent) {
+  xml::Document d1 = Auctions();
+  xml::Document d2 = Auctions();
+  common::ThreadPool pool(8);
+  StoredDocument seq = StoredDocument::Build(std::move(d1));
+  StoredDocument par = StoredDocument::Build(std::move(d2), &pool);
+  EXPECT_TRUE(seq.partitions() == par.partitions());
+  EXPECT_EQ(Snapshot::Write(seq), Snapshot::Write(par))
+      << "snapshot bytes differ across build pools";
+}
+
+// The partitions knob only dispatches on the bulk plan; a virtual-substrate
+// engine with it set must plan kVirtual and return identical results (the
+// knob is a no-op there, with no partition accounting).
+TEST(PartitionedEvalTest, VirtualViewsIgnoreThePartitionsKnob) {
+  auto stored = std::make_shared<const StoredDocument>(StoredDocument::Build(
+      workload::GenerateBooks({.seed = 11, .num_books = 600})));
+  ASSERT_GE(stored->partitions().count(), 2u);
+  auto view = virt::VirtualDocument::OpenShared(stored, testutil::SamSpec());
+  ASSERT_TRUE(view.ok());
+
+  query::QueryEngine plain(*view);
+  query::QueryEngine knobbed(*view);
+  query::ExecOptions defaults;
+  defaults.collect_stats = true;
+  plain.SetDefaultOptions(defaults);
+  defaults.partitions = 16;
+  knobbed.SetDefaultOptions(defaults);
+
+  for (const char* path : {"//title", "//title/author/name", "//author"}) {
+    auto a = plain.Execute(path, {});
+    auto b = knobbed.Execute(path, {});
+    ASSERT_TRUE(a.ok() && b.ok()) << path;
+    EXPECT_EQ(a->nodes(), b->nodes()) << path;
+    EXPECT_EQ(b->stats().plan, "virtual") << path;
+    EXPECT_EQ(b->stats().partitions_used, 0u) << path;
+    EXPECT_EQ(b->stats().partition_skips, 0u) << path;
+  }
+}
+
+}  // namespace
+}  // namespace vpbn::storage

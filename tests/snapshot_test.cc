@@ -521,5 +521,51 @@ TEST(SnapshotV2Test, V1FormatTruncationAndMutationStillSafe) {
   }
 }
 
+TEST(SnapshotV2Test, PartitionSectionRoundTrips) {
+  // A document large enough to have several partition chunks writes a PARTS
+  // section; loading recomputes the partitions and validates them against
+  // the stored bytes, so the loaded metadata matches the builder's exactly.
+  workload::AuctionsOptions opts;
+  opts.num_items = 200;
+  opts.num_people = 120;
+  opts.num_auctions = 180;
+  StoredDocument built =
+      StoredDocument::Build(workload::GenerateAuctions(opts));
+  ASSERT_GE(built.partitions().count(), 2u);
+  auto loaded = Snapshot::Load(Snapshot::Write(built));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->partitions() == built.partitions());
+  EXPECT_EQ(Snapshot::Write(*loaded), Snapshot::Write(built));
+}
+
+TEST(SnapshotV2Test, V1LoadDerivesPartitions) {
+  // The legacy format has no PARTS section; the loader recomputes the
+  // partition metadata, so v1 and v2 loads agree.
+  workload::AuctionsOptions opts;
+  opts.num_items = 150;
+  opts.num_people = 80;
+  opts.num_auctions = 120;
+  StoredDocument built =
+      StoredDocument::Build(workload::GenerateAuctions(opts));
+  ASSERT_GE(built.partitions().count(), 2u);
+  auto v1 = Snapshot::Load(Snapshot::Write(built, 1));
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_TRUE(v1->partitions() == built.partitions());
+}
+
+TEST(SnapshotV2Test, SmallDocumentStillPartitionsOnLoad) {
+  // Below one chunk of nodes the document has exactly one partition; load
+  // paths must produce the same (trivial) metadata as Build.
+  xml::Document doc = testutil::PaperFigure2();
+  StoredDocument built = StoredDocument::Build(doc);
+  EXPECT_EQ(built.partitions().count(), 1u);
+  for (uint32_t version : {1u, 2u}) {
+    auto loaded = Snapshot::Load(Snapshot::Write(built, version));
+    ASSERT_TRUE(loaded.ok()) << "v" << version << ": " << loaded.status();
+    EXPECT_TRUE(loaded->partitions() == built.partitions())
+        << "v" << version;
+  }
+}
+
 }  // namespace
 }  // namespace vpbn::storage

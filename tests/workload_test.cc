@@ -162,5 +162,63 @@ TEST(RandomTreesTest, SpecDeterministic) {
   EXPECT_EQ(GenerateRandomSpec(g, sopts), GenerateRandomSpec(g, sopts));
 }
 
+TEST(AuctionsTest, ChunkedGenerationIsByteIdentical) {
+  AuctionsOptions opts;
+  opts.num_items = 80;
+  opts.num_people = 50;
+  opts.num_auctions = 70;
+  std::string whole = xml::SerializeDocument(GenerateAuctions(opts));
+  // Every chunk size — including 1 record at a time and one oversized
+  // chunk — produces the same document bytes.
+  for (int chunk : {1, 7, 64, 100000}) {
+    uint64_t last_done = 0;
+    uint64_t reported_total = 0;
+    xml::Document doc = GenerateAuctionsChunked(
+        opts, chunk, [&](uint64_t done, uint64_t total) {
+          EXPECT_GE(done, last_done);
+          last_done = done;
+          reported_total = total;
+        });
+    EXPECT_EQ(xml::SerializeDocument(doc), whole) << "chunk=" << chunk;
+    EXPECT_EQ(last_done, reported_total);
+    EXPECT_EQ(reported_total,
+              static_cast<uint64_t>(opts.num_items + opts.num_people +
+                                    opts.num_auctions));
+  }
+}
+
+TEST(AuctionsTest, StreamEmitsIncrementally) {
+  AuctionsOptions opts;
+  opts.num_items = 30;
+  opts.num_people = 20;
+  opts.num_auctions = 25;
+  AuctionsStream stream(opts);
+  xml::DocumentBuilder b;
+  int batches = 0;
+  while (stream.Next(&b, 10)) ++batches;
+  EXPECT_GE(batches, 7);  // 75 records at <=10 per call
+  xml::Document doc = std::move(b).Finish();
+  EXPECT_EQ(xml::SerializeDocument(doc),
+            xml::SerializeDocument(GenerateAuctions(opts)));
+  EXPECT_EQ(stream.records_emitted(), stream.records_total());
+}
+
+TEST(AuctionsTest, ScaledAuctionsKeepsRatio) {
+  AuctionsOptions unit = ScaledAuctions(0.01);
+  EXPECT_EQ(unit.num_items, 200);
+  EXPECT_EQ(unit.num_people, 100);
+  EXPECT_EQ(unit.num_auctions, 150);
+  AuctionsOptions big = ScaledAuctions(1.0, 42);
+  EXPECT_EQ(big.num_items, 20000);
+  EXPECT_EQ(big.num_people, 10000);
+  EXPECT_EQ(big.num_auctions, 15000);
+  EXPECT_EQ(big.seed, 42u);
+  // Degenerate factors never produce empty sections.
+  AuctionsOptions tiny = ScaledAuctions(0.0);
+  EXPECT_GE(tiny.num_items, 1);
+  EXPECT_GE(tiny.num_people, 1);
+  EXPECT_GE(tiny.num_auctions, 1);
+}
+
 }  // namespace
 }  // namespace vpbn::workload
